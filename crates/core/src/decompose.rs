@@ -1,0 +1,456 @@
+//! Decomposition of normalized subscription rules into atomic rules
+//! (paper §3.3.1).
+//!
+//! 1. Every predicate with a constant becomes a **triggering rule**.
+//! 2. Search-clause variables without such a predicate get a predicate-less
+//!    triggering rule.
+//! 3. A variable with several triggering rules folds them with identity
+//!    joins (`a = b` — the paper's RuleE).
+//! 4. Remaining join predicates are eliminated one at a time, always joining
+//!    a *leaf* variable of the rule's join graph into the rest; the join
+//!    rule registers the surviving variable's resources. The final join rule
+//!    (or lone triggering rule) is the **end rule** producing the
+//!    subscription's results.
+//!
+//! The output is a list of *proto rules* connected by local indices; the
+//! dependency-graph merge ([`crate::depgraph`]) resolves them to global,
+//! deduplicated rule ids.
+
+use std::collections::HashMap;
+
+use mdv_rdf::RDF_SUBJECT;
+use mdv_rulelang::{Const, NormOperand, NormPred, NormalizedRule};
+
+use crate::atoms::{JoinPred, Side, TriggerOp, TriggerPred};
+use crate::error::{Error, Result};
+
+/// An atomic rule before global id assignment; inputs are indices into the
+/// owning [`ProtoRules::rules`] vector.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtoRule {
+    Trigger {
+        class: String,
+        pred: Option<TriggerPred>,
+    },
+    Join {
+        left: usize,
+        right: usize,
+        left_class: String,
+        right_class: String,
+        register: Side,
+        pred: JoinPred,
+    },
+}
+
+impl ProtoRule {
+    /// The class of resources this proto rule registers.
+    pub fn type_class(&self) -> &str {
+        match self {
+            ProtoRule::Trigger { class, .. } => class,
+            ProtoRule::Join {
+                left_class,
+                right_class,
+                register,
+                ..
+            } => match register {
+                Side::Left => left_class,
+                Side::Right => right_class,
+            },
+        }
+    }
+}
+
+/// The decomposition result: proto rules in dependency order (inputs always
+/// precede the joins that use them) plus the end rule's index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtoRules {
+    pub rules: Vec<ProtoRule>,
+    pub end: usize,
+}
+
+impl ProtoRules {
+    pub fn triggers(&self) -> impl Iterator<Item = &ProtoRule> {
+        self.rules
+            .iter()
+            .filter(|r| matches!(r, ProtoRule::Trigger { .. }))
+    }
+
+    pub fn joins(&self) -> impl Iterator<Item = &ProtoRule> {
+        self.rules
+            .iter()
+            .filter(|r| matches!(r, ProtoRule::Join { .. }))
+    }
+}
+
+/// Decomposes a normalized (and typechecked) rule.
+pub fn decompose(rule: &NormalizedRule) -> Result<ProtoRules> {
+    let mut rules: Vec<ProtoRule> = Vec::new();
+    // current producer (proto index) for each variable
+    let mut current: HashMap<&str, usize> = HashMap::new();
+    let mut join_preds: Vec<&NormPred> = Vec::new();
+
+    // 1. constant predicates → triggering rules
+    let mut trigger_lists: HashMap<&str, Vec<usize>> = HashMap::new();
+    for pred in &rule.predicates {
+        match (&pred.lhs, &pred.rhs) {
+            (lhs, NormOperand::Const(c)) => {
+                let (var, property) = operand_slot(lhs)?;
+                let class = rule
+                    .class_of(var)
+                    .ok_or_else(|| Error::Decompose(format!("variable '{var}' is unbound")))?;
+                let op = TriggerOp::classify(pred.op, c.is_numeric()).ok_or_else(|| {
+                    Error::Decompose(format!(
+                        "operator '{}' cannot apply to this constant (typecheck the rule first)",
+                        pred.op
+                    ))
+                })?;
+                let proto = ProtoRule::Trigger {
+                    class: class.to_owned(),
+                    pred: Some(TriggerPred {
+                        property: property.to_owned(),
+                        op,
+                        value: const_lexical(c),
+                    }),
+                };
+                rules.push(proto);
+                trigger_lists.entry(var).or_default().push(rules.len() - 1);
+            }
+            (NormOperand::Const(_), _) => {
+                return Err(Error::Decompose(
+                    "constants must be on the right-hand side (normalize the rule first)".into(),
+                ))
+            }
+            _ => join_preds.push(pred),
+        }
+    }
+
+    // 2. variables without a constant predicate → predicate-less triggers
+    for binding in &rule.bindings {
+        if !trigger_lists.contains_key(binding.var.as_str()) {
+            rules.push(ProtoRule::Trigger {
+                class: binding.class.clone(),
+                pred: None,
+            });
+            trigger_lists.insert(&binding.var, vec![rules.len() - 1]);
+        }
+    }
+
+    // 3. fold multiple triggers per variable with identity joins
+    for binding in &rule.bindings {
+        let list = &trigger_lists[binding.var.as_str()];
+        let mut cur = list[0];
+        for &next in &list[1..] {
+            rules.push(ProtoRule::Join {
+                left: cur,
+                right: next,
+                left_class: binding.class.clone(),
+                right_class: binding.class.clone(),
+                register: Side::Left,
+                pred: JoinPred::identity(),
+            });
+            cur = rules.len() - 1;
+        }
+        current.insert(&binding.var, cur);
+    }
+
+    // 4. eliminate join predicates leaf-first
+    let mut remaining: Vec<&NormPred> = join_preds;
+    let mut alive: Vec<&str> = rule.bindings.iter().map(|b| b.var.as_str()).collect();
+    while !remaining.is_empty() {
+        let degree = |v: &str| {
+            remaining
+                .iter()
+                .filter(|p| pred_vars(p).is_ok_and(|(a, b)| a == v || b == v))
+                .count()
+        };
+        // choose a predicate with a leaf endpoint that is not the registered
+        // variable; the leaf is eliminated, the other side survives
+        let mut chosen: Option<(usize, &str)> = None; // (pred index, eliminated var)
+        for (i, p) in remaining.iter().enumerate() {
+            let (a, b) = pred_vars(p)?;
+            if a == b {
+                return Err(Error::Decompose(format!(
+                    "predicate '{p}' compares two properties of the same variable; \
+                     this shape is not supported"
+                )));
+            }
+            for (elim, _survivor) in [(a, b), (b, a)] {
+                if elim != rule.register && degree(elim) == 1 {
+                    chosen = Some((i, elim));
+                    break;
+                }
+            }
+            if chosen.is_some() {
+                break;
+            }
+        }
+        // last resort: a predicate whose both endpoints are the register var
+        // and one other leaf — or a pure cycle (unsupported)
+        let (pred_idx, elim_var) = match chosen {
+            Some(c) => c,
+            None => {
+                return Err(Error::Decompose(
+                    "the rule's join graph is cyclic or disconnected; only tree-shaped \
+                     join graphs are supported"
+                        .into(),
+                ))
+            }
+        };
+        let pred = remaining.remove(pred_idx);
+        let (a, b) = pred_vars(pred)?;
+        let survivor = if elim_var == a { b } else { a };
+        let (a_prop, b_prop) = (operand_slot(&pred.lhs)?.1, operand_slot(&pred.rhs)?.1);
+        let (left_var, left_prop, right_var, right_prop) = (a, a_prop, b, b_prop);
+        let class_of = |v: &str| rule.class_of(v).expect("bindings complete").to_owned();
+        rules.push(ProtoRule::Join {
+            left: current[left_var],
+            right: current[right_var],
+            left_class: class_of(left_var),
+            right_class: class_of(right_var),
+            register: if survivor == left_var {
+                Side::Left
+            } else {
+                Side::Right
+            },
+            pred: JoinPred {
+                left_prop: left_prop.to_owned(),
+                op: pred.op,
+                right_prop: right_prop.to_owned(),
+            },
+        });
+        current.insert(survivor, rules.len() - 1);
+        alive.retain(|v| *v != elim_var);
+    }
+
+    if alive.len() > 1 {
+        return Err(Error::Decompose(format!(
+            "variables {:?} are not connected to '{}' by join predicates; \
+             cartesian products are not supported",
+            alive
+                .iter()
+                .filter(|v| **v != rule.register)
+                .collect::<Vec<_>>(),
+            rule.register
+        )));
+    }
+
+    let end = current[rule.register.as_str()];
+    Ok(ProtoRules { rules, end })
+}
+
+/// The (variable, property) slot an operand addresses; `RDF_SUBJECT` for
+/// bare variables.
+fn operand_slot(op: &NormOperand) -> Result<(&str, &str)> {
+    match op {
+        NormOperand::Subject(v) => Ok((v, RDF_SUBJECT)),
+        NormOperand::Prop { var, prop, .. } => Ok((var, prop)),
+        NormOperand::Const(_) => Err(Error::Decompose(
+            "constant operand where a variable was expected".into(),
+        )),
+    }
+}
+
+/// Both variables of a join predicate.
+fn pred_vars(pred: &NormPred) -> Result<(&str, &str)> {
+    let (a, _) = operand_slot(&pred.lhs)?;
+    let (b, _) = operand_slot(&pred.rhs)?;
+    Ok((a, b))
+}
+
+/// The lexical form constants are stored in (paper §3.3.4).
+fn const_lexical(c: &Const) -> String {
+    c.lexical()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdv_rdf::RdfSchema;
+    use mdv_rulelang::{normalize, parse_rule};
+
+    fn schema() -> RdfSchema {
+        RdfSchema::builder()
+            .class("ServerInformation", |c| c.int("memory").int("cpu"))
+            .class("CycleProvider", |c| {
+                c.str("serverHost")
+                    .int("serverPort")
+                    .strong_ref("serverInformation", "ServerInformation")
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn decompose_text(text: &str) -> ProtoRules {
+        let n = normalize(&parse_rule(text).unwrap(), &schema()).unwrap();
+        decompose(&n).unwrap()
+    }
+
+    #[test]
+    fn paper_331_example() {
+        // §3.3.1: memory>64, cpu>500, contains, then RuleE (identity) and
+        // RuleF (reference join registering c) — five atomic rules
+        let d = decompose_text(
+            "search CycleProvider c, ServerInformation s register c \
+             where c.serverHost contains 'uni-passau.de' \
+             and c.serverInformation = s \
+             and s.memory > 64 and s.cpu > 500",
+        );
+        assert_eq!(d.triggers().count(), 3);
+        assert_eq!(d.joins().count(), 2);
+        assert_eq!(d.rules.len(), 5);
+        // end rule registers CycleProvider resources
+        assert_eq!(d.rules[d.end].type_class(), "CycleProvider");
+        // the identity join folds the two ServerInformation triggers
+        let identity_joins: Vec<_> = d
+            .rules
+            .iter()
+            .filter(|r| matches!(r, ProtoRule::Join { pred, .. } if *pred == JoinPred::identity()))
+            .collect();
+        assert_eq!(identity_joins.len(), 1);
+    }
+
+    #[test]
+    fn trigger_only_rules() {
+        // OID rule: bare variable = URI → single string-equality trigger
+        let d = decompose_text("search CycleProvider c register c where c = 'doc.rdf#host'");
+        assert_eq!(d.rules.len(), 1);
+        match &d.rules[0] {
+            ProtoRule::Trigger {
+                class,
+                pred: Some(p),
+            } => {
+                assert_eq!(class, "CycleProvider");
+                assert_eq!(p.property, RDF_SUBJECT);
+                assert_eq!(p.op, TriggerOp::EqStr);
+                assert_eq!(p.value, "doc.rdf#host");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(d.end, 0);
+
+        // COMP rule: numeric comparison trigger
+        let d = decompose_text("search CycleProvider c register c where c.serverPort > 1024");
+        assert_eq!(d.rules.len(), 1);
+        match &d.rules[0] {
+            ProtoRule::Trigger { pred: Some(p), .. } => assert_eq!(p.op, TriggerOp::Gt),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn class_only_rule() {
+        let d = decompose_text("search CycleProvider c register c");
+        assert_eq!(d.rules.len(), 1);
+        assert!(matches!(&d.rules[0], ProtoRule::Trigger { pred: None, .. }));
+    }
+
+    #[test]
+    fn path_rule_produces_join() {
+        // PATH benchmark rule shape
+        let d = decompose_text(
+            "search CycleProvider c register c where c.serverInformation.memory = 92",
+        );
+        // triggers: memory=92 on ServerInformation + no-pred on CycleProvider,
+        // then the reference join
+        assert_eq!(d.triggers().count(), 2);
+        assert_eq!(d.joins().count(), 1);
+        assert_eq!(d.rules[d.end].type_class(), "CycleProvider");
+        match &d.rules[d.end] {
+            ProtoRule::Join {
+                pred,
+                register,
+                left_class,
+                ..
+            } => {
+                assert_eq!(pred.op, mdv_rulelang::RuleOp::Eq);
+                // the register side must be the CycleProvider input
+                let reg_class = if *register == Side::Left {
+                    left_class.as_str()
+                } else {
+                    "ServerInformation"
+                };
+                assert_eq!(reg_class, "CycleProvider");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn numeric_trigger_value_is_lexical() {
+        let d = decompose_text("search ServerInformation s register s where s.memory > 64");
+        match &d.rules[0] {
+            ProtoRule::Trigger { pred: Some(p), .. } => {
+                assert_eq!(p.value, "64", "constants stored as strings");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chain_of_three_variables() {
+        // r - a - b path: must eliminate b then a, never the register var
+        let s = RdfSchema::builder()
+            .class("C", |c| c.strong_ref("r1", "D"))
+            .class("D", |c| c.strong_ref("r2", "E"))
+            .class("E", |c| c.int("x"))
+            .build()
+            .unwrap();
+        let n = normalize(
+            &parse_rule("search C c register c where c.r1.r2.x > 5").unwrap(),
+            &s,
+        )
+        .unwrap();
+        let d = decompose(&n).unwrap();
+        // triggers: x>5 on E, no-pred on C, no-pred on D; joins: D⋈E then C⋈(D⋈E)
+        assert_eq!(d.triggers().count(), 3);
+        assert_eq!(d.joins().count(), 2);
+        assert_eq!(d.rules[d.end].type_class(), "C");
+    }
+
+    #[test]
+    fn same_variable_value_comparison_rejected() {
+        let s = RdfSchema::builder()
+            .class("S", |c| c.int("a").int("b"))
+            .build()
+            .unwrap();
+        let n = normalize(
+            &parse_rule("search S s register s where s.a = s.b").unwrap(),
+            &s,
+        )
+        .unwrap();
+        let err = decompose(&n).unwrap_err();
+        assert!(err.to_string().contains("same variable"));
+    }
+
+    #[test]
+    fn disconnected_variables_rejected() {
+        let s = RdfSchema::builder()
+            .class("C", |c| c.int("x"))
+            .class("D", |c| c.int("y"))
+            .build()
+            .unwrap();
+        let n = normalize(
+            &parse_rule("search C c, D d register c where d.y > 1").unwrap(),
+            &s,
+        )
+        .unwrap();
+        let err = decompose(&n).unwrap_err();
+        assert!(err.to_string().contains("not connected"));
+    }
+
+    #[test]
+    fn dependency_order_invariant() {
+        // every join's inputs precede it in the rules vector
+        let d = decompose_text(
+            "search CycleProvider c, ServerInformation s register c \
+             where c.serverInformation = s and s.memory > 64 and s.cpu > 500 \
+             and c.serverHost contains 'x'",
+        );
+        for (i, r) in d.rules.iter().enumerate() {
+            if let ProtoRule::Join { left, right, .. } = r {
+                assert!(*left < i && *right < i);
+            }
+        }
+        assert_eq!(d.end, d.rules.len() - 1);
+    }
+}

@@ -1,0 +1,150 @@
+//! Graphviz (DOT) export of the global dependency graph — the programmatic
+//! analog of the paper's Figures 5 and 6 (dependency trees and rule groups).
+
+use std::fmt::Write as _;
+
+use crate::atoms::{AtomicRule, AtomicRuleKind};
+use crate::depgraph::DepGraph;
+
+/// Renders the dependency graph in Graphviz DOT syntax. Triggering rules
+/// are boxes, join rules are ellipses, rule groups become clusters, and
+/// edges point from inputs to the join rules consuming them (the direction
+/// data flows during filtering).
+pub fn to_dot(graph: &DepGraph) -> String {
+    let mut out = String::from("digraph dependency_graph {\n  rankdir=BT;\n");
+    // group join rules into cluster subgraphs
+    let mut grouped: std::collections::BTreeMap<u64, Vec<&AtomicRule>> =
+        std::collections::BTreeMap::new();
+    let mut triggers: Vec<&AtomicRule> = Vec::new();
+    for rule in graph.rules_sorted() {
+        match rule.group {
+            Some(gid) => grouped.entry(gid.0).or_default().push(rule),
+            None => triggers.push(rule),
+        }
+    }
+    for rule in &triggers {
+        let label = trigger_label(rule);
+        let _ = writeln!(
+            out,
+            "  r{} [shape=box, label=\"{}\"];",
+            rule.id.0,
+            escape(&label)
+        );
+    }
+    for (gid, members) in &grouped {
+        let _ = writeln!(out, "  subgraph cluster_group{gid} {{");
+        let shape = graph
+            .group_key(crate::atoms::GroupId(*gid))
+            .map(|k| k.to_string())
+            .unwrap_or_default();
+        let _ = writeln!(out, "    label=\"group {gid}: {}\";", escape(&shape));
+        for rule in members {
+            let _ = writeln!(
+                out,
+                "    r{} [shape=ellipse, label=\"Rule {}\\n({})\"];",
+                rule.id.0,
+                rule.id,
+                escape(&rule.type_class)
+            );
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    // edges: input → join
+    for rule in graph.rules_sorted() {
+        if let AtomicRuleKind::Join(spec) = &rule.kind {
+            let _ = writeln!(out, "  r{} -> r{};", spec.left.rule.0, rule.id.0);
+            let _ = writeln!(out, "  r{} -> r{};", spec.right.rule.0, rule.id.0);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn trigger_label(rule: &AtomicRule) -> String {
+    match &rule.kind {
+        AtomicRuleKind::Trigger { class, pred: None } => format!("Rule {}\\n{class}", rule.id),
+        AtomicRuleKind::Trigger {
+            class,
+            pred: Some(p),
+        } => {
+            format!("Rule {}\\n{class}\\n{p}", rule.id)
+        }
+        AtomicRuleKind::Join(_) => unreachable!("triggers only"),
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FilterEngine;
+    use mdv_rdf::RdfSchema;
+
+    #[test]
+    fn dot_renders_section_331_graph() {
+        let schema = RdfSchema::builder()
+            .class("ServerInformation", |c| c.int("memory").int("cpu"))
+            .class("CycleProvider", |c| {
+                c.str("serverHost")
+                    .strong_ref("serverInformation", "ServerInformation")
+            })
+            .build()
+            .unwrap();
+        let mut e = FilterEngine::new(schema);
+        e.register_subscription(
+            "search CycleProvider c, ServerInformation s register c \
+             where c.serverHost contains 'uni-passau.de' \
+             and c.serverInformation = s \
+             and s.memory > 64 and s.cpu > 500",
+        )
+        .unwrap();
+        let dot = to_dot(e.graph());
+        assert!(dot.starts_with("digraph dependency_graph"));
+        // 3 trigger boxes, 2 join ellipses in 2 clusters, 4 edges
+        assert_eq!(dot.matches("shape=box").count(), 3);
+        assert_eq!(dot.matches("shape=ellipse").count(), 2);
+        assert_eq!(dot.matches("subgraph cluster_group").count(), 2);
+        assert_eq!(dot.matches(" -> ").count(), 4);
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn shared_group_renders_one_cluster() {
+        let schema = RdfSchema::builder()
+            .class("ServerInformation", |c| c.int("memory").int("cpu"))
+            .class("CycleProvider", |c| {
+                c.strong_ref("serverInformation", "ServerInformation")
+            })
+            .build()
+            .unwrap();
+        let mut e = FilterEngine::new(schema);
+        e.register_subscription(
+            "search CycleProvider c register c where c.serverInformation.memory > 64",
+        )
+        .unwrap();
+        e.register_subscription(
+            "search CycleProvider c register c where c.serverInformation.cpu > 500",
+        )
+        .unwrap();
+        let dot = to_dot(e.graph());
+        assert_eq!(
+            dot.matches("subgraph cluster_group").count(),
+            1,
+            "one shared group"
+        );
+        assert_eq!(
+            dot.matches("shape=ellipse").count(),
+            2,
+            "two member join rules"
+        );
+    }
+
+    #[test]
+    fn empty_graph_renders() {
+        let dot = to_dot(&crate::DepGraph::new());
+        assert!(dot.contains("digraph"));
+    }
+}

@@ -1,0 +1,67 @@
+//! Errors of the filter engine.
+
+use std::fmt;
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Bubbled up from the storage engine.
+    Store(mdv_relstore::Error),
+    /// Bubbled up from the RDF layer (validation, parsing).
+    Rdf(mdv_rdf::Error),
+    /// Bubbled up from the rule-language front end.
+    Rule(mdv_rulelang::Error),
+    /// A rule shape the decomposition does not support.
+    Decompose(String),
+    /// Subscription management errors (unknown ids, duplicates).
+    Subscription(String),
+    /// Document registry errors (re-registering, unknown documents).
+    Document(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Store(e) => write!(f, "storage error: {e}"),
+            Error::Rdf(e) => write!(f, "rdf error: {e}"),
+            Error::Rule(e) => write!(f, "rule error: {e}"),
+            Error::Decompose(msg) => write!(f, "decomposition error: {msg}"),
+            Error::Subscription(msg) => write!(f, "subscription error: {msg}"),
+            Error::Document(msg) => write!(f, "document error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<mdv_relstore::Error> for Error {
+    fn from(e: mdv_relstore::Error) -> Self {
+        Error::Store(e)
+    }
+}
+
+impl From<mdv_rdf::Error> for Error {
+    fn from(e: mdv_rdf::Error) -> Self {
+        Error::Rdf(e)
+    }
+}
+
+impl From<mdv_rulelang::Error> for Error {
+    fn from(e: mdv_rulelang::Error) -> Self {
+        Error::Rule(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: Error = mdv_relstore::Error::UnknownTable("t".into()).into();
+        assert!(e.to_string().contains("storage error"));
+        let e: Error = mdv_rulelang::Error::Unsatisfiable.into();
+        assert!(e.to_string().contains("rule error"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Human-readable explanation of what registering a rule would do: the
+//! normalized form, the `or`-split, the atomic-rule decomposition, and —
+//! against a live engine — which atomic rules would be shared with already
+//! registered subscriptions.
+
+use std::fmt::Write as _;
+
+use mdv_rulelang::{normalize, parse_rule, split_or, typecheck};
+
+use crate::atoms::AtomicRule;
+use crate::decompose::{decompose, ProtoRule};
+use crate::engine::FilterEngine;
+use crate::error::Result;
+
+impl FilterEngine {
+    /// Explains a rule without registering it.
+    pub fn explain_rule(&self, rule_text: &str) -> Result<String> {
+        let rule = parse_rule(rule_text)?;
+        let mut out = String::new();
+        let _ = writeln!(out, "rule: {rule}");
+        let conjs = split_or(&rule);
+        if conjs.len() > 1 {
+            let _ = writeln!(out, "or-split into {} conjunctive rules", conjs.len());
+        }
+        for (i, conj) in conjs.iter().enumerate() {
+            if conjs.len() > 1 {
+                let _ = writeln!(out, "\n-- disjunct {} --", i + 1);
+            }
+            let normalized = match normalize(conj, self.schema()) {
+                Ok(n) => n,
+                Err(mdv_rulelang::Error::Unsatisfiable) => {
+                    let _ = writeln!(out, "statically false; would be skipped");
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            };
+            typecheck(&normalized, self.schema())?;
+            let _ = writeln!(out, "normalized: {normalized}");
+            let proto = decompose(&normalized)?;
+            let _ = writeln!(
+                out,
+                "decomposes into {} atomic rules ({} triggering, {} join):",
+                proto.rules.len(),
+                proto.triggers().count(),
+                proto.joins().count()
+            );
+            for (idx, p) in proto.rules.iter().enumerate() {
+                let marker = if idx == proto.end { " (end rule)" } else { "" };
+                match p {
+                    ProtoRule::Trigger { class, pred: None } => {
+                        let _ = writeln!(out, "  [{idx}] trigger: any {class}{marker}");
+                    }
+                    ProtoRule::Trigger {
+                        class,
+                        pred: Some(pred),
+                    } => {
+                        let _ = writeln!(out, "  [{idx}] trigger: {class} where {pred}{marker}");
+                    }
+                    ProtoRule::Join {
+                        left,
+                        right,
+                        register,
+                        pred,
+                        ..
+                    } => {
+                        let reg = match register {
+                            crate::atoms::Side::Left => left,
+                            crate::atoms::Side::Right => right,
+                        };
+                        let _ = writeln!(
+                            out,
+                            "  [{idx}] join: [{left}] ⋈ [{right}] on {pred}, registers [{reg}]{marker}"
+                        );
+                    }
+                }
+                // would this atomic rule be shared with the live graph?
+                // (resolvable only for triggers — join identity depends on
+                // the global ids of its inputs)
+                if let ProtoRule::Trigger { class, pred } = p {
+                    let kind = crate::atoms::AtomicRuleKind::Trigger {
+                        class: class.clone(),
+                        pred: pred.clone(),
+                    };
+                    let text = AtomicRule::canonical_text(&kind);
+                    if self
+                        .graph()
+                        .rules_sorted()
+                        .iter()
+                        .any(|r| AtomicRule::canonical_text(&r.kind) == text)
+                    {
+                        let _ = writeln!(out, "        shared with an existing subscription");
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdv_rdf::RdfSchema;
+
+    fn engine() -> FilterEngine {
+        FilterEngine::new(
+            RdfSchema::builder()
+                .class("ServerInformation", |c| c.int("memory").int("cpu"))
+                .class("CycleProvider", |c| {
+                    c.str("serverHost")
+                        .strong_ref("serverInformation", "ServerInformation")
+                })
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn explains_decomposition() {
+        let e = engine();
+        let text = e
+            .explain_rule(
+                "search CycleProvider c register c \
+                 where c.serverHost contains 'uni-passau.de' \
+                 and c.serverInformation.memory > 64 and c.serverInformation.cpu > 500",
+            )
+            .unwrap();
+        assert!(text.contains("normalized:"));
+        assert!(text.contains("5 atomic rules (3 triggering, 2 join)"));
+        assert!(text.contains("(end rule)"));
+    }
+
+    #[test]
+    fn reports_sharing_with_live_graph() {
+        let mut e = engine();
+        e.register_subscription(
+            "search CycleProvider c register c where c.serverInformation.memory > 64",
+        )
+        .unwrap();
+        let text = e
+            .explain_rule("search CycleProvider c register c where c.serverInformation.memory > 64")
+            .unwrap();
+        assert!(text.contains("shared with an existing subscription"));
+    }
+
+    #[test]
+    fn explains_or_split_and_unsatisfiable() {
+        let e = engine();
+        let text = e
+            .explain_rule(
+                "search CycleProvider c register c \
+                 where c.serverHost contains 'a' or 1 = 2",
+            )
+            .unwrap();
+        assert!(text.contains("or-split into 2"));
+        assert!(text.contains("statically false"));
+    }
+
+    #[test]
+    fn explain_does_not_register() {
+        let e = engine();
+        e.explain_rule("search CycleProvider c register c").unwrap();
+        assert!(e.graph().is_empty());
+    }
+}

@@ -1,0 +1,236 @@
+//! The naive publish & subscribe baseline: every subscription rule is
+//! evaluated against every newly registered resource — no decomposition, no
+//! triggering-rule index, no shared atomic rules, no materialization.
+//!
+//! This is the strategy the paper's filter is designed to avoid ("To avoid
+//! the evaluation of the possibly huge set of *all* subscription rules",
+//! §3). Each rule is still evaluated with a reasonable per-rule plan
+//! (reference joins follow the reference instead of scanning), so the
+//! comparison isolates the cost of *rule-base traversal*, not of a
+//! deliberately bad executor.
+//!
+//! Scope: insert-only workloads in which referenced resources arrive in the
+//! same batch or earlier (the paper's benchmark shape). Updates and
+//! deletions are out of scope for the baseline.
+
+use std::collections::BTreeMap;
+
+use mdv_rdf::{Document, RdfSchema};
+use mdv_relstore::Database;
+use mdv_rulelang::{normalize, parse_rule, split_or, typecheck, NormalizedRule};
+
+use crate::error::{Error, Result};
+use crate::registry::{assemble_publications, Publication, SubscriptionId};
+use crate::store::{create_base_tables, BaseStore};
+
+/// The baseline engine. Shares the base-table layout with
+/// [`crate::FilterEngine`] so measured differences come from the matching
+/// strategy alone.
+#[derive(Debug, Clone)]
+pub struct NaiveEngine {
+    schema: RdfSchema,
+    db: Database,
+    /// subscription → the conjunctive rules (after `or`-split).
+    rules: BTreeMap<SubscriptionId, Vec<NormalizedRule>>,
+    next_sub: u64,
+    /// Total rule evaluations performed (for the ablation report).
+    pub evaluations: u64,
+}
+
+impl NaiveEngine {
+    pub fn new(schema: RdfSchema) -> Self {
+        let mut db = Database::new();
+        create_base_tables(&mut db).expect("fresh database accepts base tables");
+        NaiveEngine {
+            schema,
+            db,
+            rules: BTreeMap::new(),
+            next_sub: 0,
+            evaluations: 0,
+        }
+    }
+
+    pub fn rule_count(&self) -> usize {
+        self.rules.values().map(|v| v.len()).sum()
+    }
+
+    pub fn register_subscription(&mut self, rule_text: &str) -> Result<SubscriptionId> {
+        let rule = parse_rule(rule_text)?;
+        let mut conjs = Vec::new();
+        for conj in split_or(&rule) {
+            let normalized = match normalize(&conj, &self.schema) {
+                Ok(n) => n,
+                Err(mdv_rulelang::Error::Unsatisfiable) => continue,
+                Err(e) => return Err(e.into()),
+            };
+            typecheck(&normalized, &self.schema)?;
+            conjs.push(normalized);
+        }
+        if conjs.is_empty() {
+            return Err(mdv_rulelang::Error::Unsatisfiable.into());
+        }
+        let id = SubscriptionId(self.next_sub);
+        self.next_sub += 1;
+        self.rules.insert(id, conjs);
+        Ok(id)
+    }
+
+    /// Registers a batch and evaluates **every** rule against every new
+    /// resource whose class matches the rule's register class.
+    pub fn register_batch(&mut self, docs: &[Document]) -> Result<Vec<Publication>> {
+        for doc in docs {
+            self.schema.validate(doc)?;
+            for res in doc.resources() {
+                if BaseStore::resource_exists(&self.db, res.uri().as_str())? {
+                    return Err(Error::Document(format!(
+                        "resource '{}' is already registered",
+                        res.uri()
+                    )));
+                }
+            }
+        }
+        let mut new_resources: Vec<(String, String)> = Vec::new(); // (uri, class)
+        for doc in docs {
+            for res in doc.resources() {
+                BaseStore::insert_resource(&mut self.db, res, doc.uri())?;
+                new_resources.push((res.uri().to_string(), res.class().to_owned()));
+            }
+        }
+        let mut pubs: BTreeMap<SubscriptionId, Publication> = BTreeMap::new();
+        let rules = self.rules.clone();
+        for (sub, conjs) in &rules {
+            for conj in conjs {
+                let register_class = conj.register_class();
+                for (uri, class) in &new_resources {
+                    if !self.schema.is_subclass_of(class, register_class) {
+                        continue;
+                    }
+                    self.evaluations += 1;
+                    if self.matches(conj, uri)? {
+                        pubs.entry(*sub)
+                            .or_insert_with(|| Publication::new(*sub))
+                            .added
+                            .push(uri.clone());
+                    }
+                }
+            }
+        }
+        Ok(assemble_publications(pubs))
+    }
+
+    /// Evaluates one conjunctive rule with the register variable bound to
+    /// `uri` (delegates to the shared direct evaluator).
+    fn matches(&self, rule: &NormalizedRule, uri: &str) -> Result<bool> {
+        crate::query_eval::rule_matches(&self.db, &self.schema, rule, uri)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdv_rdf::{Resource, Term, UriRef};
+
+    fn schema() -> RdfSchema {
+        RdfSchema::builder()
+            .class("ServerInformation", |c| c.int("memory").int("cpu"))
+            .class("CycleProvider", |c| {
+                c.str("serverHost")
+                    .int("serverPort")
+                    .strong_ref("serverInformation", "ServerInformation")
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn doc(i: usize, host: &str, memory: i64) -> Document {
+        let uri = format!("doc{i}.rdf");
+        Document::new(uri.clone())
+            .with_resource(
+                Resource::new(UriRef::new(&uri, "host"), "CycleProvider")
+                    .with("serverHost", Term::literal(host))
+                    .with("serverPort", Term::literal("1"))
+                    .with(
+                        "serverInformation",
+                        Term::resource(UriRef::new(&uri, "info")),
+                    ),
+            )
+            .with_resource(
+                Resource::new(UriRef::new(&uri, "info"), "ServerInformation")
+                    .with("memory", Term::literal(memory.to_string()))
+                    .with("cpu", Term::literal("600")),
+            )
+    }
+
+    #[test]
+    fn naive_matches_path_rule() {
+        let mut e = NaiveEngine::new(schema());
+        let sub = e
+            .register_subscription(
+                "search CycleProvider c register c where c.serverInformation.memory > 64",
+            )
+            .unwrap();
+        let pubs = e
+            .register_batch(&[doc(1, "a.org", 128), doc(2, "b.org", 32)])
+            .unwrap();
+        assert_eq!(pubs.len(), 1);
+        assert_eq!(pubs[0].subscription, sub);
+        assert_eq!(pubs[0].added, vec!["doc1.rdf#host".to_owned()]);
+    }
+
+    #[test]
+    fn naive_agrees_with_filter_engine() {
+        let rules = [
+            "search CycleProvider c register c where c = 'doc3.rdf#host'",
+            "search CycleProvider c register c where c.serverHost contains 'even'",
+            "search CycleProvider c register c where c.serverInformation.memory > 100",
+            "search ServerInformation s register s where s.memory <= 50",
+            "search CycleProvider c, ServerInformation s register c \
+             where c.serverInformation = s and s.memory > 10 and s.cpu >= 600",
+        ];
+        let docs: Vec<Document> = (0..12)
+            .map(|i| {
+                doc(
+                    i,
+                    if i % 2 == 0 { "even.org" } else { "odd.org" },
+                    (i as i64) * 20,
+                )
+            })
+            .collect();
+
+        let mut filter = crate::FilterEngine::new(schema());
+        let mut naive = NaiveEngine::new(schema());
+        for r in rules {
+            filter.register_subscription(r).unwrap();
+            naive.register_subscription(r).unwrap();
+        }
+        let a = filter.register_batch(&docs).unwrap();
+        let b = naive.register_batch(&docs).unwrap();
+        assert_eq!(a, b);
+        assert!(naive.evaluations > 0);
+    }
+
+    #[test]
+    fn evaluation_count_scales_with_rule_base() {
+        // the defining property of the baseline: work grows with the rule
+        // base even when rules cannot match
+        let mut e = NaiveEngine::new(schema());
+        for i in 0..50 {
+            e.register_subscription(&format!(
+                "search CycleProvider c register c where c = 'nothing{i}.rdf#x'"
+            ))
+            .unwrap();
+        }
+        e.register_batch(&[doc(1, "a.org", 1)]).unwrap();
+        assert_eq!(
+            e.evaluations, 50,
+            "every rule evaluated against the new CycleProvider"
+        );
+    }
+
+    #[test]
+    fn duplicate_resource_rejected() {
+        let mut e = NaiveEngine::new(schema());
+        e.register_batch(&[doc(1, "a.org", 1)]).unwrap();
+        assert!(e.register_batch(&[doc(1, "a.org", 1)]).is_err());
+    }
+}

@@ -1,0 +1,560 @@
+//! The filter's rule-side tables (paper §3.3.4, Figures 7 and 8):
+//! `AtomicRules`, `RuleDependencies`, `RuleGroups`, and the family of
+//! triggering-rule index tables `FilterRules` / `FilterRules<OP>`.
+//!
+//! Physical design follows the paper: the filter tables act as indexes from
+//! newly registered metadata to the triggering rules it affects.
+//! String-equality rules (including the `rdf#subject` rules behind OID
+//! subscriptions) are probed through a hash index on
+//! `(class, property, value)` — which is why OID registration cost is
+//! independent of the rule-base size (Figure 11). All other operators are
+//! probed through `(class, property)` and compare values after string→number
+//! reconversion, which makes their cost grow with the rule-base partition
+//! (Figures 12–14).
+
+use mdv_relstore::{ColumnDef, DataType, Database, IndexKind, TableSchema, Value};
+
+use crate::atoms::{AtomicRule, AtomicRuleKind, RuleId, TriggerOp};
+use crate::error::Result;
+
+pub const T_ATOMIC_RULES: &str = "AtomicRules";
+pub const T_RULE_DEPS: &str = "RuleDependencies";
+pub const T_RULE_GROUPS: &str = "RuleGroups";
+pub const T_FILTER_RULES: &str = "FilterRules";
+
+/// All trigger-table operators in a fixed order (table creation, rendering).
+pub const TRIGGER_OPS: [TriggerOp; 9] = [
+    TriggerOp::EqStr,
+    TriggerOp::NeStr,
+    TriggerOp::Contains,
+    TriggerOp::EqNum,
+    TriggerOp::NeNum,
+    TriggerOp::Lt,
+    TriggerOp::Le,
+    TriggerOp::Gt,
+    TriggerOp::Ge,
+];
+
+/// The table name for an operator's triggering rules.
+pub fn filter_table_name(op: TriggerOp) -> String {
+    format!("{T_FILTER_RULES}{}", op.table_suffix())
+}
+
+fn by_rule_index(table: &str) -> String {
+    format!("{table}_by_rule")
+}
+
+/// Creates all rule-side tables in `db`.
+pub fn create_rule_tables(db: &mut Database) -> Result<()> {
+    db.create_table(TableSchema::new(
+        T_ATOMIC_RULES,
+        vec![
+            ColumnDef::new("rule_id", DataType::Int),
+            ColumnDef::new("rule_text", DataType::Str),
+            ColumnDef::new("type_class", DataType::Str),
+            ColumnDef::new("kind", DataType::Str),
+            ColumnDef::new("group_id", DataType::Int).nullable(),
+        ],
+    )?)?;
+    db.create_index(
+        T_ATOMIC_RULES,
+        &by_rule_index(T_ATOMIC_RULES),
+        IndexKind::Hash,
+        &["rule_id"],
+        true,
+    )?;
+
+    db.create_table(TableSchema::new(
+        T_RULE_DEPS,
+        vec![
+            ColumnDef::new("source_rule_id", DataType::Int),
+            ColumnDef::new("target_rule_id", DataType::Int),
+            // denormalized for efficiency, exactly as the paper notes
+            ColumnDef::new("target_group_id", DataType::Int),
+        ],
+    )?)?;
+    db.create_index(
+        T_RULE_DEPS,
+        "RuleDeps_by_source",
+        IndexKind::Hash,
+        &["source_rule_id"],
+        false,
+    )?;
+    db.create_index(
+        T_RULE_DEPS,
+        "RuleDeps_by_target",
+        IndexKind::Hash,
+        &["target_rule_id"],
+        false,
+    )?;
+
+    db.create_table(TableSchema::new(
+        T_RULE_GROUPS,
+        vec![
+            ColumnDef::new("group_id", DataType::Int),
+            ColumnDef::new("shape", DataType::Str),
+        ],
+    )?)?;
+    db.create_index(
+        T_RULE_GROUPS,
+        "RuleGroups_by_id",
+        IndexKind::Hash,
+        &["group_id"],
+        true,
+    )?;
+
+    // the predicate-less triggering rules: indexed by class
+    db.create_table(TableSchema::new(
+        T_FILTER_RULES,
+        vec![
+            ColumnDef::new("rule_id", DataType::Int),
+            ColumnDef::new("class", DataType::Str),
+        ],
+    )?)?;
+    db.create_index(
+        T_FILTER_RULES,
+        "FilterRules_by_class",
+        IndexKind::Hash,
+        &["class"],
+        false,
+    )?;
+    db.create_index(
+        T_FILTER_RULES,
+        &by_rule_index(T_FILTER_RULES),
+        IndexKind::Hash,
+        &["rule_id"],
+        false,
+    )?;
+
+    // one table per operator
+    for op in TRIGGER_OPS {
+        let name = filter_table_name(op);
+        db.create_table(TableSchema::new(
+            name.clone(),
+            vec![
+                ColumnDef::new("rule_id", DataType::Int),
+                ColumnDef::new("class", DataType::Str),
+                ColumnDef::new("property", DataType::Str),
+                ColumnDef::new("value", DataType::Str),
+            ],
+        )?)?;
+        if op == TriggerOp::EqStr {
+            // point-probe index: flat cost in rule-base size
+            db.create_index(
+                &name,
+                &format!("{name}_by_cpv"),
+                IndexKind::Hash,
+                &["class", "property", "value"],
+                false,
+            )?;
+        } else {
+            // partition index: probe returns all rules of the partition,
+            // values compared after reconversion
+            db.create_index(
+                &name,
+                &format!("{name}_by_cp"),
+                IndexKind::Hash,
+                &["class", "property"],
+                false,
+            )?;
+        }
+        db.create_index(
+            &name,
+            &by_rule_index(&name),
+            IndexKind::Hash,
+            &["rule_id"],
+            false,
+        )?;
+    }
+    Ok(())
+}
+
+/// Mirrors a newly created atomic rule into the rule tables.
+pub fn insert_atomic(db: &mut Database, rule: &AtomicRule, text: &str) -> Result<()> {
+    db.insert(
+        T_ATOMIC_RULES,
+        vec![
+            Value::from(rule.id.0 as i64),
+            Value::from(text),
+            Value::from(rule.type_class.as_str()),
+            Value::from(if rule.is_trigger() { "trigger" } else { "join" }),
+            rule.group.map_or(Value::Null, |g| Value::from(g.0 as i64)),
+        ],
+    )?;
+    match &rule.kind {
+        AtomicRuleKind::Trigger { class, pred: None } => {
+            db.insert(
+                T_FILTER_RULES,
+                vec![Value::from(rule.id.0 as i64), Value::from(class.as_str())],
+            )?;
+        }
+        AtomicRuleKind::Trigger {
+            class,
+            pred: Some(p),
+        } => {
+            db.insert(
+                filter_table_name(p.op).as_str(),
+                vec![
+                    Value::from(rule.id.0 as i64),
+                    Value::from(class.as_str()),
+                    Value::from(p.property.as_str()),
+                    Value::from(p.value.as_str()),
+                ],
+            )?;
+        }
+        AtomicRuleKind::Join(spec) => {
+            let gid = rule.group.expect("join rules always belong to a group");
+            for input in [&spec.left, &spec.right] {
+                db.insert(
+                    T_RULE_DEPS,
+                    vec![
+                        Value::from(input.rule.0 as i64),
+                        Value::from(rule.id.0 as i64),
+                        Value::from(gid.0 as i64),
+                    ],
+                )?;
+            }
+            // create the group row if this is its first member
+            let existing = db
+                .table(T_RULE_GROUPS)?
+                .index("RuleGroups_by_id")?
+                .probe(&vec![Value::from(gid.0 as i64)]);
+            if existing.is_empty() {
+                db.insert(
+                    T_RULE_GROUPS,
+                    vec![
+                        Value::from(gid.0 as i64),
+                        Value::from(spec.group_key().to_string()),
+                    ],
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Removes a retracted atomic rule from the rule tables. `group_emptied`
+/// signals that the rule was the last member of its group.
+pub fn remove_atomic(db: &mut Database, rule: &AtomicRule, group_emptied: bool) -> Result<()> {
+    let key = vec![Value::from(rule.id.0 as i64)];
+    let rows = db
+        .table(T_ATOMIC_RULES)?
+        .index(&by_rule_index(T_ATOMIC_RULES))?
+        .probe(&key);
+    for rid in rows {
+        db.delete(T_ATOMIC_RULES, rid)?;
+    }
+    match &rule.kind {
+        AtomicRuleKind::Trigger { pred: None, .. } => {
+            let rows = db
+                .table(T_FILTER_RULES)?
+                .index(&by_rule_index(T_FILTER_RULES))?
+                .probe(&key);
+            for rid in rows {
+                db.delete(T_FILTER_RULES, rid)?;
+            }
+        }
+        AtomicRuleKind::Trigger { pred: Some(p), .. } => {
+            let name = filter_table_name(p.op);
+            let rows = db.table(&name)?.index(&by_rule_index(&name))?.probe(&key);
+            for rid in rows {
+                db.delete(&name, rid)?;
+            }
+        }
+        AtomicRuleKind::Join(_) => {
+            let rows = db
+                .table(T_RULE_DEPS)?
+                .index("RuleDeps_by_target")?
+                .probe(&key);
+            for rid in rows {
+                db.delete(T_RULE_DEPS, rid)?;
+            }
+            if group_emptied {
+                let gid = rule.group.expect("join rules always belong to a group");
+                let rows = db
+                    .table(T_RULE_GROUPS)?
+                    .index("RuleGroups_by_id")?
+                    .probe(&vec![Value::from(gid.0 as i64)]);
+                for rid in rows {
+                    db.delete(T_RULE_GROUPS, rid)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Triggering rules of a `(class)` probe on the predicate-less table.
+pub fn class_triggers(db: &Database, class: &str) -> Result<Vec<RuleId>> {
+    let t = db.table(T_FILTER_RULES)?;
+    let rows = t
+        .index("FilterRules_by_class")?
+        .probe(&vec![Value::from(class)]);
+    rows.into_iter()
+        .map(|rid| {
+            Ok(RuleId(
+                t.get(rid)?[0].as_int().expect("rule_id is INT") as u64
+            ))
+        })
+        .collect()
+}
+
+/// Triggering rules matching one document atom in one operator table.
+/// EqStr probes `(class, property, value)`; other operators probe
+/// `(class, property)` and evaluate the comparison per candidate rule.
+pub fn matching_triggers(
+    db: &Database,
+    op: TriggerOp,
+    class: &str,
+    property: &str,
+    doc_value: &str,
+) -> Result<Vec<RuleId>> {
+    let name = filter_table_name(op);
+    let t = db.table(&name)?;
+    if op == TriggerOp::EqStr {
+        let rows = t.index(&format!("{name}_by_cpv"))?.probe(&vec![
+            Value::from(class),
+            Value::from(property),
+            Value::from(doc_value),
+        ]);
+        return rows
+            .into_iter()
+            .map(|rid| {
+                Ok(RuleId(
+                    t.get(rid)?[0].as_int().expect("rule_id is INT") as u64
+                ))
+            })
+            .collect();
+    }
+    let rows = t
+        .index(&format!("{name}_by_cp"))?
+        .probe(&vec![Value::from(class), Value::from(property)]);
+    let mut out = Vec::new();
+    for rid in rows {
+        let row = t.get(rid)?;
+        let rule_value = row[3].as_str().expect("value is STR");
+        if op.matches(doc_value, rule_value) {
+            out.push(RuleId(row[0].as_int().expect("rule_id is INT") as u64));
+        }
+    }
+    Ok(out)
+}
+
+/// Renders a table as fixed-width text (for the paper-walkthrough example
+/// reproducing Figures 4, 7, 8, 9).
+pub fn render_table(db: &Database, name: &str) -> Result<String> {
+    let t = db.table(name)?;
+    let headers: Vec<&str> = t
+        .schema()
+        .columns()
+        .iter()
+        .map(|c| c.name.as_str())
+        .collect();
+    let mut rows: Vec<Vec<String>> = t
+        .iter()
+        .map(|(_, row)| row.iter().map(|v| v.to_string()).collect())
+        .collect();
+    rows.sort();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in &rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (c, w) in cells.iter().zip(widths) {
+            line.push_str(&format!(" {c:<w$} |"));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&format!("{name}\n"));
+    out.push_str(&fmt_row(
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+        &widths,
+    ));
+    out.push_str(&format!(
+        "|{}\n",
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2) + "|")
+            .collect::<String>()
+    ));
+    for row in &rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atoms::TriggerPred;
+
+    fn trigger(id: u64, class: &str, pred: Option<TriggerPred>) -> AtomicRule {
+        AtomicRule {
+            id: RuleId(id),
+            type_class: class.to_owned(),
+            kind: AtomicRuleKind::Trigger {
+                class: class.to_owned(),
+                pred,
+            },
+            group: None,
+        }
+    }
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        create_rule_tables(&mut db).unwrap();
+        db
+    }
+
+    #[test]
+    fn figure8_trigger_tables() {
+        // the triggering rules of §3.3.1: memory>64, cpu>500, contains
+        let mut db = db();
+        let rules = [
+            trigger(
+                1,
+                "ServerInformation",
+                Some(TriggerPred {
+                    property: "memory".into(),
+                    op: TriggerOp::Gt,
+                    value: "64".into(),
+                }),
+            ),
+            trigger(
+                2,
+                "ServerInformation",
+                Some(TriggerPred {
+                    property: "cpu".into(),
+                    op: TriggerOp::Gt,
+                    value: "500".into(),
+                }),
+            ),
+            trigger(
+                3,
+                "CycleProvider",
+                Some(TriggerPred {
+                    property: "serverHost".into(),
+                    op: TriggerOp::Contains,
+                    value: "uni-passau.de".into(),
+                }),
+            ),
+        ];
+        for r in &rules {
+            insert_atomic(&mut db, r, "text").unwrap();
+        }
+        assert_eq!(db.table("FilterRulesGT").unwrap().len(), 2);
+        assert_eq!(db.table("FilterRulesCON").unwrap().len(), 1);
+
+        // matching: memory=92 matches rule 1 only
+        let hits =
+            matching_triggers(&db, TriggerOp::Gt, "ServerInformation", "memory", "92").unwrap();
+        assert_eq!(hits, vec![RuleId(1)]);
+        let hits =
+            matching_triggers(&db, TriggerOp::Gt, "ServerInformation", "memory", "32").unwrap();
+        assert!(hits.is_empty());
+        let hits = matching_triggers(
+            &db,
+            TriggerOp::Contains,
+            "CycleProvider",
+            "serverHost",
+            "pirates.uni-passau.de",
+        )
+        .unwrap();
+        assert_eq!(hits, vec![RuleId(3)]);
+    }
+
+    #[test]
+    fn eqstr_point_probe() {
+        let mut db = db();
+        for i in 0..100 {
+            insert_atomic(
+                &mut db,
+                &trigger(
+                    i,
+                    "CycleProvider",
+                    Some(TriggerPred {
+                        property: "rdf#subject".into(),
+                        op: TriggerOp::EqStr,
+                        value: format!("doc{i}.rdf#host"),
+                    }),
+                ),
+                "text",
+            )
+            .unwrap();
+        }
+        let hits = matching_triggers(
+            &db,
+            TriggerOp::EqStr,
+            "CycleProvider",
+            "rdf#subject",
+            "doc42.rdf#host",
+        )
+        .unwrap();
+        assert_eq!(hits, vec![RuleId(42)]);
+    }
+
+    #[test]
+    fn class_trigger_probe() {
+        let mut db = db();
+        insert_atomic(&mut db, &trigger(5, "CycleProvider", None), "text").unwrap();
+        insert_atomic(&mut db, &trigger(6, "ServerInformation", None), "text").unwrap();
+        assert_eq!(
+            class_triggers(&db, "CycleProvider").unwrap(),
+            vec![RuleId(5)]
+        );
+        assert!(class_triggers(&db, "Unknown").unwrap().is_empty());
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut db = db();
+        let r = trigger(
+            9,
+            "ServerInformation",
+            Some(TriggerPred {
+                property: "memory".into(),
+                op: TriggerOp::Gt,
+                value: "64".into(),
+            }),
+        );
+        insert_atomic(&mut db, &r, "text").unwrap();
+        assert_eq!(db.table("AtomicRules").unwrap().len(), 1);
+        remove_atomic(&mut db, &r, false).unwrap();
+        assert_eq!(db.table("AtomicRules").unwrap().len(), 0);
+        assert_eq!(db.table("FilterRulesGT").unwrap().len(), 0);
+        assert!(
+            matching_triggers(&db, TriggerOp::Gt, "ServerInformation", "memory", "92")
+                .unwrap()
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn render_table_formats() {
+        let mut db = db();
+        insert_atomic(
+            &mut db,
+            &trigger(
+                1,
+                "ServerInformation",
+                Some(TriggerPred {
+                    property: "memory".into(),
+                    op: TriggerOp::Gt,
+                    value: "64".into(),
+                }),
+            ),
+            "search ServerInformation s register s where s.memory > 64",
+        )
+        .unwrap();
+        let text = render_table(&db, "FilterRulesGT").unwrap();
+        assert!(text.contains("ServerInformation"));
+        assert!(text.contains("memory"));
+        assert!(text.contains("64"));
+        assert!(text.starts_with("FilterRulesGT"));
+    }
+}

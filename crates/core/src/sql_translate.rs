@@ -1,0 +1,252 @@
+//! Translation of normalized MDV queries into SQL join queries over the
+//! base tables — the mechanism the paper describes for search requests
+//! ("Search requests are translated into SQL join queries", §2.2), in the
+//! RDF-over-RDBMS style of Florescu/Kossmann (the paper's reference 14).
+//!
+//! Each search variable becomes a `Resources` alias restricted to its class
+//! (and subclasses); each property access becomes a `Statements` self-join;
+//! numeric comparisons reconvert through `CAST(value AS FLOAT)`; the result
+//! is the `DISTINCT` set of URI references bound to the registered
+//! variable. [`evaluate_via_sql`] executes the translation on the embedded
+//! engine and is tested to agree with the direct evaluator
+//! ([`crate::query_eval`]).
+
+use std::fmt::Write as _;
+
+use mdv_rdf::RdfSchema;
+use mdv_relstore::{sql, Database};
+use mdv_rulelang::{Const, NormOperand, NormalizedRule, RuleOp};
+
+use crate::error::{Error, Result};
+use crate::query_eval::class_and_descendants;
+
+/// Translates a normalized rule/query into a SQL `SELECT` statement.
+pub fn to_sql(rule: &NormalizedRule, schema: &RdfSchema) -> Result<String> {
+    let mut from = Vec::new();
+    let mut where_parts = Vec::new();
+
+    // one Resources alias per variable, constrained to its class hierarchy
+    for binding in &rule.bindings {
+        let alias = format!("r_{}", binding.var);
+        from.push(format!("Resources {alias}"));
+        let classes = class_and_descendants(schema, &binding.class);
+        let alternatives: Vec<String> = classes
+            .iter()
+            .map(|c| format!("{alias}.class = {}", quote(c)))
+            .collect();
+        where_parts.push(if alternatives.len() == 1 {
+            alternatives.into_iter().next().expect("one alternative")
+        } else {
+            format!("({})", alternatives.join(" OR "))
+        });
+    }
+
+    // one Statements alias per property access
+    let mut stmt_count = 0;
+    let mut property_access =
+        |var: &str, prop: &str, from: &mut Vec<String>, where_parts: &mut Vec<String>| -> String {
+            stmt_count += 1;
+            let alias = format!("s{stmt_count}");
+            from.push(format!("Statements {alias}"));
+            where_parts.push(format!("{alias}.uri_reference = r_{var}.uri_reference"));
+            where_parts.push(format!("{alias}.property = {}", quote(prop)));
+            alias
+        };
+
+    for pred in &rule.predicates {
+        // resolve each operand to a SQL scalar expression
+        let mut operand = |op: &NormOperand,
+                           from: &mut Vec<String>,
+                           where_parts: &mut Vec<String>|
+         -> Result<(String, bool)> {
+            // returns (scalar sql, is_numeric_constant)
+            Ok(match op {
+                NormOperand::Subject(v) => (format!("r_{v}.uri_reference"), false),
+                NormOperand::Prop { var, prop, .. } => {
+                    let alias = property_access(var, prop, from, where_parts);
+                    (format!("{alias}.value"), false)
+                }
+                NormOperand::Const(Const::Str(s)) => (quote(s), false),
+                NormOperand::Const(Const::Int(i)) => (i.to_string(), true),
+                NormOperand::Const(Const::Float(x)) => (x.to_string(), true),
+            })
+        };
+        let (lhs, _) = operand(&pred.lhs, &mut from, &mut where_parts)?;
+        let (rhs, rhs_numeric) = operand(&pred.rhs, &mut from, &mut where_parts)?;
+        let sql_op = match pred.op {
+            RuleOp::Eq => "=",
+            RuleOp::Ne => "!=",
+            RuleOp::Lt => "<",
+            RuleOp::Le => "<=",
+            RuleOp::Gt => ">",
+            RuleOp::Ge => ">=",
+            RuleOp::Contains => "CONTAINS",
+        };
+        // ordering operators (and numeric equality against a numeric
+        // constant) reconvert through CAST — the paper's string storage
+        let needs_cast =
+            pred.op.is_ordering() || (rhs_numeric && matches!(pred.op, RuleOp::Eq | RuleOp::Ne));
+        let cast = |scalar: &str, is_const_num: bool| {
+            if !needs_cast || is_const_num {
+                scalar.to_owned()
+            } else {
+                format!("CAST({scalar} AS FLOAT)")
+            }
+        };
+        where_parts.push(format!(
+            "{} {sql_op} {}",
+            cast(&lhs, false),
+            cast(&rhs, rhs_numeric)
+        ));
+    }
+
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "SELECT DISTINCT r_{}.uri_reference FROM {}",
+        rule.register,
+        from.join(", ")
+    );
+    if !where_parts.is_empty() {
+        let _ = write!(out, " WHERE {}", where_parts.join(" AND "));
+    }
+    let _ = write!(out, " ORDER BY r_{}.uri_reference", rule.register);
+    Ok(out)
+}
+
+/// Translates and executes a normalized query against a base-table database,
+/// returning the matching URI references (sorted).
+pub fn evaluate_via_sql(
+    db: &Database,
+    schema: &RdfSchema,
+    rule: &NormalizedRule,
+) -> Result<Vec<String>> {
+    let sql_text = to_sql(rule, schema)?;
+    let rs = sql::execute(db, &sql_text).map_err(Error::Store)?;
+    Ok(rs.rows.into_iter().map(|r| r[0].to_string()).collect())
+}
+
+fn quote(s: &str) -> String {
+    format!("'{}'", s.replace('\'', "''"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query_eval;
+    use crate::store::{create_base_tables, BaseStore};
+    use mdv_rdf::{Resource, Term, UriRef};
+    use mdv_rulelang::{normalize, parse_rule};
+
+    fn schema() -> RdfSchema {
+        RdfSchema::builder()
+            .class("ServerInformation", |c| c.int("memory").int("cpu"))
+            .class("CycleProvider", |c| {
+                c.str("serverHost")
+                    .strong_ref("serverInformation", "ServerInformation")
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        create_base_tables(&mut db).unwrap();
+        for (i, (host, memory, cpu)) in [
+            ("a.uni-passau.de", 128, 600),
+            ("b.example.org", 92, 700),
+            ("c.uni-passau.de", 32, 500),
+            ("d.uni-passau.de", 256, 400),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let uri = format!("doc{i}.rdf");
+            BaseStore::insert_resource(
+                &mut db,
+                &Resource::new(UriRef::new(&uri, "host"), "CycleProvider")
+                    .with("serverHost", Term::literal(*host))
+                    .with(
+                        "serverInformation",
+                        Term::resource(UriRef::new(&uri, "info")),
+                    ),
+                &uri,
+            )
+            .unwrap();
+            BaseStore::insert_resource(
+                &mut db,
+                &Resource::new(UriRef::new(&uri, "info"), "ServerInformation")
+                    .with("memory", Term::literal(memory.to_string()))
+                    .with("cpu", Term::literal(cpu.to_string())),
+                &uri,
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    fn normalized(text: &str) -> NormalizedRule {
+        normalize(&parse_rule(text).unwrap(), &schema()).unwrap()
+    }
+
+    #[test]
+    fn translation_has_expected_shape() {
+        let n = normalized(
+            "search CycleProvider c register c \
+             where c.serverHost contains 'uni-passau.de' \
+             and c.serverInformation.memory > 64",
+        );
+        let sql_text = to_sql(&n, &schema()).unwrap();
+        assert!(sql_text.starts_with("SELECT DISTINCT r_c.uri_reference"));
+        assert!(sql_text.contains("Resources r_c"));
+        assert!(sql_text.contains("Statements s1"));
+        assert!(sql_text.contains("CONTAINS 'uni-passau.de'"));
+        assert!(sql_text.contains("CAST(") && sql_text.contains("AS FLOAT) > 64"));
+    }
+
+    #[test]
+    fn sql_agrees_with_direct_evaluator() {
+        let db = db();
+        let s = schema();
+        let queries = [
+            "search CycleProvider c register c",
+            "search CycleProvider c register c where c.serverHost contains 'uni-passau.de'",
+            "search CycleProvider c register c where c.serverInformation.memory > 64",
+            "search CycleProvider c register c where c = 'doc1.rdf#host'",
+            "search ServerInformation i register i where i.memory >= 92 and i.cpu < 650",
+            "search ServerInformation i, CycleProvider c register i \
+             where c.serverInformation = i and c.serverHost contains 'uni-passau.de'",
+            "search CycleProvider c, ServerInformation i register c \
+             where c.serverInformation = i and i.memory > 64 and i.cpu <= 600",
+        ];
+        for q in queries {
+            let n = normalized(q);
+            let direct = query_eval::evaluate(&db, &s, &n).unwrap();
+            let via_sql = evaluate_via_sql(&db, &s, &n).unwrap();
+            assert_eq!(direct, via_sql, "divergence for: {q}");
+        }
+    }
+
+    #[test]
+    fn string_constants_are_escaped() {
+        let n = normalized("search CycleProvider c register c where c.serverHost = 'it''s'");
+        let sql_text = to_sql(&n, &schema()).unwrap();
+        assert!(sql_text.contains("'it''s'"));
+        // and it executes without error
+        evaluate_via_sql(&db(), &schema(), &n).unwrap();
+    }
+
+    #[test]
+    fn subclass_translation_uses_or() {
+        let s = RdfSchema::builder()
+            .class("Provider", |c| c.str("name"))
+            .class("CycleProvider", |c| c.extends("Provider").int("port"))
+            .build()
+            .unwrap();
+        let n = normalize(&parse_rule("search Provider p register p").unwrap(), &s).unwrap();
+        let sql_text = to_sql(&n, &s).unwrap();
+        assert!(sql_text.contains("r_p.class = 'Provider'"));
+        assert!(sql_text.contains("r_p.class = 'CycleProvider'"));
+        assert!(sql_text.contains(" OR "));
+    }
+}

@@ -1,0 +1,515 @@
+//! The filter's relational backing store: base metadata tables and the
+//! materialized results of atomic rules.
+//!
+//! Tables (all held in an embedded [`Database`]):
+//!
+//! * `Statements(uri_reference, class, property, value)` — every registered
+//!   atom, including the synthetic `rdf#subject` marker rows of Figure 4.
+//!   This is the persistent superset of the per-batch `FilterData`.
+//! * `Resources(uri_reference, class, document_uri)` — the resource registry.
+//! * `RuleResults(rule_id, uri_reference)` — materialized results of atomic
+//!   rules that join rules depend on (paper §3.4: "the results of atomic
+//!   rules join rules depend on are materialized").
+
+use mdv_rdf::{Document, Resource, Term, UriRef, RDF_SUBJECT};
+use mdv_relstore::{ColumnDef, DataType, Database, IndexKind, TableSchema, Value};
+
+use crate::atoms::RuleId;
+use crate::error::Result;
+
+/// One decomposed document atom — a row of `FilterData` (Figure 4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    pub uri: String,
+    pub class: String,
+    pub property: String,
+    pub value: String,
+}
+
+impl Atom {
+    /// Decomposes a resource into atoms, subject marker first (paper §3.2).
+    pub fn from_resource(res: &Resource) -> Vec<Atom> {
+        let mut out = Vec::with_capacity(res.properties().len() + 1);
+        out.push(Atom {
+            uri: res.uri().to_string(),
+            class: res.class().to_owned(),
+            property: RDF_SUBJECT.to_owned(),
+            value: res.uri().to_string(),
+        });
+        for (prop, term) in res.properties() {
+            out.push(Atom {
+                uri: res.uri().to_string(),
+                class: res.class().to_owned(),
+                property: prop.clone(),
+                value: term.lexical().to_owned(),
+            });
+        }
+        out
+    }
+
+    /// Decomposes a whole document.
+    pub fn from_document(doc: &Document) -> Vec<Atom> {
+        doc.resources()
+            .iter()
+            .flat_map(Atom::from_resource)
+            .collect()
+    }
+}
+
+pub const T_STATEMENTS: &str = "Statements";
+pub const T_RESOURCES: &str = "Resources";
+pub const T_RULE_RESULTS: &str = "RuleResults";
+pub const IDX_STMT_URI: &str = "Statements_by_uri";
+pub const IDX_STMT_CP: &str = "Statements_by_class_prop";
+pub const IDX_STMT_CPV: &str = "Statements_by_class_prop_value";
+pub const IDX_RES_URI: &str = "Resources_by_uri";
+pub const IDX_RES_CLASS: &str = "Resources_by_class";
+pub const IDX_RES_DOC: &str = "Resources_by_document";
+pub const IDX_RR_RULE: &str = "RuleResults_by_rule";
+pub const IDX_RR_PAIR: &str = "RuleResults_by_rule_uri";
+
+/// Creates the base tables in `db`.
+pub fn create_base_tables(db: &mut Database) -> Result<()> {
+    db.create_table(TableSchema::new(
+        T_STATEMENTS,
+        vec![
+            ColumnDef::new("uri_reference", DataType::Str),
+            ColumnDef::new("class", DataType::Str),
+            ColumnDef::new("property", DataType::Str),
+            ColumnDef::new("value", DataType::Str),
+        ],
+    )?)?;
+    db.create_index(
+        T_STATEMENTS,
+        IDX_STMT_URI,
+        IndexKind::Hash,
+        &["uri_reference"],
+        false,
+    )?;
+    db.create_index(
+        T_STATEMENTS,
+        IDX_STMT_CP,
+        IndexKind::Hash,
+        &["class", "property"],
+        false,
+    )?;
+    db.create_index(
+        T_STATEMENTS,
+        IDX_STMT_CPV,
+        IndexKind::Hash,
+        &["class", "property", "value"],
+        false,
+    )?;
+
+    db.create_table(TableSchema::new(
+        T_RESOURCES,
+        vec![
+            ColumnDef::new("uri_reference", DataType::Str),
+            ColumnDef::new("class", DataType::Str),
+            ColumnDef::new("document_uri", DataType::Str),
+        ],
+    )?)?;
+    db.create_index(
+        T_RESOURCES,
+        IDX_RES_URI,
+        IndexKind::Hash,
+        &["uri_reference"],
+        true,
+    )?;
+    db.create_index(
+        T_RESOURCES,
+        IDX_RES_CLASS,
+        IndexKind::Hash,
+        &["class"],
+        false,
+    )?;
+    db.create_index(
+        T_RESOURCES,
+        IDX_RES_DOC,
+        IndexKind::Hash,
+        &["document_uri"],
+        false,
+    )?;
+
+    db.create_table(TableSchema::new(
+        T_RULE_RESULTS,
+        vec![
+            ColumnDef::new("rule_id", DataType::Int),
+            ColumnDef::new("uri_reference", DataType::Str),
+        ],
+    )?)?;
+    db.create_index(
+        T_RULE_RESULTS,
+        IDX_RR_RULE,
+        IndexKind::Hash,
+        &["rule_id"],
+        false,
+    )?;
+    db.create_index(
+        T_RULE_RESULTS,
+        IDX_RR_PAIR,
+        IndexKind::Hash,
+        &["rule_id", "uri_reference"],
+        true,
+    )?;
+    Ok(())
+}
+
+/// Typed accessors over the base tables.
+pub struct BaseStore;
+
+impl BaseStore {
+    /// Inserts a resource's atoms and registry row.
+    pub fn insert_resource(db: &mut Database, res: &Resource, document_uri: &str) -> Result<()> {
+        db.insert(
+            T_RESOURCES,
+            vec![
+                Value::from(res.uri().as_str()),
+                Value::from(res.class()),
+                Value::from(document_uri),
+            ],
+        )?;
+        for atom in Atom::from_resource(res) {
+            db.insert(
+                T_STATEMENTS,
+                vec![
+                    Value::from(atom.uri),
+                    Value::from(atom.class),
+                    Value::from(atom.property),
+                    Value::from(atom.value),
+                ],
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Removes a resource's atoms and registry row; a no-op when absent.
+    pub fn remove_resource(db: &mut Database, uri: &str) -> Result<()> {
+        let key = vec![Value::from(uri)];
+        let rows: Vec<_> = db.table(T_STATEMENTS)?.index(IDX_STMT_URI)?.probe(&key);
+        for rid in rows {
+            db.delete(T_STATEMENTS, rid)?;
+        }
+        let rows: Vec<_> = db.table(T_RESOURCES)?.index(IDX_RES_URI)?.probe(&key);
+        for rid in rows {
+            db.delete(T_RESOURCES, rid)?;
+        }
+        Ok(())
+    }
+
+    pub fn resource_exists(db: &Database, uri: &str) -> Result<bool> {
+        Ok(!db
+            .table(T_RESOURCES)?
+            .index(IDX_RES_URI)?
+            .probe(&vec![Value::from(uri)])
+            .is_empty())
+    }
+
+    pub fn resource_class(db: &Database, uri: &str) -> Result<Option<String>> {
+        let t = db.table(T_RESOURCES)?;
+        let rows = t.index(IDX_RES_URI)?.probe(&vec![Value::from(uri)]);
+        match rows.first() {
+            Some(&rid) => Ok(Some(t.get(rid)?[1].to_string())),
+            None => Ok(None),
+        }
+    }
+
+    /// All resource URIs of a class.
+    pub fn resources_of_class(db: &Database, class: &str) -> Result<Vec<String>> {
+        let t = db.table(T_RESOURCES)?;
+        let rows = t.index(IDX_RES_CLASS)?.probe(&vec![Value::from(class)]);
+        rows.into_iter()
+            .map(|rid| Ok(t.get(rid)?[0].to_string()))
+            .collect()
+    }
+
+    /// Property values of one resource (`RDF_SUBJECT` yields the URI itself).
+    pub fn values_of(db: &Database, uri: &str, property: &str) -> Result<Vec<String>> {
+        if property == RDF_SUBJECT {
+            return Ok(vec![uri.to_owned()]);
+        }
+        let t = db.table(T_STATEMENTS)?;
+        let rows = t.index(IDX_STMT_URI)?.probe(&vec![Value::from(uri)]);
+        let mut out = Vec::new();
+        for rid in rows {
+            let row = t.get(rid)?;
+            if row[2].as_str() == Some(property) {
+                out.push(row[3].to_string());
+            }
+        }
+        Ok(out)
+    }
+
+    /// All statements of one resource as `(property, value)` pairs, subject
+    /// marker excluded.
+    pub fn statements_of(db: &Database, uri: &str) -> Result<Vec<(String, String)>> {
+        let t = db.table(T_STATEMENTS)?;
+        let rows = t.index(IDX_STMT_URI)?.probe(&vec![Value::from(uri)]);
+        let mut out = Vec::new();
+        for rid in rows {
+            let row = t.get(rid)?;
+            let prop = row[2].to_string();
+            if prop != RDF_SUBJECT {
+                out.push((prop, row[3].to_string()));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reconstructs a resource from the base tables. Values that parse as
+    /// URI references into registered resources become reference terms.
+    pub fn resource(db: &Database, uri: &str) -> Result<Option<Resource>> {
+        let Some(class) = Self::resource_class(db, uri)? else {
+            return Ok(None);
+        };
+        let uri_ref = UriRef::from_absolute(uri);
+        let mut res = Resource::new(uri_ref, class);
+        for (prop, value) in Self::statements_of(db, uri)? {
+            let term = if UriRef::parse(&value).is_some() && Self::resource_exists(db, &value)? {
+                Term::resource(UriRef::from_absolute(value))
+            } else {
+                Term::literal(value)
+            };
+            res.add(prop, term);
+        }
+        Ok(Some(res))
+    }
+
+    /// Resources whose `property` value equals `value` exactly, restricted
+    /// to `class` — the reverse-reference probe used by join evaluation.
+    pub fn resources_with_value(
+        db: &Database,
+        class: &str,
+        property: &str,
+        value: &str,
+    ) -> Result<Vec<String>> {
+        let t = db.table(T_STATEMENTS)?;
+        let rows = t.index(IDX_STMT_CPV)?.probe(&vec![
+            Value::from(class),
+            Value::from(property),
+            Value::from(value),
+        ]);
+        rows.into_iter()
+            .map(|rid| Ok(t.get(rid)?[0].to_string()))
+            .collect()
+    }
+
+    /// All `(uri, value)` pairs of a `(class, property)` partition — the
+    /// scan used for non-equality probes.
+    pub fn partition(db: &Database, class: &str, property: &str) -> Result<Vec<(String, String)>> {
+        let t = db.table(T_STATEMENTS)?;
+        let rows = t
+            .index(IDX_STMT_CP)?
+            .probe(&vec![Value::from(class), Value::from(property)]);
+        rows.into_iter()
+            .map(|rid| {
+                let row = t.get(rid)?;
+                Ok((row[0].to_string(), row[3].to_string()))
+            })
+            .collect()
+    }
+
+    // ---- RuleResults (materialization) ----
+
+    pub fn result_contains(db: &Database, rule: RuleId, uri: &str) -> Result<bool> {
+        let t = db.table(T_RULE_RESULTS)?;
+        Ok(!t
+            .index(IDX_RR_PAIR)?
+            .probe(&vec![Value::from(rule.0 as i64), Value::from(uri)])
+            .is_empty())
+    }
+
+    /// Inserts a result tuple; returns false when it was already present.
+    pub fn result_insert(db: &mut Database, rule: RuleId, uri: &str) -> Result<bool> {
+        if Self::result_contains(db, rule, uri)? {
+            return Ok(false);
+        }
+        db.insert(
+            T_RULE_RESULTS,
+            vec![Value::from(rule.0 as i64), Value::from(uri)],
+        )?;
+        Ok(true)
+    }
+
+    /// Removes a result tuple; returns false when it was absent.
+    pub fn result_remove(db: &mut Database, rule: RuleId, uri: &str) -> Result<bool> {
+        let rows = db
+            .table(T_RULE_RESULTS)?
+            .index(IDX_RR_PAIR)?
+            .probe(&vec![Value::from(rule.0 as i64), Value::from(uri)]);
+        let removed = !rows.is_empty();
+        for rid in rows {
+            db.delete(T_RULE_RESULTS, rid)?;
+        }
+        Ok(removed)
+    }
+
+    /// All materialized results of a rule.
+    pub fn results_of(db: &Database, rule: RuleId) -> Result<Vec<String>> {
+        let t = db.table(T_RULE_RESULTS)?;
+        let rows = t
+            .index(IDX_RR_RULE)?
+            .probe(&vec![Value::from(rule.0 as i64)]);
+        rows.into_iter()
+            .map(|rid| Ok(t.get(rid)?[1].to_string()))
+            .collect()
+    }
+
+    /// Drops every materialized result of a rule (rule retraction).
+    pub fn results_drop_rule(db: &mut Database, rule: RuleId) -> Result<usize> {
+        let rows = db
+            .table(T_RULE_RESULTS)?
+            .index(IDX_RR_RULE)?
+            .probe(&vec![Value::from(rule.0 as i64)]);
+        let n = rows.len();
+        for rid in rows {
+            db.delete(T_RULE_RESULTS, rid)?;
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_resource() -> Resource {
+        Resource::new(UriRef::new("doc.rdf", "host"), "CycleProvider")
+            .with("serverHost", Term::literal("pirates.uni-passau.de"))
+            .with("serverPort", Term::literal("5874"))
+            .with(
+                "serverInformation",
+                Term::resource(UriRef::new("doc.rdf", "info")),
+            )
+    }
+
+    fn db_with_sample() -> Database {
+        let mut db = Database::new();
+        create_base_tables(&mut db).unwrap();
+        BaseStore::insert_resource(&mut db, &sample_resource(), "doc.rdf").unwrap();
+        BaseStore::insert_resource(
+            &mut db,
+            &Resource::new(UriRef::new("doc.rdf", "info"), "ServerInformation")
+                .with("memory", Term::literal("92"))
+                .with("cpu", Term::literal("600")),
+            "doc.rdf",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn atoms_match_figure_4() {
+        // Figure 4: seven rows for the Figure 1 document
+        let mut doc = Document::new("doc.rdf");
+        doc.add_resource(sample_resource()).unwrap();
+        doc.add_resource(
+            Resource::new(UriRef::new("doc.rdf", "info"), "ServerInformation")
+                .with("memory", Term::literal("92"))
+                .with("cpu", Term::literal("600")),
+        )
+        .unwrap();
+        let atoms = Atom::from_document(&doc);
+        assert_eq!(atoms.len(), 7);
+        assert_eq!(
+            atoms[0],
+            Atom {
+                uri: "doc.rdf#host".into(),
+                class: "CycleProvider".into(),
+                property: RDF_SUBJECT.into(),
+                value: "doc.rdf#host".into(),
+            }
+        );
+        assert_eq!(atoms[2].property, "serverPort");
+        assert_eq!(atoms[2].value, "5874");
+        assert_eq!(atoms[3].value, "doc.rdf#info");
+        assert_eq!(atoms[5].property, "memory");
+        assert_eq!(atoms[5].value, "92");
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let db = db_with_sample();
+        assert!(BaseStore::resource_exists(&db, "doc.rdf#host").unwrap());
+        assert!(!BaseStore::resource_exists(&db, "doc.rdf#nope").unwrap());
+        assert_eq!(
+            BaseStore::resource_class(&db, "doc.rdf#info")
+                .unwrap()
+                .as_deref(),
+            Some("ServerInformation")
+        );
+        assert_eq!(
+            BaseStore::values_of(&db, "doc.rdf#info", "memory").unwrap(),
+            vec!["92".to_owned()]
+        );
+        assert_eq!(
+            BaseStore::values_of(&db, "doc.rdf#info", RDF_SUBJECT).unwrap(),
+            vec!["doc.rdf#info".to_owned()]
+        );
+        let mut of_class = BaseStore::resources_of_class(&db, "CycleProvider").unwrap();
+        of_class.sort();
+        assert_eq!(of_class, vec!["doc.rdf#host".to_owned()]);
+    }
+
+    #[test]
+    fn reverse_value_probe() {
+        let db = db_with_sample();
+        let holders = BaseStore::resources_with_value(
+            &db,
+            "CycleProvider",
+            "serverInformation",
+            "doc.rdf#info",
+        )
+        .unwrap();
+        assert_eq!(holders, vec!["doc.rdf#host".to_owned()]);
+        let partition = BaseStore::partition(&db, "ServerInformation", "memory").unwrap();
+        assert_eq!(
+            partition,
+            vec![("doc.rdf#info".to_owned(), "92".to_owned())]
+        );
+    }
+
+    #[test]
+    fn remove_resource_cleans_everything() {
+        let mut db = db_with_sample();
+        BaseStore::remove_resource(&mut db, "doc.rdf#host").unwrap();
+        assert!(!BaseStore::resource_exists(&db, "doc.rdf#host").unwrap());
+        assert!(BaseStore::values_of(&db, "doc.rdf#host", "serverPort")
+            .unwrap()
+            .is_empty());
+        // idempotent
+        BaseStore::remove_resource(&mut db, "doc.rdf#host").unwrap();
+    }
+
+    #[test]
+    fn resource_reconstruction() {
+        let db = db_with_sample();
+        let res = BaseStore::resource(&db, "doc.rdf#host").unwrap().unwrap();
+        assert_eq!(res.class(), "CycleProvider");
+        assert_eq!(res.property("serverPort").unwrap().as_int(), Some(5874));
+        // the reference is reconstructed as a reference term
+        assert!(res.property("serverInformation").unwrap().is_resource());
+        assert!(BaseStore::resource(&db, "doc.rdf#nope").unwrap().is_none());
+    }
+
+    #[test]
+    fn rule_results_set_semantics() {
+        let mut db = Database::new();
+        create_base_tables(&mut db).unwrap();
+        let r = RuleId(7);
+        assert!(BaseStore::result_insert(&mut db, r, "a#1").unwrap());
+        assert!(
+            !BaseStore::result_insert(&mut db, r, "a#1").unwrap(),
+            "duplicate rejected"
+        );
+        assert!(BaseStore::result_insert(&mut db, r, "a#2").unwrap());
+        assert!(BaseStore::result_contains(&db, r, "a#1").unwrap());
+        let mut all = BaseStore::results_of(&db, r).unwrap();
+        all.sort();
+        assert_eq!(all, vec!["a#1".to_owned(), "a#2".to_owned()]);
+        assert!(BaseStore::result_remove(&mut db, r, "a#1").unwrap());
+        assert!(!BaseStore::result_remove(&mut db, r, "a#1").unwrap());
+        assert_eq!(BaseStore::results_drop_rule(&mut db, r).unwrap(), 1);
+        assert!(BaseStore::results_of(&db, r).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,523 @@
+//! Updates and deletions (paper §3.5).
+//!
+//! One filter execution is not sufficient when documents change. The engine
+//! runs the filter **three times**:
+//!
+//! 1. with the *original* version of updated and deleted resources as input
+//!    (read-only pass) — its results are the *candidate* resources, each of
+//!    which no longer matches at least one rule via the old data; every
+//!    derivation along the way is retracted from the materializations;
+//! 2. after writing the modified metadata, with the candidate resources as
+//!    input — its results are the *wrong candidates*, i.e. resources that
+//!    still match (re-deriving their materializations);
+//! 3. with the modified metadata as input — the pass that would suffice if
+//!    no updates or deletions were allowed, producing the new matches.
+//!
+//! True candidates (pass 1 minus pass 2) are published as removals; pass 3
+//! results as additions; updated resources cached via strong references are
+//! published as updates to every subscription whose matched closure
+//! contains them.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+use mdv_rdf::{diff, diff_delete_all, Document, DocumentDiff, RDF_SUBJECT};
+
+use crate::atoms::RuleId;
+use crate::engine::{FilterEngine, Mode};
+use crate::error::{Error, Result};
+use crate::registry::{assemble_publications, Publication, SubscriptionId};
+use crate::store::{Atom, BaseStore};
+
+impl FilterEngine {
+    /// Re-registers a modified version of a document (paper §2.2: "updating
+    /// metadata essentially means re-registering a modified version").
+    pub fn update_document(&mut self, new_doc: &Document) -> Result<Vec<Publication>> {
+        let old = self.documents.get(new_doc.uri()).cloned().ok_or_else(|| {
+            Error::Document(format!(
+                "document '{}' is not registered; use register_document",
+                new_doc.uri()
+            ))
+        })?;
+        new_doc.check_internal_references()?;
+        self.schema().validate(new_doc).map_err(Error::Rdf)?;
+        let d = diff(&old, new_doc);
+        // resources added by the update must not belong to other documents
+        for res in &d.added {
+            if BaseStore::resource_exists(&self.db, res.uri().as_str())? {
+                return Err(Error::Document(format!(
+                    "resource '{}' is already registered elsewhere",
+                    res.uri()
+                )));
+            }
+        }
+        self.apply_diff(&d, Some(new_doc))
+    }
+
+    /// Deletes a whole document; all contained resources are deleted
+    /// (paper §3.5).
+    pub fn delete_document(&mut self, uri: &str) -> Result<Vec<Publication>> {
+        let old = self
+            .documents
+            .get(uri)
+            .cloned()
+            .ok_or_else(|| Error::Document(format!("document '{uri}' is not registered")))?;
+        let d = diff_delete_all(&old);
+        self.apply_diff(&d, None)
+    }
+
+    fn apply_diff(
+        &mut self,
+        d: &DocumentDiff,
+        new_doc: Option<&Document>,
+    ) -> Result<Vec<Publication>> {
+        if d.is_empty() {
+            // nothing changed; just refresh the stored document
+            if let Some(doc) = new_doc {
+                self.documents.insert(doc.uri().to_owned(), doc.clone());
+            }
+            return Ok(Vec::new());
+        }
+
+        // ---- pass 1: old state of changed resources (read-only) ----
+        let mut pass1_atoms = Vec::new();
+        for res in &d.deleted {
+            pass1_atoms.extend(Atom::from_resource(res));
+        }
+        for (old_res, _) in &d.updated {
+            pass1_atoms.extend(Atom::from_resource(old_res));
+        }
+        let run1 = self.run_filter(&pass1_atoms, Mode::Collect)?;
+        let before: HashSet<(RuleId, String)> = run1.end_matches.iter().cloned().collect();
+
+        // retract every derivation that involved the changed data
+        let mut retracted: BTreeSet<(RuleId, String)> = BTreeSet::new();
+        for iteration in &run1.iterations {
+            for (uri, rule) in iteration {
+                retracted.insert((*rule, uri.clone()));
+            }
+        }
+        for (rule, uri) in &retracted {
+            BaseStore::result_remove(&mut self.db, *rule, uri)?;
+        }
+
+        // ---- apply the changes to the base tables ----
+        for res in &d.deleted {
+            BaseStore::remove_resource(&mut self.db, res.uri().as_str())?;
+        }
+        for (old_res, new_res) in &d.updated {
+            BaseStore::remove_resource(&mut self.db, old_res.uri().as_str())?;
+            let doc_uri = new_res.uri().document_uri().to_owned();
+            BaseStore::insert_resource(&mut self.db, new_res, &doc_uri)?;
+        }
+        for res in &d.added {
+            let doc_uri = res.uri().document_uri().to_owned();
+            BaseStore::insert_resource(&mut self.db, res, &doc_uri)?;
+        }
+        match new_doc {
+            Some(doc) => {
+                self.documents.insert(doc.uri().to_owned(), doc.clone());
+            }
+            None => {
+                // document deletion: identify the document by any deleted
+                // resource (diff_delete_all lists all of them)
+                if let Some(res) = d.deleted.first() {
+                    self.documents.remove(res.uri().document_uri());
+                }
+            }
+        }
+
+        // ---- pass 2: candidates against the new state ----
+        let candidates: BTreeSet<String> = retracted.iter().map(|(_, uri)| uri.clone()).collect();
+        let mut pass2_atoms = Vec::new();
+        for uri in &candidates {
+            pass2_atoms.extend(self.atoms_from_store(uri)?);
+        }
+        let run2 = self.run_filter(&pass2_atoms, Mode::Refresh)?;
+
+        // ---- pass 3: the modified metadata as input ----
+        let mut pass3_atoms = Vec::new();
+        for res in &d.added {
+            pass3_atoms.extend(Atom::from_resource(res));
+        }
+        for (_, new_res) in &d.updated {
+            pass3_atoms.extend(Atom::from_resource(new_res));
+        }
+        let run3 = self.run_filter(&pass3_atoms, Mode::Insert)?;
+
+        // everything matching under the new state, as far as the passes see:
+        // pass 2 re-derives the candidates' surviving matches, pass 3 adds
+        // matches arising from the modified metadata
+        let survived: HashSet<(RuleId, String)> = run2
+            .end_matches
+            .iter()
+            .chain(run3.end_matches.iter())
+            .cloned()
+            .collect();
+
+        // ---- classify per subscription ----
+        let mut pubs: BTreeMap<SubscriptionId, Publication> = BTreeMap::new();
+        let push = |pubs: &mut BTreeMap<SubscriptionId, Publication>,
+                    subs: &[SubscriptionId],
+                    f: &dyn Fn(&mut Publication)| {
+            for sub in subs {
+                f(pubs.entry(*sub).or_insert_with(|| Publication::new(*sub)));
+            }
+        };
+
+        // removals: matched before via old data, not re-derived anywhere
+        for (rule, uri) in &before {
+            if !survived.contains(&(*rule, uri.clone())) {
+                if let Some(subs) = self.end_subs.get(rule) {
+                    let subs = subs.clone();
+                    let uri = uri.clone();
+                    push(&mut pubs, &subs, &|p| p.removed.push(uri.clone()));
+                }
+            }
+        }
+        // additions: matches under the new state that did not exist before
+        for (rule, uri) in &survived {
+            if before.contains(&(*rule, uri.clone())) {
+                continue;
+            }
+            if let Some(subs) = self.end_subs.get(rule) {
+                let subs = subs.clone();
+                let uri = uri.clone();
+                push(&mut pubs, &subs, &|p| p.added.push(uri.clone()));
+            }
+        }
+        // updates: an updated resource must be re-shipped to every
+        // subscription whose matched resources reach it over strong
+        // references (it sits in their cached closure, §2.4)
+        let updated_uris: Vec<String> =
+            d.updated.iter().map(|(_, n)| n.uri().to_string()).collect();
+        for u in &updated_uris {
+            let referrers = self.strong_referrers(u)?;
+            let end_rules: Vec<RuleId> = self.end_subs.keys().copied().collect();
+            for end in end_rules {
+                let mut reaches = false;
+                for r in &referrers {
+                    let key = (end, r.clone());
+                    if survived.contains(&key) {
+                        reaches = true;
+                        break;
+                    }
+                    // not re-derived this round: consult the current state
+                    if self.check_match(end, r)? {
+                        reaches = true;
+                        break;
+                    }
+                }
+                if reaches {
+                    if let Some(subs) = self.end_subs.get(&end) {
+                        let subs = subs.clone();
+                        let u = u.clone();
+                        push(&mut pubs, &subs, &|p| p.updated.push(u.clone()));
+                    }
+                }
+            }
+        }
+
+        Ok(assemble_publications(pubs))
+    }
+
+    /// Rebuilds a resource's atoms from the base tables (candidate input of
+    /// pass 2; the resource may live in any document).
+    fn atoms_from_store(&self, uri: &str) -> Result<Vec<Atom>> {
+        let Some(class) = BaseStore::resource_class(&self.db, uri)? else {
+            return Ok(Vec::new()); // deleted candidates have no atoms
+        };
+        let mut atoms = vec![Atom {
+            uri: uri.to_owned(),
+            class: class.clone(),
+            property: RDF_SUBJECT.to_owned(),
+            value: uri.to_owned(),
+        }];
+        for (property, value) in BaseStore::statements_of(&self.db, uri)? {
+            atoms.push(Atom {
+                uri: uri.to_owned(),
+                class: class.clone(),
+                property,
+                value,
+            });
+        }
+        Ok(atoms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdv_rdf::{RdfSchema, Resource, Term, UriRef};
+
+    fn schema() -> RdfSchema {
+        RdfSchema::builder()
+            .class("ServerInformation", |c| c.int("memory").int("cpu"))
+            .class("CycleProvider", |c| {
+                c.str("serverHost")
+                    .int("serverPort")
+                    .strong_ref("serverInformation", "ServerInformation")
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn doc(memory: i64) -> Document {
+        Document::new("doc.rdf")
+            .with_resource(
+                Resource::new(UriRef::new("doc.rdf", "host"), "CycleProvider")
+                    .with("serverHost", Term::literal("pirates.uni-passau.de"))
+                    .with("serverPort", Term::literal("5874"))
+                    .with(
+                        "serverInformation",
+                        Term::resource(UriRef::new("doc.rdf", "info")),
+                    ),
+            )
+            .with_resource(
+                Resource::new(UriRef::new("doc.rdf", "info"), "ServerInformation")
+                    .with("memory", Term::literal(memory.to_string()))
+                    .with("cpu", Term::literal("600")),
+            )
+    }
+
+    const PATH_RULE: &str =
+        "search CycleProvider c register c where c.serverInformation.memory > 64";
+
+    #[test]
+    fn referenced_update_gains_match() {
+        // §3.5: "if the ServerInformation resource's memory property is
+        // updated from 32 to 128, CycleProvider resources can now match"
+        let mut e = FilterEngine::new(schema());
+        let (sub, _) = e.register_subscription(PATH_RULE).unwrap();
+        assert!(e.register_document(&doc(32)).unwrap().is_empty());
+        let pubs = e.update_document(&doc(128)).unwrap();
+        assert_eq!(pubs.len(), 1);
+        assert_eq!(pubs[0].subscription, sub);
+        assert_eq!(pubs[0].added, vec!["doc.rdf#host".to_owned()]);
+        assert!(pubs[0].removed.is_empty());
+    }
+
+    #[test]
+    fn referenced_update_loses_match() {
+        // memory set from 92 to 32: the CycleProvider no longer matches
+        let mut e = FilterEngine::new(schema());
+        e.register_subscription(PATH_RULE).unwrap();
+        let pubs = e.register_document(&doc(92)).unwrap();
+        assert_eq!(pubs[0].added, vec!["doc.rdf#host".to_owned()]);
+        let pubs = e.update_document(&doc(32)).unwrap();
+        assert_eq!(pubs.len(), 1);
+        assert_eq!(pubs[0].removed, vec!["doc.rdf#host".to_owned()]);
+        assert!(pubs[0].added.is_empty());
+    }
+
+    #[test]
+    fn still_matching_update_ships_new_version() {
+        // memory 92 → 128: still matching; the updated ServerInformation is
+        // in the subscription's strong closure and must be re-shipped
+        let mut e = FilterEngine::new(schema());
+        e.register_subscription(PATH_RULE).unwrap();
+        e.register_document(&doc(92)).unwrap();
+        let pubs = e.update_document(&doc(128)).unwrap();
+        assert_eq!(pubs.len(), 1);
+        assert!(pubs[0].added.is_empty());
+        assert!(pubs[0].removed.is_empty());
+        assert_eq!(pubs[0].updated, vec!["doc.rdf#info".to_owned()]);
+    }
+
+    #[test]
+    fn alternative_derivation_survives_update() {
+        // a CycleProvider referencing two ServerInformations stays matched
+        // when one of them drops below the threshold
+        let schema = RdfSchema::builder()
+            .class("ServerInformation", |c| c.int("memory").int("cpu"))
+            .class("CycleProvider", |c| {
+                c.str("serverHost")
+                    .strong_ref_set("serverInformation", "ServerInformation")
+            })
+            .build()
+            .unwrap();
+        let make = |m1: i64, m2: i64| {
+            Document::new("d.rdf")
+                .with_resource(
+                    Resource::new(UriRef::new("d.rdf", "host"), "CycleProvider")
+                        .with("serverHost", Term::literal("h"))
+                        .with(
+                            "serverInformation",
+                            Term::resource(UriRef::new("d.rdf", "i1")),
+                        )
+                        .with(
+                            "serverInformation",
+                            Term::resource(UriRef::new("d.rdf", "i2")),
+                        ),
+                )
+                .with_resource(
+                    Resource::new(UriRef::new("d.rdf", "i1"), "ServerInformation")
+                        .with("memory", Term::literal(m1.to_string()))
+                        .with("cpu", Term::literal("1")),
+                )
+                .with_resource(
+                    Resource::new(UriRef::new("d.rdf", "i2"), "ServerInformation")
+                        .with("memory", Term::literal(m2.to_string()))
+                        .with("cpu", Term::literal("1")),
+                )
+        };
+        let mut e = FilterEngine::new(schema);
+        e.register_subscription(
+            "search CycleProvider c register c where c.serverInformation?.memory > 64",
+        )
+        .unwrap();
+        let pubs = e.register_document(&make(92, 128)).unwrap();
+        assert_eq!(pubs[0].added, vec!["d.rdf#host".to_owned()]);
+        // i1 drops to 32 but i2 still qualifies: no removal; i1 is updated
+        // and still strongly referenced, so it ships as an update
+        let pubs = e.update_document(&make(32, 128)).unwrap();
+        assert_eq!(pubs.len(), 1);
+        assert!(
+            pubs[0].removed.is_empty(),
+            "host still matches via i2: {pubs:?}"
+        );
+        assert_eq!(pubs[0].updated, vec!["d.rdf#i1".to_owned()]);
+        // now both drop: removal of host
+        let pubs = e.update_document(&make(32, 16)).unwrap();
+        assert_eq!(pubs[0].removed, vec!["d.rdf#host".to_owned()]);
+    }
+
+    #[test]
+    fn delete_document_removes_matches() {
+        let mut e = FilterEngine::new(schema());
+        e.register_subscription(PATH_RULE).unwrap();
+        e.register_document(&doc(92)).unwrap();
+        let pubs = e.delete_document("doc.rdf").unwrap();
+        assert_eq!(pubs.len(), 1);
+        assert_eq!(pubs[0].removed, vec!["doc.rdf#host".to_owned()]);
+        // base tables are clean; the document can be re-registered
+        assert_eq!(e.db().table("Resources").unwrap().len(), 0);
+        assert_eq!(e.db().table("Statements").unwrap().len(), 0);
+        assert_eq!(e.db().table("RuleResults").unwrap().len(), 0);
+        let pubs = e.register_document(&doc(92)).unwrap();
+        assert_eq!(pubs[0].added, vec!["doc.rdf#host".to_owned()]);
+    }
+
+    #[test]
+    fn update_unknown_document_rejected() {
+        let mut e = FilterEngine::new(schema());
+        assert!(matches!(
+            e.update_document(&doc(92)),
+            Err(Error::Document(_))
+        ));
+        assert!(matches!(
+            e.delete_document("doc.rdf"),
+            Err(Error::Document(_))
+        ));
+    }
+
+    #[test]
+    fn no_change_update_is_silent() {
+        let mut e = FilterEngine::new(schema());
+        e.register_subscription(PATH_RULE).unwrap();
+        e.register_document(&doc(92)).unwrap();
+        assert!(e.update_document(&doc(92)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn update_adding_resources_publishes_them() {
+        let mut e = FilterEngine::new(schema());
+        e.register_subscription("search ServerInformation s register s where s.memory > 64")
+            .unwrap();
+        e.register_document(&doc(92)).unwrap();
+        // add a second ServerInformation to the document
+        let mut new_doc = doc(92);
+        new_doc
+            .add_resource(
+                Resource::new(UriRef::new("doc.rdf", "info2"), "ServerInformation")
+                    .with("memory", Term::literal("256"))
+                    .with("cpu", Term::literal("1")),
+            )
+            .unwrap();
+        let pubs = e.update_document(&new_doc).unwrap();
+        assert_eq!(pubs.len(), 1);
+        assert_eq!(pubs[0].added, vec!["doc.rdf#info2".to_owned()]);
+    }
+
+    #[test]
+    fn update_removing_resource_publishes_removal() {
+        let mut e = FilterEngine::new(schema());
+        e.register_subscription("search ServerInformation s register s where s.memory > 64")
+            .unwrap();
+        e.register_document(&doc(92)).unwrap();
+        // drop the info resource (and the reference to it)
+        let new_doc = Document::new("doc.rdf").with_resource(
+            Resource::new(UriRef::new("doc.rdf", "host"), "CycleProvider")
+                .with("serverHost", Term::literal("pirates.uni-passau.de"))
+                .with("serverPort", Term::literal("5874")),
+        );
+        let pubs = e.update_document(&new_doc).unwrap();
+        assert_eq!(pubs.len(), 1);
+        assert_eq!(pubs[0].removed, vec!["doc.rdf#info".to_owned()]);
+    }
+
+    #[test]
+    fn oid_subscription_sees_update_lifecycle() {
+        let mut e = FilterEngine::new(schema());
+        let (_sub, _) = e
+            .register_subscription("search CycleProvider c register c where c = 'doc.rdf#host'")
+            .unwrap();
+        let pubs = e.register_document(&doc(92)).unwrap();
+        assert_eq!(pubs[0].added, vec!["doc.rdf#host".to_owned()]);
+        // host itself updated (port change): still matches OID → update
+        let mut new_doc = Document::new("doc.rdf").with_resource(
+            Resource::new(UriRef::new("doc.rdf", "host"), "CycleProvider")
+                .with("serverHost", Term::literal("pirates.uni-passau.de"))
+                .with("serverPort", Term::literal("9999"))
+                .with(
+                    "serverInformation",
+                    Term::resource(UriRef::new("doc.rdf", "info")),
+                ),
+        );
+        new_doc
+            .add_resource(
+                Resource::new(UriRef::new("doc.rdf", "info"), "ServerInformation")
+                    .with("memory", Term::literal("92"))
+                    .with("cpu", Term::literal("600")),
+            )
+            .unwrap();
+        let pubs = e.update_document(&new_doc).unwrap();
+        assert_eq!(pubs.len(), 1);
+        assert_eq!(pubs[0].updated, vec!["doc.rdf#host".to_owned()]);
+        // deletion removes it
+        let pubs = e.delete_document("doc.rdf").unwrap();
+        assert_eq!(pubs[0].removed, vec!["doc.rdf#host".to_owned()]);
+    }
+
+    #[test]
+    fn materializations_stay_consistent_after_updates() {
+        // after a lose-then-gain cycle the engine's incremental state must
+        // equal a from-scratch registration
+        let mut e = FilterEngine::new(schema());
+        e.register_subscription(PATH_RULE).unwrap();
+        e.register_document(&doc(92)).unwrap();
+        e.update_document(&doc(32)).unwrap();
+        e.update_document(&doc(128)).unwrap();
+
+        let mut fresh = FilterEngine::new(schema());
+        fresh.register_subscription(PATH_RULE).unwrap();
+        fresh.register_document(&doc(128)).unwrap();
+
+        let mut a: Vec<_> = e
+            .db()
+            .table("RuleResults")
+            .unwrap()
+            .iter()
+            .map(|(_, row)| format!("{row:?}"))
+            .collect();
+        let mut b: Vec<_> = fresh
+            .db()
+            .table("RuleResults")
+            .unwrap()
+            .iter()
+            .map(|(_, row)| format!("{row:?}"))
+            .collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+}

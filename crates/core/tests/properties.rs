@@ -1,0 +1,312 @@
+//! Property-based tests of the filter algorithm against random workloads.
+//!
+//! The central oracle: the incremental, index-driven [`FilterEngine`] must
+//! produce exactly the matches of the [`NaiveEngine`] baseline (which
+//! evaluates every rule against every new resource), for any rule base and
+//! any batch of documents.
+
+use proptest::prelude::*;
+
+use mdv_filter::{FilterConfig, FilterEngine, NaiveEngine};
+use mdv_rdf::{Document, RdfSchema, Resource, Term, UriRef};
+
+fn schema() -> RdfSchema {
+    RdfSchema::builder()
+        .class("ServerInformation", |c| c.int("memory").int("cpu"))
+        .class("CycleProvider", |c| {
+            c.str("serverHost")
+                .int("serverPort")
+                .strong_ref("serverInformation", "ServerInformation")
+        })
+        .build()
+        .unwrap()
+}
+
+#[derive(Debug, Clone)]
+struct DocSpec {
+    host: String,
+    port: i64,
+    memory: i64,
+    cpu: i64,
+}
+
+fn arb_doc_spec() -> impl Strategy<Value = DocSpec> {
+    ("[a-c]{1,3}\\.(org|de)", 1i64..10, 0i64..200, 0i64..1000).prop_map(
+        |(host, port, memory, cpu)| DocSpec {
+            host,
+            port,
+            memory,
+            cpu,
+        },
+    )
+}
+
+fn make_doc(i: usize, s: &DocSpec) -> Document {
+    let uri = format!("doc{i}.rdf");
+    Document::new(uri.clone())
+        .with_resource(
+            Resource::new(UriRef::new(&uri, "host"), "CycleProvider")
+                .with("serverHost", Term::literal(&s.host))
+                .with("serverPort", Term::literal(s.port.to_string()))
+                .with(
+                    "serverInformation",
+                    Term::resource(UriRef::new(&uri, "info")),
+                ),
+        )
+        .with_resource(
+            Resource::new(UriRef::new(&uri, "info"), "ServerInformation")
+                .with("memory", Term::literal(s.memory.to_string()))
+                .with("cpu", Term::literal(s.cpu.to_string())),
+        )
+}
+
+/// Rules drawn from the paper's benchmark shapes (Figure 10) with random
+/// parameters, plus join and or-variants.
+fn arb_rule() -> impl Strategy<Value = String> {
+    prop_oneof![
+        // OID
+        (0usize..20)
+            .prop_map(|i| format!("search CycleProvider c register c where c = 'doc{i}.rdf#host'")),
+        // COMP
+        (0i64..10)
+            .prop_map(|v| format!("search CycleProvider c register c where c.serverPort > {v}")),
+        // PATH (equality and ordering)
+        (0i64..200).prop_map(|v| format!(
+            "search CycleProvider c register c where c.serverInformation.memory = {v}"
+        )),
+        (0i64..200).prop_map(|v| format!(
+            "search CycleProvider c register c where c.serverInformation.memory > {v}"
+        )),
+        // JOIN
+        (0i64..200, 0i64..1000).prop_map(|(m, c)| format!(
+            "search CycleProvider c register c \
+             where c.serverHost contains '.org' \
+             and c.serverInformation.memory >= {m} and c.serverInformation.cpu < {c}"
+        )),
+        // contains
+        "[a-c.]{1,3}".prop_map(|p| format!(
+            "search CycleProvider c register c where c.serverHost contains '{p}'"
+        )),
+        // register the referenced side
+        (0i64..200)
+            .prop_map(|v| format!("search ServerInformation s register s where s.memory <= {v}")),
+        // or-rule
+        (0i64..200, 0i64..1000).prop_map(|(m, c)| format!(
+            "search CycleProvider c register c \
+             where c.serverInformation.memory > {m} or c.serverInformation.cpu > {c}"
+        )),
+    ]
+}
+
+fn added_matches(pubs: &[mdv_filter::Publication]) -> Vec<(u64, String)> {
+    let mut out: Vec<(u64, String)> = pubs
+        .iter()
+        .flat_map(|p| p.added.iter().map(move |u| (p.subscription.0, u.clone())))
+        .collect();
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Filter and naive baseline agree on arbitrary rule bases and batches.
+    #[test]
+    fn filter_equals_naive(
+        rules in prop::collection::vec(arb_rule(), 1..8),
+        specs in prop::collection::vec(arb_doc_spec(), 1..10),
+    ) {
+        let mut filter = FilterEngine::new(schema());
+        let mut naive = NaiveEngine::new(schema());
+        for r in &rules {
+            // subscription ids stay aligned because both engines assign
+            // sequentially
+            filter.register_subscription(r).unwrap();
+            naive.register_subscription(r).unwrap();
+        }
+        let docs: Vec<Document> =
+            specs.iter().enumerate().map(|(i, s)| make_doc(i, s)).collect();
+        let a = filter.register_batch(&docs).unwrap();
+        let b = naive.register_batch(&docs).unwrap();
+        prop_assert_eq!(added_matches(&a), added_matches(&b));
+    }
+
+    /// Rule groups are a pure optimization: identical output with groups
+    /// disabled.
+    #[test]
+    fn rule_groups_are_transparent(
+        rules in prop::collection::vec(arb_rule(), 1..6),
+        specs in prop::collection::vec(arb_doc_spec(), 1..8),
+    ) {
+        let mut grouped = FilterEngine::new(schema());
+        let mut ungrouped =
+            FilterEngine::with_config(schema(), FilterConfig { use_rule_groups: false });
+        for r in &rules {
+            grouped.register_subscription(r).unwrap();
+            ungrouped.register_subscription(r).unwrap();
+        }
+        let docs: Vec<Document> =
+            specs.iter().enumerate().map(|(i, s)| make_doc(i, s)).collect();
+        let a = grouped.register_batch(&docs).unwrap();
+        let b = ungrouped.register_batch(&docs).unwrap();
+        prop_assert_eq!(added_matches(&a), added_matches(&b));
+    }
+
+    /// Batched registration equals one-document-at-a-time registration.
+    #[test]
+    fn batching_is_transparent(
+        rules in prop::collection::vec(arb_rule(), 1..6),
+        specs in prop::collection::vec(arb_doc_spec(), 1..8),
+    ) {
+        let docs: Vec<Document> =
+            specs.iter().enumerate().map(|(i, s)| make_doc(i, s)).collect();
+        let mut batch = FilterEngine::new(schema());
+        let mut seq = FilterEngine::new(schema());
+        for r in &rules {
+            batch.register_subscription(r).unwrap();
+            seq.register_subscription(r).unwrap();
+        }
+        let a = added_matches(&batch.register_batch(&docs).unwrap());
+        let mut b = Vec::new();
+        for d in &docs {
+            b.extend(added_matches(&seq.register_document(d).unwrap()));
+        }
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Registering rules before or after the data yields the same matches
+    /// (backfill equals live filtering).
+    #[test]
+    fn backfill_equals_live(
+        rules in prop::collection::vec(arb_rule(), 1..6),
+        specs in prop::collection::vec(arb_doc_spec(), 1..8),
+    ) {
+        let docs: Vec<Document> =
+            specs.iter().enumerate().map(|(i, s)| make_doc(i, s)).collect();
+
+        // live: rules first, then data
+        let mut live = FilterEngine::new(schema());
+        for r in &rules {
+            live.register_subscription(r).unwrap();
+        }
+        let live_matches = added_matches(&live.register_batch(&docs).unwrap());
+
+        // backfill: data first, then rules
+        let mut back = FilterEngine::new(schema());
+        back.register_batch(&docs).unwrap();
+        let mut back_matches = Vec::new();
+        for (i, r) in rules.iter().enumerate() {
+            let (_, initial) = back.register_subscription(r).unwrap();
+            back_matches.extend(initial.into_iter().map(|u| (i as u64, u)));
+        }
+        back_matches.sort();
+        prop_assert_eq!(live_matches, back_matches);
+    }
+
+    /// An update cycle (register → update → update back) converges to the
+    /// same engine-visible state as registering the final version directly.
+    #[test]
+    fn update_converges_to_fresh_state(
+        rules in prop::collection::vec(arb_rule(), 1..5),
+        spec_a in arb_doc_spec(),
+        spec_b in arb_doc_spec(),
+    ) {
+        let mut engine = FilterEngine::new(schema());
+        for r in &rules {
+            engine.register_subscription(r).unwrap();
+        }
+        engine.register_document(&make_doc(0, &spec_a)).unwrap();
+        engine.update_document(&make_doc(0, &spec_b)).unwrap();
+
+        let mut fresh = FilterEngine::new(schema());
+        for r in &rules {
+            fresh.register_subscription(r).unwrap();
+        }
+        fresh.register_document(&make_doc(0, &spec_b)).unwrap();
+
+        // the materialized state agrees
+        let dump = |e: &FilterEngine| {
+            let mut rows: Vec<String> = e
+                .db()
+                .table("RuleResults")
+                .unwrap()
+                .iter()
+                .map(|(_, r)| format!("{r:?}"))
+                .collect();
+            rows.sort();
+            rows
+        };
+        prop_assert_eq!(dump(&engine), dump(&fresh));
+        // and each end rule's current matches agree via check_match
+        let subs: Vec<_> = engine.subscriptions().map(|s| s.end_rules.clone()).collect();
+        for ends in subs {
+            for end in ends {
+                let a = engine.check_match(end, "doc0.rdf#host").unwrap();
+                let b = fresh.check_match(end, "doc0.rdf#host").unwrap();
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+
+    /// Unregistering everything leaves an empty graph and empty rule tables.
+    #[test]
+    fn unregister_all_is_clean(
+        rules in prop::collection::vec(arb_rule(), 1..6),
+        specs in prop::collection::vec(arb_doc_spec(), 0..5),
+    ) {
+        let mut engine = FilterEngine::new(schema());
+        let docs: Vec<Document> =
+            specs.iter().enumerate().map(|(i, s)| make_doc(i, s)).collect();
+        engine.register_batch(&docs).unwrap();
+        let mut subs = Vec::new();
+        for r in &rules {
+            subs.push(engine.register_subscription(r).unwrap().0);
+        }
+        for s in subs {
+            engine.unregister_subscription(s).unwrap();
+        }
+        prop_assert!(engine.graph().is_empty());
+        prop_assert_eq!(engine.db().table("AtomicRules").unwrap().len(), 0);
+        prop_assert_eq!(engine.db().table("RuleDependencies").unwrap().len(), 0);
+        prop_assert_eq!(engine.db().table("RuleGroups").unwrap().len(), 0);
+        prop_assert_eq!(engine.db().table("RuleResults").unwrap().len(), 0);
+        for t in ["FilterRules", "FilterRulesEQ", "FilterRulesGT", "FilterRulesCON"] {
+            prop_assert_eq!(engine.db().table(t).unwrap().len(), 0);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The SQL translation of a query returns exactly what the direct
+    /// evaluator returns, for arbitrary rule bases and data.
+    #[test]
+    fn sql_translation_agrees_with_direct_evaluation(
+        rules in prop::collection::vec(arb_rule(), 1..6),
+        specs in prop::collection::vec(arb_doc_spec(), 0..8),
+    ) {
+        use mdv_filter::{query_eval, sql_translate};
+        use mdv_rulelang::{normalize, parse_rule, split_or};
+
+        let s = schema();
+        let mut engine = FilterEngine::new(s.clone());
+        let docs: Vec<Document> =
+            specs.iter().enumerate().map(|(i, sp)| make_doc(i, sp)).collect();
+        engine.register_batch(&docs).unwrap();
+
+        for rule_text in &rules {
+            for conj in split_or(&parse_rule(rule_text).unwrap()) {
+                let n = match normalize(&conj, &s) {
+                    Ok(n) => n,
+                    Err(mdv_rulelang::Error::Unsatisfiable) => continue,
+                    Err(e) => panic!("bad rule: {e}"),
+                };
+                let direct = query_eval::evaluate(engine.db(), &s, &n).unwrap();
+                let via_sql = sql_translate::evaluate_via_sql(engine.db(), &s, &n).unwrap();
+                prop_assert_eq!(direct, via_sql, "divergence for: {}", conj);
+            }
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Document diffing: detects added, updated, and deleted resources when a
+//! document is re-registered.
+//!
+//! Paper §3.5: "Updated and deleted resources can be determined by comparing
+//! the original RDF document with the updated, re-registered one. A resource
+//! is updated if it is contained in both documents, but at least one property
+//! is changed, added, or removed. A resource is deleted if it was contained
+//! in the original document but it is no more in the updated one."
+
+use std::collections::HashMap;
+
+use crate::document::Document;
+use crate::resource::Resource;
+use crate::uri::UriRef;
+
+/// The difference between two versions of the same document.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DocumentDiff {
+    /// Resources present only in the new version.
+    pub added: Vec<Resource>,
+    /// Resources present in both versions with changed content:
+    /// `(old, new)` pairs.
+    pub updated: Vec<(Resource, Resource)>,
+    /// Resources present only in the old version.
+    pub deleted: Vec<Resource>,
+    /// Resources present in both versions with identical content.
+    pub unchanged: Vec<UriRef>,
+}
+
+impl DocumentDiff {
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.updated.is_empty() && self.deleted.is_empty()
+    }
+}
+
+/// Computes the diff from `old` to `new`. Both documents must share a URI;
+/// resources are matched by URI reference.
+pub fn diff(old: &Document, new: &Document) -> DocumentDiff {
+    debug_assert_eq!(
+        old.uri(),
+        new.uri(),
+        "diff requires two versions of one document"
+    );
+    let old_by_uri: HashMap<&UriRef, &Resource> =
+        old.resources().iter().map(|r| (r.uri(), r)).collect();
+    let new_by_uri: HashMap<&UriRef, &Resource> =
+        new.resources().iter().map(|r| (r.uri(), r)).collect();
+
+    let mut out = DocumentDiff::default();
+    for res in new.resources() {
+        match old_by_uri.get(res.uri()) {
+            None => out.added.push(res.clone()),
+            Some(old_res) if old_res.same_content(res) => out.unchanged.push(res.uri().clone()),
+            Some(old_res) => out.updated.push(((*old_res).clone(), res.clone())),
+        }
+    }
+    for res in old.resources() {
+        if !new_by_uri.contains_key(res.uri()) {
+            out.deleted.push(res.clone());
+        }
+    }
+    out
+}
+
+/// The diff produced by deleting a whole document: every resource deleted
+/// (paper §3.5: "If a complete document is deleted all contained resources
+/// are deleted").
+pub fn diff_delete_all(old: &Document) -> DocumentDiff {
+    DocumentDiff {
+        deleted: old.resources().to_vec(),
+        ..DocumentDiff::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn doc(resources: Vec<Resource>) -> Document {
+        let mut d = Document::new("doc.rdf");
+        for r in resources {
+            d.add_resource(r).unwrap();
+        }
+        d
+    }
+
+    fn res(id: &str, class: &str, props: &[(&str, &str)]) -> Resource {
+        let mut r = Resource::new(UriRef::new("doc.rdf", id), class);
+        for (p, v) in props {
+            r.add(*p, Term::literal(*v));
+        }
+        r
+    }
+
+    #[test]
+    fn identical_documents_diff_empty() {
+        let a = doc(vec![res("x", "C", &[("p", "1")])]);
+        let d = diff(&a, &a.clone());
+        assert!(d.is_empty());
+        assert_eq!(d.unchanged.len(), 1);
+    }
+
+    #[test]
+    fn added_resource_detected() {
+        let old = doc(vec![res("x", "C", &[])]);
+        let new = doc(vec![res("x", "C", &[]), res("y", "C", &[])]);
+        let d = diff(&old, &new);
+        assert_eq!(d.added.len(), 1);
+        assert_eq!(d.added[0].uri().local_id(), "y");
+        assert!(d.updated.is_empty() && d.deleted.is_empty());
+    }
+
+    #[test]
+    fn property_change_is_update() {
+        let old = doc(vec![res("x", "C", &[("memory", "32")])]);
+        let new = doc(vec![res("x", "C", &[("memory", "128")])]);
+        let d = diff(&old, &new);
+        assert_eq!(d.updated.len(), 1);
+        let (o, n) = &d.updated[0];
+        assert_eq!(o.property("memory").unwrap().as_int(), Some(32));
+        assert_eq!(n.property("memory").unwrap().as_int(), Some(128));
+    }
+
+    #[test]
+    fn property_addition_and_removal_are_updates() {
+        let old = doc(vec![res("x", "C", &[("p", "1")])]);
+        let added_prop = doc(vec![res("x", "C", &[("p", "1"), ("q", "2")])]);
+        assert_eq!(diff(&old, &added_prop).updated.len(), 1);
+        let removed_prop = doc(vec![res("x", "C", &[])]);
+        assert_eq!(diff(&old, &removed_prop).updated.len(), 1);
+    }
+
+    #[test]
+    fn removed_resource_detected() {
+        let old = doc(vec![res("x", "C", &[]), res("y", "C", &[])]);
+        let new = doc(vec![res("x", "C", &[])]);
+        let d = diff(&old, &new);
+        assert_eq!(d.deleted.len(), 1);
+        assert_eq!(d.deleted[0].uri().local_id(), "y");
+    }
+
+    #[test]
+    fn delete_all_lists_every_resource() {
+        let old = doc(vec![res("x", "C", &[]), res("y", "C", &[])]);
+        let d = diff_delete_all(&old);
+        assert_eq!(d.deleted.len(), 2);
+        assert!(d.added.is_empty() && d.updated.is_empty());
+    }
+
+    #[test]
+    fn property_order_is_not_an_update() {
+        let old = doc(vec![res("x", "C", &[("p", "1"), ("q", "2")])]);
+        let new = doc(vec![res("x", "C", &[("q", "2"), ("p", "1")])]);
+        assert!(diff(&old, &new).is_empty());
+    }
+}

@@ -1,0 +1,180 @@
+//! RDF documents: the unit of metadata registration, update, and deletion
+//! (paper §2.2 — "registering new metadata … within a valid RDF document").
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::{Error, Result};
+use crate::resource::Resource;
+use crate::statement::Statement;
+use crate::uri::UriRef;
+
+/// An RDF document: a URI plus the resources it defines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    uri: String,
+    resources: Vec<Resource>,
+}
+
+impl Document {
+    pub fn new(uri: impl Into<String>) -> Self {
+        Document {
+            uri: uri.into(),
+            resources: Vec::new(),
+        }
+    }
+
+    /// Adds a resource. Its URI reference must belong to this document and
+    /// must not collide with an existing resource.
+    pub fn add_resource(&mut self, resource: Resource) -> Result<()> {
+        if resource.uri().document_uri() != self.uri {
+            return Err(Error::ForeignResource {
+                document: self.uri.clone(),
+                resource: resource.uri().to_string(),
+            });
+        }
+        if self.resources.iter().any(|r| r.uri() == resource.uri()) {
+            return Err(Error::DuplicateResource(resource.uri().to_string()));
+        }
+        self.resources.push(resource);
+        Ok(())
+    }
+
+    /// Builder-style resource addition; panics on the errors `add_resource`
+    /// reports (intended for literals in tests and examples).
+    pub fn with_resource(mut self, resource: Resource) -> Self {
+        self.add_resource(resource)
+            .expect("valid resource for document");
+        self
+    }
+
+    pub fn uri(&self) -> &str {
+        &self.uri
+    }
+
+    pub fn resources(&self) -> &[Resource] {
+        &self.resources
+    }
+
+    pub fn resource(&self, uri: &UriRef) -> Option<&Resource> {
+        self.resources.iter().find(|r| r.uri() == uri)
+    }
+
+    /// Decomposes the whole document into statements (paper §3.2): per
+    /// resource, the subject marker plus one statement per property.
+    pub fn statements(&self) -> Vec<Statement> {
+        self.resources.iter().flat_map(|r| r.statements()).collect()
+    }
+
+    /// Checks internal referential consistency: every reference into this
+    /// document's URI space must target a resource the document defines.
+    /// References to *other* documents are allowed (RDF does not distinguish
+    /// nested and external references).
+    pub fn check_internal_references(&self) -> Result<()> {
+        let defined: HashMap<&str, ()> = self
+            .resources
+            .iter()
+            .map(|r| (r.uri().as_str(), ()))
+            .collect();
+        for r in self.resources() {
+            for (_, target) in r.references() {
+                if target.document_uri() == self.uri && !defined.contains_key(target.as_str()) {
+                    return Err(Error::DanglingReference {
+                        from: r.uri().to_string(),
+                        to: target.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Document {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "document {}", self.uri)?;
+        for r in &self.resources {
+            write!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn doc() -> Document {
+        Document::new("doc.rdf")
+            .with_resource(
+                Resource::new(UriRef::new("doc.rdf", "host"), "CycleProvider").with(
+                    "serverInformation",
+                    Term::resource(UriRef::new("doc.rdf", "info")),
+                ),
+            )
+            .with_resource(
+                Resource::new(UriRef::new("doc.rdf", "info"), "ServerInformation")
+                    .with("memory", Term::literal("92")),
+            )
+    }
+
+    #[test]
+    fn resources_and_lookup() {
+        let d = doc();
+        assert_eq!(d.resources().len(), 2);
+        assert!(d.resource(&UriRef::new("doc.rdf", "info")).is_some());
+        assert!(d.resource(&UriRef::new("doc.rdf", "nope")).is_none());
+    }
+
+    #[test]
+    fn foreign_resource_rejected() {
+        let mut d = Document::new("doc.rdf");
+        let err = d
+            .add_resource(Resource::new(UriRef::new("other.rdf", "x"), "C"))
+            .unwrap_err();
+        assert!(matches!(err, Error::ForeignResource { .. }));
+    }
+
+    #[test]
+    fn duplicate_resource_rejected() {
+        let mut d = doc();
+        let err = d
+            .add_resource(Resource::new(
+                UriRef::new("doc.rdf", "host"),
+                "CycleProvider",
+            ))
+            .unwrap_err();
+        assert!(matches!(err, Error::DuplicateResource(_)));
+    }
+
+    #[test]
+    fn statements_concatenate_resources() {
+        let stmts = doc().statements();
+        // host: marker + serverInformation; info: marker + memory
+        assert_eq!(stmts.len(), 4);
+    }
+
+    #[test]
+    fn internal_reference_check() {
+        doc().check_internal_references().unwrap();
+        let bad = Document::new("doc.rdf").with_resource(
+            Resource::new(UriRef::new("doc.rdf", "host"), "CycleProvider").with(
+                "serverInformation",
+                Term::resource(UriRef::new("doc.rdf", "missing")),
+            ),
+        );
+        assert!(matches!(
+            bad.check_internal_references(),
+            Err(Error::DanglingReference { .. })
+        ));
+        // external references are fine
+        let ext = Document::new("doc.rdf").with_resource(
+            Resource::new(UriRef::new("doc.rdf", "host"), "CycleProvider").with(
+                "serverInformation",
+                Term::resource(UriRef::new("other.rdf", "x")),
+            ),
+        );
+        ext.check_internal_references().unwrap();
+    }
+}

@@ -1,0 +1,68 @@
+//! Errors of the RDF layer.
+
+use std::fmt;
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A resource's URI reference does not belong to the document it was
+    /// added to.
+    ForeignResource { document: String, resource: String },
+    /// Two resources in one document share a URI reference.
+    DuplicateResource(String),
+    /// A reference into the document's own URI space has no target.
+    DanglingReference { from: String, to: String },
+    /// XML syntax error with position information.
+    Xml {
+        line: usize,
+        col: usize,
+        message: String,
+    },
+    /// The XML was well-formed but not a valid MDV RDF document.
+    Rdf(String),
+    /// Schema violation: unknown class, unknown property, wrong range, …
+    Schema(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ForeignResource { document, resource } => write!(
+                f,
+                "resource '{resource}' does not belong to document '{document}'"
+            ),
+            Error::DuplicateResource(uri) => {
+                write!(f, "duplicate resource '{uri}' in document")
+            }
+            Error::DanglingReference { from, to } => {
+                write!(f, "dangling internal reference from '{from}' to '{to}'")
+            }
+            Error::Xml { line, col, message } => {
+                write!(f, "XML error at {line}:{col}: {message}")
+            }
+            Error::Rdf(msg) => write!(f, "invalid RDF document: {msg}"),
+            Error::Schema(msg) => write!(f, "schema violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = Error::Xml {
+            line: 3,
+            col: 7,
+            message: "unexpected '<'".into(),
+        };
+        assert_eq!(e.to_string(), "XML error at 3:7: unexpected '<'");
+        assert!(Error::Schema("no class 'X'".into())
+            .to_string()
+            .contains("schema"));
+    }
+}

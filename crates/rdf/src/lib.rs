@@ -1,0 +1,63 @@
+//! # mdv-rdf
+//!
+//! The RDF data model used by MDV (Keidl et al., ICDE 2002):
+//!
+//! * [`UriRef`] — globally unique resource identifiers (`doc.rdf#host`),
+//! * [`Term`], [`Statement`] — triples, the "atoms" the filter joins on,
+//! * [`Resource`], [`Document`] — the registration unit,
+//! * [`RdfSchema`] — classes, typed properties, and MDV's strong/weak
+//!   reference annotations (paper §2.4),
+//! * [`parser`] / [`writer`] — an RDF/XML-subset syntax (Figure 1 style),
+//! * [`diff()`] — update/delete detection on document re-registration (§3.5).
+//!
+//! ```
+//! use mdv_rdf::{parse_document, RdfSchema, UriRef};
+//!
+//! let schema = RdfSchema::builder()
+//!     .class("ServerInformation", |c| c.int("memory").int("cpu"))
+//!     .class("CycleProvider", |c| c
+//!         .str("serverHost")
+//!         .int("serverPort")
+//!         .strong_ref("serverInformation", "ServerInformation"))
+//!     .build().unwrap();
+//!
+//! let doc = parse_document("doc.rdf", r##"
+//!     <rdf:RDF>
+//!       <CycleProvider rdf:ID="host">
+//!         <serverHost>pirates.uni-passau.de</serverHost>
+//!         <serverPort>5874</serverPort>
+//!         <serverInformation rdf:resource="#info"/>
+//!       </CycleProvider>
+//!       <ServerInformation rdf:ID="info">
+//!         <memory>92</memory><cpu>600</cpu>
+//!       </ServerInformation>
+//!     </rdf:RDF>"##).unwrap();
+//! schema.validate(&doc).unwrap();
+//! assert_eq!(doc.resources().len(), 2);
+//! assert_eq!(doc.statements().len(), 7); // Figure 4 has exactly these rows
+//! ```
+
+pub mod diff;
+pub mod document;
+pub mod error;
+pub mod parser;
+pub mod resource;
+pub mod schema;
+pub mod schema_text;
+pub mod statement;
+pub mod term;
+pub mod uri;
+pub mod writer;
+pub mod xml;
+
+pub use diff::{diff, diff_delete_all, DocumentDiff};
+pub use document::Document;
+pub use error::{Error, Result};
+pub use parser::parse_document;
+pub use resource::Resource;
+pub use schema::{ClassDef, LiteralType, PropertyDef, Range, RdfSchema, RefKind};
+pub use schema_text::{parse_schema, write_schema};
+pub use statement::{Statement, RDF_SUBJECT};
+pub use term::Term;
+pub use uri::UriRef;
+pub use writer::write_document;

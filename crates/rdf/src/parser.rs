@@ -1,0 +1,245 @@
+//! RDF/XML-subset parser: turns an XML document in the style of the paper's
+//! Figure 1 into a [`Document`].
+//!
+//! Supported constructs:
+//! * `<rdf:RDF>` root element (namespace attributes are ignored),
+//! * resource elements `<ClassName rdf:ID="local">` or `rdf:about="uri#id"`,
+//! * literal properties `<prop>text</prop>`,
+//! * reference properties `<prop rdf:resource="uri#id"/>`,
+//! * nested resources `<prop><ClassName rdf:ID="..">…</ClassName></prop>`,
+//!   which are hoisted into the document and replaced by a reference —
+//!   RDF does not distinguish nested from referenced resources (paper §2.1).
+
+use crate::document::Document;
+use crate::error::{Error, Result};
+use crate::resource::Resource;
+use crate::term::Term;
+use crate::uri::UriRef;
+use crate::xml::{self, Element};
+
+const RDF_ID: &str = "rdf:ID";
+const RDF_ABOUT: &str = "rdf:about";
+const RDF_RESOURCE: &str = "rdf:resource";
+
+/// Parses RDF/XML text into a [`Document`] anchored at `document_uri`.
+pub fn parse_document(document_uri: &str, input: &str) -> Result<Document> {
+    let root = xml::parse(input)?;
+    if root.name != "rdf:RDF" && root.name != "RDF" {
+        return Err(Error::Rdf(format!(
+            "expected <rdf:RDF> root element, found <{}>",
+            root.name
+        )));
+    }
+    let mut doc = Document::new(document_uri);
+    let mut resources = Vec::new();
+    for el in root.elements() {
+        parse_resource(document_uri, el, &mut resources)?;
+    }
+    for res in resources {
+        doc.add_resource(res)?;
+    }
+    doc.check_internal_references()?;
+    Ok(doc)
+}
+
+/// Parses one resource element, hoisting nested resources, and returns its
+/// URI reference. Resources are collected in pre-order (a resource before
+/// the resources nested inside it), matching the paper's Figure 4 layout.
+fn parse_resource(doc_uri: &str, el: &Element, out: &mut Vec<Resource>) -> Result<UriRef> {
+    let uri = resource_uri(doc_uri, el)?;
+    let mut resource = Resource::new(uri.clone(), el.name.clone());
+    let mut nested = Vec::new();
+    for prop in el.elements() {
+        let term = parse_property_value(doc_uri, prop, &mut nested)?;
+        resource.add(prop.name.clone(), term);
+    }
+    out.push(resource);
+    out.extend(nested);
+    Ok(uri)
+}
+
+fn resource_uri(document_uri: &str, el: &Element) -> Result<UriRef> {
+    if let Some(id) = el.attr(RDF_ID) {
+        if id.is_empty() || id.contains('#') {
+            return Err(Error::Rdf(format!("invalid rdf:ID '{id}'")));
+        }
+        return Ok(UriRef::new(document_uri, id));
+    }
+    if let Some(about) = el.attr(RDF_ABOUT) {
+        return UriRef::parse(about)
+            .ok_or_else(|| Error::Rdf(format!("invalid rdf:about '{about}'")));
+    }
+    Err(Error::Rdf(format!(
+        "resource element <{}> lacks rdf:ID and rdf:about",
+        el.name
+    )))
+}
+
+fn parse_property_value(doc_uri: &str, prop: &Element, out: &mut Vec<Resource>) -> Result<Term> {
+    if let Some(target) = prop.attr(RDF_RESOURCE) {
+        if !prop.children.is_empty() {
+            return Err(Error::Rdf(format!(
+                "property <{}> has both rdf:resource and content",
+                prop.name
+            )));
+        }
+        // A fragment-only reference (`#info`) targets this document.
+        let uri = if let Some(local) = target.strip_prefix('#') {
+            UriRef::new(doc_uri, local)
+        } else {
+            UriRef::parse(target)
+                .ok_or_else(|| Error::Rdf(format!("invalid rdf:resource '{target}'")))?
+        };
+        return Ok(Term::resource(uri));
+    }
+    let nested: Vec<&Element> = prop.elements().collect();
+    match nested.len() {
+        0 => Ok(Term::literal(prop.text())),
+        1 => {
+            let target = parse_resource(doc_uri, nested[0], out)?;
+            Ok(Term::resource(target))
+        }
+        n => Err(Error::Rdf(format!(
+            "property <{}> nests {n} resources; one expected",
+            prop.name
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The exact document excerpt of the paper's Figure 1.
+    pub const FIGURE1: &str = r#"<?xml version="1.0"?>
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#">
+  <CycleProvider rdf:ID="host">
+    <serverHost>pirates.uni-passau.de</serverHost>
+    <serverPort>5874</serverPort>
+    <serverInformation>
+      <ServerInformation rdf:ID="info">
+        <memory>92</memory>
+        <cpu>600</cpu>
+      </ServerInformation>
+    </serverInformation>
+  </CycleProvider>
+</rdf:RDF>"#;
+
+    #[test]
+    fn parse_figure1() {
+        let doc = parse_document("doc.rdf", FIGURE1).unwrap();
+        assert_eq!(doc.resources().len(), 2);
+        let host = doc.resource(&UriRef::new("doc.rdf", "host")).unwrap();
+        assert_eq!(host.class(), "CycleProvider");
+        assert_eq!(
+            host.property("serverHost").unwrap().lexical(),
+            "pirates.uni-passau.de"
+        );
+        assert_eq!(host.property("serverPort").unwrap().as_int(), Some(5874));
+        assert_eq!(
+            host.property("serverInformation")
+                .unwrap()
+                .as_resource()
+                .unwrap(),
+            &UriRef::new("doc.rdf", "info")
+        );
+        let info = doc.resource(&UriRef::new("doc.rdf", "info")).unwrap();
+        assert_eq!(info.class(), "ServerInformation");
+        assert_eq!(info.property("memory").unwrap().as_int(), Some(92));
+        assert_eq!(info.property("cpu").unwrap().as_int(), Some(600));
+    }
+
+    #[test]
+    fn rdf_resource_reference() {
+        let doc = parse_document(
+            "doc.rdf",
+            r##"<rdf:RDF>
+              <CycleProvider rdf:ID="host">
+                <serverInformation rdf:resource="#info"/>
+              </CycleProvider>
+              <ServerInformation rdf:ID="info"><memory>64</memory></ServerInformation>
+            </rdf:RDF>"##,
+        )
+        .unwrap();
+        let host = doc.resource(&UriRef::new("doc.rdf", "host")).unwrap();
+        assert_eq!(
+            host.property("serverInformation")
+                .unwrap()
+                .as_resource()
+                .unwrap(),
+            &UriRef::new("doc.rdf", "info")
+        );
+    }
+
+    #[test]
+    fn cross_document_reference() {
+        let doc = parse_document(
+            "a.rdf",
+            r#"<rdf:RDF>
+              <CycleProvider rdf:ID="host">
+                <serverInformation rdf:resource="b.rdf#info"/>
+              </CycleProvider>
+            </rdf:RDF>"#,
+        )
+        .unwrap();
+        let host = doc.resource(&UriRef::new("a.rdf", "host")).unwrap();
+        assert_eq!(
+            host.property("serverInformation")
+                .unwrap()
+                .as_resource()
+                .unwrap()
+                .as_str(),
+            "b.rdf#info"
+        );
+    }
+
+    #[test]
+    fn rdf_about_resources() {
+        let doc = parse_document(
+            "doc.rdf",
+            r#"<rdf:RDF>
+              <ServerInformation rdf:about="doc.rdf#info"><memory>32</memory></ServerInformation>
+            </rdf:RDF>"#,
+        )
+        .unwrap();
+        assert!(doc.resource(&UriRef::new("doc.rdf", "info")).is_some());
+    }
+
+    #[test]
+    fn missing_id_rejected() {
+        let err = parse_document("d", "<rdf:RDF><C><p>1</p></C></rdf:RDF>").unwrap_err();
+        assert!(err.to_string().contains("rdf:ID"));
+    }
+
+    #[test]
+    fn dangling_internal_reference_rejected() {
+        let err = parse_document(
+            "d",
+            r##"<rdf:RDF><C rdf:ID="x"><r rdf:resource="#missing"/></C></rdf:RDF>"##,
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::DanglingReference { .. }));
+    }
+
+    #[test]
+    fn wrong_root_rejected() {
+        assert!(parse_document("d", "<notrdf/>").is_err());
+    }
+
+    #[test]
+    fn property_with_both_resource_and_content_rejected() {
+        let err = parse_document(
+            "d",
+            r##"<rdf:RDF><C rdf:ID="x"><r rdf:resource="#x">text</r></C></rdf:RDF>"##,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("both"));
+    }
+
+    #[test]
+    fn empty_literal_property() {
+        let doc = parse_document("d", r#"<rdf:RDF><C rdf:ID="x"><p></p></C></rdf:RDF>"#).unwrap();
+        let r = doc.resource(&UriRef::new("d", "x")).unwrap();
+        assert_eq!(r.property("p").unwrap().as_literal(), Some(""));
+    }
+}

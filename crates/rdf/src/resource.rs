@@ -1,0 +1,176 @@
+//! Resources: typed bundles of properties, the unit MDV registers, caches,
+//! and publishes.
+
+use std::fmt;
+
+use crate::statement::Statement;
+use crate::term::Term;
+use crate::uri::UriRef;
+
+/// A resource: an instance of a schema class with a set of properties.
+///
+/// Properties may repeat (set-valued properties, paper §2.3 footnote); the
+/// order of properties is preserved for serialization but is not semantic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resource {
+    uri: UriRef,
+    class: String,
+    properties: Vec<(String, Term)>,
+}
+
+impl Resource {
+    pub fn new(uri: UriRef, class: impl Into<String>) -> Self {
+        Resource {
+            uri,
+            class: class.into(),
+            properties: Vec::new(),
+        }
+    }
+
+    /// Builder-style property addition.
+    pub fn with(mut self, property: impl Into<String>, value: Term) -> Self {
+        self.properties.push((property.into(), value));
+        self
+    }
+
+    pub fn add(&mut self, property: impl Into<String>, value: Term) {
+        self.properties.push((property.into(), value));
+    }
+
+    pub fn uri(&self) -> &UriRef {
+        &self.uri
+    }
+
+    pub fn class(&self) -> &str {
+        &self.class
+    }
+
+    pub fn properties(&self) -> &[(String, Term)] {
+        &self.properties
+    }
+
+    /// First value of the named property (single-valued access).
+    pub fn property(&self, name: &str) -> Option<&Term> {
+        self.properties
+            .iter()
+            .find(|(p, _)| p == name)
+            .map(|(_, t)| t)
+    }
+
+    /// All values of the named property (set-valued access, `?` operator).
+    pub fn property_values<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Term> + 'a {
+        self.properties
+            .iter()
+            .filter(move |(p, _)| p == name)
+            .map(|(_, t)| t)
+    }
+
+    /// URI references of all resources this resource points at.
+    pub fn references(&self) -> impl Iterator<Item = (&str, &UriRef)> {
+        self.properties
+            .iter()
+            .filter_map(|(p, t)| t.as_resource().map(|r| (p.as_str(), r)))
+    }
+
+    /// Decomposes into statements, *including* the synthetic subject marker —
+    /// exactly the rows of `FilterData` in Figure 4.
+    pub fn statements(&self) -> Vec<Statement> {
+        let mut out = Vec::with_capacity(self.properties.len() + 1);
+        out.push(Statement::subject_marker(self.uri.clone()));
+        for (p, t) in &self.properties {
+            out.push(Statement::new(self.uri.clone(), p.clone(), t.clone()));
+        }
+        out
+    }
+
+    /// Property-set equality ignoring order — used to detect updates when a
+    /// document is re-registered (paper §3.5).
+    pub fn same_content(&self, other: &Resource) -> bool {
+        if self.uri != other.uri || self.class != other.class {
+            return false;
+        }
+        let mut a: Vec<_> = self.properties.iter().collect();
+        let mut b: Vec<_> = other.properties.iter().collect();
+        a.sort();
+        b.sort();
+        a == b
+    }
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} : {}", self.uri, self.class)?;
+        for (p, t) in &self.properties {
+            writeln!(f, "  {p} = {t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn host() -> Resource {
+        Resource::new(UriRef::new("doc.rdf", "host"), "CycleProvider")
+            .with("serverHost", Term::literal("pirates.uni-passau.de"))
+            .with("serverPort", Term::literal("5874"))
+            .with(
+                "serverInformation",
+                Term::resource(UriRef::new("doc.rdf", "info")),
+            )
+    }
+
+    #[test]
+    fn property_access() {
+        let r = host();
+        assert_eq!(r.property("serverPort").unwrap().as_int(), Some(5874));
+        assert!(r.property("missing").is_none());
+        assert_eq!(r.class(), "CycleProvider");
+    }
+
+    #[test]
+    fn set_valued_properties() {
+        let r = Resource::new(UriRef::new("d", "x"), "C")
+            .with("tag", Term::literal("a"))
+            .with("tag", Term::literal("b"));
+        let vals: Vec<_> = r.property_values("tag").map(|t| t.lexical()).collect();
+        assert_eq!(vals, vec!["a", "b"]);
+        // single-valued access returns the first
+        assert_eq!(r.property("tag").unwrap().lexical(), "a");
+    }
+
+    #[test]
+    fn references_lists_resource_properties_only() {
+        let r = host();
+        let refs: Vec<_> = r.references().collect();
+        assert_eq!(refs.len(), 1);
+        assert_eq!(refs[0].0, "serverInformation");
+        assert_eq!(refs[0].1.as_str(), "doc.rdf#info");
+    }
+
+    #[test]
+    fn statements_include_subject_marker() {
+        let stmts = host().statements();
+        assert_eq!(stmts.len(), 4);
+        assert!(stmts[0].is_subject_marker());
+        assert_eq!(stmts[1].predicate, "serverHost");
+    }
+
+    #[test]
+    fn same_content_ignores_order() {
+        let a = Resource::new(UriRef::new("d", "x"), "C")
+            .with("p", Term::literal("1"))
+            .with("q", Term::literal("2"));
+        let b = Resource::new(UriRef::new("d", "x"), "C")
+            .with("q", Term::literal("2"))
+            .with("p", Term::literal("1"));
+        assert!(a.same_content(&b));
+        let c = Resource::new(UriRef::new("d", "x"), "C").with("p", Term::literal("1"));
+        assert!(!a.same_content(&c));
+        let d = Resource::new(UriRef::new("d", "y"), "C")
+            .with("p", Term::literal("1"))
+            .with("q", Term::literal("2"));
+        assert!(!a.same_content(&d));
+    }
+}

@@ -1,0 +1,518 @@
+//! RDF Schema: classes, property signatures, and MDV's strong/weak
+//! reference annotations.
+//!
+//! MDV augments RDF Schema with properties that mark references as *strong*
+//! (the referenced resource is always transmitted together with the
+//! referencing one) or *weak* (never transmitted) — paper §2.4. The choice is
+//! part of schema design, so it lives here, not in the rules.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use crate::document::Document;
+use crate::error::{Error, Result};
+use crate::term::Term;
+
+/// Types a literal-ranged property may take.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LiteralType {
+    Str,
+    Int,
+    Float,
+    Bool,
+}
+
+impl LiteralType {
+    /// Validates a literal's lexical form against this type.
+    pub fn accepts(self, lexical: &str) -> bool {
+        match self {
+            LiteralType::Str => true,
+            LiteralType::Int => lexical.trim().parse::<i64>().is_ok(),
+            LiteralType::Float => lexical.trim().parse::<f64>().is_ok(),
+            LiteralType::Bool => matches!(lexical.trim(), "true" | "false"),
+        }
+    }
+}
+
+impl fmt::Display for LiteralType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LiteralType::Str => "string",
+            LiteralType::Int => "int",
+            LiteralType::Float => "float",
+            LiteralType::Bool => "bool",
+        };
+        f.write_str(s)
+    }
+}
+
+/// MDV reference strength (paper §2.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RefKind {
+    /// Referenced resources are always transmitted with the referencing one.
+    Strong,
+    /// Referenced resources are never transmitted.
+    Weak,
+}
+
+/// The range of a property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Range {
+    Literal(LiteralType),
+    /// Reference to a resource of (a subclass of) the named class.
+    Class {
+        class: String,
+        kind: RefKind,
+    },
+}
+
+/// A property definition within a class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropertyDef {
+    pub name: String,
+    pub range: Range,
+    /// Whether the property may carry multiple values (paper §2.3: the `?`
+    /// any-operator applies to set-valued properties).
+    pub set_valued: bool,
+}
+
+/// A class definition: optional superclass plus property definitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassDef {
+    pub name: String,
+    pub parent: Option<String>,
+    pub properties: Vec<PropertyDef>,
+}
+
+/// A validated RDF schema.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RdfSchema {
+    classes: HashMap<String, ClassDef>,
+}
+
+impl RdfSchema {
+    pub fn builder() -> SchemaBuilder {
+        SchemaBuilder {
+            classes: Vec::new(),
+        }
+    }
+
+    pub fn has_class(&self, name: &str) -> bool {
+        self.classes.contains_key(name)
+    }
+
+    pub fn class(&self, name: &str) -> Option<&ClassDef> {
+        self.classes.get(name)
+    }
+
+    /// All class names, sorted for determinism.
+    pub fn class_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.classes.keys().map(|s| s.as_str()).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// True when `sub` equals or transitively specializes `sup`.
+    pub fn is_subclass_of(&self, sub: &str, sup: &str) -> bool {
+        let mut cur = Some(sub);
+        while let Some(name) = cur {
+            if name == sup {
+                return true;
+            }
+            cur = self.classes.get(name).and_then(|c| c.parent.as_deref());
+        }
+        false
+    }
+
+    /// Looks up a property on a class, walking up the inheritance chain.
+    pub fn property(&self, class: &str, property: &str) -> Option<&PropertyDef> {
+        let mut cur = Some(class);
+        while let Some(name) = cur {
+            let def = self.classes.get(name)?;
+            if let Some(p) = def.properties.iter().find(|p| p.name == property) {
+                return Some(p);
+            }
+            cur = def.parent.as_deref();
+        }
+        None
+    }
+
+    /// The class a reference-ranged property points at, if any.
+    pub fn range_class(&self, class: &str, property: &str) -> Option<&str> {
+        match &self.property(class, property)?.range {
+            Range::Class { class, .. } => Some(class),
+            Range::Literal(_) => None,
+        }
+    }
+
+    /// The reference strength of a property, if it is reference-ranged.
+    pub fn ref_kind(&self, class: &str, property: &str) -> Option<RefKind> {
+        match &self.property(class, property)?.range {
+            Range::Class { kind, .. } => Some(*kind),
+            Range::Literal(_) => None,
+        }
+    }
+
+    /// Validates a document against the schema: classes exist, properties
+    /// are defined, literal values parse, references go to reference-ranged
+    /// properties, and repeated properties are declared set-valued.
+    pub fn validate(&self, doc: &Document) -> Result<()> {
+        for res in doc.resources() {
+            if !self.has_class(res.class()) {
+                return Err(Error::Schema(format!(
+                    "resource {} has unknown class '{}'",
+                    res.uri(),
+                    res.class()
+                )));
+            }
+            let mut seen: HashSet<&str> = HashSet::new();
+            for (prop, term) in res.properties() {
+                let def = self.property(res.class(), prop).ok_or_else(|| {
+                    Error::Schema(format!(
+                        "class '{}' has no property '{prop}' (resource {})",
+                        res.class(),
+                        res.uri()
+                    ))
+                })?;
+                if !seen.insert(prop.as_str()) && !def.set_valued {
+                    return Err(Error::Schema(format!(
+                        "property '{prop}' of {} is not set-valued but appears twice",
+                        res.uri()
+                    )));
+                }
+                match (&def.range, term) {
+                    (Range::Literal(lt), Term::Literal(s)) => {
+                        if !lt.accepts(s) {
+                            return Err(Error::Schema(format!(
+                                "value '{s}' of property '{prop}' on {} is not a valid {lt}",
+                                res.uri()
+                            )));
+                        }
+                    }
+                    (Range::Literal(_), Term::Resource(r)) => {
+                        return Err(Error::Schema(format!(
+                            "property '{prop}' of {} expects a literal, got reference {r}",
+                            res.uri()
+                        )));
+                    }
+                    (Range::Class { .. }, Term::Literal(s)) => {
+                        return Err(Error::Schema(format!(
+                            "property '{prop}' of {} expects a reference, got literal '{s}'",
+                            res.uri()
+                        )));
+                    }
+                    (Range::Class { .. }, Term::Resource(_)) => {
+                        // Target class conformance can only be checked when
+                        // the target is known; the store layer does that.
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fluent schema construction.
+pub struct SchemaBuilder {
+    classes: Vec<ClassDef>,
+}
+
+impl SchemaBuilder {
+    /// Adds a class configured by the closure.
+    pub fn class(mut self, name: &str, f: impl FnOnce(ClassBuilder) -> ClassBuilder) -> Self {
+        let cb = f(ClassBuilder {
+            def: ClassDef {
+                name: name.to_owned(),
+                parent: None,
+                properties: Vec::new(),
+            },
+        });
+        self.classes.push(cb.def);
+        self
+    }
+
+    /// Validates and freezes the schema.
+    pub fn build(self) -> Result<RdfSchema> {
+        let mut classes = HashMap::new();
+        for c in self.classes {
+            if classes.insert(c.name.clone(), c).is_some() {
+                return Err(Error::Schema("duplicate class definition".into()));
+            }
+        }
+        let schema = RdfSchema { classes };
+        // parents and reference ranges must resolve; inheritance must be acyclic
+        for (name, def) in &schema.classes {
+            if let Some(parent) = &def.parent {
+                if !schema.classes.contains_key(parent) {
+                    return Err(Error::Schema(format!(
+                        "class '{name}' extends unknown class '{parent}'"
+                    )));
+                }
+            }
+            for p in &def.properties {
+                if let Range::Class { class, .. } = &p.range {
+                    if !schema.classes.contains_key(class) {
+                        return Err(Error::Schema(format!(
+                            "property '{}' of '{name}' references unknown class '{class}'",
+                            p.name
+                        )));
+                    }
+                }
+            }
+            // cycle check by bounded walk
+            let mut cur = def.parent.as_deref();
+            let mut steps = 0;
+            while let Some(parent) = cur {
+                steps += 1;
+                if parent == name || steps > schema.classes.len() {
+                    return Err(Error::Schema(format!(
+                        "inheritance cycle involving class '{name}'"
+                    )));
+                }
+                cur = schema.classes.get(parent).and_then(|c| c.parent.as_deref());
+            }
+        }
+        Ok(schema)
+    }
+}
+
+/// Builder for a single class.
+pub struct ClassBuilder {
+    def: ClassDef,
+}
+
+impl ClassBuilder {
+    pub fn extends(mut self, parent: &str) -> Self {
+        self.def.parent = Some(parent.to_owned());
+        self
+    }
+
+    fn prop(mut self, name: &str, range: Range, set_valued: bool) -> Self {
+        self.def.properties.push(PropertyDef {
+            name: name.to_owned(),
+            range,
+            set_valued,
+        });
+        self
+    }
+
+    /// Adds an already-constructed property definition (used by the textual
+    /// schema parser).
+    pub fn raw_property(mut self, prop: PropertyDef) -> Self {
+        self.def.properties.push(prop);
+        self
+    }
+
+    pub fn str(self, name: &str) -> Self {
+        self.prop(name, Range::Literal(LiteralType::Str), false)
+    }
+
+    pub fn int(self, name: &str) -> Self {
+        self.prop(name, Range::Literal(LiteralType::Int), false)
+    }
+
+    pub fn float(self, name: &str) -> Self {
+        self.prop(name, Range::Literal(LiteralType::Float), false)
+    }
+
+    pub fn bool(self, name: &str) -> Self {
+        self.prop(name, Range::Literal(LiteralType::Bool), false)
+    }
+
+    /// Set-valued string property (target of the `?` operator).
+    pub fn str_set(self, name: &str) -> Self {
+        self.prop(name, Range::Literal(LiteralType::Str), true)
+    }
+
+    pub fn int_set(self, name: &str) -> Self {
+        self.prop(name, Range::Literal(LiteralType::Int), true)
+    }
+
+    /// Strong reference: target travels with the referencing resource.
+    pub fn strong_ref(self, name: &str, class: &str) -> Self {
+        self.prop(
+            name,
+            Range::Class {
+                class: class.to_owned(),
+                kind: RefKind::Strong,
+            },
+            false,
+        )
+    }
+
+    /// Weak reference: target is never transmitted automatically.
+    pub fn weak_ref(self, name: &str, class: &str) -> Self {
+        self.prop(
+            name,
+            Range::Class {
+                class: class.to_owned(),
+                kind: RefKind::Weak,
+            },
+            false,
+        )
+    }
+
+    /// Set-valued strong reference.
+    pub fn strong_ref_set(self, name: &str, class: &str) -> Self {
+        self.prop(
+            name,
+            Range::Class {
+                class: class.to_owned(),
+                kind: RefKind::Strong,
+            },
+            true,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::Resource;
+    use crate::uri::UriRef;
+
+    /// The paper's running example schema (Figure 1).
+    pub fn paper_schema() -> RdfSchema {
+        RdfSchema::builder()
+            .class("ServerInformation", |c| c.int("memory").int("cpu"))
+            .class("CycleProvider", |c| {
+                c.str("serverHost")
+                    .int("serverPort")
+                    .int("synthValue")
+                    .strong_ref("serverInformation", "ServerInformation")
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn lookup_and_ranges() {
+        let s = paper_schema();
+        assert!(s.has_class("CycleProvider"));
+        assert!(!s.has_class("Nope"));
+        assert_eq!(
+            s.range_class("CycleProvider", "serverInformation"),
+            Some("ServerInformation")
+        );
+        assert_eq!(s.range_class("CycleProvider", "serverHost"), None);
+        assert_eq!(
+            s.ref_kind("CycleProvider", "serverInformation"),
+            Some(RefKind::Strong)
+        );
+    }
+
+    #[test]
+    fn inheritance_resolution() {
+        let s = RdfSchema::builder()
+            .class("Provider", |c| c.str("name"))
+            .class("CycleProvider", |c| c.extends("Provider").int("port"))
+            .build()
+            .unwrap();
+        assert!(s.is_subclass_of("CycleProvider", "Provider"));
+        assert!(s.is_subclass_of("Provider", "Provider"));
+        assert!(!s.is_subclass_of("Provider", "CycleProvider"));
+        // inherited property resolves
+        assert!(s.property("CycleProvider", "name").is_some());
+        assert!(s.property("Provider", "port").is_none());
+    }
+
+    #[test]
+    fn build_rejects_unknown_parent_and_range() {
+        assert!(RdfSchema::builder()
+            .class("A", |c| c.extends("Missing"))
+            .build()
+            .is_err());
+        assert!(RdfSchema::builder()
+            .class("A", |c| c.strong_ref("r", "Missing"))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn build_rejects_inheritance_cycle() {
+        let err = RdfSchema::builder()
+            .class("A", |c| c.extends("B"))
+            .class("B", |c| c.extends("A"))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn validate_document_against_schema() {
+        let s = paper_schema();
+        let good = Document::new("doc.rdf")
+            .with_resource(
+                Resource::new(UriRef::new("doc.rdf", "host"), "CycleProvider")
+                    .with("serverHost", Term::literal("pirates.uni-passau.de"))
+                    .with("serverPort", Term::literal("5874"))
+                    .with(
+                        "serverInformation",
+                        Term::resource(UriRef::new("doc.rdf", "info")),
+                    ),
+            )
+            .with_resource(
+                Resource::new(UriRef::new("doc.rdf", "info"), "ServerInformation")
+                    .with("memory", Term::literal("92"))
+                    .with("cpu", Term::literal("600")),
+            );
+        s.validate(&good).unwrap();
+
+        // unknown class
+        let bad = Document::new("d").with_resource(Resource::new(UriRef::new("d", "x"), "Nope"));
+        assert!(s.validate(&bad).is_err());
+
+        // unknown property
+        let bad = Document::new("d").with_resource(
+            Resource::new(UriRef::new("d", "x"), "ServerInformation")
+                .with("speed", Term::literal("1")),
+        );
+        assert!(s.validate(&bad).is_err());
+
+        // non-integer literal for int property
+        let bad = Document::new("d").with_resource(
+            Resource::new(UriRef::new("d", "x"), "ServerInformation")
+                .with("memory", Term::literal("lots")),
+        );
+        assert!(s.validate(&bad).is_err());
+
+        // literal where a reference is required
+        let bad = Document::new("d").with_resource(
+            Resource::new(UriRef::new("d", "x"), "CycleProvider")
+                .with("serverInformation", Term::literal("info")),
+        );
+        assert!(s.validate(&bad).is_err());
+
+        // repeated non-set-valued property
+        let bad = Document::new("d").with_resource(
+            Resource::new(UriRef::new("d", "x"), "ServerInformation")
+                .with("memory", Term::literal("1"))
+                .with("memory", Term::literal("2")),
+        );
+        assert!(s.validate(&bad).is_err());
+    }
+
+    #[test]
+    fn set_valued_properties_validate() {
+        let s = RdfSchema::builder()
+            .class("C", |c| c.str_set("tag"))
+            .build()
+            .unwrap();
+        let d = Document::new("d").with_resource(
+            Resource::new(UriRef::new("d", "x"), "C")
+                .with("tag", Term::literal("a"))
+                .with("tag", Term::literal("b")),
+        );
+        s.validate(&d).unwrap();
+    }
+
+    #[test]
+    fn literal_type_acceptance() {
+        assert!(LiteralType::Int.accepts("42"));
+        assert!(!LiteralType::Int.accepts("4.2"));
+        assert!(LiteralType::Float.accepts("4.2"));
+        assert!(LiteralType::Bool.accepts("true"));
+        assert!(!LiteralType::Bool.accepts("yes"));
+        assert!(LiteralType::Str.accepts("anything"));
+    }
+}

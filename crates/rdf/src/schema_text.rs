@@ -1,0 +1,256 @@
+//! A small textual schema-definition language, so tools (like the
+//! `mdv-shell` binary) can load schemas from files instead of building them
+//! in code.
+//!
+//! ```text
+//! # comment
+//! class ServerInformation {
+//!     memory: int
+//!     cpu: int
+//! }
+//! class CycleProvider : Provider {
+//!     serverHost: str
+//!     tags: set str
+//!     serverInformation: strong ServerInformation
+//!     backup: weak ServerInformation
+//! }
+//! ```
+//!
+//! Property types: `int`, `float`, `str`, `bool`, `set <literal-type>`,
+//! `strong <Class>`, `weak <Class>`, `set strong <Class>`,
+//! `set weak <Class>`.
+
+use crate::error::{Error, Result};
+use crate::schema::{ClassDef, LiteralType, PropertyDef, Range, RdfSchema, RefKind, SchemaBuilder};
+
+/// Parses schema text into a validated [`RdfSchema`].
+pub fn parse_schema(input: &str) -> Result<RdfSchema> {
+    let mut classes: Vec<ClassDef> = Vec::new();
+    let mut lines = input.lines().enumerate().peekable();
+    while let Some((lineno, raw)) = lines.next() {
+        let line = strip_comment(raw);
+        if line.is_empty() {
+            continue;
+        }
+        let header = line
+            .strip_prefix("class ")
+            .ok_or_else(|| err(lineno, "expected 'class <Name> [: Parent] {'"))?;
+        let header = header
+            .strip_suffix('{')
+            .ok_or_else(|| err(lineno, "class header must end with '{'"))?
+            .trim();
+        let (name, parent) = match header.split_once(':') {
+            Some((n, p)) => (n.trim().to_owned(), Some(p.trim().to_owned())),
+            None => (header.to_owned(), None),
+        };
+        if name.is_empty() || !ident_ok(&name) {
+            return Err(err(lineno, "invalid class name"));
+        }
+        if let Some(p) = &parent {
+            if !ident_ok(p) {
+                return Err(err(lineno, "invalid parent class name"));
+            }
+        }
+        let mut properties = Vec::new();
+        loop {
+            let Some((lineno, raw)) = lines.next() else {
+                return Err(err(lineno, "unterminated class body (missing '}')"));
+            };
+            let line = strip_comment(raw);
+            if line.is_empty() {
+                continue;
+            }
+            if line == "}" {
+                break;
+            }
+            properties.push(parse_property(lineno, line)?);
+        }
+        classes.push(ClassDef {
+            name,
+            parent,
+            properties,
+        });
+    }
+    // feed through the builder for the standard validation
+    let mut builder: SchemaBuilder = RdfSchema::builder();
+    for class in classes {
+        builder = builder.class(&class.name.clone(), move |mut cb| {
+            if let Some(p) = &class.parent {
+                cb = cb.extends(p);
+            }
+            for prop in &class.properties {
+                cb = cb.raw_property(prop.clone());
+            }
+            cb
+        });
+    }
+    builder.build()
+}
+
+fn parse_property(lineno: usize, line: &str) -> Result<PropertyDef> {
+    let (name, type_text) = line
+        .split_once(':')
+        .ok_or_else(|| err(lineno, "expected '<property>: <type>'"))?;
+    let name = name.trim().to_owned();
+    if !ident_ok(&name) {
+        return Err(err(lineno, "invalid property name"));
+    }
+    let mut words: Vec<&str> = type_text.split_whitespace().collect();
+    let set_valued = words.first() == Some(&"set");
+    if set_valued {
+        words.remove(0);
+    }
+    let range = match words.as_slice() {
+        ["int"] => Range::Literal(LiteralType::Int),
+        ["float"] => Range::Literal(LiteralType::Float),
+        ["str"] | ["string"] => Range::Literal(LiteralType::Str),
+        ["bool"] => Range::Literal(LiteralType::Bool),
+        ["strong", class] if ident_ok(class) => Range::Class {
+            class: (*class).to_owned(),
+            kind: RefKind::Strong,
+        },
+        ["weak", class] if ident_ok(class) => Range::Class {
+            class: (*class).to_owned(),
+            kind: RefKind::Weak,
+        },
+        _ => {
+            return Err(err(
+                lineno,
+                "expected a type: int|float|str|bool|[set] strong <Class>|[set] weak <Class>",
+            ))
+        }
+    };
+    Ok(PropertyDef {
+        name,
+        range,
+        set_valued,
+    })
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => line[..i].trim(),
+        None => line.trim(),
+    }
+}
+
+fn ident_ok(s: &str) -> bool {
+    !s.is_empty() && s.chars().all(|c| c.is_alphanumeric() || c == '_')
+}
+
+fn err(lineno: usize, message: &str) -> Error {
+    Error::Schema(format!("line {}: {message}", lineno + 1))
+}
+
+/// Renders a schema back to the textual format (round-trips with
+/// [`parse_schema`]).
+pub fn write_schema(schema: &RdfSchema) -> String {
+    let mut out = String::new();
+    for name in schema.class_names() {
+        let class = schema.class(name).expect("listed class exists");
+        match &class.parent {
+            Some(p) => out.push_str(&format!("class {name} : {p} {{\n")),
+            None => out.push_str(&format!("class {name} {{\n")),
+        }
+        for prop in &class.properties {
+            let set = if prop.set_valued { "set " } else { "" };
+            let ty = match &prop.range {
+                Range::Literal(LiteralType::Int) => "int".to_owned(),
+                Range::Literal(LiteralType::Float) => "float".to_owned(),
+                Range::Literal(LiteralType::Str) => "str".to_owned(),
+                Range::Literal(LiteralType::Bool) => "bool".to_owned(),
+                Range::Class {
+                    class,
+                    kind: RefKind::Strong,
+                } => format!("strong {class}"),
+                Range::Class {
+                    class,
+                    kind: RefKind::Weak,
+                } => format!("weak {class}"),
+            };
+            out.push_str(&format!("    {}: {set}{ty}\n", prop.name));
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# the paper's schema
+class ServerInformation {
+    memory: int
+    cpu: int
+}
+class Provider {
+    name: str
+}
+class CycleProvider : Provider {
+    serverHost: str      # DNS name
+    serverPort: int
+    tags: set str
+    serverInformation: strong ServerInformation
+    backup: weak ServerInformation
+}
+"#;
+
+    #[test]
+    fn parses_sample() {
+        let s = parse_schema(SAMPLE).unwrap();
+        assert!(s.has_class("CycleProvider"));
+        assert!(s.is_subclass_of("CycleProvider", "Provider"));
+        assert_eq!(
+            s.ref_kind("CycleProvider", "serverInformation"),
+            Some(RefKind::Strong)
+        );
+        assert_eq!(s.ref_kind("CycleProvider", "backup"), Some(RefKind::Weak));
+        assert!(s.property("CycleProvider", "tags").unwrap().set_valued);
+        assert!(s.property("CycleProvider", "name").is_some(), "inherited");
+    }
+
+    #[test]
+    fn roundtrips() {
+        let s = parse_schema(SAMPLE).unwrap();
+        let text = write_schema(&s);
+        let s2 = parse_schema(&text).unwrap();
+        assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let err = parse_schema("class A {\n  p: nosuchtype\n}").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_headers() {
+        assert!(parse_schema("klass A {}").is_err());
+        assert!(parse_schema("class A").is_err());
+        assert!(
+            parse_schema("class A {\n  p: int").is_err(),
+            "unterminated body"
+        );
+        assert!(parse_schema("class A : {\n}").is_err());
+    }
+
+    #[test]
+    fn validation_still_applies() {
+        // unknown parent caught by the builder
+        let err = parse_schema("class A : Missing {\n}").unwrap_err();
+        assert!(err.to_string().contains("unknown class"));
+        // unknown reference target
+        let err = parse_schema("class A {\n  r: strong Missing\n}").unwrap_err();
+        assert!(err.to_string().contains("unknown class"));
+    }
+
+    #[test]
+    fn set_references_parse() {
+        let s = parse_schema("class B {\n  x: int\n}\nclass A {\n  rs: set strong B\n}").unwrap();
+        let p = s.property("A", "rs").unwrap();
+        assert!(p.set_valued);
+        assert_eq!(s.ref_kind("A", "rs"), Some(RefKind::Strong));
+    }
+}

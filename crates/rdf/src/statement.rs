@@ -1,0 +1,74 @@
+//! RDF statements (triples). Documents decompose into statements — the
+//! "atoms" the filter algorithm joins against rule atoms (paper §3.1/§3.2).
+
+use std::fmt;
+
+use crate::term::Term;
+use crate::uri::UriRef;
+
+/// The pseudo-property used for the per-resource class tuple the filter
+/// inserts so that OID rules can register a resource by URI (paper §3.2,
+/// Figure 4: `rdf#subject` rows).
+pub const RDF_SUBJECT: &str = "rdf#subject";
+
+/// An RDF statement: `(subject, predicate, object)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Statement {
+    pub subject: UriRef,
+    pub predicate: String,
+    pub object: Term,
+}
+
+impl Statement {
+    pub fn new(subject: UriRef, predicate: impl Into<String>, object: Term) -> Self {
+        Statement {
+            subject,
+            predicate: predicate.into(),
+            object,
+        }
+    }
+
+    /// The synthetic statement marking a resource's existence; its object is
+    /// the resource's own URI reference.
+    pub fn subject_marker(subject: UriRef) -> Self {
+        let object = Term::resource(subject.clone());
+        Statement {
+            subject,
+            predicate: RDF_SUBJECT.to_owned(),
+            object,
+        }
+    }
+
+    pub fn is_subject_marker(&self) -> bool {
+        self.predicate == RDF_SUBJECT
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.subject, self.predicate, self.object)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subject_marker_points_to_itself() {
+        let s = Statement::subject_marker(UriRef::new("doc.rdf", "host"));
+        assert!(s.is_subject_marker());
+        assert_eq!(s.object.as_resource().unwrap(), &s.subject);
+    }
+
+    #[test]
+    fn display_shows_triple() {
+        let s = Statement::new(
+            UriRef::new("doc.rdf", "info"),
+            "memory",
+            Term::literal("92"),
+        );
+        assert_eq!(s.to_string(), "(doc.rdf#info, memory, 92)");
+        assert!(!s.is_subject_marker());
+    }
+}

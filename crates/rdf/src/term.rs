@@ -1,0 +1,100 @@
+//! RDF terms: the objects of statements.
+
+use std::fmt;
+
+use crate::uri::UriRef;
+
+/// The object position of an RDF statement: either a literal value or a
+/// reference to another resource. RDF does not distinguish nested from
+/// referenced resources (paper §2.1), so both appear here as `Resource`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A literal. RDF literals are strings at heart; numeric interpretation
+    /// happens at comparison time (the filter's string-reconversion joins).
+    Literal(String),
+    /// A reference to another resource by URI reference.
+    Resource(UriRef),
+}
+
+impl Term {
+    pub fn literal(s: impl Into<String>) -> Self {
+        Term::Literal(s.into())
+    }
+
+    pub fn resource(r: UriRef) -> Self {
+        Term::Resource(r)
+    }
+
+    pub fn is_literal(&self) -> bool {
+        matches!(self, Term::Literal(_))
+    }
+
+    pub fn is_resource(&self) -> bool {
+        matches!(self, Term::Resource(_))
+    }
+
+    pub fn as_literal(&self) -> Option<&str> {
+        match self {
+            Term::Literal(s) => Some(s),
+            Term::Resource(_) => None,
+        }
+    }
+
+    pub fn as_resource(&self) -> Option<&UriRef> {
+        match self {
+            Term::Resource(r) => Some(r),
+            Term::Literal(_) => None,
+        }
+    }
+
+    /// Numeric view of a literal, if it parses.
+    pub fn as_int(&self) -> Option<i64> {
+        self.as_literal()?.trim().parse().ok()
+    }
+
+    /// The lexical form stored into filter tables: literals verbatim,
+    /// resources as their URI reference string.
+    pub fn lexical(&self) -> &str {
+        match self {
+            Term::Literal(s) => s,
+            Term::Resource(r) => r.as_str(),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.lexical())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_accessors() {
+        let t = Term::literal("92");
+        assert!(t.is_literal());
+        assert_eq!(t.as_literal(), Some("92"));
+        assert_eq!(t.as_int(), Some(92));
+        assert_eq!(t.as_resource(), None);
+        assert_eq!(t.lexical(), "92");
+    }
+
+    #[test]
+    fn resource_accessors() {
+        let r = UriRef::new("doc.rdf", "info");
+        let t = Term::resource(r.clone());
+        assert!(t.is_resource());
+        assert_eq!(t.as_resource(), Some(&r));
+        assert_eq!(t.as_int(), None);
+        assert_eq!(t.lexical(), "doc.rdf#info");
+    }
+
+    #[test]
+    fn non_numeric_literal_has_no_int() {
+        assert_eq!(Term::literal("pirates").as_int(), None);
+        assert_eq!(Term::literal(" 600 ").as_int(), Some(600));
+    }
+}

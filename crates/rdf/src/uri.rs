@@ -1,0 +1,101 @@
+//! URI references.
+//!
+//! MDV constructs a globally unique identifier — a *URI reference* — by
+//! combining a resource's local identifier (its `rdf:ID`) with the globally
+//! unique URI of the RDF document that defines it (paper §2.1), e.g.
+//! `doc.rdf#host`.
+
+use std::fmt;
+
+/// A globally unique reference to a resource: `<document-uri>#<local-id>`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UriRef(String);
+
+impl UriRef {
+    /// Builds a URI reference from a document URI and a local identifier.
+    pub fn new(document_uri: &str, local_id: &str) -> Self {
+        UriRef(format!("{document_uri}#{local_id}"))
+    }
+
+    /// Parses an absolute reference string (must contain a fragment `#`).
+    pub fn parse(s: &str) -> Option<Self> {
+        let hash = s.find('#')?;
+        if hash == 0 || hash + 1 == s.len() {
+            return None;
+        }
+        Some(UriRef(s.to_owned()))
+    }
+
+    /// Wraps an already-absolute reference without validation. Intended for
+    /// trusted internal callers (e.g. reading back values we stored).
+    pub fn from_absolute(s: impl Into<String>) -> Self {
+        UriRef(s.into())
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The document URI part (before `#`).
+    pub fn document_uri(&self) -> &str {
+        match self.0.find('#') {
+            Some(i) => &self.0[..i],
+            None => &self.0,
+        }
+    }
+
+    /// The local identifier part (after `#`).
+    pub fn local_id(&self) -> &str {
+        match self.0.find('#') {
+            Some(i) => &self.0[i + 1..],
+            None => "",
+        }
+    }
+}
+
+impl fmt::Display for UriRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<UriRef> for String {
+    fn from(u: UriRef) -> String {
+        u.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_parts() {
+        let u = UriRef::new("doc.rdf", "host");
+        assert_eq!(u.as_str(), "doc.rdf#host");
+        assert_eq!(u.document_uri(), "doc.rdf");
+        assert_eq!(u.local_id(), "host");
+    }
+
+    #[test]
+    fn parse_validates_fragment() {
+        assert!(UriRef::parse("doc.rdf#host").is_some());
+        assert!(UriRef::parse("no-fragment").is_none());
+        assert!(UriRef::parse("#onlyfragment").is_none());
+        assert!(UriRef::parse("trailing#").is_none());
+    }
+
+    #[test]
+    fn uriref_in_fragment_with_slashes() {
+        let u = UriRef::new("http://db.fmi.uni-passau.de/docs/a.rdf", "info");
+        assert_eq!(u.document_uri(), "http://db.fmi.uni-passau.de/docs/a.rdf");
+        assert_eq!(u.local_id(), "info");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = UriRef::new("a.rdf", "x");
+        let b = UriRef::new("b.rdf", "x");
+        assert!(a < b);
+    }
+}

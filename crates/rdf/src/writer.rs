@@ -1,0 +1,121 @@
+//! Serializes a [`Document`] back to the RDF/XML subset. Together with
+//! [`crate::parser`], documents round-trip, which the update path (re-register
+//! a modified document, paper §2.2) relies on.
+
+use std::fmt::Write as _;
+
+use crate::document::Document;
+use crate::term::Term;
+use crate::xml::escape;
+
+/// Renders a document as RDF/XML. References are emitted as `rdf:resource`
+/// attributes (fragment-only when the target lives in the same document);
+/// nesting is never re-created, which is semantically equivalent.
+pub fn write_document(doc: &Document) -> String {
+    let mut out = String::new();
+    out.push_str("<?xml version=\"1.0\"?>\n");
+    out.push_str("<rdf:RDF xmlns:rdf=\"http://www.w3.org/1999/02/22-rdf-syntax-ns#\">\n");
+    for res in doc.resources() {
+        let _ = writeln!(
+            out,
+            "  <{} rdf:ID=\"{}\">",
+            escape(res.class()),
+            escape(res.uri().local_id())
+        );
+        for (prop, term) in res.properties() {
+            match term {
+                Term::Literal(text) => {
+                    let _ = writeln!(
+                        out,
+                        "    <{p}>{v}</{p}>",
+                        p = escape(prop),
+                        v = escape(text)
+                    );
+                }
+                Term::Resource(target) => {
+                    let target_str = if target.document_uri() == doc.uri() {
+                        format!("#{}", target.local_id())
+                    } else {
+                        target.as_str().to_owned()
+                    };
+                    let _ = writeln!(
+                        out,
+                        "    <{p} rdf:resource=\"{v}\"/>",
+                        p = escape(prop),
+                        v = escape(&target_str)
+                    );
+                }
+            }
+        }
+        let _ = writeln!(out, "  </{}>", escape(res.class()));
+    }
+    out.push_str("</rdf:RDF>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+    use crate::resource::Resource;
+    use crate::uri::UriRef;
+
+    fn sample() -> Document {
+        Document::new("doc.rdf")
+            .with_resource(
+                Resource::new(UriRef::new("doc.rdf", "host"), "CycleProvider")
+                    .with("serverHost", Term::literal("pirates.uni-passau.de"))
+                    .with("serverPort", Term::literal("5874"))
+                    .with(
+                        "serverInformation",
+                        Term::resource(UriRef::new("doc.rdf", "info")),
+                    ),
+            )
+            .with_resource(
+                Resource::new(UriRef::new("doc.rdf", "info"), "ServerInformation")
+                    .with("memory", Term::literal("92"))
+                    .with("cpu", Term::literal("600")),
+            )
+    }
+
+    #[test]
+    fn roundtrip_preserves_document() {
+        let doc = sample();
+        let xml = write_document(&doc);
+        let parsed = parse_document("doc.rdf", &xml).unwrap();
+        assert_eq!(doc, parsed);
+    }
+
+    #[test]
+    fn cross_document_references_stay_absolute() {
+        let doc = Document::new("a.rdf").with_resource(
+            Resource::new(UriRef::new("a.rdf", "x"), "C")
+                .with("r", Term::resource(UriRef::new("b.rdf", "y"))),
+        );
+        let xml = write_document(&doc);
+        assert!(xml.contains("rdf:resource=\"b.rdf#y\""));
+        let parsed = parse_document("a.rdf", &xml).unwrap();
+        assert_eq!(doc, parsed);
+    }
+
+    #[test]
+    fn special_characters_escaped() {
+        let doc = Document::new("d").with_resource(
+            Resource::new(UriRef::new("d", "x"), "C").with("p", Term::literal("a<b>&c\"d'e")),
+        );
+        let xml = write_document(&doc);
+        let parsed = parse_document("d", &xml).unwrap();
+        assert_eq!(doc, parsed);
+    }
+
+    #[test]
+    fn set_valued_properties_roundtrip() {
+        let doc = Document::new("d").with_resource(
+            Resource::new(UriRef::new("d", "x"), "C")
+                .with("tag", Term::literal("a"))
+                .with("tag", Term::literal("b")),
+        );
+        let parsed = parse_document("d", &write_document(&doc)).unwrap();
+        assert_eq!(doc, parsed);
+    }
+}

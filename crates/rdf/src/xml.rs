@@ -1,0 +1,448 @@
+//! A minimal XML parser and escaper, sufficient for the RDF/XML subset MDV
+//! documents use (elements, attributes, character data, comments, and the
+//! XML declaration). Written in-house so the RDF layer has no external
+//! dependencies.
+
+use crate::error::{Error, Result};
+
+/// A parsed XML node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    Element(Element),
+    /// Character data with entities decoded. Whitespace-only text between
+    /// elements is dropped during parsing.
+    Text(String),
+}
+
+/// An XML element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Element {
+    pub name: String,
+    /// Attributes in document order.
+    pub attributes: Vec<(String, String)>,
+    pub children: Vec<Node>,
+}
+
+impl Element {
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Child elements only.
+    pub fn elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(|n| match n {
+            Node::Element(e) => Some(e),
+            Node::Text(_) => None,
+        })
+    }
+
+    /// Concatenated character data of direct text children.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for n in &self.children {
+            if let Node::Text(t) = n {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+}
+
+/// Parses a document and returns its single root element.
+pub fn parse(input: &str) -> Result<Element> {
+    let mut p = Parser {
+        chars: input.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    p.skip_prolog_and_misc()?;
+    let root = p.parse_element()?;
+    p.skip_misc()?;
+    if !p.at_end() {
+        return Err(p.err("content after root element"));
+    }
+    Ok(root)
+}
+
+/// Escapes character data / attribute values for serialization.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl Parser {
+    fn err(&self, message: impl Into<String>) -> Error {
+        Error::Xml {
+            line: self.line,
+            col: self.col,
+            message: message.into(),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.chars.len()
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<char> {
+        self.chars.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn eat(&mut self, expected: char) -> Result<()> {
+        match self.bump() {
+            Some(c) if c == expected => Ok(()),
+            Some(c) => Err(self.err(format!("expected '{expected}', found '{c}'"))),
+            None => Err(self.err(format!("expected '{expected}', found end of input"))),
+        }
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        s.chars()
+            .enumerate()
+            .all(|(i, c)| self.peek_at(i) == Some(c))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    /// Skips whitespace, comments, and processing instructions.
+    fn skip_misc(&mut self) -> Result<()> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                self.skip_comment()?;
+            } else if self.starts_with("<?") {
+                self.skip_pi()?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_prolog_and_misc(&mut self) -> Result<()> {
+        self.skip_misc()
+    }
+
+    fn skip_comment(&mut self) -> Result<()> {
+        for _ in 0..4 {
+            self.bump();
+        }
+        loop {
+            if self.at_end() {
+                return Err(self.err("unterminated comment"));
+            }
+            if self.starts_with("-->") {
+                for _ in 0..3 {
+                    self.bump();
+                }
+                return Ok(());
+            }
+            self.bump();
+        }
+    }
+
+    fn skip_pi(&mut self) -> Result<()> {
+        for _ in 0..2 {
+            self.bump();
+        }
+        loop {
+            if self.at_end() {
+                return Err(self.err("unterminated processing instruction"));
+            }
+            if self.starts_with("?>") {
+                for _ in 0..2 {
+                    self.bump();
+                }
+                return Ok(());
+            }
+            self.bump();
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String> {
+        let mut name = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || matches!(c, ':' | '_' | '-' | '.') {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if name.is_empty() {
+            Err(self.err("expected a name"))
+        } else {
+            Ok(name)
+        }
+    }
+
+    fn parse_attr_value(&mut self) -> Result<String> {
+        let quote = match self.bump() {
+            Some(q @ ('"' | '\'')) => q,
+            _ => return Err(self.err("expected quoted attribute value")),
+        };
+        let mut raw = String::new();
+        loop {
+            match self.bump() {
+                Some(c) if c == quote => break,
+                Some('<') => return Err(self.err("'<' in attribute value")),
+                Some(c) => raw.push(c),
+                None => return Err(self.err("unterminated attribute value")),
+            }
+        }
+        self.decode_entities(&raw)
+    }
+
+    fn decode_entities(&self, raw: &str) -> Result<String> {
+        let mut out = String::with_capacity(raw.len());
+        let mut it = raw.char_indices();
+        while let Some((i, c)) = it.next() {
+            if c != '&' {
+                out.push(c);
+                continue;
+            }
+            let rest = &raw[i + 1..];
+            let semi = rest
+                .find(';')
+                .ok_or_else(|| self.err("unterminated entity"))?;
+            let entity = &rest[..semi];
+            match entity {
+                "amp" => out.push('&'),
+                "lt" => out.push('<'),
+                "gt" => out.push('>'),
+                "quot" => out.push('"'),
+                "apos" => out.push('\''),
+                _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                    let code = u32::from_str_radix(&entity[2..], 16)
+                        .map_err(|_| self.err("bad character reference"))?;
+                    out.push(
+                        char::from_u32(code).ok_or_else(|| self.err("bad character reference"))?,
+                    );
+                }
+                _ if entity.starts_with('#') => {
+                    let code = entity[1..]
+                        .parse::<u32>()
+                        .map_err(|_| self.err("bad character reference"))?;
+                    out.push(
+                        char::from_u32(code).ok_or_else(|| self.err("bad character reference"))?,
+                    );
+                }
+                other => return Err(self.err(format!("unknown entity '&{other};'"))),
+            }
+            // advance the iterator past the entity
+            for _ in 0..semi + 1 {
+                it.next();
+            }
+        }
+        Ok(out)
+    }
+
+    fn parse_element(&mut self) -> Result<Element> {
+        self.eat('<')?;
+        let name = self.parse_name()?;
+        let mut attributes = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some('/') => {
+                    self.bump();
+                    self.eat('>')?;
+                    return Ok(Element {
+                        name,
+                        attributes,
+                        children: Vec::new(),
+                    });
+                }
+                Some('>') => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => {
+                    let attr_name = self.parse_name()?;
+                    if attributes.iter().any(|(n, _)| n == &attr_name) {
+                        return Err(self.err(format!("duplicate attribute '{attr_name}'")));
+                    }
+                    self.skip_ws();
+                    self.eat('=')?;
+                    self.skip_ws();
+                    let value = self.parse_attr_value()?;
+                    attributes.push((attr_name, value));
+                }
+                None => return Err(self.err("unterminated start tag")),
+            }
+        }
+        // content
+        let mut children = Vec::new();
+        loop {
+            if self.starts_with("</") {
+                self.bump();
+                self.bump();
+                let close = self.parse_name()?;
+                if close != name {
+                    return Err(self.err(format!(
+                        "mismatched closing tag: expected '</{name}>', found '</{close}>'"
+                    )));
+                }
+                self.skip_ws();
+                self.eat('>')?;
+                return Ok(Element {
+                    name,
+                    attributes,
+                    children,
+                });
+            }
+            if self.starts_with("<!--") {
+                self.skip_comment()?;
+                continue;
+            }
+            match self.peek() {
+                Some('<') => children.push(Node::Element(self.parse_element()?)),
+                Some(_) => {
+                    let mut raw = String::new();
+                    while let Some(c) = self.peek() {
+                        if c == '<' {
+                            break;
+                        }
+                        raw.push(c);
+                        self.bump();
+                    }
+                    let text = self.decode_entities(&raw)?;
+                    if !text.trim().is_empty() {
+                        children.push(Node::Text(text.trim().to_owned()));
+                    }
+                }
+                None => return Err(self.err(format!("unterminated element '{name}'"))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_document() {
+        let root = parse(
+            r#"<?xml version="1.0"?>
+            <!-- a comment -->
+            <rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#">
+              <CycleProvider rdf:ID="host">
+                <serverHost>pirates.uni-passau.de</serverHost>
+                <serverPort>5874</serverPort>
+              </CycleProvider>
+            </rdf:RDF>"#,
+        )
+        .unwrap();
+        assert_eq!(root.name, "rdf:RDF");
+        let cp = root.elements().next().unwrap();
+        assert_eq!(cp.name, "CycleProvider");
+        assert_eq!(cp.attr("rdf:ID"), Some("host"));
+        let host = cp.elements().next().unwrap();
+        assert_eq!(host.text(), "pirates.uni-passau.de");
+    }
+
+    #[test]
+    fn self_closing_and_nested() {
+        let root = parse(r#"<a><b x="1"/><c><d/></c></a>"#).unwrap();
+        let names: Vec<_> = root.elements().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["b", "c"]);
+        assert_eq!(root.elements().nth(1).unwrap().elements().count(), 1);
+    }
+
+    #[test]
+    fn entity_decoding() {
+        let root = parse("<a>x &amp; y &lt;z&gt; &#65;&#x42;</a>").unwrap();
+        assert_eq!(root.text(), "x & y <z> AB");
+        let root = parse(r#"<a v="&quot;q&apos;"/>"#).unwrap();
+        assert_eq!(root.attr("v"), Some("\"q'"));
+    }
+
+    #[test]
+    fn escape_roundtrip() {
+        let original = r#"a<b>&"c'"#;
+        let root = parse(&format!("<t>{}</t>", escape(original))).unwrap();
+        assert_eq!(root.text(), original);
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        assert!(err.to_string().contains("mismatched"));
+    }
+
+    #[test]
+    fn unterminated_element_rejected() {
+        assert!(parse("<a><b>").is_err());
+        assert!(parse("<a attr='x'").is_err());
+    }
+
+    #[test]
+    fn content_after_root_rejected() {
+        assert!(parse("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        assert!(parse(r#"<a x="1" x="2"/>"#).is_err());
+    }
+
+    #[test]
+    fn unknown_entity_rejected() {
+        assert!(parse("<a>&nbsp;</a>").is_err());
+    }
+
+    #[test]
+    fn whitespace_only_text_dropped() {
+        let root = parse("<a>\n  <b/>\n</a>").unwrap();
+        assert_eq!(root.children.len(), 1);
+    }
+
+    #[test]
+    fn error_position_reported() {
+        let err = parse("<a>\n<b x=></b></a>").unwrap_err();
+        match err {
+            crate::error::Error::Xml { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected XML error, got {other}"),
+        }
+    }
+}

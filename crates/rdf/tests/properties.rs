@@ -1,0 +1,125 @@
+//! Property-based tests for the RDF layer: parser/writer round-trips and
+//! diff algebra.
+
+use proptest::prelude::*;
+
+use mdv_rdf::{diff, parse_document, write_document, Document, Resource, Term, UriRef};
+
+/// Local identifiers: XML-name-safe, non-empty.
+fn arb_local_id() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}"
+}
+
+/// Literal text including XML-hostile characters. The parser trims
+/// leading/trailing whitespace of character data (pretty-printed documents),
+/// so generated literals are pre-trimmed.
+fn arb_literal() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-zA-Z0-9 .:/_-]{0,16}",
+        Just("a<b>&c\"d'e".to_owned()),
+        Just("&amp;".to_owned()),
+        (-10_000i64..10_000).prop_map(|i| i.to_string()),
+    ]
+    .prop_map(|s| s.trim().to_owned())
+}
+
+fn arb_document() -> impl Strategy<Value = Document> {
+    let resource_ids = prop::collection::btree_set(arb_local_id(), 1..6);
+    resource_ids
+        .prop_flat_map(|ids| {
+            let ids: Vec<String> = ids.into_iter().collect();
+            let n = ids.len();
+            let props = prop::collection::vec(
+                (
+                    "[a-z]{1,6}",
+                    prop_oneof![
+                        arb_literal().prop_map(PropVal::Lit),
+                        (0..n).prop_map(PropVal::Ref),
+                    ],
+                ),
+                0..5,
+            );
+            (Just(ids), prop::collection::vec(props, n))
+        })
+        .prop_map(|(ids, per_resource_props)| {
+            let mut doc = Document::new("doc.rdf");
+            for (id, props) in ids.iter().zip(per_resource_props) {
+                let mut res = Resource::new(UriRef::new("doc.rdf", id), "C");
+                for (pname, val) in props {
+                    let term = match val {
+                        PropVal::Lit(s) => Term::literal(s),
+                        PropVal::Ref(i) => Term::resource(UriRef::new("doc.rdf", &ids[i])),
+                    };
+                    res.add(pname, term);
+                }
+                doc.add_resource(res).unwrap();
+            }
+            doc
+        })
+}
+
+#[derive(Debug, Clone)]
+enum PropVal {
+    Lit(String),
+    Ref(usize),
+}
+
+proptest! {
+    /// Serialize → parse is the identity on documents, for any property
+    /// content including XML metacharacters.
+    #[test]
+    fn write_parse_roundtrip(doc in arb_document()) {
+        let xml = write_document(&doc);
+        let parsed = parse_document("doc.rdf", &xml).unwrap();
+        prop_assert_eq!(doc, parsed);
+    }
+
+    /// diff(d, d) is empty; every resource is reported unchanged.
+    #[test]
+    fn self_diff_is_empty(doc in arb_document()) {
+        let d = diff(&doc, &doc.clone());
+        prop_assert!(d.is_empty());
+        prop_assert_eq!(d.unchanged.len(), doc.resources().len());
+    }
+
+    /// The diff partitions both documents: every new resource is added,
+    /// updated, or unchanged; every old resource is deleted, updated, or
+    /// unchanged.
+    #[test]
+    fn diff_partitions_resources(old in arb_document(), new in arb_document()) {
+        let d = diff(&old, &new);
+        prop_assert_eq!(
+            d.added.len() + d.updated.len() + d.unchanged.len(),
+            new.resources().len()
+        );
+        prop_assert_eq!(
+            d.deleted.len() + d.updated.len() + d.unchanged.len(),
+            old.resources().len()
+        );
+    }
+
+    /// Diff is anti-symmetric: swapping arguments swaps added/deleted and
+    /// reverses updates.
+    #[test]
+    fn diff_antisymmetric(old in arb_document(), new in arb_document()) {
+        let fwd = diff(&old, &new);
+        let bwd = diff(&new, &old);
+        let mut fwd_added: Vec<String> = fwd.added.iter().map(|r| r.uri().to_string()).collect();
+        let mut bwd_deleted: Vec<String> = bwd.deleted.iter().map(|r| r.uri().to_string()).collect();
+        fwd_added.sort();
+        bwd_deleted.sort();
+        prop_assert_eq!(fwd_added, bwd_deleted);
+        prop_assert_eq!(fwd.updated.len(), bwd.updated.len());
+    }
+
+    /// Statement decomposition has exactly one subject marker per resource
+    /// and one statement per property.
+    #[test]
+    fn statement_counts(doc in arb_document()) {
+        let stmts = doc.statements();
+        let markers = stmts.iter().filter(|s| s.is_subject_marker()).count();
+        prop_assert_eq!(markers, doc.resources().len());
+        let props: usize = doc.resources().iter().map(|r| r.properties().len()).sum();
+        prop_assert_eq!(stmts.len(), markers + props);
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type shared by all relstore operations.
+
+use std::fmt;
+
+/// Result alias for relstore operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by the storage engine.
+///
+/// The engine is embedded, so errors are programming or schema errors rather
+/// than I/O failures; they are all recoverable and carry enough context to be
+/// actionable in a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A table with this name already exists in the catalog.
+    TableExists(String),
+    /// No table with this name exists in the catalog.
+    UnknownTable(String),
+    /// An index with this name already exists on the table.
+    IndexExists(String),
+    /// No index with this name exists on the table.
+    UnknownIndex(String),
+    /// A column name did not resolve against the table schema.
+    UnknownColumn { table: String, column: String },
+    /// A row's arity or a value's type did not match the schema.
+    SchemaMismatch { table: String, detail: String },
+    /// A unique-index constraint was violated on insert or update.
+    UniqueViolation { index: String, key: String },
+    /// The referenced row id is not live in the table.
+    InvalidRowId { table: String, row: u64 },
+    /// A value could not be coerced to the requested type.
+    TypeError(String),
+    /// A transaction-state violation (e.g. commit without begin).
+    TransactionState(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::TableExists(name) => write!(f, "table '{name}' already exists"),
+            Error::UnknownTable(name) => write!(f, "unknown table '{name}'"),
+            Error::IndexExists(name) => write!(f, "index '{name}' already exists"),
+            Error::UnknownIndex(name) => write!(f, "unknown index '{name}'"),
+            Error::UnknownColumn { table, column } => {
+                write!(f, "unknown column '{column}' in table '{table}'")
+            }
+            Error::SchemaMismatch { table, detail } => {
+                write!(f, "schema mismatch for table '{table}': {detail}")
+            }
+            Error::UniqueViolation { index, key } => {
+                write!(
+                    f,
+                    "unique constraint violated on index '{index}' for key {key}"
+                )
+            }
+            Error::InvalidRowId { table, row } => {
+                write!(f, "row id {row} is not live in table '{table}'")
+            }
+            Error::TypeError(msg) => write!(f, "type error: {msg}"),
+            Error::TransactionState(msg) => write!(f, "transaction error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::UnknownColumn {
+            table: "t".into(),
+            column: "c".into(),
+        };
+        assert_eq!(e.to_string(), "unknown column 'c' in table 't'");
+        let e = Error::UniqueViolation {
+            index: "pk".into(),
+            key: "[Int(1)]".into(),
+        };
+        assert!(e.to_string().contains("pk"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

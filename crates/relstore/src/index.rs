@@ -1,0 +1,325 @@
+//! Secondary indexes: hash indexes for point lookups, B-tree indexes for
+//! range scans. Both map a composite key (one or more column values) to the
+//! set of live row ids carrying that key.
+
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
+
+use crate::error::{Error, Result};
+use crate::table::RowId;
+use crate::value::Value;
+
+/// The physical kind of an index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Hash map; supports equality probes only.
+    Hash,
+    /// Ordered map; supports equality and range probes.
+    BTree,
+}
+
+/// Composite index key. `Value`'s total order makes this orderable.
+pub type IndexKey = Vec<Value>;
+
+/// A secondary index over one or more columns of a table.
+#[derive(Debug, Clone)]
+pub struct Index {
+    name: String,
+    /// Positions of the key columns in the table schema, in key order.
+    key_columns: Vec<usize>,
+    unique: bool,
+    store: IndexStore,
+}
+
+#[derive(Debug, Clone)]
+enum IndexStore {
+    Hash(HashMap<IndexKey, Vec<RowId>>),
+    BTree(BTreeMap<IndexKey, Vec<RowId>>),
+}
+
+impl Index {
+    pub fn new(
+        name: impl Into<String>,
+        kind: IndexKind,
+        key_columns: Vec<usize>,
+        unique: bool,
+    ) -> Self {
+        let store = match kind {
+            IndexKind::Hash => IndexStore::Hash(HashMap::new()),
+            IndexKind::BTree => IndexStore::BTree(BTreeMap::new()),
+        };
+        Index {
+            name: name.into(),
+            key_columns,
+            unique,
+            store,
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn key_columns(&self) -> &[usize] {
+        &self.key_columns
+    }
+
+    pub fn kind(&self) -> IndexKind {
+        match self.store {
+            IndexStore::Hash(_) => IndexKind::Hash,
+            IndexStore::BTree(_) => IndexKind::BTree,
+        }
+    }
+
+    pub fn is_unique(&self) -> bool {
+        self.unique
+    }
+
+    /// Extracts this index's key from a full table row.
+    pub fn key_of(&self, row: &[Value]) -> IndexKey {
+        self.key_columns.iter().map(|&i| row[i].clone()).collect()
+    }
+
+    /// Inserts a (key, row) entry. Fails on unique violation without mutating.
+    pub fn insert(&mut self, row: &[Value], rid: RowId) -> Result<()> {
+        let key = self.key_of(row);
+        if self.unique {
+            if let Some(existing) = self.get_bucket(&key) {
+                if !existing.is_empty() {
+                    return Err(Error::UniqueViolation {
+                        index: self.name.clone(),
+                        key: format!("{key:?}"),
+                    });
+                }
+            }
+        }
+        match &mut self.store {
+            IndexStore::Hash(m) => m.entry(key).or_default().push(rid),
+            IndexStore::BTree(m) => m.entry(key).or_default().push(rid),
+        }
+        Ok(())
+    }
+
+    /// Removes a (key, row) entry; a no-op if the entry is absent.
+    pub fn remove(&mut self, row: &[Value], rid: RowId) {
+        let key = self.key_of(row);
+        let bucket = match &mut self.store {
+            IndexStore::Hash(m) => m.get_mut(&key),
+            IndexStore::BTree(m) => m.get_mut(&key),
+        };
+        if let Some(bucket) = bucket {
+            bucket.retain(|&r| r != rid);
+            if bucket.is_empty() {
+                match &mut self.store {
+                    IndexStore::Hash(m) => {
+                        m.remove(&key);
+                    }
+                    IndexStore::BTree(m) => {
+                        m.remove(&key);
+                    }
+                }
+            }
+        }
+    }
+
+    fn get_bucket(&self, key: &IndexKey) -> Option<&Vec<RowId>> {
+        match &self.store {
+            IndexStore::Hash(m) => m.get(key),
+            IndexStore::BTree(m) => m.get(key),
+        }
+    }
+
+    /// Point probe: all row ids with exactly this key.
+    pub fn probe(&self, key: &IndexKey) -> Vec<RowId> {
+        self.get_bucket(key).cloned().unwrap_or_default()
+    }
+
+    /// Range probe over the index order. Only valid on B-tree indexes.
+    ///
+    /// Bounds apply to full composite keys; use [`Index::probe_prefix_range`]
+    /// for a fixed key prefix with a ranged last column.
+    pub fn probe_range(&self, lo: Bound<&IndexKey>, hi: Bound<&IndexKey>) -> Result<Vec<RowId>> {
+        match &self.store {
+            IndexStore::Hash(_) => Err(Error::TypeError(format!(
+                "index '{}' is a hash index and cannot serve range probes",
+                self.name
+            ))),
+            IndexStore::BTree(m) => {
+                let mut out = Vec::new();
+                for (_, rids) in m.range::<IndexKey, _>((lo, hi)) {
+                    out.extend_from_slice(rids);
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Range probe where the first `prefix.len()` key columns are fixed and
+    /// the next key column is constrained by `(lo, hi)` bounds.
+    pub fn probe_prefix_range(
+        &self,
+        prefix: &[Value],
+        lo: Bound<&Value>,
+        hi: Bound<&Value>,
+    ) -> Result<Vec<RowId>> {
+        let mut lo_key: IndexKey = prefix.to_vec();
+        let mut hi_key: IndexKey = prefix.to_vec();
+        let lo_bound = match lo {
+            Bound::Included(v) => {
+                lo_key.push(v.clone());
+                Bound::Included(&lo_key)
+            }
+            Bound::Excluded(v) => {
+                lo_key.push(v.clone());
+                Bound::Excluded(&lo_key)
+            }
+            Bound::Unbounded => {
+                // Composite keys with this prefix sort >= the bare prefix.
+                Bound::Included(&lo_key)
+            }
+        };
+        let hi_bound = match hi {
+            Bound::Included(v) => {
+                hi_key.push(v.clone());
+                Bound::Included(&hi_key)
+            }
+            Bound::Excluded(v) => {
+                hi_key.push(v.clone());
+                Bound::Excluded(&hi_key)
+            }
+            Bound::Unbounded => Bound::Unbounded,
+        };
+        match &self.store {
+            IndexStore::Hash(_) => Err(Error::TypeError(format!(
+                "index '{}' is a hash index and cannot serve range probes",
+                self.name
+            ))),
+            IndexStore::BTree(m) => {
+                let mut out = Vec::new();
+                for (key, rids) in m.range::<IndexKey, _>((lo_bound, hi_bound)) {
+                    // An unbounded hi still needs the prefix filter: the range
+                    // otherwise runs to the end of the index.
+                    if key.len() < prefix.len() || &key[..prefix.len()] != prefix {
+                        break;
+                    }
+                    out.extend_from_slice(rids);
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Number of distinct keys currently in the index.
+    pub fn distinct_keys(&self) -> usize {
+        match &self.store {
+            IndexStore::Hash(m) => m.len(),
+            IndexStore::BTree(m) => m.len(),
+        }
+    }
+
+    /// Drops all entries (used when truncating a table).
+    pub fn clear(&mut self) {
+        match &mut self.store {
+            IndexStore::Hash(m) => m.clear(),
+            IndexStore::BTree(m) => m.clear(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(vals: &[i64]) -> Vec<Value> {
+        vals.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn hash_index_point_probe() {
+        let mut idx = Index::new("i", IndexKind::Hash, vec![0], false);
+        idx.insert(&row(&[1, 10]), RowId(0)).unwrap();
+        idx.insert(&row(&[1, 20]), RowId(1)).unwrap();
+        idx.insert(&row(&[2, 30]), RowId(2)).unwrap();
+        let mut hits = idx.probe(&vec![Value::Int(1)]);
+        hits.sort();
+        assert_eq!(hits, vec![RowId(0), RowId(1)]);
+        assert!(idx.probe(&vec![Value::Int(9)]).is_empty());
+    }
+
+    #[test]
+    fn unique_violation() {
+        let mut idx = Index::new("u", IndexKind::Hash, vec![0], true);
+        idx.insert(&row(&[1]), RowId(0)).unwrap();
+        let err = idx.insert(&row(&[1]), RowId(1)).unwrap_err();
+        assert!(matches!(err, Error::UniqueViolation { .. }));
+        // after removing, the key can be reused
+        idx.remove(&row(&[1]), RowId(0));
+        idx.insert(&row(&[1]), RowId(2)).unwrap();
+    }
+
+    #[test]
+    fn remove_is_exact() {
+        let mut idx = Index::new("i", IndexKind::Hash, vec![0], false);
+        idx.insert(&row(&[5]), RowId(0)).unwrap();
+        idx.insert(&row(&[5]), RowId(1)).unwrap();
+        idx.remove(&row(&[5]), RowId(0));
+        assert_eq!(idx.probe(&vec![Value::Int(5)]), vec![RowId(1)]);
+        // removing a non-member is a no-op
+        idx.remove(&row(&[5]), RowId(42));
+        assert_eq!(idx.probe(&vec![Value::Int(5)]), vec![RowId(1)]);
+    }
+
+    #[test]
+    fn btree_range_probe() {
+        let mut idx = Index::new("b", IndexKind::BTree, vec![0], false);
+        for v in 0..10 {
+            idx.insert(&row(&[v]), RowId(v as u64)).unwrap();
+        }
+        let key = |v: i64| vec![Value::Int(v)];
+        let hits = idx
+            .probe_range(Bound::Included(&key(3)), Bound::Excluded(&key(6)))
+            .unwrap();
+        assert_eq!(hits, vec![RowId(3), RowId(4), RowId(5)]);
+    }
+
+    #[test]
+    fn prefix_range_probe() {
+        // key = (class, value); range over value for a fixed class
+        let mut idx = Index::new("b", IndexKind::BTree, vec![0, 1], false);
+        let mk = |c: &str, v: i64| vec![Value::Str(c.into()), Value::Int(v)];
+        idx.insert(&mk("A", 1), RowId(0)).unwrap();
+        idx.insert(&mk("A", 5), RowId(1)).unwrap();
+        idx.insert(&mk("A", 9), RowId(2)).unwrap();
+        idx.insert(&mk("B", 5), RowId(3)).unwrap();
+        let hits = idx
+            .probe_prefix_range(
+                &[Value::Str("A".into())],
+                Bound::Excluded(&Value::Int(1)),
+                Bound::Unbounded,
+            )
+            .unwrap();
+        assert_eq!(hits, vec![RowId(1), RowId(2)]);
+        let hits = idx
+            .probe_prefix_range(
+                &[Value::Str("A".into())],
+                Bound::Unbounded,
+                Bound::Included(&Value::Int(5)),
+            )
+            .unwrap();
+        assert_eq!(hits, vec![RowId(0), RowId(1)]);
+    }
+
+    #[test]
+    fn hash_index_rejects_range() {
+        let idx = Index::new("i", IndexKind::Hash, vec![0], false);
+        assert!(idx.probe_range(Bound::Unbounded, Bound::Unbounded).is_err());
+    }
+
+    #[test]
+    fn clear_empties_index() {
+        let mut idx = Index::new("i", IndexKind::Hash, vec![0], false);
+        idx.insert(&row(&[1]), RowId(0)).unwrap();
+        idx.clear();
+        assert_eq!(idx.distinct_keys(), 0);
+    }
+}

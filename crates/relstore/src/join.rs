@@ -1,0 +1,241 @@
+//! Join execution: hash equi-joins and nested-loop theta joins over row
+//! batches. The MDV filter's core step — `FilterData ⋈ FilterRulesOP` — runs
+//! through these operators.
+
+use crate::error::Result;
+use crate::predicate::Predicate;
+use crate::table::Row;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Hash equi-join of two row batches on the given key columns.
+///
+/// Output rows are `left ++ right` concatenations. Key columns with NULLs
+/// never join (SQL semantics). The smaller side should be passed as `left`
+/// for the build phase, but correctness does not depend on it.
+pub fn hash_join(
+    left: &[Row],
+    right: &[Row],
+    left_keys: &[usize],
+    right_keys: &[usize],
+) -> Vec<Row> {
+    assert_eq!(left_keys.len(), right_keys.len(), "join key arity mismatch");
+    let mut built: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(left.len());
+    'build: for (i, row) in left.iter().enumerate() {
+        let mut key = Vec::with_capacity(left_keys.len());
+        for &k in left_keys {
+            if row[k].is_null() {
+                continue 'build;
+            }
+            key.push(row[k].clone());
+        }
+        built.entry(key).or_default().push(i);
+    }
+    let mut out = Vec::new();
+    'probe: for rrow in right {
+        let mut key = Vec::with_capacity(right_keys.len());
+        for &k in right_keys {
+            if rrow[k].is_null() {
+                continue 'probe;
+            }
+            key.push(rrow[k].clone());
+        }
+        if let Some(matches) = built.get(&key) {
+            for &li in matches {
+                let mut joined = left[li].clone();
+                joined.extend_from_slice(rrow);
+                out.push(joined);
+            }
+        }
+    }
+    out
+}
+
+/// Nested-loop theta join: emits `left ++ right` whenever `pred` holds on the
+/// concatenated row. Column positions in `pred` address the concatenation
+/// (left columns first).
+pub fn nested_loop_join(left: &[Row], right: &[Row], pred: &Predicate) -> Result<Vec<Row>> {
+    let mut out = Vec::new();
+    for lrow in left {
+        // Reuse one buffer per outer row; truncate back between inner rows.
+        let base_len = lrow.len();
+        let mut joined = lrow.clone();
+        for rrow in right {
+            joined.truncate(base_len);
+            joined.extend_from_slice(rrow);
+            if pred.matches(&joined)? {
+                out.push(joined.clone());
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Semi-join: rows of `left` that have at least one equi-match in `right`.
+pub fn semi_join(
+    left: &[Row],
+    right: &[Row],
+    left_keys: &[usize],
+    right_keys: &[usize],
+) -> Vec<Row> {
+    assert_eq!(left_keys.len(), right_keys.len(), "join key arity mismatch");
+    let mut probe: std::collections::HashSet<Vec<Value>> =
+        std::collections::HashSet::with_capacity(right.len());
+    'build: for row in right {
+        let mut key = Vec::with_capacity(right_keys.len());
+        for &k in right_keys {
+            if row[k].is_null() {
+                continue 'build;
+            }
+            key.push(row[k].clone());
+        }
+        probe.insert(key);
+    }
+    left.iter()
+        .filter(|row| {
+            let mut key = Vec::with_capacity(left_keys.len());
+            for &k in left_keys {
+                if row[k].is_null() {
+                    return false;
+                }
+                key.push(row[k].clone());
+            }
+            probe.contains(&key)
+        })
+        .cloned()
+        .collect()
+}
+
+/// Anti-join: rows of `left` with **no** equi-match in `right`. Used by the
+/// MDV update protocol ("candidates minus wrong candidates", paper §3.5).
+pub fn anti_join(
+    left: &[Row],
+    right: &[Row],
+    left_keys: &[usize],
+    right_keys: &[usize],
+) -> Vec<Row> {
+    assert_eq!(left_keys.len(), right_keys.len(), "join key arity mismatch");
+    let mut probe: std::collections::HashSet<Vec<Value>> =
+        std::collections::HashSet::with_capacity(right.len());
+    'build: for row in right {
+        let mut key = Vec::with_capacity(right_keys.len());
+        for &k in right_keys {
+            if row[k].is_null() {
+                continue 'build;
+            }
+            key.push(row[k].clone());
+        }
+        probe.insert(key);
+    }
+    left.iter()
+        .filter(|row| {
+            let mut key = Vec::with_capacity(left_keys.len());
+            for &k in left_keys {
+                if row[k].is_null() {
+                    // NULL keys never match, so they survive an anti-join.
+                    return true;
+                }
+                key.push(row[k].clone());
+            }
+            !probe.contains(&key)
+        })
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{CmpOp, Expr};
+
+    fn rows(data: &[(&str, i64)]) -> Vec<Row> {
+        data.iter()
+            .map(|(s, i)| vec![Value::Str((*s).into()), Value::Int(*i)])
+            .collect()
+    }
+
+    #[test]
+    fn hash_join_basic() {
+        let l = rows(&[("a", 1), ("b", 2), ("c", 2)]);
+        let r = rows(&[("x", 2), ("y", 3)]);
+        let out = hash_join(&l, &r, &[1], &[1]);
+        // b⋈x and c⋈x
+        assert_eq!(out.len(), 2);
+        for row in &out {
+            assert_eq!(row.len(), 4);
+            assert_eq!(row[1], Value::Int(2));
+            assert_eq!(row[3], Value::Int(2));
+        }
+    }
+
+    #[test]
+    fn hash_join_cross_type_numeric_keys() {
+        // Int(2) and Float(2.0) hash/compare equal, so they join.
+        let l = vec![vec![Value::Int(2)]];
+        let r = vec![vec![Value::Float(2.0)]];
+        assert_eq!(hash_join(&l, &r, &[0], &[0]).len(), 1);
+    }
+
+    #[test]
+    fn hash_join_null_keys_never_match() {
+        let l = vec![vec![Value::Null], vec![Value::Int(1)]];
+        let r = vec![vec![Value::Null], vec![Value::Int(1)]];
+        let out = hash_join(&l, &r, &[0], &[0]);
+        assert_eq!(out.len(), 1, "only the Int(1) pair joins");
+    }
+
+    #[test]
+    fn hash_join_composite_keys() {
+        let l = rows(&[("a", 1), ("a", 2)]);
+        let r = rows(&[("a", 1), ("b", 1)]);
+        let out = hash_join(&l, &r, &[0, 1], &[0, 1]);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn nested_loop_theta() {
+        let l = rows(&[("a", 1), ("b", 5)]);
+        let r = rows(&[("x", 3), ("y", 4)]);
+        // left.value > right.value  (columns: 0,1 left; 2,3 right)
+        let pred = Predicate::Cmp {
+            lhs: Expr::Col(1),
+            op: CmpOp::Gt,
+            rhs: Expr::Col(3),
+        };
+        let out = nested_loop_join(&l, &r, &pred).unwrap();
+        // only b(5) > x(3) and b(5) > y(4)
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|r| r[0] == Value::Str("b".into())));
+    }
+
+    #[test]
+    fn semi_and_anti_partition_left() {
+        let l = rows(&[("a", 1), ("b", 2), ("c", 3)]);
+        let r = rows(&[("x", 2)]);
+        let semi = semi_join(&l, &r, &[1], &[1]);
+        let anti = anti_join(&l, &r, &[1], &[1]);
+        assert_eq!(semi.len(), 1);
+        assert_eq!(semi[0][0], Value::Str("b".into()));
+        assert_eq!(anti.len(), 2);
+        assert_eq!(semi.len() + anti.len(), l.len());
+    }
+
+    #[test]
+    fn anti_join_null_left_keys_survive() {
+        let l = vec![vec![Value::Null], vec![Value::Int(1)]];
+        let r = vec![vec![Value::Int(1)]];
+        let out = anti_join(&l, &r, &[0], &[0]);
+        assert_eq!(out.len(), 1);
+        assert!(out[0][0].is_null());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let l = rows(&[("a", 1)]);
+        let empty: Vec<Row> = Vec::new();
+        assert!(hash_join(&l, &empty, &[1], &[1]).is_empty());
+        assert!(hash_join(&empty, &l, &[1], &[1]).is_empty());
+        assert_eq!(semi_join(&l, &empty, &[1], &[1]).len(), 0);
+        assert_eq!(anti_join(&l, &empty, &[1], &[1]).len(), 1);
+    }
+}

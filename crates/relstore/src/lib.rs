@@ -1,0 +1,65 @@
+//! # mdv-relstore
+//!
+//! An embedded, in-memory relational storage engine. It stands in for the
+//! "major commercial RDBMS" that the MDV paper (Keidl et al., ICDE 2002)
+//! used as the backend of its publish & subscribe filter:
+//!
+//! * typed tables with schemas and nullability ([`TableSchema`], [`Table`]),
+//! * hash and B-tree secondary indexes ([`Index`]),
+//! * predicate evaluation with SQL three-valued logic ([`Predicate`]),
+//! * a selection planner that picks point-probe / range-probe / scan access
+//!   paths ([`query`]),
+//! * hash, nested-loop, semi- and anti-joins ([`join`]),
+//! * undo-log transactions ([`Txn`]).
+//!
+//! The engine is deliberately single-node and synchronous: the MDV filter
+//! algorithm's behaviour (batch amortization, index-driven rule matching)
+//! depends on *relational* evaluation, not on a network protocol.
+//!
+//! ```
+//! use mdv_relstore::{Database, TableSchema, ColumnDef, DataType, Value,
+//!                    Predicate, CmpOp, IndexKind, query};
+//!
+//! let mut db = Database::new();
+//! db.create_table(TableSchema::new("FilterData", vec![
+//!     ColumnDef::new("uri_reference", DataType::Str),
+//!     ColumnDef::new("class", DataType::Str),
+//!     ColumnDef::new("property", DataType::Str),
+//!     ColumnDef::new("value", DataType::Str),
+//! ]).unwrap()).unwrap();
+//! db.create_index("FilterData", "by_class_prop", IndexKind::Hash,
+//!                 &["class", "property"], false).unwrap();
+//! db.insert("FilterData", vec![
+//!     Value::from("doc.rdf#info"), Value::from("ServerInformation"),
+//!     Value::from("memory"), Value::from("92"),
+//! ]).unwrap();
+//!
+//! let t = db.table("FilterData").unwrap();
+//! let pred = Predicate::col_eq(t.schema(), "class", Value::from("ServerInformation")).unwrap();
+//! assert_eq!(query::select(t, &pred).unwrap().len(), 1);
+//! ```
+
+pub mod catalog;
+pub mod error;
+pub mod index;
+pub mod join;
+pub mod predicate;
+pub mod query;
+pub mod schema;
+pub mod snapshot;
+pub mod sql;
+pub mod table;
+pub mod txn;
+pub mod value;
+
+pub use catalog::Database;
+pub use error::{Error, Result};
+pub use index::{Index, IndexKey, IndexKind};
+pub use predicate::{CmpOp, Expr, Predicate};
+pub use query::{select, select_with_plan, AccessPath, Plan};
+pub use schema::{ColumnDef, TableSchema};
+pub use snapshot::{load_from_path, read_database, save_to_path, write_database};
+pub use sql::{execute as execute_sql, ResultSet};
+pub use table::{Row, RowId, Table};
+pub use txn::Txn;
+pub use value::{DataType, Value};

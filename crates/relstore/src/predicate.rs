@@ -1,0 +1,362 @@
+//! Row predicates: comparison operators and boolean combinators, evaluated
+//! with SQL three-valued logic (NULL comparisons are unknown, and unknown
+//! rows are filtered out).
+
+use std::fmt;
+
+use crate::error::Result;
+use crate::schema::TableSchema;
+use crate::value::{DataType, Value};
+
+/// Comparison operators of the MDV rule language (paper §2.3) plus the
+/// operators needed internally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// Substring containment on strings (`contains` in the rule language).
+    Contains,
+}
+
+impl CmpOp {
+    /// Evaluates `lhs op rhs` under SQL semantics; `None` means unknown.
+    pub fn eval(self, lhs: &Value, rhs: &Value) -> Option<bool> {
+        match self {
+            CmpOp::Eq => lhs.sql_eq(rhs),
+            CmpOp::Ne => lhs.sql_eq(rhs).map(|b| !b),
+            CmpOp::Lt => lhs.sql_cmp(rhs).map(|o| o.is_lt()),
+            CmpOp::Le => lhs.sql_cmp(rhs).map(|o| o.is_le()),
+            CmpOp::Gt => lhs.sql_cmp(rhs).map(|o| o.is_gt()),
+            CmpOp::Ge => lhs.sql_cmp(rhs).map(|o| o.is_ge()),
+            CmpOp::Contains => match (lhs, rhs) {
+                (Value::Null, _) | (_, Value::Null) => None,
+                (Value::Str(a), Value::Str(b)) => Some(a.contains(b.as_str())),
+                _ => Some(false),
+            },
+        }
+    }
+
+    /// The operator with operand sides swapped (`a < b` ⇔ `b > a`).
+    /// `Contains` is not symmetric and has no mirror; it maps to itself only
+    /// for the callers that never flip it.
+    pub fn mirrored(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            CmpOp::Contains => CmpOp::Contains,
+        }
+    }
+
+    /// The negated operator, used when splitting `or` rules via De Morgan
+    /// (paper §2.3 mentions negated operators). `Contains` has no negation in
+    /// the operator set and returns `None`.
+    pub fn negated(self) -> Option<CmpOp> {
+        match self {
+            CmpOp::Eq => Some(CmpOp::Ne),
+            CmpOp::Ne => Some(CmpOp::Eq),
+            CmpOp::Lt => Some(CmpOp::Ge),
+            CmpOp::Le => Some(CmpOp::Gt),
+            CmpOp::Gt => Some(CmpOp::Le),
+            CmpOp::Ge => Some(CmpOp::Lt),
+            CmpOp::Contains => None,
+        }
+    }
+
+    /// True for the ordered comparison operators (`< <= > >=`), which the
+    /// paper restricts to numeric constants (§3.3.4).
+    pub fn is_ordering(self) -> bool {
+        matches!(self, CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge)
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Contains => "contains",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A scalar expression over a single row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column by position.
+    Col(usize),
+    /// Constant value.
+    Const(Value),
+    /// Coerce a sub-expression to a data type (string↔number reconversion).
+    Cast(Box<Expr>, DataType),
+}
+
+impl Expr {
+    /// Convenience constructor resolving a column by name.
+    pub fn col(schema: &TableSchema, name: &str) -> Result<Expr> {
+        Ok(Expr::Col(schema.column_index(name)?))
+    }
+
+    pub fn eval(&self, row: &[Value]) -> Result<Value> {
+        match self {
+            Expr::Col(i) => Ok(row[*i].clone()),
+            Expr::Const(v) => Ok(v.clone()),
+            Expr::Cast(e, dt) => e.eval(row)?.coerce(*dt),
+        }
+    }
+}
+
+/// A boolean predicate over a single row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Always true (scan everything).
+    True,
+    Cmp {
+        lhs: Expr,
+        op: CmpOp,
+        rhs: Expr,
+    },
+    And(Vec<Predicate>),
+    Or(Vec<Predicate>),
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Shorthand for `column op constant`.
+    pub fn col_cmp(schema: &TableSchema, column: &str, op: CmpOp, value: Value) -> Result<Self> {
+        Ok(Predicate::Cmp {
+            lhs: Expr::col(schema, column)?,
+            op,
+            rhs: Expr::Const(value),
+        })
+    }
+
+    /// Shorthand for `column = constant`.
+    pub fn col_eq(schema: &TableSchema, column: &str, value: Value) -> Result<Self> {
+        Self::col_cmp(schema, column, CmpOp::Eq, value)
+    }
+
+    /// Conjunction of predicates, flattening nested `And`s.
+    pub fn and(preds: Vec<Predicate>) -> Self {
+        let mut flat = Vec::with_capacity(preds.len());
+        for p in preds {
+            match p {
+                Predicate::True => {}
+                Predicate::And(ps) => flat.extend(ps),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Predicate::True,
+            1 => flat.pop().expect("len checked"),
+            _ => Predicate::And(flat),
+        }
+    }
+
+    /// Three-valued evaluation; `None` is unknown.
+    pub fn eval3(&self, row: &[Value]) -> Result<Option<bool>> {
+        Ok(match self {
+            Predicate::True => Some(true),
+            Predicate::Cmp { lhs, op, rhs } => {
+                let l = lhs.eval(row)?;
+                let r = rhs.eval(row)?;
+                op.eval(&l, &r)
+            }
+            Predicate::And(ps) => {
+                let mut unknown = false;
+                for p in ps {
+                    match p.eval3(row)? {
+                        Some(false) => return Ok(Some(false)),
+                        None => unknown = true,
+                        Some(true) => {}
+                    }
+                }
+                if unknown {
+                    None
+                } else {
+                    Some(true)
+                }
+            }
+            Predicate::Or(ps) => {
+                let mut unknown = false;
+                for p in ps {
+                    match p.eval3(row)? {
+                        Some(true) => return Ok(Some(true)),
+                        None => unknown = true,
+                        Some(false) => {}
+                    }
+                }
+                if unknown {
+                    None
+                } else {
+                    Some(false)
+                }
+            }
+            Predicate::Not(p) => p.eval3(row)?.map(|b| !b),
+        })
+    }
+
+    /// Filter semantics: a row passes only when the predicate is truly true.
+    pub fn matches(&self, row: &[Value]) -> Result<bool> {
+        // A failed coercion inside a Cast means the operand cannot satisfy
+        // the comparison; SQL would raise, but filter semantics treat it as
+        // a non-match, which is what the MDV string-reconversion join needs.
+        match self.eval3(row) {
+            Ok(v) => Ok(v == Some(true)),
+            Err(crate::error::Error::TypeError(_)) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, TableSchema};
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("a", DataType::Int),
+                ColumnDef::new("s", DataType::Str),
+                ColumnDef::new("n", DataType::Int).nullable(),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn row(a: i64, s: &str, n: Option<i64>) -> Vec<Value> {
+        vec![
+            Value::Int(a),
+            Value::Str(s.into()),
+            n.map_or(Value::Null, Value::Int),
+        ]
+    }
+
+    #[test]
+    fn cmp_op_eval_matrix() {
+        use CmpOp::*;
+        let one = Value::Int(1);
+        let two = Value::Int(2);
+        assert_eq!(Eq.eval(&one, &one), Some(true));
+        assert_eq!(Ne.eval(&one, &two), Some(true));
+        assert_eq!(Lt.eval(&one, &two), Some(true));
+        assert_eq!(Le.eval(&two, &two), Some(true));
+        assert_eq!(Gt.eval(&one, &two), Some(false));
+        assert_eq!(Ge.eval(&two, &one), Some(true));
+        assert_eq!(Eq.eval(&Value::Null, &one), None);
+    }
+
+    #[test]
+    fn contains_semantics() {
+        let host = Value::Str("pirates.uni-passau.de".into());
+        let pat = Value::Str("uni-passau.de".into());
+        assert_eq!(CmpOp::Contains.eval(&host, &pat), Some(true));
+        assert_eq!(CmpOp::Contains.eval(&pat, &host), Some(false));
+        assert_eq!(CmpOp::Contains.eval(&Value::Int(1), &pat), Some(false));
+        assert_eq!(CmpOp::Contains.eval(&Value::Null, &pat), None);
+    }
+
+    #[test]
+    fn mirrored_and_negated() {
+        assert_eq!(CmpOp::Lt.mirrored(), CmpOp::Gt);
+        assert_eq!(CmpOp::Le.mirrored(), CmpOp::Ge);
+        assert_eq!(CmpOp::Eq.mirrored(), CmpOp::Eq);
+        assert_eq!(CmpOp::Lt.negated(), Some(CmpOp::Ge));
+        assert_eq!(CmpOp::Contains.negated(), None);
+    }
+
+    #[test]
+    fn predicate_eval_and_or_not() {
+        let s = schema();
+        let p = Predicate::and(vec![
+            Predicate::col_cmp(&s, "a", CmpOp::Gt, Value::Int(0)).unwrap(),
+            Predicate::col_cmp(&s, "s", CmpOp::Contains, Value::Str("x".into())).unwrap(),
+        ]);
+        assert!(p.matches(&row(1, "axb", None)).unwrap());
+        assert!(!p.matches(&row(1, "ab", None)).unwrap());
+        assert!(!p.matches(&row(0, "x", None)).unwrap());
+
+        let q = Predicate::Or(vec![
+            Predicate::col_eq(&s, "a", Value::Int(5)).unwrap(),
+            Predicate::col_eq(&s, "s", Value::Str("hit".into())).unwrap(),
+        ]);
+        assert!(q.matches(&row(5, "no", None)).unwrap());
+        assert!(q.matches(&row(0, "hit", None)).unwrap());
+        assert!(!q.matches(&row(0, "no", None)).unwrap());
+
+        let n = Predicate::Not(Box::new(q));
+        assert!(n.matches(&row(0, "no", None)).unwrap());
+    }
+
+    #[test]
+    fn null_filters_out() {
+        let s = schema();
+        let p = Predicate::col_cmp(&s, "n", CmpOp::Gt, Value::Int(10)).unwrap();
+        assert!(
+            !p.matches(&row(1, "x", None)).unwrap(),
+            "NULL > 10 is unknown, filtered"
+        );
+        assert!(p.matches(&row(1, "x", Some(11))).unwrap());
+        // NOT over unknown stays unknown, still filtered
+        let np = Predicate::Not(Box::new(p));
+        assert!(!np.matches(&row(1, "x", None)).unwrap());
+    }
+
+    #[test]
+    fn and_three_valued_short_circuit() {
+        let s = schema();
+        // false AND unknown = false (not unknown)
+        let p = Predicate::And(vec![
+            Predicate::col_eq(&s, "a", Value::Int(99)).unwrap(),
+            Predicate::col_cmp(&s, "n", CmpOp::Gt, Value::Int(0)).unwrap(),
+        ]);
+        assert_eq!(p.eval3(&row(1, "x", None)).unwrap(), Some(false));
+        // true AND unknown = unknown
+        let p = Predicate::And(vec![
+            Predicate::col_eq(&s, "a", Value::Int(1)).unwrap(),
+            Predicate::col_cmp(&s, "n", CmpOp::Gt, Value::Int(0)).unwrap(),
+        ]);
+        assert_eq!(p.eval3(&row(1, "x", None)).unwrap(), None);
+    }
+
+    #[test]
+    fn cast_reconverts_strings_for_comparison() {
+        let s = TableSchema::new("r", vec![ColumnDef::new("value", DataType::Str)]).unwrap();
+        // value stored as string, compared numerically: CAST(value AS INT) > 64
+        let p = Predicate::Cmp {
+            lhs: Expr::Cast(Box::new(Expr::col(&s, "value").unwrap()), DataType::Int),
+            op: CmpOp::Gt,
+            rhs: Expr::Const(Value::Int(64)),
+        };
+        assert!(p.matches(&[Value::Str("92".into())]).unwrap());
+        assert!(!p.matches(&[Value::Str("32".into())]).unwrap());
+        // non-numeric strings silently fail the match instead of erroring
+        assert!(!p.matches(&[Value::Str("not-a-number".into())]).unwrap());
+    }
+
+    #[test]
+    fn and_flattening() {
+        let s = schema();
+        let inner = Predicate::and(vec![
+            Predicate::col_eq(&s, "a", Value::Int(1)).unwrap(),
+            Predicate::True,
+        ]);
+        // single non-trivial predicate collapses
+        assert!(matches!(inner, Predicate::Cmp { .. }));
+        assert!(matches!(Predicate::and(vec![]), Predicate::True));
+    }
+}

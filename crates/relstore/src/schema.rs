@@ -1,0 +1,191 @@
+//! Table schemas: column definitions and name resolution.
+
+use std::fmt;
+
+use crate::error::{Error, Result};
+use crate::value::{DataType, Value};
+
+/// Definition of a single column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub dtype: DataType,
+    pub nullable: bool,
+}
+
+impl ColumnDef {
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            dtype,
+            nullable: false,
+        }
+    }
+
+    pub fn nullable(mut self) -> Self {
+        self.nullable = true;
+        self
+    }
+}
+
+/// Schema of a table: ordered, named, typed columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    name: String,
+    columns: Vec<ColumnDef>,
+}
+
+impl TableSchema {
+    /// Builds a schema; column names must be unique.
+    pub fn new(name: impl Into<String>, columns: Vec<ColumnDef>) -> Result<Self> {
+        let name = name.into();
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|p| p.name == c.name) {
+                return Err(Error::SchemaMismatch {
+                    table: name,
+                    detail: format!("duplicate column '{}'", c.name),
+                });
+            }
+        }
+        Ok(TableSchema { name, columns })
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Resolves a column name to its positional index.
+    pub fn column_index(&self, column: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == column)
+            .ok_or_else(|| Error::UnknownColumn {
+                table: self.name.clone(),
+                column: column.to_owned(),
+            })
+    }
+
+    /// Resolves several column names at once.
+    pub fn column_indices(&self, columns: &[&str]) -> Result<Vec<usize>> {
+        columns.iter().map(|c| self.column_index(c)).collect()
+    }
+
+    /// Validates a row against this schema (arity, types, nullability).
+    pub fn check_row(&self, row: &[Value]) -> Result<()> {
+        if row.len() != self.columns.len() {
+            return Err(Error::SchemaMismatch {
+                table: self.name.clone(),
+                detail: format!("expected {} values, got {}", self.columns.len(), row.len()),
+            });
+        }
+        for (col, val) in self.columns.iter().zip(row) {
+            match val.data_type() {
+                None if col.nullable => {}
+                None => {
+                    return Err(Error::SchemaMismatch {
+                        table: self.name.clone(),
+                        detail: format!("column '{}' is not nullable", col.name),
+                    })
+                }
+                Some(dt) if dt == col.dtype => {}
+                Some(dt) => {
+                    return Err(Error::SchemaMismatch {
+                        table: self.name.clone(),
+                        detail: format!(
+                            "column '{}' expects {}, got {} ({})",
+                            col.name, col.dtype, dt, val
+                        ),
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TableSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{} {}", c.name, c.dtype)?;
+            if c.nullable {
+                f.write_str(" NULL")?;
+            }
+        }
+        f.write_str(")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TableSchema {
+        TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("name", DataType::Str),
+                ColumnDef::new("score", DataType::Float).nullable(),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        let err = TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("a", DataType::Int),
+                ColumnDef::new("a", DataType::Str),
+            ],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("duplicate column"));
+    }
+
+    #[test]
+    fn column_resolution() {
+        let s = sample();
+        assert_eq!(s.column_index("name").unwrap(), 1);
+        assert!(s.column_index("missing").is_err());
+        assert_eq!(s.column_indices(&["score", "id"]).unwrap(), vec![2, 0]);
+    }
+
+    #[test]
+    fn row_validation() {
+        let s = sample();
+        s.check_row(&[Value::Int(1), Value::Str("a".into()), Value::Null])
+            .unwrap();
+        // wrong arity
+        assert!(s.check_row(&[Value::Int(1)]).is_err());
+        // non-nullable null
+        assert!(s
+            .check_row(&[Value::Null, Value::Str("a".into()), Value::Null])
+            .is_err());
+        // wrong type
+        assert!(s
+            .check_row(&[Value::Int(1), Value::Int(2), Value::Null])
+            .is_err());
+    }
+
+    #[test]
+    fn display_schema() {
+        assert_eq!(
+            sample().to_string(),
+            "t(id INT, name STR, score FLOAT NULL)"
+        );
+    }
+}

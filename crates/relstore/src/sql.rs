@@ -1,0 +1,1018 @@
+//! A small SQL dialect over the storage engine: `SELECT` with multi-table
+//! joins, the MDV paper's workhorse ("search requests are translated into
+//! SQL join queries", §2.2).
+//!
+//! Supported grammar:
+//!
+//! ```text
+//! SELECT [DISTINCT] * | item [, item ...]
+//! FROM table [alias] [, table [alias] ...]
+//! [WHERE expr]
+//! [ORDER BY column [ASC|DESC]]
+//! [LIMIT n]
+//!
+//! item   := column | CAST(column AS INT|FLOAT|STR|BOOL)
+//! column := [alias.]name
+//! expr   := expr OR expr | expr AND expr | NOT expr | (expr) | scalar op scalar
+//! op     := = | != | <> | < | <= | > | >= | CONTAINS
+//! scalar := column | CAST(scalar AS type) | 'string' | number | TRUE | FALSE | NULL
+//! ```
+//!
+//! Execution joins the FROM tables left to right: per-table conjuncts are
+//! pushed down and evaluated through the engine's access-path planner
+//! (index probes where possible), cross-table equality conjuncts become
+//! hash joins, everything else is a residual filter. `CONTAINS` is the
+//! dialect's substring operator (the rule language's `contains`);
+//! `CAST(value AS INT)` performs the string→number reconversion the MDV
+//! filter tables rely on.
+
+use std::collections::HashMap;
+
+use crate::catalog::Database;
+use crate::error::{Error, Result};
+use crate::join::hash_join;
+use crate::predicate::{CmpOp, Expr, Predicate};
+use crate::query;
+use crate::table::Row;
+use crate::value::{DataType, Value};
+
+/// The result of a `SELECT`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// Output column labels, in projection order.
+    pub columns: Vec<String>,
+    pub rows: Vec<Row>,
+}
+
+/// Parses and executes one `SELECT` statement.
+pub fn execute(db: &Database, sql: &str) -> Result<ResultSet> {
+    let stmt = parse(sql)?;
+    run(db, &stmt)
+}
+
+// ---------------------------------------------------------------------------
+// AST
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+struct SelectStmt {
+    distinct: bool,
+    /// `None` = `SELECT *`.
+    projection: Option<Vec<Scalar>>,
+    from: Vec<FromItem>,
+    where_: Option<SqlExpr>,
+    order_by: Option<(ColumnRef, bool /* descending */)>,
+    limit: Option<usize>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct FromItem {
+    table: String,
+    alias: String,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct ColumnRef {
+    /// Alias qualifier; `None` for unqualified references.
+    qualifier: Option<String>,
+    column: String,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Scalar {
+    Col(ColumnRef),
+    Lit(Value),
+    Cast(Box<Scalar>, DataType),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum SqlExpr {
+    Cmp { lhs: Scalar, op: CmpOp, rhs: Scalar },
+    And(Vec<SqlExpr>),
+    Or(Vec<SqlExpr>),
+    Not(Box<SqlExpr>),
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Word(String), // keyword or identifier (keywords matched case-insensitively)
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Comma,
+    Dot,
+    LParen,
+    RParen,
+    Star,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eof,
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>> {
+    let mut toks = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    let err = |msg: &str| Error::TypeError(format!("SQL: {msg}"));
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            ',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            '.' => {
+                toks.push(Tok::Dot);
+                i += 1;
+            }
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            '*' => {
+                toks.push(Tok::Star);
+                i += 1;
+            }
+            '=' => {
+                toks.push(Tok::Eq);
+                i += 1;
+            }
+            '!' if chars.get(i + 1) == Some(&'=') => {
+                toks.push(Tok::Ne);
+                i += 2;
+            }
+            '<' if chars.get(i + 1) == Some(&'>') => {
+                toks.push(Tok::Ne);
+                i += 2;
+            }
+            '<' if chars.get(i + 1) == Some(&'=') => {
+                toks.push(Tok::Le);
+                i += 2;
+            }
+            '<' => {
+                toks.push(Tok::Lt);
+                i += 1;
+            }
+            '>' if chars.get(i + 1) == Some(&'=') => {
+                toks.push(Tok::Ge);
+                i += 2;
+            }
+            '>' => {
+                toks.push(Tok::Gt);
+                i += 1;
+            }
+            '\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match chars.get(i) {
+                        Some('\'') if chars.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&c) => {
+                            s.push(c);
+                            i += 1;
+                        }
+                        None => return Err(err("unterminated string")),
+                    }
+                }
+                toks.push(Tok::Str(s));
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())) =>
+            {
+                let start = i;
+                i += 1;
+                let mut is_float = false;
+                while let Some(&d) = chars.get(i) {
+                    if d.is_ascii_digit() {
+                        i += 1;
+                    } else if d == '.'
+                        && !is_float
+                        && chars.get(i + 1).is_some_and(|n| n.is_ascii_digit())
+                    {
+                        is_float = true;
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                if is_float {
+                    toks.push(Tok::Float(text.parse().map_err(|_| err("bad float"))?));
+                } else {
+                    toks.push(Tok::Int(text.parse().map_err(|_| err("bad integer"))?));
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                while chars
+                    .get(i)
+                    .is_some_and(|&c| c.is_alphanumeric() || c == '_')
+                {
+                    i += 1;
+                }
+                toks.push(Tok::Word(chars[start..i].iter().collect()));
+            }
+            other => return Err(err(&format!("unexpected character '{other}'"))),
+        }
+    }
+    toks.push(Tok::Eof);
+    Ok(toks)
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+fn parse(sql: &str) -> Result<SelectStmt> {
+    let mut p = Parser {
+        toks: lex(sql)?,
+        pos: 0,
+    };
+    let stmt = p.select()?;
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+impl Parser {
+    fn err(&self, msg: &str) -> Error {
+        Error::TypeError(format!("SQL: {msg} (near token {:?})", self.peek()))
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos.min(self.toks.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.peek().clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consumes a keyword (case-insensitive) if present.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Tok::Word(w) = self.peek() {
+            if w.eq_ignore_ascii_case(kw) {
+                self.bump();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {kw}")))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<()> {
+        if *self.peek() == Tok::Eof {
+            Ok(())
+        } else {
+            Err(self.err("trailing tokens after statement"))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.bump() {
+            Tok::Word(w) => Ok(w),
+            _ => Err(self.err("expected an identifier")),
+        }
+    }
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        let projection = if *self.peek() == Tok::Star {
+            self.bump();
+            None
+        } else {
+            let mut items = vec![self.scalar()?];
+            while *self.peek() == Tok::Comma {
+                self.bump();
+                items.push(self.scalar()?);
+            }
+            Some(items)
+        };
+        self.expect_kw("FROM")?;
+        let mut from = vec![self.from_item()?];
+        while *self.peek() == Tok::Comma {
+            self.bump();
+            from.push(self.from_item()?);
+        }
+        let where_ = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let order_by = if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            let col = self.column_ref()?;
+            let desc = if self.eat_kw("DESC") {
+                true
+            } else {
+                self.eat_kw("ASC");
+                false
+            };
+            Some((col, desc))
+        } else {
+            None
+        };
+        let limit = if self.eat_kw("LIMIT") {
+            match self.bump() {
+                Tok::Int(n) if n >= 0 => Some(n as usize),
+                _ => return Err(self.err("LIMIT expects a non-negative integer")),
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            distinct,
+            projection,
+            from,
+            where_,
+            order_by,
+            limit,
+        })
+    }
+
+    #[allow(clippy::wrong_self_convention)] // parses a FROM-clause item, not a conversion
+    fn from_item(&mut self) -> Result<FromItem> {
+        let table = self.ident()?;
+        // an optional alias, as long as it is not a keyword starting a clause
+        let alias = match self.peek() {
+            Tok::Word(w)
+                if !["WHERE", "ORDER", "LIMIT"]
+                    .iter()
+                    .any(|k| w.eq_ignore_ascii_case(k)) =>
+            {
+                self.ident()?
+            }
+            _ => table.clone(),
+        };
+        Ok(FromItem { table, alias })
+    }
+
+    fn column_ref(&mut self) -> Result<ColumnRef> {
+        let first = self.ident()?;
+        if *self.peek() == Tok::Dot {
+            self.bump();
+            let column = self.ident()?;
+            Ok(ColumnRef {
+                qualifier: Some(first),
+                column,
+            })
+        } else {
+            Ok(ColumnRef {
+                qualifier: None,
+                column: first,
+            })
+        }
+    }
+
+    fn scalar(&mut self) -> Result<Scalar> {
+        match self.peek().clone() {
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Scalar::Lit(Value::Str(s)))
+            }
+            Tok::Int(i) => {
+                self.bump();
+                Ok(Scalar::Lit(Value::Int(i)))
+            }
+            Tok::Float(x) => {
+                self.bump();
+                Ok(Scalar::Lit(Value::Float(x)))
+            }
+            Tok::Word(w) if w.eq_ignore_ascii_case("CAST") => {
+                self.bump();
+                if self.bump() != Tok::LParen {
+                    return Err(self.err("expected '(' after CAST"));
+                }
+                let inner = self.scalar()?;
+                self.expect_kw("AS")?;
+                let ty = match self.ident()?.to_ascii_uppercase().as_str() {
+                    "INT" | "INTEGER" => DataType::Int,
+                    "FLOAT" | "REAL" | "DOUBLE" => DataType::Float,
+                    "STR" | "TEXT" | "VARCHAR" => DataType::Str,
+                    "BOOL" | "BOOLEAN" => DataType::Bool,
+                    other => return Err(self.err(&format!("unknown CAST type {other}"))),
+                };
+                if self.bump() != Tok::RParen {
+                    return Err(self.err("expected ')' after CAST type"));
+                }
+                Ok(Scalar::Cast(Box::new(inner), ty))
+            }
+            Tok::Word(w) if w.eq_ignore_ascii_case("TRUE") => {
+                self.bump();
+                Ok(Scalar::Lit(Value::Bool(true)))
+            }
+            Tok::Word(w) if w.eq_ignore_ascii_case("FALSE") => {
+                self.bump();
+                Ok(Scalar::Lit(Value::Bool(false)))
+            }
+            Tok::Word(w) if w.eq_ignore_ascii_case("NULL") => {
+                self.bump();
+                Ok(Scalar::Lit(Value::Null))
+            }
+            Tok::Word(_) => Ok(Scalar::Col(self.column_ref()?)),
+            _ => Err(self.err("expected a scalar")),
+        }
+    }
+
+    fn expr(&mut self) -> Result<SqlExpr> {
+        let mut parts = vec![self.and_expr()?];
+        while self.eat_kw("OR") {
+            parts.push(self.and_expr()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one part")
+        } else {
+            SqlExpr::Or(parts)
+        })
+    }
+
+    fn and_expr(&mut self) -> Result<SqlExpr> {
+        let mut parts = vec![self.factor()?];
+        while self.eat_kw("AND") {
+            parts.push(self.factor()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one part")
+        } else {
+            SqlExpr::And(parts)
+        })
+    }
+
+    fn factor(&mut self) -> Result<SqlExpr> {
+        if self.eat_kw("NOT") {
+            return Ok(SqlExpr::Not(Box::new(self.factor()?)));
+        }
+        if *self.peek() == Tok::LParen {
+            self.bump();
+            let inner = self.expr()?;
+            if self.bump() != Tok::RParen {
+                return Err(self.err("expected ')'"));
+            }
+            return Ok(inner);
+        }
+        let lhs = self.scalar()?;
+        let op = match self.bump() {
+            Tok::Eq => CmpOp::Eq,
+            Tok::Ne => CmpOp::Ne,
+            Tok::Lt => CmpOp::Lt,
+            Tok::Le => CmpOp::Le,
+            Tok::Gt => CmpOp::Gt,
+            Tok::Ge => CmpOp::Ge,
+            Tok::Word(w) if w.eq_ignore_ascii_case("CONTAINS") => CmpOp::Contains,
+            _ => return Err(self.err("expected a comparison operator")),
+        };
+        let rhs = self.scalar()?;
+        Ok(SqlExpr::Cmp { lhs, op, rhs })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binder + executor
+// ---------------------------------------------------------------------------
+
+/// Column layout of the (partially) joined row.
+struct Layout {
+    /// alias → (first column position, table name).
+    tables: Vec<(String, usize, String)>,
+    /// flat list of (alias, column name) in position order.
+    columns: Vec<(String, String)>,
+}
+
+impl Layout {
+    fn resolve(&self, col: &ColumnRef) -> Result<usize> {
+        let matches: Vec<usize> = self
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(_, (alias, name))| {
+                name == &col.column && col.qualifier.as_ref().is_none_or(|q| q == alias)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        match matches.as_slice() {
+            [one] => Ok(*one),
+            [] => Err(Error::TypeError(format!(
+                "SQL: unknown column '{}'",
+                display_col(col)
+            ))),
+            _ => Err(Error::TypeError(format!(
+                "SQL: ambiguous column '{}'",
+                display_col(col)
+            ))),
+        }
+    }
+}
+
+fn display_col(col: &ColumnRef) -> String {
+    match &col.qualifier {
+        Some(q) => format!("{q}.{}", col.column),
+        None => col.column.clone(),
+    }
+}
+
+/// Converts a bound scalar into a relstore expression over the combined row.
+fn bind_scalar(layout: &Layout, s: &Scalar) -> Result<Expr> {
+    Ok(match s {
+        Scalar::Col(c) => Expr::Col(layout.resolve(c)?),
+        Scalar::Lit(v) => Expr::Const(v.clone()),
+        Scalar::Cast(inner, ty) => Expr::Cast(Box::new(bind_scalar(layout, inner)?), *ty),
+    })
+}
+
+fn bind_expr(layout: &Layout, e: &SqlExpr) -> Result<Predicate> {
+    Ok(match e {
+        SqlExpr::Cmp { lhs, op, rhs } => Predicate::Cmp {
+            lhs: bind_scalar(layout, lhs)?,
+            op: *op,
+            rhs: bind_scalar(layout, rhs)?,
+        },
+        SqlExpr::And(parts) => Predicate::and(
+            parts
+                .iter()
+                .map(|p| bind_expr(layout, p))
+                .collect::<Result<_>>()?,
+        ),
+        SqlExpr::Or(parts) => Predicate::Or(
+            parts
+                .iter()
+                .map(|p| bind_expr(layout, p))
+                .collect::<Result<_>>()?,
+        ),
+        SqlExpr::Not(inner) => Predicate::Not(Box::new(bind_expr(layout, inner)?)),
+    })
+}
+
+/// The aliases a scalar references.
+fn scalar_aliases(s: &Scalar, out: &mut Vec<ColumnRef>) {
+    match s {
+        Scalar::Col(c) => out.push(c.clone()),
+        Scalar::Lit(_) => {}
+        Scalar::Cast(inner, _) => scalar_aliases(inner, out),
+    }
+}
+
+fn expr_columns(e: &SqlExpr, out: &mut Vec<ColumnRef>) {
+    match e {
+        SqlExpr::Cmp { lhs, rhs, .. } => {
+            scalar_aliases(lhs, out);
+            scalar_aliases(rhs, out);
+        }
+        SqlExpr::And(parts) | SqlExpr::Or(parts) => {
+            for p in parts {
+                expr_columns(p, out);
+            }
+        }
+        SqlExpr::Not(inner) => expr_columns(inner, out),
+    }
+}
+
+fn run(db: &Database, stmt: &SelectStmt) -> Result<ResultSet> {
+    // build the full layout up front (for alias resolution / validation)
+    let mut full = Layout {
+        tables: Vec::new(),
+        columns: Vec::new(),
+    };
+    for item in &stmt.from {
+        let table = db.table(&item.table)?;
+        if full.tables.iter().any(|(a, _, _)| a == &item.alias) {
+            return Err(Error::TypeError(format!(
+                "SQL: duplicate table alias '{}'",
+                item.alias
+            )));
+        }
+        full.tables
+            .push((item.alias.clone(), full.columns.len(), item.table.clone()));
+        for col in table.schema().columns() {
+            full.columns.push((item.alias.clone(), col.name.clone()));
+        }
+    }
+
+    // split the WHERE clause into top-level conjuncts
+    let conjuncts: Vec<SqlExpr> = match &stmt.where_ {
+        None => Vec::new(),
+        Some(SqlExpr::And(parts)) => parts.clone(),
+        Some(other) => vec![other.clone()],
+    };
+    let mut remaining: Vec<SqlExpr> = conjuncts;
+
+    // join left to right
+    let mut bound_aliases: Vec<String> = Vec::new();
+    let mut rows: Vec<Row> = Vec::new();
+    let mut layout = Layout {
+        tables: Vec::new(),
+        columns: Vec::new(),
+    };
+
+    for item in &stmt.from {
+        let table = db.table(&item.table)?;
+        // single-table conjuncts for this table: push down through the planner
+        let mut local_layout = Layout {
+            tables: vec![(item.alias.clone(), 0, item.table.clone())],
+            columns: table
+                .schema()
+                .columns()
+                .iter()
+                .map(|c| (item.alias.clone(), c.name.clone()))
+                .collect(),
+        };
+        // a conjunct is local when every column it references resolves in
+        // the local layout (qualified by this alias, or unqualified+unique)
+        let mut local_preds = Vec::new();
+        remaining.retain(|conj| {
+            let mut cols = Vec::new();
+            expr_columns(conj, &mut cols);
+            let is_local = !cols.is_empty() && cols.iter().all(|c| local_layout.resolve(c).is_ok());
+            if is_local {
+                if let Ok(p) = bind_expr(&local_layout, conj) {
+                    local_preds.push(p);
+                    return false;
+                }
+            }
+            true
+        });
+        let pred = Predicate::and(local_preds);
+        let filtered: Vec<Row> = query::select(table, &pred)?
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
+
+        if bound_aliases.is_empty() {
+            rows = filtered;
+            layout = local_layout;
+            bound_aliases.push(item.alias.clone());
+            continue;
+        }
+
+        // extend the layout
+        let offset = layout.columns.len();
+        layout
+            .tables
+            .push((item.alias.clone(), offset, item.table.clone()));
+        layout.columns.append(&mut local_layout.columns);
+        bound_aliases.push(item.alias.clone());
+
+        // find equality conjuncts usable as hash-join keys: one plain column
+        // on each side, one side bound, the other in the new table
+        let mut left_keys = Vec::new(); // positions in `rows`
+        let mut right_keys = Vec::new(); // positions in the new table rows
+        remaining.retain(|conj| {
+            if let SqlExpr::Cmp {
+                lhs: Scalar::Col(a),
+                op: CmpOp::Eq,
+                rhs: Scalar::Col(b),
+            } = conj
+            {
+                let a_pos = layout.resolve(a);
+                let b_pos = layout.resolve(b);
+                if let (Ok(ap), Ok(bp)) = (a_pos, b_pos) {
+                    let (old, new) = if ap < offset && bp >= offset {
+                        (ap, bp - offset)
+                    } else if bp < offset && ap >= offset {
+                        (bp, ap - offset)
+                    } else {
+                        return true;
+                    };
+                    left_keys.push(old);
+                    right_keys.push(new);
+                    return false;
+                }
+            }
+            true
+        });
+
+        rows = if left_keys.is_empty() {
+            // no join keys: cartesian product
+            let mut out = Vec::new();
+            for l in &rows {
+                for r in &filtered {
+                    let mut joined = l.clone();
+                    joined.extend_from_slice(r);
+                    out.push(joined);
+                }
+            }
+            out
+        } else {
+            hash_join(&rows, &filtered, &left_keys, &right_keys)
+        };
+
+        // apply any conjuncts that became fully bound with this table
+        let mut now_bound = Vec::new();
+        remaining.retain(|conj| {
+            let mut cols = Vec::new();
+            expr_columns(conj, &mut cols);
+            if cols.iter().all(|c| layout.resolve(c).is_ok()) {
+                if let Ok(p) = bind_expr(&layout, conj) {
+                    now_bound.push(p);
+                    return false;
+                }
+            }
+            true
+        });
+        if !now_bound.is_empty() {
+            let pred = Predicate::and(now_bound);
+            rows.retain(|r| pred.matches(r).unwrap_or(false));
+        }
+    }
+
+    // any conjunct still unbound references unknown columns
+    if let Some(conj) = remaining.first() {
+        let mut cols = Vec::new();
+        expr_columns(conj, &mut cols);
+        for c in cols {
+            layout.resolve(&c)?;
+        }
+        // resolvable but unapplied would be a planner bug
+        let pred = bind_expr(&layout, conj)?;
+        rows.retain(|r| pred.matches(r).unwrap_or(false));
+    }
+
+    // ORDER BY
+    if let Some((col, desc)) = &stmt.order_by {
+        let pos = layout.resolve(col)?;
+        rows.sort_by(|a, b| a[pos].cmp(&b[pos]));
+        if *desc {
+            rows.reverse();
+        }
+    }
+
+    // projection
+    let (columns, mut rows) = match &stmt.projection {
+        None => (
+            layout
+                .columns
+                .iter()
+                .map(|(a, c)| format!("{a}.{c}"))
+                .collect::<Vec<_>>(),
+            rows,
+        ),
+        Some(items) => {
+            let exprs: Vec<Expr> = items
+                .iter()
+                .map(|s| bind_scalar(&layout, s))
+                .collect::<Result<_>>()?;
+            let labels: Vec<String> = items
+                .iter()
+                .map(|s| match s {
+                    Scalar::Col(c) => display_col(c),
+                    Scalar::Lit(v) => v.to_string(),
+                    Scalar::Cast(_, ty) => format!("CAST AS {ty}"),
+                })
+                .collect();
+            let projected: Vec<Row> = rows
+                .iter()
+                .map(|r| exprs.iter().map(|e| e.eval(r)).collect::<Result<Row>>())
+                .collect::<Result<_>>()?;
+            (labels, projected)
+        }
+    };
+
+    if stmt.distinct {
+        let mut seen = HashMap::new();
+        rows.retain(|r| seen.insert(format!("{r:?}"), ()).is_none());
+    }
+    if let Some(limit) = stmt.limit {
+        rows.truncate(limit);
+    }
+    Ok(ResultSet { columns, rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexKind;
+    use crate::schema::{ColumnDef, TableSchema};
+
+    /// The MDV base layout: Resources + Statements.
+    fn mdv_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "Resources",
+                vec![
+                    ColumnDef::new("uri_reference", DataType::Str),
+                    ColumnDef::new("class", DataType::Str),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new(
+                "Statements",
+                vec![
+                    ColumnDef::new("uri_reference", DataType::Str),
+                    ColumnDef::new("property", DataType::Str),
+                    ColumnDef::new("value", DataType::Str),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.create_index(
+            "Statements",
+            "by_pv",
+            IndexKind::Hash,
+            &["property", "value"],
+            false,
+        )
+        .unwrap();
+        for (uri, class, host, memory) in [
+            ("d1#host", "CycleProvider", "a.uni-passau.de", "128"),
+            ("d2#host", "CycleProvider", "b.example.org", "92"),
+            ("d3#host", "CycleProvider", "c.uni-passau.de", "32"),
+        ] {
+            db.insert("Resources", vec![Value::from(uri), Value::from(class)])
+                .unwrap();
+            db.insert(
+                "Statements",
+                vec![
+                    Value::from(uri),
+                    Value::from("serverHost"),
+                    Value::from(host),
+                ],
+            )
+            .unwrap();
+            db.insert(
+                "Statements",
+                vec![Value::from(uri), Value::from("memory"), Value::from(memory)],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn select_star_single_table() {
+        let db = mdv_db();
+        let rs = execute(&db, "SELECT * FROM Resources").unwrap();
+        assert_eq!(
+            rs.columns,
+            vec!["Resources.uri_reference", "Resources.class"]
+        );
+        assert_eq!(rs.rows.len(), 3);
+    }
+
+    #[test]
+    fn filter_and_projection() {
+        let db = mdv_db();
+        let rs = execute(
+            &db,
+            "SELECT s.uri_reference FROM Statements s \
+             WHERE s.property = 'serverHost' AND s.value CONTAINS 'uni-passau.de'",
+        )
+        .unwrap();
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.columns, vec!["s.uri_reference"]);
+    }
+
+    #[test]
+    fn join_query_mdv_shape() {
+        // the translated form of: search CycleProvider c register c
+        // where c.serverHost contains 'uni-passau.de' and c.memory > 64
+        let db = mdv_db();
+        let rs = execute(
+            &db,
+            "SELECT DISTINCT r.uri_reference \
+             FROM Resources r, Statements h, Statements m \
+             WHERE r.class = 'CycleProvider' \
+             AND h.uri_reference = r.uri_reference \
+             AND h.property = 'serverHost' AND h.value CONTAINS 'uni-passau.de' \
+             AND m.uri_reference = r.uri_reference \
+             AND m.property = 'memory' AND CAST(m.value AS INT) > 64",
+        )
+        .unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::Str("d1#host".into()));
+    }
+
+    #[test]
+    fn cast_reconverts_strings() {
+        let db = mdv_db();
+        let rs = execute(
+            &db,
+            "SELECT s.uri_reference FROM Statements s \
+             WHERE s.property = 'memory' AND CAST(s.value AS INT) >= 92 \
+             ORDER BY s.uri_reference",
+        )
+        .unwrap();
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.rows[0][0], Value::Str("d1#host".into()));
+        assert_eq!(rs.rows[1][0], Value::Str("d2#host".into()));
+    }
+
+    #[test]
+    fn order_by_desc_and_limit() {
+        let db = mdv_db();
+        let rs = execute(
+            &db,
+            "SELECT s.value FROM Statements s WHERE s.property = 'memory' \
+             ORDER BY s.value DESC LIMIT 2",
+        )
+        .unwrap();
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.rows[0][0], Value::Str("92".into()));
+    }
+
+    #[test]
+    fn or_and_not_and_parens() {
+        let db = mdv_db();
+        let rs = execute(
+            &db,
+            "SELECT r.uri_reference FROM Resources r \
+             WHERE NOT (r.uri_reference = 'd1#host' OR r.uri_reference = 'd2#host')",
+        )
+        .unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::Str("d3#host".into()));
+    }
+
+    #[test]
+    fn unqualified_columns_resolve_when_unique() {
+        let db = mdv_db();
+        let rs = execute(
+            &db,
+            "SELECT class FROM Resources WHERE class = 'CycleProvider'",
+        )
+        .unwrap();
+        assert_eq!(rs.rows.len(), 3);
+        // ambiguous across tables
+        let err = execute(&db, "SELECT uri_reference FROM Resources r, Statements s").unwrap_err();
+        assert!(err.to_string().contains("ambiguous"));
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        let db = mdv_db();
+        assert!(execute(&db, "SELECT * FROM NoSuchTable").is_err());
+        assert!(execute(&db, "SELECT nope FROM Resources").is_err());
+        assert!(execute(&db, "SELEKT * FROM Resources").is_err());
+        assert!(execute(&db, "SELECT * FROM Resources WHERE").is_err());
+        assert!(execute(&db, "SELECT * FROM Resources LIMIT x").is_err());
+        assert!(execute(&db, "SELECT * FROM Resources extra garbage").is_err());
+        assert!(execute(&db, "SELECT * FROM Resources r, Resources r").is_err());
+    }
+
+    #[test]
+    fn cartesian_product_when_no_join_keys() {
+        let db = mdv_db();
+        let rs = execute(
+            &db,
+            "SELECT r.uri_reference, s.property FROM Resources r, Statements s LIMIT 100",
+        )
+        .unwrap();
+        assert_eq!(rs.rows.len(), 3 * 6);
+    }
+
+    #[test]
+    fn distinct_dedupes() {
+        let db = mdv_db();
+        let rs = execute(&db, "SELECT DISTINCT r.class FROM Resources r").unwrap();
+        assert_eq!(rs.rows.len(), 1);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let db = mdv_db();
+        let rs = execute(
+            &db,
+            "SELECT * FROM Resources r WHERE r.uri_reference = 'it''s'",
+        )
+        .unwrap();
+        assert!(rs.rows.is_empty());
+    }
+}

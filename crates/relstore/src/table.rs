@@ -1,0 +1,398 @@
+//! Heap tables: slotted row storage with secondary index maintenance.
+
+use std::collections::HashMap;
+
+use crate::error::{Error, Result};
+use crate::index::{Index, IndexKind};
+use crate::schema::TableSchema;
+use crate::value::Value;
+
+/// Stable identifier of a row within its table.
+///
+/// Row ids are never reused while the row is live; deleting a row frees its
+/// slot for reuse by a *new* id, so dangling ids are detectable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowId(pub u64);
+
+/// A materialized row.
+pub type Row = Vec<Value>;
+
+#[derive(Debug, Clone)]
+struct Slot {
+    id: RowId,
+    row: Row,
+}
+
+/// An in-memory heap table with optional secondary indexes.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: TableSchema,
+    /// Live slots; `None` marks a hole left by a delete.
+    slots: Vec<Option<Slot>>,
+    /// Maps live row ids to their slot position.
+    by_id: HashMap<RowId, usize>,
+    /// Slot positions available for reuse.
+    free: Vec<usize>,
+    next_id: u64,
+    indexes: Vec<Index>,
+}
+
+impl Table {
+    pub fn new(schema: TableSchema) -> Self {
+        Table {
+            schema,
+            slots: Vec::new(),
+            by_id: HashMap::new(),
+            free: Vec::new(),
+            next_id: 0,
+            indexes: Vec::new(),
+        }
+    }
+
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    pub fn name(&self) -> &str {
+        self.schema.name()
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Creates a secondary index over the named columns and backfills it from
+    /// existing rows.
+    pub fn create_index(
+        &mut self,
+        name: impl Into<String>,
+        kind: IndexKind,
+        columns: &[&str],
+        unique: bool,
+    ) -> Result<()> {
+        let name = name.into();
+        if self.indexes.iter().any(|i| i.name() == name) {
+            return Err(Error::IndexExists(name));
+        }
+        let cols = self.schema.column_indices(columns)?;
+        let mut idx = Index::new(name, kind, cols, unique);
+        for slot in self.slots.iter().flatten() {
+            idx.insert(&slot.row, slot.id)?;
+        }
+        self.indexes.push(idx);
+        Ok(())
+    }
+
+    pub fn index(&self, name: &str) -> Result<&Index> {
+        self.indexes
+            .iter()
+            .find(|i| i.name() == name)
+            .ok_or_else(|| Error::UnknownIndex(name.to_owned()))
+    }
+
+    pub fn indexes(&self) -> &[Index] {
+        &self.indexes
+    }
+
+    /// Finds an index whose key is exactly the given column positions
+    /// (used by the planner for access-path selection).
+    pub fn index_on(&self, columns: &[usize], kind: Option<IndexKind>) -> Option<&Index> {
+        self.indexes
+            .iter()
+            .find(|i| i.key_columns() == columns && kind.is_none_or(|k| i.kind() == k))
+    }
+
+    /// Inserts a row, returning its id. All indexes are updated; a unique
+    /// violation aborts the insert with no change.
+    pub fn insert(&mut self, row: Row) -> Result<RowId> {
+        self.schema.check_row(&row)?;
+        let id = RowId(self.next_id);
+        // Validate unique constraints before touching anything.
+        for idx in &self.indexes {
+            if idx.is_unique() && !idx.probe(&idx.key_of(&row)).is_empty() {
+                return Err(Error::UniqueViolation {
+                    index: idx.name().to_owned(),
+                    key: format!("{:?}", idx.key_of(&row)),
+                });
+            }
+        }
+        self.next_id += 1;
+        for idx in &mut self.indexes {
+            idx.insert(&row, id).expect("uniqueness pre-checked");
+        }
+        let slot = Slot { id, row };
+        let pos = match self.free.pop() {
+            Some(pos) => {
+                self.slots[pos] = Some(slot);
+                pos
+            }
+            None => {
+                self.slots.push(Some(slot));
+                self.slots.len() - 1
+            }
+        };
+        self.by_id.insert(id, pos);
+        Ok(id)
+    }
+
+    /// Inserts many rows; stops at the first error (rows before it stay).
+    pub fn insert_batch(&mut self, rows: impl IntoIterator<Item = Row>) -> Result<Vec<RowId>> {
+        rows.into_iter().map(|r| self.insert(r)).collect()
+    }
+
+    /// Fetches a row by id.
+    pub fn get(&self, id: RowId) -> Result<&Row> {
+        self.by_id
+            .get(&id)
+            .and_then(|&pos| self.slots[pos].as_ref())
+            .map(|s| &s.row)
+            .ok_or_else(|| Error::InvalidRowId {
+                table: self.name().to_owned(),
+                row: id.0,
+            })
+    }
+
+    /// Deletes a row by id, returning the removed row.
+    pub fn delete(&mut self, id: RowId) -> Result<Row> {
+        let pos = *self.by_id.get(&id).ok_or_else(|| Error::InvalidRowId {
+            table: self.name().to_owned(),
+            row: id.0,
+        })?;
+        let slot = self.slots[pos].take().expect("by_id points at live slot");
+        self.by_id.remove(&id);
+        self.free.push(pos);
+        for idx in &mut self.indexes {
+            idx.remove(&slot.row, id);
+        }
+        Ok(slot.row)
+    }
+
+    /// Replaces a row in place, keeping its id. Indexes are re-keyed.
+    pub fn update(&mut self, id: RowId, new_row: Row) -> Result<Row> {
+        self.schema.check_row(&new_row)?;
+        let pos = *self.by_id.get(&id).ok_or_else(|| Error::InvalidRowId {
+            table: self.name().to_owned(),
+            row: id.0,
+        })?;
+        let old_row = self.slots[pos].as_ref().expect("live slot").row.clone();
+        // Unique pre-check against other rows (the row's own entry is exempt).
+        for idx in &self.indexes {
+            if idx.is_unique() {
+                let key = idx.key_of(&new_row);
+                if key != idx.key_of(&old_row) && !idx.probe(&key).is_empty() {
+                    return Err(Error::UniqueViolation {
+                        index: idx.name().to_owned(),
+                        key: format!("{key:?}"),
+                    });
+                }
+            }
+        }
+        for idx in &mut self.indexes {
+            idx.remove(&old_row, id);
+            idx.insert(&new_row, id).expect("uniqueness pre-checked");
+        }
+        self.slots[pos].as_mut().expect("live slot").row = new_row;
+        Ok(old_row)
+    }
+
+    /// Re-inserts a previously deleted row under its original id. Only the
+    /// transaction rollback path may use this; ids of live rows are rejected.
+    pub(crate) fn restore(&mut self, id: RowId, row: Row) -> Result<()> {
+        self.schema.check_row(&row)?;
+        if self.by_id.contains_key(&id) {
+            return Err(Error::InvalidRowId {
+                table: self.name().to_owned(),
+                row: id.0,
+            });
+        }
+        for idx in &mut self.indexes {
+            idx.insert(&row, id)?;
+        }
+        let slot = Slot { id, row };
+        let pos = match self.free.pop() {
+            Some(pos) => {
+                self.slots[pos] = Some(slot);
+                pos
+            }
+            None => {
+                self.slots.push(Some(slot));
+                self.slots.len() - 1
+            }
+        };
+        self.by_id.insert(id, pos);
+        self.next_id = self.next_id.max(id.0 + 1);
+        Ok(())
+    }
+
+    /// Drops a secondary index by name.
+    pub fn drop_index(&mut self, name: &str) -> Result<()> {
+        let pos = self
+            .indexes
+            .iter()
+            .position(|i| i.name() == name)
+            .ok_or_else(|| Error::UnknownIndex(name.to_owned()))?;
+        self.indexes.remove(pos);
+        Ok(())
+    }
+
+    /// Iterates over `(id, row)` pairs of live rows in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &Row)> {
+        self.slots.iter().flatten().map(|s| (s.id, &s.row))
+    }
+
+    /// Removes every row (indexes included) but keeps the schema and indexes.
+    pub fn truncate(&mut self) {
+        self.slots.clear();
+        self.by_id.clear();
+        self.free.clear();
+        for idx in &mut self.indexes {
+            idx.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::value::DataType;
+
+    fn table() -> Table {
+        Table::new(
+            TableSchema::new(
+                "t",
+                vec![
+                    ColumnDef::new("id", DataType::Int),
+                    ColumnDef::new("name", DataType::Str),
+                ],
+            )
+            .unwrap(),
+        )
+    }
+
+    fn row(id: i64, name: &str) -> Row {
+        vec![Value::Int(id), Value::Str(name.into())]
+    }
+
+    #[test]
+    fn insert_get_delete_roundtrip() {
+        let mut t = table();
+        let a = t.insert(row(1, "a")).unwrap();
+        let b = t.insert(row(2, "b")).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(a).unwrap()[1], Value::Str("a".into()));
+        let removed = t.delete(a).unwrap();
+        assert_eq!(removed[0], Value::Int(1));
+        assert!(t.get(a).is_err());
+        assert_eq!(t.get(b).unwrap()[0], Value::Int(2));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn slot_reuse_gets_fresh_id() {
+        let mut t = table();
+        let a = t.insert(row(1, "a")).unwrap();
+        t.delete(a).unwrap();
+        let b = t.insert(row(2, "b")).unwrap();
+        assert_ne!(a, b, "row ids are never reused");
+        assert!(t.get(a).is_err());
+    }
+
+    #[test]
+    fn schema_enforced_on_insert_and_update() {
+        let mut t = table();
+        assert!(t
+            .insert(vec![Value::Str("x".into()), Value::Str("y".into())])
+            .is_err());
+        let a = t.insert(row(1, "a")).unwrap();
+        assert!(t.update(a, vec![Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn index_maintained_through_mutations() {
+        let mut t = table();
+        t.create_index("by_name", IndexKind::Hash, &["name"], false)
+            .unwrap();
+        let a = t.insert(row(1, "a")).unwrap();
+        let _b = t.insert(row(2, "b")).unwrap();
+        let idx = t.index("by_name").unwrap();
+        assert_eq!(idx.probe(&vec![Value::Str("a".into())]), vec![a]);
+        t.update(a, row(1, "z")).unwrap();
+        let idx = t.index("by_name").unwrap();
+        assert!(idx.probe(&vec![Value::Str("a".into())]).is_empty());
+        assert_eq!(idx.probe(&vec![Value::Str("z".into())]), vec![a]);
+        t.delete(a).unwrap();
+        let idx = t.index("by_name").unwrap();
+        assert!(idx.probe(&vec![Value::Str("z".into())]).is_empty());
+    }
+
+    #[test]
+    fn index_backfill_on_creation() {
+        let mut t = table();
+        let a = t.insert(row(1, "a")).unwrap();
+        t.create_index("by_id", IndexKind::BTree, &["id"], true)
+            .unwrap();
+        assert_eq!(
+            t.index("by_id").unwrap().probe(&vec![Value::Int(1)]),
+            vec![a]
+        );
+    }
+
+    #[test]
+    fn unique_index_enforced() {
+        let mut t = table();
+        t.create_index("pk", IndexKind::Hash, &["id"], true)
+            .unwrap();
+        t.insert(row(1, "a")).unwrap();
+        assert!(matches!(
+            t.insert(row(1, "dup")),
+            Err(Error::UniqueViolation { .. })
+        ));
+        // failed insert left no garbage behind
+        assert_eq!(t.len(), 1);
+        let b = t.insert(row(2, "b")).unwrap();
+        // update to a clashing key fails, same-key update succeeds
+        assert!(t.update(b, row(1, "b")).is_err());
+        t.update(b, row(2, "b2")).unwrap();
+    }
+
+    #[test]
+    fn duplicate_index_name_rejected() {
+        let mut t = table();
+        t.create_index("i", IndexKind::Hash, &["id"], false)
+            .unwrap();
+        assert!(matches!(
+            t.create_index("i", IndexKind::Hash, &["name"], false),
+            Err(Error::IndexExists(_))
+        ));
+    }
+
+    #[test]
+    fn truncate_clears_rows_and_indexes() {
+        let mut t = table();
+        t.create_index("by_name", IndexKind::Hash, &["name"], false)
+            .unwrap();
+        t.insert(row(1, "a")).unwrap();
+        t.truncate();
+        assert!(t.is_empty());
+        assert_eq!(t.index("by_name").unwrap().distinct_keys(), 0);
+        // still usable after truncate
+        t.insert(row(3, "c")).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn iter_yields_live_rows_only() {
+        let mut t = table();
+        let a = t.insert(row(1, "a")).unwrap();
+        let _b = t.insert(row(2, "b")).unwrap();
+        t.delete(a).unwrap();
+        let names: Vec<_> = t.iter().map(|(_, r)| r[1].to_string()).collect();
+        assert_eq!(names, vec!["b"]);
+    }
+}

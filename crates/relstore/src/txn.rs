@@ -1,0 +1,236 @@
+//! Undo-log transactions over a [`Database`].
+//!
+//! A [`Txn`] borrows the database mutably and records the inverse of every
+//! mutation it performs. `commit` discards the log; `rollback` (explicit or
+//! on drop) replays it in reverse. MDV uses this to make a document
+//! registration — base-table writes plus filter-table writes — atomic.
+
+use crate::catalog::Database;
+use crate::error::Result;
+use crate::table::{Row, RowId};
+
+enum UndoOp {
+    /// Undo an insert by deleting the row.
+    Insert { table: String, id: RowId },
+    /// Undo a delete by restoring the row under its original id.
+    Delete { table: String, id: RowId, row: Row },
+    /// Undo an update by writing the old image back.
+    Update { table: String, id: RowId, old: Row },
+}
+
+/// An open transaction. Dropped without [`Txn::commit`], it rolls back.
+pub struct Txn<'a> {
+    db: &'a mut Database,
+    log: Vec<UndoOp>,
+    committed: bool,
+}
+
+impl<'a> Txn<'a> {
+    pub fn begin(db: &'a mut Database) -> Self {
+        Txn {
+            db,
+            log: Vec::new(),
+            committed: false,
+        }
+    }
+
+    /// Read-only access to the underlying database.
+    pub fn db(&self) -> &Database {
+        self.db
+    }
+
+    pub fn insert(&mut self, table: &str, row: Row) -> Result<RowId> {
+        let id = self.db.insert(table, row)?;
+        self.log.push(UndoOp::Insert {
+            table: table.to_owned(),
+            id,
+        });
+        Ok(id)
+    }
+
+    pub fn insert_batch(
+        &mut self,
+        table: &str,
+        rows: impl IntoIterator<Item = Row>,
+    ) -> Result<Vec<RowId>> {
+        rows.into_iter().map(|r| self.insert(table, r)).collect()
+    }
+
+    pub fn delete(&mut self, table: &str, id: RowId) -> Result<Row> {
+        let row = self.db.delete(table, id)?;
+        self.log.push(UndoOp::Delete {
+            table: table.to_owned(),
+            id,
+            row: row.clone(),
+        });
+        Ok(row)
+    }
+
+    pub fn update(&mut self, table: &str, id: RowId, row: Row) -> Result<Row> {
+        let old = self.db.update(table, id, row)?;
+        self.log.push(UndoOp::Update {
+            table: table.to_owned(),
+            id,
+            old: old.clone(),
+        });
+        Ok(old)
+    }
+
+    /// Makes all changes permanent.
+    pub fn commit(mut self) {
+        self.committed = true;
+        self.log.clear();
+    }
+
+    /// Reverts all changes made through this transaction.
+    pub fn rollback(mut self) {
+        self.apply_undo();
+        self.committed = true; // nothing left for Drop
+    }
+
+    fn apply_undo(&mut self) {
+        while let Some(op) = self.log.pop() {
+            // Undo of a recorded op cannot fail unless the caller bypassed
+            // the transaction and mutated the database directly, which
+            // violates the API contract; panicking surfaces that bug.
+            match op {
+                UndoOp::Insert { table, id } => {
+                    self.db.delete(&table, id).expect("undo insert");
+                }
+                UndoOp::Delete { table, id, row } => {
+                    self.db
+                        .table_mut(&table)
+                        .expect("undo delete: table")
+                        .restore(id, row)
+                        .expect("undo delete: restore");
+                }
+                UndoOp::Update { table, id, old } => {
+                    self.db.update(&table, id, old).expect("undo update");
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Txn<'_> {
+    fn drop(&mut self) {
+        if !self.committed {
+            self.apply_undo();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, TableSchema};
+    use crate::value::{DataType, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "t",
+                vec![
+                    ColumnDef::new("k", DataType::Int),
+                    ColumnDef::new("v", DataType::Str),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    fn row(k: i64, v: &str) -> Row {
+        vec![Value::Int(k), Value::Str(v.into())]
+    }
+
+    #[test]
+    fn commit_keeps_changes() {
+        let mut db = db();
+        let id;
+        {
+            let mut txn = Txn::begin(&mut db);
+            id = txn.insert("t", row(1, "a")).unwrap();
+            txn.commit();
+        }
+        assert!(db.get("t", id).is_ok());
+    }
+
+    #[test]
+    fn rollback_reverts_insert() {
+        let mut db = db();
+        let mut txn = Txn::begin(&mut db);
+        let id = txn.insert("t", row(1, "a")).unwrap();
+        txn.rollback();
+        assert!(db.get("t", id).is_err());
+        assert_eq!(db.table("t").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn rollback_reverts_delete_with_same_id() {
+        let mut db = db();
+        let id = db.insert("t", row(1, "a")).unwrap();
+        {
+            let mut txn = Txn::begin(&mut db);
+            txn.delete("t", id).unwrap();
+            txn.rollback();
+        }
+        assert_eq!(db.get("t", id).unwrap()[1], Value::Str("a".into()));
+    }
+
+    #[test]
+    fn rollback_reverts_update() {
+        let mut db = db();
+        let id = db.insert("t", row(1, "a")).unwrap();
+        {
+            let mut txn = Txn::begin(&mut db);
+            txn.update("t", id, row(2, "b")).unwrap();
+            txn.rollback();
+        }
+        assert_eq!(db.get("t", id).unwrap(), &row(1, "a"));
+    }
+
+    #[test]
+    fn drop_without_commit_rolls_back() {
+        let mut db = db();
+        {
+            let mut txn = Txn::begin(&mut db);
+            txn.insert("t", row(1, "a")).unwrap();
+            // dropped here
+        }
+        assert_eq!(db.table("t").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn mixed_ops_roll_back_in_reverse_order() {
+        let mut db = db();
+        let keep = db.insert("t", row(0, "keep")).unwrap();
+        {
+            let mut txn = Txn::begin(&mut db);
+            let a = txn.insert("t", row(1, "a")).unwrap();
+            txn.update("t", a, row(1, "a2")).unwrap();
+            txn.update("t", keep, row(0, "changed")).unwrap();
+            txn.delete("t", keep).unwrap();
+            txn.rollback();
+        }
+        assert_eq!(db.table("t").unwrap().len(), 1);
+        assert_eq!(db.get("t", keep).unwrap(), &row(0, "keep"));
+    }
+
+    #[test]
+    fn restored_row_preserves_index_entries() {
+        let mut db = db();
+        db.create_index("t", "by_v", crate::index::IndexKind::Hash, &["v"], false)
+            .unwrap();
+        let id = db.insert("t", row(1, "a")).unwrap();
+        {
+            let mut txn = Txn::begin(&mut db);
+            txn.delete("t", id).unwrap();
+            txn.rollback();
+        }
+        let idx = db.table("t").unwrap().index("by_v").unwrap();
+        assert_eq!(idx.probe(&vec![Value::Str("a".into())]), vec![id]);
+    }
+}

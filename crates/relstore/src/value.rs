@@ -1,0 +1,377 @@
+//! Runtime values and data types.
+//!
+//! Values carry a total order across *all* variants so that they can serve as
+//! keys of ordered (B-tree) indexes: `Null < Bool < Int/Float < Str`, with
+//! integers and floats ordered numerically against each other. This mirrors
+//! how SQL engines define an index collation over heterogeneous key spaces.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::error::{Error, Result};
+
+/// Logical column types supported by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    Bool,
+    Int,
+    Float,
+    /// UTF-8 string. The MDV filter stores rule constants as strings and
+    /// reconverts them when joining (paper §3.3.4), which `Value::coerce`
+    /// supports.
+    Str,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Bool => "BOOL",
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Str => "STR",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A runtime value stored in a table cell.
+#[derive(Debug, Clone)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(String),
+}
+
+impl Value {
+    /// Returns the data type of this value, or `None` for `Null`.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Returns the string slice if this is a `Str` value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer if this is an `Int` value.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the float if this is a `Float` (or widened `Int`) value.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Coerces this value to `target`, converting between numeric types and
+    /// parsing strings into numbers (the "stored as strings, reconverted when
+    /// joining" pattern from the paper).
+    pub fn coerce(&self, target: DataType) -> Result<Value> {
+        let fail = || {
+            Err(Error::TypeError(format!(
+                "cannot coerce {self} to {target}"
+            )))
+        };
+        match (self, target) {
+            (Value::Null, _) => Ok(Value::Null),
+            (Value::Bool(b), DataType::Bool) => Ok(Value::Bool(*b)),
+            (Value::Int(i), DataType::Int) => Ok(Value::Int(*i)),
+            (Value::Int(i), DataType::Float) => Ok(Value::Float(*i as f64)),
+            (Value::Int(i), DataType::Str) => Ok(Value::Str(i.to_string())),
+            (Value::Float(x), DataType::Float) => Ok(Value::Float(*x)),
+            (Value::Float(x), DataType::Int) => {
+                if x.fract() == 0.0 && *x >= i64::MIN as f64 && *x <= i64::MAX as f64 {
+                    Ok(Value::Int(*x as i64))
+                } else {
+                    fail()
+                }
+            }
+            (Value::Float(x), DataType::Str) => Ok(Value::Str(format_float(*x))),
+            (Value::Str(s), DataType::Str) => Ok(Value::Str(s.clone())),
+            (Value::Str(s), DataType::Int) => {
+                s.trim().parse::<i64>().map(Value::Int).or_else(|_| fail())
+            }
+            (Value::Str(s), DataType::Float) => s
+                .trim()
+                .parse::<f64>()
+                .map(Value::Float)
+                .or_else(|_| fail()),
+            (Value::Str(s), DataType::Bool) => match s.trim() {
+                "true" => Ok(Value::Bool(true)),
+                "false" => Ok(Value::Bool(false)),
+                _ => fail(),
+            },
+            (Value::Bool(_), _) | (Value::Int(_) | Value::Float(_), DataType::Bool) => fail(),
+        }
+    }
+
+    /// SQL-style comparison: `Null` compares as unknown (returns `None`);
+    /// numeric types compare numerically across `Int`/`Float`.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Float(a), Value::Float(b)) => Some(a.total_cmp(b)),
+            (Value::Int(a), Value::Float(b)) => Some((*a as f64).total_cmp(b)),
+            (Value::Float(a), Value::Int(b)) => Some(a.total_cmp(&(*b as f64))),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// SQL equality (`None` for incomparable / null operands).
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        self.sql_cmp(other).map(|o| o == Ordering::Equal)
+    }
+
+    /// Rank used for the total (index) ordering across variants.
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Float(_) => 2,
+            Value::Str(_) => 3,
+        }
+    }
+}
+
+/// Formats a float the way the engine prints it (no trailing `.0` noise for
+/// integral values would be ambiguous, so keep one decimal for those).
+fn format_float(x: f64) -> String {
+    if x.fract() == 0.0 && x.is_finite() {
+        format!("{x:.1}")
+    } else {
+        format!("{x}")
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Total order used for index keys. Unlike [`Value::sql_cmp`], nulls are
+    /// orderable (lowest) and cross-type comparisons fall back to type rank.
+    fn cmp(&self, other: &Self) -> Ordering {
+        let (ra, rb) = (self.type_rank(), other.type_rank());
+        if ra != rb {
+            return ra.cmp(&rb);
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).total_cmp(b),
+            (Value::Float(a), Value::Int(b)) => a.total_cmp(&(*b as f64)),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            _ => unreachable!("same type rank implies comparable variants"),
+        }
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Hash must agree with Eq: Int(2) == Float(2.0), so all numerics hash
+        // through their f64 bit pattern (total_cmp-compatible normalization).
+        self.type_rank().hash(state);
+        match self {
+            Value::Null => {}
+            Value::Bool(b) => b.hash(state),
+            Value::Int(i) => (*i as f64).to_bits().hash(state),
+            Value::Float(x) => x.to_bits().hash(state),
+            Value::Str(s) => s.hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => f.write_str(&format_float(*x)),
+            Value::Str(s) => f.write_str(s),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn total_order_across_types() {
+        let mut vals = vec![
+            Value::Str("a".into()),
+            Value::Int(3),
+            Value::Null,
+            Value::Bool(true),
+            Value::Float(1.5),
+        ];
+        vals.sort();
+        assert_eq!(
+            vals,
+            vec![
+                Value::Null,
+                Value::Bool(true),
+                Value::Float(1.5),
+                Value::Int(3),
+                Value::Str("a".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numeric_cross_type_equality_and_hash() {
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+        assert_eq!(hash_of(&Value::Int(2)), hash_of(&Value::Float(2.0)));
+        assert_ne!(Value::Int(2), Value::Float(2.5));
+    }
+
+    #[test]
+    fn sql_cmp_null_is_unknown() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Null), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(1)), Some(true));
+    }
+
+    #[test]
+    fn sql_cmp_cross_type_is_incomparable() {
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Str("1".into())), None);
+        assert_eq!(Value::Bool(true).sql_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn coerce_string_to_numeric() {
+        assert_eq!(
+            Value::Str("64".into()).coerce(DataType::Int).unwrap(),
+            Value::Int(64)
+        );
+        assert_eq!(
+            Value::Str(" 2.5 ".into()).coerce(DataType::Float).unwrap(),
+            Value::Float(2.5)
+        );
+        assert!(Value::Str("abc".into()).coerce(DataType::Int).is_err());
+    }
+
+    #[test]
+    fn coerce_numeric_to_string_roundtrip() {
+        let v = Value::Int(500).coerce(DataType::Str).unwrap();
+        assert_eq!(v, Value::Str("500".into()));
+        assert_eq!(v.coerce(DataType::Int).unwrap(), Value::Int(500));
+    }
+
+    #[test]
+    fn coerce_float_to_int_only_when_integral() {
+        assert_eq!(
+            Value::Float(4.0).coerce(DataType::Int).unwrap(),
+            Value::Int(4)
+        );
+        assert!(Value::Float(4.5).coerce(DataType::Int).is_err());
+    }
+
+    #[test]
+    fn null_coerces_to_anything() {
+        assert_eq!(Value::Null.coerce(DataType::Str).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Int(7).to_string(), "7");
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        assert_eq!(Value::Str("x".into()).to_string(), "x");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from("s"), Value::Str("s".into()));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(1.25f64), Value::Float(1.25));
+    }
+}

@@ -1,0 +1,249 @@
+//! Property-based tests for the storage engine's core invariants.
+
+use proptest::prelude::*;
+
+use mdv_relstore::{
+    join, query, CmpOp, ColumnDef, DataType, Database, IndexKind, Predicate, Row, Table,
+    TableSchema, Txn, Value,
+};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-1000i64..1000).prop_map(Value::Int),
+        (-1000i64..1000).prop_map(|i| Value::Float(i as f64 / 4.0)),
+        "[a-z]{0,8}".prop_map(Value::Str),
+    ]
+}
+
+proptest! {
+    /// Value's Ord is a total order: antisymmetric, transitive on triples.
+    #[test]
+    fn value_order_is_total(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering;
+        // antisymmetry
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        // transitivity
+        if a.cmp(&b) != Ordering::Greater && b.cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.cmp(&c), Ordering::Greater);
+        }
+    }
+
+    /// Eq and Hash agree (required for hash-join correctness).
+    #[test]
+    fn value_eq_implies_same_hash(a in arb_value(), b in arb_value()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        fn h(v: &Value) -> u64 {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        }
+        if a == b {
+            prop_assert_eq!(h(&a), h(&b));
+        }
+    }
+
+    /// sql_cmp agrees with the total order whenever it is defined.
+    #[test]
+    fn sql_cmp_consistent_with_ord(a in arb_value(), b in arb_value()) {
+        if let Some(ord) = a.sql_cmp(&b) {
+            prop_assert_eq!(ord, a.cmp(&b));
+        }
+    }
+}
+
+fn filterlike_schema() -> TableSchema {
+    TableSchema::new(
+        "t",
+        vec![
+            ColumnDef::new("class", DataType::Str),
+            ColumnDef::new("property", DataType::Str),
+            ColumnDef::new("value", DataType::Int),
+        ],
+    )
+    .unwrap()
+}
+
+fn arb_rows() -> impl Strategy<Value = Vec<(String, String, i64)>> {
+    prop::collection::vec(("[a-c]", "[x-z]", -20i64..20), 0..60)
+}
+
+fn build_tables(rows: &[(String, String, i64)]) -> (Table, Table) {
+    // plain: no indexes; indexed: hash on (class, property) + btree on all three
+    let mut plain = Table::new(filterlike_schema());
+    let mut indexed = Table::new(filterlike_schema());
+    indexed
+        .create_index("h", IndexKind::Hash, &["class", "property"], false)
+        .unwrap();
+    indexed
+        .create_index(
+            "b",
+            IndexKind::BTree,
+            &["class", "property", "value"],
+            false,
+        )
+        .unwrap();
+    for (c, p, v) in rows {
+        let row = vec![Value::Str(c.clone()), Value::Str(p.clone()), Value::Int(*v)];
+        plain.insert(row.clone()).unwrap();
+        indexed.insert(row).unwrap();
+    }
+    (plain, indexed)
+}
+
+fn sorted_rows(mut rows: Vec<Row>) -> Vec<Row> {
+    rows.sort();
+    rows
+}
+
+proptest! {
+    /// Index-backed plans and table scans return the same result set.
+    #[test]
+    fn index_scan_equivalence(
+        rows in arb_rows(),
+        c in "[a-c]",
+        p in "[x-z]",
+        lo in -20i64..20,
+    ) {
+        let (plain, indexed) = build_tables(&rows);
+        let pred = Predicate::and(vec![
+            Predicate::col_eq(plain.schema(), "class", Value::Str(c)).unwrap(),
+            Predicate::col_eq(plain.schema(), "property", Value::Str(p)).unwrap(),
+            Predicate::col_cmp(plain.schema(), "value", CmpOp::Gt, Value::Int(lo)).unwrap(),
+        ]);
+        let scan: Vec<Row> = query::select(&plain, &pred).unwrap()
+            .into_iter().map(|(_, r)| r).collect();
+        let idx: Vec<Row> = query::select(&indexed, &pred).unwrap()
+            .into_iter().map(|(_, r)| r).collect();
+        prop_assert_eq!(sorted_rows(scan), sorted_rows(idx));
+    }
+
+    /// Hash join equals the brute-force nested-loop equi-join.
+    #[test]
+    fn hash_join_matches_nested_loop(
+        left in prop::collection::vec(("[a-b]", -5i64..5), 0..25),
+        right in prop::collection::vec(("[a-b]", -5i64..5), 0..25),
+    ) {
+        let lrows: Vec<Row> = left.iter()
+            .map(|(s, i)| vec![Value::Str(s.clone()), Value::Int(*i)]).collect();
+        let rrows: Vec<Row> = right.iter()
+            .map(|(s, i)| vec![Value::Str(s.clone()), Value::Int(*i)]).collect();
+        let hashed = join::hash_join(&lrows, &rrows, &[1], &[1]);
+        let pred = Predicate::Cmp {
+            lhs: mdv_relstore::Expr::Col(1),
+            op: CmpOp::Eq,
+            rhs: mdv_relstore::Expr::Col(3),
+        };
+        let looped = join::nested_loop_join(&lrows, &rrows, &pred).unwrap();
+        prop_assert_eq!(sorted_rows(hashed), sorted_rows(looped));
+    }
+
+    /// Semi-join and anti-join partition the left input.
+    #[test]
+    fn semi_anti_partition(
+        left in prop::collection::vec(("[a-b]", -5i64..5), 0..25),
+        right in prop::collection::vec(("[a-b]", -5i64..5), 0..25),
+    ) {
+        let lrows: Vec<Row> = left.iter()
+            .map(|(s, i)| vec![Value::Str(s.clone()), Value::Int(*i)]).collect();
+        let rrows: Vec<Row> = right.iter()
+            .map(|(s, i)| vec![Value::Str(s.clone()), Value::Int(*i)]).collect();
+        let semi = join::semi_join(&lrows, &rrows, &[0, 1], &[0, 1]);
+        let anti = join::anti_join(&lrows, &rrows, &[0, 1], &[0, 1]);
+        prop_assert_eq!(semi.len() + anti.len(), lrows.len());
+        let mut merged = semi;
+        merged.extend(anti);
+        prop_assert_eq!(sorted_rows(merged), sorted_rows(lrows));
+    }
+
+    /// A rolled-back transaction leaves no observable trace.
+    #[test]
+    fn txn_rollback_is_identity(
+        initial in arb_rows(),
+        ops in prop::collection::vec((0usize..3, "[a-c]", "[x-z]", -20i64..20), 0..20),
+    ) {
+        let mut db = Database::new();
+        db.create_table(filterlike_schema()).unwrap();
+        db.create_index("t", "h", IndexKind::Hash, &["class", "property"], false).unwrap();
+        let mut ids = Vec::new();
+        for (c, p, v) in &initial {
+            ids.push(db.insert("t",
+                vec![Value::Str(c.clone()), Value::Str(p.clone()), Value::Int(*v)]).unwrap());
+        }
+        let before: Vec<Row> = db.table("t").unwrap().iter().map(|(_, r)| r.clone()).collect();
+
+        {
+            let mut txn = Txn::begin(&mut db);
+            for (kind, c, p, v) in &ops {
+                let row = vec![Value::Str(c.clone()), Value::Str(p.clone()), Value::Int(*v)];
+                match kind {
+                    0 => { txn.insert("t", row).unwrap(); }
+                    1 => {
+                        if let Some(id) = ids.first().copied() {
+                            // delete/update may fail if a prior op in this txn
+                            // already deleted the row; that is fine.
+                            let _ = txn.delete("t", id);
+                        }
+                    }
+                    _ => {
+                        if let Some(id) = ids.first().copied() {
+                            let _ = txn.update("t", id, row);
+                        }
+                    }
+                }
+            }
+            txn.rollback();
+        }
+
+        let after: Vec<Row> = db.table("t").unwrap().iter().map(|(_, r)| r.clone()).collect();
+        prop_assert_eq!(sorted_rows(before), sorted_rows(after));
+    }
+
+    /// String round-trip through coercion preserves integers (the paper's
+    /// "constants stored as strings, reconverted when joining").
+    #[test]
+    fn int_string_coercion_roundtrip(v in any::<i64>()) {
+        let s = Value::Int(v).coerce(DataType::Str).unwrap();
+        prop_assert_eq!(s.coerce(DataType::Int).unwrap(), Value::Int(v));
+    }
+}
+
+proptest! {
+    /// Snapshot write → read is the identity on databases.
+    #[test]
+    fn snapshot_roundtrip(rows in arb_rows()) {
+        use mdv_relstore::{read_database, write_database};
+        let mut db = Database::new();
+        db.create_table(filterlike_schema()).unwrap();
+        db.create_index("t", "h", IndexKind::Hash, &["class", "property"], false).unwrap();
+        let mut ids = Vec::new();
+        for (c, p, v) in &rows {
+            ids.push(
+                db.insert("t", vec![Value::Str(c.clone()), Value::Str(p.clone()), Value::Int(*v)])
+                    .unwrap(),
+            );
+        }
+        // delete every third row so holes and id gaps are exercised
+        for id in ids.iter().step_by(3) {
+            db.delete("t", *id).unwrap();
+        }
+        let restored = read_database(&write_database(&db)).unwrap();
+        let dump = |d: &Database| {
+            let mut rows: Vec<String> =
+                d.table("t").unwrap().iter().map(|(id, r)| format!("{id:?}{r:?}")).collect();
+            rows.sort();
+            rows
+        };
+        prop_assert_eq!(dump(&db), dump(&restored));
+        // restored index answers the same probes
+        let t = restored.table("t").unwrap();
+        for (c, p, _) in rows.iter().take(5) {
+            let key = vec![Value::Str(c.clone()), Value::Str(p.clone())];
+            let a = db.table("t").unwrap().index("h").unwrap().probe(&key).len();
+            let b = t.index("h").unwrap().probe(&key).len();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

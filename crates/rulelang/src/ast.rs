@@ -1,0 +1,361 @@
+//! Abstract syntax of the MDV rule language (paper §2.3):
+//!
+//! ```text
+//! search Extension e [, Extension e2 ...]
+//! register e
+//! [where Predicates(e)]
+//! ```
+//!
+//! Queries use the same grammar; [`crate::ast::Rule`] serves both.
+
+use std::fmt;
+
+/// Comparison operators of the rule language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Contains,
+}
+
+impl RuleOp {
+    /// `a op b` ⇔ `b op.mirrored() a` for symmetric-capable operators.
+    /// `Contains` is not symmetric; callers must not flip it.
+    pub fn mirrored(self) -> Option<RuleOp> {
+        match self {
+            RuleOp::Eq => Some(RuleOp::Eq),
+            RuleOp::Ne => Some(RuleOp::Ne),
+            RuleOp::Lt => Some(RuleOp::Gt),
+            RuleOp::Le => Some(RuleOp::Ge),
+            RuleOp::Gt => Some(RuleOp::Lt),
+            RuleOp::Ge => Some(RuleOp::Le),
+            RuleOp::Contains => None,
+        }
+    }
+
+    /// True for `< <= > >=`.
+    pub fn is_ordering(self) -> bool {
+        matches!(self, RuleOp::Lt | RuleOp::Le | RuleOp::Gt | RuleOp::Ge)
+    }
+}
+
+impl fmt::Display for RuleOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RuleOp::Eq => "=",
+            RuleOp::Ne => "!=",
+            RuleOp::Lt => "<",
+            RuleOp::Le => "<=",
+            RuleOp::Gt => ">",
+            RuleOp::Ge => ">=",
+            RuleOp::Contains => "contains",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A constant operand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Const {
+    Str(String),
+    Int(i64),
+    Float(f64),
+}
+
+impl Const {
+    /// The lexical form used when storing the constant into filter tables
+    /// (the paper stores all constants as strings, §3.3.4).
+    pub fn lexical(&self) -> String {
+        match self {
+            Const::Str(s) => s.clone(),
+            Const::Int(i) => i.to_string(),
+            Const::Float(x) => x.to_string(),
+        }
+    }
+
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Const::Int(_) | Const::Float(_))
+    }
+}
+
+impl fmt::Display for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Const::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Const::Int(i) => write!(f, "{i}"),
+            Const::Float(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+/// One step of a path expression: a property access, optionally with the
+/// set-valued any-operator `?`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathSeg {
+    pub property: String,
+    /// The `?` any-operator (paper §2.3): matches if *any* element of a
+    /// set-valued property satisfies the enclosing predicate.
+    pub any: bool,
+}
+
+impl fmt::Display for PathSeg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.property, if self.any { "?" } else { "" })
+    }
+}
+
+/// A path expression: a variable followed by zero or more property accesses.
+/// A bare variable (`c = 'doc.rdf#host'`) denotes the resource itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathExpr {
+    pub var: String,
+    pub segments: Vec<PathSeg>,
+}
+
+impl PathExpr {
+    pub fn bare(var: impl Into<String>) -> Self {
+        PathExpr {
+            var: var.into(),
+            segments: Vec::new(),
+        }
+    }
+
+    pub fn is_bare(&self) -> bool {
+        self.segments.is_empty()
+    }
+}
+
+impl fmt::Display for PathExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.var)?;
+        for seg in &self.segments {
+            write!(f, ".{seg}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An operand of a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    Const(Const),
+    Path(PathExpr),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Const(c) => write!(f, "{c}"),
+            Operand::Path(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// An elementary predicate `X op Y`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    pub lhs: Operand,
+    pub op: RuleOp,
+    pub rhs: Operand,
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.lhs, self.op, self.rhs)
+    }
+}
+
+/// The where part: a boolean combination of comparisons. The paper's
+/// published language has only conjunctions; `or` is accepted at the surface
+/// and eliminated by [`crate::rewrite::to_dnf`] ("rules containing it can be
+/// split up easily", §2.3).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WhereExpr {
+    Cmp(Comparison),
+    And(Vec<WhereExpr>),
+    Or(Vec<WhereExpr>),
+}
+
+impl fmt::Display for WhereExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WhereExpr::Cmp(c) => write!(f, "{c}"),
+            WhereExpr::And(ps) => {
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" and ")?;
+                    }
+                    match p {
+                        WhereExpr::Or(_) => write!(f, "({p})")?,
+                        _ => write!(f, "{p}")?,
+                    }
+                }
+                Ok(())
+            }
+            WhereExpr::Or(ps) => {
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" or ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// The extension a variable ranges over: a schema class at the surface.
+/// (Decomposition introduces references to other atomic rules; those live in
+/// the filter crate, not in the surface AST.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Binding {
+    pub class: String,
+    pub var: String,
+}
+
+impl fmt::Display for Binding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.class, self.var)
+    }
+}
+
+/// A subscription rule (or, identically shaped, a query).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    pub search: Vec<Binding>,
+    pub register: String,
+    /// `None` when the rule has no where part (matches every instance).
+    pub where_: Option<WhereExpr>,
+}
+
+impl Rule {
+    pub fn binding_of(&self, var: &str) -> Option<&Binding> {
+        self.search.iter().find(|b| b.var == var)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("search ")?;
+        for (i, b) in self.search.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{b}")?;
+        }
+        write!(f, " register {}", self.register)?;
+        if let Some(w) = &self.where_ {
+            write!(f, " where {w}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A query is grammatically a rule; the alias documents intent.
+pub type Query = Rule;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_rule_roundtrips_shape() {
+        let rule = Rule {
+            search: vec![
+                Binding {
+                    class: "CycleProvider".into(),
+                    var: "c".into(),
+                },
+                Binding {
+                    class: "ServerInformation".into(),
+                    var: "s".into(),
+                },
+            ],
+            register: "c".into(),
+            where_: Some(WhereExpr::And(vec![
+                WhereExpr::Cmp(Comparison {
+                    lhs: Operand::Path(PathExpr {
+                        var: "c".into(),
+                        segments: vec![PathSeg {
+                            property: "serverHost".into(),
+                            any: false,
+                        }],
+                    }),
+                    op: RuleOp::Contains,
+                    rhs: Operand::Const(Const::Str("uni-passau.de".into())),
+                }),
+                WhereExpr::Cmp(Comparison {
+                    lhs: Operand::Path(PathExpr {
+                        var: "s".into(),
+                        segments: vec![PathSeg {
+                            property: "memory".into(),
+                            any: false,
+                        }],
+                    }),
+                    op: RuleOp::Gt,
+                    rhs: Operand::Const(Const::Int(64)),
+                }),
+            ])),
+        };
+        assert_eq!(
+            rule.to_string(),
+            "search CycleProvider c, ServerInformation s register c \
+             where c.serverHost contains 'uni-passau.de' and s.memory > 64"
+        );
+    }
+
+    #[test]
+    fn mirrored_ops() {
+        assert_eq!(RuleOp::Lt.mirrored(), Some(RuleOp::Gt));
+        assert_eq!(RuleOp::Eq.mirrored(), Some(RuleOp::Eq));
+        assert_eq!(RuleOp::Contains.mirrored(), None);
+        assert!(RuleOp::Ge.is_ordering());
+        assert!(!RuleOp::Eq.is_ordering());
+    }
+
+    #[test]
+    fn const_lexical_and_display() {
+        assert_eq!(Const::Int(64).lexical(), "64");
+        assert_eq!(Const::Str("a'b".into()).to_string(), "'a''b'");
+        assert!(Const::Float(2.5).is_numeric());
+        assert!(!Const::Str("x".into()).is_numeric());
+    }
+
+    #[test]
+    fn path_display_with_any() {
+        let p = PathExpr {
+            var: "c".into(),
+            segments: vec![
+                PathSeg {
+                    property: "tags".into(),
+                    any: true,
+                },
+                PathSeg {
+                    property: "name".into(),
+                    any: false,
+                },
+            ],
+        };
+        assert_eq!(p.to_string(), "c.tags?.name");
+        assert!(!p.is_bare());
+        assert!(PathExpr::bare("c").is_bare());
+    }
+
+    #[test]
+    fn or_display_parenthesized_in_and() {
+        let cmp = |v: &str| {
+            WhereExpr::Cmp(Comparison {
+                lhs: Operand::Path(PathExpr::bare(v)),
+                op: RuleOp::Eq,
+                rhs: Operand::Const(Const::Int(1)),
+            })
+        };
+        let w = WhereExpr::And(vec![cmp("a"), WhereExpr::Or(vec![cmp("b"), cmp("c")])]);
+        assert_eq!(w.to_string(), "a = 1 and (b = 1 or c = 1)");
+    }
+}

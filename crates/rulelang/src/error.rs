@@ -1,0 +1,58 @@
+//! Errors of the rule language pipeline.
+
+use std::fmt;
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Lexical error with position.
+    Lex {
+        line: usize,
+        col: usize,
+        message: String,
+    },
+    /// Syntax error with position.
+    Parse {
+        line: usize,
+        col: usize,
+        message: String,
+    },
+    /// The rule references something the schema does not define, or uses an
+    /// operator on incompatible types.
+    Type(String),
+    /// The rule's where part is statically false and can never match.
+    Unsatisfiable,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Lex { line, col, message } => {
+                write!(f, "lexical error at {line}:{col}: {message}")
+            }
+            Error::Parse { line, col, message } => {
+                write!(f, "syntax error at {line}:{col}: {message}")
+            }
+            Error::Type(msg) => write!(f, "type error: {msg}"),
+            Error::Unsatisfiable => f.write_str("rule can never match (statically false)"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = Error::Parse {
+            line: 2,
+            col: 5,
+            message: "expected 'register'".into(),
+        };
+        assert_eq!(e.to_string(), "syntax error at 2:5: expected 'register'");
+    }
+}

@@ -1,0 +1,322 @@
+//! Lexer for the MDV rule language.
+
+use crate::error::{Error, Result};
+use crate::token::{Token, TokenKind};
+
+/// Tokenizes rule text. Keywords are case-insensitive (the paper typesets
+/// them in lowercase; user input is forgiven). The token stream always ends
+/// with a single `Eof` token.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let mut lexer = Lexer {
+        chars: input.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    lexer.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl Lexer {
+    fn err(&self, message: impl Into<String>) -> Error {
+        Error::Lex {
+            line: self.line,
+            col: self.col,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn run(&mut self) -> Result<Vec<Token>> {
+        let mut tokens = Vec::new();
+        loop {
+            while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+                self.bump();
+            }
+            let (line, col) = (self.line, self.col);
+            let Some(c) = self.peek() else {
+                tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    line,
+                    col,
+                });
+                return Ok(tokens);
+            };
+            let kind = match c {
+                ',' => {
+                    self.bump();
+                    TokenKind::Comma
+                }
+                '.' => {
+                    self.bump();
+                    TokenKind::Dot
+                }
+                '?' => {
+                    self.bump();
+                    TokenKind::Question
+                }
+                '(' => {
+                    self.bump();
+                    TokenKind::LParen
+                }
+                ')' => {
+                    self.bump();
+                    TokenKind::RParen
+                }
+                '=' => {
+                    self.bump();
+                    TokenKind::Eq
+                }
+                '!' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        TokenKind::Ne
+                    } else {
+                        return Err(self.err("expected '=' after '!'"));
+                    }
+                }
+                '<' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        TokenKind::Le
+                    } else {
+                        TokenKind::Lt
+                    }
+                }
+                '>' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        TokenKind::Ge
+                    } else {
+                        TokenKind::Gt
+                    }
+                }
+                '\'' => self.lex_string()?,
+                c if c.is_ascii_digit()
+                    || (c == '-' && self.peek2().is_some_and(|d| d.is_ascii_digit())) =>
+                {
+                    self.lex_number()?
+                }
+                c if c.is_alphanumeric() || c == '_' => self.lex_word(),
+                other => return Err(self.err(format!("unexpected character '{other}'"))),
+            };
+            tokens.push(Token { kind, line, col });
+        }
+    }
+
+    fn lex_string(&mut self) -> Result<TokenKind> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some('\'') => {
+                    // doubled quote escapes a literal quote, SQL-style
+                    if self.peek() == Some('\'') {
+                        self.bump();
+                        s.push('\'');
+                    } else {
+                        return Ok(TokenKind::Str(s));
+                    }
+                }
+                Some(c) => s.push(c),
+                None => return Err(self.err("unterminated string literal")),
+            }
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<TokenKind> {
+        let mut s = String::new();
+        if self.peek() == Some('-') {
+            s.push('-');
+            self.bump();
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                s.push(c);
+                self.bump();
+            } else if c == '.' && !is_float && self.peek2().is_some_and(|d| d.is_ascii_digit()) {
+                // a dot not followed by a digit is a path separator, not a
+                // decimal point — `c.serverPort` must not lex `5874.` forms
+                is_float = true;
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if is_float {
+            s.parse::<f64>()
+                .map(TokenKind::Float)
+                .map_err(|_| self.err("invalid float literal"))
+        } else {
+            s.parse::<i64>()
+                .map(TokenKind::Int)
+                .map_err(|_| self.err("integer out of range"))
+        }
+    }
+
+    fn lex_word(&mut self) -> TokenKind {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match s.to_ascii_lowercase().as_str() {
+            "search" => TokenKind::Search,
+            "register" => TokenKind::Register,
+            "where" => TokenKind::Where,
+            "and" => TokenKind::And,
+            "or" => TokenKind::Or,
+            "contains" => TokenKind::Contains,
+            _ => TokenKind::Ident(s),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        lex(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_example_rule() {
+        let ks = kinds(
+            "search CycleProvider c register c \
+             where c.serverHost contains 'uni-passau.de' and c.serverInformation.memory > 64",
+        );
+        use TokenKind::*;
+        assert_eq!(
+            ks,
+            vec![
+                Search,
+                Ident("CycleProvider".into()),
+                Ident("c".into()),
+                Register,
+                Ident("c".into()),
+                Where,
+                Ident("c".into()),
+                Dot,
+                Ident("serverHost".into()),
+                Contains,
+                Str("uni-passau.de".into()),
+                And,
+                Ident("c".into()),
+                Dot,
+                Ident("serverInformation".into()),
+                Dot,
+                Ident("memory".into()),
+                Gt,
+                Int(64),
+                Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        use TokenKind::*;
+        assert_eq!(kinds("= != < <= > >="), vec![Eq, Ne, Lt, Le, Gt, Ge, Eof]);
+    }
+
+    #[test]
+    fn numbers() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("64 -3 2.5 -0.25"),
+            vec![Int(64), Int(-3), Float(2.5), Float(-0.25), Eof]
+        );
+    }
+
+    #[test]
+    fn dot_after_number_is_path_separator_guard() {
+        // `v.x` style access where v might look numeric must not merge
+        use TokenKind::*;
+        assert_eq!(kinds("5.x"), vec![Int(5), Dot, Ident("x".into()), Eof]);
+    }
+
+    #[test]
+    fn string_escapes() {
+        use TokenKind::*;
+        assert_eq!(kinds("'it''s'"), vec![Str("it's".into()), Eof]);
+        assert!(lex("'unterminated").is_err());
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("SEARCH Register WHERE"),
+            vec![Search, Register, Where, Eof]
+        );
+    }
+
+    #[test]
+    fn question_and_parens() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("c.tags? (x)"),
+            vec![
+                Ident("c".into()),
+                Dot,
+                Ident("tags".into()),
+                Question,
+                LParen,
+                Ident("x".into()),
+                RParen,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_character_reported_with_position() {
+        let err = lex("search @").unwrap_err();
+        match err {
+            Error::Lex {
+                line: 1, col: 8, ..
+            } => {}
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bang_requires_equals() {
+        assert!(lex("a ! b").is_err());
+    }
+}

@@ -1,0 +1,59 @@
+//! # mdv-rulelang
+//!
+//! MDV's subscription-rule and query language (paper §2.3):
+//!
+//! ```text
+//! search Extension e register e where Predicates(e)
+//! ```
+//!
+//! The crate provides the full front-end pipeline:
+//!
+//! 1. [`parse_rule`] — lexing and parsing into a [`Rule`] AST,
+//! 2. [`split_or`] — `or`-elimination ("rules containing it can be split up
+//!    easily", §2.3),
+//! 3. [`normalize()`] — path-expression splitting into reference joins
+//!    (§3.3), producing a [`NormalizedRule`],
+//! 4. [`typecheck()`] — schema validation of classes, properties, operators,
+//!    and the set-valued `?` operator.
+//!
+//! ```
+//! use mdv_rdf::RdfSchema;
+//! use mdv_rulelang::{parse_rule, normalize, typecheck};
+//!
+//! let schema = RdfSchema::builder()
+//!     .class("ServerInformation", |c| c.int("memory").int("cpu"))
+//!     .class("CycleProvider", |c| c
+//!         .str("serverHost")
+//!         .strong_ref("serverInformation", "ServerInformation"))
+//!     .build().unwrap();
+//!
+//! // the paper's Example 1
+//! let rule = parse_rule(
+//!     "search CycleProvider c register c \
+//!      where c.serverHost contains 'uni-passau.de' \
+//!      and c.serverInformation.memory > 64").unwrap();
+//! let normalized = normalize(&rule, &schema).unwrap();
+//! typecheck(&normalized, &schema).unwrap();
+//! // normalization introduced the ServerInformation binding and the join
+//! assert_eq!(normalized.bindings.len(), 2);
+//! assert_eq!(normalized.predicates.len(), 3);
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod normalize;
+pub mod parser;
+pub mod rewrite;
+pub mod token;
+pub mod typecheck;
+
+pub use ast::{
+    Binding, Comparison, Const, Operand, PathExpr, PathSeg, Query, Rule, RuleOp, WhereExpr,
+};
+pub use error::{Error, Result};
+pub use lexer::lex;
+pub use normalize::{normalize, NormOperand, NormPred, NormalizedRule};
+pub use parser::parse_rule;
+pub use rewrite::{split_or, to_dnf};
+pub use typecheck::typecheck;

@@ -1,0 +1,515 @@
+//! Rule normalization (paper §3.3).
+//!
+//! A rule is *normalized* when its search part binds a variable for every
+//! class used in the where part and no predicate contains a multi-step path
+//! expression — only direct property accesses. Path expressions are split by
+//! introducing fresh variables and reference-join predicates:
+//!
+//! ```text
+//! search CycleProvider c register c
+//! where c.serverInformation.memory > 64
+//! ```
+//! becomes
+//! ```text
+//! search CycleProvider c, ServerInformation v1 register c
+//! where c.serverInformation = v1 and v1.memory > 64
+//! ```
+//!
+//! Shared path prefixes within one rule reuse the same generated variable,
+//! matching the paper's §3.3.1 example where `s.memory > 64 and s.cpu > 500`
+//! bind through a single `ServerInformation s`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use mdv_rdf::RdfSchema;
+
+use crate::ast::{Binding, Comparison, Const, Operand, PathExpr, Rule, RuleOp, WhereExpr};
+use crate::error::{Error, Result};
+
+/// An operand of a normalized predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NormOperand {
+    /// The resource bound to a variable, identified by its URI reference —
+    /// maps to the `rdf#subject` pseudo-property in filter tables.
+    Subject(String),
+    /// A direct property access `var.prop`, `any` for the `?` operator.
+    Prop {
+        var: String,
+        prop: String,
+        any: bool,
+    },
+    /// A constant.
+    Const(Const),
+}
+
+impl NormOperand {
+    /// The variable this operand depends on, if any.
+    pub fn var(&self) -> Option<&str> {
+        match self {
+            NormOperand::Subject(v) | NormOperand::Prop { var: v, .. } => Some(v),
+            NormOperand::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for NormOperand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NormOperand::Subject(v) => write!(f, "{v}"),
+            NormOperand::Prop { var, prop, any } => {
+                write!(f, "{var}.{prop}{}", if *any { "?" } else { "" })
+            }
+            NormOperand::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A normalized predicate: both operands reference at most one property step.
+/// Constants, when present, are always on the right-hand side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormPred {
+    pub lhs: NormOperand,
+    pub op: RuleOp,
+    pub rhs: NormOperand,
+}
+
+impl NormPred {
+    /// True when one side is a constant (a triggering-rule predicate,
+    /// paper §3.3.1).
+    pub fn has_const(&self) -> bool {
+        matches!(self.rhs, NormOperand::Const(_))
+    }
+
+    /// True when both sides reference variables (a join predicate).
+    pub fn is_join(&self) -> bool {
+        self.lhs.var().is_some() && self.rhs.var().is_some()
+    }
+}
+
+impl fmt::Display for NormPred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.lhs, self.op, self.rhs)
+    }
+}
+
+/// A normalized rule: complete bindings, flat predicates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormalizedRule {
+    pub bindings: Vec<Binding>,
+    pub register: String,
+    pub predicates: Vec<NormPred>,
+}
+
+impl NormalizedRule {
+    pub fn class_of(&self, var: &str) -> Option<&str> {
+        self.bindings
+            .iter()
+            .find(|b| b.var == var)
+            .map(|b| b.class.as_str())
+    }
+
+    /// The type of the rule: the class of the registered variable.
+    pub fn register_class(&self) -> &str {
+        self.class_of(&self.register)
+            .expect("register variable is bound")
+    }
+}
+
+impl fmt::Display for NormalizedRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("search ")?;
+        for (i, b) in self.bindings.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{b}")?;
+        }
+        write!(f, " register {}", self.register)?;
+        for (i, p) in self.predicates.iter().enumerate() {
+            f.write_str(if i == 0 { " where " } else { " and " })?;
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Normalizes a conjunctive rule against a schema. Rules containing `or`
+/// must be split with [`crate::rewrite::split_or`] first.
+pub fn normalize(rule: &Rule, schema: &RdfSchema) -> Result<NormalizedRule> {
+    let mut n = Normalizer {
+        schema,
+        bindings: rule.search.clone(),
+        predicates: Vec::new(),
+        prefix_vars: HashMap::new(),
+        gensym: 0,
+    };
+    for b in &rule.search {
+        if !schema.has_class(&b.class) {
+            return Err(Error::Type(format!(
+                "unknown class '{}' in search part",
+                b.class
+            )));
+        }
+    }
+    if let Some(where_) = &rule.where_ {
+        for cmp in flatten_conjunction(where_)? {
+            n.add_comparison(&cmp)?;
+        }
+    }
+    Ok(NormalizedRule {
+        bindings: n.bindings,
+        register: rule.register.clone(),
+        predicates: n.predicates,
+    })
+}
+
+fn flatten_conjunction(expr: &WhereExpr) -> Result<Vec<Comparison>> {
+    match expr {
+        WhereExpr::Cmp(c) => Ok(vec![c.clone()]),
+        WhereExpr::And(parts) => {
+            let mut out = Vec::with_capacity(parts.len());
+            for p in parts {
+                out.extend(flatten_conjunction(p)?);
+            }
+            Ok(out)
+        }
+        WhereExpr::Or(_) => Err(Error::Type(
+            "rule contains 'or'; split it with rewrite::split_or before normalizing".into(),
+        )),
+    }
+}
+
+struct Normalizer<'a> {
+    schema: &'a RdfSchema,
+    bindings: Vec<Binding>,
+    predicates: Vec<NormPred>,
+    /// Memoizes (var, path-prefix) → generated variable so shared prefixes
+    /// bind through one variable.
+    prefix_vars: HashMap<(String, Vec<String>), String>,
+    gensym: usize,
+}
+
+impl Normalizer<'_> {
+    fn fresh_var(&mut self) -> String {
+        loop {
+            self.gensym += 1;
+            let candidate = format!("v{}", self.gensym);
+            if !self.bindings.iter().any(|b| b.var == candidate) {
+                return candidate;
+            }
+        }
+    }
+
+    fn class_of(&self, var: &str) -> Result<String> {
+        self.bindings
+            .iter()
+            .find(|b| b.var == var)
+            .map(|b| b.class.clone())
+            .ok_or_else(|| Error::Type(format!("variable '{var}' is not bound in the search part")))
+    }
+
+    /// Reduces a path expression to a normalized operand, introducing
+    /// intermediate variables and reference joins for all but the last step.
+    fn reduce_path(&mut self, path: &PathExpr) -> Result<NormOperand> {
+        let mut cur_var = path.var.clone();
+        let mut cur_class = self.class_of(&cur_var)?;
+        if path.segments.is_empty() {
+            return Ok(NormOperand::Subject(cur_var));
+        }
+        let mut prefix: Vec<String> = Vec::new();
+        for seg in &path.segments[..path.segments.len() - 1] {
+            let target = self
+                .schema
+                .range_class(&cur_class, &seg.property)
+                .ok_or_else(|| {
+                    Error::Type(format!(
+                        "property '{}' of class '{cur_class}' is not a reference and cannot \
+                     appear mid-path",
+                        seg.property
+                    ))
+                })?;
+            let target = target.to_owned();
+            prefix.push(seg.property.clone());
+            let key = (path.var.clone(), prefix.clone());
+            let next_var = match self.prefix_vars.get(&key) {
+                Some(v) => v.clone(),
+                None => {
+                    let v = self.fresh_var();
+                    self.bindings.push(Binding {
+                        class: target.clone(),
+                        var: v.clone(),
+                    });
+                    self.predicates.push(NormPred {
+                        lhs: NormOperand::Prop {
+                            var: cur_var.clone(),
+                            prop: seg.property.clone(),
+                            any: seg.any,
+                        },
+                        op: RuleOp::Eq,
+                        rhs: NormOperand::Subject(v.clone()),
+                    });
+                    self.prefix_vars.insert(key, v.clone());
+                    v
+                }
+            };
+            cur_var = next_var;
+            cur_class = target;
+        }
+        let last = path.segments.last().expect("segments checked non-empty");
+        Ok(NormOperand::Prop {
+            var: cur_var,
+            prop: last.property.clone(),
+            any: last.any,
+        })
+    }
+
+    fn add_comparison(&mut self, cmp: &Comparison) -> Result<()> {
+        let lhs = self.reduce_operand(&cmp.lhs)?;
+        let rhs = self.reduce_operand(&cmp.rhs)?;
+        let (lhs, op, rhs) = match (lhs, rhs) {
+            // fold constant-only predicates
+            (NormOperand::Const(a), NormOperand::Const(b)) => {
+                return if const_cmp(&a, cmp.op, &b)? {
+                    Ok(()) // statically true: drop
+                } else {
+                    Err(Error::Unsatisfiable)
+                };
+            }
+            // constants go to the right, mirroring the operator
+            (NormOperand::Const(c), rhs) => {
+                let op = cmp.op.mirrored().ok_or_else(|| {
+                    Error::Type(format!(
+                        "'{c} contains <path>' is not supported; the pattern must be the \
+                         right-hand operand"
+                    ))
+                })?;
+                (rhs, op, NormOperand::Const(c))
+            }
+            (lhs, rhs) => (lhs, cmp.op, rhs),
+        };
+        self.predicates.push(NormPred { lhs, op, rhs });
+        Ok(())
+    }
+
+    fn reduce_operand(&mut self, op: &Operand) -> Result<NormOperand> {
+        match op {
+            Operand::Const(c) => Ok(NormOperand::Const(c.clone())),
+            Operand::Path(p) => self.reduce_path(p),
+        }
+    }
+}
+
+/// Statically evaluates `a op b` on constants.
+fn const_cmp(a: &Const, op: RuleOp, b: &Const) -> Result<bool> {
+    let ord = match (a, b) {
+        (Const::Int(x), Const::Int(y)) => x.partial_cmp(y),
+        (Const::Float(x), Const::Float(y)) => x.partial_cmp(y),
+        (Const::Int(x), Const::Float(y)) => (*x as f64).partial_cmp(y),
+        (Const::Float(x), Const::Int(y)) => x.partial_cmp(&(*y as f64)),
+        (Const::Str(x), Const::Str(y)) => Some(x.cmp(y)),
+        _ => None,
+    };
+    Ok(match op {
+        RuleOp::Contains => match (a, b) {
+            (Const::Str(x), Const::Str(y)) => x.contains(y.as_str()),
+            _ => false,
+        },
+        RuleOp::Eq => ord == Some(std::cmp::Ordering::Equal),
+        RuleOp::Ne => ord.is_some() && ord != Some(std::cmp::Ordering::Equal),
+        RuleOp::Lt => ord == Some(std::cmp::Ordering::Less),
+        RuleOp::Gt => ord == Some(std::cmp::Ordering::Greater),
+        RuleOp::Le => matches!(
+            ord,
+            Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+        ),
+        RuleOp::Ge => {
+            matches!(
+                ord,
+                Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+            )
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_rule;
+    use mdv_rdf::RdfSchema;
+
+    fn schema() -> RdfSchema {
+        RdfSchema::builder()
+            .class("ServerInformation", |c| c.int("memory").int("cpu"))
+            .class("NetworkCard", |c| c.int("bandwidth"))
+            .class("CycleProvider", |c| {
+                c.str("serverHost")
+                    .int("serverPort")
+                    .str_set("tags")
+                    .strong_ref("serverInformation", "ServerInformation")
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn norm(text: &str) -> NormalizedRule {
+        normalize(&parse_rule(text).unwrap(), &schema()).unwrap()
+    }
+
+    #[test]
+    fn paper_example1_normalization() {
+        // §3.3: the normalized form of Example 1
+        let n = norm(
+            "search CycleProvider c register c \
+             where c.serverHost contains 'uni-passau.de' \
+             and c.serverInformation.memory > 64",
+        );
+        assert_eq!(n.bindings.len(), 2);
+        assert_eq!(n.bindings[1].class, "ServerInformation");
+        let v = &n.bindings[1].var;
+        assert_eq!(
+            n.to_string(),
+            format!(
+                "search CycleProvider c, ServerInformation {v} register c \
+                 where c.serverHost contains 'uni-passau.de' \
+                 and c.serverInformation = {v} and {v}.memory > 64"
+            )
+        );
+    }
+
+    #[test]
+    fn shared_prefix_uses_one_variable() {
+        // §3.3.1's rule: memory and cpu access share the serverInformation hop
+        let n = norm(
+            "search CycleProvider c register c \
+             where c.serverInformation.memory > 64 and c.serverInformation.cpu > 500",
+        );
+        assert_eq!(n.bindings.len(), 2, "one shared intermediate variable");
+        // one ref-join + two comparisons
+        assert_eq!(n.predicates.len(), 3);
+        let joins = n.predicates.iter().filter(|p| p.is_join()).count();
+        assert_eq!(joins, 1);
+    }
+
+    #[test]
+    fn already_normalized_rule_unchanged() {
+        let n = norm(
+            "search CycleProvider c, ServerInformation s register c \
+             where c.serverInformation = s and s.memory > 64",
+        );
+        assert_eq!(n.bindings.len(), 2);
+        assert_eq!(n.predicates.len(), 2);
+    }
+
+    #[test]
+    fn bare_variable_becomes_subject() {
+        let n = norm("search CycleProvider c register c where c = 'doc.rdf#host'");
+        assert_eq!(n.predicates.len(), 1);
+        assert!(matches!(n.predicates[0].lhs, NormOperand::Subject(_)));
+        assert!(n.predicates[0].has_const());
+    }
+
+    #[test]
+    fn constant_moves_right_with_mirrored_op() {
+        let n = norm("search ServerInformation s register s where 64 < s.memory");
+        assert_eq!(n.predicates[0].op, RuleOp::Gt);
+        assert!(matches!(n.predicates[0].lhs, NormOperand::Prop { .. }));
+    }
+
+    #[test]
+    fn const_contains_path_rejected() {
+        let err = normalize(
+            &parse_rule("search CycleProvider c register c where 'abc' contains c.serverHost")
+                .unwrap(),
+            &schema(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("not supported"));
+    }
+
+    #[test]
+    fn static_predicates_fold() {
+        let n = norm("search CycleProvider c register c where 1 = 1");
+        assert!(n.predicates.is_empty());
+        let err = normalize(
+            &parse_rule("search CycleProvider c register c where 1 = 2").unwrap(),
+            &schema(),
+        )
+        .unwrap_err();
+        assert_eq!(err, Error::Unsatisfiable);
+    }
+
+    #[test]
+    fn unknown_class_rejected() {
+        let err =
+            normalize(&parse_rule("search Nope c register c").unwrap(), &schema()).unwrap_err();
+        assert!(err.to_string().contains("unknown class"));
+    }
+
+    #[test]
+    fn unbound_variable_rejected() {
+        let err = normalize(
+            &parse_rule("search CycleProvider c register c where x.memory > 1").unwrap(),
+            &schema(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("not bound"));
+    }
+
+    #[test]
+    fn literal_mid_path_rejected() {
+        let err = normalize(
+            &parse_rule("search CycleProvider c register c where c.serverHost.x = 1").unwrap(),
+            &schema(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("mid-path"));
+    }
+
+    #[test]
+    fn or_must_be_split_first() {
+        let err = normalize(
+            &parse_rule(
+                "search CycleProvider c register c where c.serverPort = 1 or c.serverPort = 2",
+            )
+            .unwrap(),
+            &schema(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("split"));
+    }
+
+    #[test]
+    fn any_operator_survives_normalization() {
+        let n = norm("search CycleProvider c register c where c.tags? contains 'db'");
+        match &n.predicates[0].lhs {
+            NormOperand::Prop { any, prop, .. } => {
+                assert!(*any);
+                assert_eq!(prop, "tags");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn register_class_resolution() {
+        let n = norm("search CycleProvider c register c where c.serverInformation.memory > 64");
+        assert_eq!(n.register_class(), "CycleProvider");
+    }
+
+    #[test]
+    fn gensym_avoids_collisions() {
+        // a user variable named v1 must not clash with generated names
+        let n = normalize(
+            &parse_rule(
+                "search CycleProvider v1 register v1 where v1.serverInformation.memory > 64",
+            )
+            .unwrap(),
+            &schema(),
+        )
+        .unwrap();
+        let vars: Vec<&str> = n.bindings.iter().map(|b| b.var.as_str()).collect();
+        assert_eq!(vars.len(), 2);
+        assert_ne!(vars[0], vars[1]);
+    }
+}

@@ -1,0 +1,353 @@
+//! Recursive-descent parser for the rule language.
+//!
+//! Grammar (EBNF):
+//! ```text
+//! rule     = "search" binding { "," binding } "register" IDENT [ "where" or ] ;
+//! binding  = IDENT IDENT ;                       (* Class var *)
+//! or       = and { "or" and } ;
+//! and      = factor { "and" factor } ;
+//! factor   = "(" or ")" | comparison ;
+//! comparison = operand op operand ;
+//! operand  = STRING | NUMBER | path ;
+//! path     = IDENT { "." IDENT [ "?" ] } ;
+//! op       = "=" | "!=" | "<" | "<=" | ">" | ">=" | "contains" ;
+//! ```
+
+use crate::ast::{Binding, Comparison, Const, Operand, PathExpr, PathSeg, Rule, RuleOp, WhereExpr};
+use crate::error::{Error, Result};
+use crate::lexer::lex;
+use crate::token::{Token, TokenKind};
+
+/// Parses a rule (or query — same grammar) from source text.
+pub fn parse_rule(input: &str) -> Result<Rule> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let rule = p.rule()?;
+    p.expect_eof()?;
+    Ok(rule)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err_here(&self, message: impl Into<String>) -> Error {
+        let t = self.peek();
+        Error::Parse {
+            line: t.line,
+            col: t.col,
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<()> {
+        if &self.peek().kind == kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err_here(format!("expected {kind}, found {}", self.peek().kind)))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<()> {
+        match &self.peek().kind {
+            TokenKind::Eof => Ok(()),
+            other => Err(self.err_here(format!("unexpected {other} after rule"))),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err_here(format!("expected {what}, found {other}"))),
+        }
+    }
+
+    fn rule(&mut self) -> Result<Rule> {
+        self.expect(&TokenKind::Search)?;
+        let mut search = vec![self.binding()?];
+        while self.peek().kind == TokenKind::Comma {
+            self.bump();
+            search.push(self.binding()?);
+        }
+        self.expect(&TokenKind::Register)?;
+        let register = self.ident("the registered variable")?;
+        if !search.iter().any(|b| b.var == register) {
+            return Err(self.err_here(format!(
+                "registered variable '{register}' is not bound in the search part"
+            )));
+        }
+        let where_ = if self.peek().kind == TokenKind::Where {
+            self.bump();
+            Some(self.or_expr()?)
+        } else {
+            None
+        };
+        // duplicate variable names are ambiguous
+        for (i, b) in search.iter().enumerate() {
+            if search[..i].iter().any(|p| p.var == b.var) {
+                return Err(self.err_here(format!("variable '{}' bound twice", b.var)));
+            }
+        }
+        Ok(Rule {
+            search,
+            register,
+            where_,
+        })
+    }
+
+    fn binding(&mut self) -> Result<Binding> {
+        let class = self.ident("an extension (class) name")?;
+        let var = self.ident("a variable name")?;
+        Ok(Binding { class, var })
+    }
+
+    fn or_expr(&mut self) -> Result<WhereExpr> {
+        let mut parts = vec![self.and_expr()?];
+        while self.peek().kind == TokenKind::Or {
+            self.bump();
+            parts.push(self.and_expr()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one part")
+        } else {
+            WhereExpr::Or(parts)
+        })
+    }
+
+    fn and_expr(&mut self) -> Result<WhereExpr> {
+        let mut parts = vec![self.factor()?];
+        while self.peek().kind == TokenKind::And {
+            self.bump();
+            parts.push(self.factor()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one part")
+        } else {
+            WhereExpr::And(parts)
+        })
+    }
+
+    fn factor(&mut self) -> Result<WhereExpr> {
+        if self.peek().kind == TokenKind::LParen {
+            self.bump();
+            let inner = self.or_expr()?;
+            self.expect(&TokenKind::RParen)?;
+            return Ok(inner);
+        }
+        let lhs = self.operand()?;
+        let op = self.op()?;
+        let rhs = self.operand()?;
+        Ok(WhereExpr::Cmp(Comparison { lhs, op, rhs }))
+    }
+
+    fn op(&mut self) -> Result<RuleOp> {
+        let op = match &self.peek().kind {
+            TokenKind::Eq => RuleOp::Eq,
+            TokenKind::Ne => RuleOp::Ne,
+            TokenKind::Lt => RuleOp::Lt,
+            TokenKind::Le => RuleOp::Le,
+            TokenKind::Gt => RuleOp::Gt,
+            TokenKind::Ge => RuleOp::Ge,
+            TokenKind::Contains => RuleOp::Contains,
+            other => {
+                return Err(self.err_here(format!("expected a comparison operator, found {other}")))
+            }
+        };
+        self.bump();
+        Ok(op)
+    }
+
+    fn operand(&mut self) -> Result<Operand> {
+        match &self.peek().kind {
+            TokenKind::Str(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(Operand::Const(Const::Str(s)))
+            }
+            TokenKind::Int(i) => {
+                let i = *i;
+                self.bump();
+                Ok(Operand::Const(Const::Int(i)))
+            }
+            TokenKind::Float(x) => {
+                let x = *x;
+                self.bump();
+                Ok(Operand::Const(Const::Float(x)))
+            }
+            TokenKind::Ident(_) => {
+                let var = self.ident("a variable")?;
+                let mut segments = Vec::new();
+                while self.peek().kind == TokenKind::Dot {
+                    self.bump();
+                    let property = self.ident("a property name")?;
+                    let any = if self.peek().kind == TokenKind::Question {
+                        self.bump();
+                        true
+                    } else {
+                        false
+                    };
+                    segments.push(PathSeg { property, any });
+                }
+                Ok(Operand::Path(PathExpr { var, segments }))
+            }
+            other => Err(self.err_here(format!("expected an operand, found {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_example1() {
+        // the paper's Example 1
+        let rule = parse_rule(
+            "search CycleProvider c register c \
+             where c.serverHost contains 'uni-passau.de' \
+             and c.serverInformation.memory > 64",
+        )
+        .unwrap();
+        assert_eq!(rule.search.len(), 1);
+        assert_eq!(rule.search[0].class, "CycleProvider");
+        assert_eq!(rule.register, "c");
+        match rule.where_.as_ref().unwrap() {
+            WhereExpr::And(parts) => assert_eq!(parts.len(), 2),
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rule_without_where() {
+        let rule = parse_rule("search CycleProvider c register c").unwrap();
+        assert!(rule.where_.is_none());
+    }
+
+    #[test]
+    fn parse_multi_binding_normalized_form() {
+        let rule = parse_rule(
+            "search CycleProvider c, ServerInformation s register c \
+             where c.serverInformation = s and s.memory > 64",
+        )
+        .unwrap();
+        assert_eq!(rule.search.len(), 2);
+        let text = rule.to_string();
+        let reparsed = parse_rule(&text).unwrap();
+        assert_eq!(rule, reparsed);
+    }
+
+    #[test]
+    fn parse_oid_rule() {
+        // OID benchmark rule: register a single resource by URI reference
+        let rule =
+            parse_rule("search CycleProvider c register c where c = 'doc.rdf#host'").unwrap();
+        match rule.where_.unwrap() {
+            WhereExpr::Cmp(c) => {
+                assert!(matches!(c.lhs, Operand::Path(ref p) if p.is_bare()));
+                assert_eq!(c.op, RuleOp::Eq);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_or_and_parens() {
+        let rule =
+            parse_rule("search C c register c where c.a = 1 and (c.b = 2 or c.b = 3)").unwrap();
+        match rule.where_.unwrap() {
+            WhereExpr::And(parts) => {
+                assert!(matches!(parts[1], WhereExpr::Or(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_any_operator() {
+        let rule = parse_rule("search C c register c where c.tags? contains 'db'").unwrap();
+        match rule.where_.unwrap() {
+            WhereExpr::Cmp(c) => match c.lhs {
+                Operand::Path(p) => {
+                    assert!(p.segments[0].any);
+                    assert_eq!(p.segments[0].property, "tags");
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn register_must_be_bound() {
+        let err = parse_rule("search C c register x").unwrap_err();
+        assert!(err.to_string().contains("not bound"));
+    }
+
+    #[test]
+    fn duplicate_variable_rejected() {
+        let err = parse_rule("search C c, D c register c").unwrap_err();
+        assert!(err.to_string().contains("bound twice"));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_rule("search C c register c extra").is_err());
+    }
+
+    #[test]
+    fn missing_parts_rejected() {
+        assert!(parse_rule("register c").is_err());
+        assert!(parse_rule("search C c").is_err());
+        assert!(parse_rule("search C c register c where").is_err());
+        assert!(parse_rule("search C c register c where c.a =").is_err());
+    }
+
+    #[test]
+    fn const_on_left_side_parses() {
+        let rule = parse_rule("search C c register c where 64 < c.memory").unwrap();
+        match rule.where_.unwrap() {
+            WhereExpr::Cmp(c) => {
+                assert!(matches!(c.lhs, Operand::Const(Const::Int(64))));
+                assert!(matches!(c.rhs, Operand::Path(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let texts = [
+            "search CycleProvider c register c",
+            "search CycleProvider c register c where c.serverHost contains 'uni-passau.de'",
+            "search CycleProvider c, ServerInformation s register c where c.serverInformation = s and s.memory > 64 and s.cpu > 500",
+            "search C c register c where c.a = 1 and (c.b = 2 or c.b = 3)",
+        ];
+        for t in texts {
+            let rule = parse_rule(t).unwrap();
+            assert_eq!(
+                parse_rule(&rule.to_string()).unwrap(),
+                rule,
+                "roundtrip failed for {t}"
+            );
+        }
+    }
+}

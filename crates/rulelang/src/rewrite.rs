@@ -1,0 +1,125 @@
+//! Boolean rewrites: `or`-elimination.
+//!
+//! The paper's implementation "does not support an or operator, but rules
+//! containing it can be split up easily into rules without it" (§2.3). This
+//! module performs that split: the where part is brought into disjunctive
+//! normal form and the rule becomes one conjunctive rule per disjunct. The
+//! union of their matches equals the original rule's matches.
+
+use crate::ast::{Comparison, Rule, WhereExpr};
+
+/// Converts a where expression to DNF: a disjunction (outer Vec) of
+/// conjunctions (inner Vecs) of comparisons.
+pub fn to_dnf(expr: &WhereExpr) -> Vec<Vec<Comparison>> {
+    match expr {
+        WhereExpr::Cmp(c) => vec![vec![c.clone()]],
+        WhereExpr::Or(parts) => parts.iter().flat_map(to_dnf).collect(),
+        WhereExpr::And(parts) => {
+            // distribute: AND of DNFs = cross product of their disjuncts
+            let mut acc: Vec<Vec<Comparison>> = vec![Vec::new()];
+            for part in parts {
+                let part_dnf = to_dnf(part);
+                let mut next = Vec::with_capacity(acc.len() * part_dnf.len());
+                for prefix in &acc {
+                    for disjunct in &part_dnf {
+                        let mut merged = prefix.clone();
+                        merged.extend(disjunct.iter().cloned());
+                        next.push(merged);
+                    }
+                }
+                acc = next;
+            }
+            acc
+        }
+    }
+}
+
+/// Splits a rule with `or` into equivalent purely conjunctive rules. Rules
+/// that are already conjunctive (or have no where part) come back unchanged
+/// as a single element.
+pub fn split_or(rule: &Rule) -> Vec<Rule> {
+    let Some(where_) = &rule.where_ else {
+        return vec![rule.clone()];
+    };
+    to_dnf(where_)
+        .into_iter()
+        .map(|conj| Rule {
+            search: rule.search.clone(),
+            register: rule.register.clone(),
+            where_: Some(if conj.len() == 1 {
+                WhereExpr::Cmp(conj.into_iter().next().expect("len checked"))
+            } else {
+                WhereExpr::And(conj.into_iter().map(WhereExpr::Cmp).collect())
+            }),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_rule;
+
+    fn dnf_of(rule_text: &str) -> Vec<Vec<Comparison>> {
+        let rule = parse_rule(rule_text).unwrap();
+        to_dnf(rule.where_.as_ref().unwrap())
+    }
+
+    #[test]
+    fn single_comparison_is_one_disjunct() {
+        let d = dnf_of("search C c register c where c.a = 1");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].len(), 1);
+    }
+
+    #[test]
+    fn conjunction_stays_single_disjunct() {
+        let d = dnf_of("search C c register c where c.a = 1 and c.b = 2 and c.d = 3");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].len(), 3);
+    }
+
+    #[test]
+    fn or_splits() {
+        let d = dnf_of("search C c register c where c.a = 1 or c.b = 2");
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn and_distributes_over_or() {
+        // a and (b or c) → (a and b) or (a and c)
+        let d = dnf_of("search C c register c where c.a = 1 and (c.b = 2 or c.b = 3)");
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().all(|conj| conj.len() == 2));
+        // (a or b) and (c or d) → 4 disjuncts
+        let d = dnf_of("search C c register c where (c.a = 1 or c.a = 2) and (c.b = 3 or c.b = 4)");
+        assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    fn split_or_produces_conjunctive_rules() {
+        let rule =
+            parse_rule("search C c register c where c.a = 1 and (c.b = 2 or c.b = 3)").unwrap();
+        let rules = split_or(&rule);
+        assert_eq!(rules.len(), 2);
+        for r in &rules {
+            assert_eq!(r.search, rule.search);
+            assert_eq!(r.register, rule.register);
+            match r.where_.as_ref().unwrap() {
+                WhereExpr::And(parts) => {
+                    assert!(parts.iter().all(|p| matches!(p, WhereExpr::Cmp(_))))
+                }
+                WhereExpr::Cmp(_) => {}
+                other => panic!("not conjunctive: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn split_or_identity_without_or() {
+        let rule = parse_rule("search C c register c where c.a = 1 and c.b = 2").unwrap();
+        assert_eq!(split_or(&rule), vec![rule.clone()]);
+        let no_where = parse_rule("search C c register c").unwrap();
+        assert_eq!(split_or(&no_where), vec![no_where.clone()]);
+    }
+}

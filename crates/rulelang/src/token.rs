@@ -1,0 +1,70 @@
+//! Tokens of the MDV rule language.
+
+use std::fmt;
+
+/// A lexical token with its source position (for error reporting).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+    pub col: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // keywords
+    Search,
+    Register,
+    Where,
+    And,
+    Or,
+    Contains,
+    // literals & names
+    Ident(String),
+    Str(String),
+    Int(i64),
+    Float(f64),
+    // punctuation & operators
+    Comma,
+    Dot,
+    Question,
+    LParen,
+    RParen,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// End of input (always the last token).
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Search => f.write_str("search"),
+            TokenKind::Register => f.write_str("register"),
+            TokenKind::Where => f.write_str("where"),
+            TokenKind::And => f.write_str("and"),
+            TokenKind::Or => f.write_str("or"),
+            TokenKind::Contains => f.write_str("contains"),
+            TokenKind::Ident(s) => write!(f, "identifier '{s}'"),
+            TokenKind::Str(s) => write!(f, "string '{s}'"),
+            TokenKind::Int(i) => write!(f, "integer {i}"),
+            TokenKind::Float(x) => write!(f, "float {x}"),
+            TokenKind::Comma => f.write_str("','"),
+            TokenKind::Dot => f.write_str("'.'"),
+            TokenKind::Question => f.write_str("'?'"),
+            TokenKind::LParen => f.write_str("'('"),
+            TokenKind::RParen => f.write_str("')'"),
+            TokenKind::Eq => f.write_str("'='"),
+            TokenKind::Ne => f.write_str("'!='"),
+            TokenKind::Lt => f.write_str("'<'"),
+            TokenKind::Le => f.write_str("'<='"),
+            TokenKind::Gt => f.write_str("'>'"),
+            TokenKind::Ge => f.write_str("'>='"),
+            TokenKind::Eof => f.write_str("end of input"),
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Schema-based type checking of normalized rules.
+//!
+//! The checks mirror the paper's restrictions:
+//! * every variable is bound to a schema class (normalization guarantees it),
+//! * properties exist on the classes they are accessed through,
+//! * ordering operators (`< <= > >=`) apply "only on numerical constants"
+//!   (§3.3.4) and numeric properties,
+//! * `contains` applies to string properties and string patterns,
+//! * the `?` any-operator is required for set-valued properties and
+//!   forbidden elsewhere,
+//! * reference joins connect compatible classes.
+
+use mdv_rdf::{LiteralType, Range, RdfSchema};
+
+use crate::ast::{Const, RuleOp};
+use crate::error::{Error, Result};
+use crate::normalize::{NormOperand, NormPred, NormalizedRule};
+
+/// Validates a normalized rule against the schema.
+pub fn typecheck(rule: &NormalizedRule, schema: &RdfSchema) -> Result<()> {
+    for b in &rule.bindings {
+        if !schema.has_class(&b.class) {
+            return Err(Error::Type(format!("unknown class '{}'", b.class)));
+        }
+    }
+    for pred in &rule.predicates {
+        check_pred(rule, schema, pred)?;
+    }
+    Ok(())
+}
+
+/// The resolved type of a normalized operand.
+enum OperandType<'a> {
+    /// A resource of the given class (Subject operand or reference property).
+    Resource(&'a str),
+    Literal(LiteralType),
+    ConstNum,
+    ConstStr,
+}
+
+fn operand_type<'a>(
+    rule: &NormalizedRule,
+    schema: &'a RdfSchema,
+    op: &'a NormOperand,
+) -> Result<OperandType<'a>> {
+    match op {
+        NormOperand::Subject(var) => {
+            let class = rule
+                .class_of(var)
+                .ok_or_else(|| Error::Type(format!("variable '{var}' is not bound")))?;
+            // class names were validated up front; borrow the schema's copy
+            let class = schema
+                .class(class)
+                .ok_or_else(|| Error::Type(format!("unknown class '{class}'")))?;
+            Ok(OperandType::Resource(&class.name))
+        }
+        NormOperand::Prop { var, prop, any } => {
+            let class = rule
+                .class_of(var)
+                .ok_or_else(|| Error::Type(format!("variable '{var}' is not bound")))?;
+            let def = schema
+                .property(class, prop)
+                .ok_or_else(|| Error::Type(format!("class '{class}' has no property '{prop}'")))?;
+            if def.set_valued && !*any {
+                return Err(Error::Type(format!(
+                    "property '{prop}' of class '{class}' is set-valued; use the '?' operator"
+                )));
+            }
+            if !def.set_valued && *any {
+                return Err(Error::Type(format!(
+                    "property '{prop}' of class '{class}' is single-valued; '?' does not apply"
+                )));
+            }
+            match &def.range {
+                Range::Literal(lt) => Ok(OperandType::Literal(*lt)),
+                Range::Class { class, .. } => Ok(OperandType::Resource(class)),
+            }
+        }
+        NormOperand::Const(Const::Str(_)) => Ok(OperandType::ConstStr),
+        NormOperand::Const(_) => Ok(OperandType::ConstNum),
+    }
+}
+
+fn is_numeric(lt: LiteralType) -> bool {
+    matches!(lt, LiteralType::Int | LiteralType::Float)
+}
+
+fn check_pred(rule: &NormalizedRule, schema: &RdfSchema, pred: &NormPred) -> Result<()> {
+    use OperandType::*;
+    let lt = operand_type(rule, schema, &pred.lhs)?;
+    let rt = operand_type(rule, schema, &pred.rhs)?;
+    let fail = |msg: String| Err(Error::Type(format!("in predicate '{pred}': {msg}")));
+
+    if pred.op.is_ordering() {
+        return match (&lt, &rt) {
+            (Literal(a), ConstNum) if is_numeric(*a) => Ok(()),
+            (Literal(a), Literal(b)) if is_numeric(*a) && is_numeric(*b) => Ok(()),
+            _ => fail(format!(
+                "operator '{}' requires numeric properties/constants",
+                pred.op
+            )),
+        };
+    }
+    if pred.op == RuleOp::Contains {
+        return match (&lt, &rt) {
+            (Literal(LiteralType::Str), ConstStr) => Ok(()),
+            (Literal(LiteralType::Str), Literal(LiteralType::Str)) => Ok(()),
+            _ => fail("'contains' requires a string property and a string pattern".into()),
+        };
+    }
+    // Eq / Ne
+    match (&lt, &rt) {
+        // resource identity against a URI string (OID rules) or between
+        // compatible classes (reference joins, intersections)
+        (Resource(_), ConstStr) | (ConstStr, Resource(_)) => Ok(()),
+        (Resource(a), Resource(b)) => {
+            if schema.is_subclass_of(a, b) || schema.is_subclass_of(b, a) {
+                Ok(())
+            } else {
+                fail(format!(
+                    "classes '{a}' and '{b}' are unrelated; the join can never match"
+                ))
+            }
+        }
+        (Literal(a), ConstNum) if is_numeric(*a) => Ok(()),
+        (Literal(LiteralType::Str), ConstStr) => Ok(()),
+        (Literal(LiteralType::Bool), ConstStr) => {
+            fail("boolean property compared against a string".into())
+        }
+        (Literal(a), Literal(b)) => {
+            let compatible = a == b || (is_numeric(*a) && is_numeric(*b));
+            if compatible {
+                Ok(())
+            } else {
+                fail(format!(
+                    "properties of types {a} and {b} are not comparable"
+                ))
+            }
+        }
+        (Literal(a), ConstNum) => fail(format!("property of type {a} compared to a number")),
+        (Literal(a), ConstStr) => fail(format!("property of type {a} compared to a string")),
+        (Resource(_), Literal(_)) | (Literal(_), Resource(_)) => {
+            fail("cannot compare a resource with a literal property".into())
+        }
+        (Resource(_), ConstNum) | (ConstNum, Resource(_)) => {
+            fail("cannot compare a resource with a number".into())
+        }
+        (ConstNum | ConstStr, _) => {
+            // normalization puts constants on the right; a leftover
+            // const-const predicate would have been folded
+            fail("unexpected constant on the left-hand side".into())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalize::normalize;
+    use crate::parser::parse_rule;
+    use mdv_rdf::RdfSchema;
+
+    fn schema() -> RdfSchema {
+        RdfSchema::builder()
+            .class("ServerInformation", |c| c.int("memory").int("cpu"))
+            .class("Provider", |c| c.str("name"))
+            .class("CycleProvider", |c| {
+                c.extends("Provider")
+                    .str("serverHost")
+                    .int("serverPort")
+                    .bool("active")
+                    .str_set("tags")
+                    .strong_ref("serverInformation", "ServerInformation")
+            })
+            .class("DataProvider", |c| c.extends("Provider").str("format"))
+            .build()
+            .unwrap()
+    }
+
+    fn check(text: &str) -> Result<()> {
+        let s = schema();
+        let n = normalize(&parse_rule(text).unwrap(), &s)?;
+        typecheck(&n, &s)
+    }
+
+    #[test]
+    fn valid_rules_pass() {
+        check("search CycleProvider c register c").unwrap();
+        check("search CycleProvider c register c where c.serverHost contains 'x'").unwrap();
+        check("search CycleProvider c register c where c.serverInformation.memory > 64").unwrap();
+        check("search CycleProvider c register c where c = 'doc.rdf#host'").unwrap();
+        check("search CycleProvider c register c where c.tags? contains 'db'").unwrap();
+        check(
+            "search CycleProvider c, ServerInformation s register c \
+             where c.serverInformation = s and s.memory > 64",
+        )
+        .unwrap();
+        // numeric property to numeric property join
+        check(
+            "search ServerInformation a, ServerInformation b register a \
+             where a.memory = b.cpu",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn ordering_requires_numeric() {
+        assert!(check("search CycleProvider c register c where c.serverHost > 5").is_err());
+        assert!(check("search CycleProvider c register c where c.serverPort > 'x'").is_err());
+        assert!(check("search CycleProvider c register c where c.serverPort >= 1024").is_ok());
+    }
+
+    #[test]
+    fn contains_requires_strings() {
+        assert!(
+            check("search CycleProvider c register c where c.serverPort contains 'x'").is_err()
+        );
+        assert!(check("search CycleProvider c register c where c.serverHost contains 5").is_err());
+    }
+
+    #[test]
+    fn unknown_property_rejected() {
+        let err = check("search CycleProvider c register c where c.nothere = 1").unwrap_err();
+        assert!(err.to_string().contains("no property"));
+    }
+
+    #[test]
+    fn inherited_property_accepted() {
+        check("search CycleProvider c register c where c.name = 'x'").unwrap();
+    }
+
+    #[test]
+    fn set_valued_needs_any_operator() {
+        let err =
+            check("search CycleProvider c register c where c.tags contains 'db'").unwrap_err();
+        assert!(err.to_string().contains("set-valued"));
+        let err = check("search CycleProvider c register c where c.serverHost? contains 'db'")
+            .unwrap_err();
+        assert!(err.to_string().contains("single-valued"));
+    }
+
+    #[test]
+    fn unrelated_class_join_rejected() {
+        let err = check("search CycleProvider c, ServerInformation s register c where c = s")
+            .unwrap_err();
+        assert!(err.to_string().contains("unrelated"));
+    }
+
+    #[test]
+    fn subclass_join_accepted() {
+        check("search CycleProvider c, Provider p register c where c = p").unwrap();
+    }
+
+    #[test]
+    fn reference_vs_literal_comparison_rejected() {
+        let err =
+            check("search CycleProvider c register c where c.serverInformation = 64").unwrap_err();
+        assert!(err.to_string().contains("number"));
+    }
+
+    #[test]
+    fn reference_vs_uri_string_accepted() {
+        check("search CycleProvider c register c where c.serverInformation = 'doc.rdf#info'")
+            .unwrap();
+    }
+
+    #[test]
+    fn type_mismatched_value_join_rejected() {
+        let err = check(
+            "search CycleProvider c, ServerInformation s register c \
+             where c.serverHost = s.memory",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("not comparable"));
+    }
+}

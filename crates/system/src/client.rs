@@ -1,0 +1,104 @@
+//! MDV client conveniences (paper §2.2): applications query their LMR;
+//! real users browse metadata at an MDP and select resources for caching,
+//! whereupon "their LMR will generate appropriate rules and update its set
+//! of subscription rules".
+
+use mdv_rdf::Resource;
+
+use crate::error::{Error, Result};
+use crate::system::MdvSystem;
+
+impl MdvSystem {
+    /// Lists the schema classes browsable at an MDP.
+    pub fn browse_classes(&self, mdp: &str) -> Result<Vec<String>> {
+        Ok(self.mdp(mdp)?.browse_classes())
+    }
+
+    /// Lists the (global) resources of a class at an MDP.
+    pub fn browse_resources(&self, mdp: &str, class: &str) -> Result<Vec<Resource>> {
+        self.mdp(mdp)?.browse_resources(class)
+    }
+
+    /// A user browsing at the MDP selected `uri` for caching: the LMR
+    /// generates an OID rule for it and registers the subscription.
+    pub fn subscribe_to_resource(&mut self, lmr: &str, uri: &str) -> Result<u64> {
+        let mdp_name = self.lmr(lmr)?.mdp().to_owned();
+        let class = self
+            .mdp(&mdp_name)?
+            .class_of_resource(uri)?
+            .ok_or_else(|| Error::Subscription(format!("no resource '{uri}' at '{mdp_name}'")))?;
+        let rule = format!(
+            "search {class} v register v where v = '{}'",
+            uri.replace('\'', "''")
+        );
+        self.subscribe(lmr, &rule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdv_rdf::{Document, RdfSchema, Term, UriRef};
+
+    fn schema() -> RdfSchema {
+        RdfSchema::builder()
+            .class("ServerInformation", |c| c.int("memory").int("cpu"))
+            .class("CycleProvider", |c| {
+                c.str("serverHost")
+                    .strong_ref("serverInformation", "ServerInformation")
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn doc(i: usize) -> Document {
+        let uri = format!("doc{i}.rdf");
+        Document::new(uri.clone())
+            .with_resource(
+                Resource::new(UriRef::new(&uri, "host"), "CycleProvider")
+                    .with("serverHost", Term::literal("a.org"))
+                    .with(
+                        "serverInformation",
+                        Term::resource(UriRef::new(&uri, "info")),
+                    ),
+            )
+            .with_resource(
+                Resource::new(UriRef::new(&uri, "info"), "ServerInformation")
+                    .with("memory", Term::literal("92"))
+                    .with("cpu", Term::literal("600")),
+            )
+    }
+
+    #[test]
+    fn browse_then_select_for_caching() {
+        let mut sys = MdvSystem::new(schema());
+        sys.add_mdp("mdp1").unwrap();
+        sys.add_lmr("lmr1", "mdp1").unwrap();
+        sys.register_document("mdp1", &doc(1)).unwrap();
+        sys.register_document("mdp1", &doc(2)).unwrap();
+
+        let classes = sys.browse_classes("mdp1").unwrap();
+        assert!(classes.contains(&"CycleProvider".to_owned()));
+        let providers = sys.browse_resources("mdp1", "CycleProvider").unwrap();
+        assert_eq!(providers.len(), 2);
+
+        // user selects the first provider; an OID rule is generated
+        let uri = providers[0].uri().as_str().to_owned();
+        sys.subscribe_to_resource("lmr1", &uri).unwrap();
+        assert!(sys.lmr("lmr1").unwrap().is_cached(&uri));
+        // the strong closure came along; the other provider did not
+        assert!(sys.lmr("lmr1").unwrap().is_cached("doc1.rdf#info"));
+        assert!(!sys.lmr("lmr1").unwrap().is_cached("doc2.rdf#host"));
+    }
+
+    #[test]
+    fn selecting_missing_resource_fails() {
+        let mut sys = MdvSystem::new(schema());
+        sys.add_mdp("mdp1").unwrap();
+        sys.add_lmr("lmr1", "mdp1").unwrap();
+        assert!(matches!(
+            sys.subscribe_to_resource("lmr1", "ghost.rdf#x"),
+            Err(Error::Subscription(_))
+        ));
+    }
+}

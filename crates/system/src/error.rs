@@ -1,0 +1,68 @@
+//! Errors of the system tier.
+
+use std::fmt;
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Bubbled up from the filter engine (which wraps store/rdf/rule errors).
+    Filter(mdv_filter::Error),
+    /// Unknown node name, duplicate registration, or wiring mistakes.
+    Topology(String),
+    /// A subscription failed at the MDP (carried back in the ack).
+    Subscription(String),
+    /// Local metadata management errors at an LMR.
+    Local(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Filter(e) => write!(f, "filter error: {e}"),
+            Error::Topology(msg) => write!(f, "topology error: {msg}"),
+            Error::Subscription(msg) => write!(f, "subscription error: {msg}"),
+            Error::Local(msg) => write!(f, "local metadata error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<mdv_filter::Error> for Error {
+    fn from(e: mdv_filter::Error) -> Self {
+        Error::Filter(e)
+    }
+}
+
+impl From<mdv_rdf::Error> for Error {
+    fn from(e: mdv_rdf::Error) -> Self {
+        Error::Filter(mdv_filter::Error::Rdf(e))
+    }
+}
+
+impl From<mdv_rulelang::Error> for Error {
+    fn from(e: mdv_rulelang::Error) -> Self {
+        Error::Filter(mdv_filter::Error::Rule(e))
+    }
+}
+
+impl From<mdv_relstore::Error> for Error {
+    fn from(e: mdv_relstore::Error) -> Self {
+        Error::Filter(mdv_filter::Error::Store(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_chain() {
+        let e: Error = mdv_rulelang::Error::Unsatisfiable.into();
+        assert!(e.to_string().contains("filter error"));
+        assert!(Error::Topology("no such node".into())
+            .to_string()
+            .contains("topology"));
+    }
+}

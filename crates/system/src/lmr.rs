@@ -1,0 +1,605 @@
+//! Local Metadata Repositories (paper §2.2): the mid-tier caches that do the
+//! actual metadata query processing.
+//!
+//! An LMR caches global metadata matching its subscription rules, applies
+//! publications from its MDP to keep the cache consistent, stores local
+//! metadata that is never forwarded to the backbone, and answers queries
+//! from local clients against the cache only.
+
+use std::collections::{BTreeMap, HashMap};
+
+use mdv_filter::{query_eval, store::create_base_tables, BaseStore};
+use mdv_rdf::{Document, RdfSchema, RefKind, Resource};
+use mdv_relstore::Database;
+use mdv_rulelang::{normalize, parse_rule, split_or, typecheck};
+
+use crate::error::{Error, Result};
+use crate::gc::RefTracker;
+use crate::message::{Message, PublishMsg};
+use crate::transport::{Envelope, Network};
+
+/// Lifecycle of a subscription rule at the LMR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuleStatus {
+    /// Sent to the MDP, no ack yet.
+    Pending,
+    /// Accepted by the MDP; publications flow.
+    Active,
+    /// Rejected by the MDP (error message attached).
+    Failed(String),
+}
+
+/// A subscription rule registered by this LMR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LmrRule {
+    pub text: String,
+    pub status: RuleStatus,
+}
+
+/// A Local Metadata Repository.
+#[derive(Debug)]
+pub struct Lmr {
+    name: String,
+    /// The MDP this LMR is subscribed to.
+    mdp: String,
+    schema: RdfSchema,
+    pub(crate) cache: Database,
+    pub(crate) tracker: RefTracker,
+    pub(crate) rules: BTreeMap<u64, LmrRule>,
+    pub(crate) next_rule: u64,
+    pub(crate) local_docs: HashMap<String, Document>,
+}
+
+impl Lmr {
+    pub fn new(name: &str, mdp: &str, schema: RdfSchema) -> Self {
+        let mut cache = Database::new();
+        create_base_tables(&mut cache).expect("fresh database accepts base tables");
+        Lmr {
+            name: name.to_owned(),
+            mdp: mdp.to_owned(),
+            schema,
+            cache,
+            tracker: RefTracker::new(),
+            rules: BTreeMap::new(),
+            next_rule: 0,
+            local_docs: HashMap::new(),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn mdp(&self) -> &str {
+        &self.mdp
+    }
+
+    pub fn rule(&self, id: u64) -> Option<&LmrRule> {
+        self.rules.get(&id)
+    }
+
+    pub fn rules(&self) -> impl Iterator<Item = (u64, &LmrRule)> {
+        self.rules.iter().map(|(id, r)| (*id, r))
+    }
+
+    /// URIs currently cached (global and local).
+    pub fn cached_uris(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .cache
+            .table("Resources")
+            .expect("cache has base tables")
+            .iter()
+            .map(|(_, row)| row[0].to_string())
+            .collect();
+        out.sort();
+        out
+    }
+
+    pub fn is_cached(&self, uri: &str) -> bool {
+        BaseStore::resource_exists(&self.cache, uri).unwrap_or(false)
+    }
+
+    /// The cached copy of a resource.
+    pub fn cached_resource(&self, uri: &str) -> Result<Option<Resource>> {
+        Ok(BaseStore::resource(&self.cache, uri)?)
+    }
+
+    /// Registers a subscription rule: records it as pending and sends it to
+    /// the MDP. Returns the LMR-local rule id.
+    pub fn subscribe(&mut self, rule_text: &str, net: &Network) -> Result<u64> {
+        let id = self.next_rule;
+        self.next_rule += 1;
+        self.rules.insert(
+            id,
+            LmrRule {
+                text: rule_text.to_owned(),
+                status: RuleStatus::Pending,
+            },
+        );
+        net.send(
+            &self.name,
+            &self.mdp,
+            Message::Subscribe {
+                lmr_rule: id,
+                rule_text: rule_text.to_owned(),
+            },
+        )?;
+        Ok(id)
+    }
+
+    /// Retracts a subscription rule and garbage-collects resources that were
+    /// cached only because of it.
+    pub fn unsubscribe(&mut self, rule: u64, net: &Network) -> Result<()> {
+        if self.rules.remove(&rule).is_none() {
+            return Err(Error::Subscription(format!(
+                "LMR '{}' has no rule {rule}",
+                self.name
+            )));
+        }
+        self.tracker.remove_rule(rule);
+        self.collect_garbage()?;
+        net.send(
+            &self.name,
+            &self.mdp,
+            Message::Unsubscribe { lmr_rule: rule },
+        )?;
+        Ok(())
+    }
+
+    /// Registers metadata that must stay local (paper §2.2: "local metadata
+    /// must be explicitly marked as such at registration time" and is not
+    /// forwarded to the backbone).
+    pub fn register_local_metadata(&mut self, doc: &Document) -> Result<()> {
+        doc.check_internal_references()?;
+        self.schema.validate(doc)?;
+        if self.local_docs.contains_key(doc.uri()) {
+            return Err(Error::Local(format!(
+                "local document '{}' already registered",
+                doc.uri()
+            )));
+        }
+        for res in doc.resources() {
+            if self.is_cached(res.uri().as_str()) {
+                return Err(Error::Local(format!(
+                    "resource '{}' already exists in the cache",
+                    res.uri()
+                )));
+            }
+        }
+        for res in doc.resources() {
+            self.upsert_resource(res)?;
+            self.tracker.mark_local(res.uri().as_str());
+        }
+        self.local_docs.insert(doc.uri().to_owned(), doc.clone());
+        Ok(())
+    }
+
+    /// Evaluates a declarative query against the local cache only
+    /// (paper §2.2: "LMRs use only locally available metadata for query
+    /// processing"). Returns full resources.
+    pub fn query(&self, query_text: &str) -> Result<Vec<Resource>> {
+        let query = parse_rule(query_text)?;
+        let mut uris = Vec::new();
+        for conj in split_or(&query) {
+            let normalized = match normalize(&conj, &self.schema) {
+                Ok(n) => n,
+                Err(mdv_rulelang::Error::Unsatisfiable) => continue,
+                Err(e) => return Err(e.into()),
+            };
+            typecheck(&normalized, &self.schema)?;
+            uris.extend(query_eval::evaluate(
+                &self.cache,
+                &self.schema,
+                &normalized,
+            )?);
+        }
+        uris.sort();
+        uris.dedup();
+        uris.into_iter()
+            .map(|u| {
+                BaseStore::resource(&self.cache, &u)?
+                    .ok_or_else(|| Error::Local(format!("cache lost resource '{u}'")))
+            })
+            .collect()
+    }
+
+    /// Like [`Lmr::query`], but through the SQL translation path: the query
+    /// is translated into a SQL join query over the cache's base tables and
+    /// executed by the relational engine (paper §2.2: "search requests are
+    /// translated into SQL join queries").
+    pub fn query_sql(&self, query_text: &str) -> Result<Vec<Resource>> {
+        let query = parse_rule(query_text)?;
+        let mut uris = Vec::new();
+        for conj in split_or(&query) {
+            let normalized = match normalize(&conj, &self.schema) {
+                Ok(n) => n,
+                Err(mdv_rulelang::Error::Unsatisfiable) => continue,
+                Err(e) => return Err(e.into()),
+            };
+            typecheck(&normalized, &self.schema)?;
+            uris.extend(mdv_filter::sql_translate::evaluate_via_sql(
+                &self.cache,
+                &self.schema,
+                &normalized,
+            )?);
+        }
+        uris.sort();
+        uris.dedup();
+        uris.into_iter()
+            .map(|u| {
+                BaseStore::resource(&self.cache, &u)?
+                    .ok_or_else(|| Error::Local(format!("cache lost resource '{u}'")))
+            })
+            .collect()
+    }
+
+    /// Processes one incoming message.
+    pub fn handle(&mut self, env: Envelope, _net: &Network) -> Result<()> {
+        match env.message {
+            Message::SubscribeAck { lmr_rule, error } => {
+                if let Some(rule) = self.rules.get_mut(&lmr_rule) {
+                    rule.status = match error {
+                        None => RuleStatus::Active,
+                        Some(e) => RuleStatus::Failed(e),
+                    };
+                }
+                Ok(())
+            }
+            Message::Publish(msg) => self.apply_publish(msg),
+            other => Err(Error::Topology(format!(
+                "LMR '{}' received unexpected message kind '{}'",
+                self.name,
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Applies a publication: inserts matched resources and their closure
+    /// companions, replaces updated ones, removes match anchors, and runs
+    /// the garbage collector.
+    fn apply_publish(&mut self, msg: PublishMsg) -> Result<()> {
+        for res in &msg.matched {
+            self.upsert_resource(res)?;
+            self.tracker.add_match(res.uri().as_str(), msg.lmr_rule);
+        }
+        for res in &msg.companions {
+            self.upsert_resource(res)?;
+        }
+        for res in &msg.updated {
+            self.upsert_resource(res)?;
+        }
+        for uri in &msg.removed {
+            self.tracker.remove_match(uri, msg.lmr_rule);
+        }
+        self.collect_garbage()?;
+        Ok(())
+    }
+
+    /// Inserts or replaces a resource in the cache, maintaining the strong
+    /// reference counts of its targets.
+    fn upsert_resource(&mut self, res: &Resource) -> Result<()> {
+        let uri = res.uri().as_str();
+        if self.is_cached(uri) {
+            self.drop_edges(uri)?;
+            BaseStore::remove_resource(&mut self.cache, uri)?;
+        }
+        BaseStore::insert_resource(&mut self.cache, res, res.uri().document_uri())?;
+        for (prop, target) in res.references() {
+            if self.schema.ref_kind(res.class(), prop) == Some(RefKind::Strong) {
+                self.tracker.add_edge(target.as_str());
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes the strong-reference counts contributed by a cached resource.
+    fn drop_edges(&mut self, uri: &str) -> Result<()> {
+        let Some(class) = BaseStore::resource_class(&self.cache, uri)? else {
+            return Ok(());
+        };
+        for (prop, value) in BaseStore::statements_of(&self.cache, uri)? {
+            if self.schema.ref_kind(&class, &prop) == Some(RefKind::Strong) {
+                self.tracker.remove_edge(&value);
+            }
+        }
+        Ok(())
+    }
+
+    /// The reference-counting garbage collector (paper §2.4): removes cached
+    /// resources that match no rule, are not strongly referenced, and are
+    /// not local — cascading, since removing a resource drops its outgoing
+    /// references.
+    pub fn collect_garbage(&mut self) -> Result<usize> {
+        let mut collected = 0;
+        loop {
+            let garbage: Vec<String> = self
+                .cached_uris()
+                .into_iter()
+                .filter(|u| !self.tracker.is_anchored(u))
+                .collect();
+            if garbage.is_empty() {
+                return Ok(collected);
+            }
+            for uri in garbage {
+                self.drop_edges(&uri)?;
+                BaseStore::remove_resource(&mut self.cache, &uri)?;
+                self.tracker.forget(&uri);
+                collected += 1;
+            }
+        }
+    }
+
+    /// Test/diagnostic access to the tracker.
+    pub fn tracker(&self) -> &RefTracker {
+        &self.tracker
+    }
+
+    /// Rebuilds the reference tracker from the cache contents, the schema,
+    /// the local-document registry, and explicit match anchors (state
+    /// import): strong counts are derivable, matches are not.
+    pub(crate) fn rebuild_tracker(&mut self, matches: &[(String, u64)]) -> Result<()> {
+        self.tracker = RefTracker::new();
+        for uri in self.cached_uris() {
+            let Some(class) = BaseStore::resource_class(&self.cache, &uri)? else {
+                continue;
+            };
+            for (prop, value) in BaseStore::statements_of(&self.cache, &uri)? {
+                if self.schema.ref_kind(&class, &prop) == Some(RefKind::Strong) {
+                    self.tracker.add_edge(&value);
+                }
+            }
+        }
+        for doc in self.local_docs.values() {
+            for res in doc.resources() {
+                self.tracker.mark_local(res.uri().as_str());
+            }
+        }
+        for (uri, rule) in matches {
+            self.tracker.add_match(uri, *rule);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::NetConfig;
+    use mdv_rdf::{Term, UriRef};
+
+    fn schema() -> RdfSchema {
+        RdfSchema::builder()
+            .class("ServerInformation", |c| c.int("memory").int("cpu"))
+            .class("CycleProvider", |c| {
+                c.str("serverHost")
+                    .strong_ref("serverInformation", "ServerInformation")
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn provider(i: usize, host: &str, memory: i64) -> (Resource, Resource) {
+        let uri = format!("doc{i}.rdf");
+        (
+            Resource::new(UriRef::new(&uri, "host"), "CycleProvider")
+                .with("serverHost", Term::literal(host))
+                .with(
+                    "serverInformation",
+                    Term::resource(UriRef::new(&uri, "info")),
+                ),
+            Resource::new(UriRef::new(&uri, "info"), "ServerInformation")
+                .with("memory", Term::literal(memory.to_string()))
+                .with("cpu", Term::literal("600")),
+        )
+    }
+
+    fn lmr() -> Lmr {
+        Lmr::new("lmr1", "mdp1", schema())
+    }
+
+    fn publish(lmr_rule: u64, matched: Vec<Resource>, companions: Vec<Resource>) -> PublishMsg {
+        PublishMsg {
+            lmr_rule,
+            matched,
+            companions,
+            ..PublishMsg::default()
+        }
+    }
+
+    #[test]
+    fn publish_fills_cache_and_anchors() {
+        let mut l = lmr();
+        let (host, info) = provider(1, "a.org", 92);
+        l.apply_publish(publish(0, vec![host], vec![info])).unwrap();
+        assert!(l.is_cached("doc1.rdf#host"));
+        assert!(
+            l.is_cached("doc1.rdf#info"),
+            "companion cached via strong ref"
+        );
+        assert_eq!(l.tracker().matching_rules("doc1.rdf#host"), vec![0]);
+        assert_eq!(l.tracker().strong_count("doc1.rdf#info"), 1);
+    }
+
+    #[test]
+    fn removal_collects_companions() {
+        let mut l = lmr();
+        let (host, info) = provider(1, "a.org", 92);
+        l.apply_publish(publish(0, vec![host], vec![info])).unwrap();
+        // the rule no longer matches host: both host and its companion go
+        let msg = PublishMsg {
+            lmr_rule: 0,
+            removed: vec!["doc1.rdf#host".into()],
+            ..PublishMsg::default()
+        };
+        l.apply_publish(msg).unwrap();
+        assert!(!l.is_cached("doc1.rdf#host"));
+        assert!(!l.is_cached("doc1.rdf#info"), "garbage-collected companion");
+    }
+
+    #[test]
+    fn resource_matched_by_two_rules_survives_one_removal() {
+        let mut l = lmr();
+        let (host, info) = provider(1, "a.org", 92);
+        l.apply_publish(publish(0, vec![host.clone()], vec![info.clone()]))
+            .unwrap();
+        l.apply_publish(publish(1, vec![host], vec![info])).unwrap();
+        let msg = PublishMsg {
+            lmr_rule: 0,
+            removed: vec!["doc1.rdf#host".into()],
+            ..PublishMsg::default()
+        };
+        l.apply_publish(msg).unwrap();
+        assert!(l.is_cached("doc1.rdf#host"), "still matched by rule 1");
+        let msg = PublishMsg {
+            lmr_rule: 1,
+            removed: vec!["doc1.rdf#host".into()],
+            ..PublishMsg::default()
+        };
+        l.apply_publish(msg).unwrap();
+        assert!(!l.is_cached("doc1.rdf#host"));
+    }
+
+    #[test]
+    fn shared_companion_survives_one_referrer() {
+        let mut l = lmr();
+        // two providers share one ServerInformation
+        let info = Resource::new(UriRef::new("s.rdf", "i"), "ServerInformation")
+            .with("memory", Term::literal("92"))
+            .with("cpu", Term::literal("600"));
+        let mk_host = |i: usize| {
+            Resource::new(UriRef::new(&format!("doc{i}.rdf"), "host"), "CycleProvider")
+                .with("serverHost", Term::literal("a.org"))
+                .with(
+                    "serverInformation",
+                    Term::resource(UriRef::new("s.rdf", "i")),
+                )
+        };
+        l.apply_publish(publish(0, vec![mk_host(1), mk_host(2)], vec![info]))
+            .unwrap();
+        assert_eq!(l.tracker().strong_count("s.rdf#i"), 2);
+        let msg = PublishMsg {
+            lmr_rule: 0,
+            removed: vec!["doc1.rdf#host".into()],
+            ..PublishMsg::default()
+        };
+        l.apply_publish(msg).unwrap();
+        assert!(l.is_cached("s.rdf#i"), "still referenced by doc2's host");
+        let msg = PublishMsg {
+            lmr_rule: 0,
+            removed: vec!["doc2.rdf#host".into()],
+            ..PublishMsg::default()
+        };
+        l.apply_publish(msg).unwrap();
+        assert!(!l.is_cached("s.rdf#i"));
+    }
+
+    #[test]
+    fn update_replaces_content_and_edges() {
+        let mut l = lmr();
+        let (host, info) = provider(1, "a.org", 92);
+        l.apply_publish(publish(0, vec![host], vec![info])).unwrap();
+        // host's update drops the reference to info
+        let new_host = Resource::new(UriRef::new("doc1.rdf", "host"), "CycleProvider")
+            .with("serverHost", Term::literal("b.org"));
+        let msg = PublishMsg {
+            lmr_rule: 0,
+            updated: vec![new_host],
+            ..PublishMsg::default()
+        };
+        l.apply_publish(msg).unwrap();
+        let cached = l.cached_resource("doc1.rdf#host").unwrap().unwrap();
+        assert_eq!(cached.property("serverHost").unwrap().lexical(), "b.org");
+        assert!(
+            !l.is_cached("doc1.rdf#info"),
+            "orphaned companion collected"
+        );
+    }
+
+    #[test]
+    fn local_metadata_is_never_collected_and_queryable() {
+        let mut l = lmr();
+        let doc = Document::new("local.rdf").with_resource(
+            Resource::new(UriRef::new("local.rdf", "s"), "ServerInformation")
+                .with("memory", Term::literal("512"))
+                .with("cpu", Term::literal("1000")),
+        );
+        l.register_local_metadata(&doc).unwrap();
+        assert_eq!(l.collect_garbage().unwrap(), 0);
+        assert!(l.is_cached("local.rdf#s"));
+        let hits = l
+            .query("search ServerInformation s register s where s.memory > 100")
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].uri().as_str(), "local.rdf#s");
+        // duplicate registration rejected
+        assert!(l.register_local_metadata(&doc).is_err());
+    }
+
+    #[test]
+    fn query_sees_cached_and_local_metadata_only() {
+        let mut l = lmr();
+        let (host, info) = provider(1, "a.uni-passau.de", 92);
+        l.apply_publish(publish(0, vec![host], vec![info])).unwrap();
+        let hits = l
+            .query(
+                "search CycleProvider c register c \
+                 where c.serverHost contains 'uni-passau.de' \
+                 and c.serverInformation.memory > 64",
+            )
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].uri().as_str(), "doc1.rdf#host");
+        // nothing else is visible
+        assert!(l
+            .query("search CycleProvider c register c where c.serverHost contains 'nothere'")
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn sql_query_path_agrees_with_direct_path() {
+        let mut l = lmr();
+        let (host, info) = provider(1, "a.uni-passau.de", 92);
+        let (host2, info2) = provider(2, "b.org", 128);
+        l.apply_publish(publish(0, vec![host, host2], vec![info, info2]))
+            .unwrap();
+        for q in [
+            "search CycleProvider c register c",
+            "search CycleProvider c register c where c.serverHost contains 'uni-passau.de'",
+            "search CycleProvider c register c where c.serverInformation.memory > 100",
+            "search ServerInformation s register s where s.cpu = 600",
+        ] {
+            let direct = l.query(q).unwrap();
+            let via_sql = l.query_sql(q).unwrap();
+            assert_eq!(direct, via_sql, "divergence for: {q}");
+        }
+    }
+
+    #[test]
+    fn subscribe_unsubscribe_lifecycle() {
+        let net = Network::new(NetConfig::default());
+        let _rx = net.register("mdp1").unwrap();
+        let mut l = lmr();
+        let id = l
+            .subscribe("search CycleProvider c register c", &net)
+            .unwrap();
+        assert_eq!(l.rule(id).unwrap().status, RuleStatus::Pending);
+        l.handle(
+            Envelope {
+                from: "mdp1".into(),
+                to: "lmr1".into(),
+                message: Message::SubscribeAck {
+                    lmr_rule: id,
+                    error: None,
+                },
+                deliver_at_ms: 0,
+            },
+            &net,
+        )
+        .unwrap();
+        assert_eq!(l.rule(id).unwrap().status, RuleStatus::Active);
+        l.unsubscribe(id, &net).unwrap();
+        assert!(l.rule(id).is_none());
+        assert!(l.unsubscribe(id, &net).is_err());
+    }
+}

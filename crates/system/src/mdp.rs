@@ -1,0 +1,517 @@
+//! Metadata Providers (paper §2.2): the backbone nodes.
+//!
+//! An MDP owns a [`FilterEngine`], accepts metadata administration
+//! (register / update / delete documents), evaluates subscriptions through
+//! the filter, ships publications to subscribed LMRs (with the
+//! strong-reference closure of transmitted resources, §2.4), and replicates
+//! registrations to its backbone peers.
+
+use std::collections::{BTreeSet, HashMap};
+
+use mdv_filter::{BaseStore, FilterEngine, Publication, SubscriptionId};
+use mdv_rdf::{parse_document, write_document, Document, RdfSchema, Resource};
+
+use crate::error::{Error, Result};
+use crate::message::{Message, PublishMsg};
+use crate::transport::{Envelope, Network};
+
+/// A Metadata Provider.
+#[derive(Debug)]
+pub struct Mdp {
+    name: String,
+    engine: FilterEngine,
+    /// subscription → (LMR node, LMR-local rule id).
+    subscribers: HashMap<SubscriptionId, (String, u64)>,
+    /// Backbone peers receiving replicated registrations.
+    peers: Vec<String>,
+    /// Periodic-batch mode (paper §4: "decide if the filter should be
+    /// started either when a new document is registered or periodically, to
+    /// process several documents in one batch"): when set, registrations
+    /// queue up and the filter runs once per `batch_size` documents (or on
+    /// an explicit [`Mdp::flush`]).
+    batch_size: Option<usize>,
+    pending: Vec<Document>,
+}
+
+impl Mdp {
+    pub fn new(name: &str, schema: RdfSchema) -> Self {
+        Mdp {
+            name: name.to_owned(),
+            engine: FilterEngine::new(schema),
+            subscribers: HashMap::new(),
+            peers: Vec::new(),
+            batch_size: None,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Switches between immediate filtering (`None`, the default) and
+    /// periodic batch filtering with the given batch size. Switching back
+    /// to immediate mode does not flush; call [`Mdp::flush`] first.
+    pub fn set_batch_size(&mut self, batch_size: Option<usize>) {
+        self.batch_size = batch_size;
+    }
+
+    /// Documents queued for the next batch run.
+    pub fn pending_documents(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Runs the filter over all queued documents and publishes the results.
+    pub fn flush(&mut self, net: &Network) -> Result<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let batch = std::mem::take(&mut self.pending);
+        let pubs = self.engine.register_batch(&batch)?;
+        self.publish(pubs, net)
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn engine(&self) -> &FilterEngine {
+        &self.engine
+    }
+
+    pub fn set_peers(&mut self, peers: Vec<String>) {
+        self.peers = peers;
+    }
+
+    pub fn peers(&self) -> &[String] {
+        &self.peers
+    }
+
+    /// Registers a new document: filter, publish, and (when this node is the
+    /// origin) replicate to the backbone.
+    pub fn register_document(
+        &mut self,
+        doc: &Document,
+        net: &Network,
+        replicate: bool,
+    ) -> Result<()> {
+        match self.batch_size {
+            Some(batch_size) => {
+                self.pending.push(doc.clone());
+                if self.pending.len() >= batch_size {
+                    self.flush(net)?;
+                }
+            }
+            None => {
+                let pubs = self.engine.register_document(doc)?;
+                self.publish(pubs, net)?;
+            }
+        }
+        if replicate {
+            let xml = write_document(doc);
+            for peer in &self.peers {
+                net.send(
+                    &self.name,
+                    peer,
+                    Message::ReplicateRegister {
+                        document_uri: doc.uri().to_owned(),
+                        xml: xml.clone(),
+                    },
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-registers a modified document (paper §3.5).
+    pub fn update_document(
+        &mut self,
+        doc: &Document,
+        net: &Network,
+        replicate: bool,
+    ) -> Result<()> {
+        // a pending batch must be filtered before its documents can change
+        self.flush(net)?;
+        let pubs = self.engine.update_document(doc)?;
+        self.publish(pubs, net)?;
+        if replicate {
+            let xml = write_document(doc);
+            for peer in &self.peers {
+                net.send(
+                    &self.name,
+                    peer,
+                    Message::ReplicateUpdate {
+                        document_uri: doc.uri().to_owned(),
+                        xml: xml.clone(),
+                    },
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deletes a document with all its resources.
+    pub fn delete_document(&mut self, uri: &str, net: &Network, replicate: bool) -> Result<()> {
+        self.flush(net)?;
+        let pubs = self.engine.delete_document(uri)?;
+        self.publish(pubs, net)?;
+        if replicate {
+            for peer in &self.peers {
+                net.send(
+                    &self.name,
+                    peer,
+                    Message::ReplicateDelete {
+                        document_uri: uri.to_owned(),
+                    },
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Subscribers sorted by subscription id (deterministic export).
+    pub(crate) fn subscribers_sorted(&self) -> Vec<(SubscriptionId, (String, u64))> {
+        let mut out: Vec<_> = self
+            .subscribers
+            .iter()
+            .map(|(s, t)| (*s, t.clone()))
+            .collect();
+        out.sort_by_key(|(s, _)| *s);
+        out
+    }
+
+    /// Re-registers a subscription during state import: no ack, no initial
+    /// publication (the subscriber already holds its cache).
+    pub(crate) fn restore_subscription(
+        &mut self,
+        lmr: &str,
+        lmr_rule: u64,
+        rule_text: &str,
+    ) -> Result<()> {
+        let (sub, _initial) = self.engine.register_subscription(rule_text)?;
+        self.subscribers.insert(sub, (lmr.to_owned(), lmr_rule));
+        Ok(())
+    }
+
+    /// Re-registers a document during state import: no publication, no
+    /// replication.
+    pub(crate) fn restore_document(&mut self, doc: &Document) -> Result<()> {
+        let _pubs = self.engine.register_document(doc)?;
+        Ok(())
+    }
+
+    /// Browsing support (paper §2.2: "real users can also browse metadata at
+    /// an MDP and select it for caching").
+    pub fn browse_classes(&self) -> Vec<String> {
+        self.engine
+            .schema()
+            .class_names()
+            .into_iter()
+            .map(str::to_owned)
+            .collect()
+    }
+
+    pub fn browse_resources(&self, class: &str) -> Result<Vec<Resource>> {
+        let mut uris = BaseStore::resources_of_class(self.engine.db(), class)?;
+        uris.sort();
+        uris.into_iter()
+            .map(|u| {
+                self.engine
+                    .resource(&u)?
+                    .ok_or_else(|| Error::Topology(format!("resource '{u}' vanished")))
+            })
+            .collect()
+    }
+
+    /// The class of a registered resource (browse + OID-rule generation).
+    pub fn class_of_resource(&self, uri: &str) -> Result<Option<String>> {
+        Ok(BaseStore::resource_class(self.engine.db(), uri)?)
+    }
+
+    /// Processes one incoming message.
+    pub fn handle(&mut self, env: Envelope, net: &Network) -> Result<()> {
+        match env.message {
+            Message::Subscribe {
+                lmr_rule,
+                rule_text,
+            } => {
+                match self.engine.register_subscription(&rule_text) {
+                    Ok((sub, initial)) => {
+                        self.subscribers.insert(sub, (env.from.clone(), lmr_rule));
+                        net.send(
+                            &self.name,
+                            &env.from,
+                            Message::SubscribeAck {
+                                lmr_rule,
+                                error: None,
+                            },
+                        )?;
+                        // initial cache fill
+                        if !initial.is_empty() {
+                            let msg = self.build_publish(lmr_rule, &initial, &[], &[])?;
+                            net.send(&self.name, &env.from, Message::Publish(msg))?;
+                        }
+                        Ok(())
+                    }
+                    Err(e) => net.send(
+                        &self.name,
+                        &env.from,
+                        Message::SubscribeAck {
+                            lmr_rule,
+                            error: Some(e.to_string()),
+                        },
+                    ),
+                }
+            }
+            Message::Unsubscribe { lmr_rule } => {
+                let key = self
+                    .subscribers
+                    .iter()
+                    .find(|(_, (lmr, rule))| *lmr == env.from && *rule == lmr_rule)
+                    .map(|(sub, _)| *sub);
+                match key {
+                    Some(sub) => {
+                        self.subscribers.remove(&sub);
+                        self.engine.unregister_subscription(sub)?;
+                        Ok(())
+                    }
+                    None => Err(Error::Subscription(format!(
+                        "MDP '{}' has no subscription for rule {lmr_rule} of '{}'",
+                        self.name, env.from
+                    ))),
+                }
+            }
+            Message::ReplicateRegister { document_uri, xml } => {
+                let doc = parse_document(&document_uri, &xml).map_err(mdv_filter::Error::from)?;
+                self.register_document(&doc, net, false)
+            }
+            Message::ReplicateUpdate { document_uri, xml } => {
+                let doc = parse_document(&document_uri, &xml).map_err(mdv_filter::Error::from)?;
+                self.update_document(&doc, net, false)
+            }
+            Message::ReplicateDelete { document_uri } => {
+                self.delete_document(&document_uri, net, false)
+            }
+            other => Err(Error::Topology(format!(
+                "MDP '{}' received unexpected message kind '{}'",
+                self.name,
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Converts filter publications into publish messages (resolving URIs to
+    /// full resources and computing the strong-reference closure) and sends
+    /// them to the subscribed LMRs.
+    fn publish(&mut self, pubs: Vec<Publication>, net: &Network) -> Result<()> {
+        for p in pubs {
+            let Some((lmr, lmr_rule)) = self.subscribers.get(&p.subscription).cloned() else {
+                // subscription without a live subscriber (e.g. engine-level
+                // tests); nothing to ship
+                continue;
+            };
+            let msg = self.build_publish(lmr_rule, &p.added, &p.updated, &p.removed)?;
+            if !msg.is_empty() {
+                net.send(&self.name, &lmr, Message::Publish(msg))?;
+            }
+        }
+        Ok(())
+    }
+
+    fn build_publish(
+        &mut self,
+        lmr_rule: u64,
+        added: &[String],
+        updated: &[String],
+        removed: &[String],
+    ) -> Result<PublishMsg> {
+        let resolve = |engine: &FilterEngine, uri: &String| -> Result<Resource> {
+            engine
+                .resource(uri)?
+                .ok_or_else(|| Error::Topology(format!("published resource '{uri}' vanished")))
+        };
+        let matched: Vec<Resource> = added
+            .iter()
+            .map(|u| resolve(&self.engine, u))
+            .collect::<Result<_>>()?;
+        let updated_res: Vec<Resource> = updated
+            .iter()
+            .map(|u| resolve(&self.engine, u))
+            .collect::<Result<_>>()?;
+        // companions: the strong closure of everything shipped, minus the
+        // shipped resources themselves
+        let mut seeds: Vec<String> = added.to_vec();
+        seeds.extend(updated.iter().cloned());
+        let shipped: BTreeSet<&String> = added.iter().chain(updated.iter()).collect();
+        let companions: Vec<Resource> = self
+            .engine
+            .strong_closure(&seeds)?
+            .into_iter()
+            .filter(|u| !shipped.contains(u))
+            .map(|u| resolve(&self.engine, &u))
+            .collect::<Result<_>>()?;
+        Ok(PublishMsg {
+            lmr_rule,
+            matched,
+            companions,
+            updated: updated_res,
+            removed: removed.to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{NetConfig, Network};
+    use mdv_rdf::{Term, UriRef};
+
+    fn schema() -> RdfSchema {
+        RdfSchema::builder()
+            .class("ServerInformation", |c| c.int("memory").int("cpu"))
+            .class("CycleProvider", |c| {
+                c.str("serverHost")
+                    .strong_ref("serverInformation", "ServerInformation")
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn doc(i: usize, host: &str, memory: i64) -> Document {
+        let uri = format!("doc{i}.rdf");
+        Document::new(uri.clone())
+            .with_resource(
+                Resource::new(UriRef::new(&uri, "host"), "CycleProvider")
+                    .with("serverHost", Term::literal(host))
+                    .with(
+                        "serverInformation",
+                        Term::resource(UriRef::new(&uri, "info")),
+                    ),
+            )
+            .with_resource(
+                Resource::new(UriRef::new(&uri, "info"), "ServerInformation")
+                    .with("memory", Term::literal(memory.to_string()))
+                    .with("cpu", Term::literal("600")),
+            )
+    }
+
+    fn subscribe_env(rule: &str) -> Envelope {
+        Envelope {
+            from: "lmr1".into(),
+            to: "mdp1".into(),
+            message: Message::Subscribe {
+                lmr_rule: 0,
+                rule_text: rule.into(),
+            },
+            deliver_at_ms: 0,
+        }
+    }
+
+    #[test]
+    fn subscribe_publish_flow() {
+        let net = Network::new(NetConfig::default());
+        let _rx = net.register("lmr1").unwrap();
+        let mut mdp = Mdp::new("mdp1", schema());
+        mdp.handle(
+            subscribe_env(
+                "search CycleProvider c register c where c.serverInformation.memory > 64",
+            ),
+            &net,
+        )
+        .unwrap();
+        mdp.register_document(&doc(1, "a.org", 128), &net, false)
+            .unwrap();
+        let kinds = net.traffic_by_kind();
+        assert_eq!(kinds["subscribe-ack"], 1);
+        assert_eq!(kinds["publish"], 1);
+        // the publish carries the matched host plus its companion info
+        let log = net.log();
+        let publish = log.iter().find(|r| r.kind == "publish").unwrap();
+        assert_eq!(publish.to, "lmr1");
+    }
+
+    #[test]
+    fn bad_rule_gets_error_ack() {
+        let net = Network::new(NetConfig::default());
+        let _rx = net.register("lmr1").unwrap();
+        let mut mdp = Mdp::new("mdp1", schema());
+        mdp.handle(subscribe_env("search Nope n register n"), &net)
+            .unwrap();
+        assert_eq!(net.traffic_by_kind()["subscribe-ack"], 1);
+    }
+
+    #[test]
+    fn replication_to_peers() {
+        let net = Network::new(NetConfig::default());
+        let _rx2 = net.register("mdp2").unwrap();
+        let _rx3 = net.register("mdp3").unwrap();
+        let mut mdp = Mdp::new("mdp1", schema());
+        mdp.set_peers(vec!["mdp2".into(), "mdp3".into()]);
+        mdp.register_document(&doc(1, "a.org", 1), &net, true)
+            .unwrap();
+        assert_eq!(net.traffic_by_kind()["replicate-register"], 2);
+        mdp.update_document(&doc(1, "a.org", 2), &net, true)
+            .unwrap();
+        assert_eq!(net.traffic_by_kind()["replicate-update"], 2);
+        mdp.delete_document("doc1.rdf", &net, true).unwrap();
+        assert_eq!(net.traffic_by_kind()["replicate-delete"], 2);
+    }
+
+    #[test]
+    fn replicated_registration_does_not_re_replicate() {
+        let net = Network::new(NetConfig::default());
+        let _rx = net.register("mdp1").unwrap();
+        let mut mdp2 = Mdp::new("mdp2", schema());
+        mdp2.set_peers(vec!["mdp1".into()]);
+        let xml = write_document(&doc(1, "a.org", 1));
+        mdp2.handle(
+            Envelope {
+                from: "mdp1".into(),
+                to: "mdp2".into(),
+                message: Message::ReplicateRegister {
+                    document_uri: "doc1.rdf".into(),
+                    xml,
+                },
+                deliver_at_ms: 0,
+            },
+            &net,
+        )
+        .unwrap();
+        // no replicate-register went back out
+        assert!(!net.traffic_by_kind().contains_key("replicate-register"));
+        assert!(mdp2.engine().document("doc1.rdf").is_some());
+    }
+
+    #[test]
+    fn browse_apis() {
+        let net = Network::new(NetConfig::default());
+        let mut mdp = Mdp::new("mdp1", schema());
+        mdp.register_document(&doc(1, "a.org", 1), &net, false)
+            .unwrap();
+        assert_eq!(
+            mdp.browse_classes(),
+            vec!["CycleProvider", "ServerInformation"]
+        );
+        let cps = mdp.browse_resources("CycleProvider").unwrap();
+        assert_eq!(cps.len(), 1);
+        assert_eq!(cps[0].uri().as_str(), "doc1.rdf#host");
+        assert_eq!(
+            mdp.class_of_resource("doc1.rdf#info").unwrap().as_deref(),
+            Some("ServerInformation")
+        );
+    }
+
+    #[test]
+    fn unsubscribe_unknown_rejected() {
+        let net = Network::new(NetConfig::default());
+        let mut mdp = Mdp::new("mdp1", schema());
+        let err = mdp
+            .handle(
+                Envelope {
+                    from: "lmr1".into(),
+                    to: "mdp1".into(),
+                    message: Message::Unsubscribe { lmr_rule: 9 },
+                    deliver_at_ms: 0,
+                },
+                &net,
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::Subscription(_)));
+    }
+}

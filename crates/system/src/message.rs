@@ -1,0 +1,129 @@
+//! Messages exchanged between MDV nodes.
+//!
+//! Resources travel as structured values inside publications; whole
+//! documents (backbone replication) travel in the RDF/XML wire syntax,
+//! exercising the same parser/writer an internet deployment would use.
+
+use mdv_rdf::Resource;
+
+/// A message between two nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// LMR → MDP: register a subscription rule. `lmr_rule` is the LMR-local
+    /// rule id the MDP echoes in publications.
+    Subscribe { lmr_rule: u64, rule_text: String },
+    /// MDP → LMR: subscription outcome (errors are carried back).
+    SubscribeAck {
+        lmr_rule: u64,
+        error: Option<String>,
+    },
+    /// LMR → MDP: retract a subscription.
+    Unsubscribe { lmr_rule: u64 },
+    /// MDP → LMR: matched / updated / removed resources of one rule.
+    Publish(PublishMsg),
+    /// MDP → MDP backbone replication: a newly registered document.
+    ReplicateRegister { document_uri: String, xml: String },
+    /// MDP → MDP: an updated document (re-registration).
+    ReplicateUpdate { document_uri: String, xml: String },
+    /// MDP → MDP: a deleted document.
+    ReplicateDelete { document_uri: String },
+}
+
+impl Message {
+    /// Short tag for logs and statistics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::Subscribe { .. } => "subscribe",
+            Message::SubscribeAck { .. } => "subscribe-ack",
+            Message::Unsubscribe { .. } => "unsubscribe",
+            Message::Publish(_) => "publish",
+            Message::ReplicateRegister { .. } => "replicate-register",
+            Message::ReplicateUpdate { .. } => "replicate-update",
+            Message::ReplicateDelete { .. } => "replicate-delete",
+        }
+    }
+
+    /// Rough payload size in bytes, for the network statistics.
+    pub fn approx_size(&self) -> usize {
+        fn resource_size(r: &Resource) -> usize {
+            r.uri().as_str().len()
+                + r.class().len()
+                + r.properties()
+                    .iter()
+                    .map(|(p, t)| p.len() + t.lexical().len())
+                    .sum::<usize>()
+        }
+        match self {
+            Message::Subscribe { rule_text, .. } => rule_text.len() + 8,
+            Message::SubscribeAck { error, .. } => 8 + error.as_ref().map_or(0, |e| e.len()),
+            Message::Unsubscribe { .. } => 8,
+            Message::Publish(p) => {
+                8 + p.matched.iter().map(resource_size).sum::<usize>()
+                    + p.companions.iter().map(resource_size).sum::<usize>()
+                    + p.updated.iter().map(resource_size).sum::<usize>()
+                    + p.removed.iter().map(String::len).sum::<usize>()
+            }
+            Message::ReplicateRegister { xml, document_uri }
+            | Message::ReplicateUpdate { xml, document_uri } => xml.len() + document_uri.len(),
+            Message::ReplicateDelete { document_uri } => document_uri.len(),
+        }
+    }
+}
+
+/// A publication towards one LMR rule.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PublishMsg {
+    /// The LMR-local id of the rule these resources belong to.
+    pub lmr_rule: u64,
+    /// Resources matching the rule (new matches or the initial backfill).
+    pub matched: Vec<Resource>,
+    /// Resources shipped along because they are in the strong-reference
+    /// closure of a matched/updated resource (paper §2.4).
+    pub companions: Vec<Resource>,
+    /// Resources that still match but whose content changed.
+    pub updated: Vec<Resource>,
+    /// URIs of resources that no longer match the rule.
+    pub removed: Vec<String>,
+}
+
+impl PublishMsg {
+    pub fn is_empty(&self) -> bool {
+        self.matched.is_empty()
+            && self.companions.is_empty()
+            && self.updated.is_empty()
+            && self.removed.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdv_rdf::{Term, UriRef};
+
+    #[test]
+    fn kinds_and_sizes() {
+        let m = Message::Subscribe {
+            lmr_rule: 1,
+            rule_text: "search C c register c".into(),
+        };
+        assert_eq!(m.kind(), "subscribe");
+        assert!(m.approx_size() > 8);
+
+        let res = Resource::new(UriRef::new("d", "x"), "C").with("p", Term::literal("v"));
+        let p = Message::Publish(PublishMsg {
+            lmr_rule: 0,
+            matched: vec![res],
+            ..PublishMsg::default()
+        });
+        assert_eq!(p.kind(), "publish");
+        assert!(p.approx_size() > 4);
+    }
+
+    #[test]
+    fn publish_emptiness() {
+        assert!(PublishMsg::default().is_empty());
+        let mut p = PublishMsg::default();
+        p.removed.push("d#x".into());
+        assert!(!p.is_empty());
+    }
+}

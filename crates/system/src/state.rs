@@ -1,0 +1,674 @@
+//! Logical MDP state export/import — backbone node recovery.
+//!
+//! An MDP's durable state is *logical*: the subscriptions it serves and the
+//! documents registered with it. Export writes both in replayable form
+//! (rule texts plus RDF/XML documents); import replays them through the
+//! normal registration paths on a fresh node, rebuilding every filter table,
+//! the dependency graph, and all materializations. Publications are
+//! suppressed during import: subscribers already hold their caches.
+//!
+//! Format:
+//!
+//! ```text
+//! #mdv-mdp-state v1
+//! subscription <lmr>\t<lmr_rule>\t<escaped rule text>
+//! document <uri>
+//! <RDF/XML lines …>
+//! .
+//! ```
+
+use mdv_rdf::{parse_document, write_document};
+
+use crate::error::{Error, Result};
+use crate::mdp::Mdp;
+
+const HEADER: &str = "#mdv-mdp-state v1";
+
+impl Mdp {
+    /// Serializes the node's logical state.
+    pub fn export_state(&self) -> String {
+        let mut out = String::from(HEADER);
+        out.push('\n');
+        for (sub, (lmr, lmr_rule)) in self.subscribers_sorted() {
+            let text = self
+                .engine()
+                .subscription(sub)
+                .expect("subscriber entries reference live subscriptions")
+                .rule_text
+                .clone();
+            out.push_str(&format!(
+                "subscription {lmr}\t{lmr_rule}\t{}\n",
+                escape(&text)
+            ));
+        }
+        let mut doc_uris: Vec<&str> = self.engine().documents().map(|d| d.uri()).collect();
+        doc_uris.sort_unstable();
+        for uri in doc_uris {
+            let doc = self.engine().document(uri).expect("listed document exists");
+            out.push_str(&format!("document {uri}\n"));
+            out.push_str(&write_document(doc));
+            out.push_str(".\n");
+        }
+        out
+    }
+
+    /// Rebuilds a node's state on `self` (which must be freshly created with
+    /// the same schema). Returns `(subscriptions, documents)` restored.
+    pub fn import_state(&mut self, text: &str) -> Result<(usize, usize)> {
+        if self.engine().document_count() > 0 || self.engine().subscriptions().next().is_some() {
+            return Err(Error::Topology(
+                "import_state requires a freshly created MDP".into(),
+            ));
+        }
+        let mut lines = text.lines();
+        if lines.next() != Some(HEADER) {
+            return Err(Error::Topology("unsupported MDP state header".into()));
+        }
+        let mut subs = 0;
+        let mut docs = 0;
+        while let Some(line) = lines.next() {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("subscription ") {
+                let mut fields = rest.splitn(3, '\t');
+                let (Some(lmr), Some(rule), Some(rule_text)) =
+                    (fields.next(), fields.next(), fields.next())
+                else {
+                    return Err(Error::Topology("malformed subscription record".into()));
+                };
+                let lmr_rule: u64 = rule
+                    .parse()
+                    .map_err(|_| Error::Topology("malformed subscription rule id".into()))?;
+                self.restore_subscription(lmr, lmr_rule, &unescape(rule_text))?;
+                subs += 1;
+            } else if let Some(uri) = line.strip_prefix("document ") {
+                let mut xml = String::new();
+                loop {
+                    match lines.next() {
+                        Some(".") => break,
+                        Some(l) => {
+                            xml.push_str(l);
+                            xml.push('\n');
+                        }
+                        None => {
+                            return Err(Error::Topology(format!(
+                                "unterminated document '{uri}' in state"
+                            )))
+                        }
+                    }
+                }
+                let doc = parse_document(uri, &xml).map_err(mdv_filter::Error::from)?;
+                self.restore_document(&doc)?;
+                docs += 1;
+            } else {
+                return Err(Error::Topology(format!("unknown state record: {line}")));
+            }
+        }
+        Ok((subs, docs))
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('\t', "\\t")
+        .replace('\n', "\\n")
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Message;
+    use crate::transport::{Envelope, NetConfig, Network};
+    use mdv_rdf::{Document, RdfSchema, Resource, Term, UriRef};
+
+    fn schema() -> RdfSchema {
+        RdfSchema::builder()
+            .class("ServerInformation", |c| c.int("memory").int("cpu"))
+            .class("CycleProvider", |c| {
+                c.str("serverHost")
+                    .strong_ref("serverInformation", "ServerInformation")
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn doc(i: usize, memory: i64) -> Document {
+        let uri = format!("doc{i}.rdf");
+        Document::new(uri.clone())
+            .with_resource(
+                Resource::new(UriRef::new(&uri, "host"), "CycleProvider")
+                    .with("serverHost", Term::literal("a.org"))
+                    .with(
+                        "serverInformation",
+                        Term::resource(UriRef::new(&uri, "info")),
+                    ),
+            )
+            .with_resource(
+                Resource::new(UriRef::new(&uri, "info"), "ServerInformation")
+                    .with("memory", Term::literal(memory.to_string()))
+                    .with("cpu", Term::literal("600")),
+            )
+    }
+
+    fn populated_mdp(net: &Network) -> Mdp {
+        let mut mdp = Mdp::new("mdp1", schema());
+        mdp.handle(
+            Envelope {
+                from: "lmr1".into(),
+                to: "mdp1".into(),
+                message: Message::Subscribe {
+                    lmr_rule: 7,
+                    rule_text: "search CycleProvider c register c \
+                                where c.serverInformation.memory > 64"
+                        .into(),
+                },
+                deliver_at_ms: 0,
+            },
+            net,
+        )
+        .unwrap();
+        mdp.register_document(&doc(1, 128), net, false).unwrap();
+        mdp.register_document(&doc(2, 16), net, false).unwrap();
+        mdp
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let net = Network::new(NetConfig::default());
+        let _rx = net.register("lmr1").unwrap();
+        let mdp = populated_mdp(&net);
+        let state = mdp.export_state();
+
+        let mut restored = Mdp::new("mdp1-recovered", schema());
+        let (subs, docs) = restored.import_state(&state).unwrap();
+        assert_eq!((subs, docs), (1, 2));
+        assert!(restored.engine().document("doc1.rdf").is_some());
+        assert!(restored.engine().document("doc2.rdf").is_some());
+        // the exported state of the restored node matches
+        assert_eq!(state, restored.export_state());
+        // and the rule base is live again: a new registration publishes
+        let before = net.traffic_by_kind().get("publish").copied().unwrap_or(0);
+        restored
+            .register_document(&doc(3, 256), &net, false)
+            .unwrap();
+        assert_eq!(net.traffic_by_kind()["publish"], before + 1);
+    }
+
+    #[test]
+    fn import_suppresses_publications() {
+        let net = Network::new(NetConfig::default());
+        let _rx = net.register("lmr1").unwrap();
+        let state = populated_mdp(&net).export_state();
+        let before = net.log().len();
+        let mut restored = Mdp::new("mdp2", schema());
+        restored.import_state(&state).unwrap();
+        assert_eq!(net.log().len(), before, "import sends no messages");
+    }
+
+    #[test]
+    fn import_requires_fresh_node() {
+        let net = Network::new(NetConfig::default());
+        let _rx = net.register("lmr1").unwrap();
+        let mdp = populated_mdp(&net);
+        let state = mdp.export_state();
+        let mut not_fresh = populated_mdp(&net);
+        assert!(not_fresh.import_state(&state).is_err());
+    }
+
+    #[test]
+    fn corrupt_state_rejected() {
+        let mut mdp = Mdp::new("m", schema());
+        assert!(mdp.import_state("garbage").is_err());
+        assert!(
+            mdp.import_state("#mdv-mdp-state v1\ndocument d.rdf\n<rdf:RDF/>\n")
+                .is_err(),
+            "unterminated document"
+        );
+        assert!(mdp.import_state("#mdv-mdp-state v1\nwat\n").is_err());
+    }
+
+    #[test]
+    fn rule_text_with_tabs_roundtrips() {
+        let text = "search CycleProvider c register c\twhere c.serverHost contains 'x'";
+        assert_eq!(unescape(&escape(text)), text);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LMR state
+// ---------------------------------------------------------------------------
+
+const LMR_HEADER: &str = "#mdv-lmr-state v1";
+
+impl crate::lmr::Lmr {
+    /// Serializes the LMR's durable state: subscription rules, local
+    /// documents, rule-match anchors, and a relational snapshot of the
+    /// cache. Strong-reference counts are *not* stored — they are derivable
+    /// from the cache and the schema and are rebuilt on import.
+    pub fn export_state(&self) -> String {
+        let mut out = String::from(LMR_HEADER);
+        out.push('\n');
+        for (id, rule) in self.rules() {
+            let status = match &rule.status {
+                crate::lmr::RuleStatus::Pending => "pending".to_owned(),
+                crate::lmr::RuleStatus::Active => "active".to_owned(),
+                crate::lmr::RuleStatus::Failed(e) => format!("failed:{}", escape(e)),
+            };
+            out.push_str(&format!("rule {id}\t{status}\t{}\n", escape(&rule.text)));
+        }
+        let mut local_uris: Vec<&String> = self.local_docs.keys().collect();
+        local_uris.sort();
+        for uri in local_uris {
+            out.push_str(&format!("local {uri}\n"));
+            out.push_str(&write_document(&self.local_docs[uri]));
+            out.push_str(".\n");
+        }
+        for uri in self.cached_uris() {
+            for rule in self.tracker.matching_rules(&uri) {
+                out.push_str(&format!("match {uri}\t{rule}\n"));
+            }
+        }
+        out.push_str("cache-snapshot\n");
+        out.push_str(&mdv_relstore::write_database(&self.cache));
+        out
+    }
+
+    /// Rebuilds a freshly created LMR from exported state.
+    pub fn import_state(&mut self, text: &str) -> Result<()> {
+        if !self.cached_uris().is_empty() || self.rules().next().is_some() {
+            return Err(Error::Topology("import_state requires a fresh LMR".into()));
+        }
+        let mut lines = text.lines();
+        if lines.next() != Some(LMR_HEADER) {
+            return Err(Error::Topology("unsupported LMR state header".into()));
+        }
+        let mut matches: Vec<(String, u64)> = Vec::new();
+        while let Some(line) = lines.next() {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("rule ") {
+                let mut fields = rest.splitn(3, '\t');
+                let (Some(id), Some(status), Some(rule_text)) =
+                    (fields.next(), fields.next(), fields.next())
+                else {
+                    return Err(Error::Topology("malformed rule record".into()));
+                };
+                let id: u64 = id
+                    .parse()
+                    .map_err(|_| Error::Topology("bad rule id".into()))?;
+                let status = if status == "pending" {
+                    crate::lmr::RuleStatus::Pending
+                } else if status == "active" {
+                    crate::lmr::RuleStatus::Active
+                } else if let Some(e) = status.strip_prefix("failed:") {
+                    crate::lmr::RuleStatus::Failed(unescape(e))
+                } else {
+                    return Err(Error::Topology("bad rule status".into()));
+                };
+                self.rules.insert(
+                    id,
+                    crate::lmr::LmrRule {
+                        text: unescape(rule_text),
+                        status,
+                    },
+                );
+                self.next_rule = self.next_rule.max(id + 1);
+            } else if let Some(uri) = line.strip_prefix("local ") {
+                let mut xml = String::new();
+                loop {
+                    match lines.next() {
+                        Some(".") => break,
+                        Some(l) => {
+                            xml.push_str(l);
+                            xml.push('\n');
+                        }
+                        None => {
+                            return Err(Error::Topology(format!(
+                                "unterminated local document '{uri}'"
+                            )))
+                        }
+                    }
+                }
+                let doc = parse_document(uri, &xml).map_err(mdv_filter::Error::from)?;
+                self.local_docs.insert(uri.to_owned(), doc);
+            } else if let Some(rest) = line.strip_prefix("match ") {
+                let (uri, rule) = rest
+                    .split_once('\t')
+                    .ok_or_else(|| Error::Topology("malformed match record".into()))?;
+                let rule: u64 = rule
+                    .parse()
+                    .map_err(|_| Error::Topology("bad match rule id".into()))?;
+                matches.push((uri.to_owned(), rule));
+            } else if line == "cache-snapshot" {
+                let snapshot: String = lines.map(|l| format!("{l}\n")).collect();
+                self.cache =
+                    mdv_relstore::read_database(&snapshot).map_err(mdv_filter::Error::from)?;
+                break;
+            } else {
+                return Err(Error::Topology(format!("unknown LMR state record: {line}")));
+            }
+        }
+        // rebuild the tracker from cache contents + schema + match anchors
+        self.rebuild_tracker(&matches)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod lmr_state_tests {
+    use crate::lmr::{Lmr, RuleStatus};
+    use crate::message::{Message, PublishMsg};
+    use crate::transport::{Envelope, NetConfig, Network};
+    use mdv_rdf::{Document, RdfSchema, Resource, Term, UriRef};
+
+    fn schema() -> RdfSchema {
+        RdfSchema::builder()
+            .class("ServerInformation", |c| c.int("memory").int("cpu"))
+            .class("CycleProvider", |c| {
+                c.str("serverHost")
+                    .strong_ref("serverInformation", "ServerInformation")
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn populated_lmr() -> Lmr {
+        let net = Network::new(NetConfig::default());
+        let _rx = net.register("mdp1").unwrap();
+        let mut l = Lmr::new("lmr1", "mdp1", schema());
+        let id = l
+            .subscribe("search CycleProvider c register c", &net)
+            .unwrap();
+        l.handle(
+            Envelope {
+                from: "mdp1".into(),
+                to: "lmr1".into(),
+                message: Message::SubscribeAck {
+                    lmr_rule: id,
+                    error: None,
+                },
+                deliver_at_ms: 0,
+            },
+            &net,
+        )
+        .unwrap();
+        let host = Resource::new(UriRef::new("d.rdf", "host"), "CycleProvider")
+            .with("serverHost", Term::literal("a.org"))
+            .with(
+                "serverInformation",
+                Term::resource(UriRef::new("d.rdf", "info")),
+            );
+        let info = Resource::new(UriRef::new("d.rdf", "info"), "ServerInformation")
+            .with("memory", Term::literal("92"))
+            .with("cpu", Term::literal("600"));
+        l.handle(
+            Envelope {
+                from: "mdp1".into(),
+                to: "lmr1".into(),
+                message: Message::Publish(PublishMsg {
+                    lmr_rule: id,
+                    matched: vec![host],
+                    companions: vec![info],
+                    ..PublishMsg::default()
+                }),
+                deliver_at_ms: 0,
+            },
+            &net,
+        )
+        .unwrap();
+        l.register_local_metadata(
+            &Document::new("local.rdf").with_resource(
+                Resource::new(UriRef::new("local.rdf", "s"), "ServerInformation")
+                    .with("memory", Term::literal("1"))
+                    .with("cpu", Term::literal("1")),
+            ),
+        )
+        .unwrap();
+        l
+    }
+
+    #[test]
+    fn lmr_state_roundtrips() {
+        let l = populated_lmr();
+        let state = l.export_state();
+        let mut restored = Lmr::new("lmr1", "mdp1", schema());
+        restored.import_state(&state).unwrap();
+        assert_eq!(l.cached_uris(), restored.cached_uris());
+        assert_eq!(restored.rule(0).unwrap().status, RuleStatus::Active);
+        // queries work and local metadata is still protected
+        assert_eq!(
+            restored
+                .query("search CycleProvider c register c")
+                .unwrap()
+                .len(),
+            1
+        );
+        assert_eq!(
+            restored.collect_garbage().unwrap(),
+            0,
+            "nothing spuriously collected"
+        );
+        // match anchors survived: removing the match evicts host + companion
+        // but not the local resource
+        let net = Network::new(NetConfig::default());
+        let _rx = net.register("mdp1").unwrap();
+        restored
+            .handle(
+                Envelope {
+                    from: "mdp1".into(),
+                    to: "lmr1".into(),
+                    message: Message::Publish(PublishMsg {
+                        lmr_rule: 0,
+                        removed: vec!["d.rdf#host".into()],
+                        ..PublishMsg::default()
+                    }),
+                    deliver_at_ms: 0,
+                },
+                &net,
+            )
+            .unwrap();
+        assert_eq!(restored.cached_uris(), vec!["local.rdf#s".to_owned()]);
+        // and the re-export is a fixpoint
+        let l2 = populated_lmr();
+        assert_eq!(l2.export_state(), {
+            let mut r = Lmr::new("x", "mdp1", schema());
+            r.import_state(&l2.export_state()).unwrap();
+            r.export_state()
+        });
+    }
+
+    #[test]
+    fn lmr_import_requires_fresh() {
+        let l = populated_lmr();
+        let mut not_fresh = populated_lmr();
+        assert!(not_fresh.import_state(&l.export_state()).is_err());
+    }
+
+    #[test]
+    fn lmr_corrupt_state_rejected() {
+        let mut l = Lmr::new("l", "m", schema());
+        assert!(l.import_state("nope").is_err());
+        assert!(l.import_state("#mdv-lmr-state v1\nwat\n").is_err());
+        assert!(l
+            .import_state("#mdv-lmr-state v1\nlocal d.rdf\n<rdf:RDF/>\n")
+            .is_err());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-system persistence
+// ---------------------------------------------------------------------------
+
+impl crate::system::MdvSystem {
+    /// Saves the deployment to a directory: the schema (textual schema
+    /// language), the topology, and per-node state files.
+    pub fn save_to_dir(&self, dir: &std::path::Path) -> Result<()> {
+        let io = |e: std::io::Error| Error::Topology(format!("save: {e}"));
+        std::fs::create_dir_all(dir).map_err(io)?;
+        std::fs::write(dir.join("schema.mdv"), mdv_rdf::write_schema(self.schema())).map_err(io)?;
+        let mut topology = String::from("#mdv-system v1\n");
+        for name in self.mdp_names() {
+            topology.push_str(&format!("mdp {name}\n"));
+            std::fs::write(
+                dir.join(format!("{name}.mdp")),
+                self.mdp(name).expect("listed MDP exists").export_state(),
+            )
+            .map_err(io)?;
+        }
+        for name in self.lmr_names() {
+            let lmr = self.lmr(name).expect("listed LMR exists");
+            topology.push_str(&format!("lmr {name} {}\n", lmr.mdp()));
+            std::fs::write(dir.join(format!("{name}.lmr")), lmr.export_state()).map_err(io)?;
+        }
+        std::fs::write(dir.join("topology.mdv"), topology).map_err(io)
+    }
+
+    /// Loads a deployment saved with [`MdvSystem::save_to_dir`]. The network
+    /// starts fresh (counters at zero); all node state is restored.
+    pub fn load_from_dir(dir: &std::path::Path) -> Result<crate::system::MdvSystem> {
+        let io = |e: std::io::Error| Error::Topology(format!("load: {e}"));
+        let schema_text = std::fs::read_to_string(dir.join("schema.mdv")).map_err(io)?;
+        let schema = mdv_rdf::parse_schema(&schema_text).map_err(mdv_filter::Error::from)?;
+        let mut sys = crate::system::MdvSystem::new(schema);
+        let topology = std::fs::read_to_string(dir.join("topology.mdv")).map_err(io)?;
+        let mut lines = topology.lines();
+        if lines.next() != Some("#mdv-system v1") {
+            return Err(Error::Topology("unsupported topology header".into()));
+        }
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix("mdp ") {
+                sys.add_mdp(name)?;
+                let state = std::fs::read_to_string(dir.join(format!("{name}.mdp"))).map_err(io)?;
+                sys.restore_mdp_state(name, &state)?;
+            } else if let Some(rest) = line.strip_prefix("lmr ") {
+                let (name, mdp) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| Error::Topology("malformed lmr record".into()))?;
+                sys.add_lmr(name, mdp)?;
+                let state = std::fs::read_to_string(dir.join(format!("{name}.lmr"))).map_err(io)?;
+                sys.restore_lmr_state(name, &state)?;
+            } else {
+                return Err(Error::Topology(format!("unknown topology record: {line}")));
+            }
+        }
+        Ok(sys)
+    }
+}
+
+#[cfg(test)]
+mod system_state_tests {
+    use crate::system::MdvSystem;
+    use mdv_rdf::{Document, RdfSchema, Resource, Term, UriRef};
+
+    fn schema() -> RdfSchema {
+        RdfSchema::builder()
+            .class("ServerInformation", |c| c.int("memory").int("cpu"))
+            .class("CycleProvider", |c| {
+                c.str("serverHost")
+                    .strong_ref("serverInformation", "ServerInformation")
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn doc(i: usize, memory: i64) -> Document {
+        let uri = format!("doc{i}.rdf");
+        Document::new(uri.clone())
+            .with_resource(
+                Resource::new(UriRef::new(&uri, "host"), "CycleProvider")
+                    .with("serverHost", Term::literal("a.org"))
+                    .with(
+                        "serverInformation",
+                        Term::resource(UriRef::new(&uri, "info")),
+                    ),
+            )
+            .with_resource(
+                Resource::new(UriRef::new(&uri, "info"), "ServerInformation")
+                    .with("memory", Term::literal(memory.to_string()))
+                    .with("cpu", Term::literal("600")),
+            )
+    }
+
+    #[test]
+    fn whole_system_save_load_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("mdv-sys-state-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut sys = MdvSystem::new(schema());
+        sys.add_mdp("mdp-eu").unwrap();
+        sys.add_mdp("mdp-us").unwrap();
+        sys.add_lmr("lmr1", "mdp-eu").unwrap();
+        sys.subscribe(
+            "lmr1",
+            "search CycleProvider c register c where c.serverInformation.memory > 64",
+        )
+        .unwrap();
+        sys.register_document("mdp-eu", &doc(1, 128)).unwrap();
+        sys.register_document("mdp-us", &doc(2, 256)).unwrap();
+        sys.save_to_dir(&dir).unwrap();
+
+        let mut restored = MdvSystem::load_from_dir(&dir).unwrap();
+        assert_eq!(restored.mdp_names(), vec!["mdp-eu", "mdp-us"]);
+        assert_eq!(restored.lmr_names(), vec!["lmr1"]);
+        assert_eq!(
+            sys.lmr("lmr1").unwrap().cached_uris(),
+            restored.lmr("lmr1").unwrap().cached_uris()
+        );
+        // both MDPs hold both documents (replication state survived)
+        for m in ["mdp-eu", "mdp-us"] {
+            assert!(restored
+                .mdp(m)
+                .unwrap()
+                .engine()
+                .document("doc1.rdf")
+                .is_some());
+            assert!(restored
+                .mdp(m)
+                .unwrap()
+                .engine()
+                .document("doc2.rdf")
+                .is_some());
+        }
+        // the restored system keeps working end to end: a new registration
+        // replicates and reaches the restored LMR's cache
+        restored.register_document("mdp-us", &doc(3, 512)).unwrap();
+        assert!(restored.lmr("lmr1").unwrap().is_cached("doc3.rdf#host"));
+        // and updates/removals drive the restored cache correctly
+        restored.update_document("mdp-eu", &doc(1, 8)).unwrap();
+        assert!(!restored.lmr("lmr1").unwrap().is_cached("doc1.rdf#host"));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_missing_dir_fails_cleanly() {
+        let err = match MdvSystem::load_from_dir(std::path::Path::new("/nonexistent/mdv")) {
+            Err(e) => e,
+            Ok(_) => panic!("loading a missing directory must fail"),
+        };
+        assert!(err.to_string().contains("load:"));
+    }
+}

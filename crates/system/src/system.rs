@@ -1,0 +1,537 @@
+//! The MDV system orchestrator: wires MDPs, LMRs, and the simulated network
+//! into the 3-tier architecture of Figure 2, and drives message delivery
+//! deterministically.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crossbeam::channel::Receiver;
+use mdv_rdf::{Document, RdfSchema, Resource};
+
+use crate::error::{Error, Result};
+use crate::lmr::{Lmr, RuleStatus};
+use crate::mdp::Mdp;
+use crate::transport::{Envelope, NetConfig, NetStats, Network};
+
+/// A complete MDV deployment: backbone MDPs, mid-tier LMRs, network.
+pub struct MdvSystem {
+    schema: RdfSchema,
+    network: Network,
+    receivers: HashMap<String, Receiver<Envelope>>,
+    mdps: BTreeMap<String, Mdp>,
+    lmrs: BTreeMap<String, Lmr>,
+}
+
+impl MdvSystem {
+    pub fn new(schema: RdfSchema) -> Self {
+        Self::with_net_config(schema, NetConfig::default())
+    }
+
+    pub fn with_net_config(schema: RdfSchema, config: NetConfig) -> Self {
+        MdvSystem {
+            schema,
+            network: Network::new(config),
+            receivers: HashMap::new(),
+            mdps: BTreeMap::new(),
+            lmrs: BTreeMap::new(),
+        }
+    }
+
+    pub fn schema(&self) -> &RdfSchema {
+        &self.schema
+    }
+
+    /// Adds a Metadata Provider to the backbone. All MDPs are made peers of
+    /// each other (flat hierarchy, full replication — paper §2.2).
+    pub fn add_mdp(&mut self, name: &str) -> Result<()> {
+        if self.lmrs.contains_key(name) {
+            return Err(Error::Topology(format!("'{name}' is already an LMR")));
+        }
+        let rx = self.network.register(name)?;
+        self.receivers.insert(name.to_owned(), rx);
+        self.mdps
+            .insert(name.to_owned(), Mdp::new(name, self.schema.clone()));
+        // rewire peer lists
+        let names: Vec<String> = self.mdps.keys().cloned().collect();
+        for (mdp_name, mdp) in self.mdps.iter_mut() {
+            mdp.set_peers(names.iter().filter(|n| *n != mdp_name).cloned().collect());
+        }
+        Ok(())
+    }
+
+    /// Adds a Local Metadata Repository connected to `mdp`.
+    pub fn add_lmr(&mut self, name: &str, mdp: &str) -> Result<()> {
+        if !self.mdps.contains_key(mdp) {
+            return Err(Error::Topology(format!("unknown MDP '{mdp}'")));
+        }
+        if self.mdps.contains_key(name) {
+            return Err(Error::Topology(format!("'{name}' is already an MDP")));
+        }
+        let rx = self.network.register(name)?;
+        self.receivers.insert(name.to_owned(), rx);
+        self.lmrs
+            .insert(name.to_owned(), Lmr::new(name, mdp, self.schema.clone()));
+        Ok(())
+    }
+
+    pub fn mdp(&self, name: &str) -> Result<&Mdp> {
+        self.mdps
+            .get(name)
+            .ok_or_else(|| Error::Topology(format!("unknown MDP '{name}'")))
+    }
+
+    pub fn lmr(&self, name: &str) -> Result<&Lmr> {
+        self.lmrs
+            .get(name)
+            .ok_or_else(|| Error::Topology(format!("unknown LMR '{name}'")))
+    }
+
+    pub fn mdp_names(&self) -> Vec<&str> {
+        self.mdps.keys().map(|s| s.as_str()).collect()
+    }
+
+    pub fn lmr_names(&self) -> Vec<&str> {
+        self.lmrs.keys().map(|s| s.as_str()).collect()
+    }
+
+    pub fn network_stats(&self) -> NetStats {
+        self.network.stats()
+    }
+
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Registers a subscription rule at an LMR (which forwards it to its
+    /// MDP) and runs the system to quiescence. Fails when the MDP rejected
+    /// the rule.
+    pub fn subscribe(&mut self, lmr: &str, rule_text: &str) -> Result<u64> {
+        let id = {
+            let l = self
+                .lmrs
+                .get_mut(lmr)
+                .ok_or_else(|| Error::Topology(format!("unknown LMR '{lmr}'")))?;
+            l.subscribe(rule_text, &self.network)?
+        };
+        self.run_to_quiescence()?;
+        match &self.lmr(lmr)?.rule(id).expect("rule just created").status {
+            RuleStatus::Active => Ok(id),
+            RuleStatus::Failed(e) => Err(Error::Subscription(e.clone())),
+            RuleStatus::Pending => Err(Error::Subscription(
+                "subscription still pending after quiescence".into(),
+            )),
+        }
+    }
+
+    /// Retracts a subscription.
+    pub fn unsubscribe(&mut self, lmr: &str, rule: u64) -> Result<()> {
+        {
+            let l = self
+                .lmrs
+                .get_mut(lmr)
+                .ok_or_else(|| Error::Topology(format!("unknown LMR '{lmr}'")))?;
+            l.unsubscribe(rule, &self.network)?;
+        }
+        self.run_to_quiescence()
+    }
+
+    /// Registers a document at an MDP (metadata administration, §2.2); the
+    /// MDP filters, publishes, and replicates across the backbone.
+    pub fn register_document(&mut self, mdp: &str, doc: &Document) -> Result<()> {
+        {
+            let m = self
+                .mdps
+                .get_mut(mdp)
+                .ok_or_else(|| Error::Topology(format!("unknown MDP '{mdp}'")))?;
+            m.register_document(doc, &self.network, true)?;
+        }
+        self.run_to_quiescence()
+    }
+
+    /// Re-registers a modified document.
+    pub fn update_document(&mut self, mdp: &str, doc: &Document) -> Result<()> {
+        {
+            let m = self
+                .mdps
+                .get_mut(mdp)
+                .ok_or_else(|| Error::Topology(format!("unknown MDP '{mdp}'")))?;
+            m.update_document(doc, &self.network, true)?;
+        }
+        self.run_to_quiescence()
+    }
+
+    /// Deletes a document everywhere.
+    pub fn delete_document(&mut self, mdp: &str, uri: &str) -> Result<()> {
+        {
+            let m = self
+                .mdps
+                .get_mut(mdp)
+                .ok_or_else(|| Error::Topology(format!("unknown MDP '{mdp}'")))?;
+            m.delete_document(uri, &self.network, true)?;
+        }
+        self.run_to_quiescence()
+    }
+
+    /// Switches an MDP between immediate filtering (the default) and
+    /// periodic batch filtering (paper §4): with `Some(n)`, registrations
+    /// queue and the filter runs once every `n` documents or on
+    /// [`MdvSystem::flush`].
+    pub fn set_batch_size(&mut self, mdp: &str, batch_size: Option<usize>) -> Result<()> {
+        self.mdps
+            .get_mut(mdp)
+            .ok_or_else(|| Error::Topology(format!("unknown MDP '{mdp}'")))?
+            .set_batch_size(batch_size);
+        Ok(())
+    }
+
+    /// Filters and publishes an MDP's pending document batch.
+    pub fn flush(&mut self, mdp: &str) -> Result<()> {
+        {
+            let m = self
+                .mdps
+                .get_mut(mdp)
+                .ok_or_else(|| Error::Topology(format!("unknown MDP '{mdp}'")))?;
+            m.flush(&self.network)?;
+        }
+        self.run_to_quiescence()
+    }
+
+    /// Replays exported MDP state (see [`crate::state`]) into a freshly
+    /// added MDP node.
+    pub fn restore_mdp_state(&mut self, mdp: &str, state: &str) -> Result<(usize, usize)> {
+        self.mdps
+            .get_mut(mdp)
+            .ok_or_else(|| Error::Topology(format!("unknown MDP '{mdp}'")))?
+            .import_state(state)
+    }
+
+    /// Replays exported LMR state into a freshly added LMR node.
+    pub fn restore_lmr_state(&mut self, lmr: &str, state: &str) -> Result<()> {
+        self.lmrs
+            .get_mut(lmr)
+            .ok_or_else(|| Error::Topology(format!("unknown LMR '{lmr}'")))?
+            .import_state(state)
+    }
+
+    /// Registers metadata that stays local to one LMR.
+    pub fn register_local_metadata(&mut self, lmr: &str, doc: &Document) -> Result<()> {
+        let l = self
+            .lmrs
+            .get_mut(lmr)
+            .ok_or_else(|| Error::Topology(format!("unknown LMR '{lmr}'")))?;
+        l.register_local_metadata(doc)
+    }
+
+    /// Evaluates a query at an LMR against its local cache.
+    pub fn query(&self, lmr: &str, query_text: &str) -> Result<Vec<Resource>> {
+        self.lmr(lmr)?.query(query_text)
+    }
+
+    /// Delivers queued messages until no node has pending mail. Nodes are
+    /// drained in name order, so runs are deterministic.
+    pub fn run_to_quiescence(&mut self) -> Result<()> {
+        let MdvSystem {
+            network,
+            receivers,
+            mdps,
+            lmrs,
+            ..
+        } = self;
+        let mut names: Vec<String> = receivers.keys().cloned().collect();
+        names.sort();
+        loop {
+            let mut progressed = false;
+            for name in &names {
+                let rx = &receivers[name];
+                while let Ok(env) = rx.try_recv() {
+                    progressed = true;
+                    network.advance_clock(env.deliver_at_ms);
+                    if let Some(mdp) = mdps.get_mut(name) {
+                        mdp.handle(env, network)?;
+                    } else if let Some(lmr) = lmrs.get_mut(name) {
+                        lmr.handle(env, network)?;
+                    }
+                }
+            }
+            if !progressed {
+                return Ok(());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdv_rdf::{Term, UriRef};
+
+    fn schema() -> RdfSchema {
+        RdfSchema::builder()
+            .class("ServerInformation", |c| c.int("memory").int("cpu"))
+            .class("CycleProvider", |c| {
+                c.str("serverHost")
+                    .strong_ref("serverInformation", "ServerInformation")
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn doc(i: usize, host: &str, memory: i64) -> Document {
+        let uri = format!("doc{i}.rdf");
+        Document::new(uri.clone())
+            .with_resource(
+                Resource::new(UriRef::new(&uri, "host"), "CycleProvider")
+                    .with("serverHost", Term::literal(host))
+                    .with(
+                        "serverInformation",
+                        Term::resource(UriRef::new(&uri, "info")),
+                    ),
+            )
+            .with_resource(
+                Resource::new(UriRef::new(&uri, "info"), "ServerInformation")
+                    .with("memory", Term::literal(memory.to_string()))
+                    .with("cpu", Term::literal("600")),
+            )
+    }
+
+    fn two_tier() -> MdvSystem {
+        let mut sys = MdvSystem::new(schema());
+        sys.add_mdp("mdp1").unwrap();
+        sys.add_lmr("lmr1", "mdp1").unwrap();
+        sys
+    }
+
+    const RULE: &str = "search CycleProvider c register c where c.serverInformation.memory > 64";
+
+    #[test]
+    fn end_to_end_subscribe_register_query() {
+        let mut sys = two_tier();
+        sys.subscribe("lmr1", RULE).unwrap();
+        sys.register_document("mdp1", &doc(1, "a.uni-passau.de", 128))
+            .unwrap();
+        sys.register_document("mdp1", &doc(2, "b.org", 32)).unwrap();
+        // the matching provider and its companion arrived in the cache
+        assert!(sys.lmr("lmr1").unwrap().is_cached("doc1.rdf#host"));
+        assert!(sys.lmr("lmr1").unwrap().is_cached("doc1.rdf#info"));
+        assert!(!sys.lmr("lmr1").unwrap().is_cached("doc2.rdf#host"));
+        // local query over the cache answers without the MDP
+        let hits = sys
+            .query("lmr1", "search CycleProvider c register c")
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].uri().as_str(), "doc1.rdf#host");
+    }
+
+    #[test]
+    fn initial_backfill_on_late_subscription() {
+        let mut sys = two_tier();
+        sys.register_document("mdp1", &doc(1, "a.org", 128))
+            .unwrap();
+        sys.subscribe("lmr1", RULE).unwrap();
+        assert!(sys.lmr("lmr1").unwrap().is_cached("doc1.rdf#host"));
+    }
+
+    #[test]
+    fn bad_rule_surfaces_error() {
+        let mut sys = two_tier();
+        let err = sys
+            .subscribe("lmr1", "search Unknown u register u")
+            .unwrap_err();
+        assert!(matches!(err, Error::Subscription(_)));
+    }
+
+    #[test]
+    fn update_propagates_to_cache() {
+        let mut sys = two_tier();
+        sys.subscribe("lmr1", RULE).unwrap();
+        sys.register_document("mdp1", &doc(1, "a.org", 128))
+            .unwrap();
+        // update: memory drops to 32 → cache evicts host and companion
+        sys.update_document("mdp1", &doc(1, "a.org", 32)).unwrap();
+        assert!(!sys.lmr("lmr1").unwrap().is_cached("doc1.rdf#host"));
+        assert!(!sys.lmr("lmr1").unwrap().is_cached("doc1.rdf#info"));
+        // update back: re-added
+        sys.update_document("mdp1", &doc(1, "a.org", 256)).unwrap();
+        assert!(sys.lmr("lmr1").unwrap().is_cached("doc1.rdf#host"));
+        let cached = sys
+            .lmr("lmr1")
+            .unwrap()
+            .cached_resource("doc1.rdf#info")
+            .unwrap()
+            .unwrap();
+        assert_eq!(cached.property("memory").unwrap().as_int(), Some(256));
+    }
+
+    #[test]
+    fn still_matching_update_refreshes_companion_copy() {
+        let mut sys = two_tier();
+        sys.subscribe("lmr1", RULE).unwrap();
+        sys.register_document("mdp1", &doc(1, "a.org", 128))
+            .unwrap();
+        sys.update_document("mdp1", &doc(1, "a.org", 512)).unwrap();
+        let cached = sys
+            .lmr("lmr1")
+            .unwrap()
+            .cached_resource("doc1.rdf#info")
+            .unwrap()
+            .unwrap();
+        assert_eq!(cached.property("memory").unwrap().as_int(), Some(512));
+    }
+
+    #[test]
+    fn delete_document_clears_cache() {
+        let mut sys = two_tier();
+        sys.subscribe("lmr1", RULE).unwrap();
+        sys.register_document("mdp1", &doc(1, "a.org", 128))
+            .unwrap();
+        sys.delete_document("mdp1", "doc1.rdf").unwrap();
+        assert!(sys.lmr("lmr1").unwrap().cached_uris().is_empty());
+    }
+
+    #[test]
+    fn backbone_replication_reaches_remote_lmr() {
+        let mut sys = MdvSystem::new(schema());
+        sys.add_mdp("mdp-eu").unwrap();
+        sys.add_mdp("mdp-us").unwrap();
+        sys.add_lmr("lmr-us", "mdp-us").unwrap();
+        sys.subscribe("lmr-us", RULE).unwrap();
+        // registered in Europe, delivered in the US through replication
+        sys.register_document("mdp-eu", &doc(1, "a.org", 128))
+            .unwrap();
+        assert!(sys
+            .mdp("mdp-us")
+            .unwrap()
+            .engine()
+            .document("doc1.rdf")
+            .is_some());
+        assert!(sys.lmr("lmr-us").unwrap().is_cached("doc1.rdf#host"));
+        // update + delete also replicate
+        sys.update_document("mdp-eu", &doc(1, "a.org", 16)).unwrap();
+        assert!(!sys.lmr("lmr-us").unwrap().is_cached("doc1.rdf#host"));
+        sys.delete_document("mdp-eu", "doc1.rdf").unwrap();
+        assert!(sys
+            .mdp("mdp-us")
+            .unwrap()
+            .engine()
+            .document("doc1.rdf")
+            .is_none());
+    }
+
+    #[test]
+    fn three_mdps_replicate_exactly_once_each() {
+        let mut sys = MdvSystem::new(schema());
+        sys.add_mdp("m1").unwrap();
+        sys.add_mdp("m2").unwrap();
+        sys.add_mdp("m3").unwrap();
+        sys.register_document("m1", &doc(1, "a.org", 1)).unwrap();
+        // origin sends to 2 peers; peers do not re-replicate
+        assert_eq!(sys.network().traffic_by_kind()["replicate-register"], 2);
+        for m in ["m1", "m2", "m3"] {
+            assert!(sys.mdp(m).unwrap().engine().document("doc1.rdf").is_some());
+        }
+    }
+
+    #[test]
+    fn unsubscribe_evicts_and_stops_flow() {
+        let mut sys = two_tier();
+        let rule = sys.subscribe("lmr1", RULE).unwrap();
+        sys.register_document("mdp1", &doc(1, "a.org", 128))
+            .unwrap();
+        assert!(sys.lmr("lmr1").unwrap().is_cached("doc1.rdf#host"));
+        sys.unsubscribe("lmr1", rule).unwrap();
+        assert!(sys.lmr("lmr1").unwrap().cached_uris().is_empty());
+        sys.register_document("mdp1", &doc(2, "a.org", 128))
+            .unwrap();
+        assert!(sys.lmr("lmr1").unwrap().cached_uris().is_empty());
+    }
+
+    #[test]
+    fn local_metadata_stays_local() {
+        let mut sys = MdvSystem::new(schema());
+        sys.add_mdp("mdp1").unwrap();
+        sys.add_lmr("lmr1", "mdp1").unwrap();
+        sys.add_lmr("lmr2", "mdp1").unwrap();
+        let local = Document::new("local.rdf").with_resource(
+            Resource::new(UriRef::new("local.rdf", "s"), "ServerInformation")
+                .with("memory", Term::literal("1"))
+                .with("cpu", Term::literal("1")),
+        );
+        sys.register_local_metadata("lmr1", &local).unwrap();
+        assert!(sys.lmr("lmr1").unwrap().is_cached("local.rdf#s"));
+        // neither the MDP nor the sibling LMR ever see it
+        assert!(sys
+            .mdp("mdp1")
+            .unwrap()
+            .engine()
+            .document("local.rdf")
+            .is_none());
+        assert!(!sys.lmr("lmr2").unwrap().is_cached("local.rdf#s"));
+    }
+
+    #[test]
+    fn topology_errors() {
+        let mut sys = MdvSystem::new(schema());
+        sys.add_mdp("m").unwrap();
+        assert!(sys.add_mdp("m").is_err());
+        assert!(sys.add_lmr("l", "missing").is_err());
+        sys.add_lmr("l", "m").unwrap();
+        assert!(sys.add_mdp("l").is_err());
+        assert!(sys.register_document("nope", &doc(1, "a", 1)).is_err());
+        assert!(sys.query("nope", "search C c register c").is_err());
+    }
+
+    #[test]
+    fn periodic_batch_mode_defers_publication() {
+        let mut sys = two_tier();
+        sys.subscribe("lmr1", RULE).unwrap();
+        sys.set_batch_size("mdp1", Some(3)).unwrap();
+        // two registrations queue up without filtering
+        sys.register_document("mdp1", &doc(1, "a.org", 128))
+            .unwrap();
+        sys.register_document("mdp1", &doc(2, "a.org", 128))
+            .unwrap();
+        assert!(sys.lmr("lmr1").unwrap().cached_uris().is_empty());
+        assert_eq!(sys.mdp("mdp1").unwrap().pending_documents(), 2);
+        // the third registration reaches the batch size: filter runs
+        sys.register_document("mdp1", &doc(3, "a.org", 128))
+            .unwrap();
+        assert_eq!(sys.mdp("mdp1").unwrap().pending_documents(), 0);
+        assert_eq!(sys.lmr("lmr1").unwrap().cached_uris().len(), 6);
+        // explicit flush drains a partial batch
+        sys.register_document("mdp1", &doc(4, "a.org", 128))
+            .unwrap();
+        assert!(!sys.lmr("lmr1").unwrap().is_cached("doc4.rdf#host"));
+        sys.flush("mdp1").unwrap();
+        assert!(sys.lmr("lmr1").unwrap().is_cached("doc4.rdf#host"));
+    }
+
+    #[test]
+    fn updates_flush_pending_batches_first() {
+        let mut sys = two_tier();
+        sys.subscribe("lmr1", RULE).unwrap();
+        sys.set_batch_size("mdp1", Some(100)).unwrap();
+        sys.register_document("mdp1", &doc(1, "a.org", 128))
+            .unwrap();
+        // updating the still-pending document forces the batch through
+        sys.update_document("mdp1", &doc(1, "a.org", 16)).unwrap();
+        assert_eq!(sys.mdp("mdp1").unwrap().pending_documents(), 0);
+        assert!(!sys.lmr("lmr1").unwrap().is_cached("doc1.rdf#host"));
+    }
+
+    #[test]
+    fn simulated_latency_accumulates() {
+        let config = NetConfig {
+            default_latency_ms: 50,
+            ..NetConfig::default()
+        };
+        let mut sys = MdvSystem::with_net_config(schema(), config);
+        sys.add_mdp("mdp1").unwrap();
+        sys.add_lmr("lmr1", "mdp1").unwrap();
+        sys.subscribe("lmr1", RULE).unwrap();
+        sys.register_document("mdp1", &doc(1, "a.org", 128))
+            .unwrap();
+        let stats = sys.network_stats();
+        assert!(stats.clock_ms >= 100, "subscribe + publish hops: {stats:?}");
+        assert!(stats.messages >= 3);
+        assert!(stats.bytes > 0);
+    }
+}

@@ -1,0 +1,237 @@
+//! The simulated network connecting MDV nodes.
+//!
+//! The paper deploys MDPs and LMRs across the Internet; this reproduction
+//! substitutes a deterministic in-process transport (see DESIGN.md): every
+//! node owns an unbounded channel, messages carry a logical delivery time
+//! derived from configurable per-link latencies, and every send is recorded
+//! in a log so tests and examples can assert on traffic.
+
+use std::collections::HashMap;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::error::{Error, Result};
+use crate::message::Message;
+
+/// A routed message.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    pub from: String,
+    pub to: String,
+    pub message: Message,
+    /// Logical time at which the message reaches the receiver.
+    pub deliver_at_ms: u64,
+}
+
+/// One line of the traffic log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    pub from: String,
+    pub to: String,
+    pub kind: &'static str,
+    pub bytes: usize,
+    pub sent_at_ms: u64,
+    pub deliver_at_ms: u64,
+}
+
+/// Aggregate traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    pub messages: u64,
+    pub bytes: u64,
+    /// Logical clock after the last delivery.
+    pub clock_ms: u64,
+}
+
+/// Latency configuration.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Latency applied when no per-link override exists.
+    pub default_latency_ms: u64,
+    /// Per-link overrides, keyed `(from, to)`.
+    pub links: HashMap<(String, String), u64>,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            default_latency_ms: 10,
+            links: HashMap::new(),
+        }
+    }
+}
+
+/// The in-process network.
+pub struct Network {
+    config: NetConfig,
+    senders: Mutex<HashMap<String, Sender<Envelope>>>,
+    log: Mutex<Vec<LogRecord>>,
+    clock_ms: Mutex<u64>,
+    stats: Mutex<NetStats>,
+}
+
+impl Network {
+    pub fn new(config: NetConfig) -> Self {
+        Network {
+            config,
+            senders: Mutex::new(HashMap::new()),
+            log: Mutex::new(Vec::new()),
+            clock_ms: Mutex::new(0),
+            stats: Mutex::new(NetStats::default()),
+        }
+    }
+
+    /// Registers a node and returns its mailbox.
+    pub fn register(&self, name: &str) -> Result<Receiver<Envelope>> {
+        let mut senders = self.senders.lock();
+        if senders.contains_key(name) {
+            return Err(Error::Topology(format!("node '{name}' already registered")));
+        }
+        let (tx, rx) = unbounded();
+        senders.insert(name.to_owned(), tx);
+        Ok(rx)
+    }
+
+    fn latency(&self, from: &str, to: &str) -> u64 {
+        self.config
+            .links
+            .get(&(from.to_owned(), to.to_owned()))
+            .copied()
+            .unwrap_or(self.config.default_latency_ms)
+    }
+
+    /// Sends a message; delivery time is the current logical clock plus the
+    /// link latency.
+    pub fn send(&self, from: &str, to: &str, message: Message) -> Result<()> {
+        let sender = self
+            .senders
+            .lock()
+            .get(to)
+            .cloned()
+            .ok_or_else(|| Error::Topology(format!("unknown destination node '{to}'")))?;
+        let sent_at = *self.clock_ms.lock();
+        let deliver_at = sent_at + self.latency(from, to);
+        let bytes = message.approx_size();
+        self.log.lock().push(LogRecord {
+            from: from.to_owned(),
+            to: to.to_owned(),
+            kind: message.kind(),
+            bytes,
+            sent_at_ms: sent_at,
+            deliver_at_ms: deliver_at,
+        });
+        {
+            let mut stats = self.stats.lock();
+            stats.messages += 1;
+            stats.bytes += bytes as u64;
+        }
+        sender
+            .send(Envelope {
+                from: from.to_owned(),
+                to: to.to_owned(),
+                message,
+                deliver_at_ms: deliver_at,
+            })
+            .map_err(|_| Error::Topology(format!("mailbox of '{to}' is closed")))
+    }
+
+    /// Advances the logical clock to a delivery time (monotone).
+    pub fn advance_clock(&self, to_ms: u64) {
+        let mut clock = self.clock_ms.lock();
+        if to_ms > *clock {
+            *clock = to_ms;
+        }
+        self.stats.lock().clock_ms = *clock;
+    }
+
+    pub fn stats(&self) -> NetStats {
+        *self.stats.lock()
+    }
+
+    /// A copy of the full traffic log.
+    pub fn log(&self) -> Vec<LogRecord> {
+        self.log.lock().clone()
+    }
+
+    /// Traffic counts per message kind.
+    pub fn traffic_by_kind(&self) -> HashMap<&'static str, u64> {
+        let mut out = HashMap::new();
+        for rec in self.log.lock().iter() {
+            *out.entry(rec.kind).or_insert(0) += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg() -> Message {
+        Message::ReplicateDelete {
+            document_uri: "doc.rdf".into(),
+        }
+    }
+
+    #[test]
+    fn register_and_send() {
+        let net = Network::new(NetConfig::default());
+        let rx = net.register("a").unwrap();
+        net.register("b").unwrap();
+        net.send("b", "a", msg()).unwrap();
+        let env = rx.try_recv().unwrap();
+        assert_eq!(env.from, "b");
+        assert_eq!(env.deliver_at_ms, 10);
+        assert_eq!(net.stats().messages, 1);
+        assert!(net.stats().bytes > 0);
+    }
+
+    #[test]
+    fn duplicate_node_rejected() {
+        let net = Network::new(NetConfig::default());
+        net.register("a").unwrap();
+        assert!(matches!(net.register("a"), Err(Error::Topology(_))));
+    }
+
+    #[test]
+    fn unknown_destination_rejected() {
+        let net = Network::new(NetConfig::default());
+        net.register("a").unwrap();
+        assert!(matches!(
+            net.send("a", "nowhere", msg()),
+            Err(Error::Topology(_))
+        ));
+    }
+
+    #[test]
+    fn per_link_latency_override() {
+        let mut config = NetConfig::default();
+        config.links.insert(("a".into(), "b".into()), 250);
+        let net = Network::new(config);
+        net.register("a").unwrap();
+        let rx = net.register("b").unwrap();
+        net.send("a", "b", msg()).unwrap();
+        let env = rx.try_recv().unwrap();
+        assert_eq!(env.deliver_at_ms, 250);
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let net = Network::new(NetConfig::default());
+        net.advance_clock(100);
+        net.advance_clock(50);
+        assert_eq!(net.stats().clock_ms, 100);
+    }
+
+    #[test]
+    fn log_records_traffic() {
+        let net = Network::new(NetConfig::default());
+        let _ra = net.register("a").unwrap();
+        let _rb = net.register("b").unwrap();
+        net.send("a", "b", msg()).unwrap();
+        net.send("a", "b", msg()).unwrap();
+        assert_eq!(net.log().len(), 2);
+        assert_eq!(net.traffic_by_kind()["replicate-delete"], 2);
+    }
+}

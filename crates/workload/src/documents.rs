@@ -1,0 +1,143 @@
+//! Benchmark document generation (paper §4): "We registered RDF documents
+//! similar to the document of Figure 1, each containing two resources, one
+//! of class CycleProvider, one of class ServerInformation."
+//!
+//! Documents are indexed by a global sequence number so that successive
+//! batches never collide. The matching discipline is baked into the
+//! property values:
+//!
+//! * document *i*'s CycleProvider has URI `bench{i}.rdf#host` — OID rule *i*
+//!   targets exactly it;
+//! * its ServerInformation has `memory = i` — PATH/JOIN rule *i* (with
+//!   `= INT`, INT = *i*) matches exactly it;
+//! * `synthValue` is fixed to ⌊match_fraction × rule_count⌋ so each
+//!   document matches that percentage of the COMP rule base.
+
+use mdv_rdf::{Document, Resource, Term, UriRef};
+
+/// Parameters tying documents to a rule base.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchParams {
+    /// Size of the rule base documents will be matched against.
+    pub rule_count: u64,
+    /// Fraction of COMP rules each document must match (e.g. 0.1 for the
+    /// paper's "10% of rule base" runs).
+    pub comp_match_fraction: f64,
+}
+
+impl Default for BenchParams {
+    fn default() -> Self {
+        BenchParams {
+            rule_count: 10_000,
+            comp_match_fraction: 0.1,
+        }
+    }
+}
+
+impl BenchParams {
+    /// The synthValue written into every document.
+    pub fn synth_value(&self) -> i64 {
+        (self.comp_match_fraction * self.rule_count as f64).floor() as i64
+    }
+}
+
+/// The URI of benchmark document `i`.
+pub fn document_uri(i: u64) -> String {
+    format!("bench{i}.rdf")
+}
+
+/// The URI reference of the CycleProvider in benchmark document `i` (what
+/// OID rule `i` subscribes to).
+pub fn provider_uri(i: u64) -> String {
+    format!("bench{i}.rdf#host")
+}
+
+/// Generates benchmark document `i`.
+pub fn benchmark_document(i: u64, params: &BenchParams) -> Document {
+    let uri = document_uri(i);
+    Document::new(uri.clone())
+        .with_resource(
+            Resource::new(UriRef::new(&uri, "host"), "CycleProvider")
+                .with(
+                    "serverHost",
+                    Term::literal(format!("host{i}.uni-passau.de")),
+                )
+                .with("serverPort", Term::literal((5000 + (i % 1000)).to_string()))
+                .with(
+                    "synthValue",
+                    Term::literal(params.synth_value().to_string()),
+                )
+                .with(
+                    "serverInformation",
+                    Term::resource(UriRef::new(&uri, "info")),
+                ),
+        )
+        .with_resource(
+            Resource::new(UriRef::new(&uri, "info"), "ServerInformation")
+                .with("memory", Term::literal(i.to_string()))
+                .with("cpu", Term::literal("600")),
+        )
+}
+
+/// Generates the documents with indices in `range`.
+pub fn benchmark_documents(range: std::ops::Range<u64>, params: &BenchParams) -> Vec<Document> {
+    range.map(|i| benchmark_document(i, params)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::benchmark_schema;
+
+    #[test]
+    fn documents_validate_against_schema() {
+        let schema = benchmark_schema();
+        let params = BenchParams::default();
+        for doc in benchmark_documents(0..25, &params) {
+            schema.validate(&doc).unwrap();
+            doc.check_internal_references().unwrap();
+            assert_eq!(doc.resources().len(), 2, "Figure 1 shape: two resources");
+        }
+    }
+
+    #[test]
+    fn indices_make_documents_unique() {
+        let params = BenchParams::default();
+        let a = benchmark_document(1, &params);
+        let b = benchmark_document(2, &params);
+        assert_ne!(a.uri(), b.uri());
+        let mem = |d: &Document, i: u64| {
+            d.resource(&UriRef::new(&document_uri(i), "info"))
+                .unwrap()
+                .property("memory")
+                .unwrap()
+                .as_int()
+                .unwrap()
+        };
+        assert_eq!(mem(&a, 1), 1);
+        assert_eq!(mem(&b, 2), 2);
+    }
+
+    #[test]
+    fn synth_value_encodes_match_fraction() {
+        let params = BenchParams {
+            rule_count: 10_000,
+            comp_match_fraction: 0.1,
+        };
+        assert_eq!(params.synth_value(), 1000);
+        let params = BenchParams {
+            rule_count: 1_000,
+            comp_match_fraction: 0.5,
+        };
+        assert_eq!(params.synth_value(), 500);
+    }
+
+    #[test]
+    fn provider_uri_matches_document() {
+        let params = BenchParams::default();
+        let doc = benchmark_document(7, &params);
+        assert!(doc
+            .resource(&UriRef::from_absolute(provider_uri(7)))
+            .is_some());
+    }
+}

@@ -1,0 +1,166 @@
+//! The ObjectGlobe marketplace scenario (paper §1): a generator for a
+//! realistic mixed population of cycle, data, and function providers, used
+//! by the examples and integration tests.
+
+use mdv_rdf::{Document, Resource, Term, UriRef};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tunables of the marketplace generator.
+#[derive(Debug, Clone, Copy)]
+pub struct MarketplaceParams {
+    pub cycle_providers: usize,
+    pub data_providers: usize,
+    pub function_providers: usize,
+    pub seed: u64,
+}
+
+impl Default for MarketplaceParams {
+    fn default() -> Self {
+        MarketplaceParams {
+            cycle_providers: 20,
+            data_providers: 15,
+            function_providers: 10,
+            seed: 42,
+        }
+    }
+}
+
+const DOMAINS: &[&str] = &[
+    "uni-passau.de",
+    "in.tum.de",
+    "example.org",
+    "objectglobe.net",
+];
+const THEMES: &[&str] = &["astronomy", "finance", "genomics", "weather", "traffic"];
+const FORMATS: &[&str] = &["xml", "csv", "relational"];
+const OPERATORS: &[&str] = &["join", "sort", "wavelet", "sample", "topk", "compress"];
+
+/// Generates one document per provider, against
+/// [`crate::schema::objectglobe_schema`].
+pub fn marketplace_documents(params: &MarketplaceParams) -> Vec<Document> {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut docs = Vec::new();
+
+    for i in 0..params.cycle_providers {
+        let uri = format!("cycle{i}.rdf");
+        let domain = DOMAINS[rng.gen_range(0..DOMAINS.len())];
+        let memory = *[32, 64, 128, 256, 512]
+            .get(rng.gen_range(0..5))
+            .expect("in range");
+        let cpu = 300 + 100 * rng.gen_range(0..8);
+        docs.push(
+            Document::new(uri.clone())
+                .with_resource(
+                    Resource::new(UriRef::new(&uri, "provider"), "CycleProvider")
+                        .with("name", Term::literal(format!("cycle-{i}")))
+                        .with("adminContact", Term::literal(format!("admin@{domain}")))
+                        .with("serverHost", Term::literal(format!("node{i}.{domain}")))
+                        .with("serverPort", Term::literal((4000 + i).to_string()))
+                        .with(
+                            "serverInformation",
+                            Term::resource(UriRef::new(&uri, "info")),
+                        ),
+                )
+                .with_resource(
+                    Resource::new(UriRef::new(&uri, "info"), "ServerInformation")
+                        .with("memory", Term::literal(memory.to_string()))
+                        .with("cpu", Term::literal(cpu.to_string())),
+                ),
+        );
+    }
+
+    for i in 0..params.data_providers {
+        let uri = format!("data{i}.rdf");
+        let domain = DOMAINS[rng.gen_range(0..DOMAINS.len())];
+        let theme = THEMES[rng.gen_range(0..THEMES.len())];
+        let format = FORMATS[rng.gen_range(0..FORMATS.len())];
+        let mut res = Resource::new(UriRef::new(&uri, "provider"), "DataProvider")
+            .with("name", Term::literal(format!("data-{i}")))
+            .with("adminContact", Term::literal(format!("data@{domain}")))
+            .with("theme", Term::literal(theme))
+            .with("format", Term::literal(format))
+            .with(
+                "collectionSize",
+                Term::literal(rng.gen_range(1_000..1_000_000i64).to_string()),
+            );
+        // a weak reference to some cycle provider (never auto-transmitted)
+        if params.cycle_providers > 0 {
+            let target = rng.gen_range(0..params.cycle_providers);
+            res.add(
+                "preferredCycleProvider",
+                Term::resource(UriRef::new(&format!("cycle{target}.rdf"), "provider")),
+            );
+        }
+        docs.push(Document::new(uri).with_resource(res));
+    }
+
+    for i in 0..params.function_providers {
+        let uri = format!("function{i}.rdf");
+        let domain = DOMAINS[rng.gen_range(0..DOMAINS.len())];
+        let mut res = Resource::new(UriRef::new(&uri, "provider"), "FunctionProvider")
+            .with("name", Term::literal(format!("function-{i}")))
+            .with("adminContact", Term::literal(format!("fn@{domain}")))
+            .with(
+                "costFactor",
+                Term::literal(rng.gen_range(1..20i64).to_string()),
+            );
+        let op_count = rng.gen_range(1..4);
+        for k in 0..op_count {
+            let op = OPERATORS[(i + k) % OPERATORS.len()];
+            res.add("operators", Term::literal(op));
+        }
+        docs.push(Document::new(uri).with_resource(res));
+    }
+
+    docs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::objectglobe_schema;
+
+    #[test]
+    fn marketplace_validates() {
+        let schema = objectglobe_schema();
+        let docs = marketplace_documents(&MarketplaceParams::default());
+        assert_eq!(docs.len(), 45);
+        for doc in &docs {
+            schema.validate(doc).unwrap();
+            doc.check_internal_references().unwrap();
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = marketplace_documents(&MarketplaceParams::default());
+        let b = marketplace_documents(&MarketplaceParams::default());
+        assert_eq!(a, b);
+        let c = marketplace_documents(&MarketplaceParams {
+            seed: 7,
+            ..Default::default()
+        });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn provider_mix_respected() {
+        let docs = marketplace_documents(&MarketplaceParams {
+            cycle_providers: 3,
+            data_providers: 2,
+            function_providers: 1,
+            seed: 1,
+        });
+        let count = |class: &str| {
+            docs.iter()
+                .flat_map(|d| d.resources())
+                .filter(|r| r.class() == class)
+                .count()
+        };
+        assert_eq!(count("CycleProvider"), 3);
+        assert_eq!(count("ServerInformation"), 3);
+        assert_eq!(count("DataProvider"), 2);
+        assert_eq!(count("FunctionProvider"), 1);
+    }
+}

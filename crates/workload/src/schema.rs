@@ -1,0 +1,89 @@
+//! Schemas used by the benchmarks and examples.
+
+use mdv_rdf::RdfSchema;
+
+/// The paper's benchmark schema: the Figure 1 classes plus the synthetic
+/// `synthValue` property that COMP rules compare against (Figure 10).
+pub fn benchmark_schema() -> RdfSchema {
+    RdfSchema::builder()
+        .class("ServerInformation", |c| c.int("memory").int("cpu"))
+        .class("CycleProvider", |c| {
+            c.str("serverHost")
+                .int("serverPort")
+                .int("synthValue")
+                .strong_ref("serverInformation", "ServerInformation")
+        })
+        .build()
+        .expect("benchmark schema is valid")
+}
+
+/// The ObjectGlobe marketplace schema (paper §1): *data providers* supply
+/// data, *function providers* offer query operators, *cycle providers*
+/// execute them. All providers share a base class; cycle providers carry
+/// strong-referenced server information, data providers weak-reference a
+/// preferred cycle provider (so it is *not* transmitted automatically).
+pub fn objectglobe_schema() -> RdfSchema {
+    RdfSchema::builder()
+        .class("Provider", |c| c.str("name").str("adminContact"))
+        .class("ServerInformation", |c| c.int("memory").int("cpu"))
+        .class("CycleProvider", |c| {
+            c.extends("Provider")
+                .str("serverHost")
+                .int("serverPort")
+                .strong_ref("serverInformation", "ServerInformation")
+        })
+        .class("DataProvider", |c| {
+            c.extends("Provider")
+                .str("theme")
+                .str("format")
+                .int("collectionSize")
+                .weak_ref("preferredCycleProvider", "CycleProvider")
+        })
+        .class("FunctionProvider", |c| {
+            c.extends("Provider").str_set("operators").int("costFactor")
+        })
+        .build()
+        .expect("ObjectGlobe schema is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdv_rdf::RefKind;
+
+    #[test]
+    fn benchmark_schema_shape() {
+        let s = benchmark_schema();
+        assert!(s.has_class("CycleProvider"));
+        assert!(s.property("CycleProvider", "synthValue").is_some());
+        assert_eq!(
+            s.ref_kind("CycleProvider", "serverInformation"),
+            Some(RefKind::Strong)
+        );
+    }
+
+    #[test]
+    fn objectglobe_schema_shape() {
+        let s = objectglobe_schema();
+        for class in [
+            "Provider",
+            "CycleProvider",
+            "DataProvider",
+            "FunctionProvider",
+        ] {
+            assert!(s.has_class(class), "missing {class}");
+        }
+        assert!(s.is_subclass_of("DataProvider", "Provider"));
+        assert_eq!(
+            s.ref_kind("DataProvider", "preferredCycleProvider"),
+            Some(RefKind::Weak)
+        );
+        // inherited property resolves on the subclass
+        assert!(s.property("FunctionProvider", "name").is_some());
+        assert!(
+            s.property("FunctionProvider", "operators")
+                .unwrap()
+                .set_valued
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Distributed replication: a three-MDP backbone with LMRs on different
+//! continents, per-link latencies, and full backbone synchronization
+//! (paper §2.2 — "a flat hierarchy, full synchronization, and replication").
+//!
+//! ```text
+//! cargo run --example distributed_replication
+//! ```
+
+use mdv::prelude::*;
+use mdv::system::NetConfig;
+
+fn provider(i: usize, host: &str, memory: i64) -> Document {
+    parse_document(
+        &format!("doc{i}.rdf"),
+        &format!(
+            r##"<rdf:RDF>
+              <CycleProvider rdf:ID="host">
+                <serverHost>{host}</serverHost>
+                <serverPort>{port}</serverPort>
+                <serverInformation rdf:resource="#info"/>
+              </CycleProvider>
+              <ServerInformation rdf:ID="info"><memory>{memory}</memory><cpu>600</cpu></ServerInformation>
+            </rdf:RDF>"##,
+            port = 4000 + i,
+        ),
+    )
+    .expect("document is valid")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let schema = RdfSchema::builder()
+        .class("ServerInformation", |c| c.int("memory").int("cpu"))
+        .class("CycleProvider", |c| {
+            c.str("serverHost")
+                .int("serverPort")
+                .strong_ref("serverInformation", "ServerInformation")
+        })
+        .build()?;
+
+    // intercontinental links are slow, local links fast
+    let mut net = NetConfig {
+        default_latency_ms: 5,
+        links: Default::default(),
+    };
+    for (a, b, ms) in [
+        ("mdp-eu", "mdp-us", 80),
+        ("mdp-us", "mdp-eu", 80),
+        ("mdp-eu", "mdp-asia", 120),
+        ("mdp-asia", "mdp-eu", 120),
+        ("mdp-us", "mdp-asia", 150),
+        ("mdp-asia", "mdp-us", 150),
+    ] {
+        net.links.insert((a.to_owned(), b.to_owned()), ms);
+    }
+
+    let mut sys = MdvSystem::with_net_config(schema, net);
+    sys.add_mdp("mdp-eu")?;
+    sys.add_mdp("mdp-us")?;
+    sys.add_mdp("mdp-asia")?;
+    sys.add_lmr("lmr-passau", "mdp-eu")?;
+    sys.add_lmr("lmr-berkeley", "mdp-us")?;
+    sys.add_lmr("lmr-tokyo", "mdp-asia")?;
+
+    // each site wants capable providers; Tokyo additionally pins a domain
+    let rule = "search CycleProvider c register c where c.serverInformation.memory >= 128";
+    for lmr in ["lmr-passau", "lmr-berkeley", "lmr-tokyo"] {
+        sys.subscribe(lmr, rule)?;
+    }
+    sys.subscribe(
+        "lmr-tokyo",
+        "search CycleProvider c register c where c.serverHost contains '.jp'",
+    )?;
+
+    // documents are administered at *different* MDPs; replication carries
+    // them across the backbone
+    println!("registering providers at their closest MDP …");
+    sys.register_document("mdp-eu", &provider(1, "pirates.uni-passau.de", 256))?;
+    sys.register_document("mdp-us", &provider(2, "soda.berkeley.edu", 512))?;
+    sys.register_document("mdp-asia", &provider(3, "todai.u-tokyo.jp", 64))?;
+
+    // every MDP holds every document (full replication)
+    for mdp in ["mdp-eu", "mdp-us", "mdp-asia"] {
+        for i in 1..=3 {
+            assert!(
+                sys.mdp(mdp)?
+                    .engine()
+                    .document(&format!("doc{i}.rdf"))
+                    .is_some(),
+                "{mdp} is missing doc{i}.rdf"
+            );
+        }
+    }
+    println!("backbone fully replicated: every MDP stores all 3 documents");
+
+    // every LMR received exactly what its rules asked for, regardless of
+    // where the document entered the backbone
+    for lmr in ["lmr-passau", "lmr-berkeley", "lmr-tokyo"] {
+        println!("{lmr}: {:?}", sys.lmr(lmr)?.cached_uris());
+    }
+    assert!(
+        sys.lmr("lmr-passau")?.is_cached("doc2.rdf#host"),
+        "US doc reached the EU LMR"
+    );
+    assert!(
+        sys.lmr("lmr-tokyo")?.is_cached("doc3.rdf#host"),
+        "domain rule matched locally"
+    );
+    assert!(
+        !sys.lmr("lmr-berkeley")?.is_cached("doc3.rdf#host"),
+        "64 MB provider matches nobody's capability rule"
+    );
+
+    // an update entering in Asia reaches the EU cache
+    sys.update_document("mdp-asia", &provider(3, "todai.u-tokyo.jp", 1024))?;
+    assert!(sys.lmr("lmr-passau")?.is_cached("doc3.rdf#host"));
+    println!("update registered in Asia reached the Passau cache");
+
+    let stats = sys.network_stats();
+    println!(
+        "\nnetwork: {} messages, {:.1} KiB, simulated latency {} ms",
+        stats.messages,
+        stats.bytes as f64 / 1024.0,
+        stats.clock_ms
+    );
+    let by_kind = sys.network().traffic_by_kind();
+    let mut kinds: Vec<_> = by_kind.iter().collect();
+    kinds.sort();
+    for (kind, count) in kinds {
+        println!("  {kind:<20} {count}");
+    }
+    Ok(())
+}

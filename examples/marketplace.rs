@@ -1,0 +1,128 @@
+//! ObjectGlobe marketplace: the scenario the paper's introduction motivates.
+//!
+//! ```text
+//! cargo run --example marketplace
+//! ```
+//!
+//! A backbone MDP hosts metadata about *cycle providers* (execute query
+//! operators), *data providers* (supply data), and *function providers*
+//! (offer operators). Two LMRs serve different user groups: a query
+//! optimizer that needs beefy cycle providers, and an astronomy portal that
+//! tracks astronomy data and wavelet operators. A user also browses the MDP
+//! and pins one specific resource.
+
+use mdv::prelude::*;
+use mdv::workload::scenario::{marketplace_documents, MarketplaceParams};
+use mdv::workload::schema::objectglobe_schema;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut sys = MdvSystem::new(objectglobe_schema());
+    sys.add_mdp("mdp")?;
+    sys.add_lmr("lmr-optimizer", "mdp")?;
+    sys.add_lmr("lmr-astronomy", "mdp")?;
+
+    // --- subscriptions -------------------------------------------------------
+    // the optimizer wants capable cycle providers (paper Example 1 shape)
+    sys.subscribe(
+        "lmr-optimizer",
+        "search CycleProvider c register c where c.serverInformation.memory >= 128",
+    )?;
+    // the astronomy portal tracks its theme and the wavelet operator
+    sys.subscribe(
+        "lmr-astronomy",
+        "search DataProvider d register d where d.theme = 'astronomy'",
+    )?;
+    sys.subscribe(
+        "lmr-astronomy",
+        "search FunctionProvider f register f where f.operators? contains 'wavelet'",
+    )?;
+
+    // --- the marketplace fills up --------------------------------------------
+    let params = MarketplaceParams::default();
+    let docs = marketplace_documents(&params);
+    println!(
+        "registering {} provider documents ({} cycle, {} data, {} function) …",
+        docs.len(),
+        params.cycle_providers,
+        params.data_providers,
+        params.function_providers
+    );
+    for doc in &docs {
+        sys.register_document("mdp", doc)?;
+    }
+
+    // --- what each LMR sees ---------------------------------------------------
+    let optimizer_view = sys.query(
+        "lmr-optimizer",
+        "search CycleProvider c register c where c.serverInformation.memory >= 128",
+    )?;
+    println!(
+        "\nlmr-optimizer caches {} capable cycle providers:",
+        optimizer_view.len()
+    );
+    for r in optimizer_view.iter().take(5) {
+        let mem = sys
+            .lmr("lmr-optimizer")?
+            .cached_resource(r.property("serverInformation").unwrap().lexical())?
+            .expect("strong-ref companion is cached")
+            .property("memory")
+            .unwrap()
+            .as_int()
+            .unwrap();
+        println!("  {} ({} MB)", r.uri(), mem);
+    }
+
+    let astro_data = sys.query(
+        "lmr-astronomy",
+        "search DataProvider d register d where d.theme = 'astronomy'",
+    )?;
+    let astro_fns = sys.query(
+        "lmr-astronomy",
+        "search FunctionProvider f register f where f.operators? contains 'wavelet'",
+    )?;
+    println!(
+        "\nlmr-astronomy caches {} astronomy data providers and {} wavelet function providers",
+        astro_data.len(),
+        astro_fns.len()
+    );
+
+    // weak references (preferredCycleProvider) are *not* pulled in (§2.4)
+    let astro_lmr = sys.lmr("lmr-astronomy")?;
+    let weak_targets: usize = astro_data
+        .iter()
+        .filter_map(|d| d.property("preferredCycleProvider"))
+        .filter(|t| astro_lmr.is_cached(t.lexical()))
+        .count();
+    println!("weak-referenced cycle providers cached at lmr-astronomy: {weak_targets} (weak refs never travel)");
+    assert_eq!(weak_targets, 0);
+
+    // --- browsing and selecting (paper §2.2) -----------------------------------
+    let all_data = sys.browse_resources("mdp", "DataProvider")?;
+    let pick = all_data
+        .iter()
+        .find(|d| d.property("theme").unwrap().lexical() != "astronomy")
+        .expect("some non-astronomy provider exists");
+    let pick_uri = pick.uri().as_str().to_owned();
+    println!("\nbrowsing at the MDP, a user pins {pick_uri} for caching");
+    sys.subscribe_to_resource("lmr-astronomy", &pick_uri)?;
+    assert!(sys.lmr("lmr-astronomy")?.is_cached(&pick_uri));
+
+    // --- a combined local query over the cache ---------------------------------
+    let local = sys.query(
+        "lmr-astronomy",
+        "search DataProvider d register d where d.collectionSize > 100000",
+    )?;
+    println!(
+        "local query: {} cached data providers with more than 100k entries",
+        local.len()
+    );
+
+    let stats = sys.network_stats();
+    println!(
+        "\nnetwork: {} messages, {:.1} KiB, simulated latency {} ms",
+        stats.messages,
+        stats.bytes as f64 / 1024.0,
+        stats.clock_ms
+    );
+    Ok(())
+}

@@ -1,0 +1,93 @@
+//! Quickstart: the paper's running example, end to end.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Sets up a schema, a one-MDP/one-LMR deployment, subscribes with the
+//! paper's Example 1 rule, registers the Figure 1 document, and queries the
+//! LMR cache locally.
+
+use mdv::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- schema design (paper §2.4: strong references travel along) -------
+    let schema = RdfSchema::builder()
+        .class("ServerInformation", |c| c.int("memory").int("cpu"))
+        .class("CycleProvider", |c| {
+            c.str("serverHost")
+                .int("serverPort")
+                .strong_ref("serverInformation", "ServerInformation")
+        })
+        .build()?;
+
+    // --- a 3-tier deployment ----------------------------------------------
+    let mut sys = MdvSystem::new(schema);
+    sys.add_mdp("mdp-passau")?;
+    sys.add_lmr("lmr-lab", "mdp-passau")?;
+
+    // --- Example 1: subscribe to cycle providers in uni-passau.de with
+    //     more than 64 MB of main memory ------------------------------------
+    let rule = "search CycleProvider c register c \
+                where c.serverHost contains 'uni-passau.de' \
+                and c.serverInformation.memory > 64";
+    println!("subscribing at lmr-lab:\n  {rule}\n");
+    sys.subscribe("lmr-lab", rule)?;
+
+    // --- Figure 1: register the example document at the backbone ----------
+    let figure1 = r##"<?xml version="1.0"?>
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#">
+  <CycleProvider rdf:ID="host">
+    <serverHost>pirates.uni-passau.de</serverHost>
+    <serverPort>5874</serverPort>
+    <serverInformation>
+      <ServerInformation rdf:ID="info">
+        <memory>92</memory>
+        <cpu>600</cpu>
+      </ServerInformation>
+    </serverInformation>
+  </CycleProvider>
+</rdf:RDF>"##;
+    let doc = parse_document("doc.rdf", figure1)?;
+    println!("registering doc.rdf (Figure 1) at mdp-passau …");
+    sys.register_document("mdp-passau", &doc)?;
+
+    // --- a second, non-matching document -----------------------------------
+    let other = parse_document(
+        "other.rdf",
+        r##"<rdf:RDF>
+          <CycleProvider rdf:ID="host">
+            <serverHost>cluster.example.org</serverHost>
+            <serverPort>4000</serverPort>
+            <serverInformation rdf:resource="#info"/>
+          </CycleProvider>
+          <ServerInformation rdf:ID="info"><memory>32</memory><cpu>400</cpu></ServerInformation>
+        </rdf:RDF>"##,
+    )?;
+    sys.register_document("mdp-passau", &other)?;
+
+    // --- what reached the cache? -------------------------------------------
+    println!("\ncached at lmr-lab:");
+    for uri in sys.lmr("lmr-lab")?.cached_uris() {
+        println!("  {uri}");
+    }
+
+    // --- query the cache locally -------------------------------------------
+    let hits = sys.query(
+        "lmr-lab",
+        "search CycleProvider c register c where c.serverInformation.cpu >= 500",
+    )?;
+    println!("\nlocal query for providers with cpu >= 500:");
+    for r in &hits {
+        println!("{r}");
+    }
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].uri().as_str(), "doc.rdf#host");
+
+    let stats = sys.network_stats();
+    println!(
+        "network: {} messages, {} bytes, simulated latency {} ms",
+        stats.messages, stats.bytes, stats.clock_ms
+    );
+    Ok(())
+}

@@ -1,0 +1,228 @@
+//! The system-level consistency oracle: after any sequence of
+//! registrations, updates, and deletions, every LMR cache must contain
+//! **exactly** the resources matching its subscription rules (evaluated
+//! directly against the MDP's full database) plus their strong-reference
+//! closure — the paper's cache-consistency guarantee (§2.2/§3.5).
+
+use mdv::filter::{query_eval, BaseStore};
+use mdv::prelude::*;
+use mdv::system::MdvSystem;
+use std::collections::BTreeSet;
+
+fn schema() -> RdfSchema {
+    RdfSchema::builder()
+        .class("ServerInformation", |c| c.int("memory").int("cpu"))
+        .class("CycleProvider", |c| {
+            c.str("serverHost")
+                .int("serverPort")
+                .strong_ref("serverInformation", "ServerInformation")
+        })
+        .build()
+        .unwrap()
+}
+
+fn provider(i: usize, host: &str, memory: i64, cpu: i64) -> Document {
+    let uri = format!("doc{i}.rdf");
+    Document::new(uri.clone())
+        .with_resource(
+            Resource::new(UriRef::new(&uri, "host"), "CycleProvider")
+                .with("serverHost", Term::literal(host))
+                .with("serverPort", Term::literal((4000 + i).to_string()))
+                .with(
+                    "serverInformation",
+                    Term::resource(UriRef::new(&uri, "info")),
+                ),
+        )
+        .with_resource(
+            Resource::new(UriRef::new(&uri, "info"), "ServerInformation")
+                .with("memory", Term::literal(memory.to_string()))
+                .with("cpu", Term::literal(cpu.to_string())),
+        )
+}
+
+/// Computes the expected cache of an LMR: direct evaluation of each rule
+/// against the MDP's base data, plus the strong closure.
+fn expected_cache(sys: &MdvSystem, mdp: &str, rules: &[&str]) -> BTreeSet<String> {
+    let engine = sys.mdp(mdp).unwrap().engine();
+    let schema = engine.schema();
+    let db = engine.db();
+    let mut matched: Vec<String> = Vec::new();
+    for rule_text in rules {
+        let rule = parse_rule(rule_text).unwrap();
+        for conj in split_or(&rule) {
+            let n = match normalize(&conj, schema) {
+                Ok(n) => n,
+                Err(mdv::rulelang::Error::Unsatisfiable) => continue,
+                Err(e) => panic!("bad rule: {e}"),
+            };
+            matched.extend(query_eval::evaluate(db, schema, &n).unwrap());
+        }
+    }
+    // strong closure over the MDP's data
+    engine
+        .strong_closure(&matched)
+        .unwrap()
+        .into_iter()
+        .collect()
+}
+
+fn assert_consistent(sys: &MdvSystem, lmr: &str, mdp: &str, rules: &[&str], when: &str) {
+    let cached: BTreeSet<String> = sys.lmr(lmr).unwrap().cached_uris().into_iter().collect();
+    let expected = expected_cache(sys, mdp, rules);
+    assert_eq!(cached, expected, "cache of {lmr} inconsistent {when}");
+    // cached copies must equal the MDP's current copies, byte for byte
+    let engine = sys.mdp(mdp).unwrap().engine();
+    for uri in &cached {
+        let lmr_copy = sys.lmr(lmr).unwrap().cached_resource(uri).unwrap().unwrap();
+        let mdp_copy = engine.resource(uri).unwrap().unwrap();
+        assert!(
+            lmr_copy.same_content(&mdp_copy),
+            "stale copy of {uri} at {lmr} {when}"
+        );
+    }
+    // sanity: resource lookup on the LMR's own statements still works
+    let _ = BaseStore::resource_exists(engine.db(), "nonexistent#x").unwrap();
+}
+
+#[test]
+fn cache_equals_direct_evaluation_through_lifecycle() {
+    let rules = [
+        "search CycleProvider c register c where c.serverInformation.memory > 64",
+        "search CycleProvider c register c where c.serverHost contains 'passau'",
+    ];
+    let mut sys = MdvSystem::new(schema());
+    sys.add_mdp("mdp").unwrap();
+    sys.add_lmr("lmr", "mdp").unwrap();
+    for r in rules {
+        sys.subscribe("lmr", r).unwrap();
+    }
+
+    // registrations
+    sys.register_document("mdp", &provider(0, "a.passau.de", 32, 500))
+        .unwrap();
+    sys.register_document("mdp", &provider(1, "b.example.org", 128, 600))
+        .unwrap();
+    sys.register_document("mdp", &provider(2, "c.example.org", 16, 700))
+        .unwrap();
+    assert_consistent(&sys, "lmr", "mdp", &rules, "after registrations");
+
+    // updates flipping matches in both directions
+    sys.update_document("mdp", &provider(0, "a.passau.de", 512, 500))
+        .unwrap();
+    assert_consistent(&sys, "lmr", "mdp", &rules, "after gaining update");
+    sys.update_document("mdp", &provider(1, "b.example.org", 8, 600))
+        .unwrap();
+    assert_consistent(&sys, "lmr", "mdp", &rules, "after losing update");
+    sys.update_document("mdp", &provider(2, "c.passau.de", 16, 700))
+        .unwrap();
+    assert_consistent(&sys, "lmr", "mdp", &rules, "after host rename");
+
+    // content-only update of a companion
+    sys.update_document("mdp", &provider(0, "a.passau.de", 600, 999))
+        .unwrap();
+    assert_consistent(&sys, "lmr", "mdp", &rules, "after companion refresh");
+
+    // deletion
+    sys.delete_document("mdp", "doc0.rdf").unwrap();
+    assert_consistent(&sys, "lmr", "mdp", &rules, "after delete");
+}
+
+#[test]
+fn consistency_under_randomized_operations() {
+    // a deterministic pseudo-random workout across the whole lifecycle
+    let rules = [
+        "search CycleProvider c register c where c.serverInformation.memory > 50",
+        "search ServerInformation s register s where s.cpu >= 800",
+        "search CycleProvider c register c \
+         where c.serverHost contains 'hub' and c.serverInformation.cpu < 900",
+    ];
+    let mut sys = MdvSystem::new(schema());
+    sys.add_mdp("mdp").unwrap();
+    sys.add_lmr("lmr", "mdp").unwrap();
+    for r in rules {
+        sys.subscribe("lmr", r).unwrap();
+    }
+
+    // simple LCG so the sequence is reproducible without extra deps
+    let mut state: u64 = 0xdeadbeef;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let mut live: Vec<usize> = Vec::new();
+    for step in 0..60 {
+        let roll = next() % 10;
+        if roll < 5 || live.is_empty() {
+            // register a fresh document
+            let i = step + 1000;
+            let host = if next() % 2 == 0 {
+                format!("n{i}.hub.org")
+            } else {
+                format!("n{i}.edge.org")
+            };
+            let doc = provider(i, &host, (next() % 120) as i64, 400 + (next() % 600) as i64);
+            sys.register_document("mdp", &doc).unwrap();
+            live.push(i);
+        } else if roll < 8 {
+            // update a random live document
+            let i = live[next() % live.len()];
+            let host = if next() % 2 == 0 {
+                format!("n{i}.hub.org")
+            } else {
+                format!("n{i}.edge.org")
+            };
+            let doc = provider(i, &host, (next() % 120) as i64, 400 + (next() % 600) as i64);
+            sys.update_document("mdp", &doc).unwrap();
+        } else {
+            // delete a random live document
+            let pos = next() % live.len();
+            let i = live.remove(pos);
+            sys.delete_document("mdp", &format!("doc{i}.rdf")).unwrap();
+        }
+        assert_consistent(&sys, "lmr", "mdp", &rules, &format!("at step {step}"));
+    }
+    assert!(!live.is_empty(), "workout kept some documents alive");
+}
+
+#[test]
+fn consistency_with_shared_companions_across_documents() {
+    // two providers in different documents share one ServerInformation;
+    // deleting one provider must keep the shared companion cached
+    let rules = ["search CycleProvider c register c where c.serverInformation.memory > 64"];
+    let mut sys = MdvSystem::new(schema());
+    sys.add_mdp("mdp").unwrap();
+    sys.add_lmr("lmr", "mdp").unwrap();
+    sys.subscribe("lmr", rules[0]).unwrap();
+
+    let info = Document::new("shared.rdf").with_resource(
+        Resource::new(UriRef::new("shared.rdf", "i"), "ServerInformation")
+            .with("memory", Term::literal("128"))
+            .with("cpu", Term::literal("600")),
+    );
+    let host = |n: usize| {
+        let uri = format!("h{n}.rdf");
+        Document::new(uri.clone()).with_resource(
+            Resource::new(UriRef::new(&uri, "host"), "CycleProvider")
+                .with("serverHost", Term::literal("x.org"))
+                .with("serverPort", Term::literal("1"))
+                .with(
+                    "serverInformation",
+                    Term::resource(UriRef::new("shared.rdf", "i")),
+                ),
+        )
+    };
+    sys.register_document("mdp", &info).unwrap();
+    sys.register_document("mdp", &host(1)).unwrap();
+    sys.register_document("mdp", &host(2)).unwrap();
+    assert_consistent(&sys, "lmr", "mdp", &rules, "after shared setup");
+
+    sys.delete_document("mdp", "h1.rdf").unwrap();
+    assert_consistent(&sys, "lmr", "mdp", &rules, "after deleting one referrer");
+    assert!(sys.lmr("lmr").unwrap().is_cached("shared.rdf#i"));
+
+    sys.delete_document("mdp", "h2.rdf").unwrap();
+    assert_consistent(&sys, "lmr", "mdp", &rules, "after deleting both referrers");
+    assert!(!sys.lmr("lmr").unwrap().is_cached("shared.rdf#i"));
+}

@@ -1,0 +1,182 @@
+//! Property-based tests of the full 3-tier system: for arbitrary operation
+//! sequences (register / update / delete at the backbone), every LMR cache
+//! must equal direct rule evaluation over the MDP's data plus the
+//! strong-reference closure.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+use mdv::filter::query_eval;
+use mdv::prelude::*;
+use mdv::system::MdvSystem;
+
+fn schema() -> RdfSchema {
+    RdfSchema::builder()
+        .class("ServerInformation", |c| c.int("memory").int("cpu"))
+        .class("CycleProvider", |c| {
+            c.str("serverHost")
+                .int("serverPort")
+                .strong_ref("serverInformation", "ServerInformation")
+        })
+        .build()
+        .unwrap()
+}
+
+#[derive(Debug, Clone)]
+struct Spec {
+    host: String,
+    memory: i64,
+    cpu: i64,
+}
+
+fn arb_spec() -> impl Strategy<Value = Spec> {
+    ("[ab]\\.(hub|edge)\\.org", 0i64..150, 300i64..900).prop_map(|(host, memory, cpu)| Spec {
+        host,
+        memory,
+        cpu,
+    })
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Register(Spec),
+    Update(usize, Spec),
+    Delete(usize),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => arb_spec().prop_map(Op::Register),
+            2 => (any::<usize>(), arb_spec()).prop_map(|(i, s)| Op::Update(i, s)),
+            1 => any::<usize>().prop_map(Op::Delete),
+        ],
+        1..25,
+    )
+}
+
+fn make_doc(i: usize, s: &Spec) -> Document {
+    let uri = format!("doc{i}.rdf");
+    Document::new(uri.clone())
+        .with_resource(
+            Resource::new(UriRef::new(&uri, "host"), "CycleProvider")
+                .with("serverHost", Term::literal(&s.host))
+                .with("serverPort", Term::literal((4000 + i).to_string()))
+                .with(
+                    "serverInformation",
+                    Term::resource(UriRef::new(&uri, "info")),
+                ),
+        )
+        .with_resource(
+            Resource::new(UriRef::new(&uri, "info"), "ServerInformation")
+                .with("memory", Term::literal(s.memory.to_string()))
+                .with("cpu", Term::literal(s.cpu.to_string())),
+        )
+}
+
+const RULES: [&str; 3] = [
+    "search CycleProvider c register c where c.serverInformation.memory > 64",
+    "search CycleProvider c register c where c.serverHost contains 'hub'",
+    "search ServerInformation s register s where s.cpu >= 600",
+];
+
+fn expected_cache(sys: &MdvSystem) -> BTreeSet<String> {
+    let engine = sys.mdp("mdp").unwrap().engine();
+    let mut matched = Vec::new();
+    for rule_text in RULES {
+        let rule = parse_rule(rule_text).unwrap();
+        for conj in split_or(&rule) {
+            let n = normalize(&conj, engine.schema()).unwrap();
+            matched.extend(query_eval::evaluate(engine.db(), engine.schema(), &n).unwrap());
+        }
+    }
+    engine
+        .strong_closure(&matched)
+        .unwrap()
+        .into_iter()
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The LMR cache tracks the backbone exactly through arbitrary
+    /// register/update/delete sequences.
+    #[test]
+    fn lmr_cache_is_always_consistent(ops in arb_ops()) {
+        let mut sys = MdvSystem::new(schema());
+        sys.add_mdp("mdp").unwrap();
+        sys.add_lmr("lmr", "mdp").unwrap();
+        for r in RULES {
+            sys.subscribe("lmr", r).unwrap();
+        }
+
+        let mut live: Vec<usize> = Vec::new();
+        let mut next_doc = 0usize;
+        for op in ops {
+            match op {
+                Op::Register(spec) => {
+                    let i = next_doc;
+                    next_doc += 1;
+                    sys.register_document("mdp", &make_doc(i, &spec)).unwrap();
+                    live.push(i);
+                }
+                Op::Update(pick, spec) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let i = live[pick % live.len()];
+                    sys.update_document("mdp", &make_doc(i, &spec)).unwrap();
+                }
+                Op::Delete(pick) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let i = live.remove(pick % live.len());
+                    sys.delete_document("mdp", &format!("doc{i}.rdf")).unwrap();
+                }
+            }
+            // the invariant holds after *every* operation
+            let cached: BTreeSet<String> =
+                sys.lmr("lmr").unwrap().cached_uris().into_iter().collect();
+            prop_assert_eq!(&cached, &expected_cache(&sys));
+            // cached copies are never stale
+            let engine = sys.mdp("mdp").unwrap().engine();
+            for uri in &cached {
+                let lmr_copy =
+                    sys.lmr("lmr").unwrap().cached_resource(uri).unwrap().unwrap();
+                let mdp_copy = engine.resource(uri).unwrap().unwrap();
+                prop_assert!(lmr_copy.same_content(&mdp_copy), "stale copy of {}", uri);
+            }
+        }
+    }
+
+    /// Backbone replication is transparent: a two-MDP system in which all
+    /// writes enter at the *other* MDP gives an identical cache.
+    #[test]
+    fn replication_is_transparent(specs in prop::collection::vec(arb_spec(), 1..8)) {
+        // direct: LMR on the same MDP where documents are registered
+        let mut direct = MdvSystem::new(schema());
+        direct.add_mdp("mdp").unwrap();
+        direct.add_lmr("lmr", "mdp").unwrap();
+        for r in RULES {
+            direct.subscribe("lmr", r).unwrap();
+        }
+        // replicated: documents enter at a peer MDP
+        let mut repl = MdvSystem::new(schema());
+        repl.add_mdp("mdp").unwrap();
+        repl.add_mdp("origin").unwrap();
+        repl.add_lmr("lmr", "mdp").unwrap();
+        for r in RULES {
+            repl.subscribe("lmr", r).unwrap();
+        }
+        for (i, s) in specs.iter().enumerate() {
+            direct.register_document("mdp", &make_doc(i, s)).unwrap();
+            repl.register_document("origin", &make_doc(i, s)).unwrap();
+        }
+        prop_assert_eq!(
+            direct.lmr("lmr").unwrap().cached_uris(),
+            repl.lmr("lmr").unwrap().cached_uris()
+        );
+    }
+}
