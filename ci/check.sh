@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Offline CI gate for the mdv workspace.
+#
+# The build is hermetic by policy: every dependency is an in-tree path
+# crate (`mdv-runtime` supplies the PRNG / channels / locks, `mdv-testkit`
+# the property-test and bench harness), so everything here runs with
+# `--offline` and must succeed on a machine with no network access and a
+# cold crates.io cache.
+#
+# Usage: ci/check.sh [--quick]
+#   --quick  skip the release build and example smoke runs (debug gate only)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+[[ "${1:-}" == "--quick" ]] && QUICK=1
+
+step() { printf '\n==> %s\n' "$*"; }
+
+# ---------------------------------------------------------------------------
+step "dependency policy: deny external crates"
+# The deny-list guards against crates.io dependencies reappearing in any
+# manifest. Matches dependency lines like `rand = "0.8"` or
+# `criterion = { version = ... }` at the start of a line.
+DENYLIST='rand|proptest|criterion|crossbeam|parking_lot|serde|tokio|rayon|libc'
+if grep -RInE "^[[:space:]]*(${DENYLIST})[-_a-zA-Z0-9]*[[:space:]]*=" \
+    --include=Cargo.toml . ; then
+  echo "ERROR: external crate dependency found in a Cargo.toml (see above)." >&2
+  exit 1
+fi
+if [[ -f Cargo.lock ]] && grep -nE "^name = \"(${DENYLIST})" Cargo.lock; then
+  echo "ERROR: external crate present in Cargo.lock (see above)." >&2
+  exit 1
+fi
+if grep -n 'source = "registry' Cargo.lock; then
+  echo "ERROR: Cargo.lock references a registry source; build is not hermetic." >&2
+  exit 1
+fi
+echo "ok: no denied crates in manifests or lockfile"
+
+# ---------------------------------------------------------------------------
+step "dependency policy: cargo metadata lists only workspace path crates"
+# Every package in the resolved graph must live under this repository; any
+# registry/git package means the hermetic guarantee broke.
+META="$(mktemp)"
+trap 'rm -f "$META"' EXIT
+cargo metadata --offline --format-version 1 > "$META"
+python3 - "$PWD" "$META" <<'PY'
+import json, sys
+root, meta_path = sys.argv[1], sys.argv[2]
+with open(meta_path) as fh:
+    meta = json.load(fh)
+bad = [p["id"] for p in meta["packages"]
+       if p.get("source") is not None or not p["manifest_path"].startswith(root)]
+if bad:
+    sys.exit("ERROR: non-path dependencies in cargo metadata:\n  " + "\n  ".join(bad))
+print(f"ok: {len(meta['packages'])} packages, all path crates in the workspace")
+PY
+
+# ---------------------------------------------------------------------------
+step "cargo fmt --check"
+cargo fmt --all --check
+
+# ---------------------------------------------------------------------------
+step "cargo build (debug, offline)"
+cargo build --offline --workspace --all-targets
+
+# ---------------------------------------------------------------------------
+step "cargo test (offline, whole workspace)"
+cargo test -q --offline --workspace
+
+# ---------------------------------------------------------------------------
+step "cargo doc (offline, no deps)"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace -q
+
+if [[ "$QUICK" == "0" ]]; then
+  # -------------------------------------------------------------------------
+  step "cargo build --release (offline)"
+  cargo build --offline --release
+
+  # -------------------------------------------------------------------------
+  step "example smoke pass"
+  cargo run --offline --release --example quickstart >/dev/null
+  echo "ok: quickstart"
+  cargo run --offline --release --example paper_walkthrough >/dev/null
+  echo "ok: paper_walkthrough"
+
+  # -------------------------------------------------------------------------
+  step "bench harness smoke pass (MDV_BENCH_ITERS=1)"
+  MDV_BENCH_ITERS=1 cargo bench --offline -p mdv-bench >/dev/null
+  echo "ok: figures bench harness"
+fi
+
+step "all checks passed"

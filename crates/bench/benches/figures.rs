@@ -1,20 +1,22 @@
-//! Criterion micro-benchmarks, one group per paper figure plus the
-//! ablations. These use reduced parameter grids so `cargo bench` completes
-//! quickly; the `figures` binary runs the full sweeps and prints the series
-//! the paper plots.
-
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+//! Micro-benchmarks on the in-tree `mdv-testkit` bench runner, one group
+//! per paper figure plus the ablations. These use reduced parameter grids
+//! so `cargo bench` completes quickly; the `figures` binary runs the full
+//! sweeps and prints the series the paper plots.
+//!
+//! Iteration counts come from `MDV_BENCH_ITERS` (default 10 timed + 2
+//! warmup per benchmark); each group prints an aligned table plus one JSON
+//! line per benchmark for machine consumption.
 
 use mdv_bench::{build_engine, build_engine_with_config, build_naive};
 use mdv_filter::FilterConfig;
+use mdv_testkit::bench::BenchGroup;
 use mdv_workload::{benchmark_documents, BenchParams, RuleType};
 
 const RULE_COUNT: u64 = 1_000;
 const BATCHES: [u64; 3] = [1, 10, 100];
 
-fn bench_rule_type(c: &mut Criterion, name: &str, rule_type: RuleType, fraction: f64) {
-    let mut group = c.benchmark_group(name);
-    group.sample_size(10);
+fn bench_rule_type(name: &str, rule_type: RuleType, fraction: f64) {
+    let mut group = BenchGroup::new(name);
     let base = build_engine(rule_type, RULE_COUNT);
     let params = BenchParams {
         rule_count: RULE_COUNT,
@@ -22,41 +24,38 @@ fn bench_rule_type(c: &mut Criterion, name: &str, rule_type: RuleType, fraction:
     };
     for batch in BATCHES {
         let docs = benchmark_documents(0..batch, &params);
-        group.bench_with_input(BenchmarkId::from_parameter(batch), &docs, |b, docs| {
-            b.iter_batched(
-                || base.clone(),
-                |mut engine| engine.register_batch(docs).expect("registers"),
-                BatchSize::LargeInput,
-            )
-        });
+        group.bench_with_setup(
+            &batch.to_string(),
+            || base.clone(),
+            |mut engine| engine.register_batch(&docs).expect("registers"),
+        );
     }
     group.finish();
 }
 
 /// Figure 11: OID rules over batch sizes.
-fn fig11(c: &mut Criterion) {
-    bench_rule_type(c, "fig11_oid", RuleType::Oid, 0.0);
+fn fig11() {
+    bench_rule_type("fig11_oid", RuleType::Oid, 0.0);
 }
 
 /// Figure 12: PATH rules over batch sizes.
-fn fig12(c: &mut Criterion) {
-    bench_rule_type(c, "fig12_path", RuleType::Path, 0.0);
+fn fig12() {
+    bench_rule_type("fig12_path", RuleType::Path, 0.0);
 }
 
 /// Figure 13: COMP rules (10% matching) over batch sizes.
-fn fig13(c: &mut Criterion) {
-    bench_rule_type(c, "fig13_comp", RuleType::Comp, 0.1);
+fn fig13() {
+    bench_rule_type("fig13_comp", RuleType::Comp, 0.1);
 }
 
 /// Figure 14: JOIN rules over batch sizes.
-fn fig14(c: &mut Criterion) {
-    bench_rule_type(c, "fig14_join", RuleType::Join, 0.0);
+fn fig14() {
+    bench_rule_type("fig14_join", RuleType::Join, 0.0);
 }
 
 /// Figure 15: COMP rules over matched fractions (fixed batch of 10).
-fn fig15(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig15_comp_fraction");
-    group.sample_size(10);
+fn fig15() {
+    let mut group = BenchGroup::new("fig15_comp_fraction");
     let base = build_engine(RuleType::Comp, RULE_COUNT);
     for fraction in [0.01, 0.1, 0.5] {
         let params = BenchParams {
@@ -64,25 +63,18 @@ fn fig15(c: &mut Criterion) {
             comp_match_fraction: fraction,
         };
         let docs = benchmark_documents(0..10, &params);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{:.0}pct", fraction * 100.0)),
-            &docs,
-            |b, docs| {
-                b.iter_batched(
-                    || base.clone(),
-                    |mut engine| engine.register_batch(docs).expect("registers"),
-                    BatchSize::LargeInput,
-                )
-            },
+        group.bench_with_setup(
+            &format!("{:.0}pct", fraction * 100.0),
+            || base.clone(),
+            |mut engine| engine.register_batch(&docs).expect("registers"),
         );
     }
     group.finish();
 }
 
 /// Ablation A: the filter against the naive evaluate-every-rule baseline.
-fn ablation_naive(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_naive_path");
-    group.sample_size(10);
+fn ablation_naive() {
+    let mut group = BenchGroup::new("ablation_naive_path");
     let params = BenchParams {
         rule_count: RULE_COUNT,
         comp_match_fraction: 0.1,
@@ -90,28 +82,23 @@ fn ablation_naive(c: &mut Criterion) {
     let docs = benchmark_documents(0..10, &params);
 
     let filter_base = build_engine(RuleType::Path, RULE_COUNT);
-    group.bench_function("filter", |b| {
-        b.iter_batched(
-            || filter_base.clone(),
-            |mut engine| engine.register_batch(&docs).expect("registers"),
-            BatchSize::LargeInput,
-        )
-    });
+    group.bench_with_setup(
+        "filter",
+        || filter_base.clone(),
+        |mut engine| engine.register_batch(&docs).expect("registers"),
+    );
     let naive_base = build_naive(RuleType::Path, RULE_COUNT);
-    group.bench_function("naive", |b| {
-        b.iter_batched(
-            || naive_base.clone(),
-            |mut engine| engine.register_batch(&docs).expect("registers"),
-            BatchSize::LargeInput,
-        )
-    });
+    group.bench_with_setup(
+        "naive",
+        || naive_base.clone(),
+        |mut engine| engine.register_batch(&docs).expect("registers"),
+    );
     group.finish();
 }
 
 /// Ablation B: rule groups (shared probes) on vs off.
-fn ablation_groups(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_rule_groups_join");
-    group.sample_size(10);
+fn ablation_groups() {
+    let mut group = BenchGroup::new("ablation_rule_groups_join");
     let params = BenchParams {
         rule_count: RULE_COUNT,
         comp_match_fraction: 0.1,
@@ -125,21 +112,18 @@ fn ablation_groups(c: &mut Criterion) {
                 use_rule_groups: use_groups,
             },
         );
-        group.bench_function(label, |b| {
-            b.iter_batched(
-                || base.clone(),
-                |mut engine| engine.register_batch(&docs).expect("registers"),
-                BatchSize::LargeInput,
-            )
-        });
+        group.bench_with_setup(
+            label,
+            || base.clone(),
+            |mut engine| engine.register_batch(&docs).expect("registers"),
+        );
     }
     group.finish();
 }
 
 /// Ablation C: update and delete against plain registration.
-fn ablation_updates(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_update_protocol");
-    group.sample_size(10);
+fn ablation_updates() {
+    let mut group = BenchGroup::new("ablation_update_protocol");
     let params = BenchParams {
         rule_count: RULE_COUNT,
         comp_match_fraction: 0.1,
@@ -147,13 +131,11 @@ fn ablation_updates(c: &mut Criterion) {
     let docs = benchmark_documents(0..10, &params);
     let base = build_engine(RuleType::Path, RULE_COUNT);
 
-    group.bench_function("register", |b| {
-        b.iter_batched(
-            || base.clone(),
-            |mut engine| engine.register_batch(&docs).expect("registers"),
-            BatchSize::LargeInput,
-        )
-    });
+    group.bench_with_setup(
+        "register",
+        || base.clone(),
+        |mut engine| engine.register_batch(&docs).expect("registers"),
+    );
 
     // an engine with the documents already present, for update/delete
     let mut loaded = base.clone();
@@ -171,28 +153,24 @@ fn ablation_updates(c: &mut Criterion) {
             })
             .collect()
     };
-    group.bench_function("update", |b| {
-        b.iter_batched(
-            || loaded.clone(),
-            |mut engine| {
-                for u in &updates {
-                    engine.update_document(u).expect("updates");
-                }
-            },
-            BatchSize::LargeInput,
-        )
-    });
-    group.bench_function("delete", |b| {
-        b.iter_batched(
-            || loaded.clone(),
-            |mut engine| {
-                for d in &docs {
-                    engine.delete_document(d.uri()).expect("deletes");
-                }
-            },
-            BatchSize::LargeInput,
-        )
-    });
+    group.bench_with_setup(
+        "update",
+        || loaded.clone(),
+        |mut engine| {
+            for u in &updates {
+                engine.update_document(u).expect("updates");
+            }
+        },
+    );
+    group.bench_with_setup(
+        "delete",
+        || loaded.clone(),
+        |mut engine| {
+            for d in &docs {
+                engine.delete_document(d.uri()).expect("deletes");
+            }
+        },
+    );
     group.finish();
 }
 
@@ -213,15 +191,13 @@ fn rebuild_with_memory(doc: &mdv_rdf::Document, memory: u64) -> mdv_rdf::Documen
     out
 }
 
-criterion_group!(
-    benches,
-    fig11,
-    fig12,
-    fig13,
-    fig14,
-    fig15,
-    ablation_naive,
-    ablation_groups,
-    ablation_updates
-);
-criterion_main!(benches);
+fn main() {
+    fig11();
+    fig12();
+    fig13();
+    fig14();
+    fig15();
+    ablation_naive();
+    ablation_groups();
+    ablation_updates();
+}

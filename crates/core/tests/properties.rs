@@ -1,14 +1,14 @@
-//! Property-based tests of the filter algorithm against random workloads.
+//! Property-based tests of the filter algorithm against random workloads,
+//! on `mdv-testkit` (deterministic seeds, ≥64 cases, see `MDV_PROP_CASES`).
 //!
 //! The central oracle: the incremental, index-driven [`FilterEngine`] must
 //! produce exactly the matches of the [`NaiveEngine`] baseline (which
 //! evaluates every rule against every new resource), for any rule base and
 //! any batch of documents.
 
-use proptest::prelude::*;
-
 use mdv_filter::{FilterConfig, FilterEngine, NaiveEngine};
 use mdv_rdf::{Document, RdfSchema, Resource, Term, UriRef};
+use mdv_testkit::{prop_assert, prop_assert_eq, property, Source};
 
 fn schema() -> RdfSchema {
     RdfSchema::builder()
@@ -30,15 +30,17 @@ struct DocSpec {
     cpu: i64,
 }
 
-fn arb_doc_spec() -> impl Strategy<Value = DocSpec> {
-    ("[a-c]{1,3}\\.(org|de)", 1i64..10, 0i64..200, 0i64..1000).prop_map(
-        |(host, port, memory, cpu)| DocSpec {
-            host,
-            port,
-            memory,
-            cpu,
-        },
-    )
+fn arb_doc_spec(src: &mut Source) -> DocSpec {
+    DocSpec {
+        host: format!(
+            "{}.{}",
+            src.string_of("abc", 1..4),
+            src.choose(&["org", "de"])
+        ),
+        port: src.i64_in(1..10),
+        memory: src.i64_in(0..200),
+        cpu: src.i64_in(0..1000),
+    }
 }
 
 fn make_doc(i: usize, s: &DocSpec) -> Document {
@@ -62,40 +64,66 @@ fn make_doc(i: usize, s: &DocSpec) -> Document {
 
 /// Rules drawn from the paper's benchmark shapes (Figure 10) with random
 /// parameters, plus join and or-variants.
-fn arb_rule() -> impl Strategy<Value = String> {
-    prop_oneof![
+fn arb_rule(src: &mut Source) -> String {
+    match src.usize_in(0..8) {
         // OID
-        (0usize..20)
-            .prop_map(|i| format!("search CycleProvider c register c where c = 'doc{i}.rdf#host'")),
+        0 => format!(
+            "search CycleProvider c register c where c = 'doc{}.rdf#host'",
+            src.usize_in(0..20)
+        ),
         // COMP
-        (0i64..10)
-            .prop_map(|v| format!("search CycleProvider c register c where c.serverPort > {v}")),
+        1 => format!(
+            "search CycleProvider c register c where c.serverPort > {}",
+            src.i64_in(0..10)
+        ),
         // PATH (equality and ordering)
-        (0i64..200).prop_map(|v| format!(
-            "search CycleProvider c register c where c.serverInformation.memory = {v}"
-        )),
-        (0i64..200).prop_map(|v| format!(
-            "search CycleProvider c register c where c.serverInformation.memory > {v}"
-        )),
+        2 => format!(
+            "search CycleProvider c register c where c.serverInformation.memory = {}",
+            src.i64_in(0..200)
+        ),
+        3 => format!(
+            "search CycleProvider c register c where c.serverInformation.memory > {}",
+            src.i64_in(0..200)
+        ),
         // JOIN
-        (0i64..200, 0i64..1000).prop_map(|(m, c)| format!(
+        4 => format!(
             "search CycleProvider c register c \
              where c.serverHost contains '.org' \
-             and c.serverInformation.memory >= {m} and c.serverInformation.cpu < {c}"
-        )),
+             and c.serverInformation.memory >= {} and c.serverInformation.cpu < {}",
+            src.i64_in(0..200),
+            src.i64_in(0..1000)
+        ),
         // contains
-        "[a-c.]{1,3}".prop_map(|p| format!(
-            "search CycleProvider c register c where c.serverHost contains '{p}'"
-        )),
+        5 => format!(
+            "search CycleProvider c register c where c.serverHost contains '{}'",
+            src.string_of("abc.", 1..4)
+        ),
         // register the referenced side
-        (0i64..200)
-            .prop_map(|v| format!("search ServerInformation s register s where s.memory <= {v}")),
+        6 => format!(
+            "search ServerInformation s register s where s.memory <= {}",
+            src.i64_in(0..200)
+        ),
         // or-rule
-        (0i64..200, 0i64..1000).prop_map(|(m, c)| format!(
+        _ => format!(
             "search CycleProvider c register c \
-             where c.serverInformation.memory > {m} or c.serverInformation.cpu > {c}"
-        )),
-    ]
+             where c.serverInformation.memory > {} or c.serverInformation.cpu > {}",
+            src.i64_in(0..200),
+            src.i64_in(0..1000)
+        ),
+    }
+}
+
+fn arb_rules(src: &mut Source, max: usize) -> Vec<String> {
+    src.vec(1..max, arb_rule)
+}
+
+fn arb_docs(src: &mut Source, max: usize) -> Vec<Document> {
+    let specs = src.vec(1..max, arb_doc_spec);
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| make_doc(i, s))
+        .collect()
 }
 
 fn added_matches(pubs: &[mdv_filter::Publication]) -> Vec<(u64, String)> {
@@ -107,15 +135,11 @@ fn added_matches(pubs: &[mdv_filter::Publication]) -> Vec<(u64, String)> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
+property! {
     /// Filter and naive baseline agree on arbitrary rule bases and batches.
-    #[test]
-    fn filter_equals_naive(
-        rules in prop::collection::vec(arb_rule(), 1..8),
-        specs in prop::collection::vec(arb_doc_spec(), 1..10),
-    ) {
+    fn filter_equals_naive(src) {
+        let rules = arb_rules(src, 8);
+        let docs = arb_docs(src, 10);
         let mut filter = FilterEngine::new(schema());
         let mut naive = NaiveEngine::new(schema());
         for r in &rules {
@@ -124,8 +148,6 @@ proptest! {
             filter.register_subscription(r).unwrap();
             naive.register_subscription(r).unwrap();
         }
-        let docs: Vec<Document> =
-            specs.iter().enumerate().map(|(i, s)| make_doc(i, s)).collect();
         let a = filter.register_batch(&docs).unwrap();
         let b = naive.register_batch(&docs).unwrap();
         prop_assert_eq!(added_matches(&a), added_matches(&b));
@@ -133,11 +155,9 @@ proptest! {
 
     /// Rule groups are a pure optimization: identical output with groups
     /// disabled.
-    #[test]
-    fn rule_groups_are_transparent(
-        rules in prop::collection::vec(arb_rule(), 1..6),
-        specs in prop::collection::vec(arb_doc_spec(), 1..8),
-    ) {
+    fn rule_groups_are_transparent(src) {
+        let rules = arb_rules(src, 6);
+        let docs = arb_docs(src, 8);
         let mut grouped = FilterEngine::new(schema());
         let mut ungrouped =
             FilterEngine::with_config(schema(), FilterConfig { use_rule_groups: false });
@@ -145,21 +165,15 @@ proptest! {
             grouped.register_subscription(r).unwrap();
             ungrouped.register_subscription(r).unwrap();
         }
-        let docs: Vec<Document> =
-            specs.iter().enumerate().map(|(i, s)| make_doc(i, s)).collect();
         let a = grouped.register_batch(&docs).unwrap();
         let b = ungrouped.register_batch(&docs).unwrap();
         prop_assert_eq!(added_matches(&a), added_matches(&b));
     }
 
     /// Batched registration equals one-document-at-a-time registration.
-    #[test]
-    fn batching_is_transparent(
-        rules in prop::collection::vec(arb_rule(), 1..6),
-        specs in prop::collection::vec(arb_doc_spec(), 1..8),
-    ) {
-        let docs: Vec<Document> =
-            specs.iter().enumerate().map(|(i, s)| make_doc(i, s)).collect();
+    fn batching_is_transparent(src) {
+        let rules = arb_rules(src, 6);
+        let docs = arb_docs(src, 8);
         let mut batch = FilterEngine::new(schema());
         let mut seq = FilterEngine::new(schema());
         for r in &rules {
@@ -177,13 +191,9 @@ proptest! {
 
     /// Registering rules before or after the data yields the same matches
     /// (backfill equals live filtering).
-    #[test]
-    fn backfill_equals_live(
-        rules in prop::collection::vec(arb_rule(), 1..6),
-        specs in prop::collection::vec(arb_doc_spec(), 1..8),
-    ) {
-        let docs: Vec<Document> =
-            specs.iter().enumerate().map(|(i, s)| make_doc(i, s)).collect();
+    fn backfill_equals_live(src) {
+        let rules = arb_rules(src, 6);
+        let docs = arb_docs(src, 8);
 
         // live: rules first, then data
         let mut live = FilterEngine::new(schema());
@@ -206,12 +216,10 @@ proptest! {
 
     /// An update cycle (register → update → update back) converges to the
     /// same engine-visible state as registering the final version directly.
-    #[test]
-    fn update_converges_to_fresh_state(
-        rules in prop::collection::vec(arb_rule(), 1..5),
-        spec_a in arb_doc_spec(),
-        spec_b in arb_doc_spec(),
-    ) {
+    fn update_converges_to_fresh_state(src) {
+        let rules = arb_rules(src, 5);
+        let spec_a = arb_doc_spec(src);
+        let spec_b = arb_doc_spec(src);
         let mut engine = FilterEngine::new(schema());
         for r in &rules {
             engine.register_subscription(r).unwrap();
@@ -250,11 +258,9 @@ proptest! {
     }
 
     /// Unregistering everything leaves an empty graph and empty rule tables.
-    #[test]
-    fn unregister_all_is_clean(
-        rules in prop::collection::vec(arb_rule(), 1..6),
-        specs in prop::collection::vec(arb_doc_spec(), 0..5),
-    ) {
+    fn unregister_all_is_clean(src) {
+        let rules = arb_rules(src, 6);
+        let specs = src.vec(0..5, arb_doc_spec);
         let mut engine = FilterEngine::new(schema());
         let docs: Vec<Document> =
             specs.iter().enumerate().map(|(i, s)| make_doc(i, s)).collect();
@@ -275,21 +281,15 @@ proptest! {
             prop_assert_eq!(engine.db().table(t).unwrap().len(), 0);
         }
     }
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// The SQL translation of a query returns exactly what the direct
     /// evaluator returns, for arbitrary rule bases and data.
-    #[test]
-    fn sql_translation_agrees_with_direct_evaluation(
-        rules in prop::collection::vec(arb_rule(), 1..6),
-        specs in prop::collection::vec(arb_doc_spec(), 0..8),
-    ) {
+    fn sql_translation_agrees_with_direct_evaluation(src) {
         use mdv_filter::{query_eval, sql_translate};
         use mdv_rulelang::{normalize, parse_rule, split_or};
 
+        let rules = arb_rules(src, 6);
+        let specs = src.vec(0..8, arb_doc_spec);
         let s = schema();
         let mut engine = FilterEngine::new(s.clone());
         let docs: Vec<Document> =

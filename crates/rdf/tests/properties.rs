@@ -1,82 +1,71 @@
 //! Property-based tests for the RDF layer: parser/writer round-trips and
-//! diff algebra.
-
-use proptest::prelude::*;
+//! diff algebra. Runs on `mdv-testkit` (deterministic seeds, ≥64 cases,
+//! see `MDV_PROP_CASES`).
 
 use mdv_rdf::{diff, parse_document, write_document, Document, Resource, Term, UriRef};
+use mdv_testkit::{prop_assert, prop_assert_eq, property, Source};
 
 /// Local identifiers: XML-name-safe, non-empty.
-fn arb_local_id() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9_]{0,6}"
+fn arb_local_id(src: &mut Source) -> String {
+    let mut id = src.string_of("abcdefghijklmnopqrstuvwxyz", 1..2);
+    id.push_str(&src.string_of("abcdefghijklmnopqrstuvwxyz0123456789_", 0..7));
+    id
 }
 
 /// Literal text including XML-hostile characters. The parser trims
 /// leading/trailing whitespace of character data (pretty-printed documents),
 /// so generated literals are pre-trimmed.
-fn arb_literal() -> impl Strategy<Value = String> {
-    prop_oneof![
-        "[a-zA-Z0-9 .:/_-]{0,16}",
-        Just("a<b>&c\"d'e".to_owned()),
-        Just("&amp;".to_owned()),
-        (-10_000i64..10_000).prop_map(|i| i.to_string()),
-    ]
-    .prop_map(|s| s.trim().to_owned())
+fn arb_literal(src: &mut Source) -> String {
+    const ALPHABET: &str = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 .:/_-";
+    let raw = match src.weighted(&[4, 1, 1, 2]) {
+        0 => src.string_of(ALPHABET, 0..17),
+        1 => "a<b>&c\"d'e".to_owned(),
+        2 => "&amp;".to_owned(),
+        _ => src.i64_in(-10_000..10_000).to_string(),
+    };
+    raw.trim().to_owned()
 }
 
-fn arb_document() -> impl Strategy<Value = Document> {
-    let resource_ids = prop::collection::btree_set(arb_local_id(), 1..6);
-    resource_ids
-        .prop_flat_map(|ids| {
-            let ids: Vec<String> = ids.into_iter().collect();
-            let n = ids.len();
-            let props = prop::collection::vec(
-                (
-                    "[a-z]{1,6}",
-                    prop_oneof![
-                        arb_literal().prop_map(PropVal::Lit),
-                        (0..n).prop_map(PropVal::Ref),
-                    ],
-                ),
-                0..5,
-            );
-            (Just(ids), prop::collection::vec(props, n))
-        })
-        .prop_map(|(ids, per_resource_props)| {
-            let mut doc = Document::new("doc.rdf");
-            for (id, props) in ids.iter().zip(per_resource_props) {
-                let mut res = Resource::new(UriRef::new("doc.rdf", id), "C");
-                for (pname, val) in props {
-                    let term = match val {
-                        PropVal::Lit(s) => Term::literal(s),
-                        PropVal::Ref(i) => Term::resource(UriRef::new("doc.rdf", &ids[i])),
-                    };
-                    res.add(pname, term);
-                }
-                doc.add_resource(res).unwrap();
-            }
-            doc
-        })
+fn arb_document(src: &mut Source) -> Document {
+    let ids: Vec<String> = {
+        let set: std::collections::BTreeSet<String> =
+            src.vec(1..6, arb_local_id).into_iter().collect();
+        set.into_iter().collect()
+    };
+    let n = ids.len();
+    let mut doc = Document::new("doc.rdf");
+    for id in &ids {
+        let mut res = Resource::new(UriRef::new("doc.rdf", id), "C");
+        let props = src.vec(0..5, |src| {
+            let name = src.string_of("abcdefghijklmnopqrstuvwxyz", 1..7);
+            let term = if src.bool_with(0.3) {
+                Term::resource(UriRef::new("doc.rdf", &ids[src.usize_in(0..n)]))
+            } else {
+                Term::literal(arb_literal(src))
+            };
+            (name, term)
+        });
+        for (name, term) in props {
+            res.add(name, term);
+        }
+        doc.add_resource(res).unwrap();
+    }
+    doc
 }
 
-#[derive(Debug, Clone)]
-enum PropVal {
-    Lit(String),
-    Ref(usize),
-}
-
-proptest! {
+property! {
     /// Serialize → parse is the identity on documents, for any property
     /// content including XML metacharacters.
-    #[test]
-    fn write_parse_roundtrip(doc in arb_document()) {
+    fn write_parse_roundtrip(src) {
+        let doc = arb_document(src);
         let xml = write_document(&doc);
         let parsed = parse_document("doc.rdf", &xml).unwrap();
-        prop_assert_eq!(doc, parsed);
+        prop_assert_eq!(&doc, &parsed);
     }
 
     /// diff(d, d) is empty; every resource is reported unchanged.
-    #[test]
-    fn self_diff_is_empty(doc in arb_document()) {
+    fn self_diff_is_empty(src) {
+        let doc = arb_document(src);
         let d = diff(&doc, &doc.clone());
         prop_assert!(d.is_empty());
         prop_assert_eq!(d.unchanged.len(), doc.resources().len());
@@ -85,8 +74,9 @@ proptest! {
     /// The diff partitions both documents: every new resource is added,
     /// updated, or unchanged; every old resource is deleted, updated, or
     /// unchanged.
-    #[test]
-    fn diff_partitions_resources(old in arb_document(), new in arb_document()) {
+    fn diff_partitions_resources(src) {
+        let old = arb_document(src);
+        let new = arb_document(src);
         let d = diff(&old, &new);
         prop_assert_eq!(
             d.added.len() + d.updated.len() + d.unchanged.len(),
@@ -100,12 +90,14 @@ proptest! {
 
     /// Diff is anti-symmetric: swapping arguments swaps added/deleted and
     /// reverses updates.
-    #[test]
-    fn diff_antisymmetric(old in arb_document(), new in arb_document()) {
+    fn diff_antisymmetric(src) {
+        let old = arb_document(src);
+        let new = arb_document(src);
         let fwd = diff(&old, &new);
         let bwd = diff(&new, &old);
         let mut fwd_added: Vec<String> = fwd.added.iter().map(|r| r.uri().to_string()).collect();
-        let mut bwd_deleted: Vec<String> = bwd.deleted.iter().map(|r| r.uri().to_string()).collect();
+        let mut bwd_deleted: Vec<String> =
+            bwd.deleted.iter().map(|r| r.uri().to_string()).collect();
         fwd_added.sort();
         bwd_deleted.sort();
         prop_assert_eq!(fwd_added, bwd_deleted);
@@ -114,8 +106,8 @@ proptest! {
 
     /// Statement decomposition has exactly one subject marker per resource
     /// and one statement per property.
-    #[test]
-    fn statement_counts(doc in arb_document()) {
+    fn statement_counts(src) {
+        let doc = arb_document(src);
         let stmts = doc.statements();
         let markers = stmts.iter().filter(|s| s.is_subject_marker()).count();
         prop_assert_eq!(markers, doc.resources().len());

@@ -1,56 +1,19 @@
-//! Property-based tests for the storage engine's core invariants.
-
-use proptest::prelude::*;
+//! Property-based tests for the storage engine's core invariants, on
+//! `mdv-testkit` (deterministic seeds, ≥64 cases, see `MDV_PROP_CASES`).
 
 use mdv_relstore::{
     join, query, CmpOp, ColumnDef, DataType, Database, IndexKind, Predicate, Row, Table,
     TableSchema, Txn, Value,
 };
+use mdv_testkit::{prop_assert, prop_assert_eq, prop_assert_ne, property, Source};
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::Bool),
-        (-1000i64..1000).prop_map(Value::Int),
-        (-1000i64..1000).prop_map(|i| Value::Float(i as f64 / 4.0)),
-        "[a-z]{0,8}".prop_map(Value::Str),
-    ]
-}
-
-proptest! {
-    /// Value's Ord is a total order: antisymmetric, transitive on triples.
-    #[test]
-    fn value_order_is_total(a in arb_value(), b in arb_value(), c in arb_value()) {
-        use std::cmp::Ordering;
-        // antisymmetry
-        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
-        // transitivity
-        if a.cmp(&b) != Ordering::Greater && b.cmp(&c) != Ordering::Greater {
-            prop_assert_ne!(a.cmp(&c), Ordering::Greater);
-        }
-    }
-
-    /// Eq and Hash agree (required for hash-join correctness).
-    #[test]
-    fn value_eq_implies_same_hash(a in arb_value(), b in arb_value()) {
-        use std::collections::hash_map::DefaultHasher;
-        use std::hash::{Hash, Hasher};
-        fn h(v: &Value) -> u64 {
-            let mut s = DefaultHasher::new();
-            v.hash(&mut s);
-            s.finish()
-        }
-        if a == b {
-            prop_assert_eq!(h(&a), h(&b));
-        }
-    }
-
-    /// sql_cmp agrees with the total order whenever it is defined.
-    #[test]
-    fn sql_cmp_consistent_with_ord(a in arb_value(), b in arb_value()) {
-        if let Some(ord) = a.sql_cmp(&b) {
-            prop_assert_eq!(ord, a.cmp(&b));
-        }
+fn arb_value(src: &mut Source) -> Value {
+    match src.weighted(&[1, 1, 2, 2, 2]) {
+        0 => Value::Null,
+        1 => Value::Bool(src.bool()),
+        2 => Value::Int(src.i64_in(-1000..1000)),
+        3 => Value::Float(src.i64_in(-1000..1000) as f64 / 4.0),
+        _ => Value::Str(src.string_of("abcdefghijklmnopqrstuvwxyz", 0..9)),
     }
 }
 
@@ -66,8 +29,18 @@ fn filterlike_schema() -> TableSchema {
     .unwrap()
 }
 
-fn arb_rows() -> impl Strategy<Value = Vec<(String, String, i64)>> {
-    prop::collection::vec(("[a-c]", "[x-z]", -20i64..20), 0..60)
+fn arb_rows(src: &mut Source) -> Vec<(String, String, i64)> {
+    src.vec(0..60, |src| {
+        (
+            src.string_of("abc", 1..2),
+            src.string_of("xyz", 1..2),
+            src.i64_in(-20..20),
+        )
+    })
+}
+
+fn arb_join_rows(src: &mut Source) -> Vec<(String, i64)> {
+    src.vec(0..25, |src| (src.string_of("ab", 1..2), src.i64_in(-5..5)))
 }
 
 fn build_tables(rows: &[(String, String, i64)]) -> (Table, Table) {
@@ -98,15 +71,48 @@ fn sorted_rows(mut rows: Vec<Row>) -> Vec<Row> {
     rows
 }
 
-proptest! {
+property! {
+    /// Value's Ord is a total order: antisymmetric, transitive on triples.
+    fn value_order_is_total(src) {
+        use std::cmp::Ordering;
+        let (a, b, c) = (arb_value(src), arb_value(src), arb_value(src));
+        // antisymmetry
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        // transitivity
+        if a.cmp(&b) != Ordering::Greater && b.cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.cmp(&c), Ordering::Greater);
+        }
+    }
+
+    /// Eq and Hash agree (required for hash-join correctness).
+    fn value_eq_implies_same_hash(src) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        fn h(v: &Value) -> u64 {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        }
+        let (a, b) = (arb_value(src), arb_value(src));
+        if a == b {
+            prop_assert_eq!(h(&a), h(&b));
+        }
+    }
+
+    /// sql_cmp agrees with the total order whenever it is defined.
+    fn sql_cmp_consistent_with_ord(src) {
+        let (a, b) = (arb_value(src), arb_value(src));
+        if let Some(ord) = a.sql_cmp(&b) {
+            prop_assert_eq!(ord, a.cmp(&b));
+        }
+    }
+
     /// Index-backed plans and table scans return the same result set.
-    #[test]
-    fn index_scan_equivalence(
-        rows in arb_rows(),
-        c in "[a-c]",
-        p in "[x-z]",
-        lo in -20i64..20,
-    ) {
+    fn index_scan_equivalence(src) {
+        let rows = arb_rows(src);
+        let c = src.string_of("abc", 1..2);
+        let p = src.string_of("xyz", 1..2);
+        let lo = src.i64_in(-20..20);
         let (plain, indexed) = build_tables(&rows);
         let pred = Predicate::and(vec![
             Predicate::col_eq(plain.schema(), "class", Value::Str(c)).unwrap(),
@@ -121,11 +127,9 @@ proptest! {
     }
 
     /// Hash join equals the brute-force nested-loop equi-join.
-    #[test]
-    fn hash_join_matches_nested_loop(
-        left in prop::collection::vec(("[a-b]", -5i64..5), 0..25),
-        right in prop::collection::vec(("[a-b]", -5i64..5), 0..25),
-    ) {
+    fn hash_join_matches_nested_loop(src) {
+        let left = arb_join_rows(src);
+        let right = arb_join_rows(src);
         let lrows: Vec<Row> = left.iter()
             .map(|(s, i)| vec![Value::Str(s.clone()), Value::Int(*i)]).collect();
         let rrows: Vec<Row> = right.iter()
@@ -141,11 +145,9 @@ proptest! {
     }
 
     /// Semi-join and anti-join partition the left input.
-    #[test]
-    fn semi_anti_partition(
-        left in prop::collection::vec(("[a-b]", -5i64..5), 0..25),
-        right in prop::collection::vec(("[a-b]", -5i64..5), 0..25),
-    ) {
+    fn semi_anti_partition(src) {
+        let left = arb_join_rows(src);
+        let right = arb_join_rows(src);
         let lrows: Vec<Row> = left.iter()
             .map(|(s, i)| vec![Value::Str(s.clone()), Value::Int(*i)]).collect();
         let rrows: Vec<Row> = right.iter()
@@ -159,11 +161,16 @@ proptest! {
     }
 
     /// A rolled-back transaction leaves no observable trace.
-    #[test]
-    fn txn_rollback_is_identity(
-        initial in arb_rows(),
-        ops in prop::collection::vec((0usize..3, "[a-c]", "[x-z]", -20i64..20), 0..20),
-    ) {
+    fn txn_rollback_is_identity(src) {
+        let initial = arb_rows(src);
+        let ops = src.vec(0..20, |src| {
+            (
+                src.usize_in(0..3),
+                src.string_of("abc", 1..2),
+                src.string_of("xyz", 1..2),
+                src.i64_in(-20..20),
+            )
+        });
         let mut db = Database::new();
         db.create_table(filterlike_schema()).unwrap();
         db.create_index("t", "h", IndexKind::Hash, &["class", "property"], false).unwrap();
@@ -203,18 +210,16 @@ proptest! {
 
     /// String round-trip through coercion preserves integers (the paper's
     /// "constants stored as strings, reconverted when joining").
-    #[test]
-    fn int_string_coercion_roundtrip(v in any::<i64>()) {
+    fn int_string_coercion_roundtrip(src) {
+        let v = src.any_i64();
         let s = Value::Int(v).coerce(DataType::Str).unwrap();
         prop_assert_eq!(s.coerce(DataType::Int).unwrap(), Value::Int(v));
     }
-}
 
-proptest! {
     /// Snapshot write → read is the identity on databases.
-    #[test]
-    fn snapshot_roundtrip(rows in arb_rows()) {
+    fn snapshot_roundtrip(src) {
         use mdv_relstore::{read_database, write_database};
+        let rows = arb_rows(src);
         let mut db = Database::new();
         db.create_table(filterlike_schema()).unwrap();
         db.create_index("t", "h", IndexKind::Hash, &["class", "property"], false).unwrap();

@@ -1,12 +1,12 @@
-//! Property-based tests for the rule-language front end.
-
-use proptest::prelude::*;
+//! Property-based tests for the rule-language front end, on `mdv-testkit`
+//! (deterministic seeds, ≥64 cases, see `MDV_PROP_CASES`).
 
 use mdv_rdf::RdfSchema;
 use mdv_rulelang::{
     normalize, parse_rule, split_or, to_dnf, typecheck, Comparison, Const, Operand, PathExpr,
     PathSeg, Rule, RuleOp, WhereExpr,
 };
+use mdv_testkit::{prop_assert, prop_assert_eq, property, Source};
 
 fn schema() -> RdfSchema {
     RdfSchema::builder()
@@ -20,77 +20,89 @@ fn schema() -> RdfSchema {
         .unwrap()
 }
 
+fn path(segs: &[&str]) -> Operand {
+    Operand::Path(PathExpr {
+        var: "c".into(),
+        segments: segs
+            .iter()
+            .map(|p| PathSeg {
+                property: (*p).into(),
+                any: false,
+            })
+            .collect(),
+    })
+}
+
 /// Generates comparisons that are well-typed against `schema()` with
 /// variable `c : CycleProvider`.
-fn arb_comparison() -> impl Strategy<Value = Comparison> {
-    let path = |segs: Vec<&str>| {
-        Operand::Path(PathExpr {
-            var: "c".into(),
-            segments: segs
-                .into_iter()
-                .map(|p| PathSeg {
-                    property: p.into(),
-                    any: false,
-                })
-                .collect(),
-        })
-    };
-    prop_oneof![
-        ("[a-z.]{1,10}").prop_map(move |s| Comparison {
-            lhs: path(vec!["serverHost"]),
+fn arb_comparison(src: &mut Source) -> Comparison {
+    match src.usize_in(0..4) {
+        0 => Comparison {
+            lhs: path(&["serverHost"]),
             op: RuleOp::Contains,
-            rhs: Operand::Const(Const::Str(s)),
-        }),
-        (
-            0i64..100_000,
-            prop_oneof![
-                Just(RuleOp::Lt),
-                Just(RuleOp::Le),
-                Just(RuleOp::Gt),
-                Just(RuleOp::Ge),
-                Just(RuleOp::Eq),
-                Just(RuleOp::Ne)
-            ]
-        )
-            .prop_map(move |(v, op)| Comparison {
-                lhs: path(vec!["serverPort"]),
+            rhs: Operand::Const(Const::Str(
+                src.string_of("abcdefghijklmnopqrstuvwxyz.", 1..11),
+            )),
+        },
+        1 => {
+            let op = *src.choose(&[
+                RuleOp::Lt,
+                RuleOp::Le,
+                RuleOp::Gt,
+                RuleOp::Ge,
+                RuleOp::Eq,
+                RuleOp::Ne,
+            ]);
+            Comparison {
+                lhs: path(&["serverPort"]),
                 op,
-                rhs: Operand::Const(Const::Int(v)),
-            }),
-        (0i64..1024).prop_map(move |v| Comparison {
-            lhs: path(vec!["serverInformation", "memory"]),
+                rhs: Operand::Const(Const::Int(src.i64_in(0..100_000))),
+            }
+        }
+        2 => Comparison {
+            lhs: path(&["serverInformation", "memory"]),
             op: RuleOp::Gt,
-            rhs: Operand::Const(Const::Int(v)),
-        }),
-        (0i64..4096).prop_map(move |v| Comparison {
-            lhs: path(vec!["serverInformation", "cpu"]),
+            rhs: Operand::Const(Const::Int(src.i64_in(0..1024))),
+        },
+        _ => Comparison {
+            lhs: path(&["serverInformation", "cpu"]),
             op: RuleOp::Ge,
-            rhs: Operand::Const(Const::Int(v)),
-        }),
-    ]
+            rhs: Operand::Const(Const::Int(src.i64_in(0..4096))),
+        },
+    }
 }
 
-/// Generates arbitrarily nested and/or where expressions.
-fn arb_where() -> impl Strategy<Value = WhereExpr> {
-    arb_comparison()
-        .prop_map(WhereExpr::Cmp)
-        .prop_recursive(3, 12, 3, |inner| {
-            prop_oneof![
-                prop::collection::vec(inner.clone(), 2..4).prop_map(WhereExpr::And),
-                prop::collection::vec(inner, 2..4).prop_map(WhereExpr::Or),
-            ]
-        })
+/// Generates and/or trees up to `depth` levels deep over comparisons.
+fn arb_where_depth(src: &mut Source, depth: u32) -> WhereExpr {
+    if depth == 0 || src.bool_with(0.4) {
+        return WhereExpr::Cmp(arb_comparison(src));
+    }
+    let children = src.vec(2..4, |src| arb_where_depth(src, depth - 1));
+    if src.bool() {
+        WhereExpr::And(children)
+    } else {
+        WhereExpr::Or(children)
+    }
 }
 
-fn arb_rule() -> impl Strategy<Value = Rule> {
-    prop::option::of(arb_where()).prop_map(|where_| Rule {
+fn arb_where(src: &mut Source) -> WhereExpr {
+    arb_where_depth(src, 3)
+}
+
+fn arb_rule(src: &mut Source) -> Rule {
+    let where_ = if src.bool_with(0.9) {
+        Some(arb_where(src))
+    } else {
+        None
+    };
+    Rule {
         search: vec![mdv_rulelang::Binding {
             class: "CycleProvider".into(),
             var: "c".into(),
         }],
         register: "c".into(),
         where_,
-    })
+    }
 }
 
 /// Counts comparisons in a where expression.
@@ -110,12 +122,12 @@ fn dnf_size(w: &WhereExpr) -> usize {
     }
 }
 
-proptest! {
+property! {
     /// Display → parse preserves rule semantics: the reparsed rule prints
     /// identically and has the same flattened boolean structure. (The parser
     /// flattens nested conjunctions, so exact tree equality is not expected.)
-    #[test]
-    fn display_parse_roundtrip(rule in arb_rule()) {
+    fn display_parse_roundtrip(src) {
+        let rule = arb_rule(src);
         let text = rule.to_string();
         let reparsed = parse_rule(&text).unwrap();
         prop_assert_eq!(&reparsed.to_string(), &text);
@@ -126,8 +138,8 @@ proptest! {
 
     /// to_dnf produces the analytically expected number of disjuncts, and
     /// every disjunct is a flat conjunction of leaves of the original.
-    #[test]
-    fn dnf_structure(w in arb_where()) {
+    fn dnf_structure(src) {
+        let w = arb_where(src);
         let dnf = to_dnf(&w);
         prop_assert_eq!(dnf.len(), dnf_size(&w));
         prop_assert!(!dnf.is_empty());
@@ -135,8 +147,8 @@ proptest! {
 
     /// split_or yields conjunctive rules whose total comparison count is
     /// at least the original leaf count (duplication through distribution).
-    #[test]
-    fn split_or_yields_conjunctive_rules(rule in arb_rule()) {
+    fn split_or_yields_conjunctive_rules(src) {
+        let rule = arb_rule(src);
         let rules = split_or(&rule);
         prop_assert!(!rules.is_empty());
         for r in &rules {
@@ -164,8 +176,8 @@ proptest! {
     /// Every split rule normalizes and typechecks cleanly, and normalization
     /// is stable: normalizing the printed normalized rule gives the same
     /// predicates.
-    #[test]
-    fn normalize_typecheck_pipeline(rule in arb_rule()) {
+    fn normalize_typecheck_pipeline(src) {
+        let rule = arb_rule(src);
         let s = schema();
         for conj in split_or(&rule) {
             let n = normalize(&conj, &s).unwrap();
@@ -180,8 +192,8 @@ proptest! {
     }
 
     /// Normalized rules contain no multi-segment paths.
-    #[test]
-    fn normalized_rules_are_flat(rule in arb_rule()) {
+    fn normalized_rules_are_flat(src) {
+        let rule = arb_rule(src);
         let s = schema();
         for conj in split_or(&rule) {
             let n = normalize(&conj, &s).unwrap();

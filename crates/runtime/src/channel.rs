@@ -1,0 +1,380 @@
+//! Bounded and unbounded MPMC channels.
+//!
+//! Unlike `std::sync::mpsc`, both endpoints are cloneable, which is what
+//! the simulated network transport needs: every node hands out its sender
+//! to many peers, and system drivers poll many receivers. Implemented as a
+//! `VecDeque` behind a mutex with two condvars (not-empty / not-full) —
+//! deliberately simple; the transport layer is not a throughput hot path.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// The sending half is gone and the queue is empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message is currently queued.
+    Empty,
+    /// No message is queued and every sender is dropped.
+    Disconnected,
+}
+
+/// The receiving half is gone; the unsent message is returned.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    capacity: Option<usize>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        // Poison-free: a panicking holder leaves a consistent VecDeque.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// The sending half of a channel. Cloneable.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of a channel. Cloneable.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// An unbounded MPMC channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(None)
+}
+
+/// A bounded MPMC channel: `send` blocks while `cap` messages are queued.
+/// A capacity of 0 is rounded up to 1 (no rendezvous semantics).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    with_capacity(Some(cap.max(1)))
+}
+
+fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        capacity,
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: shared.clone(),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueues a message, blocking while a bounded channel is full.
+    /// Fails (returning the message) once every receiver is dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self.shared.lock();
+        loop {
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            match self.shared.capacity {
+                Some(cap) if state.queue.len() >= cap => {
+                    state = self
+                        .shared
+                        .not_full
+                        .wait(state)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+                _ => break,
+            }
+        }
+        state.queue.push_back(value);
+        drop(state);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// The number of currently queued messages.
+    pub fn len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues a message without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.shared.lock();
+        match state.queue.pop_front() {
+            Some(v) => {
+                drop(state);
+                self.shared.not_full.notify_one();
+                Ok(v)
+            }
+            None if state.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Blocks until a message arrives or every sender is dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.shared.lock();
+        loop {
+            if let Some(v) = state.queue.pop_front() {
+                drop(state);
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self
+                .shared
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Like [`Receiver::recv`] with an upper bound on the wait.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, TryRecvError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = self.shared.lock();
+        loop {
+            if let Some(v) = state.queue.pop_front() {
+                drop(state);
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(TryRecvError::Empty);
+            }
+            let (guard, _) = self
+                .shared
+                .not_empty
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            state = guard;
+        }
+    }
+
+    /// Drains every currently queued message without blocking.
+    pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+        std::iter::from_fn(move || self.try_recv().ok())
+    }
+
+    /// The number of currently queued messages.
+    pub fn len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().senders += 1;
+        Sender {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().receivers += 1;
+        Receiver {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.lock();
+        state.senders -= 1;
+        if state.senders == 0 {
+            drop(state);
+            // wake receivers blocked in recv so they observe disconnection
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.lock();
+        state.receivers -= 1;
+        if state.receivers == 0 {
+            drop(state);
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(rx.try_recv(), Ok(i));
+        }
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn drop_all_senders_disconnects() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn drop_receiver_fails_send() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+
+    #[test]
+    fn bounded_blocks_until_drained() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        std::thread::scope(|s| {
+            let h = s.spawn(|| tx.send(3));
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(rx.len(), 2, "third send must be blocked");
+            assert_eq!(rx.recv(), Ok(1));
+            assert!(h.join().unwrap().is_ok());
+        });
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Ok(3));
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_send() {
+        let (tx, rx) = unbounded();
+        std::thread::scope(|s| {
+            let h = s.spawn(|| rx.recv());
+            std::thread::sleep(Duration::from_millis(10));
+            tx.send(42u64).unwrap();
+            assert_eq!(h.join().unwrap(), Ok(42));
+        });
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(TryRecvError::Empty)
+        );
+    }
+
+    #[test]
+    fn mpmc_every_message_delivered_once() {
+        let (tx, rx) = bounded(4);
+        let n_senders = 4;
+        let per_sender = 100u64;
+        let mut received = std::thread::scope(|s| {
+            for t in 0..n_senders {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..per_sender {
+                        tx.send(t * per_sender + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            let consumers: Vec<_> = (0..3)
+                .map(|_| {
+                    let rx = rx.clone();
+                    s.spawn(move || {
+                        let mut got = Vec::new();
+                        while let Ok(v) = rx.recv() {
+                            got.push(v);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            consumers
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect::<Vec<u64>>()
+        });
+        received.sort_unstable();
+        assert_eq!(
+            received,
+            (0..n_senders * per_sender).collect::<Vec<u64>>(),
+            "no loss, no duplication"
+        );
+    }
+}

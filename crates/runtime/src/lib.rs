@@ -1,0 +1,26 @@
+//! # mdv-runtime
+//!
+//! The zero-dependency runtime layer of the MDV workspace. Everything the
+//! repository previously pulled from crates.io for concurrency and
+//! randomness lives here, built on `std` alone, so the whole workspace
+//! compiles, tests, and benchmarks on a machine with no registry access:
+//!
+//! * [`rng`] — a SplitMix64-seeded Xoshiro256++ PRNG with the
+//!   `gen_range` / `shuffle` / `choose` / `sample` surface the workload
+//!   generators and benchmarks need. Deterministic: one seed, one stream.
+//! * [`channel`] — bounded and unbounded MPMC channels (both endpoints
+//!   cloneable) used by the simulated network transport.
+//! * [`pool`] — a scoped thread pool and a `parallel_map` helper built on
+//!   `std::thread::scope`.
+//! * [`sync`] — poison-free `Mutex` / `RwLock` wrappers plus a sharded
+//!   mutex for hot maps.
+
+pub mod channel;
+pub mod pool;
+pub mod rng;
+pub mod sync;
+
+pub use channel::{bounded, unbounded, Receiver, RecvError, SendError, Sender, TryRecvError};
+pub use pool::{parallel_map, ThreadPool};
+pub use rng::Prng;
+pub use sync::{Mutex, RwLock, ShardedMutex};

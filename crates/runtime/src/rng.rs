@@ -1,0 +1,258 @@
+//! A deterministic, seedable PRNG.
+//!
+//! The generator is Xoshiro256++ (Blackman & Vigna), seeded by expanding a
+//! 64-bit seed through SplitMix64 — the standard pairing, because
+//! Xoshiro must not be seeded with all zeros and SplitMix64 decorrelates
+//! nearby seeds. Not cryptographic; meant for workload generation,
+//! property testing, and benchmarks where reproducibility is the point.
+
+use std::ops::Range;
+
+/// SplitMix64: a tiny, fast generator used here to expand seeds.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Xoshiro256++ with a convenience sampling surface.
+#[derive(Debug, Clone)]
+pub struct Prng {
+    s: [u64; 4],
+}
+
+impl Prng {
+    /// Expands `seed` into the full 256-bit state via SplitMix64.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Prng {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform in `[0, n)` via Lemire's widening-multiply reduction
+    /// (bias < 2⁻⁶⁴, irrelevant at these scales). `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0, "Prng::below(0)");
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as u64
+    }
+
+    /// Uniform draw from a half-open range, like `rand`'s `gen_range`.
+    ///
+    /// Panics when the range is empty.
+    pub fn gen_range<T: UniformRange>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// A uniformly chosen element, or `None` on an empty slice.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> Option<&'a T> {
+        if xs.is_empty() {
+            None
+        } else {
+            Some(&xs[self.below(xs.len() as u64) as usize])
+        }
+    }
+
+    /// `n` elements sampled without replacement (all of `xs`, shuffled,
+    /// when `n >= xs.len()`). Order is random.
+    pub fn sample<T: Clone>(&mut self, xs: &[T], n: usize) -> Vec<T> {
+        let mut indices: Vec<usize> = (0..xs.len()).collect();
+        self.shuffle(&mut indices);
+        indices.into_iter().take(n).map(|i| xs[i].clone()).collect()
+    }
+}
+
+/// Types [`Prng::gen_range`] can sample uniformly from a half-open range.
+pub trait UniformRange: Sized {
+    fn sample(rng: &mut Prng, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($ty:ty),*) => {$(
+        impl UniformRange for $ty {
+            fn sample(rng: &mut Prng, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range over empty range");
+                let width = range.end.abs_diff(range.start) as u64;
+                range.start.wrapping_add(rng.below(width) as $ty)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_uniform_uint {
+    ($($ty:ty),*) => {$(
+        impl UniformRange for $ty {
+            fn sample(rng: &mut Prng, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range over empty range");
+                let width = (range.end - range.start) as u64;
+                range.start + rng.below(width) as $ty
+            }
+        }
+    )*};
+}
+
+impl_uniform_uint!(u8, u16, u32, u64, usize);
+
+impl UniformRange for f64 {
+    fn sample(rng: &mut Prng, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "gen_range over empty range");
+        range.start + rng.gen_f64() * (range.end - range.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Prng::seed_from_u64(42);
+        let mut b = Prng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Prng::seed_from_u64(1);
+        let mut b = Prng::seed_from_u64(2);
+        let sa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // First outputs of xoshiro256++ for the state [1, 2, 3, 4]
+        // (reference implementation by Blackman & Vigna).
+        let mut rng = Prng { s: [1, 2, 3, 4] };
+        let expected: [u64; 5] = [
+            41943041,
+            58720359,
+            3588806011781223,
+            3591011842654386,
+            9228616714210784205,
+        ];
+        for e in expected {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Prng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-5i64..17);
+            assert!((-5..17).contains(&v));
+            let u = rng.gen_range(3usize..4);
+            assert_eq!(u, 3);
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domains() {
+        let mut rng = Prng::seed_from_u64(9);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values hit: {seen:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        Prng::seed_from_u64(0).gen_range(5i64..5);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = Prng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "~25% expected, got {hits}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0) || true));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Prng::seed_from_u64(3);
+        let mut xs: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, (0..50).collect::<Vec<_>>(), "50 elements stayed put");
+    }
+
+    #[test]
+    fn choose_and_sample() {
+        let mut rng = Prng::seed_from_u64(4);
+        assert_eq!(rng.choose::<u8>(&[]), None);
+        let xs = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(xs.contains(rng.choose(&xs).unwrap()));
+        }
+        let mut s = rng.sample(&xs, 2);
+        assert_eq!(s.len(), 2);
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 2, "sampling is without replacement");
+        assert_eq!(rng.sample(&xs, 10).len(), 3);
+    }
+}

@@ -543,7 +543,8 @@ impl crate::system::MdvSystem {
         std::fs::write(dir.join("topology.mdv"), topology).map_err(io)
     }
 
-    /// Loads a deployment saved with [`MdvSystem::save_to_dir`]. The network
+    /// Loads a deployment saved with [`save_to_dir`](Self::save_to_dir). The
+    /// network
     /// starts fresh (counters at zero); all node state is restored.
     pub fn load_from_dir(dir: &std::path::Path) -> Result<crate::system::MdvSystem> {
         let io = |e: std::io::Error| Error::Topology(format!("load: {e}"));

@@ -4,8 +4,8 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use crossbeam::channel::Receiver;
 use mdv_rdf::{Document, RdfSchema, Resource};
+use mdv_runtime::channel::Receiver;
 
 use crate::error::{Error, Result};
 use crate::lmr::{Lmr, RuleStatus};

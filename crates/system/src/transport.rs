@@ -8,8 +8,8 @@
 
 use std::collections::HashMap;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use mdv_runtime::channel::{unbounded, Receiver, Sender};
+use mdv_runtime::sync::Mutex;
 
 use crate::error::{Error, Result};
 use crate::message::Message;

@@ -1,0 +1,91 @@
+//! The generator abstraction.
+//!
+//! A [`Gen`] turns a choice [`Source`] into a value. Every
+//! `Fn(&mut Source) -> T` closure is a generator, so most call sites just
+//! write closures over the `Source` draw methods; the trait exists so
+//! generators can be named, passed to [`crate::for_all`], and composed.
+
+use crate::source::Source;
+
+/// A reproducible value generator over the choice stream.
+pub trait Gen {
+    type Output;
+
+    fn generate(&self, src: &mut Source) -> Self::Output;
+
+    /// Post-processes generated values. Shrinking composes through the
+    /// mapping because it operates on the underlying choice stream.
+    fn map<U, F: Fn(Self::Output) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { gen: self, f }
+    }
+}
+
+impl<T, F: Fn(&mut Source) -> T> Gen for F {
+    type Output = T;
+
+    fn generate(&self, src: &mut Source) -> T {
+        self(src)
+    }
+}
+
+/// See [`Gen::map`].
+pub struct Map<G, F> {
+    gen: G,
+    f: F,
+}
+
+impl<G: Gen, U, F: Fn(G::Output) -> U> Gen for Map<G, F> {
+    type Output = U;
+
+    fn generate(&self, src: &mut Source) -> U {
+        (self.f)(self.gen.generate(src))
+    }
+}
+
+/// A vector generator: length first, then that many elements.
+pub fn vec_of<G: Gen>(
+    len_range: std::ops::Range<usize>,
+    element: G,
+) -> impl Gen<Output = Vec<G::Output>> {
+    move |src: &mut Source| {
+        let len = src.usize_in(len_range.clone());
+        (0..len).map(|_| element.generate(src)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closures_are_generators() {
+        let g = |src: &mut Source| src.i64_in(10..20);
+        let mut src = Source::record(5);
+        for _ in 0..100 {
+            assert!((10..20).contains(&g.generate(&mut src)));
+        }
+    }
+
+    #[test]
+    fn map_composes() {
+        let g = (|src: &mut Source| src.i64_in(0..10)).map(|v| v * 2);
+        let mut src = Source::record(5);
+        for _ in 0..100 {
+            let v = g.generate(&mut src);
+            assert!(v % 2 == 0 && (0..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_of_respects_length_range() {
+        let g = vec_of(2..5, |src: &mut Source| src.bits());
+        let mut src = Source::record(6);
+        for _ in 0..100 {
+            let v = g.generate(&mut src);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+}

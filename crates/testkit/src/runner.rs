@@ -1,0 +1,382 @@
+//! The property runner: deterministic case iteration, panic capture, and
+//! greedy choice-stream shrinking.
+
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+use mdv_runtime::rng::Prng;
+
+use crate::gen::Gen;
+use crate::source::Source;
+
+/// `Ok(())` to pass a case, `Err(description)` to fail it. Panics inside
+/// properties are caught and treated as failures too.
+pub type TestResult = Result<(), String>;
+
+/// Runner configuration. [`Config::from_env`] reads:
+///
+/// * `MDV_PROP_CASES` — cases per property (overrides per-property counts)
+/// * `MDV_PROP_SEED`  — base seed of the run (decimal or `0x…` hex)
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    pub cases: u32,
+    pub seed: u64,
+    /// Upper bound on shrink candidate executions per failure.
+    pub max_shrink_steps: u32,
+    /// True when `MDV_PROP_CASES` pinned the case count.
+    cases_from_env: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 64,
+            seed: 0x6d64_7600_0000_0001, // "mdv" — fixed so CI is reproducible
+            max_shrink_steps: 4096,
+            cases_from_env: false,
+        }
+    }
+}
+
+impl Config {
+    pub fn from_env() -> Self {
+        let mut config = Config::default();
+        if let Some(cases) = parse_env_u64("MDV_PROP_CASES") {
+            config.cases = cases.clamp(1, u32::MAX as u64) as u32;
+            config.cases_from_env = true;
+        }
+        if let Some(seed) = parse_env_u64("MDV_PROP_SEED") {
+            config.seed = seed;
+        }
+        config
+    }
+
+    /// Sets the per-property case count unless `MDV_PROP_CASES` pinned it.
+    pub fn with_default_cases(mut self, cases: u32) -> Self {
+        if !self.cases_from_env {
+            self.cases = cases;
+        }
+        self
+    }
+}
+
+fn parse_env_u64(var: &str) -> Option<u64> {
+    let raw = std::env::var(var).ok()?;
+    let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(v) => Some(v),
+        Err(_) => panic!("{var} must be an integer, got '{raw}'"),
+    }
+}
+
+thread_local! {
+    static QUIET_PANICS: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Silences the default panic printer for panics raised inside property
+/// bodies on this thread (expected panics would otherwise spam the test
+/// output once per shrink candidate). Other threads are unaffected.
+fn install_quiet_hook() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANICS.with(|q| q.get()) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_owned()
+    }
+}
+
+fn run_case<F: Fn(&mut Source) -> TestResult>(body: &F, src: &mut Source) -> TestResult {
+    QUIET_PANICS.with(|q| q.set(true));
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| body(src)));
+    QUIET_PANICS.with(|q| q.set(false));
+    match outcome {
+        Ok(result) => result,
+        Err(payload) => Err(panic_message(payload)),
+    }
+}
+
+/// Runs `body` for `config.cases` deterministic cases, shrinking the
+/// choice stream of the first failure. Panics with a report on failure.
+///
+/// This is the engine behind the [`crate::property!`] macro; call it
+/// directly when a test wants a custom name or config.
+pub fn run_property<F>(name: &str, config: Config, body: F)
+where
+    F: Fn(&mut Source) -> TestResult,
+{
+    install_quiet_hook();
+    let mut seeds = Prng::seed_from_u64(config.seed);
+    for case in 0..config.cases {
+        let case_seed = seeds.next_u64();
+        let mut src = Source::record(case_seed);
+        if let Err(message) = run_case(&body, &mut src) {
+            let failing = src.consumed();
+            let (min_choices, min_message, steps) = shrink(&body, failing, message, config);
+            // Re-run the minimal case so the final report reflects it and
+            // assertion context (values) is taken from the minimum.
+            QUIET_PANICS.with(|q| q.set(false));
+            panic!(
+                "property '{name}' failed (case {case_no}/{cases}, seed \
+                 {seed:#018x}, {steps} shrink steps)\nminimal failure: \
+                 {min_message}\nminimal choice stream ({n} draws): \
+                 {min_choices:?}\nreproduce this run with \
+                 MDV_PROP_SEED={base:#x}",
+                case_no = case + 1,
+                cases = config.cases,
+                seed = case_seed,
+                n = min_choices.len(),
+                base = config.seed,
+            );
+        }
+    }
+}
+
+/// Classic generator/predicate split: generates `T: Debug` values so the
+/// failure report can print the minimal counterexample itself.
+pub fn for_all<G, P>(name: &str, config: Config, gen: G, prop: P)
+where
+    G: Gen,
+    G::Output: std::fmt::Debug,
+    P: Fn(&G::Output) -> TestResult,
+{
+    run_property(name, config, |src| {
+        let value = gen.generate(src);
+        prop(&value).map_err(|e| format!("{e}\ninput: {value:#?}"))
+    });
+}
+
+/// Greedy stream shrinking: repeatedly tries structurally smaller variants
+/// of the failing choice log, keeping any variant that still fails, until
+/// a fixpoint or the step budget. Returns the minimal log, its failure
+/// message, and the number of candidates executed.
+fn shrink<F: Fn(&mut Source) -> TestResult>(
+    body: &F,
+    mut best: Vec<u64>,
+    mut best_message: String,
+    config: Config,
+) -> (Vec<u64>, String, u32) {
+    let mut steps = 0u32;
+    let attempt = |candidate: Vec<u64>, steps: &mut u32| -> Option<(Vec<u64>, String)> {
+        if *steps >= config.max_shrink_steps {
+            return None;
+        }
+        *steps += 1;
+        let mut src = Source::replay(candidate);
+        match run_case(body, &mut src) {
+            Err(message) => Some((src.consumed(), message)),
+            Ok(()) => None,
+        }
+    };
+
+    'outer: loop {
+        // Pass 1: delete chunks, largest first (shrinks collections).
+        let mut chunk = best.len().max(1) / 2;
+        while chunk >= 1 {
+            let mut start = 0;
+            while start + chunk <= best.len() {
+                let mut candidate = best.clone();
+                candidate.drain(start..start + chunk);
+                if let Some((c, m)) = attempt(candidate, &mut steps) {
+                    if c.len() < best.len() || (c.len() == best.len() && c < best) {
+                        best = c;
+                        best_message = m;
+                        continue 'outer;
+                    }
+                }
+                start += chunk;
+            }
+            chunk /= 2;
+        }
+        // Pass 2: lower individual draws. Candidates go from most to
+        // least aggressive (zero, halvings, decrement), and the first
+        // still-failing one is kept, so the descent toward the minimal
+        // value is geometric rather than one-by-one.
+        for i in 0..best.len() {
+            let v = best[i];
+            if v == 0 {
+                continue;
+            }
+            let replacements = [
+                0,
+                v / 2,
+                v - v / 4,
+                v - v / 8,
+                v - v / 16,
+                v - v / 64,
+                v - 1,
+            ];
+            let mut tried = Vec::new();
+            for replacement in replacements {
+                if replacement >= v || tried.contains(&replacement) {
+                    continue;
+                }
+                tried.push(replacement);
+                let mut candidate = best.clone();
+                candidate[i] = replacement;
+                if let Some((c, m)) = attempt(candidate, &mut steps) {
+                    if c < best {
+                        best = c;
+                        best_message = m;
+                        continue 'outer;
+                    }
+                }
+            }
+        }
+        return (best, best_message, steps);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0u32;
+        let counter = std::cell::RefCell::new(&mut count);
+        run_property("counts", Config::default(), |src| {
+            **counter.borrow_mut() += 1;
+            let v = src.i64_in(0..100);
+            if (0..100).contains(&v) {
+                Ok(())
+            } else {
+                Err("out of range".into())
+            }
+        });
+        drop(counter);
+        assert_eq!(count, Config::default().cases);
+    }
+
+    #[test]
+    fn failing_property_panics_with_report() {
+        let result = std::panic::catch_unwind(|| {
+            run_property("always_fails", Config::default(), |_src| Err("nope".into()));
+        });
+        let message = panic_message(result.unwrap_err());
+        assert!(
+            message.contains("property 'always_fails' failed"),
+            "{message}"
+        );
+        assert!(message.contains("nope"), "{message}");
+        assert!(message.contains("MDV_PROP_SEED"), "{message}");
+    }
+
+    #[test]
+    fn panics_inside_properties_are_failures() {
+        let result = std::panic::catch_unwind(|| {
+            run_property("panics", Config::default(), |src| {
+                let v = src.i64_in(0..10);
+                assert!(v < 100, "unreachable");
+                if v >= 0 {
+                    panic!("boom {v}");
+                }
+                Ok(())
+            });
+        });
+        let message = panic_message(result.unwrap_err());
+        assert!(message.contains("panic: boom"), "{message}");
+    }
+
+    #[test]
+    fn shrinking_converges_to_known_minimum() {
+        // Property: every i64 in [0, 10000) is < 500. The minimal
+        // counterexample is exactly 500; greedy stream shrinking must
+        // find it, not just some large failing value.
+        let result = std::panic::catch_unwind(|| {
+            run_property("finds_500", Config::default(), |src| {
+                let v = src.i64_in(0..10_000);
+                if v < 500 {
+                    Ok(())
+                } else {
+                    Err(format!("counterexample={v}"))
+                }
+            });
+        });
+        let message = panic_message(result.unwrap_err());
+        assert!(
+            message.contains("counterexample=500"),
+            "expected convergence to 500, got: {message}"
+        );
+    }
+
+    #[test]
+    fn shrinking_minimizes_collections() {
+        // Property: no vector contains an element >= 100. The minimal
+        // counterexample is the singleton [100].
+        let result = std::panic::catch_unwind(|| {
+            run_property("finds_singleton", Config::default(), |src| {
+                let v = src.vec(0..20, |s| s.i64_in(0..1000));
+                if v.iter().all(|&x| x < 100) {
+                    Ok(())
+                } else {
+                    Err(format!("counterexample={v:?}"))
+                }
+            });
+        });
+        let message = panic_message(result.unwrap_err());
+        assert!(
+            message.contains("counterexample=[100]"),
+            "expected convergence to [100], got: {message}"
+        );
+    }
+
+    #[test]
+    fn for_all_reports_minimal_input() {
+        let result = std::panic::catch_unwind(|| {
+            for_all(
+                "pairs_differ",
+                Config::default(),
+                |src: &mut Source| (src.i64_in(0..50), src.i64_in(0..50)),
+                |&(a, b)| {
+                    if a.max(b) < 10 {
+                        Ok(())
+                    } else {
+                        Err("pair too large".into())
+                    }
+                },
+            );
+        });
+        let message = panic_message(result.unwrap_err());
+        assert!(message.contains("input:"), "{message}");
+        assert!(
+            message.contains("10"),
+            "minimal pair contains 10: {message}"
+        );
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_same_minimum() {
+        let run = || {
+            let result = std::panic::catch_unwind(|| {
+                run_property("det", Config::default(), |src| {
+                    let v = src.u64_in(0..100_000);
+                    if v < 777 {
+                        Ok(())
+                    } else {
+                        Err(format!("v={v}"))
+                    }
+                });
+            });
+            panic_message(result.unwrap_err())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,205 @@
+//! The choice stream underlying every generator.
+//!
+//! A [`Source`] hands out 64-bit draws. In *record* mode the draws come
+//! from the runtime PRNG and are appended to a log; in *replay* mode they
+//! come from a (possibly shrunk) log, with zeros once the log runs out.
+//! All higher-level draws reduce to [`Source::bits`], and every reduction
+//! maps the zero word to the minimum of its range — that single invariant
+//! is what makes stream-level shrinking converge on minimal inputs.
+
+use std::ops::Range;
+
+use mdv_runtime::rng::Prng;
+
+/// A recorded or replayed stream of 64-bit choices.
+#[derive(Debug)]
+pub struct Source {
+    rng: Option<Prng>,
+    choices: Vec<u64>,
+    pos: usize,
+}
+
+impl Source {
+    /// A recording source: fresh draws from a seeded PRNG.
+    pub(crate) fn record(seed: u64) -> Self {
+        Source {
+            rng: Some(Prng::seed_from_u64(seed)),
+            choices: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// A replaying source over a fixed choice log.
+    pub(crate) fn replay(choices: Vec<u64>) -> Self {
+        Source {
+            rng: None,
+            choices,
+            pos: 0,
+        }
+    }
+
+    /// The prefix of the log actually consumed.
+    pub(crate) fn consumed(&self) -> Vec<u64> {
+        self.choices[..self.pos.min(self.choices.len())].to_vec()
+    }
+
+    /// The next raw 64-bit choice.
+    pub fn bits(&mut self) -> u64 {
+        let v = if self.pos < self.choices.len() {
+            self.choices[self.pos]
+        } else {
+            match &mut self.rng {
+                Some(rng) => {
+                    let v = rng.next_u64();
+                    self.choices.push(v);
+                    v
+                }
+                None => 0,
+            }
+        };
+        self.pos += 1;
+        v
+    }
+
+    /// Uniform `u64` in a half-open range; a zero choice yields `start`.
+    pub fn u64_in(&mut self, range: Range<u64>) -> u64 {
+        assert!(range.start < range.end, "u64_in over empty range");
+        let width = range.end - range.start;
+        range.start + self.bits() % width
+    }
+
+    /// Uniform `i64` in a half-open range; a zero choice yields `start`.
+    pub fn i64_in(&mut self, range: Range<i64>) -> i64 {
+        assert!(range.start < range.end, "i64_in over empty range");
+        let width = range.end.abs_diff(range.start);
+        range.start.wrapping_add((self.bits() % width) as i64)
+    }
+
+    /// Uniform `usize` in a half-open range; a zero choice yields `start`.
+    pub fn usize_in(&mut self, range: Range<usize>) -> usize {
+        self.u64_in(range.start as u64..range.end as u64) as usize
+    }
+
+    /// An arbitrary `i64` (full domain, zero choice yields 0).
+    pub fn any_i64(&mut self) -> i64 {
+        self.bits() as i64
+    }
+
+    /// An arbitrary `usize` (zero choice yields 0).
+    pub fn any_usize(&mut self) -> usize {
+        self.bits() as usize
+    }
+
+    /// Uniform float in `[0, 1)`; a zero choice yields 0.
+    pub fn f64_unit(&mut self) -> f64 {
+        (self.bits() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p`; a zero choice yields `false`.
+    pub fn bool_with(&mut self, p: f64) -> bool {
+        self.f64_unit() < p
+    }
+
+    /// Fair boolean; a zero choice yields `false`.
+    pub fn bool(&mut self) -> bool {
+        self.bits() & (1 << 63) != 0
+    }
+
+    /// A uniformly chosen element; a zero choice yields the first.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        assert!(!xs.is_empty(), "choose from empty slice");
+        &xs[self.usize_in(0..xs.len())]
+    }
+
+    /// An index drawn with the given relative weights; a zero choice
+    /// yields the first positively weighted index.
+    pub fn weighted(&mut self, weights: &[u32]) -> usize {
+        let total: u64 = weights.iter().map(|&w| w as u64).sum();
+        assert!(total > 0, "weighted with all-zero weights");
+        let mut draw = self.u64_in(0..total);
+        for (i, &w) in weights.iter().enumerate() {
+            if draw < w as u64 {
+                return i;
+            }
+            draw -= w as u64;
+        }
+        unreachable!("draw < total")
+    }
+
+    /// A string of `len` characters (drawn from `len_range`) over the
+    /// given alphabet. Zero choices yield the shortest string of the
+    /// alphabet's first character.
+    pub fn string_of(&mut self, alphabet: &str, len_range: Range<usize>) -> String {
+        let chars: Vec<char> = alphabet.chars().collect();
+        assert!(!chars.is_empty(), "string_of with empty alphabet");
+        let len = self.usize_in(len_range);
+        (0..len).map(|_| *self.choose(&chars)).collect()
+    }
+
+    /// A string of printable ASCII (the migration stand-in for
+    /// `proptest`'s `\PC` garbage inputs).
+    pub fn printable(&mut self, len_range: Range<usize>) -> String {
+        let len = self.usize_in(len_range);
+        (0..len)
+            .map(|_| (self.u64_in(0x20..0x7f) as u8) as char)
+            .collect()
+    }
+
+    /// A vector of values from a per-element closure, with its length
+    /// drawn from `len_range` first.
+    pub fn vec<T>(
+        &mut self,
+        len_range: Range<usize>,
+        mut element: impl FnMut(&mut Source) -> T,
+    ) -> Vec<T> {
+        let len = self.usize_in(len_range);
+        (0..len).map(|_| element(self)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_then_replay_is_identical() {
+        let mut rec = Source::record(99);
+        let a: Vec<u64> = (0..10).map(|_| rec.u64_in(5..500)).collect();
+        let mut rep = Source::replay(rec.consumed());
+        let b: Vec<u64> = (0..10).map(|_| rep.u64_in(5..500)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exhausted_replay_yields_minima() {
+        let mut s = Source::replay(Vec::new());
+        assert_eq!(s.i64_in(-7..9), -7);
+        assert_eq!(s.usize_in(3..10), 3);
+        assert_eq!(s.f64_unit(), 0.0);
+        assert!(!s.bool());
+        assert_eq!(*s.choose(&['x', 'y']), 'x');
+        assert_eq!(s.string_of("ab", 2..5), "aa");
+        assert!(s.vec(0..4, |s| s.bits()).is_empty());
+    }
+
+    #[test]
+    fn weighted_respects_weights() {
+        let mut s = Source::record(1);
+        let mut counts = [0u32; 3];
+        for _ in 0..6000 {
+            counts[s.weighted(&[3, 2, 1])] += 1;
+        }
+        assert!(counts[0] > counts[1] && counts[1] > counts[2], "{counts:?}");
+        // zero stream picks the first positively weighted index
+        let mut z = Source::replay(Vec::new());
+        assert_eq!(z.weighted(&[0, 0, 5, 1]), 2);
+    }
+
+    #[test]
+    fn consumed_tracks_only_read_prefix() {
+        let mut s = Source::replay(vec![1, 2, 3, 4]);
+        s.bits();
+        s.bits();
+        assert_eq!(s.consumed(), vec![1, 2]);
+    }
+}

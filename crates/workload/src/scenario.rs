@@ -3,8 +3,7 @@
 //! by the examples and integration tests.
 
 use mdv_rdf::{Document, Resource, Term, UriRef};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mdv_runtime::Prng;
 
 /// Tunables of the marketplace generator.
 #[derive(Debug, Clone, Copy)]
@@ -39,7 +38,7 @@ const OPERATORS: &[&str] = &["join", "sort", "wavelet", "sample", "topk", "compr
 /// Generates one document per provider, against
 /// [`crate::schema::objectglobe_schema`].
 pub fn marketplace_documents(params: &MarketplaceParams) -> Vec<Document> {
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = Prng::seed_from_u64(params.seed);
     let mut docs = Vec::new();
 
     for i in 0..params.cycle_providers {

@@ -1,89 +1,83 @@
 //! Panic-freedom fuzzing: every parser and entry point in the workspace
 //! must return `Err` on malformed input — never panic — because MDPs accept
 //! rule text and documents from remote, untrusted LMRs and clients.
-
-use proptest::prelude::*;
+//! Runs on `mdv-testkit` at 256 deterministic cases per property.
 
 use mdv::filter::FilterEngine;
 use mdv::prelude::*;
 use mdv::rdf::{parse_schema, xml};
 use mdv::relstore::sql;
 use mdv::workload::benchmark_schema;
+use mdv_testkit::{property, Source};
 
 /// Arbitrary garbage plus near-miss inputs built from real token fragments.
-fn arb_garbage() -> impl Strategy<Value = String> {
-    prop_oneof![
-        // raw bytes-ish strings
-        "\\PC{0,40}",
+fn arb_garbage(src: &mut Source) -> String {
+    const FRAGMENTS: [&str; 18] = [
+        "search",
+        "register",
+        "where",
+        "CycleProvider",
+        "c",
+        "c.serverHost",
+        "contains",
+        "'uni-passau.de'",
+        ">",
+        "64",
+        "and",
+        "or",
+        "(",
+        ")",
+        "?",
+        ".",
+        "''",
+        "!",
+    ];
+    if src.bool() {
+        // raw printable garbage
+        src.printable(0..41)
+    } else {
         // fragments of valid syntax, shuffled
-        prop::collection::vec(
-            prop_oneof![
-                Just("search".to_owned()),
-                Just("register".to_owned()),
-                Just("where".to_owned()),
-                Just("CycleProvider".to_owned()),
-                Just("c".to_owned()),
-                Just("c.serverHost".to_owned()),
-                Just("contains".to_owned()),
-                Just("'uni-passau.de'".to_owned()),
-                Just(">".to_owned()),
-                Just("64".to_owned()),
-                Just("and".to_owned()),
-                Just("or".to_owned()),
-                Just("(".to_owned()),
-                Just(")".to_owned()),
-                Just("?".to_owned()),
-                Just(".".to_owned()),
-                Just("''".to_owned()),
-                Just("!".to_owned()),
-            ],
-            0..12
-        )
-        .prop_map(|v| v.join(" ")),
-    ]
+        src.vec(0..12, |src| *src.choose(&FRAGMENTS)).join(" ")
+    }
 }
 
-fn arb_xmlish() -> impl Strategy<Value = String> {
-    prop_oneof![
-        "\\PC{0,60}",
-        prop::collection::vec(
-            prop_oneof![
-                Just("<rdf:RDF>".to_owned()),
-                Just("</rdf:RDF>".to_owned()),
-                Just("<CycleProvider rdf:ID=\"h\">".to_owned()),
-                Just("</CycleProvider>".to_owned()),
-                Just("<p>".to_owned()),
-                Just("</p>".to_owned()),
-                Just("<p/>".to_owned()),
-                Just("text &amp; more".to_owned()),
-                Just("&bogus;".to_owned()),
-                Just("<!--".to_owned()),
-                Just("-->".to_owned()),
-                Just("<?pi".to_owned()),
-                Just("rdf:resource=\"#x\"".to_owned()),
-                Just("\"".to_owned()),
-                Just("<".to_owned()),
-                Just(">".to_owned()),
-            ],
-            0..10
-        )
-        .prop_map(|v| v.join("")),
-    ]
+fn arb_xmlish(src: &mut Source) -> String {
+    const FRAGMENTS: [&str; 16] = [
+        "<rdf:RDF>",
+        "</rdf:RDF>",
+        "<CycleProvider rdf:ID=\"h\">",
+        "</CycleProvider>",
+        "<p>",
+        "</p>",
+        "<p/>",
+        "text &amp; more",
+        "&bogus;",
+        "<!--",
+        "-->",
+        "<?pi",
+        "rdf:resource=\"#x\"",
+        "\"",
+        "<",
+        ">",
+    ];
+    if src.bool() {
+        src.printable(0..61)
+    } else {
+        src.vec(0..10, |src| *src.choose(&FRAGMENTS)).concat()
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
+property! {
     /// The rule parser never panics.
-    #[test]
-    fn rule_parser_never_panics(input in arb_garbage()) {
+    fn rule_parser_never_panics(src) cases = 256; {
+        let input = arb_garbage(src);
         let _ = parse_rule(&input);
     }
 
     /// The full subscription pipeline (parse → split → normalize →
     /// typecheck → decompose → merge) never panics, whatever the input.
-    #[test]
-    fn subscription_pipeline_never_panics(input in arb_garbage()) {
+    fn subscription_pipeline_never_panics(src) cases = 256; {
+        let input = arb_garbage(src);
         let mut engine = FilterEngine::new(benchmark_schema());
         let _ = engine.register_subscription(&input);
         // the engine stays usable afterwards
@@ -93,26 +87,26 @@ proptest! {
     }
 
     /// The XML parser never panics.
-    #[test]
-    fn xml_parser_never_panics(input in arb_xmlish()) {
+    fn xml_parser_never_panics(src) cases = 256; {
+        let input = arb_xmlish(src);
         let _ = xml::parse(&input);
     }
 
     /// The RDF document parser never panics.
-    #[test]
-    fn rdf_parser_never_panics(input in arb_xmlish()) {
+    fn rdf_parser_never_panics(src) cases = 256; {
+        let input = arb_xmlish(src);
         let _ = parse_document("fuzz.rdf", &input);
     }
 
     /// The schema-text parser never panics.
-    #[test]
-    fn schema_parser_never_panics(input in "\\PC{0,80}") {
+    fn schema_parser_never_panics(src) cases = 256; {
+        let input = src.printable(0..81);
         let _ = parse_schema(&input);
     }
 
     /// The SQL front end never panics, even on garbage statements.
-    #[test]
-    fn sql_never_panics(input in arb_garbage()) {
+    fn sql_never_panics(src) cases = 256; {
+        let input = arb_garbage(src);
         let mut db = mdv::relstore::Database::new();
         mdv::filter::store::create_base_tables(&mut db).unwrap();
         let _ = sql::execute(&db, &input);
@@ -120,8 +114,8 @@ proptest! {
     }
 
     /// LMR queries over an empty cache never panic.
-    #[test]
-    fn lmr_query_never_panics(input in arb_garbage()) {
+    fn lmr_query_never_panics(src) cases = 256; {
+        let input = arb_garbage(src);
         let lmr = mdv::system::Lmr::new("l", "m", benchmark_schema());
         let _ = lmr.query(&input);
         let _ = lmr.query_sql(&input);

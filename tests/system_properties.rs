@@ -1,14 +1,15 @@
 //! Property-based tests of the full 3-tier system: for arbitrary operation
 //! sequences (register / update / delete at the backbone), every LMR cache
 //! must equal direct rule evaluation over the MDP's data plus the
-//! strong-reference closure.
+//! strong-reference closure. Runs on `mdv-testkit` (deterministic seeds,
+//! ≥64 cases, see `MDV_PROP_CASES`).
 
-use proptest::prelude::*;
 use std::collections::BTreeSet;
 
 use mdv::filter::query_eval;
 use mdv::prelude::*;
 use mdv::system::MdvSystem;
+use mdv_testkit::{prop_assert, prop_assert_eq, property, Source};
 
 fn schema() -> RdfSchema {
     RdfSchema::builder()
@@ -29,12 +30,16 @@ struct Spec {
     cpu: i64,
 }
 
-fn arb_spec() -> impl Strategy<Value = Spec> {
-    ("[ab]\\.(hub|edge)\\.org", 0i64..150, 300i64..900).prop_map(|(host, memory, cpu)| Spec {
-        host,
-        memory,
-        cpu,
-    })
+fn arb_spec(src: &mut Source) -> Spec {
+    Spec {
+        host: format!(
+            "{}.{}.org",
+            src.choose(&["a", "b"]),
+            src.choose(&["hub", "edge"])
+        ),
+        memory: src.i64_in(0..150),
+        cpu: src.i64_in(300..900),
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -44,15 +49,12 @@ enum Op {
     Delete(usize),
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
-    prop::collection::vec(
-        prop_oneof![
-            3 => arb_spec().prop_map(Op::Register),
-            2 => (any::<usize>(), arb_spec()).prop_map(|(i, s)| Op::Update(i, s)),
-            1 => any::<usize>().prop_map(Op::Delete),
-        ],
-        1..25,
-    )
+fn arb_ops(src: &mut Source) -> Vec<Op> {
+    src.vec(1..25, |src| match src.weighted(&[3, 2, 1]) {
+        0 => Op::Register(arb_spec(src)),
+        1 => Op::Update(src.any_usize(), arb_spec(src)),
+        _ => Op::Delete(src.any_usize()),
+    })
 }
 
 fn make_doc(i: usize, s: &Spec) -> Document {
@@ -97,13 +99,11 @@ fn expected_cache(sys: &MdvSystem) -> BTreeSet<String> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
+property! {
     /// The LMR cache tracks the backbone exactly through arbitrary
     /// register/update/delete sequences.
-    #[test]
-    fn lmr_cache_is_always_consistent(ops in arb_ops()) {
+    fn lmr_cache_is_always_consistent(src) {
+        let ops = arb_ops(src);
         let mut sys = MdvSystem::new(schema());
         sys.add_mdp("mdp").unwrap();
         sys.add_lmr("lmr", "mdp").unwrap();
@@ -153,8 +153,8 @@ proptest! {
 
     /// Backbone replication is transparent: a two-MDP system in which all
     /// writes enter at the *other* MDP gives an identical cache.
-    #[test]
-    fn replication_is_transparent(specs in prop::collection::vec(arb_spec(), 1..8)) {
+    fn replication_is_transparent(src) {
+        let specs = src.vec(1..8, arb_spec);
         // direct: LMR on the same MDP where documents are registered
         let mut direct = MdvSystem::new(schema());
         direct.add_mdp("mdp").unwrap();
