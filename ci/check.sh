@@ -71,6 +71,17 @@ step "cargo test (offline, whole workspace)"
 cargo test -q --offline --workspace
 
 # ---------------------------------------------------------------------------
+step "fault-matrix smoke: fault_sim across fixed seeds"
+# Replays the fault-injection property under three pinned harness seeds so
+# regressions in the at-least-once protocol show up with a reproducible
+# seed in the failure message (rerun locally with the printed MDV_PROP_SEED).
+for seed in 1 31337 20020226; do
+  MDV_PROP_SEED="$seed" MDV_PROP_CASES=25 \
+    cargo test -q --offline --test fault_sim >/dev/null
+  echo "ok: fault_sim @ MDV_PROP_SEED=$seed"
+done
+
+# ---------------------------------------------------------------------------
 step "cargo doc (offline, no deps)"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace -q
 

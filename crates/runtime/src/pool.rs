@@ -2,6 +2,7 @@
 //! in-tree MPMC channel — the replacement for what `crossbeam`'s scoped
 //! utilities provided.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::channel::{unbounded, Sender};
@@ -28,7 +29,9 @@ impl ThreadPool {
                     .name(format!("mdv-pool-{i}"))
                     .spawn(move || {
                         while let Ok(job) = rx.recv() {
-                            job();
+                            // a panicking job must not take the worker down
+                            // with it: the pool keeps serving later jobs
+                            let _ = catch_unwind(AssertUnwindSafe(job));
                         }
                     })
                     .expect("spawn pool worker")

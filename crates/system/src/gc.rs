@@ -111,6 +111,12 @@ impl RefTracker {
         self.strong_rc.remove(uri);
         self.local.remove(uri);
     }
+
+    /// All rule ids that still anchor at least one cached resource. Lets
+    /// tests assert that no retracted rule keeps matches alive.
+    pub fn rules_referenced(&self) -> BTreeSet<u64> {
+        self.matches.values().flatten().copied().collect()
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +168,7 @@ mod tests {
         assert_eq!(affected, vec!["a".to_owned(), "b".to_owned()]);
         assert!(!t.is_anchored("a"));
         assert!(t.is_anchored("b"));
+        assert_eq!(t.rules_referenced().into_iter().collect::<Vec<_>>(), [2]);
     }
 
     #[test]

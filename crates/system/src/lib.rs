@@ -68,4 +68,6 @@ pub use lmr::{Lmr, LmrRule, RuleStatus};
 pub use mdp::Mdp;
 pub use message::{Message, PublishMsg};
 pub use system::MdvSystem;
-pub use transport::{Envelope, LogRecord, NetConfig, NetStats, Network};
+pub use transport::{
+    Envelope, FaultPlan, FaultTag, LinkFaults, LogRecord, NetConfig, NetStats, Network, Partition,
+};

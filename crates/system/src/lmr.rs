@@ -6,7 +6,7 @@
 //! metadata that is never forwarded to the backbone, and answers queries
 //! from local clients against the cache only.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use mdv_filter::{query_eval, store::create_base_tables, BaseStore};
 use mdv_rdf::{Document, RdfSchema, RefKind, Resource};
@@ -36,6 +36,25 @@ pub struct LmrRule {
     pub status: RuleStatus,
 }
 
+/// Retry state of an unacked control message (Subscribe/Unsubscribe).
+#[derive(Debug, Clone)]
+struct Retry {
+    /// Logical time of the next retransmission.
+    next_retry_ms: u64,
+    /// Current backoff interval (doubles per retry up to the config cap).
+    backoff_ms: u64,
+}
+
+impl Retry {
+    fn new(net: &Network) -> Self {
+        let backoff = net.config().retry_initial_ms;
+        Retry {
+            next_retry_ms: net.now_ms() + backoff,
+            backoff_ms: backoff,
+        }
+    }
+}
+
 /// A Local Metadata Repository.
 #[derive(Debug)]
 pub struct Lmr {
@@ -48,6 +67,17 @@ pub struct Lmr {
     pub(crate) rules: BTreeMap<u64, LmrRule>,
     pub(crate) next_rule: u64,
     pub(crate) local_docs: HashMap<String, Document>,
+    /// Next publication sequence number expected from the MDP.
+    pub(crate) next_pub_seq: u64,
+    /// Publications received out of order, parked until the gap closes.
+    pub_buffer: BTreeMap<u64, PublishMsg>,
+    /// Rules retracted locally: late/duplicated publications for them are
+    /// acked and discarded instead of resurrecting cache entries.
+    dead_rules: HashSet<u64>,
+    /// Subscribe messages awaiting their SubscribeAck, keyed by rule id.
+    sub_retry: BTreeMap<u64, Retry>,
+    /// Unsubscribe messages awaiting their UnsubscribeAck, keyed by rule id.
+    unsub_retry: BTreeMap<u64, Retry>,
 }
 
 impl Lmr {
@@ -63,6 +93,11 @@ impl Lmr {
             rules: BTreeMap::new(),
             next_rule: 0,
             local_docs: HashMap::new(),
+            next_pub_seq: 0,
+            pub_buffer: BTreeMap::new(),
+            dead_rules: HashSet::new(),
+            sub_retry: BTreeMap::new(),
+            unsub_retry: BTreeMap::new(),
         }
     }
 
@@ -124,6 +159,7 @@ impl Lmr {
                 rule_text: rule_text.to_owned(),
             },
         )?;
+        self.sub_retry.insert(id, Retry::new(net));
         Ok(id)
     }
 
@@ -138,11 +174,14 @@ impl Lmr {
         }
         self.tracker.remove_rule(rule);
         self.collect_garbage()?;
+        self.sub_retry.remove(&rule);
+        self.dead_rules.insert(rule);
         net.send(
             &self.name,
             &self.mdp,
             Message::Unsubscribe { lmr_rule: rule },
         )?;
+        self.unsub_retry.insert(rule, Retry::new(net));
         Ok(())
     }
 
@@ -234,9 +273,10 @@ impl Lmr {
     }
 
     /// Processes one incoming message.
-    pub fn handle(&mut self, env: Envelope, _net: &Network) -> Result<()> {
+    pub fn handle(&mut self, env: Envelope, net: &Network) -> Result<()> {
         match env.message {
             Message::SubscribeAck { lmr_rule, error } => {
+                self.sub_retry.remove(&lmr_rule);
                 if let Some(rule) = self.rules.get_mut(&lmr_rule) {
                     rule.status = match error {
                         None => RuleStatus::Active,
@@ -245,13 +285,92 @@ impl Lmr {
                 }
                 Ok(())
             }
-            Message::Publish(msg) => self.apply_publish(msg),
+            Message::UnsubscribeAck { lmr_rule } => {
+                self.unsub_retry.remove(&lmr_rule);
+                Ok(())
+            }
+            Message::Publish(msg) => self.receive_publication(msg, net),
             other => Err(Error::Topology(format!(
                 "LMR '{}' received unexpected message kind '{}'",
                 self.name,
                 other.kind()
             ))),
         }
+    }
+
+    /// The receiving half of the at-least-once protocol: acks every copy,
+    /// discards duplicates by sequence number, parks out-of-order arrivals,
+    /// and applies publications exactly once in sequence order.
+    fn receive_publication(&mut self, msg: PublishMsg, net: &Network) -> Result<()> {
+        net.send(&self.name, &self.mdp, Message::PublishAck { seq: msg.seq })?;
+        if msg.seq < self.next_pub_seq || self.pub_buffer.contains_key(&msg.seq) {
+            return Ok(()); // duplicate (retransmission or injected copy)
+        }
+        self.pub_buffer.insert(msg.seq, msg);
+        while let Some(next) = self.pub_buffer.remove(&self.next_pub_seq) {
+            self.next_pub_seq += 1;
+            if self.dead_rules.contains(&next.lmr_rule) {
+                continue; // late publication for a retracted rule
+            }
+            self.apply_publish(next)?;
+        }
+        Ok(())
+    }
+
+    /// Publications parked behind a sequence gap.
+    pub fn buffered_publications(&self) -> usize {
+        self.pub_buffer.len()
+    }
+
+    /// Earliest scheduled control-message retransmission, if any.
+    pub fn next_retry_at(&self) -> Option<u64> {
+        self.sub_retry
+            .values()
+            .chain(self.unsub_retry.values())
+            .map(|r| r.next_retry_ms)
+            .min()
+    }
+
+    /// Retransmits every unacked Subscribe/Unsubscribe whose timer is due;
+    /// returns whether anything was resent.
+    pub fn retransmit_due(&mut self, net: &Network) -> Result<bool> {
+        let now = net.now_ms();
+        let max = net.config().retry_max_ms;
+        let mut resent = false;
+        // defensive: a retry entry whose rule vanished can never be acked
+        let rules = &self.rules;
+        self.sub_retry.retain(|id, _| rules.contains_key(id));
+        for (id, retry) in self.sub_retry.iter_mut() {
+            if retry.next_retry_ms > now {
+                continue;
+            }
+            let rule = &self.rules[id];
+            net.send_retry(
+                &self.name,
+                &self.mdp,
+                Message::Subscribe {
+                    lmr_rule: *id,
+                    rule_text: rule.text.clone(),
+                },
+            )?;
+            retry.backoff_ms = (retry.backoff_ms * 2).min(max);
+            retry.next_retry_ms = now + retry.backoff_ms;
+            resent = true;
+        }
+        for (id, retry) in self.unsub_retry.iter_mut() {
+            if retry.next_retry_ms > now {
+                continue;
+            }
+            net.send_retry(
+                &self.name,
+                &self.mdp,
+                Message::Unsubscribe { lmr_rule: *id },
+            )?;
+            retry.backoff_ms = (retry.backoff_ms * 2).min(max);
+            retry.next_retry_ms = now + retry.backoff_ms;
+            resent = true;
+        }
+        Ok(resent)
     }
 
     /// Applies a publication: inserts matched resources and their closure

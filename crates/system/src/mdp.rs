@@ -6,7 +6,7 @@
 //! strong-reference closure of transmitted resources, §2.4), and replicates
 //! registrations to its backbone peers.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use mdv_filter::{BaseStore, FilterEngine, Publication, SubscriptionId};
 use mdv_rdf::{parse_document, write_document, Document, RdfSchema, Resource};
@@ -14,6 +14,16 @@ use mdv_rdf::{parse_document, write_document, Document, RdfSchema, Resource};
 use crate::error::{Error, Result};
 use crate::message::{Message, PublishMsg};
 use crate::transport::{Envelope, Network};
+
+/// An unacked publication awaiting retransmission (at-least-once delivery).
+#[derive(Debug, Clone)]
+struct Outgoing {
+    msg: PublishMsg,
+    /// Logical time of the next retransmission.
+    next_retry_ms: u64,
+    /// Current backoff interval (doubles per retry up to the config cap).
+    backoff_ms: u64,
+}
 
 /// A Metadata Provider.
 #[derive(Debug)]
@@ -31,6 +41,15 @@ pub struct Mdp {
     /// an explicit [`Mdp::flush`]).
     batch_size: Option<usize>,
     pending: Vec<Document>,
+    /// Next publication sequence number per subscriber LMR.
+    next_pub_seq: HashMap<String, u64>,
+    /// Unacked publications keyed `(lmr, seq)`; BTreeMap so retransmission
+    /// order is deterministic.
+    outbox: BTreeMap<(String, u64), Outgoing>,
+    /// `(lmr, lmr_rule)` pairs whose subscription was retracted: duplicate
+    /// Subscribe/Unsubscribe retransmissions for them are re-acked without
+    /// touching the filter engine.
+    retired: HashSet<(String, u64)>,
 }
 
 impl Mdp {
@@ -42,6 +61,9 @@ impl Mdp {
             peers: Vec::new(),
             batch_size: None,
             pending: Vec::new(),
+            next_pub_seq: HashMap::new(),
+            outbox: BTreeMap::new(),
+            retired: HashSet::new(),
         }
     }
 
@@ -189,6 +211,22 @@ impl Mdp {
         Ok(())
     }
 
+    /// Per-LMR publication sequence counters, sorted (deterministic export).
+    pub(crate) fn pub_seqs_sorted(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<_> = self
+            .next_pub_seq
+            .iter()
+            .map(|(l, s)| (l.clone(), *s))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Restores a per-LMR publication sequence counter during state import.
+    pub(crate) fn restore_pub_seq(&mut self, lmr: &str, next_seq: u64) {
+        self.next_pub_seq.insert(lmr.to_owned(), next_seq);
+    }
+
     /// Re-registers a document during state import: no publication, no
     /// replication.
     pub(crate) fn restore_document(&mut self, doc: &Document) -> Result<()> {
@@ -231,6 +269,20 @@ impl Mdp {
                 lmr_rule,
                 rule_text,
             } => {
+                let key = (env.from.clone(), lmr_rule);
+                // retransmitted or duplicated Subscribe: the subscription is
+                // already registered (or already retracted again) — re-ack
+                // without touching the engine, so retries are idempotent
+                if self.retired.contains(&key) || self.subscribers.values().any(|v| *v == key) {
+                    return net.send(
+                        &self.name,
+                        &env.from,
+                        Message::SubscribeAck {
+                            lmr_rule,
+                            error: None,
+                        },
+                    );
+                }
                 match self.engine.register_subscription(&rule_text) {
                     Ok((sub, initial)) => {
                         self.subscribers.insert(sub, (env.from.clone(), lmr_rule));
@@ -245,7 +297,7 @@ impl Mdp {
                         // initial cache fill
                         if !initial.is_empty() {
                             let msg = self.build_publish(lmr_rule, &initial, &[], &[])?;
-                            net.send(&self.name, &env.from, Message::Publish(msg))?;
+                            self.send_publication(&env.from, msg, net)?;
                         }
                         Ok(())
                     }
@@ -269,13 +321,22 @@ impl Mdp {
                     Some(sub) => {
                         self.subscribers.remove(&sub);
                         self.engine.unregister_subscription(sub)?;
-                        Ok(())
+                        self.retired.insert((env.from.clone(), lmr_rule));
+                        net.send(&self.name, &env.from, Message::UnsubscribeAck { lmr_rule })
+                    }
+                    // retransmitted/duplicated Unsubscribe: already retracted
+                    None if self.retired.contains(&(env.from.clone(), lmr_rule)) => {
+                        net.send(&self.name, &env.from, Message::UnsubscribeAck { lmr_rule })
                     }
                     None => Err(Error::Subscription(format!(
                         "MDP '{}' has no subscription for rule {lmr_rule} of '{}'",
                         self.name, env.from
                     ))),
                 }
+            }
+            Message::PublishAck { seq } => {
+                self.outbox.remove(&(env.from, seq));
+                Ok(())
             }
             Message::ReplicateRegister { document_uri, xml } => {
                 let doc = parse_document(&document_uri, &xml).map_err(mdv_filter::Error::from)?;
@@ -308,10 +369,56 @@ impl Mdp {
             };
             let msg = self.build_publish(lmr_rule, &p.added, &p.updated, &p.removed)?;
             if !msg.is_empty() {
-                net.send(&self.name, &lmr, Message::Publish(msg))?;
+                self.send_publication(&lmr, msg, net)?;
             }
         }
         Ok(())
+    }
+
+    /// Assigns the next per-LMR sequence number, remembers the publication
+    /// in the outbox until it is acked, and ships it.
+    fn send_publication(&mut self, lmr: &str, mut msg: PublishMsg, net: &Network) -> Result<()> {
+        let seq = self.next_pub_seq.entry(lmr.to_owned()).or_insert(0);
+        msg.seq = *seq;
+        *seq += 1;
+        let backoff = net.config().retry_initial_ms;
+        self.outbox.insert(
+            (lmr.to_owned(), msg.seq),
+            Outgoing {
+                msg: msg.clone(),
+                next_retry_ms: net.now_ms() + backoff,
+                backoff_ms: backoff,
+            },
+        );
+        net.send(&self.name, lmr, Message::Publish(msg))
+    }
+
+    /// Publications sent but not yet acked by their LMR.
+    pub fn unacked_publications(&self) -> usize {
+        self.outbox.len()
+    }
+
+    /// Earliest scheduled retransmission, if any publication is unacked.
+    pub fn next_retry_at(&self) -> Option<u64> {
+        self.outbox.values().map(|o| o.next_retry_ms).min()
+    }
+
+    /// Retransmits every outbox entry whose retry timer is due; returns
+    /// whether anything was resent. Backoff doubles per attempt up to the
+    /// configured cap.
+    pub fn retransmit_due(&mut self, net: &Network) -> Result<bool> {
+        let now = net.now_ms();
+        let max = net.config().retry_max_ms;
+        let mut resent = false;
+        for ((lmr, _), out) in self.outbox.iter_mut() {
+            if out.next_retry_ms <= now {
+                net.send_retry(&self.name, lmr, Message::Publish(out.msg.clone()))?;
+                out.backoff_ms = (out.backoff_ms * 2).min(max);
+                out.next_retry_ms = now + out.backoff_ms;
+                resent = true;
+            }
+        }
+        Ok(resent)
     }
 
     fn build_publish(
@@ -347,6 +454,8 @@ impl Mdp {
             .map(|u| resolve(&self.engine, &u))
             .collect::<Result<_>>()?;
         Ok(PublishMsg {
+            // assigned on send by `send_publication`
+            seq: 0,
             lmr_rule,
             matched,
             companions,

@@ -19,8 +19,13 @@ pub enum Message {
     },
     /// LMR → MDP: retract a subscription.
     Unsubscribe { lmr_rule: u64 },
+    /// MDP → LMR: confirms a retraction (so the LMR can stop retrying).
+    UnsubscribeAck { lmr_rule: u64 },
     /// MDP → LMR: matched / updated / removed resources of one rule.
     Publish(PublishMsg),
+    /// LMR → MDP: confirms receipt of the publication with sequence `seq`,
+    /// completing the at-least-once delivery handshake.
+    PublishAck { seq: u64 },
     /// MDP → MDP backbone replication: a newly registered document.
     ReplicateRegister { document_uri: String, xml: String },
     /// MDP → MDP: an updated document (re-registration).
@@ -36,7 +41,9 @@ impl Message {
             Message::Subscribe { .. } => "subscribe",
             Message::SubscribeAck { .. } => "subscribe-ack",
             Message::Unsubscribe { .. } => "unsubscribe",
+            Message::UnsubscribeAck { .. } => "unsubscribe-ack",
             Message::Publish(_) => "publish",
+            Message::PublishAck { .. } => "publish-ack",
             Message::ReplicateRegister { .. } => "replicate-register",
             Message::ReplicateUpdate { .. } => "replicate-update",
             Message::ReplicateDelete { .. } => "replicate-delete",
@@ -57,6 +64,8 @@ impl Message {
             Message::Subscribe { rule_text, .. } => rule_text.len() + 8,
             Message::SubscribeAck { error, .. } => 8 + error.as_ref().map_or(0, |e| e.len()),
             Message::Unsubscribe { .. } => 8,
+            Message::UnsubscribeAck { .. } => 8,
+            Message::PublishAck { .. } => 8,
             Message::Publish(p) => {
                 8 + p.matched.iter().map(resource_size).sum::<usize>()
                     + p.companions.iter().map(resource_size).sum::<usize>()
@@ -73,6 +82,9 @@ impl Message {
 /// A publication towards one LMR rule.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct PublishMsg {
+    /// Per-(MDP, LMR) publication sequence number; the LMR acks it and
+    /// applies publications in sequence order exactly once.
+    pub seq: u64,
     /// The LMR-local id of the rule these resources belong to.
     pub lmr_rule: u64,
     /// Resources matching the rule (new matches or the initial backfill).

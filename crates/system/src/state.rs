@@ -11,11 +11,18 @@
 //!
 //! ```text
 //! #mdv-mdp-state v1
+//! pubseq <lmr>\t<next publication sequence>
 //! subscription <lmr>\t<lmr_rule>\t<escaped rule text>
 //! document <uri>
 //! <RDF/XML lines …>
 //! .
 //! ```
+//!
+//! The `pubseq` records carry the at-least-once publication counters (one
+//! per subscriber LMR): a recovered MDP must continue the per-LMR sequence
+//! numbering where it left off, otherwise live LMRs would discard its
+//! publications as duplicates. Unacked in-flight publications are *not*
+//! part of durable state — recovery assumes a quiescent export.
 
 use mdv_rdf::{parse_document, write_document};
 
@@ -29,6 +36,9 @@ impl Mdp {
     pub fn export_state(&self) -> String {
         let mut out = String::from(HEADER);
         out.push('\n');
+        for (lmr, next_seq) in self.pub_seqs_sorted() {
+            out.push_str(&format!("pubseq {lmr}\t{next_seq}\n"));
+        }
         for (sub, (lmr, lmr_rule)) in self.subscribers_sorted() {
             let text = self
                 .engine()
@@ -70,7 +80,15 @@ impl Mdp {
             if line.is_empty() {
                 continue;
             }
-            if let Some(rest) = line.strip_prefix("subscription ") {
+            if let Some(rest) = line.strip_prefix("pubseq ") {
+                let (lmr, next_seq) = rest
+                    .split_once('\t')
+                    .ok_or_else(|| Error::Topology("malformed pubseq record".into()))?;
+                let next_seq: u64 = next_seq
+                    .parse()
+                    .map_err(|_| Error::Topology("malformed pubseq counter".into()))?;
+                self.restore_pub_seq(lmr, next_seq);
+            } else if let Some(rest) = line.strip_prefix("subscription ") {
                 let mut fields = rest.splitn(3, '\t');
                 let (Some(lmr), Some(rule), Some(rule_text)) =
                     (fields.next(), fields.next(), fields.next())
@@ -267,6 +285,10 @@ impl crate::lmr::Lmr {
     pub fn export_state(&self) -> String {
         let mut out = String::from(LMR_HEADER);
         out.push('\n');
+        // the next publication sequence expected from the MDP: a recovered
+        // LMR must keep the counter, or it would park all further
+        // publications behind a gap that never closes
+        out.push_str(&format!("pubseq {}\n", self.next_pub_seq));
         for (id, rule) in self.rules() {
             let status = match &rule.status {
                 crate::lmr::RuleStatus::Pending => "pending".to_owned(),
@@ -306,7 +328,11 @@ impl crate::lmr::Lmr {
             if line.is_empty() {
                 continue;
             }
-            if let Some(rest) = line.strip_prefix("rule ") {
+            if let Some(next_seq) = line.strip_prefix("pubseq ") {
+                self.next_pub_seq = next_seq
+                    .parse()
+                    .map_err(|_| Error::Topology("malformed pubseq counter".into()))?;
+            } else if let Some(rest) = line.strip_prefix("rule ") {
                 let mut fields = rest.splitn(3, '\t');
                 let (Some(id), Some(status), Some(rule_text)) =
                     (fields.next(), fields.next(), fields.next())
@@ -478,6 +504,9 @@ mod lmr_state_tests {
                     from: "mdp1".into(),
                     to: "lmr1".into(),
                     message: Message::Publish(PublishMsg {
+                        // the restored LMR expects the sequence numbering to
+                        // continue where the exported state left off
+                        seq: 1,
                         lmr_rule: 0,
                         removed: vec!["d.rdf#host".into()],
                         ..PublishMsg::default()

@@ -226,8 +226,18 @@ impl MdvSystem {
         self.lmr(lmr)?.query(query_text)
     }
 
-    /// Delivers queued messages until no node has pending mail. Nodes are
-    /// drained in name order, so runs are deterministic.
+    /// Delivers queued messages until no node has pending mail *and* no
+    /// protocol message is awaiting an ack. Nodes are drained in name order
+    /// and each mailbox batch is processed in delivery-time order, so runs
+    /// are deterministic (and injected jitter actually reorders handling).
+    ///
+    /// When every mailbox is empty but unacked protocol messages remain
+    /// (their originals were dropped by the fault plan), the loop fires due
+    /// retransmissions — advancing the logical clock to the next retry
+    /// deadline when needed — until the at-least-once handshakes complete.
+    /// With an inert fault plan nothing is ever unacked at drain time, so
+    /// no retransmission fires and the schedule matches the fault-free
+    /// transport exactly.
     pub fn run_to_quiescence(&mut self) -> Result<()> {
         let MdvSystem {
             network,
@@ -242,7 +252,14 @@ impl MdvSystem {
             let mut progressed = false;
             for name in &names {
                 let rx = &receivers[name];
+                let mut batch = Vec::new();
                 while let Ok(env) = rx.try_recv() {
+                    batch.push(env);
+                }
+                // stable: equal delivery times keep their send order, which
+                // is the pre-fault-plan behaviour
+                batch.sort_by_key(|env| env.deliver_at_ms);
+                for env in batch {
                     progressed = true;
                     network.advance_clock(env.deliver_at_ms);
                     if let Some(mdp) = mdps.get_mut(name) {
@@ -252,8 +269,29 @@ impl MdvSystem {
                     }
                 }
             }
-            if !progressed {
-                return Ok(());
+            if progressed {
+                continue;
+            }
+            let mut resent = false;
+            for mdp in mdps.values_mut() {
+                resent |= mdp.retransmit_due(network)?;
+            }
+            for lmr in lmrs.values_mut() {
+                resent |= lmr.retransmit_due(network)?;
+            }
+            if resent {
+                continue;
+            }
+            let next_retry = mdps
+                .values()
+                .filter_map(Mdp::next_retry_at)
+                .chain(lmrs.values().filter_map(Lmr::next_retry_at))
+                .min();
+            match next_retry {
+                // nothing in flight, nothing unacked: quiescent
+                None => return Ok(()),
+                // jump the logical clock to the next retry deadline
+                Some(at) => network.advance_clock(at),
             }
         }
     }

@@ -5,10 +5,19 @@
 //! node owns an unbounded channel, messages carry a logical delivery time
 //! derived from configurable per-link latencies, and every send is recorded
 //! in a log so tests and examples can assert on traffic.
+//!
+//! The transport can additionally inject faults — drops, duplicates,
+//! delivery jitter (reordering), latency spikes, and timed partitions —
+//! from a seedable [`FaultPlan`]. Given the same `(NetConfig, seed)` and
+//! the same sequence of sends, the injected faults are bit-identical,
+//! which is what makes the simulation tests in `tests/fault_sim.rs`
+//! replayable. An inert (all-zero) plan draws no randomness and leaves
+//! the transport byte-identical to the fault-free implementation.
 
 use std::collections::HashMap;
 
 use mdv_runtime::channel::{unbounded, Receiver, Sender};
+use mdv_runtime::rng::Prng;
 use mdv_runtime::sync::Mutex;
 
 use crate::error::{Error, Result};
@@ -24,6 +33,22 @@ pub struct Envelope {
     pub deliver_at_ms: u64,
 }
 
+/// What (if anything) the fault injector did to a logged send.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FaultTag {
+    /// Delivered normally.
+    #[default]
+    None,
+    /// Dropped by the random loss process; never delivered.
+    Dropped,
+    /// Dropped because the link was inside a partition window.
+    Partitioned,
+    /// An injected extra copy of an already-delivered message.
+    Duplicated,
+    /// Delivered, but with injected jitter and/or a latency spike.
+    Delayed,
+}
+
 /// One line of the traffic log.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LogRecord {
@@ -33,24 +58,139 @@ pub struct LogRecord {
     pub bytes: usize,
     pub sent_at_ms: u64,
     pub deliver_at_ms: u64,
+    /// Fault-injector verdict for this record.
+    pub fault: FaultTag,
+    /// True when this send was a protocol retransmission.
+    pub retry: bool,
 }
 
 /// Aggregate traffic counters.
+///
+/// `messages`/`bytes` count raw traffic: every send attempt, including
+/// retransmissions, injected duplicates, and messages the fault injector
+/// went on to drop. The split counters let callers derive goodput
+/// (`messages - retries - duplicates_delivered - dropped`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NetStats {
     pub messages: u64,
     pub bytes: u64,
     /// Logical clock after the last delivery.
     pub clock_ms: u64,
+    /// Protocol retransmissions (at-least-once delivery resends).
+    pub retries: u64,
+    /// Extra copies injected by the fault plan and delivered.
+    pub duplicates_delivered: u64,
+    /// Messages the fault plan dropped (loss or partition).
+    pub dropped: u64,
 }
 
-/// Latency configuration.
+/// Fault parameters for one directed link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkFaults {
+    /// Probability in `[0, 1]` that a message is silently dropped.
+    pub drop_prob: f64,
+    /// Probability in `[0, 1]` that a delivered message is duplicated.
+    pub dup_prob: f64,
+    /// Max uniform extra delivery delay; nonzero values reorder traffic.
+    pub jitter_ms: u64,
+    /// Probability in `[0, 1]` of a bounded latency spike.
+    pub spike_prob: f64,
+    /// Extra delay added when a spike fires.
+    pub spike_ms: u64,
+}
+
+impl Default for LinkFaults {
+    fn default() -> Self {
+        LinkFaults {
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            jitter_ms: 0,
+            spike_prob: 0.0,
+            spike_ms: 0,
+        }
+    }
+}
+
+impl LinkFaults {
+    pub fn is_inert(&self) -> bool {
+        self.drop_prob == 0.0
+            && self.dup_prob == 0.0
+            && self.jitter_ms == 0
+            && (self.spike_prob == 0.0 || self.spike_ms == 0)
+    }
+}
+
+/// A timed one-way partition: the link `(from, to)` black-holes every
+/// message sent at a logical time in `[from_ms, until_ms)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    pub from: String,
+    pub to: String,
+    pub from_ms: u64,
+    pub until_ms: u64,
+}
+
+/// A deterministic, seedable schedule of network faults.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the fault-injection PRNG.
+    pub seed: u64,
+    /// Faults applied when no per-link override exists.
+    pub default_link: LinkFaults,
+    /// Per-link overrides, keyed `(from, to)`.
+    pub links: HashMap<(String, String), LinkFaults>,
+    /// Timed one-way partitions.
+    pub partitions: Vec<Partition>,
+}
+
+impl FaultPlan {
+    /// True when the plan can never perturb a message; an inert plan
+    /// draws no randomness, so the transport behaves byte-identically
+    /// to a fault-free network.
+    pub fn is_inert(&self) -> bool {
+        self.default_link.is_inert()
+            && self.links.values().all(LinkFaults::is_inert)
+            && self.partitions.is_empty()
+    }
+
+    /// Adds a symmetric partition between `a` and `b` over `[from_ms, until_ms)`.
+    pub fn partition_both(&mut self, a: &str, b: &str, from_ms: u64, until_ms: u64) {
+        for (x, y) in [(a, b), (b, a)] {
+            self.partitions.push(Partition {
+                from: x.to_owned(),
+                to: y.to_owned(),
+                from_ms,
+                until_ms,
+            });
+        }
+    }
+
+    fn link(&self, from: &str, to: &str) -> &LinkFaults {
+        self.links
+            .get(&(from.to_owned(), to.to_owned()))
+            .unwrap_or(&self.default_link)
+    }
+
+    fn partitioned(&self, from: &str, to: &str, at_ms: u64) -> bool {
+        self.partitions
+            .iter()
+            .any(|p| p.from == from && p.to == to && p.from_ms <= at_ms && at_ms < p.until_ms)
+    }
+}
+
+/// Latency, fault, and retry configuration.
 #[derive(Debug, Clone)]
 pub struct NetConfig {
     /// Latency applied when no per-link override exists.
     pub default_latency_ms: u64,
     /// Per-link overrides, keyed `(from, to)`.
     pub links: HashMap<(String, String), u64>,
+    /// Fault-injection schedule (inert by default).
+    pub faults: FaultPlan,
+    /// First retransmission timeout for unacked protocol messages.
+    pub retry_initial_ms: u64,
+    /// Retransmission backoff ceiling.
+    pub retry_max_ms: u64,
 }
 
 impl Default for NetConfig {
@@ -58,6 +198,9 @@ impl Default for NetConfig {
         NetConfig {
             default_latency_ms: 10,
             links: HashMap::new(),
+            faults: FaultPlan::default(),
+            retry_initial_ms: 50,
+            retry_max_ms: 1600,
         }
     }
 }
@@ -65,6 +208,9 @@ impl Default for NetConfig {
 /// The in-process network.
 pub struct Network {
     config: NetConfig,
+    /// Cached so the common (fault-free) send path skips the RNG lock.
+    faults_active: bool,
+    fault_rng: Mutex<Prng>,
     senders: Mutex<HashMap<String, Sender<Envelope>>>,
     log: Mutex<Vec<LogRecord>>,
     clock_ms: Mutex<u64>,
@@ -73,13 +219,22 @@ pub struct Network {
 
 impl Network {
     pub fn new(config: NetConfig) -> Self {
+        let faults_active = !config.faults.is_inert();
+        let fault_rng = Mutex::new(Prng::seed_from_u64(config.faults.seed));
         Network {
             config,
+            faults_active,
+            fault_rng,
             senders: Mutex::new(HashMap::new()),
             log: Mutex::new(Vec::new()),
             clock_ms: Mutex::new(0),
             stats: Mutex::new(NetStats::default()),
         }
+    }
+
+    /// The active configuration (nodes read the retry knobs from here).
+    pub fn config(&self) -> &NetConfig {
+        &self.config
     }
 
     /// Registers a node and returns its mailbox.
@@ -102,8 +257,18 @@ impl Network {
     }
 
     /// Sends a message; delivery time is the current logical clock plus the
-    /// link latency.
+    /// link latency (plus any injected jitter/spike).
     pub fn send(&self, from: &str, to: &str, message: Message) -> Result<()> {
+        self.send_impl(from, to, message, false)
+    }
+
+    /// Sends a protocol retransmission; identical to [`send`](Self::send)
+    /// but counted under `NetStats::retries` and flagged in the log.
+    pub fn send_retry(&self, from: &str, to: &str, message: Message) -> Result<()> {
+        self.send_impl(from, to, message, true)
+    }
+
+    fn send_impl(&self, from: &str, to: &str, message: Message, retry: bool) -> Result<()> {
         let sender = self
             .senders
             .lock()
@@ -111,29 +276,88 @@ impl Network {
             .cloned()
             .ok_or_else(|| Error::Topology(format!("unknown destination node '{to}'")))?;
         let sent_at = *self.clock_ms.lock();
-        let deliver_at = sent_at + self.latency(from, to);
         let bytes = message.approx_size();
-        self.log.lock().push(LogRecord {
+        let kind = message.kind();
+        let record = |fault: FaultTag, deliver_at: u64| LogRecord {
             from: from.to_owned(),
             to: to.to_owned(),
-            kind: message.kind(),
+            kind,
             bytes,
             sent_at_ms: sent_at,
             deliver_at_ms: deliver_at,
-        });
+            fault,
+            retry,
+        };
         {
             let mut stats = self.stats.lock();
             stats.messages += 1;
             stats.bytes += bytes as u64;
+            if retry {
+                stats.retries += 1;
+            }
         }
-        sender
-            .send(Envelope {
-                from: from.to_owned(),
-                to: to.to_owned(),
-                message,
-                deliver_at_ms: deliver_at,
-            })
-            .map_err(|_| Error::Topology(format!("mailbox of '{to}' is closed")))
+        let deliver = |deliver_at: u64, message: Message| {
+            sender
+                .send(Envelope {
+                    from: from.to_owned(),
+                    to: to.to_owned(),
+                    message,
+                    deliver_at_ms: deliver_at,
+                })
+                .map_err(|_| Error::Topology(format!("mailbox of '{to}' is closed")))
+        };
+
+        if !self.faults_active {
+            let deliver_at = sent_at + self.latency(from, to);
+            self.log.lock().push(record(FaultTag::None, deliver_at));
+            return deliver(deliver_at, message);
+        }
+
+        let plan = &self.config.faults;
+        if plan.partitioned(from, to, sent_at) {
+            self.log.lock().push(record(FaultTag::Partitioned, sent_at));
+            self.stats.lock().dropped += 1;
+            return Ok(());
+        }
+        let link = plan.link(from, to);
+        let mut rng = self.fault_rng.lock();
+        if link.drop_prob > 0.0 && rng.gen_f64() < link.drop_prob {
+            self.log.lock().push(record(FaultTag::Dropped, sent_at));
+            self.stats.lock().dropped += 1;
+            return Ok(());
+        }
+        let extra_delay = |rng: &mut Prng| {
+            let mut extra = 0;
+            if link.jitter_ms > 0 {
+                extra += rng.below(link.jitter_ms + 1);
+            }
+            if link.spike_prob > 0.0 && link.spike_ms > 0 && rng.gen_f64() < link.spike_prob {
+                extra += link.spike_ms;
+            }
+            extra
+        };
+        let extra = extra_delay(&mut rng);
+        let deliver_at = sent_at + self.latency(from, to) + extra;
+        let tag = if extra > 0 {
+            FaultTag::Delayed
+        } else {
+            FaultTag::None
+        };
+        self.log.lock().push(record(tag, deliver_at));
+        deliver(deliver_at, message.clone())?;
+        if link.dup_prob > 0.0 && rng.gen_f64() < link.dup_prob {
+            let extra = extra_delay(&mut rng);
+            let dup_at = sent_at + self.latency(from, to) + extra;
+            self.log.lock().push(record(FaultTag::Duplicated, dup_at));
+            {
+                let mut stats = self.stats.lock();
+                stats.messages += 1;
+                stats.bytes += bytes as u64;
+                stats.duplicates_delivered += 1;
+            }
+            deliver(dup_at, message)?;
+        }
+        Ok(())
     }
 
     /// Advances the logical clock to a delivery time (monotone).
@@ -143,6 +367,11 @@ impl Network {
             *clock = to_ms;
         }
         self.stats.lock().clock_ms = *clock;
+    }
+
+    /// The current logical clock.
+    pub fn now_ms(&self) -> u64 {
+        *self.clock_ms.lock()
     }
 
     pub fn stats(&self) -> NetStats {
@@ -233,5 +462,132 @@ mod tests {
         net.send("a", "b", msg()).unwrap();
         assert_eq!(net.log().len(), 2);
         assert_eq!(net.traffic_by_kind()["replicate-delete"], 2);
+        assert!(net
+            .log()
+            .iter()
+            .all(|r| r.fault == FaultTag::None && !r.retry));
+    }
+
+    #[test]
+    fn drop_prob_one_drops_everything() {
+        let mut config = NetConfig::default();
+        config.faults.default_link.drop_prob = 1.0;
+        let net = Network::new(config);
+        net.register("a").unwrap();
+        let rx = net.register("b").unwrap();
+        net.send("a", "b", msg()).unwrap();
+        assert!(rx.try_recv().is_err());
+        let stats = net.stats();
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(stats.messages, 1);
+        assert_eq!(net.log()[0].fault, FaultTag::Dropped);
+    }
+
+    #[test]
+    fn dup_prob_one_duplicates_everything() {
+        let mut config = NetConfig::default();
+        config.faults.default_link.dup_prob = 1.0;
+        let net = Network::new(config);
+        net.register("a").unwrap();
+        let rx = net.register("b").unwrap();
+        net.send("a", "b", msg()).unwrap();
+        assert!(rx.try_recv().is_ok());
+        assert!(rx.try_recv().is_ok());
+        assert!(rx.try_recv().is_err());
+        let stats = net.stats();
+        assert_eq!(stats.duplicates_delivered, 1);
+        assert_eq!(stats.messages, 2);
+        let log = net.log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[1].fault, FaultTag::Duplicated);
+    }
+
+    #[test]
+    fn partition_window_black_holes_link() {
+        let mut config = NetConfig::default();
+        config.faults.partition_both("a", "b", 0, 100);
+        let net = Network::new(config);
+        net.register("a").unwrap();
+        let rx = net.register("b").unwrap();
+        net.send("a", "b", msg()).unwrap();
+        assert!(rx.try_recv().is_err());
+        assert_eq!(net.log()[0].fault, FaultTag::Partitioned);
+        // after the window the link heals
+        net.advance_clock(100);
+        net.send("a", "b", msg()).unwrap();
+        assert!(rx.try_recv().is_ok());
+        assert_eq!(net.stats().dropped, 1);
+    }
+
+    #[test]
+    fn jitter_delays_and_tags_delivery() {
+        let mut config = NetConfig::default();
+        config.faults.default_link.jitter_ms = 40;
+        config.faults.seed = 7;
+        let net = Network::new(config);
+        net.register("a").unwrap();
+        let rx = net.register("b").unwrap();
+        for _ in 0..32 {
+            net.send("a", "b", msg()).unwrap();
+        }
+        let mut delayed = 0;
+        while let Ok(env) = rx.try_recv() {
+            assert!(env.deliver_at_ms >= 10 && env.deliver_at_ms <= 50);
+            if env.deliver_at_ms > 10 {
+                delayed += 1;
+            }
+        }
+        assert!(delayed > 0, "jitter should perturb at least one delivery");
+        assert!(net.log().iter().any(|r| r.fault == FaultTag::Delayed));
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic_for_a_seed() {
+        let run = |seed: u64| {
+            let mut config = NetConfig::default();
+            config.faults.seed = seed;
+            config.faults.default_link = LinkFaults {
+                drop_prob: 0.3,
+                dup_prob: 0.2,
+                jitter_ms: 25,
+                spike_prob: 0.1,
+                spike_ms: 200,
+            };
+            let net = Network::new(config);
+            net.register("a").unwrap();
+            let _rx = net.register("b").unwrap();
+            for i in 0..64 {
+                net.advance_clock(i);
+                net.send("a", "b", msg()).unwrap();
+            }
+            net.log()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn retry_send_is_counted_and_flagged() {
+        let net = Network::new(NetConfig::default());
+        net.register("a").unwrap();
+        let _rx = net.register("b").unwrap();
+        net.send("a", "b", msg()).unwrap();
+        net.send_retry("a", "b", msg()).unwrap();
+        let stats = net.stats();
+        assert_eq!(stats.messages, 2);
+        assert_eq!(stats.retries, 1);
+        let log = net.log();
+        assert!(!log[0].retry);
+        assert!(log[1].retry);
+    }
+
+    #[test]
+    fn inert_plan_reports_inert() {
+        assert!(FaultPlan::default().is_inert());
+        let mut plan = FaultPlan::default();
+        plan.seed = 99; // a seed alone injects nothing
+        assert!(plan.is_inert());
+        plan.default_link.drop_prob = 0.1;
+        assert!(!plan.is_inert());
     }
 }

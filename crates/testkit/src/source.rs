@@ -95,6 +95,14 @@ impl Source {
         (self.bits() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
+    /// Uniform float in a half-open range; a zero choice yields `start`.
+    /// Handy for fault probabilities bounded away from saturation
+    /// (e.g. drop rates in `0.0..0.3`).
+    pub fn f64_in(&mut self, range: Range<f64>) -> f64 {
+        assert!(range.start < range.end, "f64_in over empty range");
+        range.start + self.f64_unit() * (range.end - range.start)
+    }
+
     /// `true` with probability `p`; a zero choice yields `false`.
     pub fn bool_with(&mut self, p: f64) -> bool {
         self.f64_unit() < p
@@ -176,6 +184,7 @@ mod tests {
         assert_eq!(s.i64_in(-7..9), -7);
         assert_eq!(s.usize_in(3..10), 3);
         assert_eq!(s.f64_unit(), 0.0);
+        assert_eq!(s.f64_in(0.25..0.5), 0.25);
         assert!(!s.bool());
         assert_eq!(*s.choose(&['x', 'y']), 'x');
         assert_eq!(s.string_of("ab", 2..5), "aa");

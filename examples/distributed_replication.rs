@@ -40,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // intercontinental links are slow, local links fast
     let mut net = NetConfig {
         default_latency_ms: 5,
-        links: Default::default(),
+        ..NetConfig::default()
     };
     for (a, b, ms) in [
         ("mdp-eu", "mdp-us", 80),

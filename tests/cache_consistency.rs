@@ -3,86 +3,15 @@
 //! **exactly** the resources matching its subscription rules (evaluated
 //! directly against the MDP's full database) plus their strong-reference
 //! closure — the paper's cache-consistency guarantee (§2.2/§3.5).
+//!
+//! The oracle itself lives in `tests/common/mod.rs`; `fault_sim.rs` drives
+//! the same oracle through randomized fault schedules.
 
-use mdv::filter::{query_eval, BaseStore};
+mod common;
+
+use common::{assert_consistent, mild_fault_plan, provider, schema};
 use mdv::prelude::*;
 use mdv::system::MdvSystem;
-use std::collections::BTreeSet;
-
-fn schema() -> RdfSchema {
-    RdfSchema::builder()
-        .class("ServerInformation", |c| c.int("memory").int("cpu"))
-        .class("CycleProvider", |c| {
-            c.str("serverHost")
-                .int("serverPort")
-                .strong_ref("serverInformation", "ServerInformation")
-        })
-        .build()
-        .unwrap()
-}
-
-fn provider(i: usize, host: &str, memory: i64, cpu: i64) -> Document {
-    let uri = format!("doc{i}.rdf");
-    Document::new(uri.clone())
-        .with_resource(
-            Resource::new(UriRef::new(&uri, "host"), "CycleProvider")
-                .with("serverHost", Term::literal(host))
-                .with("serverPort", Term::literal((4000 + i).to_string()))
-                .with(
-                    "serverInformation",
-                    Term::resource(UriRef::new(&uri, "info")),
-                ),
-        )
-        .with_resource(
-            Resource::new(UriRef::new(&uri, "info"), "ServerInformation")
-                .with("memory", Term::literal(memory.to_string()))
-                .with("cpu", Term::literal(cpu.to_string())),
-        )
-}
-
-/// Computes the expected cache of an LMR: direct evaluation of each rule
-/// against the MDP's base data, plus the strong closure.
-fn expected_cache(sys: &MdvSystem, mdp: &str, rules: &[&str]) -> BTreeSet<String> {
-    let engine = sys.mdp(mdp).unwrap().engine();
-    let schema = engine.schema();
-    let db = engine.db();
-    let mut matched: Vec<String> = Vec::new();
-    for rule_text in rules {
-        let rule = parse_rule(rule_text).unwrap();
-        for conj in split_or(&rule) {
-            let n = match normalize(&conj, schema) {
-                Ok(n) => n,
-                Err(mdv::rulelang::Error::Unsatisfiable) => continue,
-                Err(e) => panic!("bad rule: {e}"),
-            };
-            matched.extend(query_eval::evaluate(db, schema, &n).unwrap());
-        }
-    }
-    // strong closure over the MDP's data
-    engine
-        .strong_closure(&matched)
-        .unwrap()
-        .into_iter()
-        .collect()
-}
-
-fn assert_consistent(sys: &MdvSystem, lmr: &str, mdp: &str, rules: &[&str], when: &str) {
-    let cached: BTreeSet<String> = sys.lmr(lmr).unwrap().cached_uris().into_iter().collect();
-    let expected = expected_cache(sys, mdp, rules);
-    assert_eq!(cached, expected, "cache of {lmr} inconsistent {when}");
-    // cached copies must equal the MDP's current copies, byte for byte
-    let engine = sys.mdp(mdp).unwrap().engine();
-    for uri in &cached {
-        let lmr_copy = sys.lmr(lmr).unwrap().cached_resource(uri).unwrap().unwrap();
-        let mdp_copy = engine.resource(uri).unwrap().unwrap();
-        assert!(
-            lmr_copy.same_content(&mdp_copy),
-            "stale copy of {uri} at {lmr} {when}"
-        );
-    }
-    // sanity: resource lookup on the LMR's own statements still works
-    let _ = BaseStore::resource_exists(engine.db(), "nonexistent#x").unwrap();
-}
 
 #[test]
 fn cache_equals_direct_evaluation_through_lifecycle() {
@@ -127,22 +56,12 @@ fn cache_equals_direct_evaluation_through_lifecycle() {
     assert_consistent(&sys, "lmr", "mdp", &rules, "after delete");
 }
 
-#[test]
-fn consistency_under_randomized_operations() {
-    // a deterministic pseudo-random workout across the whole lifecycle
-    let rules = [
-        "search CycleProvider c register c where c.serverInformation.memory > 50",
-        "search ServerInformation s register s where s.cpu >= 800",
-        "search CycleProvider c register c \
-         where c.serverHost contains 'hub' and c.serverInformation.cpu < 900",
-    ];
-    let mut sys = MdvSystem::new(schema());
-    sys.add_mdp("mdp").unwrap();
-    sys.add_lmr("lmr", "mdp").unwrap();
+/// Runs a deterministic pseudo-random workout over `sys` and checks the
+/// oracle after every operation.
+fn randomized_workout(mut sys: MdvSystem, rules: &[&str], label: &str) {
     for r in rules {
         sys.subscribe("lmr", r).unwrap();
     }
-
     // simple LCG so the sequence is reproducible without extra deps
     let mut state: u64 = 0xdeadbeef;
     let mut next = move || {
@@ -181,9 +100,42 @@ fn consistency_under_randomized_operations() {
             let i = live.remove(pos);
             sys.delete_document("mdp", &format!("doc{i}.rdf")).unwrap();
         }
-        assert_consistent(&sys, "lmr", "mdp", &rules, &format!("at step {step}"));
+        assert_consistent(
+            &sys,
+            "lmr",
+            "mdp",
+            rules,
+            &format!("at step {step} ({label})"),
+        );
     }
     assert!(!live.is_empty(), "workout kept some documents alive");
+}
+
+const WORKOUT_RULES: [&str; 3] = [
+    "search CycleProvider c register c where c.serverInformation.memory > 50",
+    "search ServerInformation s register s where s.cpu >= 800",
+    "search CycleProvider c register c \
+     where c.serverHost contains 'hub' and c.serverInformation.cpu < 900",
+];
+
+#[test]
+fn consistency_under_randomized_operations() {
+    let mut sys = MdvSystem::new(schema());
+    sys.add_mdp("mdp").unwrap();
+    sys.add_lmr("lmr", "mdp").unwrap();
+    randomized_workout(sys, &WORKOUT_RULES, "reliable network");
+}
+
+#[test]
+fn consistency_under_randomized_operations_with_mild_faults() {
+    // same scenario, but the transport now drops, duplicates, and jitters
+    // a little — the at-least-once protocol must keep the oracle intact
+    let mut config = NetConfig::default();
+    config.faults = mild_fault_plan(0x6d64_7602);
+    let mut sys = MdvSystem::with_net_config(schema(), config);
+    sys.add_mdp("mdp").unwrap();
+    sys.add_lmr("lmr", "mdp").unwrap();
+    randomized_workout(sys, &WORKOUT_RULES, "mild fault plan");
 }
 
 #[test]

@@ -1,0 +1,113 @@
+//! Shared helpers for the system-level integration tests: the paper's
+//! cache-consistency oracle (§2.2/§3.5) plus the schema/document builders
+//! and fault-plan presets used by `cache_consistency.rs` and
+//! `fault_sim.rs`.
+//!
+//! The oracle is the heart of the test tier: after any sequence of
+//! registrations, updates, and deletions — and any amount of message loss,
+//! duplication, or reordering the transport injected along the way — every
+//! LMR cache must contain **exactly** the resources matching its
+//! subscription rules (evaluated directly against the MDP's full database)
+//! plus their strong-reference closure, byte-for-byte fresh.
+
+#![allow(dead_code)] // each test binary uses a subset of these helpers
+
+use std::collections::BTreeSet;
+
+use mdv::filter::{query_eval, BaseStore};
+use mdv::prelude::*;
+use mdv::system::transport::{FaultPlan, LinkFaults};
+
+pub fn schema() -> RdfSchema {
+    RdfSchema::builder()
+        .class("ServerInformation", |c| c.int("memory").int("cpu"))
+        .class("CycleProvider", |c| {
+            c.str("serverHost")
+                .int("serverPort")
+                .strong_ref("serverInformation", "ServerInformation")
+        })
+        .build()
+        .unwrap()
+}
+
+pub fn provider(i: usize, host: &str, memory: i64, cpu: i64) -> Document {
+    let uri = format!("doc{i}.rdf");
+    Document::new(uri.clone())
+        .with_resource(
+            Resource::new(UriRef::new(&uri, "host"), "CycleProvider")
+                .with("serverHost", Term::literal(host))
+                .with("serverPort", Term::literal((4000 + i).to_string()))
+                .with(
+                    "serverInformation",
+                    Term::resource(UriRef::new(&uri, "info")),
+                ),
+        )
+        .with_resource(
+            Resource::new(UriRef::new(&uri, "info"), "ServerInformation")
+                .with("memory", Term::literal(memory.to_string()))
+                .with("cpu", Term::literal(cpu.to_string())),
+        )
+}
+
+/// Computes the expected cache of an LMR: direct evaluation of each rule
+/// against the MDP's base data, plus the strong closure.
+pub fn expected_cache(sys: &MdvSystem, mdp: &str, rules: &[&str]) -> BTreeSet<String> {
+    let engine = sys.mdp(mdp).unwrap().engine();
+    let schema = engine.schema();
+    let db = engine.db();
+    let mut matched: Vec<String> = Vec::new();
+    for rule_text in rules {
+        let rule = parse_rule(rule_text).unwrap();
+        for conj in split_or(&rule) {
+            let n = match normalize(&conj, schema) {
+                Ok(n) => n,
+                Err(mdv::rulelang::Error::Unsatisfiable) => continue,
+                Err(e) => panic!("bad rule: {e}"),
+            };
+            matched.extend(query_eval::evaluate(db, schema, &n).unwrap());
+        }
+    }
+    // strong closure over the MDP's data
+    engine
+        .strong_closure(&matched)
+        .unwrap()
+        .into_iter()
+        .collect()
+}
+
+/// Asserts that an LMR cache matches the oracle exactly, with every cached
+/// copy byte-identical to the MDP's current copy.
+pub fn assert_consistent(sys: &MdvSystem, lmr: &str, mdp: &str, rules: &[&str], when: &str) {
+    let cached: BTreeSet<String> = sys.lmr(lmr).unwrap().cached_uris().into_iter().collect();
+    let expected = expected_cache(sys, mdp, rules);
+    assert_eq!(cached, expected, "cache of {lmr} inconsistent {when}");
+    // cached copies must equal the MDP's current copies, byte for byte
+    let engine = sys.mdp(mdp).unwrap().engine();
+    for uri in &cached {
+        let lmr_copy = sys.lmr(lmr).unwrap().cached_resource(uri).unwrap().unwrap();
+        let mdp_copy = engine.resource(uri).unwrap().unwrap();
+        assert!(
+            lmr_copy.same_content(&mdp_copy),
+            "stale copy of {uri} at {lmr} {when}"
+        );
+    }
+    // sanity: resource lookup on the MDP's own statements still works
+    let _ = BaseStore::resource_exists(engine.db(), "nonexistent#x").unwrap();
+}
+
+/// A gentle all-links fault plan: a little loss, duplication, and jitter —
+/// enough to exercise the at-least-once machinery without making tests
+/// crawl through long retry chains.
+pub fn mild_fault_plan(seed: u64) -> FaultPlan {
+    FaultPlan {
+        seed,
+        default_link: LinkFaults {
+            drop_prob: 0.05,
+            dup_prob: 0.05,
+            jitter_ms: 15,
+            spike_prob: 0.02,
+            spike_ms: 60,
+        },
+        ..FaultPlan::default()
+    }
+}

@@ -7,8 +7,12 @@ use mdv::filter::FilterEngine;
 use mdv::prelude::*;
 use mdv::rdf::{parse_schema, xml};
 use mdv::relstore::sql;
+use mdv::system::transport::{FaultPlan, LinkFaults};
+use mdv::system::MdvSystem;
 use mdv::workload::benchmark_schema;
-use mdv_testkit::{property, Source};
+use mdv_testkit::{prop_assert, property, Source};
+
+mod common;
 
 /// Arbitrary garbage plus near-miss inputs built from real token fragments.
 fn arb_garbage(src: &mut Source) -> String {
@@ -119,5 +123,82 @@ property! {
         let lmr = mdv::system::Lmr::new("l", "m", benchmark_schema());
         let _ = lmr.query(&input);
         let _ = lmr.query_sql(&input);
+    }
+
+    /// The whole 3-tier system never panics or spins forever under a
+    /// random fault plan: every operation — valid or garbage, on any node —
+    /// still runs to quiescence, and logical time stays bounded.
+    fn system_tier_never_panics_under_faults(src) cases = 64; {
+        let mut config = NetConfig::default();
+        config.faults = FaultPlan {
+            seed: src.bits(),
+            default_link: LinkFaults {
+                drop_prob: src.f64_in(0.0..0.30),
+                dup_prob: src.f64_in(0.0..0.30),
+                jitter_ms: src.u64_in(0..50),
+                spike_prob: src.f64_in(0.0..0.20),
+                spike_ms: src.u64_in(0..200),
+            },
+            ..FaultPlan::default()
+        };
+        if src.bool() {
+            let from = src.u64_in(0..500);
+            let until = from + src.u64_in(1..500);
+            config.faults.partition_both("m1", "l1", from, until);
+        }
+
+        let mut sys = MdvSystem::with_net_config(common::schema(), config);
+        sys.add_mdp("m1").unwrap();
+        sys.add_mdp("m2").unwrap(); // MDP↔MDP replication is unreliable
+        sys.add_lmr("l1", "m1").unwrap();
+        sys.add_lmr("l2", "m2").unwrap();
+
+        let mut rule_ids: Vec<(String, u64)> = Vec::new();
+        for _ in 0..src.u64_in(1..20) {
+            let mdp = (*src.choose(&["m1", "m2"])).to_owned();
+            let lmr = (*src.choose(&["l1", "l2"])).to_owned();
+            match src.weighted(&[4, 2, 2, 2, 1, 1]) {
+                0 => {
+                    let i = src.u64_in(0..6) as usize;
+                    let doc = common::provider(i, "n.hub.org", src.i64_in(0..200), 500);
+                    let _ = sys.register_document(&mdp, &doc);
+                }
+                1 => {
+                    let i = src.u64_in(0..6) as usize;
+                    let doc = common::provider(i, "n.edge.org", src.i64_in(0..200), 700);
+                    let _ = sys.update_document(&mdp, &doc);
+                }
+                2 => {
+                    let i = src.u64_in(0..6);
+                    let _ = sys.delete_document(&mdp, &format!("doc{i}.rdf"));
+                }
+                3 => {
+                    if let Ok(id) = sys.subscribe(
+                        &lmr,
+                        "search CycleProvider c register c \
+                         where c.serverInformation.memory > 64",
+                    ) {
+                        rule_ids.push((lmr, id));
+                    }
+                }
+                4 => {
+                    // garbage rule: must fail cleanly, even mid-faults
+                    let _ = sys.subscribe(&lmr, &arb_garbage(src));
+                }
+                _ => {
+                    if let Some(pick) = rule_ids.pop() {
+                        let _ = sys.unsubscribe(&pick.0, pick.1);
+                    } else {
+                        let _ = sys.unsubscribe(&lmr, src.bits());
+                    }
+                }
+            }
+        }
+        let stats = sys.network_stats();
+        prop_assert!(
+            stats.clock_ms < 200_000,
+            "logical time ran away: {:?}",
+            stats
+        );
     }
 }
