@@ -82,6 +82,15 @@ for seed in 1 31337 20020226; do
 done
 
 # ---------------------------------------------------------------------------
+step "parallel-filter determinism: publications invariant across thread counts"
+# The parallel batch filter must emit byte-identical publications, traces,
+# and stats for every thread count (DESIGN.md §5); the fault matrix above
+# depends on it. Pinned seed for a reproducible failure message.
+MDV_PROP_SEED=20020226 MDV_PROP_CASES=50 \
+  cargo test -q --offline -p mdv-filter --test parallel_determinism >/dev/null
+echo "ok: parallel_determinism @ MDV_PROP_SEED=20020226"
+
+# ---------------------------------------------------------------------------
 step "cargo doc (offline, no deps)"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace -q
 
@@ -101,6 +110,15 @@ if [[ "$QUICK" == "0" ]]; then
   step "bench harness smoke pass (MDV_BENCH_ITERS=1)"
   MDV_BENCH_ITERS=1 cargo bench --offline -p mdv-bench >/dev/null
   echo "ok: figures bench harness"
+
+  # -------------------------------------------------------------------------
+  step "figures smoke pass with --threads 2 (quick mode)"
+  # Exercises the threaded sweep path end to end. fig12 (not thread-scaling)
+  # so the smoke never clobbers the checked-in BENCH_filter_scaling.json;
+  # the thread-scaling determinism gate itself is unit-tested in mdv-bench.
+  cargo run --offline --release -p mdv-bench --bin figures -- \
+    fig12 --threads 2 >/dev/null
+  echo "ok: figures fig12 --threads 2"
 fi
 
 step "all checks passed"

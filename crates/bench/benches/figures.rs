@@ -110,6 +110,7 @@ fn ablation_groups() {
             RULE_COUNT,
             FilterConfig {
                 use_rule_groups: use_groups,
+                ..FilterConfig::default()
             },
         );
         group.bench_with_setup(

@@ -3,24 +3,35 @@
 //! ```text
 //! cargo run -p mdv-bench --bin figures --release -- all
 //! cargo run -p mdv-bench --bin figures --release -- fig12 --full
+//! cargo run -p mdv-bench --bin figures --release -- fig12 --threads 4
+//! cargo run -p mdv-bench --bin figures --release -- thread-scaling --full
 //! ```
 //!
 //! Subcommands: `fig11` `fig12` `fig13` `fig14` `fig15`
-//! `ablation-naive` `ablation-groups` `ablation-updates` `all`.
+//! `ablation-naive` `ablation-groups` `ablation-updates` `thread-scaling`
+//! `all`.
 //! `--full` runs the paper-sized rule bases (up to 100,000 rules); the
-//! default sizes finish in a few minutes on a laptop.
+//! default sizes finish in a few minutes on a laptop. `--threads N` runs
+//! the figure sweeps with the parallel filter on N pool workers
+//! (publications are byte-identical for any N; only wall-clock changes).
+//! `thread-scaling` sweeps N itself (1/2/4/8) on the Figure-12 PATH
+//! workload and writes machine-readable results to
+//! `BENCH_filter_scaling.json`; the `--threads` flag does not apply to it.
 
 use std::env;
+use std::io::Write;
 
 use mdv_bench::{
-    ablation_groups, ablation_naive, ablation_updates, render_csv, sweep, sweep_fractions,
-    Measurement, BATCH_SIZES, BATCH_SIZES_QUICK,
+    ablation_groups, ablation_naive, ablation_updates, render_csv, sweep_fractions_threaded,
+    sweep_threaded, Measurement, BATCH_SIZES, BATCH_SIZES_QUICK,
 };
+use mdv_testkit::bench::{json_line, measure, BenchOptions};
 use mdv_workload::RuleType;
 
 struct Config {
     full: bool,
     min_elapsed_ms: f64,
+    threads: usize,
 }
 
 impl Config {
@@ -36,15 +47,31 @@ impl Config {
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
-    let commands: Vec<&str> = args
-        .iter()
-        .map(String::as_str)
-        .filter(|a| *a != "--full")
-        .collect();
+    let mut threads = 1usize;
+    let mut commands: Vec<&str> = Vec::new();
+    let mut iter = args.iter().map(String::as_str);
+    while let Some(arg) = iter.next() {
+        match arg {
+            "--full" => {}
+            "--threads" => {
+                let value = iter.next().unwrap_or_else(|| {
+                    eprintln!("--threads needs a value");
+                    std::process::exit(2);
+                });
+                threads = value.parse().unwrap_or_else(|_| {
+                    eprintln!("--threads must be an integer, got '{value}'");
+                    std::process::exit(2);
+                });
+                threads = threads.max(1);
+            }
+            other => commands.push(other),
+        }
+    }
     let command = commands.first().copied().unwrap_or("all");
     let config = Config {
         full,
         min_elapsed_ms: if full { 200.0 } else { 50.0 },
+        threads,
     };
 
     match command {
@@ -56,6 +83,7 @@ fn main() {
         "ablation-naive" => run_ablation_naive(&config),
         "ablation-groups" => run_ablation_groups(&config),
         "ablation-updates" => run_ablation_updates(&config),
+        "thread-scaling" => run_thread_scaling(&config),
         "all" => {
             fig11(&config);
             fig12(&config);
@@ -65,12 +93,14 @@ fn main() {
             run_ablation_naive(&config);
             run_ablation_groups(&config);
             run_ablation_updates(&config);
+            run_thread_scaling(&config);
         }
         other => {
             eprintln!("unknown command '{other}'");
             eprintln!(
                 "usage: figures [fig11|fig12|fig13|fig14|fig15|ablation-naive|\
-                 ablation-groups|ablation-updates|all] [--full]"
+                 ablation-groups|ablation-updates|thread-scaling|all] \
+                 [--full] [--threads N]"
             );
             std::process::exit(2);
         }
@@ -102,12 +132,13 @@ fn fig11(config: &Config) {
     );
     let mut rows = Vec::new();
     for &rc in rule_counts {
-        rows.extend(sweep(
+        rows.extend(sweep_threaded(
             RuleType::Oid,
             rc,
             0.0,
             config.batches(),
             config.min_elapsed_ms,
+            config.threads,
         ));
     }
     print_rows(&rows);
@@ -128,12 +159,13 @@ fn fig12(config: &Config) {
     );
     let mut rows = Vec::new();
     for &rc in rule_counts {
-        rows.extend(sweep(
+        rows.extend(sweep_threaded(
             RuleType::Path,
             rc,
             0.0,
             config.batches(),
             config.min_elapsed_ms,
+            config.threads,
         ));
     }
     print_rows(&rows);
@@ -151,12 +183,13 @@ fn fig13(config: &Config) {
     );
     let mut rows = Vec::new();
     for &rc in rule_counts {
-        rows.extend(sweep(
+        rows.extend(sweep_threaded(
             RuleType::Comp,
             rc,
             0.1,
             config.batches(),
             config.min_elapsed_ms,
+            config.threads,
         ));
     }
     print_rows(&rows);
@@ -177,12 +210,13 @@ fn fig14(config: &Config) {
     );
     let mut rows = Vec::new();
     for &rc in rule_counts {
-        rows.extend(sweep(
+        rows.extend(sweep_threaded(
             RuleType::Join,
             rc,
             0.0,
             config.batches(),
             config.min_elapsed_ms,
+            config.threads,
         ));
     }
     print_rows(&rows);
@@ -198,11 +232,12 @@ fn fig15(config: &Config) {
         "Figure 15: COMP rules, varying matched percentage",
         "expected shape: higher matched percentage costs more at every batch size",
     );
-    print_rows(&sweep_fractions(
+    print_rows(&sweep_fractions_threaded(
         rule_count,
         &fractions,
         batches,
         config.min_elapsed_ms,
+        config.threads,
     ));
 }
 
@@ -265,4 +300,97 @@ fn run_ablation_updates(config: &Config) {
     println!("update,{update:.5}");
     println!("delete,{delete:.5}");
     println!("update/register ratio: {:.2}", update / register);
+}
+
+/// Thread scaling: batch registration of the Figure-12 PATH workload on
+/// 1/2/4/8 pool workers. Publications are asserted byte-identical across
+/// thread counts before anything is timed; results go to stdout and, as
+/// testkit bench-runner JSON lines, to `BENCH_filter_scaling.json`.
+fn run_thread_scaling(config: &Config) {
+    use mdv_bench::build_engine;
+    use mdv_workload::{benchmark_documents, BenchParams};
+
+    let (rule_counts, batch): (&[u64], u64) = if config.full {
+        (&[10_000, 100_000], 1000)
+    } else {
+        (&[1_000, 10_000], 100)
+    };
+    let thread_counts = [1usize, 2, 4, 8];
+    banner(
+        "Thread scaling: PATH rules, parallel batch registration",
+        "expected shape: total batch time falls with the worker count up to \
+         the machine's core count, publications identical at every point",
+    );
+    // the default runner iteration count (10) is sized for micro-benches;
+    // a 100k-rule batch registration runs for tens of seconds, so use a
+    // smaller count unless MDV_BENCH_ITERS asks otherwise
+    let opts = if std::env::var_os("MDV_BENCH_ITERS").is_some() {
+        BenchOptions::from_env()
+    } else {
+        BenchOptions {
+            warmup_iters: 1,
+            iters: if config.full { 3 } else { 5 },
+        }
+    };
+
+    let mut json_lines: Vec<String> = Vec::new();
+    println!("rule_count,batch,threads,median_ms,ms_per_doc,speedup_vs_1thread");
+    for &rc in rule_counts {
+        let base = build_engine(RuleType::Path, rc);
+        let params = BenchParams {
+            rule_count: rc,
+            comp_match_fraction: 0.1,
+        };
+        let docs = benchmark_documents(0..batch, &params);
+        // determinism gate: every thread count must publish the same bytes
+        let reference = {
+            let mut engine = base.clone();
+            engine.register_batch(&docs).expect("reference registers")
+        };
+        let group = format!("filter_scaling_path_{rc}rules_batch{batch}");
+        let mut baseline_ns = 0u64;
+        for &threads in &thread_counts {
+            {
+                let mut engine = base.clone();
+                engine.set_threads(threads);
+                let pubs = engine.register_batch(&docs).expect("scaling registers");
+                assert_eq!(
+                    pubs, reference,
+                    "publications diverged at threads={threads} (rules={rc})"
+                );
+            }
+            let stats = measure(
+                opts,
+                || {
+                    let mut engine = base.clone();
+                    engine.set_threads(threads);
+                    engine
+                },
+                |mut engine| {
+                    engine.register_batch(&docs).expect("scaling registers");
+                },
+            );
+            if threads == 1 {
+                baseline_ns = stats.median_ns;
+            }
+            println!(
+                "{},{},{},{:.3},{:.5},{:.2}x",
+                rc,
+                batch,
+                threads,
+                stats.median_ns as f64 / 1e6,
+                stats.median_ns as f64 / 1e6 / batch as f64,
+                baseline_ns as f64 / stats.median_ns as f64
+            );
+            json_lines.push(json_line(&group, &format!("threads_{threads}"), &stats));
+        }
+    }
+
+    let path = "BENCH_filter_scaling.json";
+    let mut file =
+        std::fs::File::create(path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+    for line in &json_lines {
+        writeln!(file, "{line}").expect("write scaling results");
+    }
+    println!("wrote {} results to {path}", json_lines.len());
 }

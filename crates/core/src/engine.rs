@@ -14,6 +14,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use mdv_rdf::{Document, RdfSchema, RefKind, Resource, RDF_SUBJECT};
 use mdv_relstore::Database;
 use mdv_rulelang::{normalize, parse_rule, split_or, typecheck, RuleOp};
+use mdv_runtime::pool::parallel_map;
 
 use crate::atoms::{AtomicRuleKind, GroupId, JoinPred, JoinSpec, RuleId, Side, TriggerOp};
 use crate::decompose::decompose;
@@ -33,12 +34,20 @@ pub struct FilterConfig {
     /// Share counterpart probes across the join rules of a rule group
     /// (paper §3.3.3). Disabling evaluates every join rule individually.
     pub use_rule_groups: bool,
+    /// Worker threads for the read-only filter phases: document validation
+    /// and atomization, trigger matching, counterpart probes, and join-rule
+    /// candidate evaluation. `1` (the default) runs everything on the
+    /// calling thread — bit-for-bit the pre-parallel engine. Any value
+    /// yields byte-identical publications and stats; only wall-clock time
+    /// changes (DESIGN.md §5, "Parallel filter execution").
+    pub threads: usize,
 }
 
 impl Default for FilterConfig {
     fn default() -> Self {
         FilterConfig {
             use_rule_groups: true,
+            threads: 1,
         }
     }
 }
@@ -138,6 +147,30 @@ impl FilterEngine {
 
     pub fn config(&self) -> &FilterConfig {
         &self.config
+    }
+
+    /// Sets the worker-thread count for subsequent filter runs. Safe to
+    /// flip at any time: publications and stats are identical for every
+    /// value (DESIGN.md §5), only wall-clock time changes.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.config.threads = threads.max(1);
+    }
+
+    /// Maps `f` over `items`, fanning out across `config.threads` scoped
+    /// workers when parallelism is enabled and there is enough work,
+    /// sequentially otherwise. Results come back in input order either
+    /// way, so callers cannot observe the thread count.
+    pub(crate) fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        if self.config.threads > 1 && items.len() > 1 {
+            parallel_map(items, self.config.threads, f)
+        } else {
+            items.iter().map(f).collect()
+        }
     }
 
     pub fn subscription(&self, id: SubscriptionId) -> Option<&Subscription> {
@@ -312,8 +345,11 @@ impl FilterEngine {
         &mut self,
         docs: &[Document],
     ) -> Result<(Vec<Publication>, FilterRun)> {
-        // validate everything before touching state
-        for doc in docs {
+        // validate everything before touching state; the per-document
+        // checks are independent and read-only, so they fan out across the
+        // pool — scanning the results in document order keeps the reported
+        // error identical to the sequential engine's
+        let checks = self.par_map(docs, |doc| -> Result<()> {
             if self.documents.contains_key(doc.uri()) {
                 return Err(Error::Document(format!(
                     "document '{}' is already registered; use update_document",
@@ -330,13 +366,20 @@ impl FilterEngine {
                     )));
                 }
             }
+            Ok(())
+        });
+        for check in checks {
+            check?;
         }
+        // decomposition into atoms is pure per document — parallel; the
+        // base-table inserts stay on this thread
+        let per_doc_atoms = self.par_map(docs, Atom::from_document);
         let mut atoms = Vec::new();
-        for doc in docs {
+        for (doc, doc_atoms) in docs.iter().zip(per_doc_atoms) {
             for res in doc.resources() {
                 BaseStore::insert_resource(&mut self.db, res, doc.uri())?;
             }
-            atoms.extend(Atom::from_document(doc));
+            atoms.extend(doc_atoms);
             self.documents.insert(doc.uri().to_owned(), doc.clone());
             self.stats.documents_registered += 1;
         }
@@ -351,6 +394,19 @@ impl FilterEngine {
             }
         }
         Ok((assemble_publications(pubs), run))
+    }
+
+    /// Parses a batch of RDF/XML sources — each a `(document_uri, xml)`
+    /// pair — across the pool and registers the parsed documents as one
+    /// batch. Parse errors are reported in source order, before any state
+    /// changes.
+    pub fn register_batch_xml(&mut self, sources: &[(String, String)]) -> Result<Vec<Publication>> {
+        let parsed = self.par_map(sources, |(uri, xml)| mdv_rdf::parse_document(uri, xml));
+        let mut docs = Vec::with_capacity(parsed.len());
+        for doc in parsed {
+            docs.push(doc?);
+        }
+        self.register_batch(&docs)
     }
 
     // ------------------------------------------------------------------
@@ -437,8 +493,11 @@ impl FilterEngine {
             .map(|t| !t.is_empty())
             .unwrap_or(false);
 
-        let mut out = Vec::new();
-        for atom in atoms {
+        // per-atom probing only reads the trigger tables; fan out across
+        // the pool and concatenate in atom order — identical to the
+        // sequential result for any thread count
+        let per_atom = self.par_map(atoms, |atom| -> Result<Vec<(String, RuleId)>> {
+            let mut out = Vec::new();
             for class in self.ancestors_of(&atom.class) {
                 if atom.property == RDF_SUBJECT && class_table_active {
                     for rule in class_triggers(&self.db, class)? {
@@ -453,6 +512,11 @@ impl FilterEngine {
                     }
                 }
             }
+            Ok(out)
+        });
+        let mut out = Vec::new();
+        for part in per_atom {
+            out.extend(part?);
         }
         Ok(out)
     }
@@ -460,6 +524,21 @@ impl FilterEngine {
     /// One iteration of join-rule evaluation: all join rules depending on
     /// the current results are evaluated, grouped by rule group so that
     /// counterpart probes are shared (paper §3.3.3).
+    ///
+    /// The iteration runs in four phases so the read-heavy middle two can
+    /// fan out across the pool while the result stays byte-identical to
+    /// the sequential engine for any `config.threads` (DESIGN.md §5):
+    ///
+    /// 1. **enumerate** (sequential, cheap) one task per `(member, side)`
+    ///    with delta input, in canonical order — group id, member id,
+    ///    side — and dedup the counterpart probes the group shares;
+    /// 2. **probe** (parallel) each distinct probe exactly once against
+    ///    the shared read-only store;
+    /// 3. **evaluate** (parallel) every task read-only against the shared
+    ///    probe results; the per-task candidate vectors concatenate in
+    ///    task order, reproducing the sequential candidate order exactly;
+    /// 4. **offer** (sequential) the deduped candidates, writing
+    ///    materializations — the only mutating step.
     fn eval_join_iteration(
         &mut self,
         current: &[(String, RuleId)],
@@ -484,14 +563,44 @@ impl FilterEngine {
             }
         }
 
+        // With no pool configured, the classic single-pass loop wins: it
+        // probes lazily and keeps no lookup/probe side tables, which is
+        // measurably cheaper than the enumerate/probe/evaluate phases
+        // below run on one thread. The two bodies must stay
+        // result-identical — `tests/parallel_determinism.rs` diffs them
+        // (publications, traces, stats) over randomized workloads.
+        let candidates = if self.config.threads > 1 {
+            self.join_candidates_parallel(&delta, &groups)?
+        } else {
+            self.join_candidates_sequential(&delta, &groups)?
+        };
+
+        // dedup and write materializations (sequential in both modes)
+        let mut next = Vec::new();
+        for (uri, rule) in candidates {
+            if seen.insert((rule, uri.clone())) && self.offer(rule, &uri, mode)? {
+                next.push((uri, rule));
+            }
+        }
+        Ok(next)
+    }
+
+    /// Join-candidate enumeration exactly as the pre-parallel engine ran
+    /// it: one pass over the affected groups, probing lazily through a
+    /// per-group probe cache (paper §3.3.3).
+    fn join_candidates_sequential(
+        &mut self,
+        delta: &HashMap<RuleId, Vec<String>>,
+        groups: &BTreeMap<GroupId, BTreeSet<RuleId>>,
+    ) -> Result<Vec<(String, RuleId)>> {
         let mut candidates: Vec<(String, RuleId)> = Vec::new();
-        for (_gid, members) in groups {
+        for members in groups.values() {
             // probe cache shared across the group's members: the probe
             // depends only on (side, uri) because all members share the
             // predicate shape and classes
             let mut cache: HashMap<(Side, String), Vec<String>> = HashMap::new();
             for member in members {
-                let spec = match &self.graph.rule(member).expect("member exists").kind {
+                let spec = match &self.graph.rule(*member).expect("member exists").kind {
                     AtomicRuleKind::Join(spec) => spec.clone(),
                     AtomicRuleKind::Trigger { .. } => unreachable!("dependents are join rules"),
                 };
@@ -531,21 +640,154 @@ impl FilterEngine {
                                 } else {
                                     cu.clone()
                                 };
-                                candidates.push((reg, member));
+                                candidates.push((reg, *member));
                             }
                         }
                     }
                 }
             }
         }
+        Ok(candidates)
+    }
 
-        let mut next = Vec::new();
-        for (uri, rule) in candidates {
-            if seen.insert((rule, uri.clone())) && self.offer(rule, &uri, mode)? {
-                next.push((uri, rule));
+    /// The three read-heavy phases of the parallel join evaluation
+    /// (DESIGN.md §5): enumerate one *task* per (member, side) with delta
+    /// input — sequentially, in canonical order — plus the distinct
+    /// counterpart probes the group shares; run each distinct probe once
+    /// across the pool; then evaluate the tasks in parallel. Task results
+    /// concatenate in task order and each task walks its delta slice in
+    /// order, reproducing the sequential candidate order exactly.
+    ///
+    /// Tasks — not individual (member, side, uri) lookups — are the unit
+    /// of parallelism on purpose: shared triggers can fan a group out to
+    /// `members × delta` lookups (10⁸ at the 100k-rule benchmark), and
+    /// materializing per-lookup state costs more than the lookups. Per
+    /// task the only state is a borrow of the delta slice; stats come out
+    /// of the enumeration arithmetic (hits = lookups − distinct probes,
+    /// exactly the sequential cache accounting).
+    fn join_candidates_parallel(
+        &mut self,
+        delta: &HashMap<RuleId, Vec<String>>,
+        groups: &BTreeMap<GroupId, BTreeSet<RuleId>>,
+    ) -> Result<Vec<(String, RuleId)>> {
+        // phase 1: enumerate tasks and the distinct probes they share
+        struct Task<'a> {
+            member: RuleId,
+            register: Side,
+            side: Side,
+            gid: GroupId,
+            uris: &'a [String],
+            other_rule: RuleId,
+            pred: JoinPred,
+            other_class: String,
+        }
+        let mut tasks: Vec<Task> = Vec::new();
+        let mut probes: Vec<(JoinPred, Side, String, String)> = Vec::new();
+        // (group, side) → uri → index into `probes`
+        let mut probe_index: HashMap<(GroupId, Side), HashMap<&str, usize>> = HashMap::new();
+        // (group, side) → input rules whose delta is already in the probe
+        // set; members sharing an input contribute no new probes
+        let mut merged: HashMap<(GroupId, Side), HashSet<RuleId>> = HashMap::new();
+        for (gid, members) in groups {
+            for member in members {
+                let spec = match &self.graph.rule(*member).expect("member exists").kind {
+                    AtomicRuleKind::Join(spec) => spec.clone(),
+                    AtomicRuleKind::Trigger { .. } => unreachable!("dependents are join rules"),
+                };
+                for side in [Side::Left, Side::Right] {
+                    let input = spec.input(side);
+                    let Some(uris) = delta.get(&input.rule) else {
+                        continue;
+                    };
+                    let other_rule = spec.input(side.other()).rule;
+                    let other_class = spec.input(side.other()).class.clone();
+                    self.stats.join_evaluations += uris.len() as u64;
+                    if self.config.use_rule_groups {
+                        // the probe depends only on (side, uri) within a
+                        // group: all members share the predicate shape and
+                        // classes. Every lookup beyond the first of its
+                        // (side, uri) is a cache hit, as in the sequential
+                        // per-group cache.
+                        if merged.entry((*gid, side)).or_default().insert(input.rule) {
+                            let index = probe_index.entry((*gid, side)).or_default();
+                            for uri in uris {
+                                if index.contains_key(uri.as_str()) {
+                                    self.stats.probe_cache_hits += 1;
+                                } else {
+                                    probes.push((
+                                        spec.pred.clone(),
+                                        side,
+                                        uri.clone(),
+                                        other_class.clone(),
+                                    ));
+                                    index.insert(uri.as_str(), probes.len() - 1);
+                                }
+                            }
+                        } else {
+                            self.stats.probe_cache_hits += uris.len() as u64;
+                        }
+                    } else {
+                        // ungrouped mode probes once per lookup (no cache);
+                        // the tasks execute those probes inline below
+                        self.stats.probes_executed += uris.len() as u64;
+                    }
+                    tasks.push(Task {
+                        member: *member,
+                        register: spec.register,
+                        side,
+                        gid: *gid,
+                        uris,
+                        other_rule,
+                        pred: spec.pred.clone(),
+                        other_class,
+                    });
+                }
             }
         }
-        Ok(next)
+        self.stats.probes_executed += probes.len() as u64;
+
+        // phase 2: run each distinct probe once (read-only, parallel)
+        let probed = self.par_map(&probes, |(pred, side, uri, other_class)| {
+            self.probe_counterparts_ro(pred, *side, uri, other_class)
+        });
+        let mut counterparts: Vec<Vec<String>> = Vec::with_capacity(probed.len());
+        for p in probed {
+            counterparts.push(p?);
+        }
+
+        // phase 3: evaluate every task (read-only, parallel)
+        let use_groups = self.config.use_rule_groups;
+        let candidate_parts = self.par_map(&tasks, |t| -> Result<Vec<(String, RuleId)>> {
+            let mut part = Vec::new();
+            let index = probe_index.get(&(t.gid, t.side));
+            for uri in t.uris {
+                let inline_probe;
+                let cps: &[String] = if use_groups {
+                    let idx = index.expect("task's probes were enumerated")[uri.as_str()];
+                    &counterparts[idx]
+                } else {
+                    inline_probe =
+                        self.probe_counterparts_ro(&t.pred, t.side, uri, &t.other_class)?;
+                    &inline_probe
+                };
+                for cu in cps {
+                    if BaseStore::result_contains(&self.db, t.other_rule, cu)? {
+                        let reg = if t.register == t.side {
+                            uri.clone()
+                        } else {
+                            cu.clone()
+                        };
+                        part.push((reg, t.member));
+                    }
+                }
+            }
+            Ok(part)
+        });
+        let mut candidates: Vec<(String, RuleId)> = Vec::new();
+        for part in candidate_parts {
+            candidates.extend(part?);
+        }
+        Ok(candidates)
     }
 
     /// Finds, for one resource on one side of a join predicate, the
@@ -559,6 +801,19 @@ impl FilterEngine {
         other_class: &str,
     ) -> Result<Vec<String>> {
         self.stats.probes_executed += 1;
+        self.probe_counterparts_ro(pred, side, uri, other_class)
+    }
+
+    /// The read-only body of [`FilterEngine::probe_counterparts`] — shared
+    /// `&self` so pool workers can probe concurrently; stats accounting
+    /// stays with the callers.
+    fn probe_counterparts_ro(
+        &self,
+        pred: &JoinPred,
+        side: Side,
+        uri: &str,
+        other_class: &str,
+    ) -> Result<Vec<String>> {
         let (my_prop, other_prop) = match side {
             Side::Left => (&pred.left_prop, &pred.right_prop),
             Side::Right => (&pred.right_prop, &pred.left_prop),
@@ -1158,6 +1413,7 @@ mod tests {
             paper_schema(),
             FilterConfig {
                 use_rule_groups: false,
+                ..FilterConfig::default()
             },
         );
         for r in rules {

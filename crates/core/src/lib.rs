@@ -63,6 +63,12 @@
 //! assert_eq!(pubs[0].subscription, sub);
 //! assert_eq!(pubs[0].added, vec!["doc.rdf#host".to_owned()]);
 //! ```
+//!
+//! Batch filtering can run its read-only phases on a thread pool
+//! ([`FilterConfig::threads`]) with byte-identical publications at any
+//! thread count — see `DESIGN.md` §5, "Parallel filter execution".
+//! `DESIGN.md` §4 holds the workspace-wide module map locating this
+//! crate's files.
 
 pub mod atoms;
 pub mod decompose;

@@ -127,10 +127,19 @@ impl FilterEngine {
         }
 
         // ---- pass 2: candidates against the new state ----
-        let candidates: BTreeSet<String> = retracted.iter().map(|(_, uri)| uri.clone()).collect();
+        // rebuilding candidate atoms only reads the base tables, so the
+        // per-candidate work fans out across the pool; concatenating in
+        // candidate (BTreeSet) order matches the sequential engine exactly
+        let candidates: Vec<String> = retracted
+            .iter()
+            .map(|(_, uri)| uri.clone())
+            .collect::<BTreeSet<String>>()
+            .into_iter()
+            .collect();
+        let atom_parts = self.par_map(&candidates, |uri| self.atoms_from_store(uri));
         let mut pass2_atoms = Vec::new();
-        for uri in &candidates {
-            pass2_atoms.extend(self.atoms_from_store(uri)?);
+        for part in atom_parts {
+            pass2_atoms.extend(part?);
         }
         let run2 = self.run_filter(&pass2_atoms, Mode::Refresh)?;
 

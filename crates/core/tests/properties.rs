@@ -159,8 +159,13 @@ property! {
         let rules = arb_rules(src, 6);
         let docs = arb_docs(src, 8);
         let mut grouped = FilterEngine::new(schema());
-        let mut ungrouped =
-            FilterEngine::with_config(schema(), FilterConfig { use_rule_groups: false });
+        let mut ungrouped = FilterEngine::with_config(
+            schema(),
+            FilterConfig {
+                use_rule_groups: false,
+                ..FilterConfig::default()
+            },
+        );
         for r in &rules {
             grouped.register_subscription(r).unwrap();
             ungrouped.register_subscription(r).unwrap();

@@ -36,6 +36,9 @@
 //! assert_eq!(doc.resources().len(), 2);
 //! assert_eq!(doc.statements().len(), 7); // Figure 4 has exactly these rows
 //! ```
+//!
+//! `DESIGN.md` §4 holds the workspace-wide module map locating this
+//! crate's files.
 
 pub mod diff;
 pub mod document;

@@ -16,6 +16,18 @@
 //! algorithm's behaviour (batch amortization, index-driven rule matching)
 //! depends on *relational* evaluation, not on a network protocol.
 //!
+//! ## Shared read access
+//!
+//! Every read path (`Database::table`, `Table::rows`/`get`, index probes,
+//! `query::select`, the joins) takes `&self` and the storage structures hold
+//! no interior mutability — no `Cell`/`RefCell`, no lazily materialized
+//! caches. A `&Database` is therefore safe to share across threads
+//! (`Database: Send + Sync`, asserted below), which is what the parallel
+//! filter in `mdv-filter` relies on: worker threads probe the trigger and
+//! materialization tables concurrently through shared references while all
+//! writes stay on the coordinating thread. See DESIGN.md §5 ("Parallel
+//! filter execution").
+//!
 //! ```
 //! use mdv_relstore::{Database, TableSchema, ColumnDef, DataType, Value,
 //!                    Predicate, CmpOp, IndexKind, query};
@@ -38,6 +50,9 @@
 //! let pred = Predicate::col_eq(t.schema(), "class", Value::from("ServerInformation")).unwrap();
 //! assert_eq!(query::select(t, &pred).unwrap().len(), 1);
 //! ```
+//!
+//! `DESIGN.md` §4 holds the workspace-wide module map locating this
+//! crate's files.
 
 pub mod catalog;
 pub mod error;
@@ -63,3 +78,17 @@ pub use sql::{execute as execute_sql, ResultSet};
 pub use table::{Row, RowId, Table};
 pub use txn::Txn;
 pub use value::{DataType, Value};
+
+// Compile-time audit backing the "shared read access" contract above: the
+// parallel filter shares `&Database` across pool workers, so the storage
+// types must stay free of non-Sync interior mutability. Adding a
+// `Cell`/`RefCell` anywhere inside would fail this assertion, not corrupt
+// reads at runtime.
+const _: () = {
+    const fn assert_shareable<T: Send + Sync>() {}
+    assert_shareable::<Database>();
+    assert_shareable::<Table>();
+    assert_shareable::<Index>();
+    assert_shareable::<TableSchema>();
+    assert_shareable::<Value>();
+};

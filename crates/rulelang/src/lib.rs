@@ -38,6 +38,9 @@
 //! assert_eq!(normalized.bindings.len(), 2);
 //! assert_eq!(normalized.predicates.len(), 3);
 //! ```
+//!
+//! `DESIGN.md` §4 holds the workspace-wide module map locating this
+//! crate's files.
 
 pub mod ast;
 pub mod error;

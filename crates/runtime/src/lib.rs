@@ -14,6 +14,9 @@
 //!   `std::thread::scope`.
 //! * [`sync`] — poison-free `Mutex` / `RwLock` wrappers plus a sharded
 //!   mutex for hot maps.
+//!
+//! `DESIGN.md` §4 holds the workspace-wide module map locating this
+//! crate's files.
 
 pub mod channel;
 pub mod pool;

@@ -5,10 +5,58 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use crate::channel::{unbounded, Sender};
+use crate::channel::{bounded, unbounded, Receiver, Sender};
 use crate::sync::Mutex;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why a submitted job produced no value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The job panicked; the payload's message, when it was a string.
+    Panicked(String),
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Panicked(msg) => write!(f, "pool job panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// The submitter's half of a [`ThreadPool::submit`] call: blocks on `join`
+/// until the job finishes, surfacing a job panic as [`JobError::Panicked`]
+/// instead of a silently missing result.
+#[derive(Debug)]
+pub struct JobHandle<T> {
+    rx: Receiver<Result<T, JobError>>,
+}
+
+impl<T> JobHandle<T> {
+    /// Waits for the job and returns its value, or `Err` when it panicked.
+    pub fn join(self) -> Result<T, JobError> {
+        // The worker always sends exactly one message (the catch_unwind
+        // result), so a closed channel can only mean the pool was dropped
+        // with the job never run — report that as a panic-equivalent loss.
+        self.rx
+            .recv()
+            .unwrap_or_else(|_| Err(JobError::Panicked("job was dropped unrun".to_owned())))
+    }
+}
+
+/// Renders a panic payload the way `std` does for `Box<dyn Any>`.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
 
 /// A fixed-size pool of worker threads consuming jobs from an MPMC queue.
 /// Dropping the pool closes the queue and joins every worker.
@@ -43,13 +91,35 @@ impl ThreadPool {
         }
     }
 
-    /// Enqueues a job.
+    /// Enqueues a fire-and-forget job. A panic inside the job is contained
+    /// by the worker (the pool keeps serving) but the payload is lost; use
+    /// [`ThreadPool::submit`] when the caller must observe failures.
     pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
         self.sender
             .as_ref()
             .expect("pool is live until dropped")
             .send(Box::new(job))
             .ok();
+    }
+
+    /// Enqueues a job whose outcome the submitter observes: `join` on the
+    /// returned handle yields the job's value, or [`JobError::Panicked`]
+    /// with the panic message when the job panicked. This is the contract
+    /// the filter hot path relies on — a worker must never swallow a panic
+    /// into a silently missing result.
+    pub fn submit<T, F>(&self, job: F) -> JobHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let (tx, rx) = bounded::<Result<T, JobError>>(1);
+        self.execute(move || {
+            let result = catch_unwind(AssertUnwindSafe(job))
+                .map_err(|p| JobError::Panicked(panic_message(p)));
+            // the submitter may have dropped the handle; that's fine
+            tx.send(result).ok();
+        });
+        JobHandle { rx }
     }
 
     /// The number of worker threads.
@@ -143,6 +213,27 @@ mod tests {
         got.sort_unstable();
         assert_eq!(got, (0..50u64).map(|i| i * i).collect::<Vec<_>>());
         assert_eq!(rx.recv(), Err(crate::channel::RecvError));
+    }
+
+    #[test]
+    fn submit_returns_value() {
+        let pool = ThreadPool::new(2);
+        let handles: Vec<_> = (0..20u64).map(|i| pool.submit(move || i * 3)).collect();
+        let got: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(got, (0..20u64).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn submit_surfaces_panic_as_err() {
+        let pool = ThreadPool::new(1);
+        let bad = pool.submit(|| -> u64 { panic!("boom {}", 41 + 1) });
+        match bad.join() {
+            Err(JobError::Panicked(msg)) => assert!(msg.contains("boom 42"), "got '{msg}'"),
+            other => panic!("expected Err(Panicked), got {other:?}"),
+        }
+        // the worker survived the panic and serves later jobs
+        let ok = pool.submit(|| 7u64);
+        assert_eq!(ok.join(), Ok(7));
     }
 
     #[test]

@@ -153,6 +153,38 @@ fn pool_contains_panicking_jobs() {
 }
 
 #[test]
+fn submitted_job_panic_reaches_the_submitter() {
+    // the contract the parallel filter relies on: a panic in a submitted
+    // job must come back to the submitter as an Err carrying the message,
+    // never as a silently missing result
+    use mdv_runtime::pool::JobError;
+    let pool = ThreadPool::new(2);
+    let handles: Vec<_> = (0..8u64)
+        .map(|i| {
+            pool.submit(move || {
+                if i % 3 == 0 {
+                    panic!("job {i} blew up (expected in this test)");
+                }
+                i * 10
+            })
+        })
+        .collect();
+    for (i, h) in handles.into_iter().enumerate() {
+        let i = i as u64;
+        match h.join() {
+            Ok(v) => {
+                assert_ne!(i % 3, 0, "job {i} should have panicked");
+                assert_eq!(v, i * 10);
+            }
+            Err(JobError::Panicked(msg)) => {
+                assert_eq!(i % 3, 0, "job {i} should have succeeded");
+                assert!(msg.contains(&format!("job {i} blew up")), "got '{msg}'");
+            }
+        }
+    }
+}
+
+#[test]
 fn parallel_map_propagates_panics_to_the_caller() {
     // unlike the fire-and-forget pool, parallel_map returns results, so a
     // lost panic would silently fabricate data — it must propagate instead

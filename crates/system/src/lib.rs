@@ -51,6 +51,9 @@
 //! assert_eq!(hits.len(), 1);
 //! assert!(sys.lmr("lmr").unwrap().is_cached("doc.rdf#info"));
 //! ```
+//!
+//! `DESIGN.md` §4 holds the workspace-wide module map locating this
+//! crate's files.
 
 pub mod client;
 pub mod error;

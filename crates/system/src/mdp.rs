@@ -8,7 +8,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
-use mdv_filter::{BaseStore, FilterEngine, Publication, SubscriptionId};
+use mdv_filter::{BaseStore, FilterConfig, FilterEngine, Publication, SubscriptionId};
 use mdv_rdf::{parse_document, write_document, Document, RdfSchema, Resource};
 
 use crate::error::{Error, Result};
@@ -54,9 +54,18 @@ pub struct Mdp {
 
 impl Mdp {
     pub fn new(name: &str, schema: RdfSchema) -> Self {
+        Self::with_filter_config(name, schema, FilterConfig::default())
+    }
+
+    /// Like [`Mdp::new`] with an explicit filter configuration — the knob
+    /// the system tier exposes for parallel batch filtering
+    /// (`FilterConfig::threads`). Publications do not depend on the
+    /// configuration (DESIGN.md §5), so mixed-config deployments stay
+    /// consistent.
+    pub fn with_filter_config(name: &str, schema: RdfSchema, config: FilterConfig) -> Self {
         Mdp {
             name: name.to_owned(),
-            engine: FilterEngine::new(schema),
+            engine: FilterEngine::with_config(schema, config),
             subscribers: HashMap::new(),
             peers: Vec::new(),
             batch_size: None,
@@ -72,6 +81,13 @@ impl Mdp {
     /// to immediate mode does not flush; call [`Mdp::flush`] first.
     pub fn set_batch_size(&mut self, batch_size: Option<usize>) {
         self.batch_size = batch_size;
+    }
+
+    /// Sets the worker-thread count for this MDP's filter runs. Takes
+    /// effect on the next batch; publications are unaffected (the parallel
+    /// filter is deterministic, DESIGN.md §5).
+    pub fn set_filter_threads(&mut self, threads: usize) {
+        self.engine.set_threads(threads);
     }
 
     /// Documents queued for the next batch run.

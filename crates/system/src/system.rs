@@ -4,6 +4,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
+use mdv_filter::FilterConfig;
 use mdv_rdf::{Document, RdfSchema, Resource};
 use mdv_runtime::channel::Receiver;
 
@@ -19,6 +20,7 @@ pub struct MdvSystem {
     receivers: HashMap<String, Receiver<Envelope>>,
     mdps: BTreeMap<String, Mdp>,
     lmrs: BTreeMap<String, Lmr>,
+    filter_config: FilterConfig,
 }
 
 impl MdvSystem {
@@ -33,6 +35,18 @@ impl MdvSystem {
             receivers: HashMap::new(),
             mdps: BTreeMap::new(),
             lmrs: BTreeMap::new(),
+            filter_config: FilterConfig::default(),
+        }
+    }
+
+    /// Sets the worker-thread count MDP filter engines use for batch runs
+    /// (DESIGN.md §5). Applies to every existing MDP and to MDPs added
+    /// later. Publications are thread-count invariant, so this only affects
+    /// wall-clock time — seeded fault scenarios replay identically.
+    pub fn set_filter_threads(&mut self, threads: usize) {
+        self.filter_config.threads = threads.max(1);
+        for mdp in self.mdps.values_mut() {
+            mdp.set_filter_threads(threads);
         }
     }
 
@@ -48,8 +62,10 @@ impl MdvSystem {
         }
         let rx = self.network.register(name)?;
         self.receivers.insert(name.to_owned(), rx);
-        self.mdps
-            .insert(name.to_owned(), Mdp::new(name, self.schema.clone()));
+        self.mdps.insert(
+            name.to_owned(),
+            Mdp::with_filter_config(name, self.schema.clone(), self.filter_config),
+        );
         // rewire peer lists
         let names: Vec<String> = self.mdps.keys().cloned().collect();
         for (mdp_name, mdp) in self.mdps.iter_mut() {
@@ -553,6 +569,46 @@ mod tests {
         sys.update_document("mdp1", &doc(1, "a.org", 16)).unwrap();
         assert_eq!(sys.mdp("mdp1").unwrap().pending_documents(), 0);
         assert!(!sys.lmr("lmr1").unwrap().is_cached("doc1.rdf#host"));
+    }
+
+    #[test]
+    fn threaded_filtering_is_transparent_to_the_deployment() {
+        let build = |threads: Option<usize>| {
+            let mut sys = two_tier();
+            if let Some(t) = threads {
+                sys.set_filter_threads(t);
+            }
+            sys.add_mdp("mdp2").unwrap(); // added after the knob: inherits it
+            sys.subscribe("lmr1", RULE).unwrap();
+            sys.set_batch_size("mdp1", Some(4)).unwrap();
+            for i in 0..4 {
+                sys.register_document("mdp1", &doc(i, "a.org", 60 + i as i64 * 8))
+                    .unwrap();
+            }
+            sys
+        };
+        let baseline = build(None);
+        for threads in [1usize, 4] {
+            let sys = build(Some(threads));
+            assert_eq!(
+                sys.mdp("mdp1").unwrap().engine().config().threads,
+                threads.max(1)
+            );
+            assert_eq!(
+                sys.mdp("mdp2").unwrap().engine().config().threads,
+                threads.max(1)
+            );
+            let mut cached = sys.lmr("lmr1").unwrap().cached_uris();
+            let mut expected = baseline.lmr("lmr1").unwrap().cached_uris();
+            cached.sort();
+            expected.sort();
+            assert_eq!(cached, expected, "threads={threads} changed the cache");
+            assert_eq!(
+                sys.network_stats().messages,
+                baseline.network_stats().messages,
+                "threads={threads} changed the message schedule"
+            );
+        }
     }
 
     #[test]

@@ -155,21 +155,28 @@ impl BenchGroup {
             );
         }
         for (id, s) in &self.rows {
-            println!(
-                "{{\"group\":\"{}\",\"bench\":\"{}\",\"iters\":{},\"min_ns\":{},\
-                 \"mean_ns\":{},\"median_ns\":{},\"p95_ns\":{},\"max_ns\":{}}}",
-                escape_json(&self.name),
-                escape_json(id),
-                s.iters,
-                s.min_ns,
-                s.mean_ns,
-                s.median_ns,
-                s.p95_ns,
-                s.max_ns
-            );
+            println!("{}", json_line(&self.name, id, s));
         }
         self.rows
     }
+}
+
+/// Renders one benchmark result as the runner's machine-readable JSON line
+/// (the format `finish` prints). Public so harnesses can also collect the
+/// lines into a results file (e.g. `BENCH_filter_scaling.json`).
+pub fn json_line(group: &str, bench: &str, s: &Stats) -> String {
+    format!(
+        "{{\"group\":\"{}\",\"bench\":\"{}\",\"iters\":{},\"min_ns\":{},\
+         \"mean_ns\":{},\"median_ns\":{},\"p95_ns\":{},\"max_ns\":{}}}",
+        escape_json(group),
+        escape_json(bench),
+        s.iters,
+        s.min_ns,
+        s.mean_ns,
+        s.median_ns,
+        s.p95_ns,
+        s.max_ns
+    )
 }
 
 fn format_ns(ns: u64) -> String {
@@ -263,6 +270,15 @@ mod tests {
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].0, "noop");
         assert_eq!(rows[1].1.iters, 3);
+    }
+
+    #[test]
+    fn json_line_is_well_formed() {
+        let s = Stats::from_samples(&[10, 20, 30]);
+        let line = json_line("g", "b\"1", &s);
+        assert!(line.starts_with("{\"group\":\"g\",\"bench\":\"b\\\"1\","));
+        assert!(line.contains("\"median_ns\":20"));
+        assert!(line.ends_with('}'));
     }
 
     #[test]

@@ -35,6 +35,9 @@
 //! [`bench::BenchGroup`] measures warmup + N timed iterations and reports
 //! min / mean / median / p95 both as a human-readable table and as JSON
 //! lines, replacing the `criterion` harness for `benches/figures.rs`.
+//!
+//! `DESIGN.md` §4 holds the workspace-wide module map locating this
+//! crate's files.
 
 pub mod bench;
 mod gen;

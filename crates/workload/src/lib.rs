@@ -13,6 +13,9 @@
 //!   configurable percentage of the rule base per document,
 //! * [`scenario`] — the ObjectGlobe marketplace generator used by examples
 //!   (data, function, and cycle providers).
+//!
+//! `DESIGN.md` §4 holds the workspace-wide module map locating this
+//! crate's files.
 
 pub mod documents;
 pub mod rules;

@@ -60,6 +60,9 @@
 //!      where c.serverInformation.memory > 64").unwrap();
 //! assert_eq!(hits[0].uri().as_str(), "doc.rdf#host");
 //! ```
+//!
+//! `DESIGN.md` §4 holds the workspace-wide module map; `README.md` has the
+//! crate-by-crate architecture overview.
 
 pub use mdv_filter as filter;
 pub use mdv_rdf as rdf;
