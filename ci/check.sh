@@ -82,6 +82,17 @@ for seed in 1 31337 20020226; do
 done
 
 # ---------------------------------------------------------------------------
+step "crash-restart replay: durable recovery across fixed seeds"
+# Replays the crash/restart property (WAL + snapshot recovery with rule
+# churn, torn-tail injection, and the cache-consistency oracle) under the
+# same pinned seeds as the fault matrix; failures print the seed to rerun.
+for seed in 1 31337 20020226; do
+  MDV_PROP_SEED="$seed" MDV_PROP_CASES=15 \
+    cargo test -q --offline --test crash_restart >/dev/null
+  echo "ok: crash_restart @ MDV_PROP_SEED=$seed"
+done
+
+# ---------------------------------------------------------------------------
 step "parallel-filter determinism: publications invariant across thread counts"
 # The parallel batch filter must emit byte-identical publications, traces,
 # and stats for every thread count (DESIGN.md §5); the fault matrix above
@@ -119,6 +130,16 @@ if [[ "$QUICK" == "0" ]]; then
   cargo run --offline --release -p mdv-bench --bin figures -- \
     fig12 --threads 2 >/dev/null
   echo "ok: figures fig12 --threads 2"
+
+  # -------------------------------------------------------------------------
+  step "figures smoke pass with --backend durable"
+  # Exercises the WAL-backed sweep path (group commit + fsync on the
+  # measured path) end to end. fig12 (not wal-overhead) so the smoke never
+  # clobbers the checked-in BENCH_wal_overhead.json; the backend-equality
+  # gate itself is unit-tested in mdv-bench.
+  cargo run --offline --release -p mdv-bench --bin figures -- \
+    fig12 --backend durable >/dev/null
+  echo "ok: figures fig12 --backend durable"
 fi
 
 step "all checks passed"

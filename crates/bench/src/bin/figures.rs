@@ -9,29 +9,43 @@
 //!
 //! Subcommands: `fig11` `fig12` `fig13` `fig14` `fig15`
 //! `ablation-naive` `ablation-groups` `ablation-updates` `thread-scaling`
-//! `all`.
+//! `wal-overhead` `all`.
 //! `--full` runs the paper-sized rule bases (up to 100,000 rules); the
 //! default sizes finish in a few minutes on a laptop. `--threads N` runs
 //! the figure sweeps with the parallel filter on N pool workers
 //! (publications are byte-identical for any N; only wall-clock changes).
+//! `--backend durable` runs the figure sweeps through the WAL+snapshot
+//! storage engine instead of the in-memory database (group commit and
+//! fsync on the measured path; single-threaded, smaller rule bases).
 //! `thread-scaling` sweeps N itself (1/2/4/8) on the Figure-12 PATH
 //! workload and writes machine-readable results to
-//! `BENCH_filter_scaling.json`; the `--threads` flag does not apply to it.
+//! `BENCH_filter_scaling.json`; `wal-overhead` compares the two backends on
+//! the Figure-11/12 workloads and writes `BENCH_wal_overhead.json`. The
+//! `--threads`/`--backend` flags do not apply to those two subcommands.
 
 use std::env;
 use std::io::Write;
+use std::path::PathBuf;
 
 use mdv_bench::{
-    ablation_groups, ablation_naive, ablation_updates, render_csv, sweep_fractions_threaded,
-    sweep_threaded, Measurement, BATCH_SIZES, BATCH_SIZES_QUICK,
+    ablation_groups, ablation_naive, ablation_updates, render_csv, sweep_durable,
+    sweep_fractions_threaded, sweep_threaded, wal_overhead_point, Measurement, BATCH_SIZES,
+    BATCH_SIZES_QUICK,
 };
 use mdv_testkit::bench::{json_line, measure, BenchOptions};
 use mdv_workload::RuleType;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    Mem,
+    Durable,
+}
 
 struct Config {
     full: bool,
     min_elapsed_ms: f64,
     threads: usize,
+    backend: Backend,
 }
 
 impl Config {
@@ -42,12 +56,55 @@ impl Config {
             &BATCH_SIZES_QUICK
         }
     }
+
+    /// One sweep, on whichever backend was selected. The durable path
+    /// rebuilds its engine per repetition (no cheap clone of a WAL), so it
+    /// runs single-threaded and ignores `--threads`.
+    fn sweep(&self, rule_type: RuleType, rule_count: u64, fraction: f64) -> Vec<Measurement> {
+        match self.backend {
+            Backend::Mem => sweep_threaded(
+                rule_type,
+                rule_count,
+                fraction,
+                self.batches(),
+                self.min_elapsed_ms,
+                self.threads,
+            ),
+            Backend::Durable => {
+                let scratch = wal_scratch_dir();
+                let rows = sweep_durable(
+                    rule_type,
+                    rule_count,
+                    fraction,
+                    self.batches(),
+                    self.min_elapsed_ms,
+                    &scratch,
+                );
+                let _ = std::fs::remove_dir_all(&scratch);
+                rows
+            }
+        }
+    }
+
+    /// Durable sweeps rebuild a full rule base per repetition; scale the
+    /// rule counts down so the smoke stays minutes, not hours.
+    fn scale(&self, rule_counts: &[u64]) -> Vec<u64> {
+        match self.backend {
+            Backend::Mem => rule_counts.to_vec(),
+            Backend::Durable => rule_counts.iter().map(|&rc| (rc / 10).max(100)).collect(),
+        }
+    }
+}
+
+fn wal_scratch_dir() -> PathBuf {
+    std::env::temp_dir().join(format!("mdv-figures-wal-{}", std::process::id()))
 }
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let mut threads = 1usize;
+    let mut backend = Backend::Mem;
     let mut commands: Vec<&str> = Vec::new();
     let mut iter = args.iter().map(String::as_str);
     while let Some(arg) = iter.next() {
@@ -64,6 +121,20 @@ fn main() {
                 });
                 threads = threads.max(1);
             }
+            "--backend" => {
+                let value = iter.next().unwrap_or_else(|| {
+                    eprintln!("--backend needs a value (mem|durable)");
+                    std::process::exit(2);
+                });
+                backend = match value {
+                    "mem" => Backend::Mem,
+                    "durable" => Backend::Durable,
+                    other => {
+                        eprintln!("--backend must be 'mem' or 'durable', got '{other}'");
+                        std::process::exit(2);
+                    }
+                };
+            }
             other => commands.push(other),
         }
     }
@@ -72,6 +143,7 @@ fn main() {
         full,
         min_elapsed_ms: if full { 200.0 } else { 50.0 },
         threads,
+        backend,
     };
 
     match command {
@@ -84,6 +156,7 @@ fn main() {
         "ablation-groups" => run_ablation_groups(&config),
         "ablation-updates" => run_ablation_updates(&config),
         "thread-scaling" => run_thread_scaling(&config),
+        "wal-overhead" => run_wal_overhead(&config),
         "all" => {
             fig11(&config);
             fig12(&config);
@@ -94,13 +167,14 @@ fn main() {
             run_ablation_groups(&config);
             run_ablation_updates(&config);
             run_thread_scaling(&config);
+            run_wal_overhead(&config);
         }
         other => {
             eprintln!("unknown command '{other}'");
             eprintln!(
                 "usage: figures [fig11|fig12|fig13|fig14|fig15|ablation-naive|\
-                 ablation-groups|ablation-updates|thread-scaling|all] \
-                 [--full] [--threads N]"
+                 ablation-groups|ablation-updates|thread-scaling|wal-overhead|all] \
+                 [--full] [--threads N] [--backend mem|durable]"
             );
             std::process::exit(2);
         }
@@ -131,15 +205,8 @@ fn fig11(config: &Config) {
          all rule-base sizes nearly identical",
     );
     let mut rows = Vec::new();
-    for &rc in rule_counts {
-        rows.extend(sweep_threaded(
-            RuleType::Oid,
-            rc,
-            0.0,
-            config.batches(),
-            config.min_elapsed_ms,
-            config.threads,
-        ));
+    for rc in config.scale(rule_counts) {
+        rows.extend(config.sweep(RuleType::Oid, rc, 0.0));
     }
     print_rows(&rows);
 }
@@ -158,15 +225,8 @@ fn fig12(config: &Config) {
          bases are uniformly more expensive",
     );
     let mut rows = Vec::new();
-    for &rc in rule_counts {
-        rows.extend(sweep_threaded(
-            RuleType::Path,
-            rc,
-            0.0,
-            config.batches(),
-            config.min_elapsed_ms,
-            config.threads,
-        ));
+    for rc in config.scale(rule_counts) {
+        rows.extend(config.sweep(RuleType::Path, rc, 0.0));
     }
     print_rows(&rows);
 }
@@ -182,15 +242,8 @@ fn fig13(config: &Config) {
          size; larger rule bases are more expensive",
     );
     let mut rows = Vec::new();
-    for &rc in rule_counts {
-        rows.extend(sweep_threaded(
-            RuleType::Comp,
-            rc,
-            0.1,
-            config.batches(),
-            config.min_elapsed_ms,
-            config.threads,
-        ));
+    for rc in config.scale(rule_counts) {
+        rows.extend(config.sweep(RuleType::Comp, rc, 0.1));
     }
     print_rows(&rows);
 }
@@ -209,15 +262,8 @@ fn fig14(config: &Config) {
          dependence remains",
     );
     let mut rows = Vec::new();
-    for &rc in rule_counts {
-        rows.extend(sweep_threaded(
-            RuleType::Join,
-            rc,
-            0.0,
-            config.batches(),
-            config.min_elapsed_ms,
-            config.threads,
-        ));
+    for rc in config.scale(rule_counts) {
+        rows.extend(config.sweep(RuleType::Join, rc, 0.0));
     }
     print_rows(&rows);
 }
@@ -225,20 +271,39 @@ fn fig14(config: &Config) {
 /// Figure 15: 10,000 COMP rules — varying matched percentage for several
 /// batch sizes.
 fn fig15(config: &Config) {
-    let rule_count = if config.full { 10_000 } else { 2_000 };
+    let rule_count = config.scale(&[if config.full { 10_000 } else { 2_000 }])[0];
     let fractions = [0.01, 0.02, 0.05, 0.1, 0.2, 0.5];
     let batches: &[u64] = &[1, 10, 100, 1000];
     banner(
         "Figure 15: COMP rules, varying matched percentage",
         "expected shape: higher matched percentage costs more at every batch size",
     );
-    print_rows(&sweep_fractions_threaded(
-        rule_count,
-        &fractions,
-        batches,
-        config.min_elapsed_ms,
-        config.threads,
-    ));
+    let rows = match config.backend {
+        Backend::Mem => sweep_fractions_threaded(
+            rule_count,
+            &fractions,
+            batches,
+            config.min_elapsed_ms,
+            config.threads,
+        ),
+        Backend::Durable => {
+            let scratch = wal_scratch_dir();
+            let mut rows = Vec::new();
+            for &f in &fractions {
+                rows.extend(sweep_durable(
+                    RuleType::Comp,
+                    rule_count,
+                    f,
+                    batches,
+                    config.min_elapsed_ms,
+                    &scratch,
+                ));
+            }
+            let _ = std::fs::remove_dir_all(&scratch);
+            rows
+        }
+    };
+    print_rows(&rows);
 }
 
 /// Ablation A: filter vs naive evaluate-every-rule baseline.
@@ -391,6 +456,112 @@ fn run_thread_scaling(config: &Config) {
         std::fs::File::create(path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
     for line in &json_lines {
         writeln!(file, "{line}").expect("write scaling results");
+    }
+    println!("wrote {} results to {path}", json_lines.len());
+}
+
+/// WAL overhead: the same batch registration on the in-memory and durable
+/// backends. The CSV table (also the EXPERIMENTS.md table) carries the
+/// per-batch averages plus the WAL bytes and commit-group count of the timed
+/// batch; the testkit bench runner re-times both backends and writes its
+/// JSON lines to `BENCH_wal_overhead.json`.
+fn run_wal_overhead(config: &Config) {
+    use mdv_bench::build_engine;
+    use mdv_workload::{benchmark_documents, BenchParams};
+
+    let points: &[(RuleType, u64, u64)] = if config.full {
+        &[
+            (RuleType::Oid, 10_000, 100),
+            (RuleType::Oid, 10_000, 1_000),
+            (RuleType::Path, 10_000, 100),
+            (RuleType::Path, 10_000, 1_000),
+        ]
+    } else {
+        &[
+            (RuleType::Oid, 1_000, 10),
+            (RuleType::Oid, 1_000, 100),
+            (RuleType::Path, 1_000, 10),
+            (RuleType::Path, 1_000, 100),
+        ]
+    };
+    banner(
+        "WAL overhead: in-memory vs durable backend, batch registration",
+        "expected shape: overhead shrinks as the batch grows (group commit \
+         amortizes the fsync); matches identical on both backends",
+    );
+    // durable setup rebuilds the rule base per sample, so keep iteration
+    // counts small unless MDV_BENCH_ITERS asks otherwise
+    let opts = if std::env::var_os("MDV_BENCH_ITERS").is_some() {
+        BenchOptions::from_env()
+    } else {
+        BenchOptions {
+            warmup_iters: 1,
+            iters: 3,
+        }
+    };
+
+    let scratch = wal_scratch_dir();
+    let mut json_lines: Vec<String> = Vec::new();
+    println!("rule_type,rule_count,batch,mem_ms,durable_ms,overhead,wal_bytes,commits");
+    for &(rule_type, rule_count, batch) in points {
+        let row = wal_overhead_point(
+            rule_type,
+            rule_count,
+            batch,
+            &scratch,
+            config.min_elapsed_ms,
+        );
+        println!(
+            "{:?},{},{},{:.3},{:.3},{:.2}x,{},{}",
+            row.rule_type,
+            row.rule_count,
+            row.batch_size,
+            row.mem_ms,
+            row.durable_ms,
+            row.overhead,
+            row.wal_bytes,
+            row.commits
+        );
+
+        // the testkit runner's view of the same point, for the JSON artifact
+        let params = BenchParams {
+            rule_count,
+            comp_match_fraction: 0.1,
+        };
+        let docs = benchmark_documents(0..batch, &params);
+        let base = build_engine(rule_type, rule_count);
+        let mem_stats = measure(
+            opts,
+            || base.clone(),
+            |mut engine| {
+                engine.register_batch(&docs).expect("mem batch registers");
+            },
+        );
+        let mut sample = 0u32;
+        let durable_stats = measure(
+            opts,
+            || {
+                sample += 1;
+                let dir = scratch.join(format!("{rule_type:?}-{batch}-s{sample}"));
+                mdv_bench::build_durable_engine(rule_type, rule_count, &dir)
+            },
+            |mut engine| {
+                engine
+                    .register_batch(&docs)
+                    .expect("durable batch registers");
+            },
+        );
+        let group = format!("wal_overhead_{rule_type:?}_{rule_count}rules_batch{batch}");
+        json_lines.push(json_line(&group, "mem", &mem_stats));
+        json_lines.push(json_line(&group, "durable", &durable_stats));
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let path = "BENCH_wal_overhead.json";
+    let mut file =
+        std::fs::File::create(path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+    for line in &json_lines {
+        writeln!(file, "{line}").expect("write WAL-overhead results");
     }
     println!("wrote {} results to {path}", json_lines.len());
 }

@@ -12,7 +12,7 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use mdv_rdf::{Document, RdfSchema, RefKind, Resource, RDF_SUBJECT};
-use mdv_relstore::Database;
+use mdv_relstore::{Database, StorageEngine};
 use mdv_rulelang::{normalize, parse_rule, split_or, typecheck, RuleOp};
 use mdv_runtime::pool::parallel_map;
 
@@ -66,11 +66,18 @@ pub(crate) enum Mode {
     Collect,
 }
 
-/// The MDV filter engine.
+/// The MDV filter engine, generic over its storage backend (DESIGN.md §6).
+///
+/// The default backend is the volatile in-memory [`Database`] — exactly the
+/// pre-trait engine, bit for bit. A durable backend
+/// ([`mdv_relstore::DurableEngine`]) records every mutation in a write-ahead
+/// log and recovers committed state after a crash; the filter algorithm is
+/// oblivious to the difference because all reads go through
+/// [`FilterEngine::db`] and all writes through the [`StorageEngine`] trait.
 #[derive(Debug, Clone)]
-pub struct FilterEngine {
+pub struct FilterEngine<S: StorageEngine = Database> {
     schema: RdfSchema,
-    pub(crate) db: Database,
+    pub(crate) store: S,
     pub(crate) graph: DepGraph,
     /// Rules whose full results are currently materialized in `RuleResults`.
     pub(crate) materialized: HashSet<RuleId>,
@@ -86,15 +93,26 @@ pub struct FilterEngine {
     config: FilterConfig,
 }
 
-impl FilterEngine {
+impl FilterEngine<Database> {
     pub fn new(schema: RdfSchema) -> Self {
         Self::with_config(schema, FilterConfig::default())
     }
 
     pub fn with_config(schema: RdfSchema, config: FilterConfig) -> Self {
-        let mut db = Database::new();
-        create_base_tables(&mut db).expect("fresh database accepts base tables");
-        create_rule_tables(&mut db).expect("fresh database accepts rule tables");
+        Self::with_storage(Database::new(), schema, config)
+    }
+}
+
+impl<S: StorageEngine + Sync> FilterEngine<S> {
+    /// Builds an engine on a fresh storage backend: the filter tables are
+    /// created through the backend (and thus logged by durable ones).
+    pub fn with_storage(mut store: S, schema: RdfSchema, config: FilterConfig) -> Self {
+        store.begin();
+        create_base_tables(&mut store).expect("fresh database accepts base tables");
+        create_rule_tables(&mut store).expect("fresh database accepts rule tables");
+        store
+            .commit()
+            .expect("storage backend accepts the DDL commit");
         // precompute the class hierarchy maps
         let mut ancestors: HashMap<String, Vec<String>> = HashMap::new();
         let mut descendants: HashMap<String, Vec<String>> = HashMap::new();
@@ -115,7 +133,7 @@ impl FilterEngine {
         }
         FilterEngine {
             schema,
-            db,
+            store,
             graph: DepGraph::new(),
             materialized: HashSet::new(),
             subs: BTreeMap::new(),
@@ -134,7 +152,26 @@ impl FilterEngine {
     }
 
     pub fn db(&self) -> &Database {
-        &self.db
+        self.store.database()
+    }
+
+    /// The storage backend itself (durability controls: checkpointing,
+    /// WAL statistics).
+    pub fn storage(&self) -> &S {
+        &self.store
+    }
+
+    /// Mutable access to the storage backend. The system tier uses this to
+    /// keep its own durable tables (subscription/document mirrors) in the
+    /// same WAL as the filter tables; callers must not touch the filter's
+    /// own tables.
+    pub fn storage_mut(&mut self) -> &mut S {
+        &mut self.store
+    }
+
+    /// Consumes the engine, returning the backend.
+    pub fn into_storage(self) -> S {
+        self.store
     }
 
     pub fn graph(&self) -> &DepGraph {
@@ -198,7 +235,7 @@ impl FilterEngine {
 
     /// Reconstructs a resource from the base tables.
     pub fn resource(&self, uri: &str) -> Result<Option<Resource>> {
-        BaseStore::resource(&self.db, uri)
+        BaseStore::resource(self.db(), uri)
     }
 
     fn descendants_of(&self, class: &str) -> &[String] {
@@ -221,6 +258,20 @@ impl FilterEngine {
         &mut self,
         rule_text: &str,
     ) -> Result<(SubscriptionId, Vec<String>)> {
+        // one commit group per registration: a durable backend makes the
+        // rule-table mirrors and backfilled materializations atomically
+        // durable; committed even on error because the in-memory engine
+        // keeps partial state on error and behaviour must not change
+        self.store.begin();
+        let out = self.register_subscription_inner(rule_text);
+        self.store.commit()?;
+        out
+    }
+
+    fn register_subscription_inner(
+        &mut self,
+        rule_text: &str,
+    ) -> Result<(SubscriptionId, Vec<String>)> {
         let rule = parse_rule(rule_text)?;
         let mut end_rules = Vec::new();
         let mut initial: BTreeSet<String> = BTreeSet::new();
@@ -239,7 +290,7 @@ impl FilterEngine {
             for id in &outcome.created {
                 let rule = self.graph.rule(*id).expect("created rule exists").clone();
                 let text = crate::atoms::AtomicRule::canonical_text(&rule.kind);
-                insert_atomic(&mut self.db, &rule, &text)?;
+                insert_atomic(&mut self.store, &rule, &text)?;
             }
             // any input of a new join rule must be materialized from now on
             for id in &outcome.created {
@@ -279,6 +330,13 @@ impl FilterEngine {
     /// Unregisters a subscription, retracting atomic rules nothing else
     /// references (reference-counted, paper §3.3.2).
     pub fn unregister_subscription(&mut self, id: SubscriptionId) -> Result<()> {
+        self.store.begin();
+        let out = self.unregister_subscription_inner(id);
+        self.store.commit()?;
+        out
+    }
+
+    fn unregister_subscription_inner(&mut self, id: SubscriptionId) -> Result<()> {
         let sub = self
             .subs
             .remove(&id)
@@ -306,8 +364,8 @@ impl FilterEngine {
                     .group
                     .map(|g| self.graph.group_members(g).is_empty())
                     .unwrap_or(false);
-                remove_atomic(&mut self.db, rule, group_emptied)?;
-                BaseStore::results_drop_rule(&mut self.db, rule.id)?;
+                remove_atomic(&mut self.store, rule, group_emptied)?;
+                BaseStore::results_drop_rule(&mut self.store, rule.id)?;
                 self.materialized.remove(&rule.id);
                 orphan_check.remove(&rule.id);
             }
@@ -317,7 +375,7 @@ impl FilterEngine {
                     && self.graph.dependents_of(rule_id).is_empty()
                     && self.materialized.remove(&rule_id)
                 {
-                    BaseStore::results_drop_rule(&mut self.db, rule_id)?;
+                    BaseStore::results_drop_rule(&mut self.store, rule_id)?;
                 }
             }
         }
@@ -345,6 +403,19 @@ impl FilterEngine {
         &mut self,
         docs: &[Document],
     ) -> Result<(Vec<Publication>, FilterRun)> {
+        // one commit group per batch (group commit): a durable backend
+        // syncs its log once per batch, not once per row — the WAL-overhead
+        // benchmark measures exactly this amortization
+        self.store.begin();
+        let out = self.register_batch_traced_inner(docs);
+        self.store.commit()?;
+        out
+    }
+
+    fn register_batch_traced_inner(
+        &mut self,
+        docs: &[Document],
+    ) -> Result<(Vec<Publication>, FilterRun)> {
         // validate everything before touching state; the per-document
         // checks are independent and read-only, so they fan out across the
         // pool — scanning the results in document order keeps the reported
@@ -359,7 +430,7 @@ impl FilterEngine {
             doc.check_internal_references()?;
             self.schema.validate(doc)?;
             for res in doc.resources() {
-                if BaseStore::resource_exists(&self.db, res.uri().as_str())? {
+                if BaseStore::resource_exists(self.db(), res.uri().as_str())? {
                     return Err(Error::Document(format!(
                         "resource '{}' is already registered",
                         res.uri()
@@ -377,7 +448,7 @@ impl FilterEngine {
         let mut atoms = Vec::new();
         for (doc, doc_atoms) in docs.iter().zip(per_doc_atoms) {
             for res in doc.resources() {
-                BaseStore::insert_resource(&mut self.db, res, doc.uri())?;
+                BaseStore::insert_resource(&mut self.store, res, doc.uri())?;
             }
             atoms.extend(doc_atoms);
             self.documents.insert(doc.uri().to_owned(), doc.clone());
@@ -461,13 +532,13 @@ impl FilterEngine {
             Mode::Collect => Ok(true),
             Mode::Refresh => {
                 if needs_mat {
-                    BaseStore::result_insert(&mut self.db, rule, uri)?;
+                    BaseStore::result_insert(&mut self.store, rule, uri)?;
                 }
                 Ok(true)
             }
             Mode::Insert => {
                 if needs_mat {
-                    BaseStore::result_insert(&mut self.db, rule, uri)
+                    BaseStore::result_insert(&mut self.store, rule, uri)
                 } else {
                     Ok(true)
                 }
@@ -481,14 +552,14 @@ impl FilterEngine {
         let active_ops: Vec<TriggerOp> = TRIGGER_OPS
             .into_iter()
             .filter(|op| {
-                self.db
+                self.db()
                     .table(&crate::rule_tables::filter_table_name(*op))
                     .map(|t| !t.is_empty())
                     .unwrap_or(false)
             })
             .collect();
         let class_table_active = self
-            .db
+            .db()
             .table(crate::rule_tables::T_FILTER_RULES)
             .map(|t| !t.is_empty())
             .unwrap_or(false);
@@ -500,13 +571,13 @@ impl FilterEngine {
             let mut out = Vec::new();
             for class in self.ancestors_of(&atom.class) {
                 if atom.property == RDF_SUBJECT && class_table_active {
-                    for rule in class_triggers(&self.db, class)? {
+                    for rule in class_triggers(self.db(), class)? {
                         out.push((atom.uri.clone(), rule));
                     }
                 }
                 for op in &active_ops {
                     for rule in
-                        matching_triggers(&self.db, *op, class, &atom.property, &atom.value)?
+                        matching_triggers(self.db(), *op, class, &atom.property, &atom.value)?
                     {
                         out.push((atom.uri.clone(), rule));
                     }
@@ -634,7 +705,7 @@ impl FilterEngine {
                             self.probe_counterparts(&spec.pred, side, uri, &other_class)?
                         };
                         for cu in counterparts {
-                            if BaseStore::result_contains(&self.db, other_rule, &cu)? {
+                            if BaseStore::result_contains(self.db(), other_rule, &cu)? {
                                 let reg = if spec.register == side {
                                     uri.clone()
                                 } else {
@@ -771,7 +842,7 @@ impl FilterEngine {
                     &inline_probe
                 };
                 for cu in cps {
-                    if BaseStore::result_contains(&self.db, t.other_rule, cu)? {
+                    if BaseStore::result_contains(self.db(), t.other_rule, cu)? {
                         let reg = if t.register == t.side {
                             uri.clone()
                         } else {
@@ -818,7 +889,7 @@ impl FilterEngine {
             Side::Left => (&pred.left_prop, &pred.right_prop),
             Side::Right => (&pred.right_prop, &pred.left_prop),
         };
-        let my_values = BaseStore::values_of(&self.db, uri, my_prop)?;
+        let my_values = BaseStore::values_of(self.db(), uri, my_prop)?;
         let holds = |other_value: &str, my_value: &str| match side {
             Side::Left => pred.value_matches(my_value, other_value),
             Side::Right => pred.value_matches(other_value, my_value),
@@ -835,7 +906,7 @@ impl FilterEngine {
                     }
                 } else {
                     for oc in &other_classes {
-                        for cu in BaseStore::resources_with_value(&self.db, oc, other_prop, mv)? {
+                        for cu in BaseStore::resources_with_value(self.db(), oc, other_prop, mv)? {
                             if seen.insert(cu.clone()) {
                                 out.push(cu);
                             }
@@ -845,7 +916,7 @@ impl FilterEngine {
             } else {
                 // non-equality: scan the (class, property) partitions
                 for oc in &other_classes {
-                    for (cu, value) in BaseStore::partition(&self.db, oc, other_prop)? {
+                    for (cu, value) in BaseStore::partition(self.db(), oc, other_prop)? {
                         if holds(&value, mv) && seen.insert(cu.clone()) {
                             out.push(cu);
                         }
@@ -872,7 +943,7 @@ impl FilterEngine {
             return Ok(hit.clone());
         }
         if self.materialized.contains(&rule) {
-            let results = BaseStore::results_of(&self.db, rule)?;
+            let results = BaseStore::results_of(self.db(), rule)?;
             memo.insert(rule, results.clone());
             return Ok(results);
         }
@@ -886,7 +957,7 @@ impl FilterEngine {
             AtomicRuleKind::Trigger { class, pred: None } => {
                 let mut out = Vec::new();
                 for c in self.descendants_of(class).to_vec() {
-                    out.extend(BaseStore::resources_of_class(&self.db, &c)?);
+                    out.extend(BaseStore::resources_of_class(self.db(), &c)?);
                 }
                 out
             }
@@ -898,13 +969,13 @@ impl FilterEngine {
                 for c in self.descendants_of(class).to_vec() {
                     if p.op == TriggerOp::EqStr {
                         out.extend(BaseStore::resources_with_value(
-                            &self.db,
+                            self.db(),
                             &c,
                             &p.property,
                             &p.value,
                         )?);
                     } else {
-                        for (uri, value) in BaseStore::partition(&self.db, &c, &p.property)? {
+                        for (uri, value) in BaseStore::partition(self.db(), &c, &p.property)? {
                             if p.op.matches(&value, &p.value) {
                                 out.push(uri);
                             }
@@ -960,7 +1031,7 @@ impl FilterEngine {
         let mut memo = HashMap::new();
         let results = self.eval_rule_full(rule, &mut memo)?;
         for uri in results {
-            BaseStore::result_insert(&mut self.db, rule, &uri)?;
+            BaseStore::result_insert(&mut self.store, rule, &uri)?;
         }
         self.materialized.insert(rule);
         Ok(())
@@ -997,14 +1068,14 @@ impl FilterEngine {
             .clone();
         let result = match &kind {
             AtomicRuleKind::Trigger { class, pred } => {
-                let class_ok = match BaseStore::resource_class(&self.db, uri)? {
+                let class_ok = match BaseStore::resource_class(self.db(), uri)? {
                     Some(actual) => self.schema.is_subclass_of(&actual, class),
                     None => false,
                 };
                 class_ok
                     && match pred {
                         None => true,
-                        Some(p) => BaseStore::values_of(&self.db, uri, &p.property)?
+                        Some(p) => BaseStore::values_of(self.db(), uri, &p.property)?
                             .iter()
                             .any(|v| p.op.matches(v, &p.value)),
                     }
@@ -1042,12 +1113,12 @@ impl FilterEngine {
             if !visited.insert(uri.clone()) {
                 continue;
             }
-            let Some(class) = BaseStore::resource_class(&self.db, &uri)? else {
+            let Some(class) = BaseStore::resource_class(self.db(), &uri)? else {
                 continue;
             };
-            for (prop, value) in BaseStore::statements_of(&self.db, &uri)? {
+            for (prop, value) in BaseStore::statements_of(self.db(), &uri)? {
                 if self.schema.ref_kind(&class, &prop) == Some(RefKind::Strong)
-                    && BaseStore::resource_exists(&self.db, &value)?
+                    && BaseStore::resource_exists(self.db(), &value)?
                 {
                     stack.push(value);
                 }
@@ -1085,7 +1156,7 @@ impl FilterEngine {
                 continue;
             }
             for (class, prop) in &strong_props {
-                for referrer in BaseStore::resources_with_value(&self.db, class, prop, &cur)? {
+                for referrer in BaseStore::resources_with_value(self.db(), class, prop, &cur)? {
                     stack.push(referrer);
                 }
             }

@@ -12,7 +12,7 @@
 //! reconversion, which makes their cost grow with the rule-base partition
 //! (Figures 12–14).
 
-use mdv_relstore::{ColumnDef, DataType, Database, IndexKind, TableSchema, Value};
+use mdv_relstore::{ColumnDef, DataType, Database, IndexKind, StorageEngine, TableSchema, Value};
 
 use crate::atoms::{AtomicRule, AtomicRuleKind, RuleId, TriggerOp};
 use crate::error::Result;
@@ -45,7 +45,7 @@ fn by_rule_index(table: &str) -> String {
 }
 
 /// Creates all rule-side tables in `db`.
-pub fn create_rule_tables(db: &mut Database) -> Result<()> {
+pub fn create_rule_tables<S: StorageEngine>(db: &mut S) -> Result<()> {
     db.create_table(TableSchema::new(
         T_ATOMIC_RULES,
         vec![
@@ -170,7 +170,7 @@ pub fn create_rule_tables(db: &mut Database) -> Result<()> {
 }
 
 /// Mirrors a newly created atomic rule into the rule tables.
-pub fn insert_atomic(db: &mut Database, rule: &AtomicRule, text: &str) -> Result<()> {
+pub fn insert_atomic<S: StorageEngine>(db: &mut S, rule: &AtomicRule, text: &str) -> Result<()> {
     db.insert(
         T_ATOMIC_RULES,
         vec![
@@ -216,6 +216,7 @@ pub fn insert_atomic(db: &mut Database, rule: &AtomicRule, text: &str) -> Result
             }
             // create the group row if this is its first member
             let existing = db
+                .database()
                 .table(T_RULE_GROUPS)?
                 .index("RuleGroups_by_id")?
                 .probe(&vec![Value::from(gid.0 as i64)]);
@@ -235,9 +236,14 @@ pub fn insert_atomic(db: &mut Database, rule: &AtomicRule, text: &str) -> Result
 
 /// Removes a retracted atomic rule from the rule tables. `group_emptied`
 /// signals that the rule was the last member of its group.
-pub fn remove_atomic(db: &mut Database, rule: &AtomicRule, group_emptied: bool) -> Result<()> {
+pub fn remove_atomic<S: StorageEngine>(
+    db: &mut S,
+    rule: &AtomicRule,
+    group_emptied: bool,
+) -> Result<()> {
     let key = vec![Value::from(rule.id.0 as i64)];
     let rows = db
+        .database()
         .table(T_ATOMIC_RULES)?
         .index(&by_rule_index(T_ATOMIC_RULES))?
         .probe(&key);
@@ -247,6 +253,7 @@ pub fn remove_atomic(db: &mut Database, rule: &AtomicRule, group_emptied: bool) 
     match &rule.kind {
         AtomicRuleKind::Trigger { pred: None, .. } => {
             let rows = db
+                .database()
                 .table(T_FILTER_RULES)?
                 .index(&by_rule_index(T_FILTER_RULES))?
                 .probe(&key);
@@ -256,13 +263,18 @@ pub fn remove_atomic(db: &mut Database, rule: &AtomicRule, group_emptied: bool) 
         }
         AtomicRuleKind::Trigger { pred: Some(p), .. } => {
             let name = filter_table_name(p.op);
-            let rows = db.table(&name)?.index(&by_rule_index(&name))?.probe(&key);
+            let rows = db
+                .database()
+                .table(&name)?
+                .index(&by_rule_index(&name))?
+                .probe(&key);
             for rid in rows {
                 db.delete(&name, rid)?;
             }
         }
         AtomicRuleKind::Join(_) => {
             let rows = db
+                .database()
                 .table(T_RULE_DEPS)?
                 .index("RuleDeps_by_target")?
                 .probe(&key);
@@ -272,6 +284,7 @@ pub fn remove_atomic(db: &mut Database, rule: &AtomicRule, group_emptied: bool) 
             if group_emptied {
                 let gid = rule.group.expect("join rules always belong to a group");
                 let rows = db
+                    .database()
                     .table(T_RULE_GROUPS)?
                     .index("RuleGroups_by_id")?
                     .probe(&vec![Value::from(gid.0 as i64)]);

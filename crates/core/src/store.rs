@@ -12,7 +12,7 @@
 //!   rules join rules depend on are materialized").
 
 use mdv_rdf::{Document, Resource, Term, UriRef, RDF_SUBJECT};
-use mdv_relstore::{ColumnDef, DataType, Database, IndexKind, TableSchema, Value};
+use mdv_relstore::{ColumnDef, DataType, Database, IndexKind, StorageEngine, TableSchema, Value};
 
 use crate::atoms::RuleId;
 use crate::error::Result;
@@ -69,7 +69,7 @@ pub const IDX_RR_RULE: &str = "RuleResults_by_rule";
 pub const IDX_RR_PAIR: &str = "RuleResults_by_rule_uri";
 
 /// Creates the base tables in `db`.
-pub fn create_base_tables(db: &mut Database) -> Result<()> {
+pub fn create_base_tables<S: StorageEngine>(db: &mut S) -> Result<()> {
     db.create_table(TableSchema::new(
         T_STATEMENTS,
         vec![
@@ -160,7 +160,11 @@ pub struct BaseStore;
 
 impl BaseStore {
     /// Inserts a resource's atoms and registry row.
-    pub fn insert_resource(db: &mut Database, res: &Resource, document_uri: &str) -> Result<()> {
+    pub fn insert_resource<S: StorageEngine>(
+        db: &mut S,
+        res: &Resource,
+        document_uri: &str,
+    ) -> Result<()> {
         db.insert(
             T_RESOURCES,
             vec![
@@ -184,13 +188,21 @@ impl BaseStore {
     }
 
     /// Removes a resource's atoms and registry row; a no-op when absent.
-    pub fn remove_resource(db: &mut Database, uri: &str) -> Result<()> {
+    pub fn remove_resource<S: StorageEngine>(db: &mut S, uri: &str) -> Result<()> {
         let key = vec![Value::from(uri)];
-        let rows: Vec<_> = db.table(T_STATEMENTS)?.index(IDX_STMT_URI)?.probe(&key);
+        let rows: Vec<_> = db
+            .database()
+            .table(T_STATEMENTS)?
+            .index(IDX_STMT_URI)?
+            .probe(&key);
         for rid in rows {
             db.delete(T_STATEMENTS, rid)?;
         }
-        let rows: Vec<_> = db.table(T_RESOURCES)?.index(IDX_RES_URI)?.probe(&key);
+        let rows: Vec<_> = db
+            .database()
+            .table(T_RESOURCES)?
+            .index(IDX_RES_URI)?
+            .probe(&key);
         for rid in rows {
             db.delete(T_RESOURCES, rid)?;
         }
@@ -320,8 +332,8 @@ impl BaseStore {
     }
 
     /// Inserts a result tuple; returns false when it was already present.
-    pub fn result_insert(db: &mut Database, rule: RuleId, uri: &str) -> Result<bool> {
-        if Self::result_contains(db, rule, uri)? {
+    pub fn result_insert<S: StorageEngine>(db: &mut S, rule: RuleId, uri: &str) -> Result<bool> {
+        if Self::result_contains(db.database(), rule, uri)? {
             return Ok(false);
         }
         db.insert(
@@ -332,8 +344,9 @@ impl BaseStore {
     }
 
     /// Removes a result tuple; returns false when it was absent.
-    pub fn result_remove(db: &mut Database, rule: RuleId, uri: &str) -> Result<bool> {
+    pub fn result_remove<S: StorageEngine>(db: &mut S, rule: RuleId, uri: &str) -> Result<bool> {
         let rows = db
+            .database()
             .table(T_RULE_RESULTS)?
             .index(IDX_RR_PAIR)?
             .probe(&vec![Value::from(rule.0 as i64), Value::from(uri)]);
@@ -356,8 +369,9 @@ impl BaseStore {
     }
 
     /// Drops every materialized result of a rule (rule retraction).
-    pub fn results_drop_rule(db: &mut Database, rule: RuleId) -> Result<usize> {
+    pub fn results_drop_rule<S: StorageEngine>(db: &mut S, rule: RuleId) -> Result<usize> {
         let rows = db
+            .database()
             .table(T_RULE_RESULTS)?
             .index(IDX_RR_RULE)?
             .probe(&vec![Value::from(rule.0 as i64)]);

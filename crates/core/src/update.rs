@@ -21,6 +21,7 @@
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 use mdv_rdf::{diff, diff_delete_all, Document, DocumentDiff, RDF_SUBJECT};
+use mdv_relstore::StorageEngine;
 
 use crate::atoms::RuleId;
 use crate::engine::{FilterEngine, Mode};
@@ -28,10 +29,17 @@ use crate::error::{Error, Result};
 use crate::registry::{assemble_publications, Publication, SubscriptionId};
 use crate::store::{Atom, BaseStore};
 
-impl FilterEngine {
+impl<S: StorageEngine + Sync> FilterEngine<S> {
     /// Re-registers a modified version of a document (paper §2.2: "updating
     /// metadata essentially means re-registering a modified version").
     pub fn update_document(&mut self, new_doc: &Document) -> Result<Vec<Publication>> {
+        self.store.begin();
+        let out = self.update_document_inner(new_doc);
+        self.store.commit()?;
+        out
+    }
+
+    fn update_document_inner(&mut self, new_doc: &Document) -> Result<Vec<Publication>> {
         let old = self.documents.get(new_doc.uri()).cloned().ok_or_else(|| {
             Error::Document(format!(
                 "document '{}' is not registered; use register_document",
@@ -43,7 +51,7 @@ impl FilterEngine {
         let d = diff(&old, new_doc);
         // resources added by the update must not belong to other documents
         for res in &d.added {
-            if BaseStore::resource_exists(&self.db, res.uri().as_str())? {
+            if BaseStore::resource_exists(self.db(), res.uri().as_str())? {
                 return Err(Error::Document(format!(
                     "resource '{}' is already registered elsewhere",
                     res.uri()
@@ -56,6 +64,13 @@ impl FilterEngine {
     /// Deletes a whole document; all contained resources are deleted
     /// (paper §3.5).
     pub fn delete_document(&mut self, uri: &str) -> Result<Vec<Publication>> {
+        self.store.begin();
+        let out = self.delete_document_inner(uri);
+        self.store.commit()?;
+        out
+    }
+
+    fn delete_document_inner(&mut self, uri: &str) -> Result<Vec<Publication>> {
         let old = self
             .documents
             .get(uri)
@@ -97,21 +112,21 @@ impl FilterEngine {
             }
         }
         for (rule, uri) in &retracted {
-            BaseStore::result_remove(&mut self.db, *rule, uri)?;
+            BaseStore::result_remove(&mut self.store, *rule, uri)?;
         }
 
         // ---- apply the changes to the base tables ----
         for res in &d.deleted {
-            BaseStore::remove_resource(&mut self.db, res.uri().as_str())?;
+            BaseStore::remove_resource(&mut self.store, res.uri().as_str())?;
         }
         for (old_res, new_res) in &d.updated {
-            BaseStore::remove_resource(&mut self.db, old_res.uri().as_str())?;
+            BaseStore::remove_resource(&mut self.store, old_res.uri().as_str())?;
             let doc_uri = new_res.uri().document_uri().to_owned();
-            BaseStore::insert_resource(&mut self.db, new_res, &doc_uri)?;
+            BaseStore::insert_resource(&mut self.store, new_res, &doc_uri)?;
         }
         for res in &d.added {
             let doc_uri = res.uri().document_uri().to_owned();
-            BaseStore::insert_resource(&mut self.db, res, &doc_uri)?;
+            BaseStore::insert_resource(&mut self.store, res, &doc_uri)?;
         }
         match new_doc {
             Some(doc) => {
@@ -232,7 +247,7 @@ impl FilterEngine {
     /// Rebuilds a resource's atoms from the base tables (candidate input of
     /// pass 2; the resource may live in any document).
     fn atoms_from_store(&self, uri: &str) -> Result<Vec<Atom>> {
-        let Some(class) = BaseStore::resource_class(&self.db, uri)? else {
+        let Some(class) = BaseStore::resource_class(self.db(), uri)? else {
             return Ok(Vec::new()); // deleted candidates have no atoms
         };
         let mut atoms = vec![Atom {
@@ -241,7 +256,7 @@ impl FilterEngine {
             property: RDF_SUBJECT.to_owned(),
             value: uri.to_owned(),
         }];
-        for (property, value) in BaseStore::statements_of(&self.db, uri)? {
+        for (property, value) in BaseStore::statements_of(self.db(), uri)? {
             atoms.push(Atom {
                 uri: uri.to_owned(),
                 class: class.clone(),

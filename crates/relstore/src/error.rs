@@ -32,6 +32,8 @@ pub enum Error {
     TypeError(String),
     /// A transaction-state violation (e.g. commit without begin).
     TransactionState(String),
+    /// An I/O or corruption failure in a durable backend (WAL, snapshot).
+    Io(String),
 }
 
 impl fmt::Display for Error {
@@ -58,6 +60,7 @@ impl fmt::Display for Error {
             }
             Error::TypeError(msg) => write!(f, "type error: {msg}"),
             Error::TransactionState(msg) => write!(f, "transaction error: {msg}"),
+            Error::Io(msg) => write!(f, "storage i/o error: {msg}"),
         }
     }
 }

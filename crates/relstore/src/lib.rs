@@ -55,6 +55,7 @@
 //! crate's files.
 
 pub mod catalog;
+pub mod engine;
 pub mod error;
 pub mod index;
 pub mod join;
@@ -66,8 +67,10 @@ pub mod sql;
 pub mod table;
 pub mod txn;
 pub mod value;
+pub mod wal;
 
 pub use catalog::Database;
+pub use engine::{with_commit_group, StorageEngine};
 pub use error::{Error, Result};
 pub use index::{Index, IndexKey, IndexKind};
 pub use predicate::{CmpOp, Expr, Predicate};
@@ -78,6 +81,7 @@ pub use sql::{execute as execute_sql, ResultSet};
 pub use table::{Row, RowId, Table};
 pub use txn::Txn;
 pub use value::{DataType, Value};
+pub use wal::DurableEngine;
 
 // Compile-time audit backing the "shared read access" contract above: the
 // parallel filter shares `&Database` across pool workers, so the storage
@@ -91,4 +95,7 @@ const _: () = {
     assert_shareable::<Index>();
     assert_shareable::<TableSchema>();
     assert_shareable::<Value>();
+    // the durable backend must stay shareable too: the parallel filter
+    // reads `&Database` through it from pool workers
+    assert_shareable::<DurableEngine>();
 };

@@ -24,7 +24,7 @@ use crate::catalog::Database;
 use crate::error::{Error, Result};
 use crate::index::IndexKind;
 use crate::schema::{ColumnDef, TableSchema};
-use crate::table::RowId;
+use crate::table::{Row, RowId};
 use crate::value::{DataType, Value};
 
 const HEADER: &str = "#mdv-relstore-snapshot v1";
@@ -57,7 +57,13 @@ pub fn write_database(db: &Database) -> String {
                 cols.join("\t")
             ));
         }
-        for (rid, row) in table.iter() {
+        // canonical order: rows sorted by id, so two logically equal
+        // databases serialize byte-identically regardless of their slot
+        // layout (slots diverge after delete/insert churn, and a durable
+        // checkpoint compacts holes away — see DESIGN.md §6)
+        let mut rows: Vec<(RowId, &Row)> = table.iter().collect();
+        rows.sort_by_key(|(rid, _)| *rid);
+        for (rid, row) in rows {
             out.push_str(&format!("row\t{}", rid.0));
             for v in row {
                 out.push('\t');

@@ -61,6 +61,7 @@ pub mod gc;
 pub mod lmr;
 pub mod mdp;
 pub mod message;
+mod mirror;
 pub mod state;
 pub mod system;
 pub mod transport;

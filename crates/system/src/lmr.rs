@@ -9,14 +9,25 @@
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 use mdv_filter::{query_eval, store::create_base_tables, BaseStore};
-use mdv_rdf::{Document, RdfSchema, RefKind, Resource};
-use mdv_relstore::Database;
+use mdv_rdf::{parse_document, write_document, Document, RdfSchema, RefKind, Resource};
+use mdv_relstore::{ColumnDef, DataType, Database, StorageEngine};
 use mdv_rulelang::{normalize, parse_rule, split_or, typecheck};
 
 use crate::error::{Error, Result};
 use crate::gc::RefTracker;
 use crate::message::{Message, PublishMsg};
+use crate::mirror::{self, i, s};
 use crate::transport::{Envelope, Network};
+
+/// Durable mirror tables (created only on mirror-enabled backends, see
+/// DESIGN.md §6): the LMR's non-relational state lives next to the cache's
+/// base tables, sharing their WAL.
+const T_META: &str = "LmrMeta"; // key, val (protocol counters)
+const T_RULES: &str = "LmrRules"; // id, status, error, text
+const T_LOCAL: &str = "LmrLocalDocs"; // uri, xml
+const T_MATCH: &str = "LmrMatches"; // uri, rule (match anchors)
+const T_PUBBUF: &str = "LmrPubBuffer"; // seq, wire-form publication
+const T_DEAD: &str = "LmrDeadRules"; // rule
 
 /// Lifecycle of a subscription rule at the LMR.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,14 +66,18 @@ impl Retry {
     }
 }
 
-/// A Local Metadata Repository.
+/// A Local Metadata Repository, generic over its cache's storage backend
+/// (in-memory [`Database`] by default; a durable WAL+snapshot engine via
+/// [`Lmr::with_storage`]).
 #[derive(Debug)]
-pub struct Lmr {
+pub struct Lmr<S: StorageEngine = Database> {
     name: String,
     /// The MDP this LMR is subscribed to.
     mdp: String,
     schema: RdfSchema,
-    pub(crate) cache: Database,
+    pub(crate) cache: S,
+    /// Mirror node state into the `Lmr*` tables (durable backends only).
+    mirror: bool,
     pub(crate) tracker: RefTracker,
     pub(crate) rules: BTreeMap<u64, LmrRule>,
     pub(crate) next_rule: u64,
@@ -84,11 +99,174 @@ impl Lmr {
     pub fn new(name: &str, mdp: &str, schema: RdfSchema) -> Self {
         let mut cache = Database::new();
         create_base_tables(&mut cache).expect("fresh database accepts base tables");
+        Self::from_store(name, mdp, schema, cache, false)
+    }
+}
+
+impl<S: StorageEngine> Lmr<S> {
+    /// Builds an LMR whose cache runs on an explicit storage backend and
+    /// mirrors node state into the `Lmr*` tables of the same database — on
+    /// a durable backend the whole node becomes crash-recoverable
+    /// (DESIGN.md §6).
+    pub fn with_storage(name: &str, mdp: &str, schema: RdfSchema, mut store: S) -> Result<Self> {
+        store.begin();
+        create_base_tables(&mut store).map_err(crate::error::Error::from)?;
+        Self::create_mirror_tables(&mut store)?;
+        mirror::insert(&mut store, T_META, vec![s("next_rule"), i(0)])?;
+        mirror::insert(&mut store, T_META, vec![s("next_pub_seq"), i(0)])?;
+        store.commit().map_err(mirror::store_err)?;
+        Ok(Self::from_store(name, mdp, schema, store, true))
+    }
+
+    /// Reopens an LMR over a crash-recovered durable store: the cache
+    /// tables are already in place (snapshot + WAL replay), node state is
+    /// rebuilt from the `Lmr*` mirrors, and the engine keeps appending to
+    /// the same log. Retry timers are transient; the caller re-arms the
+    /// in-flight control messages via [`Lmr::rearm_after_recovery`].
+    pub fn reopen(name: &str, mdp: &str, schema: RdfSchema, store: S) -> Result<Self> {
+        let corrupt = |table: &str| Error::Topology(format!("corrupt mirror row in {table}"));
+        let mut lmr = Self::from_store(name, mdp, schema, store, true);
+        let db = lmr.cache.database();
+        if db.table(T_META).is_err() {
+            return Err(Error::Topology(format!(
+                "'{}' is not a durable LMR store (no {T_META} table)",
+                lmr.name
+            )));
+        }
+        let mut rules = BTreeMap::new();
+        let mut next_rule = 0;
+        let mut next_pub_seq = 0;
+        for row in mirror::rows_sorted(db, T_META) {
+            let (Some(key), Some(val)) = (row[0].as_str(), row[1].as_int()) else {
+                return Err(corrupt(T_META));
+            };
+            match key {
+                "next_rule" => next_rule = val as u64,
+                "next_pub_seq" => next_pub_seq = val as u64,
+                other => {
+                    return Err(Error::Topology(format!(
+                        "unknown {T_META} counter '{other}'"
+                    )))
+                }
+            }
+        }
+        for row in mirror::rows_sorted(db, T_RULES) {
+            let (Some(id), Some(status), Some(error), Some(text)) = (
+                row[0].as_int(),
+                row[1].as_str(),
+                row[2].as_str(),
+                row[3].as_str(),
+            ) else {
+                return Err(corrupt(T_RULES));
+            };
+            let status = match status {
+                "pending" => RuleStatus::Pending,
+                "active" => RuleStatus::Active,
+                "failed" => RuleStatus::Failed(error.to_owned()),
+                _ => return Err(corrupt(T_RULES)),
+            };
+            rules.insert(
+                id as u64,
+                LmrRule {
+                    text: text.to_owned(),
+                    status,
+                },
+            );
+        }
+        let mut local_docs = HashMap::new();
+        for row in mirror::rows_sorted(db, T_LOCAL) {
+            let (Some(uri), Some(xml)) = (row[0].as_str(), row[1].as_str()) else {
+                return Err(corrupt(T_LOCAL));
+            };
+            let doc = parse_document(uri, xml).map_err(mdv_filter::Error::from)?;
+            local_docs.insert(uri.to_owned(), doc);
+        }
+        let mut pub_buffer = BTreeMap::new();
+        for row in mirror::rows_sorted(db, T_PUBBUF) {
+            let Some(wire) = row[1].as_str() else {
+                return Err(corrupt(T_PUBBUF));
+            };
+            let msg = PublishMsg::from_wire(wire)
+                .map_err(|e| Error::Topology(format!("corrupt buffered publication: {e}")))?;
+            pub_buffer.insert(msg.seq, msg);
+        }
+        let mut dead_rules = HashSet::new();
+        for row in mirror::rows_sorted(db, T_DEAD) {
+            let Some(rule) = row[0].as_int() else {
+                return Err(corrupt(T_DEAD));
+            };
+            dead_rules.insert(rule as u64);
+        }
+        let mut matches = Vec::new();
+        for row in mirror::rows_sorted(db, T_MATCH) {
+            let (Some(uri), Some(rule)) = (row[0].as_str(), row[1].as_int()) else {
+                return Err(corrupt(T_MATCH));
+            };
+            matches.push((uri.to_owned(), rule as u64));
+        }
+        lmr.rules = rules;
+        lmr.next_rule = next_rule;
+        lmr.next_pub_seq = next_pub_seq;
+        lmr.local_docs = local_docs;
+        lmr.pub_buffer = pub_buffer;
+        lmr.dead_rules = dead_rules;
+        lmr.rebuild_tracker(&matches)?;
+        Ok(lmr)
+    }
+
+    fn create_mirror_tables(store: &mut S) -> Result<()> {
+        mirror::create_table(
+            store,
+            T_META,
+            vec![
+                ColumnDef::new("key", DataType::Str),
+                ColumnDef::new("val", DataType::Int),
+            ],
+        )?;
+        mirror::create_table(
+            store,
+            T_RULES,
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("status", DataType::Str),
+                ColumnDef::new("error", DataType::Str),
+                ColumnDef::new("text", DataType::Str),
+            ],
+        )?;
+        mirror::create_table(
+            store,
+            T_LOCAL,
+            vec![
+                ColumnDef::new("uri", DataType::Str),
+                ColumnDef::new("xml", DataType::Str),
+            ],
+        )?;
+        mirror::create_table(
+            store,
+            T_MATCH,
+            vec![
+                ColumnDef::new("uri", DataType::Str),
+                ColumnDef::new("rule", DataType::Int),
+            ],
+        )?;
+        mirror::create_table(
+            store,
+            T_PUBBUF,
+            vec![
+                ColumnDef::new("seq", DataType::Int),
+                ColumnDef::new("publication", DataType::Str),
+            ],
+        )?;
+        mirror::create_table(store, T_DEAD, vec![ColumnDef::new("rule", DataType::Int)])
+    }
+
+    fn from_store(name: &str, mdp: &str, schema: RdfSchema, cache: S, mirror: bool) -> Self {
         Lmr {
             name: name.to_owned(),
             mdp: mdp.to_owned(),
             schema,
             cache,
+            mirror,
             tracker: RefTracker::new(),
             rules: BTreeMap::new(),
             next_rule: 0,
@@ -99,6 +277,146 @@ impl Lmr {
             sub_retry: BTreeMap::new(),
             unsub_retry: BTreeMap::new(),
         }
+    }
+
+    /// Read access to the storage backend (e.g. the WAL directory or byte
+    /// counters of a durable cache).
+    pub fn storage(&self) -> &S {
+        &self.cache
+    }
+
+    /// Snapshot-as-compaction: checkpoints the cache store — writes a fresh
+    /// snapshot reflecting every GC deletion and truncates the WAL.
+    pub fn compact(&mut self) -> Result<()> {
+        self.cache.checkpoint().map_err(mirror::store_err)
+    }
+
+    /// Runs `body` inside one storage commit group, so the cache mutations
+    /// and mirror writes of a whole node operation become durable
+    /// atomically.
+    fn with_group<T>(&mut self, body: impl FnOnce(&mut Self) -> Result<T>) -> Result<T> {
+        self.cache.begin();
+        let out = body(self);
+        self.cache.commit().map_err(mirror::store_err)?;
+        out
+    }
+
+    /// Re-sends the control messages that were in flight when the node
+    /// crashed: Subscribe for every still-pending rule, Unsubscribe for
+    /// every retracted rule (the MDP re-acks duplicates, so over-sending is
+    /// harmless).
+    pub fn rearm_after_recovery(&mut self, net: &Network) -> Result<()> {
+        let pending: Vec<(u64, String)> = self
+            .rules
+            .iter()
+            .filter(|(_, r)| r.status == RuleStatus::Pending)
+            .map(|(id, r)| (*id, r.text.clone()))
+            .collect();
+        for (id, text) in pending {
+            net.send(
+                &self.name,
+                &self.mdp,
+                Message::Subscribe {
+                    lmr_rule: id,
+                    rule_text: text,
+                },
+            )?;
+            self.sub_retry.insert(id, Retry::new(net));
+        }
+        let mut dead: Vec<u64> = self.dead_rules.iter().copied().collect();
+        dead.sort_unstable();
+        for rule in dead {
+            net.send(
+                &self.name,
+                &self.mdp,
+                Message::Unsubscribe { lmr_rule: rule },
+            )?;
+            self.unsub_retry.insert(rule, Retry::new(net));
+        }
+        Ok(())
+    }
+
+    // ---- mirror writes (no-ops on memory-backed nodes) -------------------
+
+    fn mirror_meta(&mut self, key: &str, val: u64) -> Result<()> {
+        if !self.mirror {
+            return Ok(());
+        }
+        mirror::upsert_where(
+            &mut self.cache,
+            T_META,
+            |r| r[0].as_str() == Some(key),
+            vec![s(key), i(val)],
+        )
+    }
+
+    fn mirror_rule_upsert(&mut self, id: u64) -> Result<()> {
+        if !self.mirror {
+            return Ok(());
+        }
+        let Some(rule) = self.rules.get(&id) else {
+            return Ok(());
+        };
+        let (status, error) = match &rule.status {
+            RuleStatus::Pending => ("pending", String::new()),
+            RuleStatus::Active => ("active", String::new()),
+            RuleStatus::Failed(e) => ("failed", e.clone()),
+        };
+        let row = vec![i(id), s(status), s(&error), s(&rule.text)];
+        mirror::upsert_where(
+            &mut self.cache,
+            T_RULES,
+            |r| r[0].as_int() == Some(id as i64),
+            row,
+        )
+    }
+
+    fn mirror_rule_delete(&mut self, id: u64) -> Result<()> {
+        if !self.mirror {
+            return Ok(());
+        }
+        mirror::delete_where(&mut self.cache, T_RULES, |r| {
+            r[0].as_int() == Some(id as i64)
+        })?;
+        mirror::delete_where(&mut self.cache, T_MATCH, |r| {
+            r[1].as_int() == Some(id as i64)
+        })?;
+        mirror::insert_unique(
+            &mut self.cache,
+            T_DEAD,
+            |r| r[0].as_int() == Some(id as i64),
+            vec![i(id)],
+        )
+    }
+
+    fn mirror_match_add(&mut self, uri: &str, rule: u64) -> Result<()> {
+        if !self.mirror {
+            return Ok(());
+        }
+        mirror::insert_unique(
+            &mut self.cache,
+            T_MATCH,
+            |r| r[0].as_str() == Some(uri) && r[1].as_int() == Some(rule as i64),
+            vec![s(uri), i(rule)],
+        )
+    }
+
+    fn mirror_match_remove(&mut self, uri: &str, rule: u64) -> Result<()> {
+        if !self.mirror {
+            return Ok(());
+        }
+        mirror::delete_where(&mut self.cache, T_MATCH, |r| {
+            r[0].as_str() == Some(uri) && r[1].as_int() == Some(rule as i64)
+        })?;
+        Ok(())
+    }
+
+    fn mirror_match_forget(&mut self, uri: &str) -> Result<()> {
+        if !self.mirror {
+            return Ok(());
+        }
+        mirror::delete_where(&mut self.cache, T_MATCH, |r| r[0].as_str() == Some(uri))?;
+        Ok(())
     }
 
     pub fn name(&self) -> &str {
@@ -121,6 +439,7 @@ impl Lmr {
     pub fn cached_uris(&self) -> Vec<String> {
         let mut out: Vec<String> = self
             .cache
+            .database()
             .table("Resources")
             .expect("cache has base tables")
             .iter()
@@ -131,36 +450,40 @@ impl Lmr {
     }
 
     pub fn is_cached(&self, uri: &str) -> bool {
-        BaseStore::resource_exists(&self.cache, uri).unwrap_or(false)
+        BaseStore::resource_exists(self.cache.database(), uri).unwrap_or(false)
     }
 
     /// The cached copy of a resource.
     pub fn cached_resource(&self, uri: &str) -> Result<Option<Resource>> {
-        Ok(BaseStore::resource(&self.cache, uri)?)
+        Ok(BaseStore::resource(self.cache.database(), uri)?)
     }
 
     /// Registers a subscription rule: records it as pending and sends it to
     /// the MDP. Returns the LMR-local rule id.
     pub fn subscribe(&mut self, rule_text: &str, net: &Network) -> Result<u64> {
-        let id = self.next_rule;
-        self.next_rule += 1;
-        self.rules.insert(
-            id,
-            LmrRule {
-                text: rule_text.to_owned(),
-                status: RuleStatus::Pending,
-            },
-        );
-        net.send(
-            &self.name,
-            &self.mdp,
-            Message::Subscribe {
-                lmr_rule: id,
-                rule_text: rule_text.to_owned(),
-            },
-        )?;
-        self.sub_retry.insert(id, Retry::new(net));
-        Ok(id)
+        self.with_group(|this| {
+            let id = this.next_rule;
+            this.next_rule += 1;
+            this.rules.insert(
+                id,
+                LmrRule {
+                    text: rule_text.to_owned(),
+                    status: RuleStatus::Pending,
+                },
+            );
+            this.mirror_meta("next_rule", this.next_rule)?;
+            this.mirror_rule_upsert(id)?;
+            net.send(
+                &this.name,
+                &this.mdp,
+                Message::Subscribe {
+                    lmr_rule: id,
+                    rule_text: rule_text.to_owned(),
+                },
+            )?;
+            this.sub_retry.insert(id, Retry::new(net));
+            Ok(id)
+        })
     }
 
     /// Retracts a subscription rule and garbage-collects resources that were
@@ -172,17 +495,20 @@ impl Lmr {
                 self.name
             )));
         }
-        self.tracker.remove_rule(rule);
-        self.collect_garbage()?;
-        self.sub_retry.remove(&rule);
-        self.dead_rules.insert(rule);
-        net.send(
-            &self.name,
-            &self.mdp,
-            Message::Unsubscribe { lmr_rule: rule },
-        )?;
-        self.unsub_retry.insert(rule, Retry::new(net));
-        Ok(())
+        self.with_group(|this| {
+            this.tracker.remove_rule(rule);
+            this.mirror_rule_delete(rule)?;
+            this.collect_garbage()?;
+            this.sub_retry.remove(&rule);
+            this.dead_rules.insert(rule);
+            net.send(
+                &this.name,
+                &this.mdp,
+                Message::Unsubscribe { lmr_rule: rule },
+            )?;
+            this.unsub_retry.insert(rule, Retry::new(net));
+            Ok(())
+        })
     }
 
     /// Registers metadata that must stay local (paper §2.2: "local metadata
@@ -205,12 +531,21 @@ impl Lmr {
                 )));
             }
         }
-        for res in doc.resources() {
-            self.upsert_resource(res)?;
-            self.tracker.mark_local(res.uri().as_str());
-        }
-        self.local_docs.insert(doc.uri().to_owned(), doc.clone());
-        Ok(())
+        self.with_group(|this| {
+            for res in doc.resources() {
+                this.upsert_resource(res)?;
+                this.tracker.mark_local(res.uri().as_str());
+            }
+            if this.mirror {
+                mirror::insert(
+                    &mut this.cache,
+                    T_LOCAL,
+                    vec![s(doc.uri()), s(&write_document(doc))],
+                )?;
+            }
+            this.local_docs.insert(doc.uri().to_owned(), doc.clone());
+            Ok(())
+        })
     }
 
     /// Evaluates a declarative query against the local cache only
@@ -227,7 +562,7 @@ impl Lmr {
             };
             typecheck(&normalized, &self.schema)?;
             uris.extend(query_eval::evaluate(
-                &self.cache,
+                self.cache.database(),
                 &self.schema,
                 &normalized,
             )?);
@@ -236,7 +571,7 @@ impl Lmr {
         uris.dedup();
         uris.into_iter()
             .map(|u| {
-                BaseStore::resource(&self.cache, &u)?
+                BaseStore::resource(self.cache.database(), &u)?
                     .ok_or_else(|| Error::Local(format!("cache lost resource '{u}'")))
             })
             .collect()
@@ -257,7 +592,7 @@ impl Lmr {
             };
             typecheck(&normalized, &self.schema)?;
             uris.extend(mdv_filter::sql_translate::evaluate_via_sql(
-                &self.cache,
+                self.cache.database(),
                 &self.schema,
                 &normalized,
             )?);
@@ -266,14 +601,19 @@ impl Lmr {
         uris.dedup();
         uris.into_iter()
             .map(|u| {
-                BaseStore::resource(&self.cache, &u)?
+                BaseStore::resource(self.cache.database(), &u)?
                     .ok_or_else(|| Error::Local(format!("cache lost resource '{u}'")))
             })
             .collect()
     }
 
-    /// Processes one incoming message.
+    /// Processes one incoming message. On a durable backend the whole
+    /// handler runs as one WAL commit group.
     pub fn handle(&mut self, env: Envelope, net: &Network) -> Result<()> {
+        self.with_group(|this| this.handle_inner(env, net))
+    }
+
+    fn handle_inner(&mut self, env: Envelope, net: &Network) -> Result<()> {
         match env.message {
             Message::SubscribeAck { lmr_rule, error } => {
                 self.sub_retry.remove(&lmr_rule);
@@ -282,6 +622,7 @@ impl Lmr {
                         None => RuleStatus::Active,
                         Some(e) => RuleStatus::Failed(e),
                     };
+                    self.mirror_rule_upsert(lmr_rule)?;
                 }
                 Ok(())
             }
@@ -306,9 +647,20 @@ impl Lmr {
         if msg.seq < self.next_pub_seq || self.pub_buffer.contains_key(&msg.seq) {
             return Ok(()); // duplicate (retransmission or injected copy)
         }
+        if self.mirror {
+            let row = vec![i(msg.seq), s(&msg.to_wire())];
+            mirror::insert(&mut self.cache, T_PUBBUF, row)?;
+        }
         self.pub_buffer.insert(msg.seq, msg);
         while let Some(next) = self.pub_buffer.remove(&self.next_pub_seq) {
             self.next_pub_seq += 1;
+            let next_seq = self.next_pub_seq;
+            self.mirror_meta("next_pub_seq", next_seq)?;
+            if self.mirror {
+                mirror::delete_where(&mut self.cache, T_PUBBUF, |r| {
+                    r[0].as_int() == Some(next.seq as i64)
+                })?;
+            }
             if self.dead_rules.contains(&next.lmr_rule) {
                 continue; // late publication for a retracted rule
             }
@@ -380,6 +732,7 @@ impl Lmr {
         for res in &msg.matched {
             self.upsert_resource(res)?;
             self.tracker.add_match(res.uri().as_str(), msg.lmr_rule);
+            self.mirror_match_add(res.uri().as_str(), msg.lmr_rule)?;
         }
         for res in &msg.companions {
             self.upsert_resource(res)?;
@@ -389,6 +742,7 @@ impl Lmr {
         }
         for uri in &msg.removed {
             self.tracker.remove_match(uri, msg.lmr_rule);
+            self.mirror_match_remove(uri, msg.lmr_rule)?;
         }
         self.collect_garbage()?;
         Ok(())
@@ -413,10 +767,10 @@ impl Lmr {
 
     /// Removes the strong-reference counts contributed by a cached resource.
     fn drop_edges(&mut self, uri: &str) -> Result<()> {
-        let Some(class) = BaseStore::resource_class(&self.cache, uri)? else {
+        let Some(class) = BaseStore::resource_class(self.cache.database(), uri)? else {
             return Ok(());
         };
-        for (prop, value) in BaseStore::statements_of(&self.cache, uri)? {
+        for (prop, value) in BaseStore::statements_of(self.cache.database(), uri)? {
             if self.schema.ref_kind(&class, &prop) == Some(RefKind::Strong) {
                 self.tracker.remove_edge(&value);
             }
@@ -429,23 +783,29 @@ impl Lmr {
     /// not local — cascading, since removing a resource drops its outgoing
     /// references.
     pub fn collect_garbage(&mut self) -> Result<usize> {
-        let mut collected = 0;
-        loop {
-            let garbage: Vec<String> = self
-                .cached_uris()
-                .into_iter()
-                .filter(|u| !self.tracker.is_anchored(u))
-                .collect();
-            if garbage.is_empty() {
-                return Ok(collected);
+        // Its own commit group, so a GC wave invoked outside a node
+        // operation (e.g. by a maintenance sweep) is still one atomic,
+        // WAL-logged batch of deletions on a durable backend.
+        self.with_group(|this| {
+            let mut collected = 0;
+            loop {
+                let garbage: Vec<String> = this
+                    .cached_uris()
+                    .into_iter()
+                    .filter(|u| !this.tracker.is_anchored(u))
+                    .collect();
+                if garbage.is_empty() {
+                    return Ok(collected);
+                }
+                for uri in garbage {
+                    this.drop_edges(&uri)?;
+                    BaseStore::remove_resource(&mut this.cache, &uri)?;
+                    this.tracker.forget(&uri);
+                    this.mirror_match_forget(&uri)?;
+                    collected += 1;
+                }
             }
-            for uri in garbage {
-                self.drop_edges(&uri)?;
-                BaseStore::remove_resource(&mut self.cache, &uri)?;
-                self.tracker.forget(&uri);
-                collected += 1;
-            }
-        }
+        })
     }
 
     /// Test/diagnostic access to the tracker.
@@ -459,10 +819,10 @@ impl Lmr {
     pub(crate) fn rebuild_tracker(&mut self, matches: &[(String, u64)]) -> Result<()> {
         self.tracker = RefTracker::new();
         for uri in self.cached_uris() {
-            let Some(class) = BaseStore::resource_class(&self.cache, &uri)? else {
+            let Some(class) = BaseStore::resource_class(self.cache.database(), &uri)? else {
                 continue;
             };
-            for (prop, value) in BaseStore::statements_of(&self.cache, &uri)? {
+            for (prop, value) in BaseStore::statements_of(self.cache.database(), &uri)? {
                 if self.schema.ref_kind(&class, &prop) == Some(RefKind::Strong) {
                     self.tracker.add_edge(&value);
                 }

@@ -10,10 +10,21 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use mdv_filter::{BaseStore, FilterConfig, FilterEngine, Publication, SubscriptionId};
 use mdv_rdf::{parse_document, write_document, Document, RdfSchema, Resource};
+use mdv_relstore::{ColumnDef, DataType, Database, StorageEngine};
 
 use crate::error::{Error, Result};
 use crate::message::{Message, PublishMsg};
+use crate::mirror::{self, i, s};
 use crate::transport::{Envelope, Network};
+
+/// Durable mirror tables (created only on mirror-enabled backends, see
+/// DESIGN.md §6): the MDP's non-relational state lives in the same database
+/// as the filter tables, so it shares the WAL and survives crashes.
+const T_SUBS: &str = "SysSubscriptions"; // lmr, rule, text
+const T_DOCS: &str = "SysDocuments"; // uri, xml
+const T_PUBSEQ: &str = "SysPubSeq"; // lmr, next_seq
+const T_OUTBOX: &str = "SysOutbox"; // lmr, seq, wire-form publication
+const T_RETIRED: &str = "SysRetired"; // lmr, rule
 
 /// An unacked publication awaiting retransmission (at-least-once delivery).
 #[derive(Debug, Clone)]
@@ -25,11 +36,17 @@ struct Outgoing {
     backoff_ms: u64,
 }
 
-/// A Metadata Provider.
+/// A Metadata Provider, generic over the storage backend of its filter
+/// engine (in-memory [`Database`] by default; a durable WAL+snapshot
+/// engine via [`Mdp::with_storage`]).
 #[derive(Debug)]
-pub struct Mdp {
+pub struct Mdp<S: StorageEngine = Database> {
     name: String,
-    engine: FilterEngine,
+    engine: FilterEngine<S>,
+    /// Mirror node state into the `Sys*` tables. Set only by
+    /// [`Mdp::with_storage`]; the memory path never creates the tables, so
+    /// its databases stay byte-identical to the pre-storage-engine layout.
+    mirror: bool,
     /// subscription → (LMR node, LMR-local rule id).
     subscribers: HashMap<SubscriptionId, (String, u64)>,
     /// Backbone peers receiving replicated registrations.
@@ -63,9 +80,75 @@ impl Mdp {
     /// configuration (DESIGN.md §5), so mixed-config deployments stay
     /// consistent.
     pub fn with_filter_config(name: &str, schema: RdfSchema, config: FilterConfig) -> Self {
+        Self::from_engine(name, FilterEngine::with_config(schema, config), false)
+    }
+}
+
+impl<S: StorageEngine + Sync> Mdp<S> {
+    /// Builds an MDP whose filter engine runs on an explicit storage
+    /// backend and mirrors node state into the `Sys*` tables of the same
+    /// database — on a durable backend the whole node becomes
+    /// crash-recoverable (DESIGN.md §6).
+    pub fn with_storage(
+        name: &str,
+        store: S,
+        schema: RdfSchema,
+        config: FilterConfig,
+    ) -> Result<Self> {
+        let mut engine = FilterEngine::with_storage(store, schema, config);
+        let store = engine.storage_mut();
+        store.begin();
+        mirror::create_table(
+            store,
+            T_SUBS,
+            vec![
+                ColumnDef::new("lmr", DataType::Str),
+                ColumnDef::new("rule", DataType::Int),
+                ColumnDef::new("text", DataType::Str),
+            ],
+        )?;
+        mirror::create_table(
+            store,
+            T_DOCS,
+            vec![
+                ColumnDef::new("uri", DataType::Str),
+                ColumnDef::new("xml", DataType::Str),
+            ],
+        )?;
+        mirror::create_table(
+            store,
+            T_PUBSEQ,
+            vec![
+                ColumnDef::new("lmr", DataType::Str),
+                ColumnDef::new("next_seq", DataType::Int),
+            ],
+        )?;
+        mirror::create_table(
+            store,
+            T_OUTBOX,
+            vec![
+                ColumnDef::new("lmr", DataType::Str),
+                ColumnDef::new("seq", DataType::Int),
+                ColumnDef::new("publication", DataType::Str),
+            ],
+        )?;
+        mirror::create_table(
+            store,
+            T_RETIRED,
+            vec![
+                ColumnDef::new("lmr", DataType::Str),
+                ColumnDef::new("rule", DataType::Int),
+            ],
+        )?;
+        store.commit().map_err(mirror::store_err)?;
+        Ok(Self::from_engine(name, engine, true))
+    }
+
+    fn from_engine(name: &str, engine: FilterEngine<S>, mirror: bool) -> Self {
         Mdp {
             name: name.to_owned(),
-            engine: FilterEngine::with_config(schema, config),
+            engine,
+            mirror,
             subscribers: HashMap::new(),
             peers: Vec::new(),
             batch_size: None,
@@ -74,6 +157,106 @@ impl Mdp {
             outbox: BTreeMap::new(),
             retired: HashSet::new(),
         }
+    }
+
+    /// Runs `body` inside one storage commit group, so the engine mutations
+    /// and mirror writes of a whole node operation become durable
+    /// atomically. Commits even when the body fails — the memory path keeps
+    /// partial state on error, and the durable path must agree with it.
+    fn with_group<T>(&mut self, body: impl FnOnce(&mut Self) -> Result<T>) -> Result<T> {
+        self.engine.storage_mut().begin();
+        let out = body(self);
+        self.engine
+            .storage_mut()
+            .commit()
+            .map_err(mirror::store_err)?;
+        out
+    }
+
+    // ---- mirror writes (no-ops on memory-backed nodes) -------------------
+
+    fn mirror_doc_upsert(&mut self, doc: &Document) -> Result<()> {
+        if !self.mirror {
+            return Ok(());
+        }
+        let uri = doc.uri().to_owned();
+        let xml = write_document(doc);
+        mirror::upsert_where(
+            self.engine.storage_mut(),
+            T_DOCS,
+            |r| r[0].as_str() == Some(uri.as_str()),
+            vec![s(&uri), s(&xml)],
+        )
+    }
+
+    fn mirror_doc_delete(&mut self, uri: &str) -> Result<()> {
+        if !self.mirror {
+            return Ok(());
+        }
+        mirror::delete_where(self.engine.storage_mut(), T_DOCS, |r| {
+            r[0].as_str() == Some(uri)
+        })?;
+        Ok(())
+    }
+
+    fn mirror_sub_insert(&mut self, lmr: &str, rule: u64, text: &str) -> Result<()> {
+        if !self.mirror {
+            return Ok(());
+        }
+        mirror::insert(
+            self.engine.storage_mut(),
+            T_SUBS,
+            vec![s(lmr), i(rule), s(text)],
+        )
+    }
+
+    fn mirror_sub_retire(&mut self, lmr: &str, rule: u64) -> Result<()> {
+        if !self.mirror {
+            return Ok(());
+        }
+        let store = self.engine.storage_mut();
+        mirror::delete_where(store, T_SUBS, |r| {
+            r[0].as_str() == Some(lmr) && r[1].as_int() == Some(rule as i64)
+        })?;
+        mirror::insert_unique(
+            store,
+            T_RETIRED,
+            |r| r[0].as_str() == Some(lmr) && r[1].as_int() == Some(rule as i64),
+            vec![s(lmr), i(rule)],
+        )
+    }
+
+    fn mirror_outbox_insert(&mut self, lmr: &str, msg: &PublishMsg) -> Result<()> {
+        if !self.mirror {
+            return Ok(());
+        }
+        mirror::insert(
+            self.engine.storage_mut(),
+            T_OUTBOX,
+            vec![s(lmr), i(msg.seq), s(&msg.to_wire())],
+        )
+    }
+
+    fn mirror_outbox_remove(&mut self, lmr: &str, seq: u64) -> Result<()> {
+        if !self.mirror {
+            return Ok(());
+        }
+        mirror::delete_where(self.engine.storage_mut(), T_OUTBOX, |r| {
+            r[0].as_str() == Some(lmr) && r[1].as_int() == Some(seq as i64)
+        })?;
+        Ok(())
+    }
+
+    fn mirror_pub_seq(&mut self, lmr: &str, next_seq: u64) -> Result<()> {
+        if !self.mirror {
+            return Ok(());
+        }
+        mirror::upsert_where(
+            self.engine.storage_mut(),
+            T_PUBSEQ,
+            |r| r[0].as_str() == Some(lmr),
+            vec![s(lmr), i(next_seq)],
+        )
     }
 
     /// Switches between immediate filtering (`None`, the default) and
@@ -100,17 +283,33 @@ impl Mdp {
         if self.pending.is_empty() {
             return Ok(());
         }
-        let batch = std::mem::take(&mut self.pending);
-        let pubs = self.engine.register_batch(&batch)?;
-        self.publish(pubs, net)
+        self.with_group(|this| {
+            let batch = std::mem::take(&mut this.pending);
+            let pubs = this.engine.register_batch(&batch)?;
+            // queued documents reach durability only here: a crash loses an
+            // unflushed batch wholesale, like any uncommitted group
+            for doc in &batch {
+                this.mirror_doc_upsert(doc)?;
+            }
+            this.publish(pubs, net)
+        })
     }
 
     pub fn name(&self) -> &str {
         &self.name
     }
 
-    pub fn engine(&self) -> &FilterEngine {
+    pub fn engine(&self) -> &FilterEngine<S> {
         &self.engine
+    }
+
+    /// Snapshot-as-compaction: checkpoints the storage backend — writes a
+    /// fresh snapshot (GC'd of every deleted row) and truncates the WAL.
+    pub fn compact(&mut self) -> Result<()> {
+        self.engine
+            .storage_mut()
+            .checkpoint()
+            .map_err(mirror::store_err)
     }
 
     pub fn set_peers(&mut self, peers: Vec<String>) {
@@ -137,8 +336,11 @@ impl Mdp {
                 }
             }
             None => {
-                let pubs = self.engine.register_document(doc)?;
-                self.publish(pubs, net)?;
+                self.with_group(|this| {
+                    let pubs = this.engine.register_document(doc)?;
+                    this.mirror_doc_upsert(doc)?;
+                    this.publish(pubs, net)
+                })?;
             }
         }
         if replicate {
@@ -166,8 +368,11 @@ impl Mdp {
     ) -> Result<()> {
         // a pending batch must be filtered before its documents can change
         self.flush(net)?;
-        let pubs = self.engine.update_document(doc)?;
-        self.publish(pubs, net)?;
+        self.with_group(|this| {
+            let pubs = this.engine.update_document(doc)?;
+            this.mirror_doc_upsert(doc)?;
+            this.publish(pubs, net)
+        })?;
         if replicate {
             let xml = write_document(doc);
             for peer in &self.peers {
@@ -187,8 +392,11 @@ impl Mdp {
     /// Deletes a document with all its resources.
     pub fn delete_document(&mut self, uri: &str, net: &Network, replicate: bool) -> Result<()> {
         self.flush(net)?;
-        let pubs = self.engine.delete_document(uri)?;
-        self.publish(pubs, net)?;
+        self.with_group(|this| {
+            let pubs = this.engine.delete_document(uri)?;
+            this.mirror_doc_delete(uri)?;
+            this.publish(pubs, net)
+        })?;
         if replicate {
             for peer in &self.peers {
                 net.send(
@@ -224,7 +432,7 @@ impl Mdp {
     ) -> Result<()> {
         let (sub, _initial) = self.engine.register_subscription(rule_text)?;
         self.subscribers.insert(sub, (lmr.to_owned(), lmr_rule));
-        Ok(())
+        self.mirror_sub_insert(lmr, lmr_rule, rule_text)
     }
 
     /// Per-LMR publication sequence counters, sorted (deterministic export).
@@ -239,15 +447,106 @@ impl Mdp {
     }
 
     /// Restores a per-LMR publication sequence counter during state import.
-    pub(crate) fn restore_pub_seq(&mut self, lmr: &str, next_seq: u64) {
+    pub(crate) fn restore_pub_seq(&mut self, lmr: &str, next_seq: u64) -> Result<()> {
         self.next_pub_seq.insert(lmr.to_owned(), next_seq);
+        self.mirror_pub_seq(lmr, next_seq)
     }
 
     /// Re-registers a document during state import: no publication, no
     /// replication.
     pub(crate) fn restore_document(&mut self, doc: &Document) -> Result<()> {
         let _pubs = self.engine.register_document(doc)?;
+        self.mirror_doc_upsert(doc)
+    }
+
+    /// Restores an unacked publication during crash recovery. The entry is
+    /// scheduled for immediate retransmission: it was in flight when the
+    /// node died, and the at-least-once protocol tolerates the duplicate.
+    pub(crate) fn restore_outbox_entry(
+        &mut self,
+        lmr: &str,
+        msg: PublishMsg,
+        retry_backoff_ms: u64,
+    ) -> Result<()> {
+        self.mirror_outbox_insert(lmr, &msg)?;
+        self.outbox.insert(
+            (lmr.to_owned(), msg.seq),
+            Outgoing {
+                msg,
+                next_retry_ms: 0,
+                backoff_ms: retry_backoff_ms.max(1),
+            },
+        );
         Ok(())
+    }
+
+    /// Restores a retracted-subscription tombstone during crash recovery.
+    pub(crate) fn restore_retired(&mut self, lmr: &str, lmr_rule: u64) -> Result<()> {
+        self.retired.insert((lmr.to_owned(), lmr_rule));
+        if self.mirror {
+            mirror::insert_unique(
+                self.engine.storage_mut(),
+                T_RETIRED,
+                |r| r[0].as_str() == Some(lmr) && r[1].as_int() == Some(lmr_rule as i64),
+                vec![s(lmr), i(lmr_rule)],
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Rebuilds this (freshly constructed) node from the `Sys*` mirror
+    /// tables of a crash-recovered database: subscriptions and documents
+    /// replay through the normal registration paths (publications
+    /// suppressed), protocol state is restored verbatim, and unacked
+    /// publications re-enter the outbox due for retransmission.
+    pub(crate) fn rebuild_from_tables(
+        &mut self,
+        src: &Database,
+        retry_backoff_ms: u64,
+    ) -> Result<(usize, usize)> {
+        let corrupt = |table: &str| Error::Topology(format!("corrupt mirror row in {table}"));
+        self.with_group(|this| {
+            let mut subs = 0;
+            for row in mirror::rows_sorted(src, T_SUBS) {
+                let (Some(lmr), Some(rule), Some(text)) =
+                    (row[0].as_str(), row[1].as_int(), row[2].as_str())
+                else {
+                    return Err(corrupt(T_SUBS));
+                };
+                this.restore_subscription(lmr, rule as u64, text)?;
+                subs += 1;
+            }
+            let mut docs = 0;
+            for row in mirror::rows_sorted(src, T_DOCS) {
+                let (Some(uri), Some(xml)) = (row[0].as_str(), row[1].as_str()) else {
+                    return Err(corrupt(T_DOCS));
+                };
+                let doc = parse_document(uri, xml).map_err(mdv_filter::Error::from)?;
+                this.restore_document(&doc)?;
+                docs += 1;
+            }
+            for row in mirror::rows_sorted(src, T_PUBSEQ) {
+                let (Some(lmr), Some(next)) = (row[0].as_str(), row[1].as_int()) else {
+                    return Err(corrupt(T_PUBSEQ));
+                };
+                this.restore_pub_seq(lmr, next as u64)?;
+            }
+            for row in mirror::rows_sorted(src, T_OUTBOX) {
+                let (Some(lmr), Some(wire)) = (row[0].as_str(), row[2].as_str()) else {
+                    return Err(corrupt(T_OUTBOX));
+                };
+                let msg = PublishMsg::from_wire(wire)
+                    .map_err(|e| Error::Topology(format!("corrupt outbox publication: {e}")))?;
+                this.restore_outbox_entry(lmr, msg, retry_backoff_ms)?;
+            }
+            for row in mirror::rows_sorted(src, T_RETIRED) {
+                let (Some(lmr), Some(rule)) = (row[0].as_str(), row[1].as_int()) else {
+                    return Err(corrupt(T_RETIRED));
+                };
+                this.restore_retired(lmr, rule as u64)?;
+            }
+            Ok((subs, docs))
+        })
     }
 
     /// Browsing support (paper §2.2: "real users can also browse metadata at
@@ -278,8 +577,13 @@ impl Mdp {
         Ok(BaseStore::resource_class(self.engine.db(), uri)?)
     }
 
-    /// Processes one incoming message.
+    /// Processes one incoming message. Each message is handled inside one
+    /// storage commit group, so a crash never persists half an operation.
     pub fn handle(&mut self, env: Envelope, net: &Network) -> Result<()> {
+        self.with_group(|this| this.handle_inner(env, net))
+    }
+
+    fn handle_inner(&mut self, env: Envelope, net: &Network) -> Result<()> {
         match env.message {
             Message::Subscribe {
                 lmr_rule,
@@ -302,6 +606,7 @@ impl Mdp {
                 match self.engine.register_subscription(&rule_text) {
                     Ok((sub, initial)) => {
                         self.subscribers.insert(sub, (env.from.clone(), lmr_rule));
+                        self.mirror_sub_insert(&env.from, lmr_rule, &rule_text)?;
                         net.send(
                             &self.name,
                             &env.from,
@@ -338,6 +643,7 @@ impl Mdp {
                         self.subscribers.remove(&sub);
                         self.engine.unregister_subscription(sub)?;
                         self.retired.insert((env.from.clone(), lmr_rule));
+                        self.mirror_sub_retire(&env.from, lmr_rule)?;
                         net.send(&self.name, &env.from, Message::UnsubscribeAck { lmr_rule })
                     }
                     // retransmitted/duplicated Unsubscribe: already retracted
@@ -351,7 +657,8 @@ impl Mdp {
                 }
             }
             Message::PublishAck { seq } => {
-                self.outbox.remove(&(env.from, seq));
+                self.outbox.remove(&(env.from.clone(), seq));
+                self.mirror_outbox_remove(&env.from, seq)?;
                 Ok(())
             }
             Message::ReplicateRegister { document_uri, xml } => {
@@ -397,6 +704,9 @@ impl Mdp {
         let seq = self.next_pub_seq.entry(lmr.to_owned()).or_insert(0);
         msg.seq = *seq;
         *seq += 1;
+        let next = *seq;
+        self.mirror_pub_seq(lmr, next)?;
+        self.mirror_outbox_insert(lmr, &msg)?;
         let backoff = net.config().retry_initial_ms;
         self.outbox.insert(
             (lmr.to_owned(), msg.seq),
@@ -444,7 +754,7 @@ impl Mdp {
         updated: &[String],
         removed: &[String],
     ) -> Result<PublishMsg> {
-        let resolve = |engine: &FilterEngine, uri: &String| -> Result<Resource> {
+        let resolve = |engine: &FilterEngine<S>, uri: &String| -> Result<Resource> {
             engine
                 .resource(uri)?
                 .ok_or_else(|| Error::Topology(format!("published resource '{uri}' vanished")))

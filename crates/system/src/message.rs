@@ -4,7 +4,7 @@
 //! documents (backbone replication) travel in the RDF/XML wire syntax,
 //! exercising the same parser/writer an internet deployment would use.
 
-use mdv_rdf::Resource;
+use mdv_rdf::{Resource, Term, UriRef};
 
 /// A message between two nodes.
 #[derive(Debug, Clone, PartialEq)]
@@ -105,6 +105,146 @@ impl PublishMsg {
             && self.updated.is_empty()
             && self.removed.is_empty()
     }
+
+    /// Serializes the publication into the line-oriented wire form used by
+    /// the durable mirror tables (MDP outbox, LMR publication buffer). One
+    /// record per line:
+    ///
+    /// ```text
+    /// seq <seq>\t<lmr_rule>
+    /// m|c|u <uri>\t<class>     -- matched/companion/updated resource
+    /// p <name>\t<R|L>\t<value> -- property of the preceding resource
+    /// x <uri>                  -- removed match
+    /// ```
+    pub fn to_wire(&self) -> String {
+        let mut out = format!("seq {}\t{}\n", self.seq, self.lmr_rule);
+        let mut section = |tag: &str, resources: &[Resource]| {
+            for r in resources {
+                out.push_str(&format!(
+                    "{tag} {}\t{}\n",
+                    escape(r.uri().as_str()),
+                    escape(r.class())
+                ));
+                for (name, term) in r.properties() {
+                    let kind = if term.is_resource() { 'R' } else { 'L' };
+                    out.push_str(&format!(
+                        "p {}\t{kind}\t{}\n",
+                        escape(name),
+                        escape(term.lexical())
+                    ));
+                }
+            }
+        };
+        section("m", &self.matched);
+        section("c", &self.companions);
+        section("u", &self.updated);
+        drop(section);
+        for uri in &self.removed {
+            out.push_str(&format!("x {}\n", escape(uri)));
+        }
+        out
+    }
+
+    /// Parses the wire form produced by [`PublishMsg::to_wire`].
+    pub fn from_wire(text: &str) -> std::result::Result<PublishMsg, String> {
+        let mut msg = PublishMsg::default();
+        // index of the section the next resource lands in
+        let mut current: Option<(usize, Resource)> = None;
+        let flush = |msg: &mut PublishMsg, current: &mut Option<(usize, Resource)>| {
+            if let Some((section, res)) = current.take() {
+                match section {
+                    0 => msg.matched.push(res),
+                    1 => msg.companions.push(res),
+                    _ => msg.updated.push(res),
+                }
+            }
+        };
+        for line in text.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            let (tag, rest) = line
+                .split_once(' ')
+                .ok_or_else(|| format!("malformed publication record: {line}"))?;
+            match tag {
+                "seq" => {
+                    let (seq, rule) = rest
+                        .split_once('\t')
+                        .ok_or_else(|| "malformed seq record".to_owned())?;
+                    msg.seq = seq.parse().map_err(|_| "bad seq".to_owned())?;
+                    msg.lmr_rule = rule.parse().map_err(|_| "bad rule id".to_owned())?;
+                }
+                "m" | "c" | "u" => {
+                    flush(&mut msg, &mut current);
+                    let (uri, class) = rest
+                        .split_once('\t')
+                        .ok_or_else(|| "malformed resource record".to_owned())?;
+                    let uri = UriRef::parse(&unescape(uri))
+                        .ok_or_else(|| format!("bad resource uri '{uri}'"))?;
+                    let section = match tag {
+                        "m" => 0,
+                        "c" => 1,
+                        _ => 2,
+                    };
+                    current = Some((section, Resource::new(uri, unescape(class))));
+                }
+                "p" => {
+                    let mut fields = rest.splitn(3, '\t');
+                    let (Some(name), Some(kind), Some(value)) =
+                        (fields.next(), fields.next(), fields.next())
+                    else {
+                        return Err("malformed property record".to_owned());
+                    };
+                    let term = match kind {
+                        "R" => Term::resource(
+                            UriRef::parse(&unescape(value))
+                                .ok_or_else(|| format!("bad reference '{value}'"))?,
+                        ),
+                        "L" => Term::literal(unescape(value)),
+                        other => return Err(format!("bad property kind '{other}'")),
+                    };
+                    let (section, res) = current
+                        .take()
+                        .ok_or_else(|| "property before any resource".to_owned())?;
+                    current = Some((section, res.with(unescape(name), term)));
+                }
+                "x" => {
+                    flush(&mut msg, &mut current);
+                    msg.removed.push(unescape(rest));
+                }
+                other => return Err(format!("unknown publication record '{other}'")),
+            }
+        }
+        flush(&mut msg, &mut current);
+        Ok(msg)
+    }
+}
+
+/// Escapes tabs, newlines, and backslashes for the line-oriented state and
+/// wire formats.
+pub(crate) fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('\t', "\\t")
+        .replace('\n', "\\n")
+}
+
+/// Inverse of [`escape`].
+pub(crate) fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -129,6 +269,41 @@ mod tests {
         });
         assert_eq!(p.kind(), "publish");
         assert!(p.approx_size() > 4);
+    }
+
+    #[test]
+    fn publish_wire_roundtrip() {
+        let host = Resource::new(UriRef::new("d.rdf", "host"), "CycleProvider")
+            .with("serverHost", Term::literal("a\torg\nb"))
+            .with(
+                "serverInformation",
+                Term::resource(UriRef::new("d.rdf", "i")),
+            );
+        let info = Resource::new(UriRef::new("d.rdf", "i"), "ServerInformation")
+            .with("memory", Term::literal("92"));
+        let msg = PublishMsg {
+            seq: 42,
+            lmr_rule: 7,
+            matched: vec![host.clone()],
+            companions: vec![info.clone()],
+            updated: vec![host],
+            removed: vec!["old.rdf#gone".into(), "w\teird#x".into()],
+        };
+        let decoded = PublishMsg::from_wire(&msg.to_wire()).unwrap();
+        assert_eq!(decoded, msg);
+        // empty publication roundtrips too
+        assert_eq!(
+            PublishMsg::from_wire(&PublishMsg::default().to_wire()).unwrap(),
+            PublishMsg::default()
+        );
+    }
+
+    #[test]
+    fn publish_wire_rejects_garbage() {
+        assert!(PublishMsg::from_wire("nope").is_err());
+        assert!(PublishMsg::from_wire("seq x\ty\n").is_err());
+        assert!(PublishMsg::from_wire("p orphan\tL\tv\n").is_err());
+        assert!(PublishMsg::from_wire("m nouri\tC\n").is_err());
     }
 
     #[test]

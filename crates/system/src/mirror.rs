@@ -1,0 +1,123 @@
+//! Plumbing for the durable mirror tables (DESIGN.md §6).
+//!
+//! Nodes constructed on a durable [`StorageEngine`] keep their
+//! non-relational state — subscriptions, the document registry, protocol
+//! counters, parked publications — mirrored in ordinary tables inside the
+//! same database, so every mirror write rides in the same WAL commit group
+//! as the engine mutation it accompanies, and crash recovery can rebuild
+//! the node from the recovered database alone. Memory-backed nodes never
+//! create these tables, which keeps the in-memory path byte-identical to
+//! the pre-storage-engine behaviour.
+
+use mdv_relstore::{ColumnDef, Database, RowId, StorageEngine, TableSchema, Value};
+
+use crate::error::Result;
+
+pub(crate) fn store_err(e: mdv_relstore::Error) -> crate::error::Error {
+    mdv_filter::Error::from(e).into()
+}
+
+pub(crate) fn create_table<S: StorageEngine>(
+    store: &mut S,
+    name: &str,
+    cols: Vec<ColumnDef>,
+) -> Result<()> {
+    let schema = TableSchema::new(name, cols).map_err(store_err)?;
+    store.create_table(schema).map_err(store_err)?;
+    Ok(())
+}
+
+/// A sort key giving mirror rows a well-defined replay order (`Value` has no
+/// `Ord`: floats).
+fn value_key(v: &Value) -> (u8, i64, String) {
+    match v {
+        Value::Null => (0, 0, String::new()),
+        Value::Bool(b) => (1, i64::from(*b), String::new()),
+        Value::Int(i) => (2, *i, String::new()),
+        Value::Float(f) => (3, 0, f.to_string()),
+        Value::Str(s) => (4, 0, s.clone()),
+    }
+}
+
+/// All rows of a mirror table, sorted column-wise (deterministic replay).
+/// A missing table reads as empty, so recovery code works uniformly on
+/// databases written before a mirror table existed.
+pub(crate) fn rows_sorted(db: &Database, table: &str) -> Vec<Vec<Value>> {
+    let mut rows: Vec<Vec<Value>> = match db.table(table) {
+        Ok(t) => t.iter().map(|(_, r)| r.clone()).collect(),
+        Err(_) => Vec::new(),
+    };
+    rows.sort_by_key(|r| r.iter().map(value_key).collect::<Vec<_>>());
+    rows
+}
+
+/// Ids of the rows satisfying `pred`.
+fn find_rows(db: &Database, table: &str, pred: impl Fn(&[Value]) -> bool) -> Vec<RowId> {
+    match db.table(table) {
+        Ok(t) => t
+            .iter()
+            .filter(|(_, r)| pred(r))
+            .map(|(id, _)| id)
+            .collect(),
+        Err(_) => Vec::new(),
+    }
+}
+
+pub(crate) fn insert<S: StorageEngine>(store: &mut S, table: &str, row: Vec<Value>) -> Result<()> {
+    store.insert(table, row).map_err(store_err)?;
+    Ok(())
+}
+
+/// Inserts `row` unless a row matching `pred` already exists (set
+/// semantics, e.g. match anchors published twice).
+pub(crate) fn insert_unique<S: StorageEngine>(
+    store: &mut S,
+    table: &str,
+    pred: impl Fn(&[Value]) -> bool,
+    row: Vec<Value>,
+) -> Result<()> {
+    if find_rows(store.database(), table, pred).is_empty() {
+        insert(store, table, row)?;
+    }
+    Ok(())
+}
+
+/// Replaces the row matching `pred` (inserting when absent).
+pub(crate) fn upsert_where<S: StorageEngine>(
+    store: &mut S,
+    table: &str,
+    pred: impl Fn(&[Value]) -> bool,
+    row: Vec<Value>,
+) -> Result<()> {
+    match find_rows(store.database(), table, pred).first() {
+        Some(id) => {
+            store.update(table, *id, row).map_err(store_err)?;
+        }
+        None => insert(store, table, row)?,
+    }
+    Ok(())
+}
+
+/// Deletes every row matching `pred`; returns how many went.
+pub(crate) fn delete_where<S: StorageEngine>(
+    store: &mut S,
+    table: &str,
+    pred: impl Fn(&[Value]) -> bool,
+) -> Result<usize> {
+    let ids = find_rows(store.database(), table, pred);
+    let n = ids.len();
+    for id in ids {
+        store.delete(table, id).map_err(store_err)?;
+    }
+    Ok(n)
+}
+
+/// `Value::Str` shorthand.
+pub(crate) fn s(v: &str) -> Value {
+    Value::Str(v.to_owned())
+}
+
+/// `Value::Int` shorthand for the protocol's u64 counters.
+pub(crate) fn i(v: u64) -> Value {
+    Value::Int(v as i64)
+}

@@ -28,6 +28,7 @@ use mdv_rdf::{parse_document, write_document};
 
 use crate::error::{Error, Result};
 use crate::mdp::Mdp;
+use crate::message::{escape, unescape};
 
 const HEADER: &str = "#mdv-mdp-state v1";
 
@@ -87,7 +88,7 @@ impl Mdp {
                 let next_seq: u64 = next_seq
                     .parse()
                     .map_err(|_| Error::Topology("malformed pubseq counter".into()))?;
-                self.restore_pub_seq(lmr, next_seq);
+                self.restore_pub_seq(lmr, next_seq)?;
             } else if let Some(rest) = line.strip_prefix("subscription ") {
                 let mut fields = rest.splitn(3, '\t');
                 let (Some(lmr), Some(rule), Some(rule_text)) =
@@ -125,30 +126,6 @@ impl Mdp {
         }
         Ok((subs, docs))
     }
-}
-
-fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\")
-        .replace('\t', "\\t")
-        .replace('\n', "\\n")
-}
-
-fn unescape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    let mut chars = s.chars();
-    while let Some(c) = chars.next() {
-        if c != '\\' {
-            out.push(c);
-            continue;
-        }
-        match chars.next() {
-            Some('t') => out.push('\t'),
-            Some('n') => out.push('\n'),
-            Some(other) => out.push(other),
-            None => {}
-        }
-    }
-    out
 }
 
 #[cfg(test)]

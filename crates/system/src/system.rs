@@ -3,23 +3,30 @@
 //! deterministically.
 
 use std::collections::{BTreeMap, HashMap};
+use std::path::{Path, PathBuf};
 
 use mdv_filter::FilterConfig;
 use mdv_rdf::{Document, RdfSchema, Resource};
+use mdv_relstore::{write_database, Database, DurableEngine, StorageEngine};
 use mdv_runtime::channel::Receiver;
 
 use crate::error::{Error, Result};
 use crate::lmr::{Lmr, RuleStatus};
 use crate::mdp::Mdp;
+use crate::mirror;
 use crate::transport::{Envelope, NetConfig, NetStats, Network};
 
-/// A complete MDV deployment: backbone MDPs, mid-tier LMRs, network.
-pub struct MdvSystem {
+/// A complete MDV deployment: backbone MDPs, mid-tier LMRs, network. The
+/// node tier is generic over the storage backend: in-memory [`Database`]
+/// nodes by default, or WAL-durable nodes via
+/// [`MdvSystem::<DurableEngine>::new_durable`] — a deployment is uniform, so
+/// crash/restart semantics hold for every node (DESIGN.md §6).
+pub struct MdvSystem<S: StorageEngine = Database> {
     schema: RdfSchema,
     network: Network,
     receivers: HashMap<String, Receiver<Envelope>>,
-    mdps: BTreeMap<String, Mdp>,
-    lmrs: BTreeMap<String, Lmr>,
+    mdps: BTreeMap<String, Mdp<S>>,
+    lmrs: BTreeMap<String, Lmr<S>>,
     filter_config: FilterConfig,
 }
 
@@ -29,6 +36,186 @@ impl MdvSystem {
     }
 
     pub fn with_net_config(schema: RdfSchema, config: NetConfig) -> Self {
+        Self::empty(schema, config)
+    }
+
+    /// Adds a Metadata Provider to the backbone. All MDPs are made peers of
+    /// each other (flat hierarchy, full replication — paper §2.2).
+    pub fn add_mdp(&mut self, name: &str) -> Result<()> {
+        let mdp = Mdp::with_filter_config(name, self.schema.clone(), self.filter_config);
+        self.install_mdp(name, mdp)
+    }
+
+    /// Adds a Local Metadata Repository connected to `mdp`.
+    pub fn add_lmr(&mut self, name: &str, mdp: &str) -> Result<()> {
+        self.check_lmr_slot(name, mdp)?;
+        let lmr = Lmr::new(name, mdp, self.schema.clone());
+        self.install_lmr(name, lmr)
+    }
+
+    /// Replays exported MDP state (see [`crate::state`]) into a freshly
+    /// added MDP node.
+    pub fn restore_mdp_state(&mut self, mdp: &str, state: &str) -> Result<(usize, usize)> {
+        self.mdps
+            .get_mut(mdp)
+            .ok_or_else(|| Error::Topology(format!("unknown MDP '{mdp}'")))?
+            .import_state(state)
+    }
+
+    /// Replays exported LMR state into a freshly added LMR node.
+    pub fn restore_lmr_state(&mut self, lmr: &str, state: &str) -> Result<()> {
+        self.lmrs
+            .get_mut(lmr)
+            .ok_or_else(|| Error::Topology(format!("unknown LMR '{lmr}'")))?
+            .import_state(state)
+    }
+}
+
+impl MdvSystem<DurableEngine> {
+    /// A deployment whose nodes all run on the durable WAL+snapshot backend.
+    pub fn new_durable(schema: RdfSchema) -> Self {
+        Self::durable_with_net_config(schema, NetConfig::default())
+    }
+
+    pub fn durable_with_net_config(schema: RdfSchema, config: NetConfig) -> Self {
+        Self::empty(schema, config)
+    }
+
+    /// Adds an MDP persisting to `dir` (created fresh; must not hold an
+    /// existing store).
+    pub fn add_mdp_durable(&mut self, name: &str, dir: impl Into<PathBuf>) -> Result<()> {
+        let store = DurableEngine::create(dir).map_err(mirror::store_err)?;
+        let mdp = Mdp::with_storage(name, store, self.schema.clone(), self.filter_config)?;
+        self.install_mdp(name, mdp)
+    }
+
+    /// Adds an LMR connected to `mdp`, persisting its cache to `dir`.
+    pub fn add_lmr_durable(
+        &mut self,
+        name: &str,
+        mdp: &str,
+        dir: impl Into<PathBuf>,
+    ) -> Result<()> {
+        self.check_lmr_slot(name, mdp)?;
+        let store = DurableEngine::create(dir).map_err(mirror::store_err)?;
+        let lmr = Lmr::with_storage(name, mdp, self.schema.clone(), store)?;
+        self.install_lmr(name, lmr)
+    }
+
+    /// Crashes an MDP — dropping every byte of in-memory state and any mail
+    /// in its inbox — and restarts it from its durable store alone.
+    ///
+    /// Recovery is checked twice over: the snapshot+WAL replay must
+    /// reproduce the pre-crash database byte-for-byte (the node is assumed
+    /// quiescent, i.e. no commit group open), and the node rebuilt from the
+    /// `Sys*` mirror tables must carry logically identical base tables.
+    /// Because re-registration reassigns rule and row ids, the rebuilt node
+    /// starts a *fresh* sibling store (`<dir>-r1`, `-r2`, …) instead of
+    /// appending to the recovered log. Batch mode resets to immediate
+    /// filtering, like a freshly added node.
+    pub fn crash_and_restart_mdp(&mut self, name: &str) -> Result<()> {
+        let old = self
+            .mdps
+            .remove(name)
+            .ok_or_else(|| Error::Topology(format!("unknown MDP '{name}'")))?;
+        let dir = old.engine().storage().dir().to_path_buf();
+        let reference = write_database(old.engine().storage().database());
+        drop(old); // the crash: all volatile state gone
+        self.drain_mailbox(name);
+
+        let recovered = DurableEngine::open(&dir).map_err(mirror::store_err)?;
+        let replayed = write_database(recovered.database());
+        if replayed != reference {
+            return Err(Error::Topology(format!(
+                "MDP '{name}': recovered database diverges from pre-crash state"
+            )));
+        }
+
+        let fresh = DurableEngine::create(sibling_dir(&dir)).map_err(mirror::store_err)?;
+        let mut mdp = Mdp::with_storage(name, fresh, self.schema.clone(), self.filter_config)?;
+        let retry_ms = self.network.config().retry_initial_ms;
+        mdp.rebuild_from_tables(recovered.database(), retry_ms)?;
+        for table in ["Resources", "Statements"] {
+            let want = logical_rows(recovered.database(), table);
+            let got = logical_rows(mdp.engine().storage().database(), table);
+            if want != got {
+                return Err(Error::Topology(format!(
+                    "MDP '{name}': rebuilt {table} table diverges from recovered store"
+                )));
+            }
+        }
+        self.mdps.insert(name.to_owned(), mdp);
+        self.rewire_peers();
+        Ok(())
+    }
+
+    /// Checkpoints an MDP's store: snapshot + WAL truncation.
+    pub fn compact_mdp(&mut self, name: &str) -> Result<()> {
+        self.mdps
+            .get_mut(name)
+            .ok_or_else(|| Error::Topology(format!("unknown MDP '{name}'")))?
+            .compact()
+    }
+
+    /// Checkpoints an LMR's store: snapshot + WAL truncation. Together with
+    /// the WAL-logged GC deletions this is the durable tier's compaction
+    /// story — a post-GC snapshot simply no longer contains collected rows.
+    pub fn compact_lmr(&mut self, name: &str) -> Result<()> {
+        self.lmrs
+            .get_mut(name)
+            .ok_or_else(|| Error::Topology(format!("unknown LMR '{name}'")))?
+            .compact()
+    }
+
+    /// Crashes an LMR and restarts it from its durable store, which keeps
+    /// serving as the node's log: cache rows carry no reassigned ids, so the
+    /// reopened engine appends where the crashed one stopped. In-flight
+    /// Subscribe/Unsubscribe handshakes are re-armed; everything else
+    /// reconverges through the at-least-once publication protocol.
+    pub fn crash_and_restart_lmr(&mut self, name: &str) -> Result<()> {
+        let old = self
+            .lmrs
+            .remove(name)
+            .ok_or_else(|| Error::Topology(format!("unknown LMR '{name}'")))?;
+        let dir = old.storage().dir().to_path_buf();
+        let mdp = old.mdp().to_owned();
+        let reference = write_database(old.storage().database());
+        drop(old);
+        self.drain_mailbox(name);
+
+        let recovered = DurableEngine::open(&dir).map_err(mirror::store_err)?;
+        if write_database(recovered.database()) != reference {
+            return Err(Error::Topology(format!(
+                "LMR '{name}': recovered database diverges from pre-crash state"
+            )));
+        }
+        let mut lmr = Lmr::reopen(name, &mdp, self.schema.clone(), recovered)?;
+        lmr.rearm_after_recovery(&self.network)?;
+        self.lmrs.insert(name.to_owned(), lmr);
+        Ok(())
+    }
+}
+
+/// First nonexistent `<dir>-r<k>` sibling: the home of a rebuilt MDP store.
+fn sibling_dir(dir: &Path) -> PathBuf {
+    let base = dir.as_os_str().to_string_lossy().into_owned();
+    let mut k = 1u32;
+    loop {
+        let candidate = PathBuf::from(format!("{base}-r{k}"));
+        if !candidate.exists() {
+            return candidate;
+        }
+        k += 1;
+    }
+}
+
+/// A table's rows without their engine-assigned row ids, sorted.
+fn logical_rows(db: &Database, table: &str) -> Vec<Vec<mdv_relstore::Value>> {
+    mirror::rows_sorted(db, table)
+}
+
+impl<S: StorageEngine + Sync> MdvSystem<S> {
+    fn empty(schema: RdfSchema, config: NetConfig) -> Self {
         MdvSystem {
             schema,
             network: Network::new(config),
@@ -36,6 +223,47 @@ impl MdvSystem {
             mdps: BTreeMap::new(),
             lmrs: BTreeMap::new(),
             filter_config: FilterConfig::default(),
+        }
+    }
+
+    fn install_mdp(&mut self, name: &str, mdp: Mdp<S>) -> Result<()> {
+        if self.lmrs.contains_key(name) {
+            return Err(Error::Topology(format!("'{name}' is already an LMR")));
+        }
+        let rx = self.network.register(name)?;
+        self.receivers.insert(name.to_owned(), rx);
+        self.mdps.insert(name.to_owned(), mdp);
+        self.rewire_peers();
+        Ok(())
+    }
+
+    fn rewire_peers(&mut self) {
+        let names: Vec<String> = self.mdps.keys().cloned().collect();
+        for (mdp_name, mdp) in self.mdps.iter_mut() {
+            mdp.set_peers(names.iter().filter(|n| *n != mdp_name).cloned().collect());
+        }
+    }
+
+    fn check_lmr_slot(&self, name: &str, mdp: &str) -> Result<()> {
+        if !self.mdps.contains_key(mdp) {
+            return Err(Error::Topology(format!("unknown MDP '{mdp}'")));
+        }
+        if self.mdps.contains_key(name) {
+            return Err(Error::Topology(format!("'{name}' is already an MDP")));
+        }
+        Ok(())
+    }
+
+    fn install_lmr(&mut self, name: &str, lmr: Lmr<S>) -> Result<()> {
+        let rx = self.network.register(name)?;
+        self.receivers.insert(name.to_owned(), rx);
+        self.lmrs.insert(name.to_owned(), lmr);
+        Ok(())
+    }
+
+    fn drain_mailbox(&mut self, name: &str) {
+        if let Some(rx) = self.receivers.get(name) {
+            while rx.try_recv().is_ok() {}
         }
     }
 
@@ -54,48 +282,13 @@ impl MdvSystem {
         &self.schema
     }
 
-    /// Adds a Metadata Provider to the backbone. All MDPs are made peers of
-    /// each other (flat hierarchy, full replication — paper §2.2).
-    pub fn add_mdp(&mut self, name: &str) -> Result<()> {
-        if self.lmrs.contains_key(name) {
-            return Err(Error::Topology(format!("'{name}' is already an LMR")));
-        }
-        let rx = self.network.register(name)?;
-        self.receivers.insert(name.to_owned(), rx);
-        self.mdps.insert(
-            name.to_owned(),
-            Mdp::with_filter_config(name, self.schema.clone(), self.filter_config),
-        );
-        // rewire peer lists
-        let names: Vec<String> = self.mdps.keys().cloned().collect();
-        for (mdp_name, mdp) in self.mdps.iter_mut() {
-            mdp.set_peers(names.iter().filter(|n| *n != mdp_name).cloned().collect());
-        }
-        Ok(())
-    }
-
-    /// Adds a Local Metadata Repository connected to `mdp`.
-    pub fn add_lmr(&mut self, name: &str, mdp: &str) -> Result<()> {
-        if !self.mdps.contains_key(mdp) {
-            return Err(Error::Topology(format!("unknown MDP '{mdp}'")));
-        }
-        if self.mdps.contains_key(name) {
-            return Err(Error::Topology(format!("'{name}' is already an MDP")));
-        }
-        let rx = self.network.register(name)?;
-        self.receivers.insert(name.to_owned(), rx);
-        self.lmrs
-            .insert(name.to_owned(), Lmr::new(name, mdp, self.schema.clone()));
-        Ok(())
-    }
-
-    pub fn mdp(&self, name: &str) -> Result<&Mdp> {
+    pub fn mdp(&self, name: &str) -> Result<&Mdp<S>> {
         self.mdps
             .get(name)
             .ok_or_else(|| Error::Topology(format!("unknown MDP '{name}'")))
     }
 
-    pub fn lmr(&self, name: &str) -> Result<&Lmr> {
+    pub fn lmr(&self, name: &str) -> Result<&Lmr<S>> {
         self.lmrs
             .get(name)
             .ok_or_else(|| Error::Topology(format!("unknown LMR '{name}'")))
@@ -211,21 +404,13 @@ impl MdvSystem {
         self.run_to_quiescence()
     }
 
-    /// Replays exported MDP state (see [`crate::state`]) into a freshly
-    /// added MDP node.
-    pub fn restore_mdp_state(&mut self, mdp: &str, state: &str) -> Result<(usize, usize)> {
-        self.mdps
-            .get_mut(mdp)
-            .ok_or_else(|| Error::Topology(format!("unknown MDP '{mdp}'")))?
-            .import_state(state)
-    }
-
-    /// Replays exported LMR state into a freshly added LMR node.
-    pub fn restore_lmr_state(&mut self, lmr: &str, state: &str) -> Result<()> {
+    /// Runs an LMR's reference-counting garbage collector; returns how many
+    /// resources it evicted.
+    pub fn collect_garbage_at(&mut self, lmr: &str) -> Result<usize> {
         self.lmrs
             .get_mut(lmr)
             .ok_or_else(|| Error::Topology(format!("unknown LMR '{lmr}'")))?
-            .import_state(state)
+            .collect_garbage()
     }
 
     /// Registers metadata that stays local to one LMR.

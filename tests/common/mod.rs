@@ -16,6 +16,7 @@ use std::collections::BTreeSet;
 
 use mdv::filter::{query_eval, BaseStore};
 use mdv::prelude::*;
+use mdv::relstore::StorageEngine;
 use mdv::system::transport::{FaultPlan, LinkFaults};
 
 pub fn schema() -> RdfSchema {
@@ -51,7 +52,11 @@ pub fn provider(i: usize, host: &str, memory: i64, cpu: i64) -> Document {
 
 /// Computes the expected cache of an LMR: direct evaluation of each rule
 /// against the MDP's base data, plus the strong closure.
-pub fn expected_cache(sys: &MdvSystem, mdp: &str, rules: &[&str]) -> BTreeSet<String> {
+pub fn expected_cache<S: StorageEngine + Sync>(
+    sys: &MdvSystem<S>,
+    mdp: &str,
+    rules: &[&str],
+) -> BTreeSet<String> {
     let engine = sys.mdp(mdp).unwrap().engine();
     let schema = engine.schema();
     let db = engine.db();
@@ -77,7 +82,13 @@ pub fn expected_cache(sys: &MdvSystem, mdp: &str, rules: &[&str]) -> BTreeSet<St
 
 /// Asserts that an LMR cache matches the oracle exactly, with every cached
 /// copy byte-identical to the MDP's current copy.
-pub fn assert_consistent(sys: &MdvSystem, lmr: &str, mdp: &str, rules: &[&str], when: &str) {
+pub fn assert_consistent<S: StorageEngine + Sync>(
+    sys: &MdvSystem<S>,
+    lmr: &str,
+    mdp: &str,
+    rules: &[&str],
+    when: &str,
+) {
     let cached: BTreeSet<String> = sys.lmr(lmr).unwrap().cached_uris().into_iter().collect();
     let expected = expected_cache(sys, mdp, rules);
     assert_eq!(cached, expected, "cache of {lmr} inconsistent {when}");
