@@ -93,6 +93,17 @@ for seed in 1 31337 20020226; do
 done
 
 # ---------------------------------------------------------------------------
+step "backbone-repair replay: replication, anti-entropy, failover across fixed seeds"
+# Replays the backbone reconvergence property (reliable MDP↔MDP replication,
+# anti-entropy repair, and LMR failover through a fail/heal cycle, checked
+# by the cache-consistency oracle) under the same pinned seeds.
+for seed in 1 31337 20020226; do
+  MDV_PROP_SEED="$seed" MDV_PROP_CASES=15 \
+    cargo test -q --offline --test backbone_repair >/dev/null
+  echo "ok: backbone_repair @ MDV_PROP_SEED=$seed"
+done
+
+# ---------------------------------------------------------------------------
 step "parallel-filter determinism: publications invariant across thread counts"
 # The parallel batch filter must emit byte-identical publications, traces,
 # and stats for every thread count (DESIGN.md §5); the fault matrix above
@@ -140,6 +151,19 @@ if [[ "$QUICK" == "0" ]]; then
   cargo run --offline --release -p mdv-bench --bin figures -- \
     fig12 --backend durable >/dev/null
   echo "ok: figures fig12 --backend durable"
+
+  # -------------------------------------------------------------------------
+  step "figures smoke pass: backbone-repair (3-MDP fail/heal study)"
+  # Exercises the fault-recovery study end to end (failover, heal,
+  # anti-entropy repair on a 3-MDP topology). Runs from a scratch CWD so the
+  # quick-mode run never clobbers the checked-in BENCH_backbone_repair.json.
+  ROOT="$PWD"
+  SMOKE_DIR="$(mktemp -d)"
+  (cd "$SMOKE_DIR" && cargo run --offline --release \
+    --manifest-path "$ROOT/Cargo.toml" -p mdv-bench --bin figures -- \
+    backbone-repair >/dev/null)
+  rm -rf "$SMOKE_DIR"
+  echo "ok: figures backbone-repair"
 fi
 
 step "all checks passed"

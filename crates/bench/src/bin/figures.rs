@@ -9,7 +9,7 @@
 //!
 //! Subcommands: `fig11` `fig12` `fig13` `fig14` `fig15`
 //! `ablation-naive` `ablation-groups` `ablation-updates` `thread-scaling`
-//! `wal-overhead` `all`.
+//! `wal-overhead` `backbone-repair` `all`.
 //! `--full` runs the paper-sized rule bases (up to 100,000 rules); the
 //! default sizes finish in a few minutes on a laptop. `--threads N` runs
 //! the figure sweeps with the parallel filter on N pool workers
@@ -20,8 +20,11 @@
 //! `thread-scaling` sweeps N itself (1/2/4/8) on the Figure-12 PATH
 //! workload and writes machine-readable results to
 //! `BENCH_filter_scaling.json`; `wal-overhead` compares the two backends on
-//! the Figure-11/12 workloads and writes `BENCH_wal_overhead.json`. The
-//! `--threads`/`--backend` flags do not apply to those two subcommands.
+//! the Figure-11/12 workloads and writes `BENCH_wal_overhead.json`;
+//! `backbone-repair` drives a 3-MDP backbone through a fail/heal cycle at
+//! increasing loss rates and writes `BENCH_backbone_repair.json` (logical
+//! time, not wall-clock). The `--threads`/`--backend` flags do not apply to
+//! those three subcommands.
 
 use std::env;
 use std::io::Write;
@@ -157,6 +160,7 @@ fn main() {
         "ablation-updates" => run_ablation_updates(&config),
         "thread-scaling" => run_thread_scaling(&config),
         "wal-overhead" => run_wal_overhead(&config),
+        "backbone-repair" => run_backbone_repair(&config),
         "all" => {
             fig11(&config);
             fig12(&config);
@@ -168,12 +172,14 @@ fn main() {
             run_ablation_updates(&config);
             run_thread_scaling(&config);
             run_wal_overhead(&config);
+            run_backbone_repair(&config);
         }
         other => {
             eprintln!("unknown command '{other}'");
             eprintln!(
                 "usage: figures [fig11|fig12|fig13|fig14|fig15|ablation-naive|\
-                 ablation-groups|ablation-updates|thread-scaling|wal-overhead|all] \
+                 ablation-groups|ablation-updates|thread-scaling|wal-overhead|\
+                 backbone-repair|all] \
                  [--full] [--threads N] [--backend mem|durable]"
             );
             std::process::exit(2);
@@ -562,6 +568,163 @@ fn run_wal_overhead(config: &Config) {
         std::fs::File::create(path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
     for line in &json_lines {
         writeln!(file, "{line}").expect("write WAL-overhead results");
+    }
+    println!("wrote {} results to {path}", json_lines.len());
+}
+
+/// Fault-recovery study: a 3-MDP backbone with one failed-over LMR is driven
+/// through a fail/heal cycle at increasing loss rates. Per drop probability
+/// we report the logical time-to-reconvergence of the heal (retransmission
+/// drain + anti-entropy rounds until all live document sets are
+/// byte-identical) and the repair-message overhead (digest/repair messages
+/// as a share of all heal-window traffic). Everything here is simulated
+/// logical time — deterministic per seed, independent of the host — so the
+/// testkit `Stats` fields carry logical milliseconds and message counts,
+/// not nanoseconds. Writes `BENCH_backbone_repair.json`.
+fn run_backbone_repair(config: &Config) {
+    use mdv_rdf::{parse_document, Document, RdfSchema};
+    use mdv_system::transport::{FaultPlan, LinkFaults, NetConfig};
+    use mdv_system::MdvSystem;
+    use mdv_testkit::bench::Stats;
+
+    fn schema() -> RdfSchema {
+        RdfSchema::builder()
+            .class("ServerInformation", |c| c.int("memory").int("cpu"))
+            .class("CycleProvider", |c| {
+                c.str("serverHost")
+                    .int("serverPort")
+                    .strong_ref("serverInformation", "ServerInformation")
+            })
+            .build()
+            .expect("study schema is valid")
+    }
+
+    fn doc(i: usize, memory: i64) -> Document {
+        parse_document(
+            &format!("doc{i}.rdf"),
+            &format!(
+                r##"<rdf:RDF>
+                  <CycleProvider rdf:ID="host">
+                    <serverHost>node{i}.hub.org</serverHost>
+                    <serverPort>{port}</serverPort>
+                    <serverInformation rdf:resource="#info"/>
+                  </CycleProvider>
+                  <ServerInformation rdf:ID="info"><memory>{memory}</memory><cpu>600</cpu></ServerInformation>
+                </rdf:RDF>"##,
+                port = 4000 + i,
+            ),
+        )
+        .expect("study document is valid")
+    }
+
+    /// One seeded fail/heal cycle; returns (reconverge logical ms, repair
+    /// messages in the heal window, total messages in the heal window).
+    fn trial(drop_prob: f64, seed: u64) -> (u64, u64, u64) {
+        let mut cfg = NetConfig::default();
+        cfg.faults = FaultPlan {
+            seed,
+            default_link: LinkFaults {
+                drop_prob,
+                dup_prob: drop_prob / 2.0,
+                jitter_ms: 10,
+                spike_prob: 0.0,
+                spike_ms: 0,
+            },
+            ..FaultPlan::default()
+        };
+        let mut sys = MdvSystem::with_net_config(schema(), cfg);
+        for m in ["m1", "m2", "m3"] {
+            sys.add_mdp(m).expect("add mdp");
+        }
+        sys.add_lmr("l1", "m1").expect("add lmr");
+        sys.set_backup_mdp("l1", "m2").expect("set backup");
+        sys.subscribe(
+            "l1",
+            "search CycleProvider c register c where c.serverInformation.memory > 64",
+        )
+        .expect("subscribe");
+        let homes = ["m1", "m2", "m3"];
+        for i in 0..6 {
+            sys.register_document(homes[i % 3], &doc(i, 32 + 32 * i as i64))
+                .expect("register");
+        }
+        // the home fails: its mailbox is lost, writes continue elsewhere,
+        // and the next subscription exhausts its budget and fails over
+        sys.fail_mdp("m1").expect("fail m1");
+        for i in 6..10 {
+            sys.register_document(homes[1 + i % 2], &doc(i, 96))
+                .expect("register during outage");
+        }
+        sys.subscribe(
+            "l1",
+            "search ServerInformation s register s where s.cpu >= 600",
+        )
+        .expect("subscribe during outage");
+        assert_eq!(sys.lmr("l1").expect("lmr").mdp(), "m2", "failover happened");
+        // the second failure overlaps the heal: documents whose origin (m2)
+        // is down when m1 comes back can only reach m1 via anti-entropy
+        // from m3 — retransmission covers everything else
+        sys.fail_mdp("m2").expect("fail m2");
+
+        let clock_before = sys.network_stats().clock_ms;
+        let sent_before = sys.network().log().len();
+        sys.heal_mdp("m1").expect("heal m1 reconverges");
+        sys.heal_mdp("m2").expect("heal m2 reconverges");
+        assert!(sys.backbone_converged());
+        let stats = sys.network_stats();
+        let log = sys.network().log();
+        let window = &log[sent_before..];
+        let repair = window
+            .iter()
+            .filter(|r| matches!(r.kind, "replica-digest" | "repair-request" | "repair-docs"))
+            .count() as u64;
+        (stats.clock_ms - clock_before, repair, window.len() as u64)
+    }
+
+    let drop_probs: &[f64] = if config.full {
+        &[0.0, 0.05, 0.10, 0.20, 0.30]
+    } else {
+        &[0.0, 0.10, 0.25]
+    };
+    let trials: u64 = if config.full { 20 } else { 8 };
+    banner(
+        "Backbone repair: fail/heal reconvergence vs loss rate (logical time)",
+        "expected shape: reconvergence time grows with the drop probability \
+         (more retransmission backoff and repair rounds); repair traffic stays \
+         a bounded share of the heal window and is zero only if nothing was \
+         missed",
+    );
+
+    let mut json_lines: Vec<String> = Vec::new();
+    println!("drop_prob,trials,median_reconverge_ms,median_repair_msgs,repair_traffic_share");
+    for &p in drop_probs {
+        let mut reconverge: Vec<u64> = Vec::new();
+        let mut repairs: Vec<u64> = Vec::new();
+        let mut totals: Vec<u64> = Vec::new();
+        for t in 0..trials {
+            let seed = 0xba5e_0000 + (p * 1000.0) as u64 * 64 + t;
+            let (ms, repair, total) = trial(p, seed);
+            reconverge.push(ms);
+            repairs.push(repair);
+            totals.push(total);
+        }
+        let ms_stats = Stats::from_samples(&reconverge);
+        let repair_stats = Stats::from_samples(&repairs);
+        let share = repairs.iter().sum::<u64>() as f64 / totals.iter().sum::<u64>() as f64;
+        println!(
+            "{:.2},{},{},{},{:.3}",
+            p, trials, ms_stats.median_ns, repair_stats.median_ns, share
+        );
+        let group = format!("backbone_repair_drop{:02}", (p * 100.0) as u64);
+        json_lines.push(json_line(&group, "reconverge_logical_ms", &ms_stats));
+        json_lines.push(json_line(&group, "repair_messages", &repair_stats));
+    }
+
+    let path = "BENCH_backbone_repair.json";
+    let mut file =
+        std::fs::File::create(path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+    for line in &json_lines {
+        writeln!(file, "{line}").expect("write backbone-repair results");
     }
     println!("wrote {} results to {path}", json_lines.len());
 }

@@ -28,6 +28,7 @@ const T_LOCAL: &str = "LmrLocalDocs"; // uri, xml
 const T_MATCH: &str = "LmrMatches"; // uri, rule (match anchors)
 const T_PUBBUF: &str = "LmrPubBuffer"; // seq, wire-form publication
 const T_DEAD: &str = "LmrDeadRules"; // rule
+const T_HOME: &str = "LmrHome"; // home, backup, awaiting (failover state)
 
 /// Lifecycle of a subscription rule at the LMR.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,13 +48,21 @@ pub struct LmrRule {
     pub status: RuleStatus,
 }
 
-/// Retry state of an unacked control message (Subscribe/Unsubscribe).
+/// Retry state of an unacked control message (Subscribe/Unsubscribe/
+/// FailoverHello).
 #[derive(Debug, Clone)]
 struct Retry {
     /// Logical time of the next retransmission.
     next_retry_ms: u64,
     /// Current backoff interval (doubles per retry up to the config cap).
     backoff_ms: u64,
+    /// Retransmissions performed so far; reaching the configured
+    /// `failover_attempts` budget counts as detected silence of the home
+    /// MDP (DESIGN.md §7).
+    attempts: u32,
+    /// `Some(last_seq)`: retransmit as a failover Resubscribe carrying this
+    /// catch-up key instead of a plain Subscribe.
+    resubscribe: Option<u64>,
 }
 
 impl Retry {
@@ -62,6 +71,15 @@ impl Retry {
         Retry {
             next_retry_ms: net.now_ms() + backoff,
             backoff_ms: backoff,
+            attempts: 0,
+            resubscribe: None,
+        }
+    }
+
+    fn resubscribe(net: &Network, last_seq: u64) -> Self {
+        Retry {
+            resubscribe: Some(last_seq),
+            ..Retry::new(net)
         }
     }
 }
@@ -72,8 +90,16 @@ impl Retry {
 #[derive(Debug)]
 pub struct Lmr<S: StorageEngine = Database> {
     name: String,
-    /// The MDP this LMR is subscribed to.
+    /// The MDP this LMR is subscribed to (its current home; may change on
+    /// failover).
     mdp: String,
+    /// Backup MDP to fail over to when the home goes silent.
+    backup: Option<String>,
+    /// Failover in progress: the FailoverHello is out, the dedup floor is
+    /// not yet synced with the new home, so publications are discarded.
+    awaiting_welcome: bool,
+    /// Retry state of the unacked FailoverHello.
+    hello_retry: Option<Retry>,
     schema: RdfSchema,
     pub(crate) cache: S,
     /// Mirror node state into the `Lmr*` tables (durable backends only).
@@ -114,6 +140,7 @@ impl<S: StorageEngine> Lmr<S> {
         Self::create_mirror_tables(&mut store)?;
         mirror::insert(&mut store, T_META, vec![s("next_rule"), i(0)])?;
         mirror::insert(&mut store, T_META, vec![s("next_pub_seq"), i(0)])?;
+        mirror::insert(&mut store, T_HOME, vec![s(mdp), s(""), i(0)])?;
         store.commit().map_err(mirror::store_err)?;
         Ok(Self::from_store(name, mdp, schema, store, true))
     }
@@ -204,6 +231,25 @@ impl<S: StorageEngine> Lmr<S> {
             };
             matches.push((uri.to_owned(), rule as u64));
         }
+        // The mirrored failover state wins over the caller-supplied home:
+        // after a crash mid-failover the LMR must come back attached to the
+        // MDP it last pointed at. Stores from before the table existed fall
+        // back to the argument.
+        let mut home = None;
+        let mut backup = None;
+        let mut awaiting = false;
+        for row in mirror::rows_sorted(db, T_HOME) {
+            let (Some(h), Some(b), Some(a)) = (row[0].as_str(), row[1].as_str(), row[2].as_int())
+            else {
+                return Err(corrupt(T_HOME));
+            };
+            home = Some(h.to_owned());
+            backup = (!b.is_empty()).then(|| b.to_owned());
+            awaiting = a != 0;
+        }
+        lmr.mdp = home.unwrap_or_else(|| mdp.to_owned());
+        lmr.backup = backup;
+        lmr.awaiting_welcome = awaiting;
         lmr.rules = rules;
         lmr.next_rule = next_rule;
         lmr.next_pub_seq = next_pub_seq;
@@ -257,13 +303,25 @@ impl<S: StorageEngine> Lmr<S> {
                 ColumnDef::new("publication", DataType::Str),
             ],
         )?;
-        mirror::create_table(store, T_DEAD, vec![ColumnDef::new("rule", DataType::Int)])
+        mirror::create_table(store, T_DEAD, vec![ColumnDef::new("rule", DataType::Int)])?;
+        mirror::create_table(
+            store,
+            T_HOME,
+            vec![
+                ColumnDef::new("home", DataType::Str),
+                ColumnDef::new("backup", DataType::Str),
+                ColumnDef::new("awaiting", DataType::Int),
+            ],
+        )
     }
 
     fn from_store(name: &str, mdp: &str, schema: RdfSchema, cache: S, mirror: bool) -> Self {
         Lmr {
             name: name.to_owned(),
             mdp: mdp.to_owned(),
+            backup: None,
+            awaiting_welcome: false,
+            hello_retry: None,
             schema,
             cache,
             mirror,
@@ -302,10 +360,26 @@ impl<S: StorageEngine> Lmr<S> {
     }
 
     /// Re-sends the control messages that were in flight when the node
-    /// crashed: Subscribe for every still-pending rule, Unsubscribe for
-    /// every retracted rule (the MDP re-acks duplicates, so over-sending is
-    /// harmless).
+    /// crashed: Resubscribe for every still-pending rule, Unsubscribe for
+    /// every retracted rule, FailoverHello if a failover handshake was open
+    /// (the MDP re-acks duplicates, so over-sending is harmless). Pending
+    /// rules are re-sent as Resubscribe rather than Subscribe because a
+    /// crash mid-failover can leave a pending rule whose cache still holds
+    /// anchors from the previous home — only the Resubscribe snapshot
+    /// clears those.
     pub fn rearm_after_recovery(&mut self, net: &Network) -> Result<()> {
+        if self.awaiting_welcome {
+            net.send(
+                &self.name,
+                &self.mdp,
+                Message::FailoverHello {
+                    last_seq: self.next_pub_seq,
+                },
+            )?;
+            self.hello_retry = Some(Retry::new(net));
+            // resubscribes follow once the welcome syncs the floor
+            return self.rearm_dead_rules(net);
+        }
         let pending: Vec<(u64, String)> = self
             .rules
             .iter()
@@ -316,13 +390,19 @@ impl<S: StorageEngine> Lmr<S> {
             net.send(
                 &self.name,
                 &self.mdp,
-                Message::Subscribe {
+                Message::Resubscribe {
                     lmr_rule: id,
                     rule_text: text,
+                    last_seq: self.next_pub_seq,
                 },
             )?;
-            self.sub_retry.insert(id, Retry::new(net));
+            self.sub_retry
+                .insert(id, Retry::resubscribe(net, self.next_pub_seq));
         }
+        self.rearm_dead_rules(net)
+    }
+
+    fn rearm_dead_rules(&mut self, net: &Network) -> Result<()> {
         let mut dead: Vec<u64> = self.dead_rules.iter().copied().collect();
         dead.sort_unstable();
         for rule in dead {
@@ -348,6 +428,19 @@ impl<S: StorageEngine> Lmr<S> {
             |r| r[0].as_str() == Some(key),
             vec![s(key), i(val)],
         )
+    }
+
+    fn mirror_home(&mut self) -> Result<()> {
+        if !self.mirror {
+            return Ok(());
+        }
+        let backup = self.backup.clone().unwrap_or_default();
+        let row = vec![
+            s(&self.mdp),
+            s(&backup),
+            i(u64::from(self.awaiting_welcome)),
+        ];
+        mirror::upsert_where(&mut self.cache, T_HOME, |_| true, row)
     }
 
     fn mirror_rule_upsert(&mut self, id: u64) -> Result<()> {
@@ -425,6 +518,26 @@ impl<S: StorageEngine> Lmr<S> {
 
     pub fn mdp(&self) -> &str {
         &self.mdp
+    }
+
+    /// The configured backup MDP, if any.
+    pub fn backup(&self) -> Option<&str> {
+        self.backup.as_deref()
+    }
+
+    /// Configures (or clears) the backup MDP this LMR fails over to when
+    /// its home goes silent.
+    pub fn set_backup(&mut self, backup: Option<&str>) -> Result<()> {
+        self.with_group(|this| {
+            this.backup = backup.map(str::to_owned);
+            this.mirror_home()
+        })
+    }
+
+    /// True while a failover handshake is in flight (hello sent, welcome
+    /// not yet received).
+    pub fn failing_over(&self) -> bool {
+        self.awaiting_welcome
     }
 
     pub fn rule(&self, id: u64) -> Option<&LmrRule> {
@@ -630,7 +743,8 @@ impl<S: StorageEngine> Lmr<S> {
                 self.unsub_retry.remove(&lmr_rule);
                 Ok(())
             }
-            Message::Publish(msg) => self.receive_publication(msg, net),
+            Message::FailoverWelcome { next_seq } => self.receive_welcome(&env.from, next_seq, net),
+            Message::Publish(msg) => self.receive_publication(&env.from, msg, net),
             other => Err(Error::Topology(format!(
                 "LMR '{}' received unexpected message kind '{}'",
                 self.name,
@@ -639,11 +753,79 @@ impl<S: StorageEngine> Lmr<S> {
         }
     }
 
+    /// Completes the failover handshake: the new home reports the next
+    /// publication sequence it will assign, the LMR adopts it as its dedup
+    /// floor, drops parked publications from the old stream, and re-registers
+    /// every live rule at the new home as a snapshot-requesting Resubscribe
+    /// (DESIGN.md §7). Syncing the floor *before* resubscribing is what lets
+    /// the snapshots flow as ordinary in-order sequenced publications.
+    fn receive_welcome(&mut self, from: &str, next_seq: u64, net: &Network) -> Result<()> {
+        if from != self.mdp || !self.awaiting_welcome {
+            return Ok(()); // stale handshake from a previous home
+        }
+        self.hello_retry = None;
+        self.awaiting_welcome = false;
+        self.next_pub_seq = next_seq;
+        self.mirror_meta("next_pub_seq", next_seq)?;
+        self.mirror_home()?;
+        self.pub_buffer.clear();
+        if self.mirror {
+            mirror::delete_where(&mut self.cache, T_PUBBUF, |_| true)?;
+        }
+        let live: Vec<(u64, String)> = self
+            .rules
+            .iter()
+            .filter(|(_, r)| !matches!(r.status, RuleStatus::Failed(_)))
+            .map(|(id, r)| (*id, r.text.clone()))
+            .collect();
+        for (id, text) in live {
+            if let Some(rule) = self.rules.get_mut(&id) {
+                rule.status = RuleStatus::Pending;
+            }
+            self.mirror_rule_upsert(id)?;
+            net.send(
+                &self.name,
+                &self.mdp,
+                Message::Resubscribe {
+                    lmr_rule: id,
+                    rule_text: text,
+                    last_seq: next_seq,
+                },
+            )?;
+            self.sub_retry.insert(id, Retry::resubscribe(net, next_seq));
+        }
+        Ok(())
+    }
+
     /// The receiving half of the at-least-once protocol: acks every copy,
     /// discards duplicates by sequence number, parks out-of-order arrivals,
-    /// and applies publications exactly once in sequence order.
-    fn receive_publication(&mut self, msg: PublishMsg, net: &Network) -> Result<()> {
-        net.send(&self.name, &self.mdp, Message::PublishAck { seq: msg.seq })?;
+    /// and applies publications exactly once in sequence order. Publications
+    /// from a node other than the current home (a previous home still
+    /// retransmitting after a failover) are acked and discarded, and the
+    /// sender is told to retire the subscription.
+    fn receive_publication(&mut self, from: &str, msg: PublishMsg, net: &Network) -> Result<()> {
+        net.send(&self.name, from, Message::PublishAck { seq: msg.seq })?;
+        if from != self.mdp {
+            // One-shot cleanup unsubscribe, deliberately not retried:
+            // further strays re-trigger it. Suppressed while a failover
+            // handshake is open, so a delayed cleanup can never race a
+            // fresh resubscription at a new home.
+            if !self.awaiting_welcome {
+                net.send(
+                    &self.name,
+                    from,
+                    Message::Unsubscribe {
+                        lmr_rule: msg.lmr_rule,
+                    },
+                )?;
+            }
+            return Ok(());
+        }
+        if self.awaiting_welcome {
+            // Floor not synced with the new home yet; the Resubscribe
+            // snapshot that follows the welcome supersedes this.
+            return Ok(());
+        }
         if msg.seq < self.next_pub_seq || self.pub_buffer.contains_key(&msg.seq) {
             return Ok(()); // duplicate (retransmission or injected copy)
         }
@@ -664,7 +846,11 @@ impl<S: StorageEngine> Lmr<S> {
             if self.dead_rules.contains(&next.lmr_rule) {
                 continue; // late publication for a retracted rule
             }
-            self.apply_publish(next)?;
+            if next.snapshot {
+                self.apply_snapshot(next)?;
+            } else {
+                self.apply_publish(next)?;
+            }
         }
         Ok(())
     }
@@ -674,43 +860,74 @@ impl<S: StorageEngine> Lmr<S> {
         self.pub_buffer.len()
     }
 
-    /// Earliest scheduled control-message retransmission, if any.
-    pub fn next_retry_at(&self) -> Option<u64> {
+    /// Earliest scheduled control-message retransmission, if any. Entries
+    /// parked against a down home with no failover target are excluded, so
+    /// that a stranded LMR does not drive the clock while nothing can make
+    /// progress; they resume automatically once the home heals.
+    pub fn next_retry_at(&self, net: &Network) -> Option<u64> {
+        let budget = net.config().failover_attempts;
+        let home_down = net.is_down(&self.mdp);
+        let can_fail_over = self
+            .backup
+            .as_ref()
+            .is_some_and(|b| *b != self.mdp && !net.is_down(b));
         self.sub_retry
             .values()
             .chain(self.unsub_retry.values())
+            .chain(self.hello_retry.iter())
+            .filter(|r| !(home_down && r.attempts >= budget && !can_fail_over))
             .map(|r| r.next_retry_ms)
             .min()
     }
 
-    /// Retransmits every unacked Subscribe/Unsubscribe whose timer is due;
-    /// returns whether anything was resent.
+    /// Retransmits every unacked Subscribe/Unsubscribe/FailoverHello whose
+    /// timer is due; returns whether anything was resent. Exhausting the
+    /// retransmission budget of any entry counts as detected silence of the
+    /// home MDP and triggers failover to the configured backup, if one is
+    /// reachable (DESIGN.md §7).
     pub fn retransmit_due(&mut self, net: &Network) -> Result<bool> {
         let now = net.now_ms();
-        let max = net.config().retry_max_ms;
+        let cfg = net.config();
+        let max = cfg.retry_max_ms;
+        let budget = cfg.failover_attempts;
+        let home_down = net.is_down(&self.mdp);
+        let can_fail_over = self
+            .backup
+            .as_ref()
+            .is_some_and(|b| *b != self.mdp && !net.is_down(b));
+        // entries to a silent home with no failover target are parked; they
+        // resume once the home heals
+        let parked = |r: &Retry| home_down && r.attempts >= budget && !can_fail_over;
         let mut resent = false;
+        let mut exhausted = false;
         // defensive: a retry entry whose rule vanished can never be acked
         let rules = &self.rules;
         self.sub_retry.retain(|id, _| rules.contains_key(id));
         for (id, retry) in self.sub_retry.iter_mut() {
-            if retry.next_retry_ms > now {
+            if retry.next_retry_ms > now || parked(retry) {
                 continue;
             }
             let rule = &self.rules[id];
-            net.send_retry(
-                &self.name,
-                &self.mdp,
-                Message::Subscribe {
+            let msg = match retry.resubscribe {
+                Some(last_seq) => Message::Resubscribe {
+                    lmr_rule: *id,
+                    rule_text: rule.text.clone(),
+                    last_seq,
+                },
+                None => Message::Subscribe {
                     lmr_rule: *id,
                     rule_text: rule.text.clone(),
                 },
-            )?;
+            };
+            net.send_retry(&self.name, &self.mdp, msg)?;
+            retry.attempts += 1;
             retry.backoff_ms = (retry.backoff_ms * 2).min(max);
             retry.next_retry_ms = now + retry.backoff_ms;
             resent = true;
+            exhausted |= retry.attempts >= budget;
         }
         for (id, retry) in self.unsub_retry.iter_mut() {
-            if retry.next_retry_ms > now {
+            if retry.next_retry_ms > now || parked(retry) {
                 continue;
             }
             net.send_retry(
@@ -718,11 +935,84 @@ impl<S: StorageEngine> Lmr<S> {
                 &self.mdp,
                 Message::Unsubscribe { lmr_rule: *id },
             )?;
+            retry.attempts += 1;
             retry.backoff_ms = (retry.backoff_ms * 2).min(max);
             retry.next_retry_ms = now + retry.backoff_ms;
             resent = true;
+            exhausted |= retry.attempts >= budget;
+        }
+        if let Some(retry) = self.hello_retry.as_mut() {
+            if retry.next_retry_ms <= now && !parked(retry) {
+                net.send_retry(
+                    &self.name,
+                    &self.mdp,
+                    Message::FailoverHello {
+                        last_seq: self.next_pub_seq,
+                    },
+                )?;
+                retry.attempts += 1;
+                retry.backoff_ms = (retry.backoff_ms * 2).min(max);
+                retry.next_retry_ms = now + retry.backoff_ms;
+                resent = true;
+            }
+        }
+        if exhausted && can_fail_over && !self.awaiting_welcome {
+            self.start_failover(net)?;
+            resent = true;
         }
         Ok(resent)
+    }
+
+    /// Switches home to the configured backup and opens the failover
+    /// handshake. In-flight retries against the old home are dropped: live
+    /// rules are re-registered wholesale once the welcome arrives, and
+    /// retracted rules get retired at the old home lazily, by the cleanup
+    /// unsubscribes its stray publications trigger after a heal.
+    fn start_failover(&mut self, net: &Network) -> Result<()> {
+        let Some(backup) = self.backup.clone() else {
+            return Ok(());
+        };
+        if backup == self.mdp {
+            return Ok(());
+        }
+        self.with_group(|this| {
+            this.mdp = backup;
+            this.awaiting_welcome = true;
+            this.mirror_home()?;
+            this.sub_retry.clear();
+            this.unsub_retry.clear();
+            net.send(
+                &this.name,
+                &this.mdp,
+                Message::FailoverHello {
+                    last_seq: this.next_pub_seq,
+                },
+            )?;
+            this.hello_retry = Some(Retry::new(net));
+            Ok(())
+        })
+    }
+
+    /// Applies a snapshot publication (the full current match set of one
+    /// rule, sent by a Resubscribe): first drops every anchor of the rule
+    /// that the snapshot does not list — stale state inherited from a
+    /// previous home — then applies the snapshot like a regular publication,
+    /// letting the garbage collector reclaim what lost its last anchor.
+    fn apply_snapshot(&mut self, msg: PublishMsg) -> Result<()> {
+        let rule = msg.lmr_rule;
+        let listed: HashSet<&str> = msg.matched.iter().map(|r| r.uri().as_str()).collect();
+        let stale: Vec<String> = self
+            .cached_uris()
+            .into_iter()
+            .filter(|u| {
+                self.tracker.matching_rules(u).contains(&rule) && !listed.contains(u.as_str())
+            })
+            .collect();
+        for uri in stale {
+            self.tracker.remove_match(&uri, rule);
+            self.mirror_match_remove(&uri, rule)?;
+        }
+        self.apply_publish(msg)
     }
 
     /// Applies a publication: inserts matched resources and their closure

@@ -13,7 +13,7 @@ use mdv_rdf::{parse_document, write_document, Document, RdfSchema, Resource};
 use mdv_relstore::{ColumnDef, DataType, Database, StorageEngine};
 
 use crate::error::{Error, Result};
-use crate::message::{Message, PublishMsg};
+use crate::message::{DigestEntry, Message, PublishMsg, RepairDoc};
 use crate::mirror::{self, i, s};
 use crate::transport::{Envelope, Network};
 
@@ -25,6 +25,11 @@ const T_DOCS: &str = "SysDocuments"; // uri, xml
 const T_PUBSEQ: &str = "SysPubSeq"; // lmr, next_seq
 const T_OUTBOX: &str = "SysOutbox"; // lmr, seq, wire-form publication
 const T_RETIRED: &str = "SysRetired"; // lmr, rule
+const T_DOCVER: &str = "SysDocVersions"; // uri, version, deleted
+const T_RSEQ: &str = "SysReplSeq"; // peer, next_seq (outgoing)
+const T_RFLOOR: &str = "SysReplFloor"; // peer, next_seq (incoming)
+const T_ROUT: &str = "SysReplOutbox"; // peer, seq, kind, version, uri, xml
+const T_RBUF: &str = "SysReplBuffer"; // peer, seq, kind, version, uri, xml
 
 /// An unacked publication awaiting retransmission (at-least-once delivery).
 #[derive(Debug, Clone)]
@@ -34,6 +39,115 @@ struct Outgoing {
     next_retry_ms: u64,
     /// Current backoff interval (doubles per retry up to the config cap).
     backoff_ms: u64,
+}
+
+/// Per-URI replication metadata: a monotone version plus a tombstone flag.
+/// Together with the content hash it forms the total order `(version,
+/// deleted, hash)` that makes replicated applies commute (DESIGN.md §7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct DocMeta {
+    pub version: u64,
+    pub deleted: bool,
+}
+
+/// One replicated document operation, as carried by the backbone
+/// at-least-once channel and its durable outbox/reorder-buffer mirrors.
+#[derive(Debug, Clone, PartialEq)]
+enum ReplOp {
+    Register {
+        uri: String,
+        version: u64,
+        xml: String,
+    },
+    Update {
+        uri: String,
+        version: u64,
+        xml: String,
+    },
+    Delete {
+        uri: String,
+        version: u64,
+    },
+}
+
+impl ReplOp {
+    fn kind_tag(&self) -> i64 {
+        match self {
+            ReplOp::Register { .. } => 0,
+            ReplOp::Update { .. } => 1,
+            ReplOp::Delete { .. } => 2,
+        }
+    }
+
+    fn fields(&self) -> (u64, &str, &str) {
+        match self {
+            ReplOp::Register { uri, version, xml } | ReplOp::Update { uri, version, xml } => {
+                (*version, uri.as_str(), xml.as_str())
+            }
+            ReplOp::Delete { uri, version } => (*version, uri.as_str(), ""),
+        }
+    }
+
+    fn from_parts(kind: i64, version: u64, uri: &str, xml: &str) -> Option<ReplOp> {
+        Some(match kind {
+            0 => ReplOp::Register {
+                uri: uri.to_owned(),
+                version,
+                xml: xml.to_owned(),
+            },
+            1 => ReplOp::Update {
+                uri: uri.to_owned(),
+                version,
+                xml: xml.to_owned(),
+            },
+            2 => ReplOp::Delete {
+                uri: uri.to_owned(),
+                version,
+            },
+            _ => return None,
+        })
+    }
+
+    fn into_message(self, seq: u64) -> Message {
+        match self {
+            ReplOp::Register { uri, version, xml } => Message::ReplicateRegister {
+                seq,
+                version,
+                document_uri: uri,
+                xml,
+            },
+            ReplOp::Update { uri, version, xml } => Message::ReplicateUpdate {
+                seq,
+                version,
+                document_uri: uri,
+                xml,
+            },
+            ReplOp::Delete { uri, version } => Message::ReplicateDelete {
+                seq,
+                version,
+                document_uri: uri,
+            },
+        }
+    }
+}
+
+/// An unacked replicated operation awaiting retransmission.
+#[derive(Debug, Clone)]
+struct ReplOutgoing {
+    op: ReplOp,
+    next_retry_ms: u64,
+    backoff_ms: u64,
+}
+
+/// FNV-1a (64-bit) over a canonical RDF/XML serialization; the content
+/// half of the anti-entropy digest entries.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 /// A Metadata Provider, generic over the storage backend of its filter
@@ -67,6 +181,17 @@ pub struct Mdp<S: StorageEngine = Database> {
     /// Subscribe/Unsubscribe retransmissions for them are re-acked without
     /// touching the filter engine.
     retired: HashSet<(String, u64)>,
+    /// Per-URI replication metadata (version + tombstone); tombstones are
+    /// retained so deletions win over stale replicated registrations.
+    doc_meta: BTreeMap<String, DocMeta>,
+    /// Next outgoing replication sequence number per backbone peer.
+    repl_next_seq: HashMap<String, u64>,
+    /// Unacked replicated operations keyed `(peer, seq)`.
+    repl_outbox: BTreeMap<(String, u64), ReplOutgoing>,
+    /// Next incoming replication sequence expected per backbone peer.
+    repl_floor: HashMap<String, u64>,
+    /// Out-of-order replicated operations parked until the floor closes.
+    repl_buffer: BTreeMap<(String, u64), ReplOp>,
 }
 
 impl Mdp {
@@ -140,6 +265,43 @@ impl<S: StorageEngine + Sync> Mdp<S> {
                 ColumnDef::new("rule", DataType::Int),
             ],
         )?;
+        mirror::create_table(
+            store,
+            T_DOCVER,
+            vec![
+                ColumnDef::new("uri", DataType::Str),
+                ColumnDef::new("version", DataType::Int),
+                ColumnDef::new("deleted", DataType::Int),
+            ],
+        )?;
+        mirror::create_table(
+            store,
+            T_RSEQ,
+            vec![
+                ColumnDef::new("peer", DataType::Str),
+                ColumnDef::new("next_seq", DataType::Int),
+            ],
+        )?;
+        mirror::create_table(
+            store,
+            T_RFLOOR,
+            vec![
+                ColumnDef::new("peer", DataType::Str),
+                ColumnDef::new("next_seq", DataType::Int),
+            ],
+        )?;
+        let repl_columns = || {
+            vec![
+                ColumnDef::new("peer", DataType::Str),
+                ColumnDef::new("seq", DataType::Int),
+                ColumnDef::new("kind", DataType::Int),
+                ColumnDef::new("version", DataType::Int),
+                ColumnDef::new("uri", DataType::Str),
+                ColumnDef::new("xml", DataType::Str),
+            ]
+        };
+        mirror::create_table(store, T_ROUT, repl_columns())?;
+        mirror::create_table(store, T_RBUF, repl_columns())?;
         store.commit().map_err(mirror::store_err)?;
         Ok(Self::from_engine(name, engine, true))
     }
@@ -156,6 +318,11 @@ impl<S: StorageEngine + Sync> Mdp<S> {
             next_pub_seq: HashMap::new(),
             outbox: BTreeMap::new(),
             retired: HashSet::new(),
+            doc_meta: BTreeMap::new(),
+            repl_next_seq: HashMap::new(),
+            repl_outbox: BTreeMap::new(),
+            repl_floor: HashMap::new(),
+            repl_buffer: BTreeMap::new(),
         }
     }
 
@@ -259,6 +426,90 @@ impl<S: StorageEngine + Sync> Mdp<S> {
         )
     }
 
+    fn mirror_sub_unretire(&mut self, lmr: &str, rule: u64) -> Result<()> {
+        if !self.mirror {
+            return Ok(());
+        }
+        mirror::delete_where(self.engine.storage_mut(), T_RETIRED, |r| {
+            r[0].as_str() == Some(lmr) && r[1].as_int() == Some(rule as i64)
+        })?;
+        Ok(())
+    }
+
+    fn mirror_docver(&mut self, uri: &str) -> Result<()> {
+        if !self.mirror {
+            return Ok(());
+        }
+        let Some(meta) = self.doc_meta.get(uri).copied() else {
+            return Ok(());
+        };
+        mirror::upsert_where(
+            self.engine.storage_mut(),
+            T_DOCVER,
+            |r| r[0].as_str() == Some(uri),
+            vec![s(uri), i(meta.version), i(u64::from(meta.deleted))],
+        )
+    }
+
+    fn mirror_repl_seq(&mut self, peer: &str, next_seq: u64) -> Result<()> {
+        if !self.mirror {
+            return Ok(());
+        }
+        mirror::upsert_where(
+            self.engine.storage_mut(),
+            T_RSEQ,
+            |r| r[0].as_str() == Some(peer),
+            vec![s(peer), i(next_seq)],
+        )
+    }
+
+    fn mirror_repl_floor(&mut self, peer: &str, next_seq: u64) -> Result<()> {
+        if !self.mirror {
+            return Ok(());
+        }
+        mirror::upsert_where(
+            self.engine.storage_mut(),
+            T_RFLOOR,
+            |r| r[0].as_str() == Some(peer),
+            vec![s(peer), i(next_seq)],
+        )
+    }
+
+    fn mirror_repl_row_insert(
+        &mut self,
+        table: &str,
+        peer: &str,
+        seq: u64,
+        op: &ReplOp,
+    ) -> Result<()> {
+        if !self.mirror {
+            return Ok(());
+        }
+        let (version, uri, xml) = op.fields();
+        mirror::insert(
+            self.engine.storage_mut(),
+            table,
+            vec![
+                s(peer),
+                i(seq),
+                i(op.kind_tag() as u64),
+                i(version),
+                s(uri),
+                s(xml),
+            ],
+        )
+    }
+
+    fn mirror_repl_row_remove(&mut self, table: &str, peer: &str, seq: u64) -> Result<()> {
+        if !self.mirror {
+            return Ok(());
+        }
+        mirror::delete_where(self.engine.storage_mut(), table, |r| {
+            r[0].as_str() == Some(peer) && r[1].as_int() == Some(seq as i64)
+        })?;
+        Ok(())
+    }
+
     /// Switches between immediate filtering (`None`, the default) and
     /// periodic batch filtering with the given batch size. Switching back
     /// to immediate mode does not flush; call [`Mdp::flush`] first.
@@ -290,6 +541,8 @@ impl<S: StorageEngine + Sync> Mdp<S> {
             // unflushed batch wholesale, like any uncommitted group
             for doc in &batch {
                 this.mirror_doc_upsert(doc)?;
+                // the version was bumped when the document was queued
+                this.mirror_docver(doc.uri())?;
             }
             this.publish(pubs, net)
         })
@@ -330,6 +583,9 @@ impl<S: StorageEngine + Sync> Mdp<S> {
     ) -> Result<()> {
         match self.batch_size {
             Some(batch_size) => {
+                // bumped before replication below so the op carries the new
+                // version; the docver mirror row is written at flush time
+                self.bump_doc_meta(doc.uri(), false);
                 self.pending.push(doc.clone());
                 if self.pending.len() >= batch_size {
                     self.flush(net)?;
@@ -339,22 +595,22 @@ impl<S: StorageEngine + Sync> Mdp<S> {
                 self.with_group(|this| {
                     let pubs = this.engine.register_document(doc)?;
                     this.mirror_doc_upsert(doc)?;
+                    this.bump_doc_meta(doc.uri(), false);
+                    this.mirror_docver(doc.uri())?;
                     this.publish(pubs, net)
                 })?;
             }
         }
         if replicate {
-            let xml = write_document(doc);
-            for peer in &self.peers {
-                net.send(
-                    &self.name,
-                    peer,
-                    Message::ReplicateRegister {
-                        document_uri: doc.uri().to_owned(),
-                        xml: xml.clone(),
-                    },
-                )?;
-            }
+            let version = self.doc_meta.get(doc.uri()).map_or(1, |m| m.version);
+            self.replicate_to_peers(
+                ReplOp::Register {
+                    uri: doc.uri().to_owned(),
+                    version,
+                    xml: write_document(doc),
+                },
+                net,
+            )?;
         }
         Ok(())
     }
@@ -371,20 +627,20 @@ impl<S: StorageEngine + Sync> Mdp<S> {
         self.with_group(|this| {
             let pubs = this.engine.update_document(doc)?;
             this.mirror_doc_upsert(doc)?;
+            this.bump_doc_meta(doc.uri(), false);
+            this.mirror_docver(doc.uri())?;
             this.publish(pubs, net)
         })?;
         if replicate {
-            let xml = write_document(doc);
-            for peer in &self.peers {
-                net.send(
-                    &self.name,
-                    peer,
-                    Message::ReplicateUpdate {
-                        document_uri: doc.uri().to_owned(),
-                        xml: xml.clone(),
-                    },
-                )?;
-            }
+            let version = self.doc_meta.get(doc.uri()).map_or(1, |m| m.version);
+            self.replicate_to_peers(
+                ReplOp::Update {
+                    uri: doc.uri().to_owned(),
+                    version,
+                    xml: write_document(doc),
+                },
+                net,
+            )?;
         }
         Ok(())
     }
@@ -395,20 +651,64 @@ impl<S: StorageEngine + Sync> Mdp<S> {
         self.with_group(|this| {
             let pubs = this.engine.delete_document(uri)?;
             this.mirror_doc_delete(uri)?;
+            // the tombstone keeps its bumped version so the deletion wins
+            // over stale replicated registrations
+            this.bump_doc_meta(uri, true);
+            this.mirror_docver(uri)?;
             this.publish(pubs, net)
         })?;
         if replicate {
-            for peer in &self.peers {
-                net.send(
-                    &self.name,
-                    peer,
-                    Message::ReplicateDelete {
-                        document_uri: uri.to_owned(),
-                    },
-                )?;
-            }
+            let version = self.doc_meta.get(uri).map_or(1, |m| m.version);
+            self.replicate_to_peers(
+                ReplOp::Delete {
+                    uri: uri.to_owned(),
+                    version,
+                },
+                net,
+            )?;
         }
         Ok(())
+    }
+
+    /// Advances the local version of `uri`; every local mutation bumps it
+    /// and the new version ships with the replicated operation.
+    fn bump_doc_meta(&mut self, uri: &str, deleted: bool) -> u64 {
+        let meta = self.doc_meta.entry(uri.to_owned()).or_insert(DocMeta {
+            version: 0,
+            deleted: false,
+        });
+        meta.version += 1;
+        meta.deleted = deleted;
+        meta.version
+    }
+
+    /// Queues one replicated operation per backbone peer on the reliable
+    /// at-least-once channel and ships the first copy of each.
+    fn replicate_to_peers(&mut self, op: ReplOp, net: &Network) -> Result<()> {
+        let peers = self.peers.clone();
+        if peers.is_empty() {
+            return Ok(());
+        }
+        self.with_group(|this| {
+            for peer in &peers {
+                let counter = this.repl_next_seq.entry(peer.clone()).or_insert(0);
+                let seq = *counter;
+                *counter += 1;
+                this.mirror_repl_seq(peer, seq + 1)?;
+                this.mirror_repl_row_insert(T_ROUT, peer, seq, &op)?;
+                let backoff = net.config().retry_initial_ms;
+                this.repl_outbox.insert(
+                    (peer.clone(), seq),
+                    ReplOutgoing {
+                        op: op.clone(),
+                        next_retry_ms: net.now_ms() + backoff,
+                        backoff_ms: backoff,
+                    },
+                );
+                net.send(&this.name, peer, op.clone().into_message(seq))?;
+            }
+            Ok(())
+        })
     }
 
     /// Subscribers sorted by subscription id (deterministic export).
@@ -480,6 +780,85 @@ impl<S: StorageEngine + Sync> Mdp<S> {
         Ok(())
     }
 
+    /// Per-URI replication metadata, sorted (deterministic export).
+    pub(crate) fn doc_meta_sorted(&self) -> Vec<(String, DocMeta)> {
+        self.doc_meta.iter().map(|(u, m)| (u.clone(), *m)).collect()
+    }
+
+    /// Restores one URI's replication metadata during state import or
+    /// crash recovery (overwrites whatever registration implied).
+    pub(crate) fn restore_doc_meta(
+        &mut self,
+        uri: &str,
+        version: u64,
+        deleted: bool,
+    ) -> Result<()> {
+        self.doc_meta
+            .insert(uri.to_owned(), DocMeta { version, deleted });
+        self.mirror_docver(uri)
+    }
+
+    /// Outgoing replication counters, sorted (deterministic export).
+    pub(crate) fn repl_seqs_sorted(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<_> = self
+            .repl_next_seq
+            .iter()
+            .map(|(p, s)| (p.clone(), *s))
+            .collect();
+        out.sort();
+        out
+    }
+
+    pub(crate) fn restore_repl_seq(&mut self, peer: &str, next_seq: u64) -> Result<()> {
+        self.repl_next_seq.insert(peer.to_owned(), next_seq);
+        self.mirror_repl_seq(peer, next_seq)
+    }
+
+    /// Incoming replication floors, sorted (deterministic export).
+    pub(crate) fn repl_floors_sorted(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<_> = self
+            .repl_floor
+            .iter()
+            .map(|(p, s)| (p.clone(), *s))
+            .collect();
+        out.sort();
+        out
+    }
+
+    pub(crate) fn restore_repl_floor(&mut self, peer: &str, next_seq: u64) -> Result<()> {
+        self.repl_floor.insert(peer.to_owned(), next_seq);
+        self.mirror_repl_floor(peer, next_seq)
+    }
+
+    /// Restores an unacked replicated operation during crash recovery,
+    /// due for immediate retransmission (duplicates are tolerated).
+    fn restore_repl_outbox_entry(
+        &mut self,
+        peer: &str,
+        seq: u64,
+        op: ReplOp,
+        retry_backoff_ms: u64,
+    ) -> Result<()> {
+        self.mirror_repl_row_insert(T_ROUT, peer, seq, &op)?;
+        self.repl_outbox.insert(
+            (peer.to_owned(), seq),
+            ReplOutgoing {
+                op,
+                next_retry_ms: 0,
+                backoff_ms: retry_backoff_ms.max(1),
+            },
+        );
+        Ok(())
+    }
+
+    /// Restores a parked out-of-order replicated operation during crash
+    /// recovery.
+    fn restore_repl_buffer_entry(&mut self, peer: &str, seq: u64, op: ReplOp) -> Result<()> {
+        self.mirror_repl_row_insert(T_RBUF, peer, seq, &op)?;
+        self.repl_buffer.insert((peer.to_owned(), seq), op);
+        Ok(())
+    }
+
     /// Restores a retracted-subscription tombstone during crash recovery.
     pub(crate) fn restore_retired(&mut self, lmr: &str, lmr_rule: u64) -> Result<()> {
         self.retired.insert((lmr.to_owned(), lmr_rule));
@@ -544,6 +923,50 @@ impl<S: StorageEngine + Sync> Mdp<S> {
                     return Err(corrupt(T_RETIRED));
                 };
                 this.restore_retired(lmr, rule as u64)?;
+            }
+            for row in mirror::rows_sorted(src, T_DOCVER) {
+                let (Some(uri), Some(version), Some(deleted)) =
+                    (row[0].as_str(), row[1].as_int(), row[2].as_int())
+                else {
+                    return Err(corrupt(T_DOCVER));
+                };
+                this.restore_doc_meta(uri, version as u64, deleted != 0)?;
+            }
+            for row in mirror::rows_sorted(src, T_RSEQ) {
+                let (Some(peer), Some(next)) = (row[0].as_str(), row[1].as_int()) else {
+                    return Err(corrupt(T_RSEQ));
+                };
+                this.restore_repl_seq(peer, next as u64)?;
+            }
+            for row in mirror::rows_sorted(src, T_RFLOOR) {
+                let (Some(peer), Some(next)) = (row[0].as_str(), row[1].as_int()) else {
+                    return Err(corrupt(T_RFLOOR));
+                };
+                this.restore_repl_floor(peer, next as u64)?;
+            }
+            let parse_repl = |table: &str, row: &[mdv_relstore::Value]| {
+                let (Some(peer), Some(seq), Some(kind), Some(version), Some(uri), Some(xml)) = (
+                    row[0].as_str(),
+                    row[1].as_int(),
+                    row[2].as_int(),
+                    row[3].as_int(),
+                    row[4].as_str(),
+                    row[5].as_str(),
+                ) else {
+                    return Err(corrupt(table));
+                };
+                let op = ReplOp::from_parts(kind, version as u64, uri, xml).ok_or_else(|| {
+                    Error::Topology(format!("corrupt replication op kind in {table}"))
+                })?;
+                Ok((peer.to_owned(), seq as u64, op))
+            };
+            for row in mirror::rows_sorted(src, T_ROUT) {
+                let (peer, seq, op) = parse_repl(T_ROUT, &row)?;
+                this.restore_repl_outbox_entry(&peer, seq, op, retry_backoff_ms)?;
+            }
+            for row in mirror::rows_sorted(src, T_RBUF) {
+                let (peer, seq, op) = parse_repl(T_RBUF, &row)?;
+                this.restore_repl_buffer_entry(&peer, seq, op)?;
             }
             Ok((subs, docs))
         })
@@ -650,10 +1073,15 @@ impl<S: StorageEngine + Sync> Mdp<S> {
                     None if self.retired.contains(&(env.from.clone(), lmr_rule)) => {
                         net.send(&self.name, &env.from, Message::UnsubscribeAck { lmr_rule })
                     }
-                    None => Err(Error::Subscription(format!(
-                        "MDP '{}' has no subscription for rule {lmr_rule} of '{}'",
-                        self.name, env.from
-                    ))),
+                    // unknown rule: tombstone it and ack idempotently. A
+                    // failover cleanup unsubscribe can reach an MDP that
+                    // never saw the subscription (e.g. after a crash); rule
+                    // ids are never reused, so retiring is always safe.
+                    None => {
+                        self.retired.insert((env.from.clone(), lmr_rule));
+                        self.mirror_sub_retire(&env.from, lmr_rule)?;
+                        net.send(&self.name, &env.from, Message::UnsubscribeAck { lmr_rule })
+                    }
                 }
             }
             Message::PublishAck { seq } => {
@@ -661,22 +1089,329 @@ impl<S: StorageEngine + Sync> Mdp<S> {
                 self.mirror_outbox_remove(&env.from, seq)?;
                 Ok(())
             }
-            Message::ReplicateRegister { document_uri, xml } => {
-                let doc = parse_document(&document_uri, &xml).map_err(mdv_filter::Error::from)?;
-                self.register_document(&doc, net, false)
+            Message::ReplicateRegister {
+                seq,
+                version,
+                document_uri,
+                xml,
+            } => self.receive_replicated(
+                &env.from,
+                seq,
+                ReplOp::Register {
+                    uri: document_uri,
+                    version,
+                    xml,
+                },
+                net,
+            ),
+            Message::ReplicateUpdate {
+                seq,
+                version,
+                document_uri,
+                xml,
+            } => self.receive_replicated(
+                &env.from,
+                seq,
+                ReplOp::Update {
+                    uri: document_uri,
+                    version,
+                    xml,
+                },
+                net,
+            ),
+            Message::ReplicateDelete {
+                seq,
+                version,
+                document_uri,
+            } => self.receive_replicated(
+                &env.from,
+                seq,
+                ReplOp::Delete {
+                    uri: document_uri,
+                    version,
+                },
+                net,
+            ),
+            Message::ReplicateAck { seq } => {
+                self.repl_outbox.remove(&(env.from.clone(), seq));
+                self.mirror_repl_row_remove(T_ROUT, &env.from, seq)?;
+                Ok(())
             }
-            Message::ReplicateUpdate { document_uri, xml } => {
-                let doc = parse_document(&document_uri, &xml).map_err(mdv_filter::Error::from)?;
-                self.update_document(&doc, net, false)
+            Message::ReplicaDigest { entries } => self.handle_digest(&env.from, &entries, net),
+            Message::RepairRequest { uris } => self.handle_repair_request(&env.from, &uris, net),
+            Message::RepairDocs { docs } => self.handle_repair_docs(docs, net),
+            Message::FailoverHello { last_seq: _ } => {
+                let next_seq = self.next_pub_seq.get(&env.from).copied().unwrap_or(0);
+                net.send(&self.name, &env.from, Message::FailoverWelcome { next_seq })
             }
-            Message::ReplicateDelete { document_uri } => {
-                self.delete_document(&document_uri, net, false)
-            }
+            Message::Resubscribe {
+                lmr_rule,
+                rule_text,
+                last_seq,
+            } => self.handle_resubscribe(&env.from, lmr_rule, &rule_text, last_seq, net),
             other => Err(Error::Topology(format!(
                 "MDP '{}' received unexpected message kind '{}'",
                 self.name,
                 other.kind()
             ))),
+        }
+    }
+
+    /// Receives one sequenced replicated operation: ack every copy, dedup
+    /// below the floor, park out-of-order arrivals, and apply in sequence
+    /// order as the floor closes.
+    fn receive_replicated(
+        &mut self,
+        peer: &str,
+        seq: u64,
+        op: ReplOp,
+        net: &Network,
+    ) -> Result<()> {
+        net.send(&self.name, peer, Message::ReplicateAck { seq })?;
+        let floor = self.repl_floor.get(peer).copied().unwrap_or(0);
+        if seq < floor || self.repl_buffer.contains_key(&(peer.to_owned(), seq)) {
+            return Ok(()); // duplicate delivery
+        }
+        self.mirror_repl_row_insert(T_RBUF, peer, seq, &op)?;
+        self.repl_buffer.insert((peer.to_owned(), seq), op);
+        let mut next = floor;
+        while let Some(op) = self.repl_buffer.remove(&(peer.to_owned(), next)) {
+            self.mirror_repl_row_remove(T_RBUF, peer, next)?;
+            next += 1;
+            self.repl_floor.insert(peer.to_owned(), next);
+            self.mirror_repl_floor(peer, next)?;
+            self.apply_remote_op(op, net)?;
+        }
+        Ok(())
+    }
+
+    fn apply_remote_op(&mut self, op: ReplOp, net: &Network) -> Result<bool> {
+        match op {
+            ReplOp::Register { uri, version, xml } | ReplOp::Update { uri, version, xml } => {
+                self.apply_remote_doc(&uri, version, false, Some(&xml), net)
+            }
+            ReplOp::Delete { uri, version } => {
+                self.apply_remote_doc(&uri, version, true, None, net)
+            }
+        }
+    }
+
+    /// The `(version, deleted, hash)` conflict-resolution key of this
+    /// node's current state for `uri` (all-zero when the URI is unknown).
+    fn local_doc_key(&self, uri: &str) -> (u64, u8, u64) {
+        let meta = self.doc_meta.get(uri).copied().unwrap_or(DocMeta {
+            version: 0,
+            deleted: false,
+        });
+        let hash = if meta.deleted {
+            0
+        } else {
+            self.engine
+                .document(uri)
+                .map(|d| fnv1a64(write_document(d).as_bytes()))
+                .unwrap_or(0)
+        };
+        (meta.version, u8::from(meta.deleted), hash)
+    }
+
+    /// Applies one remote document state if it is newer than the local one
+    /// under the total order `(version, deleted, hash)`; stale and
+    /// duplicate states are skipped, which makes replicated applies (and
+    /// anti-entropy repairs racing them) idempotent and commutative.
+    /// Returns whether the state was applied.
+    fn apply_remote_doc(
+        &mut self,
+        uri: &str,
+        version: u64,
+        deleted: bool,
+        xml: Option<&str>,
+        net: &Network,
+    ) -> Result<bool> {
+        let incoming = (
+            version,
+            u8::from(deleted),
+            xml.filter(|_| !deleted)
+                .map_or(0, |x| fnv1a64(x.as_bytes())),
+        );
+        if incoming <= self.local_doc_key(uri) {
+            return Ok(false);
+        }
+        // replicated state never mixes into a pending local batch
+        self.flush(net)?;
+        if deleted {
+            if self.engine.document(uri).is_some() {
+                self.with_group(|this| {
+                    let pubs = this.engine.delete_document(uri)?;
+                    this.mirror_doc_delete(uri)?;
+                    this.publish(pubs, net)
+                })?;
+            }
+        } else if let Some(xml) = xml {
+            let doc = parse_document(uri, xml).map_err(mdv_filter::Error::from)?;
+            let known = self.engine.document(uri).is_some();
+            self.with_group(|this| {
+                // a register racing a tombstoned or diverged URI degrades
+                // to an update (and vice versa), so op kinds never error
+                let pubs = if known {
+                    this.engine.update_document(&doc)?
+                } else {
+                    this.engine.register_document(&doc)?
+                };
+                this.mirror_doc_upsert(&doc)?;
+                this.publish(pubs, net)
+            })?;
+        }
+        self.doc_meta
+            .insert(uri.to_owned(), DocMeta { version, deleted });
+        self.mirror_docver(uri)?;
+        Ok(true)
+    }
+
+    /// This node's anti-entropy digest: one `(version, deleted, hash)`
+    /// entry per URI it has ever seen (tombstones included), sorted by URI.
+    pub(crate) fn digest(&self) -> Vec<DigestEntry> {
+        let mut entries: Vec<DigestEntry> = self
+            .doc_meta
+            .iter()
+            .map(|(uri, meta)| DigestEntry {
+                uri: uri.clone(),
+                version: meta.version,
+                deleted: meta.deleted,
+                hash: if meta.deleted {
+                    0
+                } else {
+                    self.engine
+                        .document(uri)
+                        .map(|d| fnv1a64(write_document(d).as_bytes()))
+                        .unwrap_or(0)
+                },
+            })
+            .collect();
+        // documents restored from a pre-versioning export carry no meta;
+        // advertise them at version 0 so newer replicas overwrite them
+        for doc in self.engine.documents() {
+            if !self.doc_meta.contains_key(doc.uri()) {
+                entries.push(DigestEntry {
+                    uri: doc.uri().to_owned(),
+                    version: 0,
+                    deleted: false,
+                    hash: fnv1a64(write_document(doc).as_bytes()),
+                });
+            }
+        }
+        entries.sort_by(|a, b| a.uri.cmp(&b.uri));
+        entries
+    }
+
+    /// Diffs a peer's digest against local state and pulls every URI whose
+    /// advertised key is newer (pull-only: the reverse digest covers the
+    /// other direction).
+    fn handle_digest(&mut self, peer: &str, entries: &[DigestEntry], net: &Network) -> Result<()> {
+        let mut want = Vec::new();
+        for e in entries {
+            if (e.version, u8::from(e.deleted), e.hash) > self.local_doc_key(&e.uri) {
+                want.push(e.uri.clone());
+            }
+        }
+        if want.is_empty() {
+            return Ok(());
+        }
+        net.send(&self.name, peer, Message::RepairRequest { uris: want })
+    }
+
+    /// Answers an anti-entropy pull with the *current* local state of the
+    /// requested URIs (which may be newer than the digest that was sent).
+    fn handle_repair_request(&mut self, peer: &str, uris: &[String], net: &Network) -> Result<()> {
+        let mut docs = Vec::new();
+        for uri in uris {
+            let (version, deleted) = self
+                .doc_meta
+                .get(uri)
+                .map(|m| (m.version, m.deleted))
+                .unwrap_or((0, false));
+            let xml = if deleted {
+                String::new()
+            } else {
+                match self.engine.document(uri) {
+                    Some(d) => write_document(d),
+                    None => continue,
+                }
+            };
+            docs.push(RepairDoc {
+                uri: uri.clone(),
+                version,
+                deleted,
+                xml,
+            });
+        }
+        if docs.is_empty() {
+            return Ok(());
+        }
+        net.send(&self.name, peer, Message::RepairDocs { docs })
+    }
+
+    fn handle_repair_docs(&mut self, docs: Vec<RepairDoc>, net: &Network) -> Result<()> {
+        for d in docs {
+            let xml = if d.deleted {
+                None
+            } else {
+                Some(d.xml.as_str())
+            };
+            if self.apply_remote_doc(&d.uri, d.version, d.deleted, xml, net)? {
+                net.note_repair();
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-registers a rule for a failed-over (or failed-back) LMR and
+    /// ships a reconciling snapshot unless the subscriber is provably
+    /// caught up (`last_seq` equals the current stream position of an
+    /// already-registered rule).
+    fn handle_resubscribe(
+        &mut self,
+        lmr: &str,
+        lmr_rule: u64,
+        rule_text: &str,
+        last_seq: u64,
+        net: &Network,
+    ) -> Result<()> {
+        let key = (lmr.to_owned(), lmr_rule);
+        let existing = self
+            .subscribers
+            .iter()
+            .find(|(_, v)| **v == key)
+            .map(|(sub, _)| *sub);
+        let cur = self.next_pub_seq.get(lmr).copied().unwrap_or(0);
+        let ack = |error: Option<String>| Message::SubscribeAck { lmr_rule, error };
+        if existing.is_some() && last_seq == cur {
+            // already subscribed here and fully caught up — nothing to resync
+            return net.send(&self.name, lmr, ack(None));
+        }
+        // re-registering returns the full current match set, which the
+        // snapshot needs anyway; a rule retired by a cleanup unsubscribe
+        // comes back to life when its LMR fails back home
+        if let Some(sub) = existing {
+            self.subscribers.remove(&sub);
+            self.engine.unregister_subscription(sub)?;
+        }
+        if self.retired.remove(&key) {
+            self.mirror_sub_unretire(lmr, lmr_rule)?;
+        }
+        match self.engine.register_subscription(rule_text) {
+            Err(e) => net.send(&self.name, lmr, ack(Some(e.to_string()))),
+            Ok((sub, initial)) => {
+                self.subscribers.insert(sub, key);
+                if existing.is_none() {
+                    self.mirror_sub_insert(lmr, lmr_rule, rule_text)?;
+                }
+                net.send(&self.name, lmr, ack(None))?;
+                let mut msg = self.build_publish(lmr_rule, &initial, &[], &[])?;
+                // sent even when empty: the subscriber drops stale anchors
+                // that the snapshot no longer lists
+                msg.snapshot = true;
+                self.send_publication(lmr, msg, net)
+            }
         }
     }
 
@@ -724,21 +1459,52 @@ impl<S: StorageEngine + Sync> Mdp<S> {
         self.outbox.len()
     }
 
-    /// Earliest scheduled retransmission, if any publication is unacked.
-    pub fn next_retry_at(&self) -> Option<u64> {
-        self.outbox.values().map(|o| o.next_retry_ms).min()
+    /// Replicated operations sent but not yet acked by their peer.
+    pub fn unacked_replications(&self) -> usize {
+        self.repl_outbox.len()
+    }
+
+    /// Earliest scheduled retransmission over both outboxes. Entries whose
+    /// destination is marked down are parked (excluded), so quiescence is
+    /// reachable while a node is failed; they become due again on heal.
+    pub fn next_retry_at(&self, net: &Network) -> Option<u64> {
+        let pubs = self
+            .outbox
+            .iter()
+            .filter(|((lmr, _), _)| !net.is_down(lmr))
+            .map(|(_, o)| o.next_retry_ms);
+        let repls = self
+            .repl_outbox
+            .iter()
+            .filter(|((peer, _), _)| !net.is_down(peer))
+            .map(|(_, o)| o.next_retry_ms);
+        pubs.chain(repls).min()
     }
 
     /// Retransmits every outbox entry whose retry timer is due; returns
     /// whether anything was resent. Backoff doubles per attempt up to the
-    /// configured cap.
+    /// configured cap. Entries targeting a down node are skipped.
     pub fn retransmit_due(&mut self, net: &Network) -> Result<bool> {
         let now = net.now_ms();
         let max = net.config().retry_max_ms;
         let mut resent = false;
         for ((lmr, _), out) in self.outbox.iter_mut() {
+            if net.is_down(lmr) {
+                continue;
+            }
             if out.next_retry_ms <= now {
                 net.send_retry(&self.name, lmr, Message::Publish(out.msg.clone()))?;
+                out.backoff_ms = (out.backoff_ms * 2).min(max);
+                out.next_retry_ms = now + out.backoff_ms;
+                resent = true;
+            }
+        }
+        for ((peer, seq), out) in self.repl_outbox.iter_mut() {
+            if net.is_down(peer) {
+                continue;
+            }
+            if out.next_retry_ms <= now {
+                net.send_retry(&self.name, peer, out.op.clone().into_message(*seq))?;
                 out.backoff_ms = (out.backoff_ms * 2).min(max);
                 out.next_retry_ms = now + out.backoff_ms;
                 resent = true;
@@ -787,6 +1553,7 @@ impl<S: StorageEngine + Sync> Mdp<S> {
             companions,
             updated: updated_res,
             removed: removed.to_vec(),
+            snapshot: false,
         })
     }
 }
@@ -900,6 +1667,8 @@ mod tests {
                 from: "mdp1".into(),
                 to: "mdp2".into(),
                 message: Message::ReplicateRegister {
+                    seq: 0,
+                    version: 1,
                     document_uri: "doc1.rdf".into(),
                     xml,
                 },
@@ -908,9 +1677,106 @@ mod tests {
             &net,
         )
         .unwrap();
-        // no replicate-register went back out
+        // no replicate-register went back out, only the ack
         assert!(!net.traffic_by_kind().contains_key("replicate-register"));
+        assert_eq!(net.traffic_by_kind()["replicate-ack"], 1);
         assert!(mdp2.engine().document("doc1.rdf").is_some());
+    }
+
+    fn replicate_env(seq: u64, message: Message) -> Envelope {
+        let _ = seq;
+        Envelope {
+            from: "mdp1".into(),
+            to: "mdp2".into(),
+            message,
+            deliver_at_ms: 0,
+        }
+    }
+
+    #[test]
+    fn duplicated_delete_then_recreate_is_idempotent() {
+        // the delete/recreate race across the backbone: a ReplicateDelete
+        // delivered twice, interleaved with the re-registration of the same
+        // URI, must leave exactly the recreated document behind
+        let net = Network::new(NetConfig::default());
+        let _rx = net.register("mdp1").unwrap();
+        let mut mdp2 = Mdp::new("mdp2", schema());
+        let v1 = write_document(&doc(1, "a.org", 1));
+        let v3 = write_document(&doc(1, "b.org", 9));
+        let register = |seq, version, xml: &str| {
+            replicate_env(
+                seq,
+                Message::ReplicateRegister {
+                    seq,
+                    version,
+                    document_uri: "doc1.rdf".into(),
+                    xml: xml.to_owned(),
+                },
+            )
+        };
+        let delete = |seq, version| {
+            replicate_env(
+                seq,
+                Message::ReplicateDelete {
+                    seq,
+                    version,
+                    document_uri: "doc1.rdf".into(),
+                },
+            )
+        };
+        mdp2.handle(register(0, 1, &v1), &net).unwrap();
+        mdp2.handle(delete(1, 2), &net).unwrap();
+        // duplicate of the delete (below the floor): acked, not re-applied
+        mdp2.handle(delete(1, 2), &net).unwrap();
+        // recreation of the same URI wins over the tombstone
+        mdp2.handle(register(2, 3, &v3), &net).unwrap();
+        // late duplicate of the delete again, after the recreation
+        mdp2.handle(delete(1, 2), &net).unwrap();
+        let doc = mdp2.engine().document("doc1.rdf").expect("doc recreated");
+        assert_eq!(write_document(doc), v3);
+        assert_eq!(mdp2.local_doc_key("doc1.rdf").0, 3);
+        assert_eq!(net.traffic_by_kind()["replicate-ack"], 5);
+        assert_eq!(mdp2.unacked_replications(), 0);
+    }
+
+    #[test]
+    fn out_of_order_replication_is_parked_until_the_floor_closes() {
+        let net = Network::new(NetConfig::default());
+        let _rx = net.register("mdp1").unwrap();
+        let mut mdp2 = Mdp::new("mdp2", schema());
+        let xml = write_document(&doc(1, "a.org", 1));
+        // seq 1 (an update) arrives before seq 0 (the registration)
+        mdp2.handle(
+            replicate_env(
+                1,
+                Message::ReplicateUpdate {
+                    seq: 1,
+                    version: 2,
+                    document_uri: "doc1.rdf".into(),
+                    xml: write_document(&doc(1, "b.org", 2)),
+                },
+            ),
+            &net,
+        )
+        .unwrap();
+        assert!(mdp2.engine().document("doc1.rdf").is_none());
+        mdp2.handle(
+            replicate_env(
+                0,
+                Message::ReplicateRegister {
+                    seq: 0,
+                    version: 1,
+                    document_uri: "doc1.rdf".into(),
+                    xml,
+                },
+            ),
+            &net,
+        )
+        .unwrap();
+        // both applied, in order: the update's content won
+        let doc1 = mdp2.engine().document("doc1.rdf").unwrap();
+        assert_eq!(write_document(doc1), write_document(&doc(1, "b.org", 2)));
+        assert_eq!(mdp2.local_doc_key("doc1.rdf").0, 2);
     }
 
     #[test]
@@ -933,20 +1799,39 @@ mod tests {
     }
 
     #[test]
-    fn unsubscribe_unknown_rejected() {
+    fn unsubscribe_unknown_is_acked_and_retired() {
+        // failover cleanup unsubscribes can reach an MDP that never saw the
+        // subscription; the retraction must be idempotent, and the
+        // tombstone must keep a later duplicate Subscribe from resurrecting
         let net = Network::new(NetConfig::default());
+        let _rx = net.register("lmr1").unwrap();
         let mut mdp = Mdp::new("mdp1", schema());
-        let err = mdp
-            .handle(
-                Envelope {
-                    from: "lmr1".into(),
-                    to: "mdp1".into(),
-                    message: Message::Unsubscribe { lmr_rule: 9 },
-                    deliver_at_ms: 0,
+        mdp.handle(
+            Envelope {
+                from: "lmr1".into(),
+                to: "mdp1".into(),
+                message: Message::Unsubscribe { lmr_rule: 9 },
+                deliver_at_ms: 0,
+            },
+            &net,
+        )
+        .unwrap();
+        assert_eq!(net.traffic_by_kind()["unsubscribe-ack"], 1);
+        mdp.handle(
+            Envelope {
+                from: "lmr1".into(),
+                to: "mdp1".into(),
+                message: Message::Subscribe {
+                    lmr_rule: 9,
+                    rule_text: "search CycleProvider c register c".into(),
                 },
-                &net,
-            )
-            .unwrap_err();
-        assert!(matches!(err, Error::Subscription(_)));
+                deliver_at_ms: 0,
+            },
+            &net,
+        )
+        .unwrap();
+        // re-acked without registering (rule 9 stays retired)
+        assert_eq!(net.traffic_by_kind()["subscribe-ack"], 1);
+        assert!(mdp.subscribers.is_empty());
     }
 }

@@ -27,11 +27,79 @@ pub enum Message {
     /// completing the at-least-once delivery handshake.
     PublishAck { seq: u64 },
     /// MDP → MDP backbone replication: a newly registered document.
-    ReplicateRegister { document_uri: String, xml: String },
+    /// `seq` is the per-(origin, peer) replication sequence number of the
+    /// at-least-once handshake; `version` is the origin's per-URI document
+    /// version used for conflict resolution (DESIGN.md §7).
+    ReplicateRegister {
+        seq: u64,
+        version: u64,
+        document_uri: String,
+        xml: String,
+    },
     /// MDP → MDP: an updated document (re-registration).
-    ReplicateUpdate { document_uri: String, xml: String },
+    ReplicateUpdate {
+        seq: u64,
+        version: u64,
+        document_uri: String,
+        xml: String,
+    },
     /// MDP → MDP: a deleted document.
-    ReplicateDelete { document_uri: String },
+    ReplicateDelete {
+        seq: u64,
+        version: u64,
+        document_uri: String,
+    },
+    /// MDP → MDP: confirms receipt of the replication operation with
+    /// sequence `seq`, completing the at-least-once handshake.
+    ReplicateAck { seq: u64 },
+    /// MDP → MDP anti-entropy: a digest of the sender's whole document set
+    /// (per-URI version + content hash; deletions appear as tombstones).
+    ReplicaDigest { entries: Vec<DigestEntry> },
+    /// MDP → MDP anti-entropy: pull the listed documents, which the
+    /// requester's diff against a [`Message::ReplicaDigest`] showed to be
+    /// missing or stale locally.
+    RepairRequest { uris: Vec<String> },
+    /// MDP → MDP anti-entropy: repair payload answering a
+    /// [`Message::RepairRequest`].
+    RepairDocs { docs: Vec<RepairDoc> },
+    /// LMR → MDP failover handshake: "you are my home MDP now; the last
+    /// publication sequence I applied was `last_seq - 1`".
+    FailoverHello { last_seq: u64 },
+    /// MDP → LMR: floor synchronization answering a failover hello —
+    /// `next_seq` is the next publication sequence this MDP will assign
+    /// for the LMR, so the LMR can fast-forward its dedup floor.
+    FailoverWelcome { next_seq: u64 },
+    /// LMR → MDP: re-register a rule after failover. `last_seq` keys the
+    /// catch-up: a subscriber that is already known and fully caught up
+    /// skips the snapshot backfill.
+    Resubscribe {
+        lmr_rule: u64,
+        rule_text: String,
+        last_seq: u64,
+    },
+}
+
+/// One entry of an anti-entropy digest: the origin's view of one URI.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DigestEntry {
+    pub uri: String,
+    /// Per-URI document version (monotone across the backbone).
+    pub version: u64,
+    /// True if the entry is a deletion tombstone.
+    pub deleted: bool,
+    /// FNV-1a (64-bit) over the canonical RDF/XML serialization; 0 for
+    /// tombstones.
+    pub hash: u64,
+}
+
+/// One document shipped in an anti-entropy repair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairDoc {
+    pub uri: String,
+    pub version: u64,
+    pub deleted: bool,
+    /// Canonical RDF/XML content; empty for tombstones.
+    pub xml: String,
 }
 
 impl Message {
@@ -47,6 +115,13 @@ impl Message {
             Message::ReplicateRegister { .. } => "replicate-register",
             Message::ReplicateUpdate { .. } => "replicate-update",
             Message::ReplicateDelete { .. } => "replicate-delete",
+            Message::ReplicateAck { .. } => "replicate-ack",
+            Message::ReplicaDigest { .. } => "replica-digest",
+            Message::RepairRequest { .. } => "repair-request",
+            Message::RepairDocs { .. } => "repair-docs",
+            Message::FailoverHello { .. } => "failover-hello",
+            Message::FailoverWelcome { .. } => "failover-welcome",
+            Message::Resubscribe { .. } => "resubscribe",
         }
     }
 
@@ -72,9 +147,25 @@ impl Message {
                     + p.updated.iter().map(resource_size).sum::<usize>()
                     + p.removed.iter().map(String::len).sum::<usize>()
             }
-            Message::ReplicateRegister { xml, document_uri }
-            | Message::ReplicateUpdate { xml, document_uri } => xml.len() + document_uri.len(),
-            Message::ReplicateDelete { document_uri } => document_uri.len(),
+            Message::ReplicateRegister {
+                xml, document_uri, ..
+            }
+            | Message::ReplicateUpdate {
+                xml, document_uri, ..
+            } => xml.len() + document_uri.len() + 16,
+            Message::ReplicateDelete { document_uri, .. } => document_uri.len() + 16,
+            Message::ReplicateAck { .. } => 8,
+            Message::ReplicaDigest { entries } => {
+                entries.iter().map(|e| e.uri.len() + 17).sum::<usize>()
+            }
+            Message::RepairRequest { uris } => uris.iter().map(String::len).sum::<usize>(),
+            Message::RepairDocs { docs } => docs
+                .iter()
+                .map(|d| d.uri.len() + d.xml.len() + 9)
+                .sum::<usize>(),
+            Message::FailoverHello { .. } => 8,
+            Message::FailoverWelcome { .. } => 8,
+            Message::Resubscribe { rule_text, .. } => rule_text.len() + 16,
         }
     }
 }
@@ -96,6 +187,10 @@ pub struct PublishMsg {
     pub updated: Vec<Resource>,
     /// URIs of resources that no longer match the rule.
     pub removed: Vec<String>,
+    /// True for a reconciling snapshot sent after failover: `matched` +
+    /// `companions` are the *complete* current state of the rule, and the
+    /// LMR drops anchors that the snapshot does not list.
+    pub snapshot: bool,
 }
 
 impl PublishMsg {
@@ -118,6 +213,10 @@ impl PublishMsg {
     /// ```
     pub fn to_wire(&self) -> String {
         let mut out = format!("seq {}\t{}\n", self.seq, self.lmr_rule);
+        if self.snapshot {
+            // only emitted when set, so pre-failover wire forms are unchanged
+            out.push_str("snap 1\n");
+        }
         let mut section = |tag: &str, resources: &[Resource]| {
             for r in resources {
                 out.push_str(&format!(
@@ -174,6 +273,7 @@ impl PublishMsg {
                     msg.seq = seq.parse().map_err(|_| "bad seq".to_owned())?;
                     msg.lmr_rule = rule.parse().map_err(|_| "bad rule id".to_owned())?;
                 }
+                "snap" => msg.snapshot = rest == "1",
                 "m" | "c" | "u" => {
                     flush(&mut msg, &mut current);
                     let (uri, class) = rest
@@ -288,6 +388,7 @@ mod tests {
             companions: vec![info.clone()],
             updated: vec![host],
             removed: vec!["old.rdf#gone".into(), "w\teird#x".into()],
+            snapshot: true,
         };
         let decoded = PublishMsg::from_wire(&msg.to_wire()).unwrap();
         assert_eq!(decoded, msg);

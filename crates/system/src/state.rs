@@ -12,6 +12,9 @@
 //! ```text
 //! #mdv-mdp-state v1
 //! pubseq <lmr>\t<next publication sequence>
+//! docver <uri>\t<version>\t<deleted 0|1>
+//! replseq <peer>\t<next replication sequence>
+//! replfloor <peer>\t<next expected replication sequence>
 //! subscription <lmr>\t<lmr_rule>\t<escaped rule text>
 //! document <uri>
 //! <RDF/XML lines …>
@@ -21,8 +24,11 @@
 //! The `pubseq` records carry the at-least-once publication counters (one
 //! per subscriber LMR): a recovered MDP must continue the per-LMR sequence
 //! numbering where it left off, otherwise live LMRs would discard its
-//! publications as duplicates. Unacked in-flight publications are *not*
-//! part of durable state — recovery assumes a quiescent export.
+//! publications as duplicates. The `docver` records carry the per-URI
+//! convergence keys of the reliable backbone (including tombstones of
+//! deleted documents), and `replseq`/`replfloor` the per-peer replication
+//! stream counters, for the same reason. Unacked in-flight messages are
+//! *not* part of durable state — recovery assumes a quiescent export.
 
 use mdv_rdf::{parse_document, write_document};
 
@@ -39,6 +45,19 @@ impl Mdp {
         out.push('\n');
         for (lmr, next_seq) in self.pub_seqs_sorted() {
             out.push_str(&format!("pubseq {lmr}\t{next_seq}\n"));
+        }
+        for (uri, meta) in self.doc_meta_sorted() {
+            out.push_str(&format!(
+                "docver {uri}\t{}\t{}\n",
+                meta.version,
+                u8::from(meta.deleted)
+            ));
+        }
+        for (peer, next_seq) in self.repl_seqs_sorted() {
+            out.push_str(&format!("replseq {peer}\t{next_seq}\n"));
+        }
+        for (peer, next_seq) in self.repl_floors_sorted() {
+            out.push_str(&format!("replfloor {peer}\t{next_seq}\n"));
         }
         for (sub, (lmr, lmr_rule)) in self.subscribers_sorted() {
             let text = self
@@ -89,6 +108,38 @@ impl Mdp {
                     .parse()
                     .map_err(|_| Error::Topology("malformed pubseq counter".into()))?;
                 self.restore_pub_seq(lmr, next_seq)?;
+            } else if let Some(rest) = line.strip_prefix("docver ") {
+                let mut fields = rest.splitn(3, '\t');
+                let (Some(uri), Some(version), Some(deleted)) =
+                    (fields.next(), fields.next(), fields.next())
+                else {
+                    return Err(Error::Topology("malformed docver record".into()));
+                };
+                let version: u64 = version
+                    .parse()
+                    .map_err(|_| Error::Topology("malformed docver version".into()))?;
+                let deleted = match deleted {
+                    "0" => false,
+                    "1" => true,
+                    _ => return Err(Error::Topology("malformed docver tombstone flag".into())),
+                };
+                self.restore_doc_meta(uri, version, deleted)?;
+            } else if let Some(rest) = line.strip_prefix("replseq ") {
+                let (peer, next_seq) = rest
+                    .split_once('\t')
+                    .ok_or_else(|| Error::Topology("malformed replseq record".into()))?;
+                let next_seq: u64 = next_seq
+                    .parse()
+                    .map_err(|_| Error::Topology("malformed replseq counter".into()))?;
+                self.restore_repl_seq(peer, next_seq)?;
+            } else if let Some(rest) = line.strip_prefix("replfloor ") {
+                let (peer, next_seq) = rest
+                    .split_once('\t')
+                    .ok_or_else(|| Error::Topology("malformed replfloor record".into()))?;
+                let next_seq: u64 = next_seq
+                    .parse()
+                    .map_err(|_| Error::Topology("malformed replfloor counter".into()))?;
+                self.restore_repl_floor(peer, next_seq)?;
             } else if let Some(rest) = line.strip_prefix("subscription ") {
                 let mut fields = rest.splitn(3, '\t');
                 let (Some(lmr), Some(rule), Some(rule_text)) =

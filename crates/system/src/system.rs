@@ -6,7 +6,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
 
 use mdv_filter::FilterConfig;
-use mdv_rdf::{Document, RdfSchema, Resource};
+use mdv_rdf::{write_document, Document, RdfSchema, Resource};
 use mdv_relstore::{write_database, Database, DurableEngine, StorageEngine};
 use mdv_runtime::channel::Receiver;
 
@@ -231,6 +231,7 @@ impl<S: StorageEngine + Sync> MdvSystem<S> {
             return Err(Error::Topology(format!("'{name}' is already an LMR")));
         }
         let rx = self.network.register(name)?;
+        self.network.mark_backbone(name);
         self.receivers.insert(name.to_owned(), rx);
         self.mdps.insert(name.to_owned(), mdp);
         self.rewire_peers();
@@ -242,6 +243,14 @@ impl<S: StorageEngine + Sync> MdvSystem<S> {
         for (mdp_name, mdp) in self.mdps.iter_mut() {
             mdp.set_peers(names.iter().filter(|n| *n != mdp_name).cloned().collect());
         }
+    }
+
+    /// A failed MDP accepts no administration requests.
+    fn check_mdp_up(&self, mdp: &str) -> Result<()> {
+        if self.network.is_down(mdp) {
+            return Err(Error::Topology(format!("MDP '{mdp}' is down")));
+        }
+        Ok(())
     }
 
     fn check_lmr_slot(&self, name: &str, mdp: &str) -> Result<()> {
@@ -310,6 +319,131 @@ impl<S: StorageEngine + Sync> MdvSystem<S> {
         &self.network
     }
 
+    /// Marks an MDP as failed: every message to or from it is black-holed
+    /// and the mail already sitting in its inbox is lost, exactly as if the
+    /// process had died with the machine. Its durable store (if any) is
+    /// untouched — a failed MDP still holds its pre-failure state and serves
+    /// it again after [`MdvSystem::heal_mdp`].
+    pub fn fail_mdp(&mut self, name: &str) -> Result<()> {
+        if !self.mdps.contains_key(name) {
+            return Err(Error::Topology(format!("unknown MDP '{name}'")));
+        }
+        self.network.set_down(name, true);
+        self.drain_mailbox(name);
+        Ok(())
+    }
+
+    /// Brings a failed MDP back: parked retransmissions against it resume,
+    /// the system runs to quiescence, and the backbone is then repaired by
+    /// anti-entropy rounds until every live MDP holds a byte-identical
+    /// document set (messages lost while the node was down cannot be
+    /// retransmitted out of its wiped mailbox — only the digest exchange
+    /// recovers those).
+    pub fn heal_mdp(&mut self, name: &str) -> Result<()> {
+        if !self.mdps.contains_key(name) {
+            return Err(Error::Topology(format!("unknown MDP '{name}'")));
+        }
+        self.network.set_down(name, false);
+        self.run_to_quiescence()?;
+        self.repair_backbone(64)?;
+        Ok(())
+    }
+
+    /// True when the network currently black-holes this node.
+    pub fn is_down(&self, name: &str) -> bool {
+        self.network.is_down(name)
+    }
+
+    /// Configures the MDP an LMR fails over to when its home goes silent
+    /// (retransmission-budget exhaustion, DESIGN.md §7).
+    pub fn set_backup_mdp(&mut self, lmr: &str, backup: &str) -> Result<()> {
+        if !self.mdps.contains_key(backup) {
+            return Err(Error::Topology(format!("unknown MDP '{backup}'")));
+        }
+        self.lmrs
+            .get_mut(lmr)
+            .ok_or_else(|| Error::Topology(format!("unknown LMR '{lmr}'")))?
+            .set_backup(Some(backup))
+    }
+
+    /// One anti-entropy round: every live MDP sends its document digest to
+    /// every other live MDP; receivers pull what they are missing via
+    /// RepairRequest/RepairDocs (DESIGN.md §7). Runs to quiescence. The
+    /// round itself is best-effort — under an active fault plan its messages
+    /// can drop; [`MdvSystem::repair_backbone`] loops rounds to convergence.
+    pub fn anti_entropy_round(&mut self) -> Result<()> {
+        let alive: Vec<String> = self
+            .mdps
+            .keys()
+            .filter(|n| !self.network.is_down(n))
+            .cloned()
+            .collect();
+        if alive.len() > 1 {
+            self.network.note_anti_entropy_round();
+            let digests: Vec<(String, Vec<crate::message::DigestEntry>)> = alive
+                .iter()
+                .map(|n| (n.clone(), self.mdps[n].digest()))
+                .collect();
+            for (from, entries) in &digests {
+                for to in &alive {
+                    if to == from {
+                        continue;
+                    }
+                    self.network.send(
+                        from,
+                        to,
+                        crate::message::Message::ReplicaDigest {
+                            entries: entries.clone(),
+                        },
+                    )?;
+                }
+            }
+        }
+        self.run_to_quiescence()
+    }
+
+    /// Runs anti-entropy rounds until every live MDP holds a byte-identical
+    /// document set, up to `max_rounds`; returns how many rounds it took.
+    pub fn repair_backbone(&mut self, max_rounds: usize) -> Result<usize> {
+        for round in 0..max_rounds {
+            if self.backbone_converged() {
+                return Ok(round);
+            }
+            self.anti_entropy_round()?;
+        }
+        if self.backbone_converged() {
+            Ok(max_rounds)
+        } else {
+            Err(Error::Topology(format!(
+                "backbone still divergent after {max_rounds} anti-entropy rounds"
+            )))
+        }
+    }
+
+    /// True when all live MDPs serialize to identical document sets.
+    pub fn backbone_converged(&self) -> bool {
+        let mut reference: Option<BTreeMap<String, String>> = None;
+        for (name, mdp) in &self.mdps {
+            if self.network.is_down(name) {
+                continue;
+            }
+            let docs: BTreeMap<String, String> = mdp
+                .engine()
+                .documents()
+                .map(|d| (d.uri().to_owned(), write_document(d)))
+                .collect();
+            match &reference {
+                None => reference = Some(docs),
+                Some(r) => {
+                    if *r != docs {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
     /// Registers a subscription rule at an LMR (which forwards it to its
     /// MDP) and runs the system to quiescence. Fails when the MDP rejected
     /// the rule.
@@ -347,6 +481,7 @@ impl<S: StorageEngine + Sync> MdvSystem<S> {
     /// MDP filters, publishes, and replicates across the backbone.
     pub fn register_document(&mut self, mdp: &str, doc: &Document) -> Result<()> {
         {
+            self.check_mdp_up(mdp)?;
             let m = self
                 .mdps
                 .get_mut(mdp)
@@ -359,6 +494,7 @@ impl<S: StorageEngine + Sync> MdvSystem<S> {
     /// Re-registers a modified document.
     pub fn update_document(&mut self, mdp: &str, doc: &Document) -> Result<()> {
         {
+            self.check_mdp_up(mdp)?;
             let m = self
                 .mdps
                 .get_mut(mdp)
@@ -371,6 +507,7 @@ impl<S: StorageEngine + Sync> MdvSystem<S> {
     /// Deletes a document everywhere.
     pub fn delete_document(&mut self, mdp: &str, uri: &str) -> Result<()> {
         {
+            self.check_mdp_up(mdp)?;
             let m = self
                 .mdps
                 .get_mut(mdp)
@@ -395,6 +532,7 @@ impl<S: StorageEngine + Sync> MdvSystem<S> {
     /// Filters and publishes an MDP's pending document batch.
     pub fn flush(&mut self, mdp: &str) -> Result<()> {
         {
+            self.check_mdp_up(mdp)?;
             let m = self
                 .mdps
                 .get_mut(mdp)
@@ -452,6 +590,9 @@ impl<S: StorageEngine + Sync> MdvSystem<S> {
         loop {
             let mut progressed = false;
             for name in &names {
+                if network.is_down(name) {
+                    continue; // a failed node executes nothing
+                }
                 let rx = &receivers[name];
                 let mut batch = Vec::new();
                 while let Ok(env) = rx.try_recv() {
@@ -474,7 +615,10 @@ impl<S: StorageEngine + Sync> MdvSystem<S> {
                 continue;
             }
             let mut resent = false;
-            for mdp in mdps.values_mut() {
+            for (name, mdp) in mdps.iter_mut() {
+                if network.is_down(name) {
+                    continue;
+                }
                 resent |= mdp.retransmit_due(network)?;
             }
             for lmr in lmrs.values_mut() {
@@ -484,12 +628,15 @@ impl<S: StorageEngine + Sync> MdvSystem<S> {
                 continue;
             }
             let next_retry = mdps
-                .values()
-                .filter_map(Mdp::next_retry_at)
-                .chain(lmrs.values().filter_map(Lmr::next_retry_at))
+                .iter()
+                .filter(|(name, _)| !network.is_down(name))
+                .filter_map(|(_, m)| m.next_retry_at(network))
+                .chain(lmrs.values().filter_map(|l| l.next_retry_at(network)))
                 .min();
             match next_retry {
-                // nothing in flight, nothing unacked: quiescent
+                // nothing in flight, nothing unacked (entries parked against
+                // a down peer don't count — they cannot progress until a
+                // heal): quiescent
                 None => return Ok(()),
                 // jump the logical clock to the next retry deadline
                 Some(at) => network.advance_clock(at),

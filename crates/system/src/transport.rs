@@ -14,7 +14,7 @@
 //! replayable. An inert (all-zero) plan draws no randomness and leaves
 //! the transport byte-identical to the fault-free implementation.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use mdv_runtime::channel::{unbounded, Receiver, Sender};
 use mdv_runtime::rng::Prng;
@@ -47,6 +47,8 @@ pub enum FaultTag {
     Duplicated,
     /// Delivered, but with injected jitter and/or a latency spike.
     Delayed,
+    /// Black-holed because an endpoint is marked down (`fail_mdp`).
+    Down,
 }
 
 /// One line of the traffic log.
@@ -82,6 +84,20 @@ pub struct NetStats {
     pub duplicates_delivered: u64,
     /// Messages the fault plan dropped (loss or partition).
     pub dropped: u64,
+    /// Messages black-holed because an endpoint was marked down.
+    pub down_dropped: u64,
+    /// Send attempts where both endpoints are backbone (MDP↔MDP) nodes.
+    pub backbone_messages: u64,
+    /// Bytes of backbone (MDP↔MDP) send attempts.
+    pub backbone_bytes: u64,
+    /// Send attempts on edge links (MDP↔LMR and below).
+    pub edge_messages: u64,
+    /// Bytes of edge-link send attempts.
+    pub edge_bytes: u64,
+    /// Anti-entropy digest rounds started (`note_anti_entropy_round`).
+    pub anti_entropy_rounds: u64,
+    /// Documents actually repaired by anti-entropy pulls (`note_repair`).
+    pub repairs_applied: u64,
 }
 
 /// Fault parameters for one directed link.
@@ -191,6 +207,10 @@ pub struct NetConfig {
     pub retry_initial_ms: u64,
     /// Retransmission backoff ceiling.
     pub retry_max_ms: u64,
+    /// Number of retransmissions of one control message an LMR tolerates
+    /// before declaring its home MDP silent and failing over to its backup
+    /// (no-op unless a backup is configured).
+    pub failover_attempts: u32,
 }
 
 impl Default for NetConfig {
@@ -201,6 +221,7 @@ impl Default for NetConfig {
             faults: FaultPlan::default(),
             retry_initial_ms: 50,
             retry_max_ms: 1600,
+            failover_attempts: 6,
         }
     }
 }
@@ -215,6 +236,10 @@ pub struct Network {
     log: Mutex<Vec<LogRecord>>,
     clock_ms: Mutex<u64>,
     stats: Mutex<NetStats>,
+    /// Names of backbone (MDP) nodes, for the edge-class traffic split.
+    backbone: Mutex<HashSet<String>>,
+    /// Nodes currently marked down; sends to/from them are black-holed.
+    down: Mutex<HashSet<String>>,
 }
 
 impl Network {
@@ -229,12 +254,46 @@ impl Network {
             log: Mutex::new(Vec::new()),
             clock_ms: Mutex::new(0),
             stats: Mutex::new(NetStats::default()),
+            backbone: Mutex::new(HashSet::new()),
+            down: Mutex::new(HashSet::new()),
         }
     }
 
     /// The active configuration (nodes read the retry knobs from here).
     pub fn config(&self) -> &NetConfig {
         &self.config
+    }
+
+    /// Marks a node as part of the backbone tier; traffic between two
+    /// backbone nodes is counted under the `backbone_*` statistics.
+    pub fn mark_backbone(&self, name: &str) {
+        self.backbone.lock().insert(name.to_owned());
+    }
+
+    /// Marks a node down (true) or back up (false). Messages to or from a
+    /// down node are black-holed with [`FaultTag::Down`].
+    pub fn set_down(&self, name: &str, down: bool) {
+        let mut set = self.down.lock();
+        if down {
+            set.insert(name.to_owned());
+        } else {
+            set.remove(name);
+        }
+    }
+
+    /// True if the node is currently marked down.
+    pub fn is_down(&self, name: &str) -> bool {
+        self.down.lock().contains(name)
+    }
+
+    /// Records the start of one anti-entropy digest round.
+    pub fn note_anti_entropy_round(&self) {
+        self.stats.lock().anti_entropy_rounds += 1;
+    }
+
+    /// Records one document repaired by an anti-entropy pull.
+    pub fn note_repair(&self) {
+        self.stats.lock().repairs_applied += 1;
     }
 
     /// Registers a node and returns its mailbox.
@@ -289,12 +348,27 @@ impl Network {
             retry,
         };
         {
+            let backbone = self.backbone.lock();
+            let on_backbone = backbone.contains(from) && backbone.contains(to);
+            drop(backbone);
             let mut stats = self.stats.lock();
             stats.messages += 1;
             stats.bytes += bytes as u64;
+            if on_backbone {
+                stats.backbone_messages += 1;
+                stats.backbone_bytes += bytes as u64;
+            } else {
+                stats.edge_messages += 1;
+                stats.edge_bytes += bytes as u64;
+            }
             if retry {
                 stats.retries += 1;
             }
+        }
+        if self.is_down(to) || self.is_down(from) {
+            self.log.lock().push(record(FaultTag::Down, sent_at));
+            self.stats.lock().down_dropped += 1;
+            return Ok(());
         }
         let deliver = |deliver_at: u64, message: Message| {
             sender
@@ -399,8 +473,50 @@ mod tests {
 
     fn msg() -> Message {
         Message::ReplicateDelete {
+            seq: 0,
+            version: 1,
             document_uri: "doc.rdf".into(),
         }
+    }
+
+    #[test]
+    fn down_node_black_holes_both_directions() {
+        let net = Network::new(NetConfig::default());
+        let ra = net.register("a").unwrap();
+        let rb = net.register("b").unwrap();
+        net.set_down("b", true);
+        assert!(net.is_down("b"));
+        net.send("a", "b", msg()).unwrap();
+        net.send("b", "a", msg()).unwrap();
+        assert!(ra.try_recv().is_err());
+        assert!(rb.try_recv().is_err());
+        assert_eq!(net.stats().down_dropped, 2);
+        assert!(net.log().iter().all(|r| r.fault == FaultTag::Down));
+        // healing restores delivery
+        net.set_down("b", false);
+        net.send("a", "b", msg()).unwrap();
+        assert!(rb.try_recv().is_ok());
+        assert_eq!(net.stats().down_dropped, 2);
+    }
+
+    #[test]
+    fn edge_class_split_counts_backbone_and_edge_traffic() {
+        let net = Network::new(NetConfig::default());
+        let _r1 = net.register("m1").unwrap();
+        let _r2 = net.register("m2").unwrap();
+        let _r3 = net.register("l1").unwrap();
+        net.mark_backbone("m1");
+        net.mark_backbone("m2");
+        net.send("m1", "m2", msg()).unwrap();
+        net.send("m1", "l1", msg()).unwrap();
+        net.send("l1", "m1", msg()).unwrap();
+        let stats = net.stats();
+        assert_eq!(stats.backbone_messages, 1);
+        assert_eq!(stats.edge_messages, 2);
+        assert_eq!(stats.messages, 3);
+        assert_eq!(stats.backbone_bytes + stats.edge_bytes, stats.bytes);
+        assert_eq!(stats.anti_entropy_rounds, 0);
+        assert_eq!(stats.repairs_applied, 0);
     }
 
     #[test]

@@ -1,0 +1,367 @@
+//! Backbone robustness: reliable MDP↔MDP replication, anti-entropy repair,
+//! and LMR failover to a surviving MDP (DESIGN.md §7).
+//!
+//! The tentpole property drives a multi-MDP deployment through randomized
+//! workloads under randomized fault schedules *plus* one full
+//! `fail_mdp`/heal cycle, and demands byte-identical MDP document sets and
+//! a passing cache-consistency oracle for every LMR — including LMRs that
+//! failed over to their backup MDP mid-schedule. Fixed-seed tests pin each
+//! mechanism in isolation: replication retransmission, digest-driven
+//! repair after mailbox loss, the failover handshake, and publication
+//! de-duplication when the healed old home comes back talking.
+
+mod common;
+
+use common::{assert_consistent, mild_fault_plan, provider, schema};
+use mdv::prelude::*;
+use mdv::system::transport::{FaultPlan, LinkFaults};
+use mdv::system::MdvSystem;
+use mdv_testkit::{prop_assert, prop_assert_eq, property, Source};
+
+const RULES: [&str; 2] = [
+    "search CycleProvider c register c where c.serverInformation.memory > 64",
+    "search ServerInformation s register s where s.cpu >= 600",
+];
+
+/// A backbone-heavy fault plan: every link is lossy and duplicating, so
+/// replication, repair, and failover traffic all run degraded.
+fn arb_fault_plan(src: &mut Source) -> FaultPlan {
+    FaultPlan {
+        seed: src.bits(),
+        default_link: LinkFaults {
+            drop_prob: src.f64_in(0.0..0.25),
+            dup_prob: src.f64_in(0.0..0.25),
+            jitter_ms: src.u64_in(0..30),
+            spike_prob: src.f64_in(0.0..0.10),
+            spike_ms: src.u64_in(0..100),
+        },
+        ..FaultPlan::default()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Register(i64, i64),
+    Update(usize, i64, i64),
+    Delete(usize),
+}
+
+fn arb_ops(src: &mut Source) -> Vec<Op> {
+    src.vec(1..10, |src| match src.weighted(&[4, 3, 2]) {
+        0 => Op::Register(src.i64_in(0..150), src.i64_in(300..900)),
+        1 => Op::Update(src.any_usize(), src.i64_in(0..150), src.i64_in(300..900)),
+        _ => Op::Delete(src.any_usize()),
+    })
+}
+
+/// Applies an op at a named MDP, tracking which documents are live.
+fn apply_op(sys: &mut MdvSystem, mdp: &str, op: Op, live: &mut Vec<usize>, next: &mut usize) {
+    match op {
+        Op::Register(memory, cpu) => {
+            let i = *next;
+            *next += 1;
+            sys.register_document(mdp, &provider(i, "a.hub.org", memory, cpu))
+                .unwrap();
+            live.push(i);
+        }
+        Op::Update(pick, memory, cpu) => {
+            if live.is_empty() {
+                return;
+            }
+            let i = live[pick % live.len()];
+            sys.update_document(mdp, &provider(i, "b.hub.org", memory, cpu))
+                .unwrap();
+        }
+        Op::Delete(pick) => {
+            if live.is_empty() {
+                return;
+            }
+            let i = live.remove(pick % live.len());
+            sys.delete_document(mdp, &format!("doc{i}.rdf")).unwrap();
+        }
+    }
+}
+
+/// All live MDPs hold byte-identical document sets.
+fn assert_backbone_converged(sys: &MdvSystem, when: &str) {
+    assert!(sys.backbone_converged(), "backbone divergent {when}");
+}
+
+property! {
+    /// With any seeded fault plan plus one fail/heal cycle of an MDP, the
+    /// system reconverges: anti-entropy makes all MDP document sets
+    /// byte-identical, and the oracle passes for every LMR — including the
+    /// one that failed over to its backup while its home was down.
+    fn backbone_reconverges_under_faults_and_a_fail_heal_cycle(src) cases = 25; {
+        let mut config = NetConfig::default();
+        config.faults = arb_fault_plan(src);
+        let mut sys = MdvSystem::with_net_config(schema(), config);
+        for m in ["m1", "m2", "m3"] {
+            sys.add_mdp(m).unwrap();
+        }
+        sys.add_lmr("l1", "m1").unwrap();
+        sys.add_lmr("l2", "m2").unwrap();
+        sys.set_backup_mdp("l1", "m2").unwrap();
+        sys.set_backup_mdp("l2", "m3").unwrap();
+        let r1 = sys.subscribe("l1", RULES[0]).unwrap();
+        sys.subscribe("l2", RULES[1]).unwrap();
+
+        let mut live: Vec<usize> = Vec::new();
+        let mut next = 0usize;
+        let mdps = ["m1", "m2", "m3"];
+        for (k, op) in arb_ops(src).into_iter().enumerate() {
+            apply_op(&mut sys, mdps[k % 3], op, &mut live, &mut next);
+        }
+        assert_backbone_converged(&sys, "before the failure (reliable replication)");
+
+        // one fail/heal cycle: m1 dies with its mailbox, l1 must fail over
+        sys.fail_mdp("m1").unwrap();
+        for (k, op) in arb_ops(src).into_iter().enumerate() {
+            apply_op(&mut sys, mdps[1 + k % 2], op, &mut live, &mut next);
+        }
+        // control churn detects the silence: the retransmission budget runs
+        // out and l1 re-registers everything at its backup
+        sys.unsubscribe("l1", r1).unwrap();
+        let r1b = sys.subscribe("l1", RULES[0]).unwrap();
+        prop_assert_eq!(sys.lmr("l1").unwrap().mdp(), "m2");
+        prop_assert!(!sys.lmr("l1").unwrap().failing_over());
+
+        sys.heal_mdp("m1").unwrap();
+        assert_backbone_converged(&sys, "after the heal");
+
+        // a post-heal workload keeps flowing through the healed backbone
+        for (k, op) in arb_ops(src).into_iter().enumerate() {
+            apply_op(&mut sys, mdps[k % 3], op, &mut live, &mut next);
+        }
+        sys.repair_backbone(64).unwrap();
+        assert_backbone_converged(&sys, "after the post-heal workload");
+
+        // the oracle holds for every LMR against its *current* home
+        let l1_home = sys.lmr("l1").unwrap().mdp().to_owned();
+        let l2_home = sys.lmr("l2").unwrap().mdp().to_owned();
+        assert_consistent(&sys, "l1", &l1_home, &RULES[..1], "at the end (failed-over LMR)");
+        assert_consistent(&sys, "l2", &l2_home, &RULES[1..], "at the end");
+        let _ = r1b;
+
+        // fully quiescent: nothing unacked anywhere
+        for m in mdps {
+            prop_assert_eq!(sys.mdp(m).unwrap().unacked_publications(), 0);
+            prop_assert_eq!(sys.mdp(m).unwrap().unacked_replications(), 0);
+        }
+    }
+}
+
+#[test]
+fn replication_survives_a_lossy_backbone_without_repair() {
+    // reliable replication alone (no anti-entropy, no failure) must converge
+    // the backbone under loss: the repair machinery stays cold
+    let mut cfg = NetConfig::default();
+    cfg.faults = mild_fault_plan(0xbacb_0e5e);
+    let mut sys = MdvSystem::with_net_config(schema(), cfg);
+    sys.add_mdp("m1").unwrap();
+    sys.add_mdp("m2").unwrap();
+    for i in 0..5 {
+        sys.register_document("m1", &provider(i, "a.hub.org", 100 + i as i64, 700))
+            .unwrap();
+    }
+    sys.update_document("m2", &provider(0, "b.hub.org", 10, 400))
+        .unwrap();
+    sys.delete_document("m1", "doc1.rdf").unwrap();
+    assert!(sys.backbone_converged(), "replication did not converge");
+    let stats = sys.network_stats();
+    assert_eq!(stats.anti_entropy_rounds, 0);
+    assert_eq!(stats.repairs_applied, 0);
+    assert_eq!(sys.mdp("m1").unwrap().unacked_replications(), 0);
+    assert_eq!(sys.mdp("m2").unwrap().unacked_replications(), 0);
+}
+
+#[test]
+fn down_peer_heals_via_parked_retransmission_not_repair() {
+    // a replication dropped against a down peer survives in the sender's
+    // outbox (parked), so the heal converges by ordinary retransmission —
+    // the repair machinery stays cold
+    let mut sys = MdvSystem::new(schema());
+    sys.add_mdp("m1").unwrap();
+    sys.add_mdp("m2").unwrap();
+    sys.fail_mdp("m2").unwrap();
+    sys.register_document("m1", &provider(0, "a.hub.org", 128, 700))
+        .unwrap();
+    assert_eq!(sys.mdp("m1").unwrap().unacked_replications(), 1);
+    assert!(sys
+        .mdp("m2")
+        .unwrap()
+        .engine()
+        .document("doc0.rdf")
+        .is_none());
+    sys.heal_mdp("m2").unwrap();
+    assert!(sys
+        .mdp("m2")
+        .unwrap()
+        .engine()
+        .document("doc0.rdf")
+        .is_some());
+    assert!(sys.backbone_converged());
+    assert_eq!(sys.mdp("m1").unwrap().unacked_replications(), 0);
+    assert_eq!(sys.network_stats().repairs_applied, 0);
+}
+
+#[test]
+fn anti_entropy_repairs_what_a_down_origin_cannot_retransmit() {
+    // m3 misses a document whose *origin* (m1) is down when m3 heals: the
+    // only live copy-holder, m2, never had an outbox entry for m3
+    // (replication is origin-to-peers, not gossip) — the digest exchange is
+    // the only path that can restore it
+    let mut sys = MdvSystem::new(schema());
+    for m in ["m1", "m2", "m3"] {
+        sys.add_mdp(m).unwrap();
+    }
+    sys.fail_mdp("m3").unwrap();
+    sys.register_document("m1", &provider(0, "a.hub.org", 128, 700))
+        .unwrap();
+    sys.fail_mdp("m1").unwrap(); // the origin dies, parked outbox and all
+    sys.heal_mdp("m3").unwrap();
+    assert!(
+        sys.mdp("m3")
+            .unwrap()
+            .engine()
+            .document("doc0.rdf")
+            .is_some(),
+        "anti-entropy must pull the missed document from m2"
+    );
+    let stats = sys.network_stats();
+    assert!(
+        stats.anti_entropy_rounds > 0,
+        "no digest round ran: {stats:?}"
+    );
+    assert!(stats.repairs_applied > 0, "no repair applied: {stats:?}");
+    assert!(stats.down_dropped > 0, "the down nodes never dropped mail");
+    // the origin comes back; its parked retransmission to m3 is now a
+    // version-gated no-op and the whole backbone is byte-identical
+    sys.heal_mdp("m1").unwrap();
+    assert!(sys.backbone_converged());
+    for m in ["m1", "m2", "m3"] {
+        assert_eq!(sys.mdp(m).unwrap().unacked_replications(), 0, "{m}");
+    }
+}
+
+#[test]
+fn lmr_fails_over_to_backup_and_resyncs_its_cache() {
+    let mut sys = MdvSystem::new(schema());
+    sys.add_mdp("m1").unwrap();
+    sys.add_mdp("m2").unwrap();
+    sys.add_lmr("l1", "m1").unwrap();
+    sys.set_backup_mdp("l1", "m2").unwrap();
+    sys.subscribe("l1", RULES[0]).unwrap();
+    sys.register_document("m1", &provider(0, "a.hub.org", 128, 700))
+        .unwrap();
+
+    sys.fail_mdp("m1").unwrap();
+    // the world changes while l1's home is down: doc0 shrinks below the
+    // rule threshold at the surviving MDP, doc1 appears
+    sys.update_document("m2", &provider(0, "a.hub.org", 8, 700))
+        .unwrap();
+    sys.register_document("m2", &provider(1, "b.hub.org", 256, 800))
+        .unwrap();
+    // control churn exhausts the retransmission budget → failover
+    let extra = sys.subscribe("l1", RULES[1]).unwrap();
+    assert_eq!(sys.lmr("l1").unwrap().mdp(), "m2", "l1 did not fail over");
+    assert!(!sys.lmr("l1").unwrap().failing_over());
+
+    // the Resubscribe snapshot dropped the stale doc0 anchors and pulled
+    // doc1: the oracle holds against the new home
+    assert_consistent(&sys, "l1", "m2", &RULES, "after failover");
+    assert!(!sys.lmr("l1").unwrap().is_cached("doc0.rdf#host"));
+    assert!(sys.lmr("l1").unwrap().is_cached("doc1.rdf#host"));
+    sys.unsubscribe("l1", extra).unwrap();
+    assert_consistent(
+        &sys,
+        "l1",
+        "m2",
+        &RULES[..1],
+        "after post-failover unsubscribe",
+    );
+}
+
+#[test]
+fn healed_old_home_publications_are_deduplicated_and_retired() {
+    let mut sys = MdvSystem::new(schema());
+    sys.add_mdp("m1").unwrap();
+    sys.add_mdp("m2").unwrap();
+    sys.add_lmr("l1", "m1").unwrap();
+    sys.set_backup_mdp("l1", "m2").unwrap();
+    sys.subscribe("l1", RULES[0]).unwrap();
+    sys.register_document("m1", &provider(0, "a.hub.org", 128, 700))
+        .unwrap();
+    sys.fail_mdp("m1").unwrap();
+    let probe = sys.subscribe("l1", RULES[1]).unwrap();
+    assert_eq!(sys.lmr("l1").unwrap().mdp(), "m2");
+    sys.heal_mdp("m1").unwrap();
+
+    // the healed old home repairs its document set and — still holding its
+    // stale subscriptions for l1 — publishes to it; l1 acks, discards, and
+    // retires the old subscription with a cleanup unsubscribe. New work
+    // arrives exactly once, via the new home.
+    sys.register_document("m1", &provider(1, "b.hub.org", 256, 800))
+        .unwrap();
+    sys.repair_backbone(8).unwrap();
+    assert_consistent(&sys, "l1", "m2", &RULES, "after the heal");
+    assert_eq!(sys.mdp("m1").unwrap().unacked_publications(), 0);
+    assert_eq!(sys.mdp("m2").unwrap().unacked_publications(), 0);
+    let _ = probe;
+}
+
+#[test]
+fn delete_recreate_race_with_duplicated_replication_converges() {
+    // duplicate-delivery idempotence across the backbone: a document is
+    // deleted and immediately recreated at a different MDP while the
+    // transport duplicates aggressively — version-gated application must
+    // keep the recreate, not resurrect the tombstone
+    let mut cfg = NetConfig::default();
+    cfg.faults.seed = 0xdead_bee5;
+    cfg.faults.default_link = LinkFaults {
+        drop_prob: 0.0,
+        dup_prob: 0.7,
+        jitter_ms: 25,
+        spike_prob: 0.0,
+        spike_ms: 0,
+    };
+    let mut sys = MdvSystem::with_net_config(schema(), cfg);
+    sys.add_mdp("m1").unwrap();
+    sys.add_mdp("m2").unwrap();
+    sys.add_lmr("l1", "m2").unwrap();
+    sys.subscribe("l1", RULES[0]).unwrap();
+    sys.register_document("m1", &provider(0, "a.hub.org", 128, 700))
+        .unwrap();
+    sys.delete_document("m1", "doc0.rdf").unwrap();
+    // recreate the same URI at the *other* MDP with fresh content
+    sys.register_document("m2", &provider(0, "b.hub.org", 100, 750))
+        .unwrap();
+    assert!(sys.backbone_converged(), "delete/recreate diverged");
+    let doc = sys.mdp("m1").unwrap().engine().document("doc0.rdf");
+    assert!(doc.is_some(), "tombstone resurrected over the recreate");
+    assert_consistent(&sys, "l1", "m2", &RULES[..1], "after delete/recreate");
+    let stats = sys.network_stats();
+    assert!(stats.duplicates_delivered > 0, "no duplicates injected");
+}
+
+#[test]
+fn stranded_lmr_without_backup_parks_and_resumes_on_heal() {
+    // no backup configured: the LMR must not fail over, must not spin the
+    // clock forever, and must complete its handshakes once the home heals
+    let mut sys = MdvSystem::new(schema());
+    sys.add_mdp("m1").unwrap();
+    sys.add_lmr("l1", "m1").unwrap();
+    sys.subscribe("l1", RULES[0]).unwrap();
+    sys.fail_mdp("m1").unwrap();
+    let err = sys.subscribe("l1", RULES[1]).unwrap_err();
+    assert!(
+        err.to_string().contains("pending"),
+        "subscribe against a dead home must park as pending: {err}"
+    );
+    assert_eq!(sys.lmr("l1").unwrap().mdp(), "m1", "no backup: no failover");
+    sys.heal_mdp("m1").unwrap();
+    // the parked Subscribe resumes and completes
+    sys.register_document("m1", &provider(0, "a.hub.org", 128, 700))
+        .unwrap();
+    assert_consistent(&sys, "l1", "m1", &RULES, "after the heal");
+}

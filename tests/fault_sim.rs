@@ -216,6 +216,16 @@ fn zero_fault_plan_is_byte_identical_to_default_transport() {
     assert_eq!(base_stats.retries, 0);
     assert_eq!(base_stats.duplicates_delivered, 0);
     assert_eq!(base_stats.dropped, 0);
+    // the repair machinery must stay completely cold on a healthy network
+    assert_eq!(base_stats.anti_entropy_rounds, 0);
+    assert_eq!(base_stats.repairs_applied, 0);
+    assert_eq!(base_stats.down_dropped, 0);
+    for kind in ["replica-digest", "repair-request", "repair-docs"] {
+        assert!(
+            base_log.iter().all(|r| r.kind != kind),
+            "inert run carried a {kind} message"
+        );
+    }
 }
 
 fn faulty_config(seed: u64) -> NetConfig {

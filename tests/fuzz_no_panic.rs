@@ -3,16 +3,29 @@
 //! rule text and documents from remote, untrusted LMRs and clients.
 //! Runs on `mdv-testkit` at 256 deterministic cases per property.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use mdv::filter::FilterEngine;
 use mdv::prelude::*;
 use mdv::rdf::{parse_schema, xml};
-use mdv::relstore::sql;
+use mdv::relstore::{sql, DurableEngine};
 use mdv::system::transport::{FaultPlan, LinkFaults};
 use mdv::system::MdvSystem;
 use mdv::workload::benchmark_schema;
 use mdv_testkit::{prop_assert, property, Source};
 
 mod common;
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh scratch directory for one fuzz case's durable stores.
+fn scratch() -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "mdv-fuzz-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
 
 /// Arbitrary garbage plus near-miss inputs built from real token fragments.
 fn arb_garbage(src: &mut Source) -> String {
@@ -149,15 +162,20 @@ property! {
 
         let mut sys = MdvSystem::with_net_config(common::schema(), config);
         sys.add_mdp("m1").unwrap();
-        sys.add_mdp("m2").unwrap(); // MDP↔MDP replication is unreliable
+        sys.add_mdp("m2").unwrap(); // reliable MDP↔MDP replication
         sys.add_lmr("l1", "m1").unwrap();
         sys.add_lmr("l2", "m2").unwrap();
+        if src.bool() {
+            // arm failover so node failures also exercise LMR re-homing
+            sys.set_backup_mdp("l1", "m2").unwrap();
+            sys.set_backup_mdp("l2", "m1").unwrap();
+        }
 
         let mut rule_ids: Vec<(String, u64)> = Vec::new();
         for _ in 0..src.u64_in(1..20) {
             let mdp = (*src.choose(&["m1", "m2"])).to_owned();
             let lmr = (*src.choose(&["l1", "l2"])).to_owned();
-            match src.weighted(&[4, 2, 2, 2, 1, 1]) {
+            match src.weighted(&[4, 2, 2, 2, 1, 1, 2]) {
                 0 => {
                     let i = src.u64_in(0..6) as usize;
                     let doc = common::provider(i, "n.hub.org", src.i64_in(0..200), 500);
@@ -185,13 +203,28 @@ property! {
                     // garbage rule: must fail cleanly, even mid-faults
                     let _ = sys.subscribe(&lmr, &arb_garbage(src));
                 }
-                _ => {
+                5 => {
                     if let Some(pick) = rule_ids.pop() {
                         let _ = sys.unsubscribe(&pick.0, pick.1);
                     } else {
                         let _ = sys.unsubscribe(&lmr, src.bits());
                     }
                 }
+                _ => {
+                    // flip the node's liveness: fail it if up, heal it if
+                    // down — operations against a down MDP must fail
+                    // cleanly, never wedge quiescence
+                    if sys.is_down(&mdp) {
+                        let _ = sys.heal_mdp(&mdp);
+                    } else {
+                        let _ = sys.fail_mdp(&mdp);
+                    }
+                }
+            }
+        }
+        for m in ["m1", "m2"] {
+            if sys.is_down(m) {
+                let _ = sys.heal_mdp(m);
             }
         }
         let stats = sys.network_stats();
@@ -200,5 +233,87 @@ property! {
             "logical time ran away: {:?}",
             stats
         );
+    }
+
+    /// The durable tier survives arbitrary interleavings of crash-restarts,
+    /// fail/heal cycles, and rule churn under faults: no panic, no wedged
+    /// quiescence, and logical time stays bounded.
+    fn durable_tier_never_panics_under_crashes_and_failures(src) cases = 16; {
+        let root = scratch();
+        let mut config = NetConfig::default();
+        config.faults = FaultPlan {
+            seed: src.bits(),
+            default_link: LinkFaults {
+                drop_prob: src.f64_in(0.0..0.25),
+                dup_prob: src.f64_in(0.0..0.25),
+                jitter_ms: src.u64_in(0..30),
+                spike_prob: 0.0,
+                spike_ms: 0,
+            },
+            ..FaultPlan::default()
+        };
+        let mut sys: MdvSystem<DurableEngine> =
+            MdvSystem::durable_with_net_config(common::schema(), config);
+        sys.add_mdp_durable("m1", root.join("m1")).unwrap();
+        sys.add_mdp_durable("m2", root.join("m2")).unwrap();
+        sys.add_lmr_durable("l1", "m1", root.join("l1")).unwrap();
+        sys.set_backup_mdp("l1", "m2").unwrap();
+
+        let mut rule_ids: Vec<u64> = Vec::new();
+        for _ in 0..src.u64_in(1..14) {
+            let mdp = (*src.choose(&["m1", "m2"])).to_owned();
+            match src.weighted(&[4, 2, 2, 2, 2, 2]) {
+                0 => {
+                    let i = src.u64_in(0..5) as usize;
+                    let doc = common::provider(i, "n.hub.org", src.i64_in(0..200), 500);
+                    let _ = sys.register_document(&mdp, &doc);
+                }
+                1 => {
+                    let i = src.u64_in(0..5);
+                    let _ = sys.delete_document(&mdp, &format!("doc{i}.rdf"));
+                }
+                2 => {
+                    if let Ok(id) = sys.subscribe(
+                        "l1",
+                        "search CycleProvider c register c \
+                         where c.serverInformation.memory > 64",
+                    ) {
+                        rule_ids.push(id);
+                    }
+                }
+                3 => {
+                    if let Some(id) = rule_ids.pop() {
+                        let _ = sys.unsubscribe("l1", id);
+                    }
+                }
+                4 => {
+                    // a crash-restart loses volatile state but must
+                    // recover everything mirrored in the WAL
+                    if !sys.is_down(&mdp) {
+                        sys.crash_and_restart_mdp(&mdp).unwrap();
+                    }
+                }
+                _ => {
+                    if sys.is_down(&mdp) {
+                        let _ = sys.heal_mdp(&mdp);
+                    } else {
+                        let _ = sys.fail_mdp(&mdp);
+                    }
+                }
+            }
+        }
+        for m in ["m1", "m2"] {
+            if sys.is_down(m) {
+                let _ = sys.heal_mdp(m);
+            }
+        }
+        let stats = sys.network_stats();
+        prop_assert!(
+            stats.clock_ms < 500_000,
+            "logical time ran away: {:?}",
+            stats
+        );
+        drop(sys);
+        let _ = std::fs::remove_dir_all(&root);
     }
 }
