@@ -9,6 +9,11 @@
 #
 # Usage: ci/check.sh [--quick]
 #   --quick  skip the release build and example smoke runs (debug gate only)
+#
+# Environment:
+#   MDV_CI_SEEDS  space-separated harness seeds for the replay steps
+#                 (default "1 31337 20020226"); e.g.
+#                 MDV_CI_SEEDS="7" ci/check.sh --quick for a fast one-seed run
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -16,16 +21,62 @@ cd "$(dirname "$0")/.."
 QUICK=0
 [[ "${1:-}" == "--quick" ]] && QUICK=1
 
-step() { printf '\n==> %s\n' "$*"; }
+# Pinned harness seeds for the property replays below, overridable for
+# local bisection without editing this script.
+read -r -a CI_SEEDS <<< "${MDV_CI_SEEDS:-1 31337 20020226}"
+
+# Per-step wall-clock accounting: step() closes the previous step's timer,
+# and the summary at the bottom prints one line per step so slow steps are
+# visible in CI logs without log-timestamp archaeology.
+STEP_NAMES=()
+STEP_SECS=()
+CURRENT_STEP=""
+STEP_START=0
+
+finish_step() {
+  if [[ -n "$CURRENT_STEP" ]]; then
+    STEP_NAMES+=("$CURRENT_STEP")
+    STEP_SECS+=("$(( $(date +%s) - STEP_START ))")
+  fi
+}
+
+step() {
+  finish_step
+  CURRENT_STEP="$*"
+  STEP_START="$(date +%s)"
+  printf '\n==> %s\n' "$*"
+}
+
+print_timing_summary() {
+  finish_step
+  CURRENT_STEP=""
+  printf '\n==> per-step wall clock\n'
+  local i
+  for i in "${!STEP_NAMES[@]}"; do
+    printf '%6ss  %s\n' "${STEP_SECS[$i]}" "${STEP_NAMES[$i]}"
+  done
+}
+
+# ---------------------------------------------------------------------------
+step "shellcheck ci/check.sh"
+# The gate lints itself when shellcheck is installed; the hermetic builder
+# image may not carry it, in which case the step skips rather than fails.
+if command -v shellcheck >/dev/null 2>&1; then
+  shellcheck ci/check.sh
+  echo "ok: shellcheck clean"
+else
+  echo "skip: shellcheck not installed"
+fi
 
 # ---------------------------------------------------------------------------
 step "dependency policy: deny external crates"
 # The deny-list guards against crates.io dependencies reappearing in any
 # manifest. Matches dependency lines like `rand = "0.8"` or
-# `criterion = { version = ... }` at the start of a line.
+# `criterion = { version = ... }` at the start of a line. `target/` is
+# excluded: build output may embed manifest copies we do not police.
 DENYLIST='rand|proptest|criterion|crossbeam|parking_lot|serde|tokio|rayon|libc'
 if grep -RInE "^[[:space:]]*(${DENYLIST})[-_a-zA-Z0-9]*[[:space:]]*=" \
-    --include=Cargo.toml . ; then
+    --include=Cargo.toml --exclude-dir=target . ; then
   echo "ERROR: external crate dependency found in a Cargo.toml (see above)." >&2
   exit 1
 fi
@@ -67,15 +118,22 @@ step "cargo build (debug, offline)"
 cargo build --offline --workspace --all-targets
 
 # ---------------------------------------------------------------------------
+step "cargo clippy (offline, all targets, -D warnings)"
+# Lint-clean by policy, tests and benches included; runs offline against
+# the same hermetic graph as the build.
+cargo clippy --offline --workspace --all-targets -- -D warnings
+echo "ok: clippy clean"
+
+# ---------------------------------------------------------------------------
 step "cargo test (offline, whole workspace)"
 cargo test -q --offline --workspace
 
 # ---------------------------------------------------------------------------
 step "fault-matrix smoke: fault_sim across fixed seeds"
-# Replays the fault-injection property under three pinned harness seeds so
+# Replays the fault-injection property under pinned harness seeds so
 # regressions in the at-least-once protocol show up with a reproducible
 # seed in the failure message (rerun locally with the printed MDV_PROP_SEED).
-for seed in 1 31337 20020226; do
+for seed in "${CI_SEEDS[@]}"; do
   MDV_PROP_SEED="$seed" MDV_PROP_CASES=25 \
     cargo test -q --offline --test fault_sim >/dev/null
   echo "ok: fault_sim @ MDV_PROP_SEED=$seed"
@@ -86,7 +144,7 @@ step "crash-restart replay: durable recovery across fixed seeds"
 # Replays the crash/restart property (WAL + snapshot recovery with rule
 # churn, torn-tail injection, and the cache-consistency oracle) under the
 # same pinned seeds as the fault matrix; failures print the seed to rerun.
-for seed in 1 31337 20020226; do
+for seed in "${CI_SEEDS[@]}"; do
   MDV_PROP_SEED="$seed" MDV_PROP_CASES=15 \
     cargo test -q --offline --test crash_restart >/dev/null
   echo "ok: crash_restart @ MDV_PROP_SEED=$seed"
@@ -97,7 +155,7 @@ step "backbone-repair replay: replication, anti-entropy, failover across fixed s
 # Replays the backbone reconvergence property (reliable MDP↔MDP replication,
 # anti-entropy repair, and LMR failover through a fail/heal cycle, checked
 # by the cache-consistency oracle) under the same pinned seeds.
-for seed in 1 31337 20020226; do
+for seed in "${CI_SEEDS[@]}"; do
   MDV_PROP_SEED="$seed" MDV_PROP_CASES=15 \
     cargo test -q --offline --test backbone_repair >/dev/null
   echo "ok: backbone_repair @ MDV_PROP_SEED=$seed"
@@ -111,6 +169,18 @@ step "parallel-filter determinism: publications invariant across thread counts"
 MDV_PROP_SEED=20020226 MDV_PROP_CASES=50 \
   cargo test -q --offline -p mdv-filter --test parallel_determinism >/dev/null
 echo "ok: parallel_determinism @ MDV_PROP_SEED=20020226"
+
+# ---------------------------------------------------------------------------
+step "sharded-filter determinism: publications invariant across shard counts"
+# The sharded filter (DESIGN.md §8) must emit byte-identical publications
+# and canonical traces for every shard count 1/2/4/8 × thread count, with
+# the shards=1 wrapper verbatim-identical to the bare engine. Every seeded
+# scenario above relies on this invariance, so it gets the full seed matrix.
+for seed in "${CI_SEEDS[@]}"; do
+  MDV_PROP_SEED="$seed" MDV_PROP_CASES=25 \
+    cargo test -q --offline -p mdv-filter --test shard_determinism >/dev/null
+  echo "ok: shard_determinism @ MDV_PROP_SEED=$seed"
+done
 
 # ---------------------------------------------------------------------------
 step "cargo doc (offline, no deps)"
@@ -164,6 +234,22 @@ if [[ "$QUICK" == "0" ]]; then
     backbone-repair >/dev/null)
   rm -rf "$SMOKE_DIR"
   echo "ok: figures backbone-repair"
+
+  # -------------------------------------------------------------------------
+  step "figures smoke pass: shard-scaling (quick mode, scratch CWD)"
+  # Exercises the sharded sweep path end to end, including its internal
+  # byte-identity gate against the shards=1 reference. Runs from a scratch
+  # CWD so the quick-mode run never clobbers the checked-in
+  # BENCH_shard_scaling.json (regenerate that with `figures shard-scaling
+  # --full`).
+  ROOT="$PWD"
+  SMOKE_DIR="$(mktemp -d)"
+  (cd "$SMOKE_DIR" && cargo run --offline --release \
+    --manifest-path "$ROOT/Cargo.toml" -p mdv-bench --bin figures -- \
+    shard-scaling >/dev/null)
+  rm -rf "$SMOKE_DIR"
+  echo "ok: figures shard-scaling"
 fi
 
-step "all checks passed"
+print_timing_summary
+printf '\n==> all checks passed\n'

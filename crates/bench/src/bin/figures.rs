@@ -9,7 +9,7 @@
 //!
 //! Subcommands: `fig11` `fig12` `fig13` `fig14` `fig15`
 //! `ablation-naive` `ablation-groups` `ablation-updates` `thread-scaling`
-//! `wal-overhead` `backbone-repair` `all`.
+//! `shard-scaling` `wal-overhead` `backbone-repair` `all`.
 //! `--full` runs the paper-sized rule bases (up to 100,000 rules); the
 //! default sizes finish in a few minutes on a laptop. `--threads N` runs
 //! the figure sweeps with the parallel filter on N pool workers
@@ -19,7 +19,9 @@
 //! fsync on the measured path; single-threaded, smaller rule bases).
 //! `thread-scaling` sweeps N itself (1/2/4/8) on the Figure-12 PATH
 //! workload and writes machine-readable results to
-//! `BENCH_filter_scaling.json`; `wal-overhead` compares the two backends on
+//! `BENCH_filter_scaling.json`; `shard-scaling` sweeps the filter shard
+//! count (1/2/4/8, DESIGN.md §8) on the same workload and writes
+//! `BENCH_shard_scaling.json`; `wal-overhead` compares the two backends on
 //! the Figure-11/12 workloads and writes `BENCH_wal_overhead.json`;
 //! `backbone-repair` drives a 3-MDP backbone through a fail/heal cycle at
 //! increasing loss rates and writes `BENCH_backbone_repair.json` (logical
@@ -159,6 +161,7 @@ fn main() {
         "ablation-groups" => run_ablation_groups(&config),
         "ablation-updates" => run_ablation_updates(&config),
         "thread-scaling" => run_thread_scaling(&config),
+        "shard-scaling" => run_shard_scaling(&config),
         "wal-overhead" => run_wal_overhead(&config),
         "backbone-repair" => run_backbone_repair(&config),
         "all" => {
@@ -171,6 +174,7 @@ fn main() {
             run_ablation_groups(&config);
             run_ablation_updates(&config);
             run_thread_scaling(&config);
+            run_shard_scaling(&config);
             run_wal_overhead(&config);
             run_backbone_repair(&config);
         }
@@ -178,8 +182,8 @@ fn main() {
             eprintln!("unknown command '{other}'");
             eprintln!(
                 "usage: figures [fig11|fig12|fig13|fig14|fig15|ablation-naive|\
-                 ablation-groups|ablation-updates|thread-scaling|wal-overhead|\
-                 backbone-repair|all] \
+                 ablation-groups|ablation-updates|thread-scaling|shard-scaling|\
+                 wal-overhead|backbone-repair|all] \
                  [--full] [--threads N] [--backend mem|durable]"
             );
             std::process::exit(2);
@@ -466,6 +470,96 @@ fn run_thread_scaling(config: &Config) {
     println!("wrote {} results to {path}", json_lines.len());
 }
 
+/// Shard scaling: batch registration of the Figure-12 PATH workload with
+/// the filter partitioned across 1/2/4/8 shards (DESIGN.md §8), each shard
+/// running the read-heavy phases on its own scoped thread. Publications are
+/// asserted byte-identical against the shards=1 reference before anything
+/// is timed; results go to stdout and, as testkit bench-runner JSON lines,
+/// to `BENCH_shard_scaling.json`. `--threads` sets the *per-shard* pool
+/// width (default 1: shard parallelism only).
+fn run_shard_scaling(config: &Config) {
+    use mdv_bench::build_sharded_engine;
+    use mdv_workload::{benchmark_documents, BenchParams};
+
+    let (rule_counts, batch): (&[u64], u64) = if config.full {
+        (&[10_000, 100_000], 1000)
+    } else {
+        (&[1_000, 10_000], 100)
+    };
+    let shard_counts = [1usize, 2, 4, 8];
+    banner(
+        "Shard scaling: PATH rules, sharded batch registration",
+        "expected shape: total batch time falls with the shard count up to \
+         the machine's core count (flat on single-CPU hosts), publications \
+         identical at every point",
+    );
+    let opts = if std::env::var_os("MDV_BENCH_ITERS").is_some() {
+        BenchOptions::from_env()
+    } else {
+        BenchOptions {
+            warmup_iters: 1,
+            iters: if config.full { 3 } else { 5 },
+        }
+    };
+
+    let mut json_lines: Vec<String> = Vec::new();
+    println!("rule_count,batch,shards,median_ms,ms_per_doc,speedup_vs_1shard");
+    for &rc in rule_counts {
+        let params = BenchParams {
+            rule_count: rc,
+            comp_match_fraction: 0.1,
+        };
+        let docs = benchmark_documents(0..batch, &params);
+        let reference = {
+            let mut engine = build_sharded_engine(RuleType::Path, rc, 1, 1);
+            engine.register_batch(&docs).expect("reference registers")
+        };
+        let group = format!("shard_scaling_path_{rc}rules_batch{batch}");
+        let mut baseline_ns = 0u64;
+        for &shards in &shard_counts {
+            // the shard count is fixed at construction, so each point
+            // prepares its own rule base
+            let base = build_sharded_engine(RuleType::Path, rc, shards, config.threads);
+            {
+                let mut engine = base.clone();
+                let pubs = engine.register_batch(&docs).expect("scaling registers");
+                assert_eq!(
+                    pubs, reference,
+                    "publications diverged at shards={shards} (rules={rc})"
+                );
+            }
+            let stats = measure(
+                opts,
+                || base.clone(),
+                |mut engine| {
+                    engine.register_batch(&docs).expect("scaling registers");
+                },
+            );
+            if shards == 1 {
+                baseline_ns = stats.median_ns;
+            }
+            println!(
+                "{},{},{},{:.3},{:.5},{:.2}x",
+                rc,
+                batch,
+                shards,
+                stats.median_ns as f64 / 1e6,
+                stats.median_ns as f64 / 1e6 / batch as f64,
+                baseline_ns as f64 / stats.median_ns as f64
+            );
+            json_lines.push(json_line(&group, &format!("shards_{shards}"), &stats));
+        }
+    }
+
+    let path = "BENCH_shard_scaling.json";
+    let mut file =
+        std::fs::File::create(path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+    for line in &json_lines {
+        writeln!(file, "{line}").expect("write shard-scaling results");
+    }
+    println!("wrote {} results to {path}", json_lines.len());
+}
+
 /// WAL overhead: the same batch registration on the in-memory and durable
 /// backends. The CSV table (also the EXPERIMENTS.md table) carries the
 /// per-batch averages plus the WAL bytes and commit-group count of the timed
@@ -620,17 +714,19 @@ fn run_backbone_repair(config: &Config) {
     /// One seeded fail/heal cycle; returns (reconverge logical ms, repair
     /// messages in the heal window, total messages in the heal window).
     fn trial(drop_prob: f64, seed: u64) -> (u64, u64, u64) {
-        let mut cfg = NetConfig::default();
-        cfg.faults = FaultPlan {
-            seed,
-            default_link: LinkFaults {
-                drop_prob,
-                dup_prob: drop_prob / 2.0,
-                jitter_ms: 10,
-                spike_prob: 0.0,
-                spike_ms: 0,
+        let cfg = NetConfig {
+            faults: FaultPlan {
+                seed,
+                default_link: LinkFaults {
+                    drop_prob,
+                    dup_prob: drop_prob / 2.0,
+                    jitter_ms: 10,
+                    spike_prob: 0.0,
+                    spike_ms: 0,
+                },
+                ..FaultPlan::default()
             },
-            ..FaultPlan::default()
+            ..NetConfig::default()
         };
         let mut sys = MdvSystem::with_net_config(schema(), cfg);
         for m in ["m1", "m2", "m3"] {

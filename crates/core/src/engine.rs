@@ -41,6 +41,11 @@ pub struct FilterConfig {
     /// yields byte-identical publications and stats; only wall-clock time
     /// changes (DESIGN.md §5, "Parallel filter execution").
     pub threads: usize,
+    /// Independent filter shards inside one MDP (DESIGN.md §8). `1` (the
+    /// default) is today's exact monolithic engine; honored by
+    /// [`crate::ShardedFilterEngine`], ignored by a bare [`FilterEngine`].
+    /// Publications are byte-identical for every value.
+    pub shards: usize,
 }
 
 impl Default for FilterConfig {
@@ -48,6 +53,7 @@ impl Default for FilterConfig {
         FilterConfig {
             use_rule_groups: true,
             threads: 1,
+            shards: 1,
         }
     }
 }

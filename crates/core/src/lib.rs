@@ -66,7 +66,10 @@
 //!
 //! Batch filtering can run its read-only phases on a thread pool
 //! ([`FilterConfig::threads`]) with byte-identical publications at any
-//! thread count — see `DESIGN.md` §5, "Parallel filter execution".
+//! thread count — see `DESIGN.md` §5, "Parallel filter execution". One
+//! MDP can further partition its rule base across independent filter
+//! shards ([`ShardedFilterEngine`], [`FilterConfig::shards`]) with
+//! byte-identical publications at any shard count — `DESIGN.md` §8.
 //! `DESIGN.md` §4 holds the workspace-wide module map locating this
 //! crate's files.
 
@@ -81,6 +84,7 @@ pub mod naive;
 pub mod query_eval;
 pub mod registry;
 pub mod rule_tables;
+pub mod sharded;
 pub mod sql_translate;
 pub mod store;
 pub mod trace;
@@ -96,5 +100,6 @@ pub use engine::{FilterConfig, FilterEngine};
 pub use error::{Error, Result};
 pub use naive::NaiveEngine;
 pub use registry::{Publication, Subscription, SubscriptionId};
+pub use sharded::ShardedFilterEngine;
 pub use store::{Atom, BaseStore};
 pub use trace::{FilterRun, FilterStats};

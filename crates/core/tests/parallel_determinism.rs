@@ -103,6 +103,7 @@ fn engine_with(rules: &[String], threads: usize, use_rule_groups: bool) -> Filte
         FilterConfig {
             use_rule_groups,
             threads,
+            ..FilterConfig::default()
         },
     );
     for r in rules {
@@ -162,10 +163,10 @@ property! {
             let mut e = engine_with(&rules, threads, true);
             let reg = e.register_batch(&docs).unwrap();
             let mut upds = Vec::new();
-            for i in 0..docs.len() {
+            for (i, bump) in bumps.iter().enumerate() {
                 if i % 2 == 0 {
                     let host = format!("doc{i}-host");
-                    let updated = make_doc(i, &host, 5, bumps[i], 500);
+                    let updated = make_doc(i, &host, 5, *bump, 500);
                     upds.push(e.update_document(&updated).unwrap());
                 }
             }

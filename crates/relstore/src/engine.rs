@@ -209,6 +209,15 @@ mod tests {
     }
 
     #[test]
+    fn backends_are_send_and_sync() {
+        // `ShardedFilterEngine` fans a batch out across per-shard stores on
+        // scoped threads, so both backends must stay thread-portable.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Database>();
+        assert_send_sync::<crate::wal::DurableEngine>();
+    }
+
+    #[test]
     fn memory_backend_passes_the_generic_smoke() {
         let mut db = Database::new();
         engine_smoke(&mut db);

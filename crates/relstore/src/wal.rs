@@ -296,9 +296,9 @@ fn apply_op(db: &mut Database, op: WalOp) -> Result<()> {
 
 // ---- the engine ----------------------------------------------------------
 
-/// The durable storage backend: write-through in-memory state + binary WAL
-/// + periodic snapshots. Constructed over a directory; [`DurableEngine::open`]
-/// recovers committed state after a crash.
+/// The durable storage backend: write-through in-memory state plus a binary
+/// WAL plus periodic snapshots. Constructed over a directory;
+/// [`DurableEngine::open`] recovers committed state after a crash.
 ///
 /// Not `Clone` (a WAL directory has one writer); the parallel filter still
 /// shares the inner [`Database`] read-only across threads.
@@ -678,10 +678,8 @@ fn replay(db: &mut Database, bytes: &[u8]) -> Result<u64> {
     let mut pos = 0usize;
     let mut committed = 0usize;
     let mut group: Vec<WalOp> = Vec::new();
-    loop {
-        let Some(header_end) = pos.checked_add(8).filter(|e| *e <= bytes.len()) else {
-            break; // torn header (or clean EOF)
-        };
+    // stop at a torn header (or clean EOF), torn payload, corrupt frame
+    while let Some(header_end) = pos.checked_add(8).filter(|e| *e <= bytes.len()) {
         let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
         let want = u32::from_le_bytes(bytes[pos + 4..header_end].try_into().unwrap());
         let Some(frame_end) = header_end.checked_add(len).filter(|e| *e <= bytes.len()) else {

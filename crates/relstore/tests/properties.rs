@@ -5,7 +5,7 @@ use mdv_relstore::{
     join, query, CmpOp, ColumnDef, DataType, Database, IndexKind, Predicate, Row, Table,
     TableSchema, Txn, Value,
 };
-use mdv_testkit::{prop_assert, prop_assert_eq, prop_assert_ne, property, Source};
+use mdv_testkit::{prop_assert_eq, prop_assert_ne, property, Source};
 
 fn arb_value(src: &mut Source) -> Value {
     match src.weighted(&[1, 1, 2, 2, 2]) {

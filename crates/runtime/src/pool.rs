@@ -139,13 +139,23 @@ impl Drop for ThreadPool {
 
 /// Applies `f` to every item on `threads` scoped workers and returns the
 /// results in input order. Panics in `f` propagate to the caller.
+///
+/// Empty and single-item inputs (and `threads <= 1`) run inline on the
+/// caller's thread, spawning zero workers — an empty filter shard must cost
+/// nothing, not a worker that wakes up to find no work.
 pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = threads.max(1).min(items.len().max(1));
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(items.len());
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
@@ -248,5 +258,21 @@ mod tests {
         let empty: Vec<u8> = Vec::new();
         assert!(parallel_map(&empty, 4, |&x| x).is_empty());
         assert_eq!(parallel_map(&[9], 4, |&x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn parallel_map_small_inputs_spawn_no_workers() {
+        // empty, single-item, and threads=1 maps run inline: `f` executes
+        // on the caller's thread, never a spawned worker
+        let caller = std::thread::current().id();
+        let empty: Vec<u8> = Vec::new();
+        assert!(parallel_map(&empty, 4, |_| std::thread::current().id()).is_empty());
+        assert_eq!(
+            parallel_map(&[1], 8, |_| std::thread::current().id()),
+            vec![caller]
+        );
+        assert!(parallel_map(&[1, 2, 3], 1, |_| std::thread::current().id())
+            .iter()
+            .all(|id| *id == caller));
     }
 }

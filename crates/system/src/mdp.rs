@@ -1,6 +1,6 @@
 //! Metadata Providers (paper §2.2): the backbone nodes.
 //!
-//! An MDP owns a [`FilterEngine`], accepts metadata administration
+//! An MDP owns a [`ShardedFilterEngine`], accepts metadata administration
 //! (register / update / delete documents), evaluates subscriptions through
 //! the filter, ships publications to subscribed LMRs (with the
 //! strong-reference closure of transmitted resources, §2.4), and replicates
@@ -8,7 +8,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
-use mdv_filter::{BaseStore, FilterConfig, FilterEngine, Publication, SubscriptionId};
+use mdv_filter::{BaseStore, FilterConfig, Publication, ShardedFilterEngine, SubscriptionId};
 use mdv_rdf::{parse_document, write_document, Document, RdfSchema, Resource};
 use mdv_relstore::{ColumnDef, DataType, Database, StorageEngine};
 
@@ -156,7 +156,7 @@ pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
 #[derive(Debug)]
 pub struct Mdp<S: StorageEngine = Database> {
     name: String,
-    engine: FilterEngine<S>,
+    engine: ShardedFilterEngine<S>,
     /// Mirror node state into the `Sys*` tables. Set only by
     /// [`Mdp::with_storage`]; the memory path never creates the tables, so
     /// its databases stay byte-identical to the pre-storage-engine layout.
@@ -199,17 +199,22 @@ impl Mdp {
         Self::with_filter_config(name, schema, FilterConfig::default())
     }
 
-    /// Like [`Mdp::new`] with an explicit filter configuration — the knob
+    /// Like [`Mdp::new`] with an explicit filter configuration — the knobs
     /// the system tier exposes for parallel batch filtering
-    /// (`FilterConfig::threads`). Publications do not depend on the
-    /// configuration (DESIGN.md §5), so mixed-config deployments stay
-    /// consistent.
+    /// (`FilterConfig::threads`) and sharded filtering
+    /// (`FilterConfig::shards`). Publications do not depend on the
+    /// configuration (DESIGN.md §5 and §8), so mixed-config deployments
+    /// stay consistent.
     pub fn with_filter_config(name: &str, schema: RdfSchema, config: FilterConfig) -> Self {
-        Self::from_engine(name, FilterEngine::with_config(schema, config), false)
+        Self::from_engine(
+            name,
+            ShardedFilterEngine::with_config(schema, config),
+            false,
+        )
     }
 }
 
-impl<S: StorageEngine + Sync> Mdp<S> {
+impl<S: StorageEngine + Send + Sync> Mdp<S> {
     /// Builds an MDP whose filter engine runs on an explicit storage
     /// backend and mirrors node state into the `Sys*` tables of the same
     /// database — on a durable backend the whole node becomes
@@ -220,7 +225,20 @@ impl<S: StorageEngine + Sync> Mdp<S> {
         schema: RdfSchema,
         config: FilterConfig,
     ) -> Result<Self> {
-        let mut engine = FilterEngine::with_storage(store, schema, config);
+        Self::with_storages(name, vec![store], schema, config)
+    }
+
+    /// Like [`Mdp::with_storage`] with one backend per filter shard
+    /// (DESIGN.md §8): the shard count is `stores.len()`, each shard owns
+    /// its store (and WAL, under a durable backend), and the `Sys*` mirror
+    /// tables live in shard 0's store.
+    pub fn with_storages(
+        name: &str,
+        stores: Vec<S>,
+        schema: RdfSchema,
+        config: FilterConfig,
+    ) -> Result<Self> {
+        let mut engine = ShardedFilterEngine::with_storages(stores, schema, config);
         let store = engine.storage_mut();
         store.begin();
         mirror::create_table(
@@ -306,7 +324,7 @@ impl<S: StorageEngine + Sync> Mdp<S> {
         Ok(Self::from_engine(name, engine, true))
     }
 
-    fn from_engine(name: &str, engine: FilterEngine<S>, mirror: bool) -> Self {
+    fn from_engine(name: &str, engine: ShardedFilterEngine<S>, mirror: bool) -> Self {
         Mdp {
             name: name.to_owned(),
             engine,
@@ -326,17 +344,15 @@ impl<S: StorageEngine + Sync> Mdp<S> {
         }
     }
 
-    /// Runs `body` inside one storage commit group, so the engine mutations
-    /// and mirror writes of a whole node operation become durable
-    /// atomically. Commits even when the body fails — the memory path keeps
-    /// partial state on error, and the durable path must agree with it.
+    /// Runs `body` inside one storage commit group spanning *every* filter
+    /// shard's backend, so the engine mutations and mirror writes of a
+    /// whole node operation become durable atomically. Commits even when
+    /// the body fails — the memory path keeps partial state on error, and
+    /// the durable path must agree with it.
     fn with_group<T>(&mut self, body: impl FnOnce(&mut Self) -> Result<T>) -> Result<T> {
-        self.engine.storage_mut().begin();
+        self.engine.begin_group();
         let out = body(self);
-        self.engine
-            .storage_mut()
-            .commit()
-            .map_err(mirror::store_err)?;
+        self.engine.commit_group()?;
         out
     }
 
@@ -552,17 +568,18 @@ impl<S: StorageEngine + Sync> Mdp<S> {
         &self.name
     }
 
-    pub fn engine(&self) -> &FilterEngine<S> {
+    pub fn engine(&self) -> &ShardedFilterEngine<S> {
         &self.engine
     }
 
-    /// Snapshot-as-compaction: checkpoints the storage backend — writes a
-    /// fresh snapshot (GC'd of every deleted row) and truncates the WAL.
+    /// Snapshot-as-compaction: checkpoints every shard's storage backend —
+    /// writes a fresh snapshot (GC'd of every deleted row) and truncates
+    /// each shard's WAL.
     pub fn compact(&mut self) -> Result<()> {
-        self.engine
-            .storage_mut()
-            .checkpoint()
-            .map_err(mirror::store_err)
+        for store in self.engine.shard_storages_mut() {
+            store.checkpoint().map_err(mirror::store_err)?;
+        }
+        Ok(())
     }
 
     pub fn set_peers(&mut self, peers: Vec<String>) {
@@ -1520,7 +1537,7 @@ impl<S: StorageEngine + Sync> Mdp<S> {
         updated: &[String],
         removed: &[String],
     ) -> Result<PublishMsg> {
-        let resolve = |engine: &FilterEngine<S>, uri: &String| -> Result<Resource> {
+        let resolve = |engine: &ShardedFilterEngine<S>, uri: &String| -> Result<Resource> {
             engine
                 .resource(uri)?
                 .ok_or_else(|| Error::Topology(format!("published resource '{uri}' vanished")))

@@ -237,7 +237,6 @@ impl PublishMsg {
         section("m", &self.matched);
         section("c", &self.companions);
         section("u", &self.updated);
-        drop(section);
         for uri in &self.removed {
             out.push_str(&format!("x {}\n", escape(uri)));
         }

@@ -82,10 +82,18 @@ impl MdvSystem<DurableEngine> {
     }
 
     /// Adds an MDP persisting to `dir` (created fresh; must not hold an
-    /// existing store).
+    /// existing store). With `filter_config.shards = N > 1` (see
+    /// [`MdvSystem::set_filter_shards`]) the node gets one store — and one
+    /// WAL — per filter shard: shard 0 at `dir` itself, shard k at the
+    /// `<dir>-s<k>` sibling.
     pub fn add_mdp_durable(&mut self, name: &str, dir: impl Into<PathBuf>) -> Result<()> {
-        let store = DurableEngine::create(dir).map_err(mirror::store_err)?;
-        let mdp = Mdp::with_storage(name, store, self.schema.clone(), self.filter_config)?;
+        let dir = dir.into();
+        let shards = self.filter_config.shards.max(1);
+        let mut stores = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            stores.push(DurableEngine::create(shard_dir(&dir, shard)).map_err(mirror::store_err)?);
+        }
+        let mdp = Mdp::with_storages(name, stores, self.schema.clone(), self.filter_config)?;
         self.install_mdp(name, mdp)
     }
 
@@ -105,43 +113,64 @@ impl MdvSystem<DurableEngine> {
     /// Crashes an MDP — dropping every byte of in-memory state and any mail
     /// in its inbox — and restarts it from its durable store alone.
     ///
-    /// Recovery is checked twice over: the snapshot+WAL replay must
-    /// reproduce the pre-crash database byte-for-byte (the node is assumed
-    /// quiescent, i.e. no commit group open), and the node rebuilt from the
-    /// `Sys*` mirror tables must carry logically identical base tables.
-    /// Because re-registration reassigns rule and row ids, the rebuilt node
-    /// starts a *fresh* sibling store (`<dir>-r1`, `-r2`, …) instead of
-    /// appending to the recovered log. Batch mode resets to immediate
-    /// filtering, like a freshly added node.
+    /// Recovery is checked twice over: *every* filter shard's snapshot+WAL
+    /// replay must reproduce that shard's pre-crash database byte-for-byte
+    /// (the node is assumed quiescent, i.e. no commit group open), and the
+    /// node rebuilt from the `Sys*` mirror tables (shard 0's store) must
+    /// carry logically identical base tables in every shard. Because
+    /// re-registration reassigns rule and row ids, the rebuilt node starts
+    /// *fresh* sibling stores (`<dir>-r1`, `-r2`, …, plus their `-s<k>`
+    /// shard siblings) instead of appending to the recovered logs. The
+    /// restarted node keeps the shard count it crashed with, and the
+    /// rule-text hash re-routes every subscription to the shard that owned
+    /// it before the crash. Batch mode resets to immediate filtering, like
+    /// a freshly added node.
     pub fn crash_and_restart_mdp(&mut self, name: &str) -> Result<()> {
         let old = self
             .mdps
             .remove(name)
             .ok_or_else(|| Error::Topology(format!("unknown MDP '{name}'")))?;
-        let dir = old.engine().storage().dir().to_path_buf();
-        let reference = write_database(old.engine().storage().database());
+        let dirs: Vec<PathBuf> = old
+            .engine()
+            .shard_storages()
+            .map(|s| s.dir().to_path_buf())
+            .collect();
+        let references: Vec<String> = old
+            .engine()
+            .shard_storages()
+            .map(|s| write_database(s.database()))
+            .collect();
         drop(old); // the crash: all volatile state gone
         self.drain_mailbox(name);
 
-        let recovered = DurableEngine::open(&dir).map_err(mirror::store_err)?;
-        let replayed = write_database(recovered.database());
-        if replayed != reference {
-            return Err(Error::Topology(format!(
-                "MDP '{name}': recovered database diverges from pre-crash state"
-            )));
+        let mut recovered = Vec::with_capacity(dirs.len());
+        for (shard, (dir, reference)) in dirs.iter().zip(&references).enumerate() {
+            let store = DurableEngine::open(dir).map_err(mirror::store_err)?;
+            if write_database(store.database()) != *reference {
+                return Err(Error::Topology(format!(
+                    "MDP '{name}': recovered shard {shard} diverges from pre-crash state"
+                )));
+            }
+            recovered.push(store);
         }
 
-        let fresh = DurableEngine::create(sibling_dir(&dir)).map_err(mirror::store_err)?;
-        let mut mdp = Mdp::with_storage(name, fresh, self.schema.clone(), self.filter_config)?;
+        let base = sibling_dir(&dirs[0]);
+        let mut fresh = Vec::with_capacity(dirs.len());
+        for shard in 0..dirs.len() {
+            fresh.push(DurableEngine::create(shard_dir(&base, shard)).map_err(mirror::store_err)?);
+        }
+        let mut mdp = Mdp::with_storages(name, fresh, self.schema.clone(), self.filter_config)?;
         let retry_ms = self.network.config().retry_initial_ms;
-        mdp.rebuild_from_tables(recovered.database(), retry_ms)?;
-        for table in ["Resources", "Statements"] {
-            let want = logical_rows(recovered.database(), table);
-            let got = logical_rows(mdp.engine().storage().database(), table);
-            if want != got {
-                return Err(Error::Topology(format!(
-                    "MDP '{name}': rebuilt {table} table diverges from recovered store"
-                )));
+        mdp.rebuild_from_tables(recovered[0].database(), retry_ms)?;
+        for (shard, store) in recovered.iter().enumerate() {
+            for table in ["Resources", "Statements"] {
+                let want = logical_rows(store.database(), table);
+                let got = logical_rows(mdp.engine().shard(shard).storage().database(), table);
+                if want != got {
+                    return Err(Error::Topology(format!(
+                        "MDP '{name}': rebuilt {table} table diverges from recovered shard {shard}"
+                    )));
+                }
             }
         }
         self.mdps.insert(name.to_owned(), mdp);
@@ -196,6 +225,17 @@ impl MdvSystem<DurableEngine> {
     }
 }
 
+/// Shard `k`'s store directory: shard 0 owns `dir` itself (single-shard
+/// layouts are byte-identical to the unsharded on-disk layout), shard
+/// k ≥ 1 the `<dir>-s<k>` sibling.
+fn shard_dir(dir: &Path, shard: usize) -> PathBuf {
+    if shard == 0 {
+        dir.to_path_buf()
+    } else {
+        PathBuf::from(format!("{}-s{shard}", dir.as_os_str().to_string_lossy()))
+    }
+}
+
 /// First nonexistent `<dir>-r<k>` sibling: the home of a rebuilt MDP store.
 fn sibling_dir(dir: &Path) -> PathBuf {
     let base = dir.as_os_str().to_string_lossy().into_owned();
@@ -214,7 +254,7 @@ fn logical_rows(db: &Database, table: &str) -> Vec<Vec<mdv_relstore::Value>> {
     mirror::rows_sorted(db, table)
 }
 
-impl<S: StorageEngine + Sync> MdvSystem<S> {
+impl<S: StorageEngine + Send + Sync> MdvSystem<S> {
     fn empty(schema: RdfSchema, config: NetConfig) -> Self {
         MdvSystem {
             schema,
@@ -285,6 +325,16 @@ impl<S: StorageEngine + Sync> MdvSystem<S> {
         for mdp in self.mdps.values_mut() {
             mdp.set_filter_threads(threads);
         }
+    }
+
+    /// Sets the filter shard count for MDPs added *after* this call
+    /// (DESIGN.md §8). A node's shard topology — and, on the durable
+    /// backend, its one-WAL-per-shard layout — is fixed when the node is
+    /// built, so existing MDPs keep the count they were created with.
+    /// Publications are shard-count invariant, so mixed deployments stay
+    /// consistent and seeded fault scenarios replay identically.
+    pub fn set_filter_shards(&mut self, shards: usize) {
+        self.filter_config.shards = shards.max(1);
     }
 
     pub fn schema(&self) -> &RdfSchema {

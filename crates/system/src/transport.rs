@@ -700,8 +700,10 @@ mod tests {
     #[test]
     fn inert_plan_reports_inert() {
         assert!(FaultPlan::default().is_inert());
-        let mut plan = FaultPlan::default();
-        plan.seed = 99; // a seed alone injects nothing
+        let mut plan = FaultPlan {
+            seed: 99, // a seed alone injects nothing
+            ..FaultPlan::default()
+        };
         assert!(plan.is_inert());
         plan.default_link.drop_prob = 0.1;
         assert!(!plan.is_inert());

@@ -56,7 +56,7 @@ impl Stats {
         let mut sorted = samples.to_vec();
         sorted.sort_unstable();
         let n = sorted.len();
-        let median_ns = if n % 2 == 0 {
+        let median_ns = if n.is_multiple_of(2) {
             (sorted[n / 2 - 1] + sorted[n / 2]) / 2
         } else {
             sorted[n / 2]

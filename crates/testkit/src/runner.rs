@@ -261,7 +261,6 @@ mod tests {
                 Err("out of range".into())
             }
         });
-        drop(counter);
         assert_eq!(count, Config::default().cases);
     }
 

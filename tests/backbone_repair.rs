@@ -93,8 +93,10 @@ property! {
     /// byte-identical, and the oracle passes for every LMR — including the
     /// one that failed over to its backup while its home was down.
     fn backbone_reconverges_under_faults_and_a_fail_heal_cycle(src) cases = 25; {
-        let mut config = NetConfig::default();
-        config.faults = arb_fault_plan(src);
+        let config = NetConfig {
+            faults: arb_fault_plan(src),
+            ..NetConfig::default()
+        };
         let mut sys = MdvSystem::with_net_config(schema(), config);
         for m in ["m1", "m2", "m3"] {
             sys.add_mdp(m).unwrap();
@@ -155,8 +157,10 @@ property! {
 fn replication_survives_a_lossy_backbone_without_repair() {
     // reliable replication alone (no anti-entropy, no failure) must converge
     // the backbone under loss: the repair machinery stays cold
-    let mut cfg = NetConfig::default();
-    cfg.faults = mild_fault_plan(0xbacb_0e5e);
+    let cfg = NetConfig {
+        faults: mild_fault_plan(0xbacb_0e5e),
+        ..NetConfig::default()
+    };
     let mut sys = MdvSystem::with_net_config(schema(), cfg);
     sys.add_mdp("m1").unwrap();
     sys.add_mdp("m2").unwrap();

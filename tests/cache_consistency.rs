@@ -130,8 +130,10 @@ fn consistency_under_randomized_operations() {
 fn consistency_under_randomized_operations_with_mild_faults() {
     // same scenario, but the transport now drops, duplicates, and jitters
     // a little — the at-least-once protocol must keep the oracle intact
-    let mut config = NetConfig::default();
-    config.faults = mild_fault_plan(0x6d64_7602);
+    let config = NetConfig {
+        faults: mild_fault_plan(0x6d64_7602),
+        ..NetConfig::default()
+    };
     let mut sys = MdvSystem::with_net_config(schema(), config);
     sys.add_mdp("mdp").unwrap();
     sys.add_lmr("lmr", "mdp").unwrap();

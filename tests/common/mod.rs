@@ -52,7 +52,7 @@ pub fn provider(i: usize, host: &str, memory: i64, cpu: i64) -> Document {
 
 /// Computes the expected cache of an LMR: direct evaluation of each rule
 /// against the MDP's base data, plus the strong closure.
-pub fn expected_cache<S: StorageEngine + Sync>(
+pub fn expected_cache<S: StorageEngine + Send + Sync>(
     sys: &MdvSystem<S>,
     mdp: &str,
     rules: &[&str],
@@ -82,7 +82,7 @@ pub fn expected_cache<S: StorageEngine + Sync>(
 
 /// Asserts that an LMR cache matches the oracle exactly, with every cached
 /// copy byte-identical to the MDP's current copy.
-pub fn assert_consistent<S: StorageEngine + Sync>(
+pub fn assert_consistent<S: StorageEngine + Send + Sync>(
     sys: &MdvSystem<S>,
     lmr: &str,
     mdp: &str,

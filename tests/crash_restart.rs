@@ -118,8 +118,10 @@ property! {
     /// the cache-consistency oracle holds, with nothing left buffered or
     /// unacked (the at-least-once `pubseq` state survived the crash).
     fn oracle_holds_across_crash_restarts(src) cases = 60; {
-        let mut config = NetConfig::default();
-        config.faults = mild_fault_plan(src.bits());
+        let config = NetConfig {
+            faults: mild_fault_plan(src.bits()),
+            ..NetConfig::default()
+        };
         let root = scratch("prop");
         let mut sys = durable_two_tier(&root, config);
 
@@ -168,7 +170,7 @@ property! {
                 Op::CrashMdp(torn) => {
                     if torn {
                         let store = sys.mdp("mdp").unwrap().engine().storage();
-                        tear_wal_tail(&store.dir().to_path_buf(), store.epoch(), b"\xde\xad\xbe");
+                        tear_wal_tail(store.dir(), store.epoch(), b"\xde\xad\xbe");
                     }
                     sys.crash_and_restart_mdp("mdp").unwrap();
                     sys.run_to_quiescence().unwrap();
@@ -176,7 +178,7 @@ property! {
                 Op::CrashLmr(torn) => {
                     if torn {
                         let store = sys.lmr("lmr").unwrap().storage();
-                        tear_wal_tail(&store.dir().to_path_buf(), store.epoch(), &[0xff; 7]);
+                        tear_wal_tail(store.dir(), store.epoch(), &[0xff; 7]);
                     }
                     sys.crash_and_restart_lmr("lmr").unwrap();
                     sys.run_to_quiescence().unwrap();
@@ -236,6 +238,66 @@ fn mdp_crash_restart_preserves_documents_and_subscriptions() {
 }
 
 #[test]
+fn sharded_mdp_recovers_every_shard_wal_after_crash_mid_batch() {
+    let root = scratch("sharded");
+    let mut sys = MdvSystem::durable_with_net_config(schema(), NetConfig::default());
+    sys.set_filter_shards(4);
+    sys.add_mdp_durable("mdp", root.join("mdp")).unwrap();
+    sys.add_lmr_durable("lmr", "mdp", root.join("lmr")).unwrap();
+
+    // one store — and one WAL — per filter shard (DESIGN.md §8): shard 0
+    // owns the base directory, shards 1..4 its -s<k> siblings
+    for shard_dir in ["mdp", "mdp-s1", "mdp-s2", "mdp-s3"] {
+        assert!(
+            root.join(shard_dir).is_dir(),
+            "missing shard store {shard_dir}"
+        );
+    }
+
+    for r in RULES {
+        sys.subscribe("lmr", r).unwrap();
+    }
+    for i in 0..4 {
+        sys.register_document("mdp", &provider(i, "a.hub.org", 128, 700))
+            .unwrap();
+    }
+
+    // a partial batch is volatile state: doc7 is queued, not yet filtered,
+    // and must vanish in the crash exactly like in the unsharded scenario
+    sys.set_batch_size("mdp", Some(100)).unwrap();
+    sys.register_document("mdp", &provider(7, "b.hub.org", 128, 700))
+        .unwrap();
+    assert_eq!(sys.mdp("mdp").unwrap().pending_documents(), 1);
+
+    // crash_and_restart_mdp internally byte-verifies that *each* shard's
+    // snapshot+WAL replay reproduces that shard's pre-crash database
+    sys.crash_and_restart_mdp("mdp").unwrap();
+    sys.run_to_quiescence().unwrap();
+
+    let mdp = sys.mdp("mdp").unwrap();
+    assert_eq!(mdp.engine().shard_count(), 4, "shard topology survives");
+    assert_eq!(mdp.pending_documents(), 0, "pending batch is volatile");
+    assert!(
+        mdp.engine().document("doc7.rdf").is_none(),
+        "unflushed batch must not resurrect"
+    );
+    for i in 0..4 {
+        assert!(
+            mdp.engine().document(&format!("doc{i}.rdf")).is_some(),
+            "flushed doc{i} lost in recovery"
+        );
+    }
+    assert_consistent(&sys, "lmr", "mdp", &RULES, "after sharded restart");
+
+    // post-crash traffic still routes through re-registered subscriptions
+    sys.register_document("mdp", &provider(9, "c.hub.org", 256, 800))
+        .unwrap();
+    assert!(sys.lmr("lmr").unwrap().is_cached("doc9.rdf#host"));
+    assert_consistent(&sys, "lmr", "mdp", &RULES, "after post-restart traffic");
+    cleanup(&root);
+}
+
+#[test]
 fn lmr_crash_restart_reconverges_with_torn_final_wal_record() {
     let root = scratch("lmr-torn");
     let mut sys = durable_two_tier(&root, NetConfig::default());
@@ -246,11 +308,7 @@ fn lmr_crash_restart_reconverges_with_torn_final_wal_record() {
 
     // a crash mid-append leaves a torn record; recovery truncates it
     let store = sys.lmr("lmr").unwrap().storage();
-    tear_wal_tail(
-        &store.dir().to_path_buf(),
-        store.epoch(),
-        b"torn-final-record",
-    );
+    tear_wal_tail(store.dir(), store.epoch(), b"torn-final-record");
     sys.crash_and_restart_lmr("lmr").unwrap();
     sys.run_to_quiescence().unwrap();
 

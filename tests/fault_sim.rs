@@ -110,8 +110,10 @@ property! {
     /// at-least-once protocol fully quiesces (nothing buffered, nothing
     /// unacked) before each check.
     fn oracle_holds_under_randomized_fault_schedules(src) cases = 50; {
-        let mut config = NetConfig::default();
-        config.faults = arb_fault_plan(src);
+        let config = NetConfig {
+            faults: arb_fault_plan(src),
+            ..NetConfig::default()
+        };
         let ops = arb_ops(src);
 
         let mut sys = MdvSystem::with_net_config(schema(), config);

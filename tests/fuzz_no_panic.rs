@@ -142,17 +142,19 @@ property! {
     /// random fault plan: every operation — valid or garbage, on any node —
     /// still runs to quiescence, and logical time stays bounded.
     fn system_tier_never_panics_under_faults(src) cases = 64; {
-        let mut config = NetConfig::default();
-        config.faults = FaultPlan {
-            seed: src.bits(),
-            default_link: LinkFaults {
-                drop_prob: src.f64_in(0.0..0.30),
-                dup_prob: src.f64_in(0.0..0.30),
-                jitter_ms: src.u64_in(0..50),
-                spike_prob: src.f64_in(0.0..0.20),
-                spike_ms: src.u64_in(0..200),
+        let mut config = NetConfig {
+            faults: FaultPlan {
+                seed: src.bits(),
+                default_link: LinkFaults {
+                    drop_prob: src.f64_in(0.0..0.30),
+                    dup_prob: src.f64_in(0.0..0.30),
+                    jitter_ms: src.u64_in(0..50),
+                    spike_prob: src.f64_in(0.0..0.20),
+                    spike_ms: src.u64_in(0..200),
+                },
+                ..FaultPlan::default()
             },
-            ..FaultPlan::default()
+            ..NetConfig::default()
         };
         if src.bool() {
             let from = src.u64_in(0..500);
@@ -161,6 +163,9 @@ property! {
         }
 
         let mut sys = MdvSystem::with_net_config(common::schema(), config);
+        // random shard topology (DESIGN.md §8): publications are shard-count
+        // invariant, so any layout must survive the same fault schedule
+        sys.set_filter_shards(*src.choose(&[1usize, 2, 4, 8]));
         sys.add_mdp("m1").unwrap();
         sys.add_mdp("m2").unwrap(); // reliable MDP↔MDP replication
         sys.add_lmr("l1", "m1").unwrap();
@@ -240,20 +245,25 @@ property! {
     /// quiescence, and logical time stays bounded.
     fn durable_tier_never_panics_under_crashes_and_failures(src) cases = 16; {
         let root = scratch();
-        let mut config = NetConfig::default();
-        config.faults = FaultPlan {
-            seed: src.bits(),
-            default_link: LinkFaults {
-                drop_prob: src.f64_in(0.0..0.25),
-                dup_prob: src.f64_in(0.0..0.25),
-                jitter_ms: src.u64_in(0..30),
-                spike_prob: 0.0,
-                spike_ms: 0,
+        let config = NetConfig {
+            faults: FaultPlan {
+                seed: src.bits(),
+                default_link: LinkFaults {
+                    drop_prob: src.f64_in(0.0..0.25),
+                    dup_prob: src.f64_in(0.0..0.25),
+                    jitter_ms: src.u64_in(0..30),
+                    spike_prob: 0.0,
+                    spike_ms: 0,
+                },
+                ..FaultPlan::default()
             },
-            ..FaultPlan::default()
+            ..NetConfig::default()
         };
         let mut sys: MdvSystem<DurableEngine> =
             MdvSystem::durable_with_net_config(common::schema(), config);
+        // random shard topology: crash-restarts must recover every shard's
+        // WAL, whatever the layout (DESIGN.md §8)
+        sys.set_filter_shards(*src.choose(&[1usize, 2, 4]));
         sys.add_mdp_durable("m1", root.join("m1")).unwrap();
         sys.add_mdp_durable("m2", root.join("m2")).unwrap();
         sys.add_lmr_durable("l1", "m1", root.join("l1")).unwrap();
