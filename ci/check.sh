@@ -162,6 +162,18 @@ for seed in "${CI_SEEDS[@]}"; do
 done
 
 # ---------------------------------------------------------------------------
+step "raft-safety replay: consensus invariants under seeded fault schedules"
+# Replays the Raft safety properties (Election Safety, Log Matching, Leader
+# Completeness, State Machine Safety under randomized drop/dup/partition
+# schedules, plus voter crash-restarts mid-election) under the same pinned
+# seeds; failures print the seed to rerun (DESIGN.md §9).
+for seed in "${CI_SEEDS[@]}"; do
+  MDV_PROP_SEED="$seed" MDV_PROP_CASES=50 \
+    cargo test -q --offline --test raft_safety >/dev/null
+  echo "ok: raft_safety @ MDV_PROP_SEED=$seed"
+done
+
+# ---------------------------------------------------------------------------
 step "parallel-filter determinism: publications invariant across thread counts"
 # The parallel batch filter must emit byte-identical publications, traces,
 # and stats for every thread count (DESIGN.md §5); the fault matrix above
@@ -234,6 +246,21 @@ if [[ "$QUICK" == "0" ]]; then
     backbone-repair >/dev/null)
   rm -rf "$SMOKE_DIR"
   echo "ok: figures backbone-repair"
+
+  # -------------------------------------------------------------------------
+  step "figures smoke pass: backbone-consensus (LWW vs Raft study)"
+  # Exercises the consistency-vs-availability study end to end on a 3-MDP
+  # topology in both replication modes: steady-state write latency, a
+  # leader fail/heal cycle (committed write survives, LMR re-homes, zero
+  # anti-entropy rounds), and the permanent-partition contrast. Scratch CWD
+  # so the quick-mode run never clobbers BENCH_backbone_consensus.json.
+  ROOT="$PWD"
+  SMOKE_DIR="$(mktemp -d)"
+  (cd "$SMOKE_DIR" && cargo run --offline --release \
+    --manifest-path "$ROOT/Cargo.toml" -p mdv-bench --bin figures -- \
+    backbone-consensus >/dev/null)
+  rm -rf "$SMOKE_DIR"
+  echo "ok: figures backbone-consensus"
 
   # -------------------------------------------------------------------------
   step "figures smoke pass: shard-scaling (quick mode, scratch CWD)"

@@ -9,7 +9,8 @@
 //!
 //! Subcommands: `fig11` `fig12` `fig13` `fig14` `fig15`
 //! `ablation-naive` `ablation-groups` `ablation-updates` `thread-scaling`
-//! `shard-scaling` `wal-overhead` `backbone-repair` `all`.
+//! `shard-scaling` `wal-overhead` `backbone-repair` `backbone-consensus`
+//! `all`.
 //! `--full` runs the paper-sized rule bases (up to 100,000 rules); the
 //! default sizes finish in a few minutes on a laptop. `--threads N` runs
 //! the figure sweeps with the parallel filter on N pool workers
@@ -25,8 +26,11 @@
 //! the Figure-11/12 workloads and writes `BENCH_wal_overhead.json`;
 //! `backbone-repair` drives a 3-MDP backbone through a fail/heal cycle at
 //! increasing loss rates and writes `BENCH_backbone_repair.json` (logical
-//! time, not wall-clock). The `--threads`/`--backend` flags do not apply to
-//! those three subcommands.
+//! time, not wall-clock); `backbone-consensus` runs the same 3-MDP
+//! deployment under LWW gossip and under Raft (DESIGN.md §9) and contrasts
+//! write latency, fail/heal reconvergence, and partition behaviour in
+//! `BENCH_backbone_consensus.json`. The `--threads`/`--backend` flags do
+//! not apply to those simulated-backbone subcommands.
 
 use std::env;
 use std::io::Write;
@@ -164,6 +168,7 @@ fn main() {
         "shard-scaling" => run_shard_scaling(&config),
         "wal-overhead" => run_wal_overhead(&config),
         "backbone-repair" => run_backbone_repair(&config),
+        "backbone-consensus" => run_backbone_consensus(&config),
         "all" => {
             fig11(&config);
             fig12(&config);
@@ -177,13 +182,14 @@ fn main() {
             run_shard_scaling(&config);
             run_wal_overhead(&config);
             run_backbone_repair(&config);
+            run_backbone_consensus(&config);
         }
         other => {
             eprintln!("unknown command '{other}'");
             eprintln!(
                 "usage: figures [fig11|fig12|fig13|fig14|fig15|ablation-naive|\
                  ablation-groups|ablation-updates|thread-scaling|shard-scaling|\
-                 wal-overhead|backbone-repair|all] \
+                 wal-overhead|backbone-repair|backbone-consensus|all] \
                  [--full] [--threads N] [--backend mem|durable]"
             );
             std::process::exit(2);
@@ -821,6 +827,270 @@ fn run_backbone_repair(config: &Config) {
         std::fs::File::create(path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
     for line in &json_lines {
         writeln!(file, "{line}").expect("write backbone-repair results");
+    }
+    println!("wrote {} results to {path}", json_lines.len());
+}
+
+/// Consistency-vs-availability study: the same 3-MDP/1-LMR deployment and
+/// workload, run once under LWW gossip and once under Raft (DESIGN.md §9),
+/// compared on three axes — steady-state write latency in logical time,
+/// reconvergence after a fail/heal cycle of a voter (including the Raft
+/// leader, demonstrating that a committed write survives any minority of
+/// failures with automatic LMR re-homing), and behaviour while a permanent
+/// partition isolates one MDP (LWW keeps accepting divergent writes on both
+/// sides; Raft keeps the majority side available and consistent while the
+/// minority entry returns `Unavailable`). Everything is simulated logical
+/// time, deterministic per seed. Writes `BENCH_backbone_consensus.json`.
+fn run_backbone_consensus(config: &Config) {
+    use mdv_rdf::{parse_document, Document, RdfSchema};
+    use mdv_system::transport::{FaultPlan, NetConfig};
+    use mdv_system::MdvSystem;
+    use mdv_testkit::bench::Stats;
+
+    fn schema() -> RdfSchema {
+        RdfSchema::builder()
+            .class("ServerInformation", |c| c.int("memory").int("cpu"))
+            .class("CycleProvider", |c| {
+                c.str("serverHost")
+                    .int("serverPort")
+                    .strong_ref("serverInformation", "ServerInformation")
+            })
+            .build()
+            .expect("study schema is valid")
+    }
+
+    fn doc(i: usize, memory: i64) -> Document {
+        parse_document(
+            &format!("doc{i}.rdf"),
+            &format!(
+                r##"<rdf:RDF>
+                  <CycleProvider rdf:ID="host">
+                    <serverHost>node{i}.hub.org</serverHost>
+                    <serverPort>{port}</serverPort>
+                    <serverInformation rdf:resource="#info"/>
+                  </CycleProvider>
+                  <ServerInformation rdf:ID="info"><memory>{memory}</memory><cpu>600</cpu></ServerInformation>
+                </rdf:RDF>"##,
+                port = 4000 + i,
+            ),
+        )
+        .expect("study document is valid")
+    }
+
+    fn build(raft: bool, seed: u64, faults: FaultPlan) -> MdvSystem {
+        let cfg = NetConfig {
+            faults,
+            ..NetConfig::default()
+        };
+        let mut sys = MdvSystem::with_net_config(schema(), cfg);
+        if raft {
+            sys.enable_raft(seed).expect("raft before nodes");
+        }
+        for m in ["m1", "m2", "m3"] {
+            sys.add_mdp(m).expect("add mdp");
+        }
+        sys.add_lmr("l1", "m1").expect("add lmr");
+        if !raft {
+            sys.set_backup_mdp("l1", "m2").expect("set backup");
+        }
+        sys.subscribe(
+            "l1",
+            "search CycleProvider c register c where c.serverInformation.memory > 64",
+        )
+        .expect("subscribe");
+        sys
+    }
+
+    /// Steady-state logical write latency: per-write clock delta, entries
+    /// rotating over all three MDPs (in Raft mode non-leader entries pay the
+    /// forwarding + commit round-trips).
+    fn write_latency(raft: bool, seed: u64, writes: usize) -> Vec<u64> {
+        let mut sys = build(raft, seed, FaultPlan::default());
+        let homes = ["m1", "m2", "m3"];
+        let mut samples = Vec::with_capacity(writes);
+        for i in 0..writes {
+            let before = sys.network_stats().clock_ms;
+            sys.register_document(homes[i % 3], &doc(i, 32 + 16 * i as i64))
+                .expect("steady-state register");
+            samples.push(sys.network_stats().clock_ms - before);
+        }
+        samples
+    }
+
+    /// One fail/heal cycle of `victim` (in Raft mode the *current leader*
+    /// dies when `victim` is `None`): writes continue on the survivors,
+    /// then the heal reconverges. Returns (reconverge logical ms, messages
+    /// in the heal window, committed write survived everywhere).
+    fn outage_trial(raft: bool, seed: u64) -> (u64, u64, bool) {
+        let mut sys = build(raft, seed, FaultPlan::default());
+        for i in 0..4 {
+            sys.register_document("m1", &doc(i, 128)).expect("register");
+        }
+        let victim = if raft {
+            sys.raft_leader().expect("leader elected")
+        } else {
+            "m1".to_owned()
+        };
+        sys.fail_mdp(&victim).expect("fail victim");
+        let survivors: Vec<&str> = ["m1", "m2", "m3"]
+            .into_iter()
+            .filter(|m| *m != victim)
+            .collect();
+        for i in 4..8 {
+            sys.register_document(survivors[i % 2], &doc(i, 96))
+                .expect("register during outage");
+        }
+        if !raft {
+            // control churn exhausts the budget → failover to the backup
+            sys.subscribe(
+                "l1",
+                "search ServerInformation s register s where s.cpu >= 600",
+            )
+            .expect("subscribe during outage");
+        }
+        let clock_before = sys.network_stats().clock_ms;
+        let sent_before = sys.network().log().len();
+        sys.heal_mdp(&victim).expect("heal reconverges");
+        let reconverge = sys.network_stats().clock_ms - clock_before;
+        let messages = (sys.network().log().len() - sent_before) as u64;
+        assert!(sys.backbone_converged(), "heal did not reconverge");
+        let survived = (0..8).all(|i| {
+            ["m1", "m2", "m3"].iter().all(|m| {
+                sys.mdp(m)
+                    .expect("mdp")
+                    .engine()
+                    .document(&format!("doc{i}.rdf"))
+                    .is_some()
+            })
+        });
+        (reconverge, messages, survived)
+    }
+
+    /// Permanent partition isolating m3: four writes through the majority
+    /// entry m1, four attempted through the minority entry m3. Returns
+    /// (majority accepted, minority accepted, minority unavailable, docs
+    /// missing or stale at m3, logical ms consumed by the partition phase).
+    fn partition_trial(raft: bool, seed: u64) -> (u64, u64, u64, u64, u64) {
+        let mut faults = FaultPlan::default();
+        faults.partition_both("m3", "m1", 2_000, u64::MAX);
+        faults.partition_both("m3", "m2", 2_000, u64::MAX);
+        let mut sys = build(raft, seed, faults);
+        for i in 0..2 {
+            sys.register_document("m1", &doc(i, 128))
+                .expect("pre-partition register");
+        }
+        sys.network().advance_clock(2_000); // the split begins
+        let clock_before = sys.network_stats().clock_ms;
+        let (mut maj, mut min_ok, mut min_unavail) = (0u64, 0u64, 0u64);
+        for i in 2..6 {
+            if sys.register_document("m1", &doc(i, 128)).is_ok() {
+                maj += 1;
+            }
+        }
+        for i in 6..10 {
+            match sys.register_document("m3", &doc(i, 128)) {
+                Ok(()) => min_ok += 1,
+                Err(mdv_system::Error::Unavailable(_)) => min_unavail += 1,
+                Err(e) => panic!("unexpected minority-write error: {e}"),
+            }
+        }
+        let stale = (0..10)
+            .filter(|i| {
+                let uri = format!("doc{i}.rdf");
+                let m1 = sys.mdp("m1").expect("m1").engine().document(&uri).is_some();
+                let m3 = sys.mdp("m3").expect("m3").engine().document(&uri).is_some();
+                m1 != m3
+            })
+            .count() as u64;
+        (
+            maj,
+            min_ok,
+            min_unavail,
+            stale,
+            sys.network_stats().clock_ms - clock_before,
+        )
+    }
+
+    let writes = if config.full { 60 } else { 24 };
+    let trials: u64 = if config.full { 10 } else { 4 };
+    banner(
+        "Backbone consensus: LWW gossip vs Raft (logical time)",
+        "expected shape: Raft pays a quorum round-trip on every write but \
+         heals by log shipping with zero repair traffic; LWW stays available \
+         on both sides of a partition at the price of divergence, while the \
+         Raft minority entry returns Unavailable and its voter stays on the \
+         last committed prefix",
+    );
+
+    let mut json_lines: Vec<String> = Vec::new();
+    for raft in [false, true] {
+        let mode = if raft { "raft" } else { "lww" };
+        let group = format!("backbone_consensus_{mode}");
+
+        let lat = write_latency(raft, 0xc0de, writes);
+        let lat_stats = Stats::from_samples(&lat);
+
+        let mut reconverge = Vec::new();
+        let mut heal_msgs = Vec::new();
+        let mut survived_all = true;
+        for t in 0..trials {
+            let (ms, msgs, survived) = outage_trial(raft, 0xfa11 + t);
+            reconverge.push(ms);
+            heal_msgs.push(msgs);
+            survived_all &= survived;
+        }
+        let reconverge_stats = Stats::from_samples(&reconverge);
+        let heal_stats = Stats::from_samples(&heal_msgs);
+        assert!(survived_all, "{mode}: a committed write was lost");
+
+        let (maj, min_ok, min_unavail, stale, part_ms) = partition_trial(raft, 0x59117);
+
+        println!(
+            "{mode}: write p50 {} ms | heal p50 {} ms ({} msgs) | partition: \
+             majority {maj}/4, minority ok {min_ok}/4, minority unavailable \
+             {min_unavail}/4, divergent docs {stale}, phase {part_ms} ms",
+            lat_stats.median_ns, reconverge_stats.median_ns, heal_stats.median_ns,
+        );
+        json_lines.push(json_line(&group, "write_logical_ms", &lat_stats));
+        json_lines.push(json_line(&group, "heal_reconverge_ms", &reconverge_stats));
+        json_lines.push(json_line(&group, "heal_messages", &heal_stats));
+        json_lines.push(json_line(
+            &group,
+            "partition_majority_accepted",
+            &Stats::from_samples(&[maj]),
+        ));
+        json_lines.push(json_line(
+            &group,
+            "partition_minority_accepted",
+            &Stats::from_samples(&[min_ok]),
+        ));
+        json_lines.push(json_line(
+            &group,
+            "partition_minority_unavailable",
+            &Stats::from_samples(&[min_unavail]),
+        ));
+        json_lines.push(json_line(
+            &group,
+            "partition_divergent_docs",
+            &Stats::from_samples(&[stale]),
+        ));
+        json_lines.push(json_line(
+            &group,
+            "partition_phase_logical_ms",
+            &Stats::from_samples(&[part_ms]),
+        ));
+        json_lines.push(json_line(
+            &group,
+            "committed_write_survived_minority_failures",
+            &Stats::from_samples(&[u64::from(survived_all)]),
+        ));
+    }
+
+    let path = "BENCH_backbone_consensus.json";
+    let mut file =
+        std::fs::File::create(path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+    for line in &json_lines {
+        writeln!(file, "{line}").expect("write backbone-consensus results");
     }
     println!("wrote {} results to {path}", json_lines.len());
 }

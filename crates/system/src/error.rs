@@ -14,6 +14,10 @@ pub enum Error {
     Subscription(String),
     /// Local metadata management errors at an LMR.
     Local(String),
+    /// A consensus-mode write could not commit (no leader, or the leader
+    /// cannot reach a quorum of voters). The operation may be retried once
+    /// connectivity is restored; it has not taken effect.
+    Unavailable(String),
 }
 
 impl fmt::Display for Error {
@@ -23,6 +27,7 @@ impl fmt::Display for Error {
             Error::Topology(msg) => write!(f, "topology error: {msg}"),
             Error::Subscription(msg) => write!(f, "subscription error: {msg}"),
             Error::Local(msg) => write!(f, "local metadata error: {msg}"),
+            Error::Unavailable(msg) => write!(f, "unavailable: {msg}"),
         }
     }
 }

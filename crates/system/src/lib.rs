@@ -62,6 +62,7 @@ pub mod lmr;
 pub mod mdp;
 pub mod message;
 mod mirror;
+pub mod raft;
 pub mod state;
 pub mod system;
 pub mod transport;
@@ -71,6 +72,7 @@ pub use gc::RefTracker;
 pub use lmr::{Lmr, LmrRule, RuleStatus};
 pub use mdp::Mdp;
 pub use message::{Message, PublishMsg};
+pub use raft::{RaftProbe, RaftRole, ReplicationMode};
 pub use system::MdvSystem;
 pub use transport::{
     Envelope, FaultPlan, FaultTag, LinkFaults, LogRecord, NetConfig, NetStats, Network, Partition,

@@ -993,6 +993,34 @@ impl<S: StorageEngine> Lmr<S> {
         })
     }
 
+    /// Re-homes this LMR to an explicit target MDP — the automatic-failover
+    /// entry point of Raft mode (DESIGN.md §9), where the orchestrator
+    /// steers every LMR to the current leader instead of a manually
+    /// configured backup. Same handshake as [`Lmr::start_failover`]: the
+    /// welcome triggers a wholesale resubscribe of every live rule.
+    pub(crate) fn rehome_to(&mut self, target: &str, net: &Network) -> Result<()> {
+        if target == self.mdp {
+            return Ok(());
+        }
+        let target = target.to_owned();
+        self.with_group(|this| {
+            this.mdp = target;
+            this.awaiting_welcome = true;
+            this.mirror_home()?;
+            this.sub_retry.clear();
+            this.unsub_retry.clear();
+            net.send(
+                &this.name,
+                &this.mdp,
+                Message::FailoverHello {
+                    last_seq: this.next_pub_seq,
+                },
+            )?;
+            this.hello_retry = Some(Retry::new(net));
+            Ok(())
+        })
+    }
+
     /// Applies a snapshot publication (the full current match set of one
     /// rule, sent by a Resubscribe): first drops every anchor of the rule
     /// that the snapshot does not list — stale state inherited from a

@@ -20,11 +20,11 @@ use crate::transport::{Envelope, Network};
 /// Durable mirror tables (created only on mirror-enabled backends, see
 /// DESIGN.md §6): the MDP's non-relational state lives in the same database
 /// as the filter tables, so it shares the WAL and survives crashes.
-const T_SUBS: &str = "SysSubscriptions"; // lmr, rule, text
+pub(crate) const T_SUBS: &str = "SysSubscriptions"; // lmr, rule, text
 const T_DOCS: &str = "SysDocuments"; // uri, xml
-const T_PUBSEQ: &str = "SysPubSeq"; // lmr, next_seq
+pub(crate) const T_PUBSEQ: &str = "SysPubSeq"; // lmr, next_seq
 const T_OUTBOX: &str = "SysOutbox"; // lmr, seq, wire-form publication
-const T_RETIRED: &str = "SysRetired"; // lmr, rule
+pub(crate) const T_RETIRED: &str = "SysRetired"; // lmr, rule
 const T_DOCVER: &str = "SysDocVersions"; // uri, version, deleted
 const T_RSEQ: &str = "SysReplSeq"; // peer, next_seq (outgoing)
 const T_RFLOOR: &str = "SysReplFloor"; // peer, next_seq (incoming)
@@ -155,16 +155,16 @@ pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
 /// engine via [`Mdp::with_storage`]).
 #[derive(Debug)]
 pub struct Mdp<S: StorageEngine = Database> {
-    name: String,
-    engine: ShardedFilterEngine<S>,
+    pub(crate) name: String,
+    pub(crate) engine: ShardedFilterEngine<S>,
     /// Mirror node state into the `Sys*` tables. Set only by
     /// [`Mdp::with_storage`]; the memory path never creates the tables, so
     /// its databases stay byte-identical to the pre-storage-engine layout.
-    mirror: bool,
+    pub(crate) mirror: bool,
     /// subscription → (LMR node, LMR-local rule id).
-    subscribers: HashMap<SubscriptionId, (String, u64)>,
+    pub(crate) subscribers: HashMap<SubscriptionId, (String, u64)>,
     /// Backbone peers receiving replicated registrations.
-    peers: Vec<String>,
+    pub(crate) peers: Vec<String>,
     /// Periodic-batch mode (paper §4: "decide if the filter should be
     /// started either when a new document is registered or periodically, to
     /// process several documents in one batch"): when set, registrations
@@ -173,14 +173,14 @@ pub struct Mdp<S: StorageEngine = Database> {
     batch_size: Option<usize>,
     pending: Vec<Document>,
     /// Next publication sequence number per subscriber LMR.
-    next_pub_seq: HashMap<String, u64>,
+    pub(crate) next_pub_seq: HashMap<String, u64>,
     /// Unacked publications keyed `(lmr, seq)`; BTreeMap so retransmission
     /// order is deterministic.
     outbox: BTreeMap<(String, u64), Outgoing>,
     /// `(lmr, lmr_rule)` pairs whose subscription was retracted: duplicate
     /// Subscribe/Unsubscribe retransmissions for them are re-acked without
     /// touching the filter engine.
-    retired: HashSet<(String, u64)>,
+    pub(crate) retired: HashSet<(String, u64)>,
     /// Per-URI replication metadata (version + tombstone); tombstones are
     /// retained so deletions win over stale replicated registrations.
     doc_meta: BTreeMap<String, DocMeta>,
@@ -192,6 +192,10 @@ pub struct Mdp<S: StorageEngine = Database> {
     repl_floor: HashMap<String, u64>,
     /// Out-of-order replicated operations parked until the floor closes.
     repl_buffer: BTreeMap<(String, u64), ReplOp>,
+    /// Raft consensus state when the backbone runs in
+    /// [`crate::raft::ReplicationMode::Raft`]; `None` in LWW mode, where the
+    /// replication fields above carry the backbone instead.
+    pub(crate) raft: Option<crate::raft::RaftState>,
 }
 
 impl Mdp {
@@ -341,6 +345,7 @@ impl<S: StorageEngine + Send + Sync> Mdp<S> {
             repl_outbox: BTreeMap::new(),
             repl_floor: HashMap::new(),
             repl_buffer: BTreeMap::new(),
+            raft: None,
         }
     }
 
@@ -349,7 +354,7 @@ impl<S: StorageEngine + Send + Sync> Mdp<S> {
     /// whole node operation become durable atomically. Commits even when
     /// the body fails — the memory path keeps partial state on error, and
     /// the durable path must agree with it.
-    fn with_group<T>(&mut self, body: impl FnOnce(&mut Self) -> Result<T>) -> Result<T> {
+    pub(crate) fn with_group<T>(&mut self, body: impl FnOnce(&mut Self) -> Result<T>) -> Result<T> {
         self.engine.begin_group();
         let out = body(self);
         self.engine.commit_group()?;
@@ -358,7 +363,7 @@ impl<S: StorageEngine + Send + Sync> Mdp<S> {
 
     // ---- mirror writes (no-ops on memory-backed nodes) -------------------
 
-    fn mirror_doc_upsert(&mut self, doc: &Document) -> Result<()> {
+    pub(crate) fn mirror_doc_upsert(&mut self, doc: &Document) -> Result<()> {
         if !self.mirror {
             return Ok(());
         }
@@ -372,7 +377,7 @@ impl<S: StorageEngine + Send + Sync> Mdp<S> {
         )
     }
 
-    fn mirror_doc_delete(&mut self, uri: &str) -> Result<()> {
+    pub(crate) fn mirror_doc_delete(&mut self, uri: &str) -> Result<()> {
         if !self.mirror {
             return Ok(());
         }
@@ -382,7 +387,7 @@ impl<S: StorageEngine + Send + Sync> Mdp<S> {
         Ok(())
     }
 
-    fn mirror_sub_insert(&mut self, lmr: &str, rule: u64, text: &str) -> Result<()> {
+    pub(crate) fn mirror_sub_insert(&mut self, lmr: &str, rule: u64, text: &str) -> Result<()> {
         if !self.mirror {
             return Ok(());
         }
@@ -393,7 +398,7 @@ impl<S: StorageEngine + Send + Sync> Mdp<S> {
         )
     }
 
-    fn mirror_sub_retire(&mut self, lmr: &str, rule: u64) -> Result<()> {
+    pub(crate) fn mirror_sub_retire(&mut self, lmr: &str, rule: u64) -> Result<()> {
         if !self.mirror {
             return Ok(());
         }
@@ -430,7 +435,7 @@ impl<S: StorageEngine + Send + Sync> Mdp<S> {
         Ok(())
     }
 
-    fn mirror_pub_seq(&mut self, lmr: &str, next_seq: u64) -> Result<()> {
+    pub(crate) fn mirror_pub_seq(&mut self, lmr: &str, next_seq: u64) -> Result<()> {
         if !self.mirror {
             return Ok(());
         }
@@ -442,7 +447,7 @@ impl<S: StorageEngine + Send + Sync> Mdp<S> {
         )
     }
 
-    fn mirror_sub_unretire(&mut self, lmr: &str, rule: u64) -> Result<()> {
+    pub(crate) fn mirror_sub_unretire(&mut self, lmr: &str, rule: u64) -> Result<()> {
         if !self.mirror {
             return Ok(());
         }
@@ -1025,6 +1030,106 @@ impl<S: StorageEngine + Send + Sync> Mdp<S> {
 
     fn handle_inner(&mut self, env: Envelope, net: &Network) -> Result<()> {
         match env.message {
+            // ---- consensus-mode arms (DESIGN.md §9): subscription traffic
+            // is proposed to the replicated log by the leader; every other
+            // voter silently drops it (the LMR retransmits, and re-homing
+            // steers it to the leader). Idempotent re-acks stay local.
+            Message::Subscribe {
+                lmr_rule,
+                rule_text,
+            } if self.raft.is_some() => {
+                let key = (env.from.clone(), lmr_rule);
+                if self.retired.contains(&key) || self.subscribers.values().any(|v| *v == key) {
+                    return net.send(
+                        &self.name,
+                        &env.from,
+                        Message::SubscribeAck {
+                            lmr_rule,
+                            error: None,
+                        },
+                    );
+                }
+                if !self.raft_is_leader() {
+                    return Ok(());
+                }
+                self.raft_propose(
+                    crate::raft::RaftCmd::Subscribe {
+                        lmr: env.from,
+                        lmr_rule,
+                        rule_text,
+                    },
+                    net,
+                )
+                .map(|_| ())
+            }
+            Message::Unsubscribe { lmr_rule } if self.raft.is_some() => {
+                if self.retired.contains(&(env.from.clone(), lmr_rule)) {
+                    return net.send(&self.name, &env.from, Message::UnsubscribeAck { lmr_rule });
+                }
+                if !self.raft_is_leader() {
+                    return Ok(());
+                }
+                self.raft_propose(
+                    crate::raft::RaftCmd::Unsubscribe {
+                        lmr: env.from,
+                        lmr_rule,
+                    },
+                    net,
+                )
+                .map(|_| ())
+            }
+            Message::Resubscribe {
+                lmr_rule,
+                rule_text,
+                last_seq,
+            } if self.raft.is_some() => {
+                let key = (env.from.clone(), lmr_rule);
+                let registered = self.subscribers.values().any(|v| *v == key);
+                let cur = self.next_pub_seq.get(&env.from).copied().unwrap_or(0);
+                if registered && last_seq == cur {
+                    return net.send(
+                        &self.name,
+                        &env.from,
+                        Message::SubscribeAck {
+                            lmr_rule,
+                            error: None,
+                        },
+                    );
+                }
+                if !self.raft_is_leader() {
+                    return Ok(());
+                }
+                self.raft_propose(
+                    crate::raft::RaftCmd::Resubscribe {
+                        lmr: env.from,
+                        lmr_rule,
+                        rule_text,
+                        last_seq,
+                    },
+                    net,
+                )
+                .map(|_| ())
+            }
+            // only the leader welcomes a re-homing LMR; a stale or deposed
+            // voter stays silent and the LMR's hello retry finds the leader
+            Message::FailoverHello { last_seq: _ } if self.raft.is_some() => {
+                if !self.raft_is_leader() {
+                    return Ok(());
+                }
+                let next_seq = self.next_pub_seq.get(&env.from).copied().unwrap_or(0);
+                net.send(&self.name, &env.from, Message::FailoverWelcome { next_seq })
+            }
+            Message::RequestVote { .. }
+            | Message::RequestVoteReply { .. }
+            | Message::AppendEntries { .. }
+            | Message::AppendEntriesReply { .. }
+            | Message::InstallSnapshot { .. }
+            | Message::InstallSnapshotReply { .. }
+                if self.raft.is_some() =>
+            {
+                self.raft_handle(&env.from, env.message, net)
+            }
+            // ---- LWW-mode arms (and mode-independent protocol) ----------
             Message::Subscribe {
                 lmr_rule,
                 rule_text,
@@ -1452,7 +1557,12 @@ impl<S: StorageEngine + Send + Sync> Mdp<S> {
 
     /// Assigns the next per-LMR sequence number, remembers the publication
     /// in the outbox until it is acked, and ships it.
-    fn send_publication(&mut self, lmr: &str, mut msg: PublishMsg, net: &Network) -> Result<()> {
+    pub(crate) fn send_publication(
+        &mut self,
+        lmr: &str,
+        mut msg: PublishMsg,
+        net: &Network,
+    ) -> Result<()> {
         let seq = self.next_pub_seq.entry(lmr.to_owned()).or_insert(0);
         msg.seq = *seq;
         *seq += 1;
@@ -1530,7 +1640,7 @@ impl<S: StorageEngine + Send + Sync> Mdp<S> {
         Ok(resent)
     }
 
-    fn build_publish(
+    pub(crate) fn build_publish(
         &mut self,
         lmr_rule: u64,
         added: &[String],

@@ -77,6 +77,47 @@ pub enum Message {
         rule_text: String,
         last_seq: u64,
     },
+    /// MDP → MDP (Raft mode): a candidate solicits a vote for `term`.
+    /// `last_log_index`/`last_log_term` implement the up-to-date check of
+    /// the Raft election restriction (§5.4.1 of the Raft paper).
+    RequestVote {
+        term: u64,
+        last_log_index: u64,
+        last_log_term: u64,
+    },
+    /// MDP → MDP (Raft mode): vote reply. `term` is the voter's current
+    /// term so a stale candidate can step down.
+    RequestVoteReply { term: u64, granted: bool },
+    /// MDP → MDP (Raft mode): leader log replication and heartbeat.
+    /// `entries` carries `(term, command wire form)` pairs appended after
+    /// the consistency-check point `(prev_log_index, prev_log_term)`.
+    AppendEntries {
+        term: u64,
+        prev_log_index: u64,
+        prev_log_term: u64,
+        leader_commit: u64,
+        entries: Vec<(u64, String)>,
+    },
+    /// MDP → MDP (Raft mode): append reply. `match_index` is the highest
+    /// log index known replicated on the follower when `success`, or a
+    /// hint for the leader's `next_index` backoff when not.
+    AppendEntriesReply {
+        term: u64,
+        success: bool,
+        match_index: u64,
+    },
+    /// MDP → MDP (Raft mode): leader ships a state-machine snapshot to a
+    /// follower whose `next_index` precedes the leader's compacted log
+    /// base. `data` is the serialized applied state.
+    InstallSnapshot {
+        term: u64,
+        last_index: u64,
+        last_term: u64,
+        data: String,
+    },
+    /// MDP → MDP (Raft mode): snapshot install reply; `match_index` is the
+    /// snapshot anchor the follower now sits at.
+    InstallSnapshotReply { term: u64, match_index: u64 },
 }
 
 /// One entry of an anti-entropy digest: the origin's view of one URI.
@@ -122,6 +163,12 @@ impl Message {
             Message::FailoverHello { .. } => "failover-hello",
             Message::FailoverWelcome { .. } => "failover-welcome",
             Message::Resubscribe { .. } => "resubscribe",
+            Message::RequestVote { .. } => "request-vote",
+            Message::RequestVoteReply { .. } => "request-vote-reply",
+            Message::AppendEntries { .. } => "append-entries",
+            Message::AppendEntriesReply { .. } => "append-entries-reply",
+            Message::InstallSnapshot { .. } => "install-snapshot",
+            Message::InstallSnapshotReply { .. } => "install-snapshot-reply",
         }
     }
 
@@ -166,6 +213,14 @@ impl Message {
             Message::FailoverHello { .. } => 8,
             Message::FailoverWelcome { .. } => 8,
             Message::Resubscribe { rule_text, .. } => rule_text.len() + 16,
+            Message::RequestVote { .. } => 24,
+            Message::RequestVoteReply { .. } => 9,
+            Message::AppendEntries { entries, .. } => {
+                32 + entries.iter().map(|(_, cmd)| cmd.len() + 8).sum::<usize>()
+            }
+            Message::AppendEntriesReply { .. } => 17,
+            Message::InstallSnapshot { data, .. } => data.len() + 24,
+            Message::InstallSnapshotReply { .. } => 16,
         }
     }
 }

@@ -1,0 +1,1564 @@
+//! Single-group Raft consensus for the MDP backbone (DESIGN.md §9).
+//!
+//! The paper calls the MDP tier "globally consistent"; the LWW backbone of
+//! DESIGN.md §7 is only eventually convergent. [`ReplicationMode::Raft`]
+//! replaces it with a single Raft group spanning every MDP: document
+//! registration/update/delete and subscription placement are proposed to
+//! the elected leader, committed through the replicated log, and applied
+//! deterministically on every voter's `StorageEngine`. The module runs
+//! entirely over the fault-injecting simulated transport and logical
+//! clock, which is what makes the safety properties (election safety, log
+//! matching, leader completeness, state-machine safety) *property-testable*
+//! under seeded fault schedules (`tests/raft_safety.rs`).
+//!
+//! Election timeouts are drawn from a PRNG seeded by `(raft seed, node
+//! name, term)`, so a crash-restarted voter re-derives exactly the
+//! schedule it would have used — no volatile timer state to lose. Hard
+//! state (term, vote, applied index, hash chain), the log, and the
+//! snapshot anchor are mirrored into WAL-logged tables via the PR-4
+//! mirror machinery; `crash_and_restart_mdp` recovers a voter without
+//! ever violating election safety.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mdv_rdf::parse_document;
+use mdv_relstore::{ColumnDef, DataType, Database, StorageEngine};
+use mdv_runtime::rng::Prng;
+
+use crate::error::{Error, Result};
+use crate::mdp::{fnv1a64, Mdp};
+use crate::message::{escape, unescape, Message};
+use crate::mirror::{self, i, s};
+use crate::transport::Network;
+
+/// Durable Raft tables. Created only when a node is switched into Raft
+/// mode on a mirror-enabled backend, so the LWW durable layout stays
+/// byte-identical to PR 6.
+const T_RAFT_HARD: &str = "SysRaftHard"; // key, num, txt
+const T_RAFT_LOG: &str = "SysRaftLog"; // idx, term, cmd
+const T_RAFT_SNAP: &str = "SysRaftSnap"; // idx, term, data
+
+/// Leader heartbeat / replication retry interval (logical ms).
+pub const HEARTBEAT_MS: u64 = 50;
+/// Election timeouts are drawn uniformly from `[MIN, MIN + SPREAD)`.
+const ELECTION_MIN_MS: u64 = 150;
+const ELECTION_SPREAD_MS: u64 = 150;
+/// Log entries retained below the snapshot anchor after a compaction, so
+/// recent indices stay addressable for consistency checks.
+const COMPACT_KEEP: u64 = 8;
+/// Default compaction trigger: compact once `applied - offset` exceeds it.
+pub(crate) const DEFAULT_COMPACT_THRESHOLD: u64 = 64;
+
+/// How the MDP backbone replicates state (`MdvSystem` knob).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplicationMode {
+    /// Version-gated last-writer-wins replication with anti-entropy repair
+    /// and manually configured LMR failover (DESIGN.md §7). The default.
+    #[default]
+    Lww,
+    /// Single-group Raft: linearizable writes through an elected leader,
+    /// automatic LMR re-homing to the leader (DESIGN.md §9).
+    Raft,
+}
+
+/// A voter's current role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RaftRole {
+    Follower,
+    Candidate,
+    Leader,
+}
+
+/// One replicated state-machine command. Everything that mutates MDP
+/// state in Raft mode — including subscription placement, because a
+/// subscription changes which publications every future write generates —
+/// rides the log (DESIGN.md §9).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum RaftCmd {
+    /// Appended by a fresh leader to commit entries from earlier terms
+    /// (Raft §5.4.2).
+    Noop,
+    Register {
+        uri: String,
+        xml: String,
+    },
+    Update {
+        uri: String,
+        xml: String,
+    },
+    Delete {
+        uri: String,
+    },
+    Subscribe {
+        lmr: String,
+        lmr_rule: u64,
+        rule_text: String,
+    },
+    Resubscribe {
+        lmr: String,
+        lmr_rule: u64,
+        rule_text: String,
+        last_seq: u64,
+    },
+    Unsubscribe {
+        lmr: String,
+        lmr_rule: u64,
+    },
+}
+
+impl RaftCmd {
+    /// Tab-separated, escaped wire form — one line per command — used for
+    /// both the durable log mirror and the cross-node apply hash chain.
+    pub(crate) fn to_wire(&self) -> String {
+        match self {
+            RaftCmd::Noop => "noop".to_owned(),
+            RaftCmd::Register { uri, xml } => format!("reg\t{}\t{}", escape(uri), escape(xml)),
+            RaftCmd::Update { uri, xml } => format!("upd\t{}\t{}", escape(uri), escape(xml)),
+            RaftCmd::Delete { uri } => format!("del\t{}", escape(uri)),
+            RaftCmd::Subscribe {
+                lmr,
+                lmr_rule,
+                rule_text,
+            } => format!("sub\t{}\t{lmr_rule}\t{}", escape(lmr), escape(rule_text)),
+            RaftCmd::Resubscribe {
+                lmr,
+                lmr_rule,
+                rule_text,
+                last_seq,
+            } => format!(
+                "resub\t{}\t{lmr_rule}\t{last_seq}\t{}",
+                escape(lmr),
+                escape(rule_text)
+            ),
+            RaftCmd::Unsubscribe { lmr, lmr_rule } => {
+                format!("unsub\t{}\t{lmr_rule}", escape(lmr))
+            }
+        }
+    }
+
+    pub(crate) fn from_wire(wire: &str) -> Result<RaftCmd> {
+        let bad = || Error::Topology(format!("corrupt raft command '{wire}'"));
+        let mut parts = wire.split('\t');
+        let tag = parts.next().ok_or_else(bad)?;
+        let field = |p: &mut std::str::Split<'_, char>| p.next().map(unescape).ok_or_else(bad);
+        let num = |p: &mut std::str::Split<'_, char>| -> Result<u64> {
+            p.next().and_then(|v| v.parse().ok()).ok_or_else(bad)
+        };
+        Ok(match tag {
+            "noop" => RaftCmd::Noop,
+            "reg" => RaftCmd::Register {
+                uri: field(&mut parts)?,
+                xml: field(&mut parts)?,
+            },
+            "upd" => RaftCmd::Update {
+                uri: field(&mut parts)?,
+                xml: field(&mut parts)?,
+            },
+            "del" => RaftCmd::Delete {
+                uri: field(&mut parts)?,
+            },
+            "sub" => RaftCmd::Subscribe {
+                lmr: field(&mut parts)?,
+                lmr_rule: num(&mut parts)?,
+                rule_text: field(&mut parts)?,
+            },
+            "resub" => {
+                let lmr = field(&mut parts)?;
+                let lmr_rule = num(&mut parts)?;
+                let last_seq = num(&mut parts)?;
+                RaftCmd::Resubscribe {
+                    lmr,
+                    lmr_rule,
+                    rule_text: field(&mut parts)?,
+                    last_seq,
+                }
+            }
+            "unsub" => RaftCmd::Unsubscribe {
+                lmr: field(&mut parts)?,
+                lmr_rule: num(&mut parts)?,
+            },
+            _ => return Err(bad()),
+        })
+    }
+}
+
+/// The election timeout of `(node, term)`: a pure function of the seeded
+/// PRNG, so it is identical before and after a crash-restart.
+pub(crate) fn election_timeout_ms(seed: u64, name: &str, term: u64) -> u64 {
+    let mix = seed ^ fnv1a64(name.as_bytes()) ^ term.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let mut rng = Prng::seed_from_u64(mix);
+    ELECTION_MIN_MS + rng.below(ELECTION_SPREAD_MS)
+}
+
+/// Extends the apply hash chain by one command wire form (state-machine
+/// safety instrumentation: equal chains ⇒ identical applied prefixes).
+fn chain_hash(prev: u64, wire: &str) -> u64 {
+    let mut bytes = prev.to_le_bytes().to_vec();
+    bytes.extend_from_slice(wire.as_bytes());
+    fnv1a64(&bytes)
+}
+
+/// Per-voter Raft state. The log vector covers indices `(offset, last]`;
+/// `offset`/`offset_term` anchor the consistency check for the first
+/// retained entry, and `(snap_index, snap_term, snap_data)` is the latest
+/// state-machine snapshot (`snap_index >= offset` would hold only right
+/// after an install; in steady state `snap_index <= offset + KEEP`).
+#[derive(Debug)]
+pub(crate) struct RaftState {
+    pub seed: u64,
+    pub term: u64,
+    pub voted_for: Option<String>,
+    pub role: RaftRole,
+    /// `(term, command wire form)`; `log[k]` holds index `offset + 1 + k`.
+    pub log: Vec<(u64, String)>,
+    pub offset: u64,
+    pub offset_term: u64,
+    pub snap_index: u64,
+    pub snap_term: u64,
+    pub snap_data: String,
+    pub commit: u64,
+    pub applied: u64,
+    /// Apply hash chain value at `applied`.
+    pub cum_hash: u64,
+    /// Volatile `(index, chain value)` record of every apply since this
+    /// process (re)started; the safety tests compare common prefixes.
+    pub applied_chain: Vec<(u64, u64)>,
+    pub next_index: BTreeMap<String, u64>,
+    pub match_index: BTreeMap<String, u64>,
+    pub votes: BTreeSet<String>,
+    pub heartbeat_due_ms: u64,
+    pub election_deadline_ms: u64,
+    /// Terms in which this node ever became leader (persisted): the
+    /// election-safety property checks these sets pairwise disjoint.
+    pub led_terms: BTreeSet<u64>,
+    pub compact_threshold: u64,
+}
+
+impl RaftState {
+    fn new(seed: u64, name: &str, now_ms: u64) -> Self {
+        RaftState {
+            seed,
+            term: 0,
+            voted_for: None,
+            role: RaftRole::Follower,
+            log: Vec::new(),
+            offset: 0,
+            offset_term: 0,
+            snap_index: 0,
+            snap_term: 0,
+            snap_data: String::new(),
+            commit: 0,
+            applied: 0,
+            cum_hash: 0,
+            applied_chain: Vec::new(),
+            next_index: BTreeMap::new(),
+            match_index: BTreeMap::new(),
+            votes: BTreeSet::new(),
+            heartbeat_due_ms: 0,
+            election_deadline_ms: now_ms + election_timeout_ms(seed, name, 0),
+            led_terms: BTreeSet::new(),
+            compact_threshold: DEFAULT_COMPACT_THRESHOLD,
+        }
+    }
+
+    pub fn last_index(&self) -> u64 {
+        self.offset + self.log.len() as u64
+    }
+
+    pub fn last_term(&self) -> u64 {
+        self.log.last().map_or(self.offset_term, |(t, _)| *t)
+    }
+
+    /// Term of the entry at `index`, when still addressable.
+    pub fn term_at(&self, index: u64) -> Option<u64> {
+        if index == self.offset {
+            Some(self.offset_term)
+        } else if index > self.offset && index <= self.last_index() {
+            Some(self.log[(index - self.offset - 1) as usize].0)
+        } else {
+            None
+        }
+    }
+
+    fn entry_wire(&self, index: u64) -> Option<&str> {
+        if index > self.offset && index <= self.last_index() {
+            Some(self.log[(index - self.offset - 1) as usize].1.as_str())
+        } else {
+            None
+        }
+    }
+}
+
+/// Read-only view of a voter's Raft state for tests and orchestration.
+#[derive(Debug, Clone)]
+pub struct RaftProbe {
+    pub term: u64,
+    pub role: RaftRole,
+    pub voted_for: Option<String>,
+    pub commit: u64,
+    pub applied: u64,
+    /// Index of the entry preceding the first retained log entry.
+    pub offset: u64,
+    /// Latest snapshot anchor index (0 when no snapshot was taken).
+    pub snap_index: u64,
+    /// Retained entries as `(index, term, command wire form)`.
+    pub log: Vec<(u64, u64, String)>,
+    /// Every term this node ever led (persisted across crash-restarts).
+    pub led_terms: Vec<u64>,
+    /// Apply hash chain value at `applied`.
+    pub cum_hash: u64,
+    /// `(index, chain value)` for every apply since process (re)start.
+    pub applied_chain: Vec<(u64, u64)>,
+}
+
+impl<S: StorageEngine + Send + Sync> Mdp<S> {
+    /// Switches this node into Raft mode. On a mirror-enabled backend the
+    /// Raft tables are created here — never in `with_storages` — so LWW
+    /// durable layouts stay byte-identical to the pre-Raft format.
+    pub(crate) fn raft_enable(&mut self, seed: u64, now_ms: u64) -> Result<()> {
+        if self.mirror {
+            self.with_group(|this| {
+                let store = this.engine.storage_mut();
+                mirror::create_table(
+                    store,
+                    T_RAFT_HARD,
+                    vec![
+                        ColumnDef::new("key", DataType::Str),
+                        ColumnDef::new("num", DataType::Int),
+                        ColumnDef::new("txt", DataType::Str),
+                    ],
+                )?;
+                mirror::create_table(
+                    store,
+                    T_RAFT_LOG,
+                    vec![
+                        ColumnDef::new("idx", DataType::Int),
+                        ColumnDef::new("term", DataType::Int),
+                        ColumnDef::new("cmd", DataType::Str),
+                    ],
+                )?;
+                mirror::create_table(
+                    store,
+                    T_RAFT_SNAP,
+                    vec![
+                        ColumnDef::new("idx", DataType::Int),
+                        ColumnDef::new("term", DataType::Int),
+                        ColumnDef::new("data", DataType::Str),
+                    ],
+                )?;
+                Ok(())
+            })?;
+        }
+        self.raft = Some(RaftState::new(seed, &self.name, now_ms));
+        Ok(())
+    }
+
+    pub(crate) fn raft_set_compact_threshold(&mut self, threshold: u64) {
+        if let Some(r) = self.raft.as_mut() {
+            r.compact_threshold = threshold.max(1);
+        }
+    }
+
+    pub(crate) fn raft_is_leader(&self) -> bool {
+        self.raft
+            .as_ref()
+            .is_some_and(|r| r.role == RaftRole::Leader)
+    }
+
+    /// Read-only probe of this voter's Raft state (None in LWW mode).
+    pub fn raft_probe(&self) -> Option<RaftProbe> {
+        let r = self.raft.as_ref()?;
+        Some(RaftProbe {
+            term: r.term,
+            role: r.role,
+            voted_for: r.voted_for.clone(),
+            commit: r.commit,
+            applied: r.applied,
+            offset: r.offset,
+            snap_index: r.snap_index,
+            log: r
+                .log
+                .iter()
+                .enumerate()
+                .map(|(k, (t, c))| (r.offset + 1 + k as u64, *t, c.clone()))
+                .collect(),
+            led_terms: r.led_terms.iter().copied().collect(),
+            cum_hash: r.cum_hash,
+            applied_chain: r.applied_chain.clone(),
+        })
+    }
+
+    // ---- durable mirrors of the Raft state -------------------------------
+
+    fn raft_hard_upsert(&mut self, key: &str, num: u64, txt: &str) -> Result<()> {
+        if !self.mirror {
+            return Ok(());
+        }
+        mirror::upsert_where(
+            self.engine.storage_mut(),
+            T_RAFT_HARD,
+            |r| r[0].as_str() == Some(key),
+            vec![s(key), i(num), s(txt)],
+        )
+    }
+
+    /// Persists term, vote, and led-terms (the election-safety hard state).
+    fn raft_persist_vote(&mut self) -> Result<()> {
+        let Some(r) = self.raft.as_ref() else {
+            return Ok(());
+        };
+        let term = r.term;
+        let voted = r.voted_for.clone().unwrap_or_default();
+        let led = r
+            .led_terms
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        self.raft_hard_upsert("term", term, "")?;
+        self.raft_hard_upsert("voted", 0, &voted)?;
+        self.raft_hard_upsert("led", 0, &led)
+    }
+
+    /// Persists the apply cursor and hash chain, in the same commit group
+    /// as the state-machine mutation it records.
+    fn raft_persist_applied(&mut self) -> Result<()> {
+        let Some(r) = self.raft.as_ref() else {
+            return Ok(());
+        };
+        let (applied, cum) = (r.applied, r.cum_hash);
+        self.raft_hard_upsert("applied", applied, "")?;
+        self.raft_hard_upsert("cum", cum, "")
+    }
+
+    fn raft_persist_anchor(&mut self) -> Result<()> {
+        let Some(r) = self.raft.as_ref() else {
+            return Ok(());
+        };
+        let (offset, offset_term) = (r.offset, r.offset_term);
+        let (si, st, data) = (r.snap_index, r.snap_term, r.snap_data.clone());
+        self.raft_hard_upsert("offset", offset, "")?;
+        self.raft_hard_upsert("offset_term", offset_term, "")?;
+        if !self.mirror || si == 0 {
+            return Ok(());
+        }
+        mirror::upsert_where(
+            self.engine.storage_mut(),
+            T_RAFT_SNAP,
+            |_| true,
+            vec![i(si), i(st), s(&data)],
+        )
+    }
+
+    fn raft_log_insert(&mut self, idx: u64, term: u64, cmd: &str) -> Result<()> {
+        if !self.mirror {
+            return Ok(());
+        }
+        mirror::insert(
+            self.engine.storage_mut(),
+            T_RAFT_LOG,
+            vec![i(idx), i(term), s(cmd)],
+        )
+    }
+
+    fn raft_log_delete_where(&mut self, pred: impl Fn(u64) -> bool) -> Result<()> {
+        if !self.mirror {
+            return Ok(());
+        }
+        mirror::delete_where(self.engine.storage_mut(), T_RAFT_LOG, |r| {
+            r[0].as_int().is_some_and(|v| pred(v as u64))
+        })?;
+        Ok(())
+    }
+
+    /// Rebuilds the Raft hard state, log, and snapshot anchor from the
+    /// recovered database of a crashed voter. Called after
+    /// `rebuild_from_tables` restored the applied state machine; the
+    /// commit index conservatively restarts at `applied` and the node
+    /// comes back as a follower (a restart never extends leadership).
+    pub(crate) fn raft_restore_from_tables(
+        &mut self,
+        src: &Database,
+        seed: u64,
+        now_ms: u64,
+    ) -> Result<()> {
+        let corrupt = |t: &str| Error::Topology(format!("corrupt raft mirror row in {t}"));
+        let mut state = RaftState::new(seed, &self.name, now_ms);
+        for row in mirror::rows_sorted(src, T_RAFT_HARD) {
+            let (Some(key), Some(num), Some(txt)) =
+                (row[0].as_str(), row[1].as_int(), row[2].as_str())
+            else {
+                return Err(corrupt(T_RAFT_HARD));
+            };
+            let num = num as u64;
+            match key {
+                "term" => state.term = num,
+                "voted" => state.voted_for = (!txt.is_empty()).then(|| txt.to_owned()),
+                "led" => {
+                    state.led_terms = txt
+                        .split(',')
+                        .filter(|p| !p.is_empty())
+                        .map(|p| p.parse().map_err(|_| corrupt(T_RAFT_HARD)))
+                        .collect::<Result<_>>()?;
+                }
+                "applied" => state.applied = num,
+                "cum" => state.cum_hash = num,
+                "offset" => state.offset = num,
+                "offset_term" => state.offset_term = num,
+                _ => return Err(corrupt(T_RAFT_HARD)),
+            }
+        }
+        for row in mirror::rows_sorted(src, T_RAFT_SNAP) {
+            let (Some(idx), Some(term), Some(data)) =
+                (row[0].as_int(), row[1].as_int(), row[2].as_str())
+            else {
+                return Err(corrupt(T_RAFT_SNAP));
+            };
+            state.snap_index = idx as u64;
+            state.snap_term = term as u64;
+            state.snap_data = data.to_owned();
+        }
+        let mut entries: Vec<(u64, u64, String)> = Vec::new();
+        for row in mirror::rows_sorted(src, T_RAFT_LOG) {
+            let (Some(idx), Some(term), Some(cmd)) =
+                (row[0].as_int(), row[1].as_int(), row[2].as_str())
+            else {
+                return Err(corrupt(T_RAFT_LOG));
+            };
+            entries.push((idx as u64, term as u64, cmd.to_owned()));
+        }
+        // rows_sorted orders Value-wise; re-sort numerically by index
+        entries.sort_by_key(|(idx, _, _)| *idx);
+        for (idx, term, cmd) in entries {
+            if idx != state.offset + state.log.len() as u64 + 1 {
+                return Err(corrupt(T_RAFT_LOG));
+            }
+            state.log.push((term, cmd));
+        }
+        // the applied prefix is already durable; commit restarts there
+        state.commit = state.applied;
+        state.election_deadline_ms = now_ms + election_timeout_ms(seed, &self.name, state.term);
+        // re-mirror into this (fresh) node's own store
+        self.raft = Some(state);
+        self.with_group(|this| {
+            this.raft_persist_vote()?;
+            this.raft_persist_applied()?;
+            this.raft_persist_anchor()?;
+            let rows: Vec<(u64, u64, String)> = {
+                let r = this.raft.as_ref().unwrap();
+                r.log
+                    .iter()
+                    .enumerate()
+                    .map(|(k, (t, c))| (r.offset + 1 + k as u64, *t, c.clone()))
+                    .collect()
+            };
+            for (idx, term, cmd) in rows {
+                this.raft_log_insert(idx, term, &cmd)?;
+            }
+            Ok(())
+        })
+    }
+
+    // ---- elections -------------------------------------------------------
+
+    /// Steps down into the follower role of `term` (persisting the vote
+    /// reset when the term advanced).
+    fn raft_step_down(&mut self, term: u64, now_ms: u64) -> Result<()> {
+        let (changed, deadline) = {
+            let r = self.raft.as_mut().unwrap();
+            let changed = term > r.term;
+            if changed {
+                r.term = term;
+                r.voted_for = None;
+            }
+            r.role = RaftRole::Follower;
+            r.votes.clear();
+            let deadline = now_ms + election_timeout_ms(r.seed, &self.name, r.term);
+            (changed, deadline)
+        };
+        self.raft.as_mut().unwrap().election_deadline_ms = deadline;
+        if changed {
+            self.raft_persist_vote()?;
+        }
+        Ok(())
+    }
+
+    /// Starts an election: bump the term, vote for self, solicit votes.
+    pub(crate) fn raft_start_election(&mut self, net: &Network) -> Result<()> {
+        let now = net.now_ms();
+        let name = self.name.clone();
+        let (term, last_index, last_term, peers) = {
+            let r = self.raft.as_mut().unwrap();
+            r.term += 1;
+            r.role = RaftRole::Candidate;
+            r.voted_for = Some(name.clone());
+            r.votes = BTreeSet::from([name.clone()]);
+            r.election_deadline_ms = now + election_timeout_ms(r.seed, &name, r.term);
+            (r.term, r.last_index(), r.last_term(), self.peers.clone())
+        };
+        self.raft_persist_vote()?;
+        for peer in &peers {
+            net.send(
+                &name,
+                peer,
+                Message::RequestVote {
+                    term,
+                    last_log_index: last_index,
+                    last_log_term: last_term,
+                },
+            )?;
+        }
+        // single-node cluster: the self-vote is already a majority
+        self.raft_try_win(net)
+    }
+
+    fn raft_majority(&self) -> usize {
+        // cluster size = peers + self; a majority is floor(size / 2) + 1
+        self.peers.len().div_ceil(2) + 1
+    }
+
+    /// Promotes a candidate holding a majority of votes to leader.
+    fn raft_try_win(&mut self, net: &Network) -> Result<()> {
+        let majority = self.raft_majority();
+        let won = {
+            let r = self.raft.as_ref().unwrap();
+            r.role == RaftRole::Candidate && r.votes.len() >= majority
+        };
+        if !won {
+            return Ok(());
+        }
+        {
+            let r = self.raft.as_mut().unwrap();
+            r.role = RaftRole::Leader;
+            let term = r.term;
+            r.led_terms.insert(term);
+            let next = r.last_index() + 1;
+            r.next_index = self.peers.iter().map(|p| (p.clone(), next)).collect();
+            r.match_index = self.peers.iter().map(|p| (p.clone(), 0)).collect();
+            r.heartbeat_due_ms = net.now_ms() + HEARTBEAT_MS;
+        }
+        self.raft_persist_vote()?;
+        // committing a no-op entry of the new term commits every earlier
+        // entry with it (leader completeness, Raft §5.4.2)
+        self.raft_propose(RaftCmd::Noop, net).map(|_| ())
+    }
+
+    /// Appends a command to the leader's log and ships it to every peer;
+    /// returns the `(index, term)` the caller can later check for commit.
+    pub(crate) fn raft_propose(&mut self, cmd: RaftCmd, net: &Network) -> Result<(u64, u64)> {
+        if !self.raft_is_leader() {
+            return Err(Error::Unavailable(format!(
+                "MDP '{}' is not the raft leader",
+                self.name
+            )));
+        }
+        let wire = cmd.to_wire();
+        let (index, term, peers) = {
+            let r = self.raft.as_mut().unwrap();
+            let term = r.term;
+            r.log.push((term, wire.clone()));
+            (r.last_index(), term, self.peers.clone())
+        };
+        self.with_group(|this| {
+            this.raft_log_insert(index, term, &wire)?;
+            for peer in peers {
+                this.raft_send_append(&peer, net)?;
+            }
+            // a single-node cluster commits immediately
+            this.raft_advance_commit(net)
+        })?;
+        Ok((index, term))
+    }
+
+    /// Sends the peer everything past its `next_index` — an AppendEntries
+    /// when the entries are still in the log, an InstallSnapshot when the
+    /// peer lags behind the compacted tail.
+    pub(crate) fn raft_send_append(&mut self, peer: &str, net: &Network) -> Result<()> {
+        let name = self.name.clone();
+        let msg = {
+            let r = self.raft.as_ref().unwrap();
+            let next = r
+                .next_index
+                .get(peer)
+                .copied()
+                .unwrap_or(r.last_index() + 1);
+            if next <= r.offset {
+                Message::InstallSnapshot {
+                    term: r.term,
+                    last_index: r.snap_index,
+                    last_term: r.snap_term,
+                    data: r.snap_data.clone(),
+                }
+            } else {
+                let prev = next - 1;
+                let entries: Vec<(u64, String)> = r.log[(prev - r.offset) as usize..].to_vec();
+                Message::AppendEntries {
+                    term: r.term,
+                    prev_log_index: prev,
+                    prev_log_term: r.term_at(prev).unwrap_or(0),
+                    leader_commit: r.commit,
+                    entries,
+                }
+            }
+        };
+        net.send(&name, peer, msg)
+    }
+
+    /// Leader-side commit advancement: the highest index replicated on a
+    /// majority whose entry is of the current term becomes committed
+    /// (Raft §5.4.2), and committed entries are applied at once.
+    fn raft_advance_commit(&mut self, net: &Network) -> Result<bool> {
+        let advanced = {
+            let r = self.raft.as_mut().unwrap();
+            if r.role != RaftRole::Leader {
+                false
+            } else {
+                let mut matches: Vec<u64> = r.match_index.values().copied().collect();
+                matches.push(r.last_index());
+                matches.sort_unstable_by(|a, b| b.cmp(a));
+                let majority = (matches.len()) / 2 + 1;
+                let candidate = matches[majority - 1];
+                if candidate > r.commit && r.term_at(candidate) == Some(r.term) {
+                    r.commit = candidate;
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        if advanced {
+            self.raft_apply_committed(net)?;
+            // followers learn the new commit index immediately, so the
+            // system converges without waiting for a heartbeat tick
+            let peers = self.peers.clone();
+            for peer in peers {
+                self.raft_send_append(&peer, net)?;
+            }
+        }
+        Ok(advanced)
+    }
+
+    // ---- RPC handlers ----------------------------------------------------
+
+    /// Dispatches one Raft RPC (`handle_inner` routes the new message
+    /// variants here; the caller already opened a commit group).
+    pub(crate) fn raft_handle(&mut self, from: &str, msg: Message, net: &Network) -> Result<()> {
+        match msg {
+            Message::RequestVote {
+                term,
+                last_log_index,
+                last_log_term,
+            } => self.raft_on_request_vote(from, term, last_log_index, last_log_term, net),
+            Message::RequestVoteReply { term, granted } => {
+                self.raft_on_vote_reply(from, term, granted, net)
+            }
+            Message::AppendEntries {
+                term,
+                prev_log_index,
+                prev_log_term,
+                leader_commit,
+                entries,
+            } => self.raft_on_append(
+                from,
+                term,
+                prev_log_index,
+                prev_log_term,
+                leader_commit,
+                entries,
+                net,
+            ),
+            Message::AppendEntriesReply {
+                term,
+                success,
+                match_index,
+            } => self.raft_on_append_reply(from, term, success, match_index, net),
+            Message::InstallSnapshot {
+                term,
+                last_index,
+                last_term,
+                data,
+            } => self.raft_on_install(from, term, last_index, last_term, &data, net),
+            Message::InstallSnapshotReply { term, match_index } => {
+                self.raft_on_install_reply(from, term, match_index, net)
+            }
+            other => Err(Error::Topology(format!(
+                "raft dispatcher got non-raft message '{}'",
+                other.kind()
+            ))),
+        }
+    }
+
+    fn raft_on_request_vote(
+        &mut self,
+        from: &str,
+        term: u64,
+        last_log_index: u64,
+        last_log_term: u64,
+        net: &Network,
+    ) -> Result<()> {
+        let now = net.now_ms();
+        if term > self.raft.as_ref().unwrap().term {
+            self.raft_step_down(term, now)?;
+        }
+        let (granted, my_term) = {
+            let r = self.raft.as_mut().unwrap();
+            if term < r.term {
+                (false, r.term)
+            } else {
+                let up_to_date = last_log_term > r.last_term()
+                    || (last_log_term == r.last_term() && last_log_index >= r.last_index());
+                let free = r.voted_for.is_none() || r.voted_for.as_deref() == Some(from);
+                if up_to_date && free && r.role != RaftRole::Leader {
+                    r.voted_for = Some(from.to_owned());
+                    (true, r.term)
+                } else {
+                    (false, r.term)
+                }
+            }
+        };
+        if granted {
+            let r = self.raft.as_mut().unwrap();
+            r.election_deadline_ms = now + election_timeout_ms(r.seed, &self.name, r.term);
+            self.raft_persist_vote()?;
+        }
+        net.send(
+            &self.name.clone(),
+            from,
+            Message::RequestVoteReply {
+                term: my_term,
+                granted,
+            },
+        )
+    }
+
+    fn raft_on_vote_reply(
+        &mut self,
+        from: &str,
+        term: u64,
+        granted: bool,
+        net: &Network,
+    ) -> Result<()> {
+        let my_term = self.raft.as_ref().unwrap().term;
+        if term > my_term {
+            return self.raft_step_down(term, net.now_ms());
+        }
+        if granted && term == my_term {
+            let r = self.raft.as_mut().unwrap();
+            if r.role == RaftRole::Candidate {
+                r.votes.insert(from.to_owned());
+            }
+            return self.raft_try_win(net);
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn raft_on_append(
+        &mut self,
+        from: &str,
+        term: u64,
+        prev_log_index: u64,
+        prev_log_term: u64,
+        leader_commit: u64,
+        entries: Vec<(u64, String)>,
+        net: &Network,
+    ) -> Result<()> {
+        let name = self.name.clone();
+        let now = net.now_ms();
+        let my_term = self.raft.as_ref().unwrap().term;
+        if term < my_term {
+            return net.send(
+                &name,
+                from,
+                Message::AppendEntriesReply {
+                    term: my_term,
+                    success: false,
+                    match_index: 0,
+                },
+            );
+        }
+        // a current leader exists: follow it (a candidate of the same term
+        // abandons its election)
+        self.raft_step_down(term, now)?;
+        let (success, match_index, new_entries) = {
+            let r = self.raft.as_mut().unwrap();
+            match r.term_at(prev_log_index) {
+                // consistency check failed: tell the leader how far our
+                // log actually reaches so it can back off next_index
+                None => (false, r.last_index().min(prev_log_index), Vec::new()),
+                Some(t) if t != prev_log_term => (
+                    false,
+                    prev_log_index.saturating_sub(1).min(r.last_index()),
+                    Vec::new(),
+                ),
+                Some(_) => {
+                    // find the first slot where our log diverges from the
+                    // leader's entries; everything before it is already
+                    // stored with matching terms (log matching), everything
+                    // from it on replaces our tail wholesale
+                    let mut divergent: Option<usize> = None;
+                    for (k, (e_term, _)) in entries.iter().enumerate() {
+                        let idx = prev_log_index + 1 + k as u64;
+                        if idx <= r.offset {
+                            continue; // covered by our snapshot
+                        }
+                        match r.term_at(idx) {
+                            Some(t) if t == *e_term => continue,
+                            _ => {
+                                divergent = Some(k);
+                                break;
+                            }
+                        }
+                    }
+                    let mut keep: Vec<(u64, u64, String)> = Vec::new();
+                    if let Some(k0) = divergent {
+                        let cut = prev_log_index + 1 + k0 as u64;
+                        if cut <= r.last_index() {
+                            r.log.truncate((cut - r.offset - 1) as usize);
+                        }
+                        for (k, (e_term, wire)) in entries.iter().enumerate().skip(k0) {
+                            let idx = prev_log_index + 1 + k as u64;
+                            debug_assert_eq!(idx, r.last_index() + 1);
+                            r.log.push((*e_term, wire.clone()));
+                            keep.push((idx, *e_term, wire.clone()));
+                        }
+                    }
+                    let matched = prev_log_index + entries.len() as u64;
+                    let matched = matched.min(r.last_index());
+                    r.commit = r.commit.max(leader_commit.min(r.last_index()));
+                    (true, matched, keep)
+                }
+            }
+        };
+        if success {
+            // mirror the log mutation: drop every row at or past the first
+            // replaced index, then insert the appended suffix
+            if let Some((first, _, _)) = new_entries.first() {
+                let first = *first;
+                self.raft_log_delete_where(move |idx| idx >= first)?;
+                for (idx, e_term, wire) in &new_entries {
+                    self.raft_log_insert(*idx, *e_term, wire)?;
+                }
+            }
+            self.raft_apply_committed(net)?;
+        }
+        let my_term = self.raft.as_ref().unwrap().term;
+        net.send(
+            &name,
+            from,
+            Message::AppendEntriesReply {
+                term: my_term,
+                success,
+                match_index,
+            },
+        )
+    }
+
+    fn raft_on_append_reply(
+        &mut self,
+        from: &str,
+        term: u64,
+        success: bool,
+        match_index: u64,
+        net: &Network,
+    ) -> Result<()> {
+        let my_term = self.raft.as_ref().unwrap().term;
+        if term > my_term {
+            return self.raft_step_down(term, net.now_ms());
+        }
+        if !self.raft_is_leader() || term != my_term {
+            return Ok(());
+        }
+        let lagging = {
+            let r = self.raft.as_mut().unwrap();
+            if success {
+                let m = r.match_index.entry(from.to_owned()).or_insert(0);
+                *m = (*m).max(match_index);
+                let m = *m;
+                r.next_index.insert(from.to_owned(), m + 1);
+                false
+            } else {
+                // follower told us how far its log reaches; resend from there
+                let next = r.next_index.entry(from.to_owned()).or_insert(1);
+                *next = (*next).min(match_index + 1).max(1);
+                true
+            }
+        };
+        if lagging {
+            self.raft_send_append(from, net)?;
+        }
+        self.raft_advance_commit(net)?;
+        Ok(())
+    }
+
+    fn raft_on_install(
+        &mut self,
+        from: &str,
+        term: u64,
+        last_index: u64,
+        last_term: u64,
+        data: &str,
+        net: &Network,
+    ) -> Result<()> {
+        let name = self.name.clone();
+        let my_term = self.raft.as_ref().unwrap().term;
+        if term < my_term {
+            return net.send(
+                &name,
+                from,
+                Message::InstallSnapshotReply {
+                    term: my_term,
+                    match_index: 0,
+                },
+            );
+        }
+        self.raft_step_down(term, net.now_ms())?;
+        let stale = {
+            let r = self.raft.as_ref().unwrap();
+            last_index <= r.applied
+        };
+        if !stale {
+            self.raft_install_state(data, last_index, last_term, net)?;
+        }
+        let (my_term, match_index) = {
+            let r = self.raft.as_ref().unwrap();
+            (r.term, r.applied)
+        };
+        net.send(
+            &name,
+            from,
+            Message::InstallSnapshotReply {
+                term: my_term,
+                match_index,
+            },
+        )
+    }
+
+    fn raft_on_install_reply(
+        &mut self,
+        from: &str,
+        term: u64,
+        match_index: u64,
+        net: &Network,
+    ) -> Result<()> {
+        let my_term = self.raft.as_ref().unwrap().term;
+        if term > my_term {
+            return self.raft_step_down(term, net.now_ms());
+        }
+        if !self.raft_is_leader() || term != my_term {
+            return Ok(());
+        }
+        {
+            let r = self.raft.as_mut().unwrap();
+            let m = r.match_index.entry(from.to_owned()).or_insert(0);
+            *m = (*m).max(match_index);
+            let m = *m;
+            r.next_index.insert(from.to_owned(), m + 1);
+        }
+        self.raft_advance_commit(net)?;
+        Ok(())
+    }
+
+    // ---- the replicated state machine ------------------------------------
+
+    /// Applies every committed-but-unapplied entry, in order, extending the
+    /// hash chain and persisting the apply cursor with each mutation.
+    fn raft_apply_committed(&mut self, net: &Network) -> Result<()> {
+        loop {
+            let next = {
+                let r = self.raft.as_ref().unwrap();
+                if r.applied >= r.commit {
+                    break;
+                }
+                let idx = r.applied + 1;
+                r.entry_wire(idx).map(|w| (idx, w.to_owned()))
+            };
+            let Some((idx, wire)) = next else {
+                // committed entries below our log offset were applied via a
+                // snapshot install; nothing to replay
+                break;
+            };
+            let cmd = RaftCmd::from_wire(&wire)?;
+            let is_leader = self.raft_is_leader();
+            self.with_group(|this| {
+                this.raft_apply_cmd(&cmd, is_leader, net)?;
+                {
+                    let r = this.raft.as_mut().unwrap();
+                    r.cum_hash = chain_hash(r.cum_hash, &wire);
+                    r.applied = idx;
+                    let h = r.cum_hash;
+                    r.applied_chain.push((idx, h));
+                }
+                this.raft_persist_applied()
+            })?;
+        }
+        self.raft_maybe_compact()
+    }
+
+    /// Applies one command to the local state machine. Every branch is a
+    /// deterministic function of the applied prefix, so all voters stay
+    /// byte-identical; only the leader talks to LMRs (followers advance
+    /// their per-LMR publication counters silently, so sequence numbering
+    /// survives leader changes).
+    fn raft_apply_cmd(&mut self, cmd: &RaftCmd, is_leader: bool, net: &Network) -> Result<()> {
+        match cmd {
+            RaftCmd::Noop => Ok(()),
+            RaftCmd::Register { uri, xml } | RaftCmd::Update { uri, xml } => {
+                let doc = parse_document(uri, xml).map_err(mdv_filter::Error::from)?;
+                let known = self.engine.document(uri).is_some();
+                // a register racing a delete degrades to an update and
+                // vice versa, exactly like the LWW apply path
+                let pubs = if known {
+                    self.engine.update_document(&doc)?
+                } else {
+                    self.engine.register_document(&doc)?
+                };
+                self.mirror_doc_upsert(&doc)?;
+                self.raft_publish(pubs, is_leader, net)
+            }
+            RaftCmd::Delete { uri } => {
+                if self.engine.document(uri).is_none() {
+                    return Ok(()); // deleting the absent is a no-op
+                }
+                let pubs = self.engine.delete_document(uri)?;
+                self.mirror_doc_delete(uri)?;
+                self.raft_publish(pubs, is_leader, net)
+            }
+            RaftCmd::Subscribe {
+                lmr,
+                lmr_rule,
+                rule_text,
+            } => {
+                let key = (lmr.clone(), *lmr_rule);
+                if self.retired.contains(&key) || self.subscribers.values().any(|v| *v == key) {
+                    // duplicate proposal of an existing/retired rule
+                    if is_leader {
+                        return net.send(
+                            &self.name.clone(),
+                            lmr,
+                            Message::SubscribeAck {
+                                lmr_rule: *lmr_rule,
+                                error: None,
+                            },
+                        );
+                    }
+                    return Ok(());
+                }
+                match self.engine.register_subscription(rule_text) {
+                    Ok((sub, initial)) => {
+                        self.subscribers.insert(sub, key);
+                        self.mirror_sub_insert(lmr, *lmr_rule, rule_text)?;
+                        if is_leader {
+                            net.send(
+                                &self.name.clone(),
+                                lmr,
+                                Message::SubscribeAck {
+                                    lmr_rule: *lmr_rule,
+                                    error: None,
+                                },
+                            )?;
+                        }
+                        if !initial.is_empty() {
+                            let msg = self.build_publish(*lmr_rule, &initial, &[], &[])?;
+                            self.raft_emit(lmr, msg, is_leader, net)?;
+                        }
+                        Ok(())
+                    }
+                    // a rejected rule changes no state on any voter; the
+                    // leader carries the error back
+                    Err(e) => {
+                        if is_leader {
+                            net.send(
+                                &self.name.clone(),
+                                lmr,
+                                Message::SubscribeAck {
+                                    lmr_rule: *lmr_rule,
+                                    error: Some(e.to_string()),
+                                },
+                            )?;
+                        }
+                        Ok(())
+                    }
+                }
+            }
+            RaftCmd::Resubscribe {
+                lmr,
+                lmr_rule,
+                rule_text,
+                last_seq,
+            } => {
+                let key = (lmr.clone(), *lmr_rule);
+                let existing = self
+                    .subscribers
+                    .iter()
+                    .find(|(_, v)| **v == key)
+                    .map(|(sub, _)| *sub);
+                let cur = self.next_pub_seq.get(lmr).copied().unwrap_or(0);
+                if existing.is_some() && *last_seq == cur {
+                    // already registered and provably caught up
+                    if is_leader {
+                        return net.send(
+                            &self.name.clone(),
+                            lmr,
+                            Message::SubscribeAck {
+                                lmr_rule: *lmr_rule,
+                                error: None,
+                            },
+                        );
+                    }
+                    return Ok(());
+                }
+                if let Some(sub) = existing {
+                    self.subscribers.remove(&sub);
+                    self.engine.unregister_subscription(sub)?;
+                }
+                if self.retired.remove(&key) {
+                    self.mirror_sub_unretire(lmr, *lmr_rule)?;
+                }
+                match self.engine.register_subscription(rule_text) {
+                    Err(e) => {
+                        if is_leader {
+                            net.send(
+                                &self.name.clone(),
+                                lmr,
+                                Message::SubscribeAck {
+                                    lmr_rule: *lmr_rule,
+                                    error: Some(e.to_string()),
+                                },
+                            )?;
+                        }
+                        Ok(())
+                    }
+                    Ok((sub, initial)) => {
+                        self.subscribers.insert(sub, key);
+                        if existing.is_none() {
+                            self.mirror_sub_insert(lmr, *lmr_rule, rule_text)?;
+                        }
+                        if is_leader {
+                            net.send(
+                                &self.name.clone(),
+                                lmr,
+                                Message::SubscribeAck {
+                                    lmr_rule: *lmr_rule,
+                                    error: None,
+                                },
+                            )?;
+                        }
+                        let mut msg = self.build_publish(*lmr_rule, &initial, &[], &[])?;
+                        // the reconciling snapshot ships (and numbers) even
+                        // when empty, exactly like the LWW failover path
+                        msg.snapshot = true;
+                        self.raft_emit_always(lmr, msg, is_leader, net)
+                    }
+                }
+            }
+            RaftCmd::Unsubscribe { lmr, lmr_rule } => {
+                let key = (lmr.clone(), *lmr_rule);
+                let existing = self
+                    .subscribers
+                    .iter()
+                    .find(|(_, v)| **v == key)
+                    .map(|(sub, _)| *sub);
+                if let Some(sub) = existing {
+                    self.subscribers.remove(&sub);
+                    self.engine.unregister_subscription(sub)?;
+                }
+                if !self.retired.contains(&key) {
+                    self.retired.insert(key.clone());
+                    self.mirror_sub_retire(lmr, *lmr_rule)?;
+                }
+                if is_leader {
+                    return net.send(
+                        &self.name.clone(),
+                        lmr,
+                        Message::UnsubscribeAck {
+                            lmr_rule: *lmr_rule,
+                        },
+                    );
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Converts filter publications into publish messages; the leader
+    /// ships them, every other voter just advances the counters.
+    fn raft_publish(
+        &mut self,
+        pubs: Vec<mdv_filter::Publication>,
+        is_leader: bool,
+        net: &Network,
+    ) -> Result<()> {
+        for p in pubs {
+            let Some((lmr, lmr_rule)) = self.subscribers.get(&p.subscription).cloned() else {
+                continue;
+            };
+            let msg = self.build_publish(lmr_rule, &p.added, &p.updated, &p.removed)?;
+            if !msg.is_empty() {
+                self.raft_emit(&lmr, msg, is_leader, net)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn raft_emit(
+        &mut self,
+        lmr: &str,
+        msg: crate::message::PublishMsg,
+        is_leader: bool,
+        net: &Network,
+    ) -> Result<()> {
+        self.raft_emit_always(lmr, msg, is_leader, net)
+    }
+
+    /// Ships (leader) or silently numbers (follower) one publication.
+    fn raft_emit_always(
+        &mut self,
+        lmr: &str,
+        msg: crate::message::PublishMsg,
+        is_leader: bool,
+        net: &Network,
+    ) -> Result<()> {
+        if is_leader {
+            return self.send_publication(lmr, msg, net);
+        }
+        let seq = self.next_pub_seq.entry(lmr.to_owned()).or_insert(0);
+        *seq += 1;
+        let next = *seq;
+        self.mirror_pub_seq(lmr, next)
+    }
+
+    // ---- snapshots -------------------------------------------------------
+
+    /// Serializes the applied state machine: documents, live
+    /// subscriptions, retired-rule tombstones, and per-LMR publication
+    /// counters — everything a later apply reads.
+    fn raft_build_snapshot(&self) -> String {
+        let mut out = String::new();
+        let mut docs: Vec<&mdv_rdf::Document> = self.engine.documents().collect();
+        docs.sort_by(|a, b| a.uri().cmp(b.uri()));
+        for doc in docs {
+            out.push_str(&format!(
+                "d {}\t{}\n",
+                escape(doc.uri()),
+                escape(&mdv_rdf::write_document(doc))
+            ));
+        }
+        for (sub, (lmr, rule)) in self.subscribers_sorted() {
+            let text = self
+                .engine
+                .subscription(sub)
+                .map(|s| s.rule_text.clone())
+                .unwrap_or_default();
+            out.push_str(&format!("s {}\t{rule}\t{}\n", escape(&lmr), escape(&text)));
+        }
+        let mut retired: Vec<&(String, u64)> = self.retired.iter().collect();
+        retired.sort();
+        for (lmr, rule) in retired {
+            out.push_str(&format!("r {}\t{rule}\n", escape(lmr)));
+        }
+        for (lmr, seq) in self.pub_seqs_sorted() {
+            out.push_str(&format!("q {}\t{seq}\n", escape(&lmr)));
+        }
+        let r = self.raft.as_ref().unwrap();
+        out.push_str(&format!("h {}\n", r.cum_hash));
+        out
+    }
+
+    /// Replaces the whole local state machine with a snapshot: the lagging
+    /// follower wipes its engine and mirrors, loads the snapshot state,
+    /// and restarts its log empty at the snapshot anchor.
+    fn raft_install_state(
+        &mut self,
+        data: &str,
+        last_index: u64,
+        last_term: u64,
+        net: &Network,
+    ) -> Result<()> {
+        let _ = net;
+        self.with_group(|this| {
+            // tear down: subscriptions first so document removal publishes
+            // nothing, then documents, counters, and tombstones
+            let subs: Vec<_> = this.subscribers.keys().copied().collect();
+            for sub in subs {
+                this.subscribers.remove(&sub);
+                this.engine.unregister_subscription(sub)?;
+            }
+            let uris: Vec<String> = this
+                .engine
+                .documents()
+                .map(|d| d.uri().to_owned())
+                .collect();
+            for uri in uris {
+                let _ = this.engine.delete_document(&uri)?;
+                this.mirror_doc_delete(&uri)?;
+            }
+            if this.mirror {
+                for table in [
+                    crate::mdp::T_SUBS,
+                    crate::mdp::T_RETIRED,
+                    crate::mdp::T_PUBSEQ,
+                ] {
+                    mirror::delete_where(this.engine.storage_mut(), table, |_| true)?;
+                }
+            }
+            this.retired.clear();
+            this.next_pub_seq.clear();
+
+            let mut cum_hash = 0;
+            for line in data.lines() {
+                let bad = || Error::Topology(format!("corrupt raft snapshot line '{line}'"));
+                let (tag, rest) = line.split_once(' ').ok_or_else(bad)?;
+                match tag {
+                    "d" => {
+                        let (uri, xml) = rest.split_once('\t').ok_or_else(bad)?;
+                        let (uri, xml) = (unescape(uri), unescape(xml));
+                        let doc = parse_document(&uri, &xml).map_err(mdv_filter::Error::from)?;
+                        let _ = this.engine.register_document(&doc)?;
+                        this.mirror_doc_upsert(&doc)?;
+                    }
+                    "s" => {
+                        let mut f = rest.splitn(3, '\t');
+                        let (Some(lmr), Some(rule), Some(text)) = (f.next(), f.next(), f.next())
+                        else {
+                            return Err(bad());
+                        };
+                        let rule: u64 = rule.parse().map_err(|_| bad())?;
+                        let (lmr, text) = (unescape(lmr), unescape(text));
+                        let (sub, _initial) = this.engine.register_subscription(&text)?;
+                        this.subscribers.insert(sub, (lmr.clone(), rule));
+                        this.mirror_sub_insert(&lmr, rule, &text)?;
+                    }
+                    "r" => {
+                        let (lmr, rule) = rest.split_once('\t').ok_or_else(bad)?;
+                        let rule: u64 = rule.parse().map_err(|_| bad())?;
+                        let lmr = unescape(lmr);
+                        this.retired.insert((lmr.clone(), rule));
+                        this.mirror_sub_retire(&lmr, rule)?;
+                    }
+                    "q" => {
+                        let (lmr, seq) = rest.split_once('\t').ok_or_else(bad)?;
+                        let seq: u64 = seq.parse().map_err(|_| bad())?;
+                        let lmr = unescape(lmr);
+                        this.next_pub_seq.insert(lmr.clone(), seq);
+                        this.mirror_pub_seq(&lmr, seq)?;
+                    }
+                    "h" => cum_hash = rest.parse().map_err(|_| bad())?,
+                    _ => return Err(bad()),
+                }
+            }
+            {
+                let r = this.raft.as_mut().unwrap();
+                r.log.clear();
+                r.offset = last_index;
+                r.offset_term = last_term;
+                r.snap_index = last_index;
+                r.snap_term = last_term;
+                r.snap_data = data.to_owned();
+                r.commit = last_index;
+                r.applied = last_index;
+                r.cum_hash = cum_hash;
+                r.applied_chain.push((last_index, cum_hash));
+            }
+            this.raft_log_delete_where(|_| true)?;
+            this.raft_persist_applied()?;
+            this.raft_persist_anchor()
+        })
+    }
+
+    /// Compacts the log once the applied prefix outgrows the threshold:
+    /// snapshot the state machine at `applied`, keep the last
+    /// [`COMPACT_KEEP`] applied entries for consistency checks, drop the
+    /// rest.
+    fn raft_maybe_compact(&mut self) -> Result<()> {
+        let due = {
+            let r = self.raft.as_ref().unwrap();
+            r.applied.saturating_sub(r.offset) > r.compact_threshold
+        };
+        if !due {
+            return Ok(());
+        }
+        let data = self.raft_build_snapshot();
+        self.with_group(|this| {
+            let new_offset = {
+                let r = this.raft.as_mut().unwrap();
+                let applied = r.applied;
+                r.snap_index = applied;
+                r.snap_term = r.term_at(applied).unwrap_or(r.offset_term);
+                r.snap_data = data.clone();
+                let new_offset = applied.saturating_sub(COMPACT_KEEP).max(r.offset);
+                if new_offset > r.offset {
+                    r.offset_term = r.term_at(new_offset).unwrap_or(0);
+                    r.log.drain(..(new_offset - r.offset) as usize);
+                    r.offset = new_offset;
+                }
+                new_offset
+            };
+            this.raft_log_delete_where(move |idx| idx <= new_offset)?;
+            this.raft_persist_anchor()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_wire_roundtrip() {
+        let cmds = [
+            RaftCmd::Noop,
+            RaftCmd::Register {
+                uri: "a.rdf".into(),
+                xml: "<x>\ttab</x>".into(),
+            },
+            RaftCmd::Update {
+                uri: "a.rdf".into(),
+                xml: "line\nbreak".into(),
+            },
+            RaftCmd::Delete {
+                uri: "a.rdf".into(),
+            },
+            RaftCmd::Subscribe {
+                lmr: "l1".into(),
+                lmr_rule: 7,
+                rule_text: "search C c register c".into(),
+            },
+            RaftCmd::Resubscribe {
+                lmr: "l1".into(),
+                lmr_rule: 7,
+                rule_text: "search C c register c".into(),
+                last_seq: 12,
+            },
+            RaftCmd::Unsubscribe {
+                lmr: "l1".into(),
+                lmr_rule: 7,
+            },
+        ];
+        for cmd in cmds {
+            assert_eq!(RaftCmd::from_wire(&cmd.to_wire()).unwrap(), cmd);
+        }
+        assert!(RaftCmd::from_wire("bogus\tx").is_err());
+        assert!(RaftCmd::from_wire("sub\tl1\tnotanumber\ttext").is_err());
+    }
+
+    #[test]
+    fn election_timeouts_are_deterministic_and_spread() {
+        let a = election_timeout_ms(1, "m1", 3);
+        assert_eq!(a, election_timeout_ms(1, "m1", 3));
+        assert!((ELECTION_MIN_MS..ELECTION_MIN_MS + ELECTION_SPREAD_MS).contains(&a));
+        // different nodes and terms draw different timeouts (overwhelmingly)
+        let draws: BTreeSet<u64> = (0..8)
+            .flat_map(|t| ["m1", "m2", "m3"].map(|n| election_timeout_ms(1, n, t)))
+            .collect();
+        assert!(draws.len() > 8, "timeouts should spread: {draws:?}");
+    }
+
+    #[test]
+    fn hash_chain_orders_and_separates() {
+        let a = chain_hash(chain_hash(0, "x"), "y");
+        let b = chain_hash(chain_hash(0, "y"), "x");
+        assert_ne!(a, b);
+        assert_eq!(a, chain_hash(chain_hash(0, "x"), "y"));
+    }
+}

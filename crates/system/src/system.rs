@@ -14,7 +14,21 @@ use crate::error::{Error, Result};
 use crate::lmr::{Lmr, RuleStatus};
 use crate::mdp::Mdp;
 use crate::mirror;
+use crate::raft::{
+    RaftCmd, RaftProbe, RaftRole, ReplicationMode, DEFAULT_COMPACT_THRESHOLD, HEARTBEAT_MS,
+};
 use crate::transport::{Envelope, NetConfig, NetStats, Network};
+
+/// Consecutive quiescence rounds without a single mailbox delivery before
+/// the loop declares the remaining work parked and returns (DESIGN.md §9):
+/// a permanently partitioned minority can retransmit forever, and without
+/// this cap [`MdvSystem::run_to_quiescence`] would spin on it.
+const STALL_ROUND_BUDGET: u32 = 256;
+/// Per-quiescence-call caps on consensus activity, so a leader that can
+/// never reach a quorum (or a candidate that can never win) stops driving
+/// the clock instead of heartbeating/campaigning forever.
+const PUMP_BUDGET: u32 = 256;
+const ELECTION_BUDGET: u32 = 64;
 
 /// A complete MDV deployment: backbone MDPs, mid-tier LMRs, network. The
 /// node tier is generic over the storage backend: in-memory [`Database`]
@@ -28,6 +42,11 @@ pub struct MdvSystem<S: StorageEngine = Database> {
     mdps: BTreeMap<String, Mdp<S>>,
     lmrs: BTreeMap<String, Lmr<S>>,
     filter_config: FilterConfig,
+    /// How the backbone replicates: LWW gossip (default) or single-group
+    /// Raft (DESIGN.md §9). Fixed before the first node is added.
+    mode: ReplicationMode,
+    raft_seed: u64,
+    raft_compact_threshold: u64,
 }
 
 impl MdvSystem {
@@ -162,6 +181,17 @@ impl MdvSystem<DurableEngine> {
         let mut mdp = Mdp::with_storages(name, fresh, self.schema.clone(), self.filter_config)?;
         let retry_ms = self.network.config().retry_initial_ms;
         mdp.rebuild_from_tables(recovered[0].database(), retry_ms)?;
+        if self.mode == ReplicationMode::Raft {
+            mdp.raft_enable(self.raft_seed, self.network.now_ms())?;
+            mdp.raft_set_compact_threshold(self.raft_compact_threshold);
+            // the persisted term/vote/led-terms/log come back exactly, so a
+            // restarted voter cannot double-vote in a term it already voted in
+            mdp.raft_restore_from_tables(
+                recovered[0].database(),
+                self.raft_seed,
+                self.network.now_ms(),
+            )?;
+        }
         for (shard, store) in recovered.iter().enumerate() {
             for table in ["Resources", "Statements"] {
                 let want = logical_rows(store.database(), table);
@@ -263,12 +293,62 @@ impl<S: StorageEngine + Send + Sync> MdvSystem<S> {
             mdps: BTreeMap::new(),
             lmrs: BTreeMap::new(),
             filter_config: FilterConfig::default(),
+            mode: ReplicationMode::default(),
+            raft_seed: 0,
+            raft_compact_threshold: DEFAULT_COMPACT_THRESHOLD,
         }
     }
 
-    fn install_mdp(&mut self, name: &str, mdp: Mdp<S>) -> Result<()> {
+    /// Switches the backbone into Raft mode (DESIGN.md §9). Must be called
+    /// before any node is added: every MDP joins the consensus group as a
+    /// voter at install time. `seed` drives the deterministic election
+    /// timeouts, so whole fault schedules replay bit-identically.
+    pub fn enable_raft(&mut self, seed: u64) -> Result<()> {
+        if !self.mdps.is_empty() || !self.lmrs.is_empty() {
+            return Err(Error::Topology(
+                "enable_raft must be called before nodes are added".into(),
+            ));
+        }
+        self.mode = ReplicationMode::Raft;
+        self.raft_seed = seed;
+        Ok(())
+    }
+
+    pub fn replication_mode(&self) -> ReplicationMode {
+        self.mode
+    }
+
+    /// Sets how many applied log entries a voter accumulates before it
+    /// snapshots and compacts (small values exercise the InstallSnapshot
+    /// path in tests). Applies to existing and future MDPs.
+    pub fn set_raft_compact_threshold(&mut self, threshold: u64) {
+        self.raft_compact_threshold = threshold.max(1);
+        for mdp in self.mdps.values_mut() {
+            mdp.raft_set_compact_threshold(self.raft_compact_threshold);
+        }
+    }
+
+    /// The live leader of the highest term, if any voter currently leads.
+    pub fn raft_leader(&self) -> Option<String> {
+        self.mdps
+            .iter()
+            .filter(|(n, m)| !self.network.is_down(n) && m.raft_is_leader())
+            .max_by_key(|(_, m)| m.raft.as_ref().map_or(0, |r| r.term))
+            .map(|(n, _)| n.clone())
+    }
+
+    /// Read-only view of one voter's Raft state (`None` in LWW mode).
+    pub fn raft_probe(&self, mdp: &str) -> Result<Option<RaftProbe>> {
+        Ok(self.mdp(mdp)?.raft_probe())
+    }
+
+    fn install_mdp(&mut self, name: &str, mut mdp: Mdp<S>) -> Result<()> {
         if self.lmrs.contains_key(name) {
             return Err(Error::Topology(format!("'{name}' is already an LMR")));
+        }
+        if self.mode == ReplicationMode::Raft {
+            mdp.raft_enable(self.raft_seed, self.network.now_ms())?;
+            mdp.raft_set_compact_threshold(self.raft_compact_threshold);
         }
         let rx = self.network.register(name)?;
         self.network.mark_backbone(name);
@@ -395,7 +475,11 @@ impl<S: StorageEngine + Send + Sync> MdvSystem<S> {
         }
         self.network.set_down(name, false);
         self.run_to_quiescence()?;
-        self.repair_backbone(64)?;
+        // in Raft mode the leader's log/snapshot shipping is the repair
+        // mechanism; anti-entropy digests are LWW machinery
+        if self.mode == ReplicationMode::Lww {
+            self.repair_backbone(64)?;
+        }
         Ok(())
     }
 
@@ -422,6 +506,11 @@ impl<S: StorageEngine + Send + Sync> MdvSystem<S> {
     /// round itself is best-effort — under an active fault plan its messages
     /// can drop; [`MdvSystem::repair_backbone`] loops rounds to convergence.
     pub fn anti_entropy_round(&mut self) -> Result<()> {
+        if self.mode == ReplicationMode::Raft {
+            // digest/repair would bypass the replicated log; the leader's
+            // AppendEntries/InstallSnapshot pump replaces it wholesale
+            return self.run_to_quiescence();
+        }
         let alive: Vec<String> = self
             .mdps
             .keys()
@@ -455,6 +544,10 @@ impl<S: StorageEngine + Send + Sync> MdvSystem<S> {
     /// Runs anti-entropy rounds until every live MDP holds a byte-identical
     /// document set, up to `max_rounds`; returns how many rounds it took.
     pub fn repair_backbone(&mut self, max_rounds: usize) -> Result<usize> {
+        if self.mode == ReplicationMode::Raft {
+            self.run_to_quiescence()?;
+            return Ok(0);
+        }
         for round in 0..max_rounds {
             if self.backbone_converged() {
                 return Ok(round);
@@ -530,6 +623,16 @@ impl<S: StorageEngine + Send + Sync> MdvSystem<S> {
     /// Registers a document at an MDP (metadata administration, §2.2); the
     /// MDP filters, publishes, and replicates across the backbone.
     pub fn register_document(&mut self, mdp: &str, doc: &Document) -> Result<()> {
+        if self.mode == ReplicationMode::Raft {
+            self.check_raft_entry(mdp)?;
+            return self.raft_submit(
+                mdp,
+                RaftCmd::Register {
+                    uri: doc.uri().to_owned(),
+                    xml: write_document(doc),
+                },
+            );
+        }
         {
             self.check_mdp_up(mdp)?;
             let m = self
@@ -543,6 +646,16 @@ impl<S: StorageEngine + Send + Sync> MdvSystem<S> {
 
     /// Re-registers a modified document.
     pub fn update_document(&mut self, mdp: &str, doc: &Document) -> Result<()> {
+        if self.mode == ReplicationMode::Raft {
+            self.check_raft_entry(mdp)?;
+            return self.raft_submit(
+                mdp,
+                RaftCmd::Update {
+                    uri: doc.uri().to_owned(),
+                    xml: write_document(doc),
+                },
+            );
+        }
         {
             self.check_mdp_up(mdp)?;
             let m = self
@@ -556,6 +669,15 @@ impl<S: StorageEngine + Send + Sync> MdvSystem<S> {
 
     /// Deletes a document everywhere.
     pub fn delete_document(&mut self, mdp: &str, uri: &str) -> Result<()> {
+        if self.mode == ReplicationMode::Raft {
+            self.check_raft_entry(mdp)?;
+            return self.raft_submit(
+                mdp,
+                RaftCmd::Delete {
+                    uri: uri.to_owned(),
+                },
+            );
+        }
         {
             self.check_mdp_up(mdp)?;
             let m = self
@@ -567,11 +689,66 @@ impl<S: StorageEngine + Send + Sync> MdvSystem<S> {
         self.run_to_quiescence()
     }
 
+    /// Raft-mode administration entry check: the named MDP must exist and
+    /// be up (it is the administration endpoint the client talks to; the
+    /// write itself is forwarded to the leader).
+    fn check_raft_entry(&self, mdp: &str) -> Result<()> {
+        if !self.mdps.contains_key(mdp) {
+            return Err(Error::Topology(format!("unknown MDP '{mdp}'")));
+        }
+        self.check_mdp_up(mdp)
+    }
+
+    /// Proposes one command through the replicated log: settle elections,
+    /// forward the command from the entry MDP to the current leader, and
+    /// drive the system until the entry commits (or provably cannot). An
+    /// `Unavailable` error means the write has *not* taken effect and may be
+    /// retried after connectivity returns.
+    fn raft_submit(&mut self, entry: &str, cmd: RaftCmd) -> Result<()> {
+        self.run_to_quiescence()?;
+        let leader = self.raft_leader().ok_or_else(|| {
+            Error::Unavailable("no raft leader (quorum unreachable or election pending)".into())
+        })?;
+        // the administration request travels through its entry MDP: a
+        // partitioned entry cannot forward to the leader, so the client
+        // sees unavailability rather than a silently rerouted write
+        if entry != leader && self.network.link_blocked_until(entry, &leader).is_some() {
+            return Err(Error::Unavailable(format!(
+                "entry MDP '{entry}' cannot reach the leader '{leader}'"
+            )));
+        }
+        let (index, term) = self
+            .mdps
+            .get_mut(&leader)
+            .expect("leader exists")
+            .raft_propose(cmd, &self.network)?;
+        self.run_to_quiescence()?;
+        let committed = self.mdps.iter().any(|(name, m)| {
+            !self.network.is_down(name)
+                && m.raft
+                    .as_ref()
+                    .is_some_and(|r| r.commit >= index && r.term_at(index) == Some(term))
+        });
+        if committed {
+            Ok(())
+        } else {
+            Err(Error::Unavailable(format!(
+                "write at log index {index} (term {term}) did not reach a quorum"
+            )))
+        }
+    }
+
     /// Switches an MDP between immediate filtering (the default) and
     /// periodic batch filtering (paper §4): with `Some(n)`, registrations
     /// queue and the filter runs once every `n` documents or on
     /// [`MdvSystem::flush`].
     pub fn set_batch_size(&mut self, mdp: &str, batch_size: Option<usize>) -> Result<()> {
+        if self.mode == ReplicationMode::Raft && batch_size.is_some() {
+            return Err(Error::Topology(
+                "periodic batch filtering bypasses the replicated log; unavailable in Raft mode"
+                    .into(),
+            ));
+        }
         self.mdps
             .get_mut(mdp)
             .ok_or_else(|| Error::Topology(format!("unknown MDP '{mdp}'")))?
@@ -628,6 +805,7 @@ impl<S: StorageEngine + Send + Sync> MdvSystem<S> {
     /// no retransmission fires and the schedule matches the fault-free
     /// transport exactly.
     pub fn run_to_quiescence(&mut self) -> Result<()> {
+        let mode = self.mode;
         let MdvSystem {
             network,
             receivers,
@@ -637,6 +815,15 @@ impl<S: StorageEngine + Send + Sync> MdvSystem<S> {
         } = self;
         let mut names: Vec<String> = receivers.keys().cloned().collect();
         names.sort();
+        // Per-call budgets: a partitioned minority keeps retransmitting (and,
+        // in Raft mode, a minority leader keeps heartbeating) forever, so
+        // rounds that only resend — never deliver — are capped. With the
+        // inert fault plan nothing is ever unacked at drain time and these
+        // counters stay untouched, keeping the fault-free schedule
+        // byte-identical.
+        let mut election_budget = ELECTION_BUDGET;
+        let mut pump_budget = PUMP_BUDGET;
+        let mut stall_rounds: u32 = 0;
         loop {
             let mut progressed = false;
             for name in &names {
@@ -662,6 +849,7 @@ impl<S: StorageEngine + Send + Sync> MdvSystem<S> {
                 }
             }
             if progressed {
+                stall_rounds = 0;
                 continue;
             }
             let mut resent = false;
@@ -674,7 +862,21 @@ impl<S: StorageEngine + Send + Sync> MdvSystem<S> {
             for lmr in lmrs.values_mut() {
                 resent |= lmr.retransmit_due(network)?;
             }
+            let mut raft_wake = None;
+            if mode == ReplicationMode::Raft {
+                let (acted, wake) =
+                    Self::raft_pump(network, mdps, lmrs, &mut election_budget, &mut pump_budget)?;
+                resent |= acted;
+                raft_wake = wake;
+            }
             if resent {
+                stall_rounds += 1;
+                if stall_rounds > STALL_ROUND_BUDGET {
+                    // every resend is being eaten by a (permanent) partition;
+                    // declare quiescence — the unacked entries stay queued
+                    // and go out again after the next heal
+                    return Ok(());
+                }
                 continue;
             }
             let next_retry = mdps
@@ -682,6 +884,7 @@ impl<S: StorageEngine + Send + Sync> MdvSystem<S> {
                 .filter(|(name, _)| !network.is_down(name))
                 .filter_map(|(_, m)| m.next_retry_at(network))
                 .chain(lmrs.values().filter_map(|l| l.next_retry_at(network)))
+                .chain(raft_wake)
                 .min();
             match next_retry {
                 // nothing in flight, nothing unacked (entries parked against
@@ -689,9 +892,219 @@ impl<S: StorageEngine + Send + Sync> MdvSystem<S> {
                 // heal): quiescent
                 None => return Ok(()),
                 // jump the logical clock to the next retry deadline
-                Some(at) => network.advance_clock(at),
+                Some(at) => {
+                    stall_rounds += 1;
+                    if stall_rounds > STALL_ROUND_BUDGET {
+                        return Ok(());
+                    }
+                    network.advance_clock(at);
+                }
             }
         }
+    }
+
+    /// One idle-time Raft driving step: leader heartbeats/log shipping to
+    /// lagging reachable peers, elections on expired deadlines (gated on a
+    /// reachable quorum so hopeless candidacies don't churn terms), and LMR
+    /// re-homing to the current leader. Returns `(acted, wake_at)`:
+    /// `acted` when any message was sent or state stepped, else the earliest
+    /// logical-clock deadline that would unblock more work.
+    fn raft_pump(
+        network: &Network,
+        mdps: &mut BTreeMap<String, Mdp<S>>,
+        lmrs: &mut BTreeMap<String, Lmr<S>>,
+        election_budget: &mut u32,
+        pump_budget: &mut u32,
+    ) -> Result<(bool, Option<u64>)> {
+        let now = network.now_ms();
+        let majority = mdps.len() / 2 + 1;
+        let open = |a: &str, b: &str| network.link_blocked_until(a, b).is_none();
+
+        struct View {
+            term: u64,
+            role: RaftRole,
+            last_index: u64,
+            commit: u64,
+            heartbeat_due_ms: u64,
+            election_deadline_ms: u64,
+            down: bool,
+        }
+        let views: BTreeMap<String, View> = mdps
+            .iter()
+            .filter_map(|(name, m)| {
+                m.raft.as_ref().map(|r| {
+                    (
+                        name.clone(),
+                        View {
+                            term: r.term,
+                            role: r.role,
+                            last_index: r.last_index(),
+                            commit: r.commit,
+                            heartbeat_due_ms: r.heartbeat_due_ms,
+                            election_deadline_ms: r.election_deadline_ms,
+                            down: network.is_down(name),
+                        },
+                    )
+                })
+            })
+            .collect();
+
+        let mut acted = false;
+        let mut wake: Option<u64> = None;
+        let bump = |w: &mut Option<u64>, at: u64| {
+            *w = Some(w.map_or(at, |cur| cur.min(at)));
+        };
+
+        // 1. leader pump: ship heartbeats / missing entries / commit index
+        //    to reachable peers that still lag
+        for (name, v) in &views {
+            if v.down || v.role != RaftRole::Leader {
+                continue;
+            }
+            let uncommitted = v.commit < v.last_index;
+            let lagging: Vec<String> = views
+                .iter()
+                .filter(|(peer, pv)| {
+                    *peer != name
+                        && !pv.down
+                        && open(name, peer)
+                        && (uncommitted
+                            || pv.term != v.term
+                            || pv.last_index != v.last_index
+                            || pv.commit != v.commit)
+                })
+                .map(|(peer, _)| peer.clone())
+                .collect();
+            if lagging.is_empty() {
+                // peers that lag behind a finite partition window will become
+                // reachable later: wake when the earliest window lifts
+                for (peer, pv) in &views {
+                    if peer == name || pv.down {
+                        continue;
+                    }
+                    let lags = uncommitted
+                        || pv.term != v.term
+                        || pv.last_index != v.last_index
+                        || pv.commit != v.commit;
+                    if let (true, Some(until)) = (lags, network.link_blocked_until(name, peer)) {
+                        if until != u64::MAX {
+                            bump(&mut wake, until);
+                        }
+                    }
+                }
+                continue;
+            }
+            if *pump_budget == 0 {
+                continue; // minority leader spinning against a wall: give up
+            }
+            if now < v.heartbeat_due_ms {
+                bump(&mut wake, v.heartbeat_due_ms);
+                continue;
+            }
+            *pump_budget -= 1;
+            let mdp = mdps.get_mut(name).expect("view key");
+            for peer in &lagging {
+                mdp.raft_send_append(peer, network)?;
+            }
+            if let Some(r) = mdp.raft.as_mut() {
+                r.heartbeat_due_ms = now + HEARTBEAT_MS;
+            }
+            acted = true;
+        }
+
+        // 2. elections: a live non-leader whose deadline passed starts one,
+        //    but only if no live leader of an adequate term can reach it and
+        //    a quorum is reachable from it (hopeless candidacies would churn
+        //    terms without ever winning)
+        if !acted {
+            for (name, v) in &views {
+                if v.down || v.role == RaftRole::Leader || *election_budget == 0 {
+                    continue;
+                }
+                let led = views.iter().any(|(peer, pv)| {
+                    peer != name
+                        && !pv.down
+                        && pv.role == RaftRole::Leader
+                        && pv.term >= v.term
+                        && open(peer, name)
+                });
+                if led {
+                    continue;
+                }
+                let reachable = 1 + views
+                    .iter()
+                    .filter(|(peer, pv)| {
+                        *peer != name && !pv.down && open(name, peer) && open(peer, name)
+                    })
+                    .count();
+                if reachable < majority {
+                    // a finite partition window may restore quorum later
+                    let lifts: Vec<u64> = views
+                        .keys()
+                        .filter(|peer| *peer != name)
+                        .filter_map(|peer| {
+                            match (
+                                network.link_blocked_until(name, peer),
+                                network.link_blocked_until(peer, name),
+                            ) {
+                                (None, None) => None,
+                                (a, b) => {
+                                    let until = a.unwrap_or(0).max(b.unwrap_or(0));
+                                    (until != u64::MAX).then_some(until)
+                                }
+                            }
+                        })
+                        .collect();
+                    if let Some(&at) = lifts.iter().min() {
+                        bump(&mut wake, at);
+                    }
+                    continue;
+                }
+                if now < v.election_deadline_ms {
+                    bump(&mut wake, v.election_deadline_ms);
+                    continue;
+                }
+                *election_budget -= 1;
+                mdps.get_mut(name)
+                    .expect("view key")
+                    .raft_start_election(network)?;
+                acted = true;
+                break; // one candidacy per round keeps elections serial
+            }
+        }
+
+        // 3. LMR homing: with a unique live leader settled, re-home every
+        //    reachable LMR whose configured MDP isn't it
+        if !acted {
+            let leaders: Vec<(&String, u64)> = views
+                .iter()
+                .filter(|(_, v)| !v.down && v.role == RaftRole::Leader)
+                .map(|(name, v)| (name, v.term))
+                .collect();
+            let max_term = leaders.iter().map(|(_, t)| *t).max();
+            let at_max: Vec<&String> = leaders
+                .iter()
+                .filter(|(_, t)| Some(*t) == max_term)
+                .map(|(n, _)| *n)
+                .collect();
+            if let [leader] = at_max[..] {
+                let leader = leader.clone();
+                for (name, lmr) in lmrs.iter_mut() {
+                    if network.is_down(name)
+                        || lmr.mdp() == leader
+                        || lmr.failing_over()
+                        || !open(name, &leader)
+                        || !open(&leader, name)
+                    {
+                        continue;
+                    }
+                    lmr.rehome_to(&leader, network)?;
+                    acted = true;
+                }
+            }
+        }
+
+        Ok((acted, wake))
     }
 }
 
@@ -1009,5 +1422,178 @@ mod tests {
         assert!(stats.clock_ms >= 100, "subscribe + publish hops: {stats:?}");
         assert!(stats.messages >= 3);
         assert!(stats.bytes > 0);
+    }
+
+    fn raft_three(seed: u64) -> MdvSystem {
+        let mut sys = MdvSystem::new(schema());
+        sys.enable_raft(seed).unwrap();
+        for m in ["m1", "m2", "m3"] {
+            sys.add_mdp(m).unwrap();
+        }
+        sys
+    }
+
+    #[test]
+    fn raft_end_to_end_subscribe_register_query() {
+        let mut sys = raft_three(7);
+        sys.add_lmr("l1", "m1").unwrap();
+        sys.subscribe("l1", RULE).unwrap();
+        sys.register_document("m1", &doc(1, "a.uni-passau.de", 128))
+            .unwrap();
+        sys.register_document("m2", &doc(2, "b.org", 32)).unwrap();
+        assert_eq!(sys.replication_mode(), ReplicationMode::Raft);
+        assert!(sys.raft_leader().is_some());
+        // every voter applied the same committed log: identical doc sets
+        assert!(sys.backbone_converged());
+        for m in ["m1", "m2", "m3"] {
+            assert!(sys.mdp(m).unwrap().engine().document("doc1.rdf").is_some());
+        }
+        // the LMR cache flows from the log apply on the leader
+        assert!(sys.lmr("l1").unwrap().is_cached("doc1.rdf#host"));
+        assert!(sys.lmr("l1").unwrap().is_cached("doc1.rdf#info"));
+        assert!(!sys.lmr("l1").unwrap().is_cached("doc2.rdf#host"));
+        let hits = sys
+            .query("l1", "search CycleProvider c register c")
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn raft_committed_write_survives_leader_failure_with_lmr_rehoming() {
+        let mut sys = raft_three(11);
+        sys.add_lmr("l1", "m1").unwrap();
+        sys.subscribe("l1", RULE).unwrap();
+        sys.register_document("m1", &doc(1, "a.org", 128)).unwrap();
+        let leader = sys.raft_leader().expect("leader elected");
+        assert_eq!(sys.lmr("l1").unwrap().mdp(), leader, "LMR homed to leader");
+
+        // kill the leader: a majority survives, a new leader takes over
+        sys.fail_mdp(&leader).unwrap();
+        sys.run_to_quiescence().unwrap();
+        let new_leader = sys.raft_leader().expect("new leader after failover");
+        assert_ne!(new_leader, leader);
+        assert_eq!(
+            sys.lmr("l1").unwrap().mdp(),
+            new_leader,
+            "LMR re-homed automatically"
+        );
+        // the committed write survived and new writes flow
+        let entry = if new_leader == "m2" { "m2" } else { "m3" };
+        sys.register_document(entry, &doc(2, "b.org", 96)).unwrap();
+        assert!(sys.backbone_converged());
+        for m in ["m1", "m2", "m3"] {
+            if sys.is_down(m) {
+                continue;
+            }
+            assert!(sys.mdp(m).unwrap().engine().document("doc1.rdf").is_some());
+            assert!(sys.mdp(m).unwrap().engine().document("doc2.rdf").is_some());
+        }
+        assert!(sys.lmr("l1").unwrap().is_cached("doc2.rdf#host"));
+
+        // heal: the old leader catches up from the log, no anti-entropy
+        sys.heal_mdp(&leader).unwrap();
+        assert!(sys.backbone_converged());
+        assert_eq!(sys.network_stats().anti_entropy_rounds, 0);
+        assert!(sys
+            .mdp(&leader)
+            .unwrap()
+            .engine()
+            .document("doc2.rdf")
+            .is_some());
+    }
+
+    #[test]
+    fn raft_writes_unavailable_without_quorum() {
+        let mut sys = raft_three(13);
+        sys.register_document("m1", &doc(1, "a.org", 128)).unwrap();
+        sys.fail_mdp("m2").unwrap();
+        sys.fail_mdp("m3").unwrap();
+        let err = sys
+            .register_document("m1", &doc(2, "b.org", 96))
+            .unwrap_err();
+        assert!(
+            matches!(err, Error::Unavailable(_)),
+            "minority write must fail Unavailable, got: {err}"
+        );
+        // the failed proposal is not half-applied anywhere live
+        assert!(sys
+            .mdp("m1")
+            .unwrap()
+            .engine()
+            .document("doc2.rdf")
+            .is_none());
+        // quorum back: writes flow again and everyone converges
+        sys.heal_mdp("m2").unwrap();
+        sys.heal_mdp("m3").unwrap();
+        sys.register_document("m1", &doc(3, "c.org", 80)).unwrap();
+        assert!(sys.backbone_converged());
+    }
+
+    #[test]
+    fn raft_quiescence_terminates_under_permanent_partition() {
+        // a permanent 3-way split starting at t = 1_000_000: no quorum is
+        // reachable anywhere, so elections must not churn and quiescence
+        // must terminate instead of driving the clock forever
+        const SPLIT_MS: u64 = 1_000_000;
+        let mut config = NetConfig::default();
+        for (a, b) in [("m1", "m2"), ("m1", "m3"), ("m2", "m3")] {
+            config.faults.partition_both(a, b, SPLIT_MS, u64::MAX);
+        }
+        let mut sys = MdvSystem::with_net_config(schema(), config);
+        sys.enable_raft(17).unwrap();
+        for m in ["m1", "m2", "m3"] {
+            sys.add_mdp(m).unwrap();
+        }
+        sys.register_document("m1", &doc(1, "a.org", 128)).unwrap();
+        assert!(sys.raft_leader().is_some());
+
+        sys.network().advance_clock(SPLIT_MS);
+        let err = sys
+            .register_document("m1", &doc(2, "b.org", 96))
+            .unwrap_err();
+        assert!(matches!(err, Error::Unavailable(_)), "got: {err}");
+        let after = sys.network_stats().clock_ms;
+        assert!(
+            after < SPLIT_MS + 600_000,
+            "quiescence ran the clock to {after}ms under a permanent partition"
+        );
+        // the pre-split committed write is still served by every node
+        for m in ["m1", "m2", "m3"] {
+            assert!(sys.mdp(m).unwrap().engine().document("doc1.rdf").is_some());
+        }
+    }
+
+    #[test]
+    fn lww_quiescence_terminates_under_permanent_partition() {
+        // the LWW latent gap this PR fixes: a replication to a partitioned
+        // (but not down) peer is dropped at send time, so the sender
+        // retransmitted forever and run_to_quiescence never returned; the
+        // stall budget now caps it
+        let mut config = NetConfig::default();
+        config.faults.partition_both("m1", "m2", 0, u64::MAX);
+        let mut sys = MdvSystem::with_net_config(schema(), config);
+        sys.add_mdp("m1").unwrap();
+        sys.add_mdp("m2").unwrap();
+        sys.register_document("m1", &doc(1, "a.org", 128)).unwrap();
+        assert!(
+            sys.network_stats().clock_ms < 600_000,
+            "quiescence spun on the partitioned replication"
+        );
+        // the write landed at the reachable node and stays queued for m2
+        assert!(sys
+            .mdp("m1")
+            .unwrap()
+            .engine()
+            .document("doc1.rdf")
+            .is_some());
+        assert!(sys.mdp("m1").unwrap().unacked_replications() > 0);
+    }
+
+    #[test]
+    fn raft_mode_rejects_batch_filtering_and_late_enable() {
+        let mut sys = raft_three(19);
+        assert!(sys.set_batch_size("m1", Some(4)).is_err());
+        assert!(sys.set_batch_size("m1", None).is_ok());
+        assert!(sys.enable_raft(1).is_err(), "enable after nodes must fail");
     }
 }

@@ -457,6 +457,22 @@ impl Network {
         self.log.lock().clone()
     }
 
+    /// If the directed link `from → to` is inside a partition window at the
+    /// current logical clock, returns the time the last covering window
+    /// ends (`u64::MAX` for a permanent partition); `None` when the link
+    /// is open. Lets the orchestrator distinguish "wait for the partition
+    /// to heal" from "this link will never carry traffic again".
+    pub fn link_blocked_until(&self, from: &str, to: &str) -> Option<u64> {
+        let now = *self.clock_ms.lock();
+        self.config
+            .faults
+            .partitions
+            .iter()
+            .filter(|p| p.from == from && p.to == to && p.from_ms <= now && now < p.until_ms)
+            .map(|p| p.until_ms)
+            .max()
+    }
+
     /// Traffic counts per message kind.
     pub fn traffic_by_kind(&self) -> HashMap<&'static str, u64> {
         let mut out = HashMap::new();

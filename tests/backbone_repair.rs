@@ -348,6 +348,130 @@ fn delete_recreate_race_with_duplicated_replication_converges() {
     assert!(stats.duplicates_delivered > 0, "no duplicates injected");
 }
 
+/// The fixed 3-MDP/2-LMR fail-heal schedule, shared between replication
+/// modes. In LWW mode the LMRs fail over to their configured backups and
+/// anti-entropy repairs the healed node; in Raft mode re-homing is
+/// automatic (LMRs follow the leader) and the healed voter catches up from
+/// the replicated log — the end state must satisfy the same oracles either
+/// way, plus the stricter identical-committed-state check for Raft.
+fn run_fail_heal_schedule(raft: bool) {
+    let config = NetConfig {
+        faults: mild_fault_plan(0x5eed_fa11),
+        ..NetConfig::default()
+    };
+    let mut sys = MdvSystem::with_net_config(schema(), config);
+    if raft {
+        sys.enable_raft(0xace).unwrap();
+    }
+    let mdps = ["m1", "m2", "m3"];
+    for m in mdps {
+        sys.add_mdp(m).unwrap();
+    }
+    sys.add_lmr("l1", "m1").unwrap();
+    sys.add_lmr("l2", "m2").unwrap();
+    if !raft {
+        sys.set_backup_mdp("l1", "m2").unwrap();
+        sys.set_backup_mdp("l2", "m3").unwrap();
+    }
+    let r1 = sys.subscribe("l1", RULES[0]).unwrap();
+    sys.subscribe("l2", RULES[1]).unwrap();
+
+    let mut live: Vec<usize> = Vec::new();
+    let mut next = 0usize;
+    let phase1 = [
+        Op::Register(128, 700),
+        Op::Register(32, 400),
+        Op::Update(0, 96, 650),
+        Op::Register(200, 800),
+        Op::Delete(1),
+    ];
+    for (k, op) in phase1.into_iter().enumerate() {
+        apply_op(&mut sys, mdps[k % 3], op.clone(), &mut live, &mut next);
+    }
+
+    // the failure: in Raft mode kill the *leader* (the hardest victim — a
+    // new election and LMR re-homing must both happen); in LWW kill l1's
+    // home so the failover handshake fires
+    let victim = if raft {
+        sys.raft_leader().expect("leader before the failure")
+    } else {
+        "m1".to_owned()
+    };
+    sys.fail_mdp(&victim).unwrap();
+    let survivors: Vec<&str> = mdps.iter().copied().filter(|m| *m != victim).collect();
+    let phase2 = [
+        Op::Register(150, 850),
+        Op::Update(0, 80, 600),
+        Op::Delete(0),
+    ];
+    for (k, op) in phase2.into_iter().enumerate() {
+        apply_op(&mut sys, survivors[k % 2], op.clone(), &mut live, &mut next);
+    }
+    // control churn while the old home is down: detects the silence in LWW
+    // (budget exhaustion → backup), rides automatic re-homing in Raft
+    sys.unsubscribe("l1", r1).unwrap();
+    let _r1b = sys.subscribe("l1", RULES[0]).unwrap();
+    if raft {
+        let leader = sys.raft_leader().expect("a surviving majority leads");
+        assert_ne!(leader, victim);
+        assert_eq!(
+            sys.lmr("l1").unwrap().mdp(),
+            leader,
+            "l1 follows the leader"
+        );
+    } else {
+        assert_eq!(sys.lmr("l1").unwrap().mdp(), "m2", "l1 failed over");
+    }
+    assert!(!sys.lmr("l1").unwrap().failing_over());
+
+    sys.heal_mdp(&victim).unwrap();
+    let phase3 = [Op::Register(99, 777), Op::Update(1, 70, 620)];
+    for (k, op) in phase3.into_iter().enumerate() {
+        apply_op(&mut sys, mdps[k % 3], op.clone(), &mut live, &mut next);
+    }
+    sys.repair_backbone(64).unwrap();
+
+    if raft {
+        common::assert_committed_identical(&sys, "at the end of the shared schedule");
+        assert_eq!(
+            sys.network_stats().anti_entropy_rounds,
+            0,
+            "Raft mode must never run LWW anti-entropy"
+        );
+    }
+    assert!(sys.backbone_converged(), "backbone divergent at the end");
+    let l1_home = sys.lmr("l1").unwrap().mdp().to_owned();
+    let l2_home = sys.lmr("l2").unwrap().mdp().to_owned();
+    assert_consistent(
+        &sys,
+        "l1",
+        &l1_home,
+        &RULES[..1],
+        "shared schedule end (l1)",
+    );
+    assert_consistent(
+        &sys,
+        "l2",
+        &l2_home,
+        &RULES[1..],
+        "shared schedule end (l2)",
+    );
+    for m in mdps {
+        assert_eq!(sys.mdp(m).unwrap().unacked_publications(), 0, "{m}");
+        assert_eq!(sys.mdp(m).unwrap().unacked_replications(), 0, "{m}");
+    }
+}
+
+#[test]
+fn shared_fail_heal_schedule_converges_in_lww_mode() {
+    run_fail_heal_schedule(false);
+}
+
+#[test]
+fn shared_fail_heal_schedule_converges_in_raft_mode() {
+    run_fail_heal_schedule(true);
+}
+
 #[test]
 fn stranded_lmr_without_backup_parks_and_resumes_on_heal() {
     // no backup configured: the LMR must not fail over, must not spin the

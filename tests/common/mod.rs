@@ -106,6 +106,41 @@ pub fn assert_consistent<S: StorageEngine + Send + Sync>(
     let _ = BaseStore::resource_exists(engine.db(), "nonexistent#x").unwrap();
 }
 
+/// The Raft-mode convergence oracle (DESIGN.md §9): every live voter must
+/// expose *identical committed state* — same applied log prefix (equal
+/// `applied` index and equal apply hash-chain value) and byte-identical
+/// document sets. This is strictly stronger than the LWW notion of
+/// convergence, which only demands equal document sets eventually.
+pub fn assert_committed_identical<S: StorageEngine + Send + Sync>(sys: &MdvSystem<S>, when: &str) {
+    let mut reference: Option<(String, u64, u64)> = None;
+    for name in sys.mdp_names() {
+        if sys.is_down(name) {
+            continue;
+        }
+        let probe = sys
+            .raft_probe(name)
+            .unwrap()
+            .unwrap_or_else(|| panic!("{name} is not a raft voter {when}"));
+        match &reference {
+            None => reference = Some((name.to_owned(), probe.applied, probe.cum_hash)),
+            Some((ref_name, applied, cum_hash)) => {
+                assert_eq!(
+                    probe.applied, *applied,
+                    "{name} applied a different prefix than {ref_name} {when}"
+                );
+                assert_eq!(
+                    probe.cum_hash, *cum_hash,
+                    "{name} applied different commands than {ref_name} {when}"
+                );
+            }
+        }
+    }
+    assert!(
+        sys.backbone_converged(),
+        "identical applied prefixes but divergent document sets {when}"
+    );
+}
+
 /// A gentle all-links fault plan: a little loss, duplication, and jitter —
 /// enough to exercise the at-least-once machinery without making tests
 /// crawl through long retry chains.
