@@ -110,6 +110,29 @@ print(f"ok: {len(meta['packages'])} packages, all path crates in the workspace")
 PY
 
 # ---------------------------------------------------------------------------
+step "docs policy: BENCH_*.json files and EXPERIMENTS.md cross-reference"
+# Checked-in benchmark result files and the experiment write-ups must not
+# drift apart: every BENCH_*.json in the repo root is documented in
+# EXPERIMENTS.md, and every BENCH_*.json name EXPERIMENTS.md mentions
+# exists as a checked-in file.
+BENCH_COUNT=0
+for f in BENCH_*.json; do
+  [[ -e "$f" ]] || { echo "ERROR: no BENCH_*.json files found in repo root" >&2; exit 1; }
+  if ! grep -q "$f" EXPERIMENTS.md; then
+    echo "ERROR: $f is checked in but never mentioned in EXPERIMENTS.md" >&2
+    exit 1
+  fi
+  BENCH_COUNT=$((BENCH_COUNT + 1))
+done
+while read -r name; do
+  if [[ ! -f "$name" ]]; then
+    echo "ERROR: EXPERIMENTS.md references $name but the file is not checked in" >&2
+    exit 1
+  fi
+done < <(grep -oE 'BENCH_[a-z_]+\.json' EXPERIMENTS.md | sort -u)
+echo "ok: BENCH_*.json files and EXPERIMENTS.md agree ($BENCH_COUNT files)"
+
+# ---------------------------------------------------------------------------
 step "cargo fmt --check"
 cargo fmt --all --check
 
@@ -195,6 +218,27 @@ for seed in "${CI_SEEDS[@]}"; do
 done
 
 # ---------------------------------------------------------------------------
+step "matching-equivalence replay: index/subsumption routes vs scan across fixed seeds"
+# Replays the matching-equivalence properties (all four
+# use_trigger_index × use_subsumption combinations emit byte-identical
+# publications and traces vs the table-scan reference, under covering
+# churn and composed with threads and the update/delete protocol;
+# DESIGN.md §10) under the pinned seed matrix.
+for seed in "${CI_SEEDS[@]}"; do
+  MDV_PROP_SEED="$seed" MDV_PROP_CASES=25 \
+    cargo test -q --offline -p mdv-filter --test matching_equivalence >/dev/null
+  echo "ok: matching_equivalence @ MDV_PROP_SEED=$seed"
+done
+
+# ---------------------------------------------------------------------------
+step "cargo doc: public filter API (mdv-filter, -D warnings)"
+# The filter crate is the paper's contribution and its public API is the
+# documented surface (rustdoc'd module docs + runnable examples); gate it
+# separately so a missing doc or broken intra-doc link names the crate.
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps -p mdv-filter -q
+echo "ok: mdv-filter rustdoc clean"
+
+# ---------------------------------------------------------------------------
 step "cargo doc (offline, no deps)"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace -q
 
@@ -276,6 +320,22 @@ if [[ "$QUICK" == "0" ]]; then
     shard-scaling >/dev/null)
   rm -rf "$SMOKE_DIR"
   echo "ok: figures shard-scaling"
+
+  # -------------------------------------------------------------------------
+  step "figures smoke pass: matching-scaling (quick mode, scratch CWD)"
+  # Exercises the trigger-matching ablation end to end, including its
+  # internal byte-identity gates (publications and Figure-9 traces of the
+  # index/subsumption routes vs the scan reference) and the frontier-shape
+  # asserts. Runs from a scratch CWD so the quick-mode run never clobbers
+  # the checked-in BENCH_matching_scaling.json (regenerate that with
+  # `figures matching-scaling --full`).
+  ROOT="$PWD"
+  SMOKE_DIR="$(mktemp -d)"
+  (cd "$SMOKE_DIR" && cargo run --offline --release \
+    --manifest-path "$ROOT/Cargo.toml" -p mdv-bench --bin figures -- \
+    matching-scaling >/dev/null)
+  rm -rf "$SMOKE_DIR"
+  echo "ok: figures matching-scaling"
 fi
 
 print_timing_summary

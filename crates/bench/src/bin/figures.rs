@@ -9,8 +9,8 @@
 //!
 //! Subcommands: `fig11` `fig12` `fig13` `fig14` `fig15`
 //! `ablation-naive` `ablation-groups` `ablation-updates` `thread-scaling`
-//! `shard-scaling` `wal-overhead` `backbone-repair` `backbone-consensus`
-//! `all`.
+//! `shard-scaling` `matching-scaling` `wal-overhead` `backbone-repair`
+//! `backbone-consensus` `all`.
 //! `--full` runs the paper-sized rule bases (up to 100,000 rules); the
 //! default sizes finish in a few minutes on a laptop. `--threads N` runs
 //! the figure sweeps with the parallel filter on N pool workers
@@ -22,7 +22,11 @@
 //! workload and writes machine-readable results to
 //! `BENCH_filter_scaling.json`; `shard-scaling` sweeps the filter shard
 //! count (1/2/4/8, DESIGN.md §8) on the same workload and writes
-//! `BENCH_shard_scaling.json`; `wal-overhead` compares the two backends on
+//! `BENCH_shard_scaling.json`; `matching-scaling` compares scan,
+//! inverted-index, and index+subsumption trigger matching on the full-text
+//! `contains` workload at varying overlap ratios (DESIGN.md §10), asserts
+//! the three paths publish byte-identically, and writes
+//! `BENCH_matching_scaling.json`; `wal-overhead` compares the two backends on
 //! the Figure-11/12 workloads and writes `BENCH_wal_overhead.json`;
 //! `backbone-repair` drives a 3-MDP backbone through a fail/heal cycle at
 //! increasing loss rates and writes `BENCH_backbone_repair.json` (logical
@@ -166,6 +170,7 @@ fn main() {
         "ablation-updates" => run_ablation_updates(&config),
         "thread-scaling" => run_thread_scaling(&config),
         "shard-scaling" => run_shard_scaling(&config),
+        "matching-scaling" => run_matching_scaling(&config),
         "wal-overhead" => run_wal_overhead(&config),
         "backbone-repair" => run_backbone_repair(&config),
         "backbone-consensus" => run_backbone_consensus(&config),
@@ -180,6 +185,7 @@ fn main() {
             run_ablation_updates(&config);
             run_thread_scaling(&config);
             run_shard_scaling(&config);
+            run_matching_scaling(&config);
             run_wal_overhead(&config);
             run_backbone_repair(&config);
             run_backbone_consensus(&config);
@@ -189,8 +195,8 @@ fn main() {
             eprintln!(
                 "usage: figures [fig11|fig12|fig13|fig14|fig15|ablation-naive|\
                  ablation-groups|ablation-updates|thread-scaling|shard-scaling|\
-                 wal-overhead|backbone-repair|backbone-consensus|all] \
-                 [--full] [--threads N] [--backend mem|durable]"
+                 matching-scaling|wal-overhead|backbone-repair|backbone-consensus|\
+                 all] [--full] [--threads N] [--backend mem|durable]"
             );
             std::process::exit(2);
         }
@@ -562,6 +568,142 @@ fn run_shard_scaling(config: &Config) {
         std::fs::File::create(path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
     for line in &json_lines {
         writeln!(file, "{line}").expect("write shard-scaling results");
+    }
+    println!("wrote {} results to {path}", json_lines.len());
+}
+
+/// Matching scaling (DESIGN.md §10): batch registration of the full-text
+/// `contains` workload under the three trigger-matching strategies —
+/// per-partition scan, inverted token postings, and postings plus the
+/// subscription-subsumption frontier — across rule-base sizes and
+/// covering-overlap ratios. Publications *and* Figure-9 traces are
+/// asserted byte-identical against the scan reference before anything is
+/// timed (the same gate pattern as `shard-scaling`); results go to stdout
+/// and, as testkit bench-runner JSON lines, to
+/// `BENCH_matching_scaling.json`.
+fn run_matching_scaling(config: &Config) {
+    use mdv_bench::build_contains_engine;
+    use mdv_filter::FilterConfig;
+    use mdv_workload::{contains_documents, contains_families};
+
+    let (rule_counts, batch): (&[u64], u64) = if config.full {
+        (&[10_000, 100_000], 200)
+    } else {
+        (&[1_000, 5_000], 100)
+    };
+    let overlaps = [0.0f64, 0.5, 0.9];
+    let variants: &[(&str, bool, bool)] = &[
+        ("scan", false, false),
+        ("subsumption", false, true),
+        ("index", true, false),
+        ("index_subsumption", true, true),
+    ];
+    banner(
+        "Matching scaling: contains rules, scan vs inverted index vs subsumption",
+        "expected shape: scan cost grows linearly with the rule count while \
+         the index paths stay near-flat; subsumption shaves the cascade down \
+         to the covering frontier as overlap rises; publications identical \
+         at every point",
+    );
+    let opts = if std::env::var_os("MDV_BENCH_ITERS").is_some() {
+        BenchOptions::from_env()
+    } else {
+        BenchOptions {
+            warmup_iters: 1,
+            iters: if config.full { 3 } else { 5 },
+        }
+    };
+
+    let mut json_lines: Vec<String> = Vec::new();
+    println!(
+        "rule_count,overlap,frontier,variant,median_ms,ms_per_doc,trigger_evals,speedup_vs_scan"
+    );
+    for &rc in rule_counts {
+        for &overlap in &overlaps {
+            let families = contains_families(rc, overlap);
+            // the tail of the index range holds the refinement rules, so
+            // the batch exercises base-pattern and refinement matches alike
+            let docs = contains_documents((rc - batch)..rc, families);
+            let base = build_contains_engine(
+                rc,
+                overlap,
+                FilterConfig {
+                    use_trigger_index: false,
+                    use_subsumption: false,
+                    threads: config.threads,
+                    ..FilterConfig::default()
+                },
+            );
+            let (frontier, covered) = base
+                .trigger_index()
+                .contains_frontier("CycleProvider", "serverHost");
+            assert_eq!(frontier as u64, families, "frontier = covering families");
+            assert_eq!(covered as u64, rc - families, "refinements are covered");
+            let (ref_pubs, ref_run) = {
+                let mut engine = base.clone();
+                engine
+                    .register_batch_traced(&docs)
+                    .expect("reference registers")
+            };
+            let group = format!(
+                "matching_scaling_{rc}rules_ov{}_batch{batch}",
+                (overlap * 100.0) as u64
+            );
+            let mut baseline_ns = 0u64;
+            for &(name, index, subsumption) in variants {
+                // byte-identity gate: publications and the iteration trace
+                // must match the scan reference before timing
+                let evals = {
+                    let mut engine = base.clone();
+                    engine.set_matching(index, subsumption);
+                    let (pubs, run) = engine
+                        .register_batch_traced(&docs)
+                        .expect("variant registers");
+                    assert_eq!(
+                        pubs, ref_pubs,
+                        "publications diverged at {name} (rules={rc}, overlap={overlap})"
+                    );
+                    assert_eq!(
+                        run, ref_run,
+                        "trace diverged at {name} (rules={rc}, overlap={overlap})"
+                    );
+                    engine.stats().trigger_evals
+                };
+                let stats = measure(
+                    opts,
+                    || {
+                        let mut engine = base.clone();
+                        engine.set_matching(index, subsumption);
+                        engine
+                    },
+                    |mut engine| {
+                        engine.register_batch(&docs).expect("variant registers");
+                    },
+                );
+                if name == "scan" {
+                    baseline_ns = stats.median_ns;
+                }
+                println!(
+                    "{},{},{},{},{:.3},{:.5},{},{:.2}x",
+                    rc,
+                    overlap,
+                    frontier,
+                    name,
+                    stats.median_ns as f64 / 1e6,
+                    stats.median_ns as f64 / 1e6 / batch as f64,
+                    evals,
+                    baseline_ns as f64 / stats.median_ns as f64
+                );
+                json_lines.push(json_line(&group, name, &stats));
+            }
+        }
+    }
+
+    let path = "BENCH_matching_scaling.json";
+    let mut file =
+        std::fs::File::create(path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+    for line in &json_lines {
+        writeln!(file, "{line}").expect("write matching-scaling results");
     }
     println!("wrote {} results to {path}", json_lines.len());
 }

@@ -66,6 +66,21 @@ pub fn build_engine_with_config(
     engine
 }
 
+/// Builds an engine loaded with the full-text `contains` workload
+/// ([`mdv_workload::contains_rules`]): `rule_count` rules split into
+/// covering families per the overlap ratio. Used by the matching-scaling
+/// study (DESIGN.md §10); callers flip the matching strategy afterwards
+/// via [`FilterEngine::set_matching`].
+pub fn build_contains_engine(rule_count: u64, overlap: f64, config: FilterConfig) -> FilterEngine {
+    let mut engine = FilterEngine::with_config(benchmark_schema(), config);
+    for rule in mdv_workload::contains_rules(rule_count, overlap) {
+        engine
+            .register_subscription(&rule)
+            .expect("contains rules are valid");
+    }
+    engine
+}
+
 /// Builds the naive baseline with the same rule base.
 pub fn build_naive(rule_type: RuleType, rule_count: u64) -> NaiveEngine {
     let mut engine = NaiveEngine::new(benchmark_schema());

@@ -27,6 +27,7 @@ use crate::rule_tables::{
 };
 use crate::store::{create_base_tables, Atom, BaseStore};
 use crate::trace::{FilterRun, FilterStats};
+use crate::trigger_index::TriggerIndex;
 
 /// Tunables of the engine, used by the ablation benchmarks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +47,18 @@ pub struct FilterConfig {
     /// [`crate::ShardedFilterEngine`], ignored by a bare [`FilterEngine`].
     /// Publications are byte-identical for every value.
     pub shards: usize,
+    /// Consult the inverted token postings for `contains` trigger matching
+    /// (DESIGN.md §10) instead of scanning every rule of the
+    /// `(class, property)` partition. On (the default) or off, publications
+    /// and traces are byte-identical; only
+    /// [`FilterStats::trigger_evals`](crate::FilterStats) and wall-clock
+    /// time change.
+    pub use_trigger_index: bool,
+    /// Evaluate only the subscription-subsumption frontier for `contains`
+    /// and the ordered numeric operators (`<`, `<=`, `>`, `>=`), fanning
+    /// matches out to covered rules (DESIGN.md §10). Output is
+    /// byte-identical on (the default) or off.
+    pub use_subsumption: bool,
 }
 
 impl Default for FilterConfig {
@@ -54,6 +67,8 @@ impl Default for FilterConfig {
             use_rule_groups: true,
             threads: 1,
             shards: 1,
+            use_trigger_index: true,
+            use_subsumption: true,
         }
     }
 }
@@ -97,13 +112,21 @@ pub struct FilterEngine<S: StorageEngine = Database> {
     next_sub: u64,
     pub(crate) stats: FilterStats,
     config: FilterConfig,
+    /// Incremental matching index (inverted `contains` postings, cover
+    /// forest, ordered-op chains). Always maintained; consulted per the
+    /// `use_trigger_index` / `use_subsumption` config knobs.
+    triggers: TriggerIndex,
 }
 
 impl FilterEngine<Database> {
+    /// Builds an engine on a fresh in-memory database with the default
+    /// [`FilterConfig`] (rule groups on, one thread, indexed matching).
     pub fn new(schema: RdfSchema) -> Self {
         Self::with_config(schema, FilterConfig::default())
     }
 
+    /// Builds an engine on a fresh in-memory database with explicit
+    /// tunables — the ablation benchmarks' entry point.
     pub fn with_config(schema: RdfSchema, config: FilterConfig) -> Self {
         Self::with_storage(Database::new(), schema, config)
     }
@@ -150,13 +173,17 @@ impl<S: StorageEngine + Sync> FilterEngine<S> {
             next_sub: 0,
             stats: FilterStats::default(),
             config,
+            triggers: TriggerIndex::default(),
         }
     }
 
+    /// The RDF schema documents are validated against.
     pub fn schema(&self) -> &RdfSchema {
         &self.schema
     }
 
+    /// Read access to the relational database holding the base and filter
+    /// tables — every read of the filter algorithm goes through here.
     pub fn db(&self) -> &Database {
         self.store.database()
     }
@@ -180,14 +207,18 @@ impl<S: StorageEngine + Sync> FilterEngine<S> {
         self.store
     }
 
+    /// The global dependency graph of deduplicated atomic rules (§3.3.2).
     pub fn graph(&self) -> &DepGraph {
         &self.graph
     }
 
+    /// Cumulative filter statistics (documents registered, iterations run,
+    /// trigger evaluations, …) since the engine was built.
     pub fn stats(&self) -> &FilterStats {
         &self.stats
     }
 
+    /// The engine's current tunables.
     pub fn config(&self) -> &FilterConfig {
         &self.config
     }
@@ -197,6 +228,24 @@ impl<S: StorageEngine + Sync> FilterEngine<S> {
     /// value (DESIGN.md §5), only wall-clock time changes.
     pub fn set_threads(&mut self, threads: usize) {
         self.config.threads = threads.max(1);
+    }
+
+    /// Sets the trigger-matching strategy for subsequent filter runs
+    /// (DESIGN.md §10). Safe to flip at any time — the index structures
+    /// are maintained on every subscribe/unsubscribe regardless of the
+    /// knobs; the knobs only govern whether matching consults them.
+    /// Publications and traces are byte-identical for every combination;
+    /// the matching-scaling benchmark flips these to compare the paths.
+    pub fn set_matching(&mut self, use_trigger_index: bool, use_subsumption: bool) {
+        self.config.use_trigger_index = use_trigger_index;
+        self.config.use_subsumption = use_subsumption;
+    }
+
+    /// Read access to the trigger-matching index (postings, subsumption
+    /// frontier, threshold chains) — introspection for tests and the
+    /// matching-scaling study.
+    pub fn trigger_index(&self) -> &TriggerIndex {
+        &self.triggers
     }
 
     /// Maps `f` over `items`, fanning out across `config.threads` scoped
@@ -216,10 +265,12 @@ impl<S: StorageEngine + Sync> FilterEngine<S> {
         }
     }
 
+    /// The registered subscription with this id, if any.
     pub fn subscription(&self, id: SubscriptionId) -> Option<&Subscription> {
         self.subs.get(&id)
     }
 
+    /// All registered subscriptions, in ascending id order.
     pub fn subscriptions(&self) -> impl Iterator<Item = &Subscription> {
         self.subs.values()
     }
@@ -297,6 +348,13 @@ impl<S: StorageEngine + Sync> FilterEngine<S> {
                 let rule = self.graph.rule(*id).expect("created rule exists").clone();
                 let text = crate::atoms::AtomicRule::canonical_text(&rule.kind);
                 insert_atomic(&mut self.store, &rule, &text)?;
+                if let AtomicRuleKind::Trigger {
+                    class,
+                    pred: Some(p),
+                } = &rule.kind
+                {
+                    self.triggers.insert(rule.id, class, p);
+                }
             }
             // any input of a new join rule must be materialized from now on
             for id in &outcome.created {
@@ -371,6 +429,13 @@ impl<S: StorageEngine + Sync> FilterEngine<S> {
                     .map(|g| self.graph.group_members(g).is_empty())
                     .unwrap_or(false);
                 remove_atomic(&mut self.store, rule, group_emptied)?;
+                if let AtomicRuleKind::Trigger {
+                    class,
+                    pred: Some(p),
+                } = &rule.kind
+                {
+                    self.triggers.remove(rule.id, class, p);
+                }
                 BaseStore::results_drop_rule(&mut self.store, rule.id)?;
                 self.materialized.remove(&rule.id);
                 orphan_check.remove(&rule.id);
@@ -399,6 +464,37 @@ impl<S: StorageEngine + Sync> FilterEngine<S> {
 
     /// Registers a batch of new documents and runs the filter once over the
     /// whole batch (the paper's batch-registration experiments, §4).
+    ///
+    /// Publications come back sorted by subscription id with sorted,
+    /// deduplicated URI lists — the canonical order every determinism
+    /// property in this crate pins. The order is independent of
+    /// [`FilterConfig`]: threads, shards, and the matching knobs only
+    /// change wall-clock time.
+    ///
+    /// ```
+    /// use mdv_filter::FilterEngine;
+    /// use mdv_rdf::{RdfSchema, Document, Resource, Term, UriRef};
+    ///
+    /// let schema = RdfSchema::builder()
+    ///     .class("CycleProvider", |c| c.str("serverHost"))
+    ///     .build().unwrap();
+    /// let mut engine = FilterEngine::new(schema);
+    /// let (sub, _) = engine.register_subscription(
+    ///     "search CycleProvider c register c \
+    ///      where c.serverHost contains '.uni-passau.de'").unwrap();
+    ///
+    /// let docs: Vec<Document> = (0..2).map(|i| {
+    ///     let uri = format!("doc{i}.rdf");
+    ///     Document::new(&uri).with_resource(
+    ///         Resource::new(UriRef::new(&uri, "host"), "CycleProvider")
+    ///             .with("serverHost", Term::literal(format!("n{i}.uni-passau.de"))))
+    /// }).collect();
+    ///
+    /// let pubs = engine.register_batch(&docs).unwrap();
+    /// assert_eq!(pubs.len(), 1); // one publication per matched subscription
+    /// assert_eq!(pubs[0].subscription, sub);
+    /// assert_eq!(pubs[0].added, vec!["doc0.rdf#host", "doc1.rdf#host"]);
+    /// ```
     pub fn register_batch(&mut self, docs: &[Document]) -> Result<Vec<Publication>> {
         Ok(self.register_batch_traced(docs)?.0)
     }
@@ -499,8 +595,9 @@ impl<S: StorageEngine + Sync> FilterEngine<S> {
         self.stats.atoms_processed += atoms.len() as u64;
 
         // iteration 0: affected triggering rules
-        let matches = self.match_triggers(atoms)?;
+        let (matches, evals) = self.match_triggers(atoms)?;
         self.stats.trigger_matches += matches.len() as u64;
+        self.stats.trigger_evals += evals;
         let mut current: Vec<(String, RuleId)> = Vec::new();
         for (uri, rule) in matches {
             if seen.insert((rule, uri.clone())) && self.offer(rule, &uri, mode)? {
@@ -552,8 +649,18 @@ impl<S: StorageEngine + Sync> FilterEngine<S> {
         }
     }
 
-    /// Joins the batch atoms against the `FilterRules*` tables.
-    fn match_triggers(&self, atoms: &[Atom]) -> Result<Vec<(String, RuleId)>> {
+    /// Joins the batch atoms against the `FilterRules*` tables, returning
+    /// the matches plus the number of constant predicates evaluated.
+    ///
+    /// Per operator, the probe routes through the cheapest exact structure
+    /// the config allows (DESIGN.md §10): string equality always uses the
+    /// hash index on `(class, property, value)`; `contains` consults the
+    /// inverted token postings and/or the subsumption frontier; the ordered
+    /// numeric operators walk the sorted threshold chain; everything else
+    /// scans its `(class, property)` partition. All paths emit matches in
+    /// ascending rule-id order — the scan's order — so the choice is
+    /// invisible in publications and traces.
+    fn match_triggers(&self, atoms: &[Atom]) -> Result<(Vec<(String, RuleId)>, u64)> {
         // probe only operator tables that currently hold rules
         let active_ops: Vec<TriggerOp> = TRIGGER_OPS
             .into_iter()
@@ -570,11 +677,15 @@ impl<S: StorageEngine + Sync> FilterEngine<S> {
             .map(|t| !t.is_empty())
             .unwrap_or(false);
 
-        // per-atom probing only reads the trigger tables; fan out across
-        // the pool and concatenate in atom order — identical to the
-        // sequential result for any thread count
-        let per_atom = self.par_map(atoms, |atom| -> Result<Vec<(String, RuleId)>> {
+        // per-atom probing only reads the trigger tables and the in-memory
+        // index; fan out across the pool and concatenate in atom order —
+        // identical to the sequential result for any thread count. Eval
+        // counts come back per atom and are summed in input order so the
+        // stats are thread-deterministic too.
+        let cfg = self.config;
+        let per_atom = self.par_map(atoms, |atom| -> Result<(Vec<(String, RuleId)>, u64)> {
             let mut out = Vec::new();
+            let mut evals = 0u64;
             for class in self.ancestors_of(&atom.class) {
                 if atom.property == RDF_SUBJECT && class_table_active {
                     for rule in class_triggers(self.db(), class)? {
@@ -582,20 +693,40 @@ impl<S: StorageEngine + Sync> FilterEngine<S> {
                     }
                 }
                 for op in &active_ops {
-                    for rule in
-                        matching_triggers(self.db(), *op, class, &atom.property, &atom.value)?
-                    {
+                    let (hits, n) = match *op {
+                        TriggerOp::Contains if cfg.use_trigger_index || cfg.use_subsumption => {
+                            self.triggers.match_contains(
+                                class,
+                                &atom.property,
+                                &atom.value,
+                                cfg.use_trigger_index,
+                                cfg.use_subsumption,
+                            )
+                        }
+                        TriggerOp::Lt | TriggerOp::Le | TriggerOp::Gt | TriggerOp::Ge
+                            if cfg.use_subsumption =>
+                        {
+                            self.triggers
+                                .match_ordered(*op, class, &atom.property, &atom.value)
+                        }
+                        _ => matching_triggers(self.db(), *op, class, &atom.property, &atom.value)?,
+                    };
+                    evals += n;
+                    for rule in hits {
                         out.push((atom.uri.clone(), rule));
                     }
                 }
             }
-            Ok(out)
+            Ok((out, evals))
         });
         let mut out = Vec::new();
+        let mut evals = 0u64;
         for part in per_atom {
-            out.extend(part?);
+            let (matches, n) = part?;
+            out.extend(matches);
+            evals += n;
         }
-        Ok(out)
+        Ok((out, evals))
     }
 
     /// One iteration of join-rule evaluation: all join rules depending on

@@ -70,8 +70,12 @@
 //! MDP can further partition its rule base across independent filter
 //! shards ([`ShardedFilterEngine`], [`FilterConfig::shards`]) with
 //! byte-identical publications at any shard count — `DESIGN.md` §8.
-//! `DESIGN.md` §4 holds the workspace-wide module map locating this
-//! crate's files.
+//! Trigger matching itself is index-accelerated: `contains` rules sit in
+//! an inverted token-postings index and a subscription-subsumption
+//! frontier ([`TriggerIndex`], [`FilterConfig::use_trigger_index`],
+//! [`FilterConfig::use_subsumption`]) with byte-identical output either
+//! way — `DESIGN.md` §10. `DESIGN.md` §4 holds the workspace-wide module
+//! map locating this crate's files.
 
 pub mod atoms;
 pub mod decompose;
@@ -88,6 +92,7 @@ pub mod sharded;
 pub mod sql_translate;
 pub mod store;
 pub mod trace;
+pub mod trigger_index;
 pub mod update;
 
 pub use atoms::{
@@ -103,3 +108,4 @@ pub use registry::{Publication, Subscription, SubscriptionId};
 pub use sharded::ShardedFilterEngine;
 pub use store::{Atom, BaseStore};
 pub use trace::{FilterRun, FilterStats};
+pub use trigger_index::TriggerIndex;

@@ -312,16 +312,20 @@ pub fn class_triggers(db: &Database, class: &str) -> Result<Vec<RuleId>> {
         .collect()
 }
 
-/// Triggering rules matching one document atom in one operator table.
-/// EqStr probes `(class, property, value)`; other operators probe
-/// `(class, property)` and evaluate the comparison per candidate rule.
+/// Triggering rules matching one document atom in one operator table,
+/// plus the number of per-rule comparisons evaluated.
+/// EqStr probes `(class, property, value)` hash-exactly (zero comparisons);
+/// other operators probe `(class, property)` and evaluate the comparison
+/// per candidate rule — the scan baseline the trigger index replaces
+/// (DESIGN.md §10). Matches come back in rule-insertion order, which is
+/// ascending rule-id order because ids are assigned monotonically.
 pub fn matching_triggers(
     db: &Database,
     op: TriggerOp,
     class: &str,
     property: &str,
     doc_value: &str,
-) -> Result<Vec<RuleId>> {
+) -> Result<(Vec<RuleId>, u64)> {
     let name = filter_table_name(op);
     let t = db.table(&name)?;
     if op == TriggerOp::EqStr {
@@ -330,18 +334,20 @@ pub fn matching_triggers(
             Value::from(property),
             Value::from(doc_value),
         ]);
-        return rows
+        let hits = rows
             .into_iter()
             .map(|rid| {
                 Ok(RuleId(
                     t.get(rid)?[0].as_int().expect("rule_id is INT") as u64
                 ))
             })
-            .collect();
+            .collect::<Result<Vec<_>>>()?;
+        return Ok((hits, 0));
     }
     let rows = t
         .index(&format!("{name}_by_cp"))?
         .probe(&vec![Value::from(class), Value::from(property)]);
+    let evals = rows.len() as u64;
     let mut out = Vec::new();
     for rid in rows {
         let row = t.get(rid)?;
@@ -350,7 +356,7 @@ pub fn matching_triggers(
             out.push(RuleId(row[0].as_int().expect("rule_id is INT") as u64));
         }
     }
-    Ok(out)
+    Ok((out, evals))
 }
 
 /// Renders a table as fixed-width text (for the paper-walkthrough example
@@ -464,13 +470,14 @@ mod tests {
         assert_eq!(db.table("FilterRulesCON").unwrap().len(), 1);
 
         // matching: memory=92 matches rule 1 only
-        let hits =
+        let (hits, evals) =
             matching_triggers(&db, TriggerOp::Gt, "ServerInformation", "memory", "92").unwrap();
         assert_eq!(hits, vec![RuleId(1)]);
-        let hits =
+        assert_eq!(evals, 1, "scan evaluates every rule of the partition");
+        let (hits, _) =
             matching_triggers(&db, TriggerOp::Gt, "ServerInformation", "memory", "32").unwrap();
         assert!(hits.is_empty());
-        let hits = matching_triggers(
+        let (hits, _) = matching_triggers(
             &db,
             TriggerOp::Contains,
             "CycleProvider",
@@ -500,7 +507,7 @@ mod tests {
             )
             .unwrap();
         }
-        let hits = matching_triggers(
+        let (hits, evals) = matching_triggers(
             &db,
             TriggerOp::EqStr,
             "CycleProvider",
@@ -509,6 +516,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(hits, vec![RuleId(42)]);
+        assert_eq!(evals, 0, "hash point probe evaluates no comparisons");
     }
 
     #[test]
@@ -543,6 +551,7 @@ mod tests {
         assert!(
             matching_triggers(&db, TriggerOp::Gt, "ServerInformation", "memory", "92")
                 .unwrap()
+                .0
                 .is_empty()
         );
     }

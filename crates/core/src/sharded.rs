@@ -540,6 +540,7 @@ impl<S: StorageEngine + Send + Sync> ShardedFilterEngine<S> {
         for shard in &self.shards[1..] {
             let s = shard.stats();
             agg.trigger_matches += s.trigger_matches;
+            agg.trigger_evals += s.trigger_evals;
             agg.join_evaluations += s.join_evaluations;
             agg.probe_cache_hits += s.probe_cache_hits;
             agg.probes_executed += s.probes_executed;

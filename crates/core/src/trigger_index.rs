@@ -1,0 +1,634 @@
+//! Index structures that accelerate trigger matching (DESIGN.md §10).
+//!
+//! The scan baseline in [`crate::rule_tables::matching_triggers`] walks every
+//! rule registered for a `(class, property)` partition and evaluates its
+//! predicate against the document value — O(rules) per atom. At 100k+ rules
+//! this dominates the filter pass (ROADMAP item 4). This module keeps two
+//! additional structures, maintained incrementally on subscribe/unsubscribe
+//! and consulted instead of the scan when [`crate::FilterConfig`] enables
+//! them:
+//!
+//! * **Inverted token postings for `contains`** ([`TriggerOp::Contains`]):
+//!   every pattern is anchored on its longest *interior* token (a maximal
+//!   alphanumeric run bounded by non-alphanumeric characters on both sides
+//!   inside the pattern). If a document value contains the pattern, the
+//!   anchor necessarily occurs in the value as a full maximal token, so the
+//!   candidate set for a value is the union of the postings of its distinct
+//!   tokens plus the (rare) patterns with no interior token. Candidates are
+//!   then verified with a real `contains` check, so the result is exact.
+//!
+//! * **A subsumption (covering) frontier**: pattern A *covers* pattern B
+//!   when B contains A as a substring — every value matching B also matches
+//!   A, so B never needs independent trigger evaluation while A is absent
+//!   from the value. Covered rules are kept in a single-parent forest;
+//!   matching evaluates only the frontier (roots) and cascades into children
+//!   of matching rules. Unsubscribing a coverer promotes its children to its
+//!   own parent (or to the frontier). The ordered numeric operators
+//!   (`<`, `<=`, `>`, `>=`) get the same treatment for free via a sorted
+//!   threshold chain: the frontier is the weakest threshold and matching
+//!   walks the chain only as far as the document value reaches.
+//!
+//! Exactness and byte-identity with the scan path are pinned by
+//! `tests/matching_equivalence.rs`: all index paths emit candidates in
+//! ascending [`RuleId`] order, which equals the scan's emission order
+//! (row buckets preserve insertion order and rule ids grow monotonically).
+//!
+//! # Example
+//!
+//! ```
+//! use mdv_filter::trigger_index::TriggerIndex;
+//! use mdv_filter::{RuleId, TriggerOp, TriggerPred};
+//!
+//! let mut idx = TriggerIndex::default();
+//! let pred = |v: &str| TriggerPred {
+//!     property: "serverHost".into(),
+//!     op: TriggerOp::Contains,
+//!     value: v.into(),
+//! };
+//! idx.insert(RuleId(0), "CycleProvider", &pred(".uni-passau.de"));
+//! idx.insert(RuleId(1), "CycleProvider", &pred("host1.uni-passau.de"));
+//!
+//! // rule 1's pattern contains rule 0's → rule 0 covers rule 1, and the
+//! // frontier holds only rule 0.
+//! let (hits, _evals) = idx.match_contains(
+//!     "CycleProvider",
+//!     "serverHost",
+//!     "host1.uni-passau.de",
+//!     true,
+//!     true,
+//! );
+//! assert_eq!(hits, vec![RuleId(0), RuleId(1)]);
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::atoms::{RuleId, TriggerOp, TriggerPred};
+
+/// Maximal alphanumeric runs of `s` as byte ranges.
+fn token_runs(s: &str) -> Vec<(usize, usize)> {
+    let mut runs = Vec::new();
+    let mut start: Option<usize> = None;
+    for (i, c) in s.char_indices() {
+        if c.is_alphanumeric() {
+            if start.is_none() {
+                start = Some(i);
+            }
+        } else if let Some(b) = start.take() {
+            runs.push((b, i));
+        }
+    }
+    if let Some(b) = start {
+        runs.push((b, s.len()));
+    }
+    runs
+}
+
+/// Distinct maximal tokens of a document value.
+fn full_tokens(s: &str) -> BTreeSet<&str> {
+    token_runs(s).into_iter().map(|(b, e)| &s[b..e]).collect()
+}
+
+/// The anchor token of a pattern: its longest *interior* maximal
+/// alphanumeric run (bounded by non-alphanumeric characters on both sides
+/// within the pattern), ties broken towards the leftmost. Interior tokens
+/// are guaranteed to appear as full maximal tokens in any string containing
+/// the pattern; boundary runs may fuse with neighbouring characters.
+fn anchor_token(pattern: &str) -> Option<&str> {
+    token_runs(pattern)
+        .into_iter()
+        .filter(|&(b, e)| b > 0 && e < pattern.len())
+        .max_by_key(|&(b, e)| (e - b, std::cmp::Reverse(b)))
+        .map(|(b, e)| &pattern[b..e])
+}
+
+/// Inserts into a sorted `Vec` keeping it sorted; no-op on duplicates.
+fn sorted_insert<T: Ord>(v: &mut Vec<T>, x: T) {
+    if let Err(pos) = v.binary_search(&x) {
+        v.insert(pos, x);
+    }
+}
+
+/// Removes from a sorted `Vec`; no-op when absent.
+fn sorted_remove<T: Ord>(v: &mut Vec<T>, x: &T) {
+    if let Ok(pos) = v.binary_search(x) {
+        v.remove(pos);
+    }
+}
+
+/// Postings and cover forest for the `contains` rules of one
+/// `(class, property)` partition.
+#[derive(Debug, Clone, Default)]
+struct ConPartition {
+    /// Every rule's pattern, keyed by id (iteration order = scan order).
+    patterns: BTreeMap<RuleId, String>,
+    /// Anchor token → rules anchored on it (sorted by id).
+    postings: HashMap<String, Vec<RuleId>>,
+    /// Rules whose pattern has no interior token; always candidates.
+    unanchored: Vec<RuleId>,
+    /// Every maximal token of every pattern → rules containing it (sorted).
+    /// Used to find existing rules that a newly inserted rule covers.
+    pattern_tokens: HashMap<String, Vec<RuleId>>,
+    /// Covered rule → the rule that covers it (single parent).
+    parent: HashMap<RuleId, RuleId>,
+    /// Coverer → directly covered rules (sorted by id).
+    children: HashMap<RuleId, Vec<RuleId>>,
+}
+
+impl ConPartition {
+    /// Exact candidate set for a document value: union of the postings of
+    /// its distinct tokens plus the unanchored rules, ascending by id.
+    fn candidates(&self, value: &str) -> BTreeSet<RuleId> {
+        let mut out: BTreeSet<RuleId> = self.unanchored.iter().copied().collect();
+        for tok in full_tokens(value) {
+            if let Some(list) = self.postings.get(tok) {
+                out.extend(list.iter().copied());
+            }
+        }
+        out
+    }
+
+    fn insert(&mut self, id: RuleId, pattern: &str) {
+        // Find the rule's coverer before self-insertion: every existing
+        // pattern that `pattern` contains is a coverer; parent = the
+        // longest (strongest) of them, ties towards the smallest id.
+        let parent = self
+            .candidates(pattern)
+            .into_iter()
+            .filter(|c| pattern.contains(self.patterns[c].as_str()))
+            .max_by_key(|c| (self.patterns[c].len(), std::cmp::Reverse(*c)));
+        if let Some(p) = parent {
+            self.parent.insert(id, p);
+            sorted_insert(self.children.entry(p).or_default(), id);
+        }
+        // Existing *roots* whose pattern contains `pattern` are now covered
+        // by the new rule. Any such pattern contains the new rule's anchor
+        // as a full token, so `pattern_tokens[anchor]` enumerates every
+        // candidate. (An unanchored new rule skips this — still exact,
+        // the frontier is merely a little wider than it could be.)
+        if let Some(anchor) = anchor_token(pattern) {
+            if let Some(cands) = self.pattern_tokens.get(anchor) {
+                for c in cands.clone() {
+                    // `c` may be the parent just chosen above when two
+                    // callers insert byte-identical patterns (the engine
+                    // dedups those away); skip it to keep the forest acyclic.
+                    if self.parent.get(&id) == Some(&c) {
+                        continue;
+                    }
+                    if !self.parent.contains_key(&c) && self.patterns[&c].contains(pattern) {
+                        self.parent.insert(c, id);
+                        sorted_insert(self.children.entry(id).or_default(), c);
+                    }
+                }
+            }
+        }
+        match anchor_token(pattern) {
+            Some(anchor) => sorted_insert(self.postings.entry(anchor.to_owned()).or_default(), id),
+            None => sorted_insert(&mut self.unanchored, id),
+        }
+        for tok in full_tokens(pattern) {
+            sorted_insert(self.pattern_tokens.entry(tok.to_owned()).or_default(), id);
+        }
+        self.patterns.insert(id, pattern.to_owned());
+    }
+
+    fn remove(&mut self, id: RuleId) {
+        let Some(pattern) = self.patterns.remove(&id) else {
+            return;
+        };
+        match anchor_token(&pattern) {
+            Some(anchor) => {
+                if let Some(list) = self.postings.get_mut(anchor) {
+                    sorted_remove(list, &id);
+                    if list.is_empty() {
+                        self.postings.remove(anchor);
+                    }
+                }
+            }
+            None => sorted_remove(&mut self.unanchored, &id),
+        }
+        for tok in full_tokens(&pattern) {
+            if let Some(list) = self.pattern_tokens.get_mut(tok) {
+                sorted_remove(list, &id);
+                if list.is_empty() {
+                    self.pattern_tokens.remove(tok);
+                }
+            }
+        }
+        // Promote covered children to the departing rule's own coverer, or
+        // to the frontier. Covering is transitive (substring-of-substring),
+        // so the promoted edges stay valid.
+        let grandparent = self.parent.remove(&id);
+        if let Some(p) = grandparent {
+            if let Some(siblings) = self.children.get_mut(&p) {
+                sorted_remove(siblings, &id);
+            }
+        }
+        for child in self.children.remove(&id).unwrap_or_default() {
+            match grandparent {
+                Some(p) => {
+                    self.parent.insert(child, p);
+                    sorted_insert(self.children.entry(p).or_default(), child);
+                }
+                None => {
+                    self.parent.remove(&child);
+                }
+            }
+        }
+    }
+
+    /// Index-only matching: verify each candidate, no cover cascade.
+    fn match_plain(&self, value: &str) -> (Vec<RuleId>, u64) {
+        let cands = self.candidates(value);
+        let evals = cands.len() as u64;
+        let hits = cands
+            .into_iter()
+            .filter(|c| value.contains(self.patterns[c].as_str()))
+            .collect();
+        (hits, evals)
+    }
+
+    /// Frontier matching: evaluate roots only, cascade into children of
+    /// matching rules. `use_postings` narrows the roots via the inverted
+    /// index; otherwise every root is evaluated.
+    fn match_frontier(&self, value: &str, use_postings: bool) -> (Vec<RuleId>, u64) {
+        let mut evals = 0u64;
+        let mut matched = BTreeSet::new();
+        let roots: Vec<RuleId> = if use_postings {
+            self.candidates(value)
+                .into_iter()
+                .filter(|c| !self.parent.contains_key(c))
+                .collect()
+        } else {
+            self.patterns
+                .keys()
+                .filter(|c| !self.parent.contains_key(c))
+                .copied()
+                .collect()
+        };
+        let mut stack = roots;
+        while let Some(c) = stack.pop() {
+            evals += 1;
+            if value.contains(self.patterns[&c].as_str()) {
+                matched.insert(c);
+                if let Some(kids) = self.children.get(&c) {
+                    stack.extend(kids.iter().copied());
+                }
+            }
+        }
+        (matched.into_iter().collect(), evals)
+    }
+
+    /// (frontier size, covered rule count) — introspection for tests/docs.
+    fn frontier_stats(&self) -> (usize, usize) {
+        let covered = self.parent.len();
+        (self.patterns.len() - covered, covered)
+    }
+}
+
+/// Sorted threshold chain for one ordered numeric operator of one
+/// `(class, property)` partition. The chain *is* the cover frontier for a
+/// totally ordered predicate: for `>` the weakest threshold covers all
+/// stronger ones, and matching walks the chain only while thresholds keep
+/// matching. Rules whose constant does not parse as a (non-NaN) number can
+/// never match (`TriggerOp::matches` is false on parse failure) and are
+/// left out of the chain entirely.
+#[derive(Debug, Clone, Default)]
+struct Chain {
+    /// `(threshold, rule)` ascending by `(f64::total_cmp, RuleId)`.
+    entries: Vec<(f64, RuleId)>,
+}
+
+impl Chain {
+    fn position(&self, t: f64, id: RuleId) -> Result<usize, usize> {
+        self.entries
+            .binary_search_by(|(et, eid)| et.total_cmp(&t).then(eid.cmp(&id)))
+    }
+
+    fn insert(&mut self, t: f64, id: RuleId) {
+        if let Err(pos) = self.position(t, id) {
+            self.entries.insert(pos, (t, id));
+        }
+    }
+
+    fn remove(&mut self, t: f64, id: RuleId) {
+        if let Ok(pos) = self.position(t, id) {
+            self.entries.remove(pos);
+        }
+    }
+
+    /// Walk the chain from its weak end, stopping at the first threshold
+    /// the document value no longer satisfies. Sound because `total_cmp`
+    /// order is numerically non-decreasing (no NaN in the chain, and the
+    /// strict/non-strict comparisons treat `-0.0 == 0.0`).
+    fn matches(&self, op: TriggerOp, d: f64) -> (Vec<RuleId>, u64) {
+        let mut hits = Vec::new();
+        let mut evals = 0u64;
+        match op {
+            TriggerOp::Gt | TriggerOp::Ge => {
+                for &(t, id) in &self.entries {
+                    evals += 1;
+                    let ok = if op == TriggerOp::Gt { d > t } else { d >= t };
+                    if !ok {
+                        break;
+                    }
+                    hits.push(id);
+                }
+            }
+            TriggerOp::Lt | TriggerOp::Le => {
+                for &(t, id) in self.entries.iter().rev() {
+                    evals += 1;
+                    let ok = if op == TriggerOp::Lt { d < t } else { d <= t };
+                    if !ok {
+                        break;
+                    }
+                    hits.push(id);
+                }
+            }
+            _ => unreachable!("chains only hold ordered operators"),
+        }
+        hits.sort_unstable();
+        (hits, evals)
+    }
+}
+
+fn parse_num(value: &str) -> Option<f64> {
+    value.trim().parse::<f64>().ok().filter(|v| !v.is_nan())
+}
+
+/// Incremental trigger-matching index: inverted token postings + cover
+/// forest for `contains`, sorted threshold chains for the ordered numeric
+/// operators. Maintained unconditionally on subscribe/unsubscribe (the
+/// [`crate::FilterConfig`] knobs only govern whether matching *consults*
+/// it, so the knobs can flip safely at any time), and owned per shard by
+/// the sharded engine so the merge stays shard-invariant.
+#[derive(Debug, Clone, Default)]
+pub struct TriggerIndex {
+    con: HashMap<(String, String), ConPartition>,
+    chains: HashMap<(String, String, TriggerOp), Chain>,
+}
+
+impl TriggerIndex {
+    /// Registers an atomic trigger rule's predicate. Called for every
+    /// created trigger rule; predicates the index has no structure for
+    /// (equality, inequality) are ignored.
+    pub fn insert(&mut self, id: RuleId, class: &str, pred: &TriggerPred) {
+        match pred.op {
+            TriggerOp::Contains => self
+                .con
+                .entry((class.to_owned(), pred.property.clone()))
+                .or_default()
+                .insert(id, &pred.value),
+            TriggerOp::Lt | TriggerOp::Le | TriggerOp::Gt | TriggerOp::Ge => {
+                if let Some(t) = parse_num(&pred.value) {
+                    self.chains
+                        .entry((class.to_owned(), pred.property.clone(), pred.op))
+                        .or_default()
+                        .insert(t, id);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Unregisters a trigger rule's predicate; no-op when absent.
+    pub fn remove(&mut self, id: RuleId, class: &str, pred: &TriggerPred) {
+        match pred.op {
+            TriggerOp::Contains => {
+                let key = (class.to_owned(), pred.property.clone());
+                if let Some(part) = self.con.get_mut(&key) {
+                    part.remove(id);
+                    if part.patterns.is_empty() {
+                        self.con.remove(&key);
+                    }
+                }
+            }
+            TriggerOp::Lt | TriggerOp::Le | TriggerOp::Gt | TriggerOp::Ge => {
+                if let Some(t) = parse_num(&pred.value) {
+                    let key = (class.to_owned(), pred.property.clone(), pred.op);
+                    if let Some(chain) = self.chains.get_mut(&key) {
+                        chain.remove(t, id);
+                        if chain.entries.is_empty() {
+                            self.chains.remove(&key);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// All `contains` rules of `(class, property)` matching `value`,
+    /// ascending by id, plus the number of containment checks performed.
+    /// `use_postings` narrows candidates via the inverted index;
+    /// `use_frontier` evaluates only the cover frontier and cascades.
+    /// Both paths produce exactly the scan result.
+    pub fn match_contains(
+        &self,
+        class: &str,
+        property: &str,
+        value: &str,
+        use_postings: bool,
+        use_frontier: bool,
+    ) -> (Vec<RuleId>, u64) {
+        let Some(part) = self.con.get(&(class.to_owned(), property.to_owned())) else {
+            return (Vec::new(), 0);
+        };
+        if use_frontier {
+            part.match_frontier(value, use_postings)
+        } else {
+            part.match_plain(value)
+        }
+    }
+
+    /// All ordered-operator rules of `(class, property, op)` matching
+    /// `value`, ascending by id, plus the number of thresholds visited.
+    /// A non-numeric document value matches nothing (as in the scan).
+    pub fn match_ordered(
+        &self,
+        op: TriggerOp,
+        class: &str,
+        property: &str,
+        value: &str,
+    ) -> (Vec<RuleId>, u64) {
+        let Some(d) = parse_num(value) else {
+            return (Vec::new(), 0);
+        };
+        let Some(chain) = self
+            .chains
+            .get(&(class.to_owned(), property.to_owned(), op))
+        else {
+            return (Vec::new(), 0);
+        };
+        chain.matches(op, d)
+    }
+
+    /// `(frontier size, covered count)` of a `contains` partition —
+    /// introspection used by tests and the matching-scaling study.
+    pub fn contains_frontier(&self, class: &str, property: &str) -> (usize, usize) {
+        self.con
+            .get(&(class.to_owned(), property.to_owned()))
+            .map(|p| p.frontier_stats())
+            .unwrap_or((0, 0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pred(op: TriggerOp, value: &str) -> TriggerPred {
+        TriggerPred {
+            property: "serverHost".into(),
+            op,
+            value: value.into(),
+        }
+    }
+
+    fn con_index(patterns: &[&str]) -> TriggerIndex {
+        let mut idx = TriggerIndex::default();
+        for (i, p) in patterns.iter().enumerate() {
+            idx.insert(RuleId(i as u64), "C", &pred(TriggerOp::Contains, p));
+        }
+        idx
+    }
+
+    fn scan(patterns: &[&str], value: &str) -> Vec<RuleId> {
+        patterns
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| value.contains(**p))
+            .map(|(i, _)| RuleId(i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn anchors_are_longest_interior_tokens() {
+        assert_eq!(anchor_token(".region7.grid"), Some("region7"));
+        assert_eq!(anchor_token("a.uni-passau.de"), Some("passau"));
+        // boundary runs may fuse with neighbours in a containing string
+        assert_eq!(anchor_token("abc"), None);
+        assert_eq!(anchor_token("abc.de"), None);
+        assert_eq!(anchor_token(""), None);
+        // tie on length → leftmost
+        assert_eq!(anchor_token(".ab.cd."), Some("ab"));
+    }
+
+    #[test]
+    fn plain_and_frontier_match_equal_scan() {
+        let patterns = [
+            ".uni-passau.de",
+            "host1.uni-passau.de",
+            "host",
+            ".de",
+            "xyz",
+            "1.uni",
+        ];
+        let idx = con_index(&patterns);
+        for value in [
+            "host1.uni-passau.de",
+            "host2.uni-passau.de",
+            "a.b.c",
+            "",
+            "xyzhost",
+        ] {
+            let expected = scan(&patterns, value);
+            for (postings, frontier) in [(true, false), (false, true), (true, true)] {
+                let (hits, _) = idx.match_contains("C", "serverHost", value, postings, frontier);
+                assert_eq!(
+                    hits, expected,
+                    "value={value:?} cfg=({postings},{frontier})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_shrinks_under_covering_and_recovers_on_unsubscribe() {
+        let mut idx = con_index(&[".r1.grid", "n1.r1.grid", "n2.r1.grid"]);
+        // rule 0 covers rules 1 and 2
+        assert_eq!(idx.contains_frontier("C", "serverHost"), (1, 2));
+        let (hits, evals) = idx.match_contains("C", "serverHost", "n1.r1.grid.org", true, true);
+        assert_eq!(hits, vec![RuleId(0), RuleId(1)]);
+        // frontier eval + two children cascaded
+        assert_eq!(evals, 3);
+        // unsubscribing the coverer promotes its children to the frontier
+        idx.remove(RuleId(0), "C", &pred(TriggerOp::Contains, ".r1.grid"));
+        assert_eq!(idx.contains_frontier("C", "serverHost"), (2, 0));
+        let (hits, _) = idx.match_contains("C", "serverHost", "n1.r1.grid.org", true, true);
+        assert_eq!(hits, vec![RuleId(1)]);
+    }
+
+    #[test]
+    fn late_coverer_adopts_existing_roots() {
+        let mut idx = con_index(&["n1.r1.grid", "n2.r1.grid"]);
+        assert_eq!(idx.contains_frontier("C", "serverHost"), (2, 0));
+        // the base pattern arrives last and still becomes the single root
+        idx.insert(RuleId(9), "C", &pred(TriggerOp::Contains, ".r1.grid"));
+        assert_eq!(idx.contains_frontier("C", "serverHost"), (1, 2));
+        let (hits, _) = idx.match_contains("C", "serverHost", "x.n2.r1.grid.org", true, true);
+        assert_eq!(hits, vec![RuleId(1), RuleId(9)]);
+    }
+
+    #[test]
+    fn removing_mid_chain_coverer_reparents_to_grandparent() {
+        let mut idx = con_index(&[".grid", "r1.grid", "n1xr1.grid"]);
+        // 0 covers 1 covers... 2's pattern contains both ".grid" and "r1.grid"
+        // → parent is the longest coverer, rule 1.
+        assert_eq!(idx.contains_frontier("C", "serverHost"), (1, 2));
+        idx.remove(RuleId(1), "C", &pred(TriggerOp::Contains, "r1.grid"));
+        // rule 2 is promoted under rule 0, not to the frontier
+        assert_eq!(idx.contains_frontier("C", "serverHost"), (1, 1));
+        let (hits, _) = idx.match_contains("C", "serverHost", "a.n1xr1.grid", true, true);
+        assert_eq!(hits, vec![RuleId(0), RuleId(2)]);
+    }
+
+    #[test]
+    fn ordered_chains_match_scan_semantics() {
+        let mut idx = TriggerIndex::default();
+        let values = ["10", " 25 ", "3.5", "abc", "NaN", "25"];
+        for (i, v) in values.iter().enumerate() {
+            idx.insert(RuleId(i as u64), "C", &pred(TriggerOp::Gt, v));
+        }
+        let scan_gt = |d: &str| -> Vec<RuleId> {
+            values
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| TriggerOp::Gt.matches(d, v))
+                .map(|(i, _)| RuleId(i as u64))
+                .collect()
+        };
+        for d in ["20", "3.5", "1000", "-1", "abc", "NaN"] {
+            let (hits, _) = idx.match_ordered(TriggerOp::Gt, "C", "serverHost", d);
+            assert_eq!(hits, scan_gt(d), "doc value {d:?}");
+        }
+        // removal of a mid-chain threshold
+        idx.remove(RuleId(0), "C", &pred(TriggerOp::Gt, "10"));
+        let (hits, _) = idx.match_ordered(TriggerOp::Gt, "C", "serverHost", "20");
+        assert_eq!(hits, vec![RuleId(2)]);
+    }
+
+    #[test]
+    fn chain_walk_stops_early() {
+        let mut idx = TriggerIndex::default();
+        for i in 0..100u64 {
+            idx.insert(RuleId(i), "C", &pred(TriggerOp::Gt, &i.to_string()));
+        }
+        let (hits, evals) = idx.match_ordered(TriggerOp::Gt, "C", "serverHost", "5");
+        assert_eq!(hits, (0..5).map(RuleId).collect::<Vec<_>>());
+        assert_eq!(evals, 6, "walk visits matches plus one stopping probe");
+        let (hits, evals) = idx.match_ordered(TriggerOp::Lt, "C", "serverHost", "5");
+        assert!(hits.is_empty());
+        assert_eq!(evals, 0, "no Lt chain exists");
+    }
+
+    #[test]
+    fn duplicate_values_across_ops_stay_separate() {
+        let mut idx = TriggerIndex::default();
+        idx.insert(RuleId(0), "C", &pred(TriggerOp::Ge, "7"));
+        idx.insert(RuleId(1), "C", &pred(TriggerOp::Gt, "7"));
+        let (ge, _) = idx.match_ordered(TriggerOp::Ge, "C", "serverHost", "7");
+        let (gt, _) = idx.match_ordered(TriggerOp::Gt, "C", "serverHost", "7");
+        assert_eq!(ge, vec![RuleId(0)]);
+        assert!(gt.is_empty());
+    }
+}

@@ -114,6 +114,7 @@ fn sharded_with(
             use_rule_groups,
             threads,
             shards,
+            ..FilterConfig::default()
         },
     );
     for r in rules {
