@@ -185,6 +185,18 @@ for seed in "${CI_SEEDS[@]}"; do
 done
 
 # ---------------------------------------------------------------------------
+step "placement replay: partitioned replication across fixed seeds"
+# Replays the placement properties (randomized fail/heal schedules at
+# R ∈ {1,2,3} over 3–5 MDPs checked by the shadow-deployment oracle, plus
+# Raft replicating the placement table through the log; DESIGN.md §11)
+# under the same pinned seeds; failures print the seed to rerun.
+for seed in "${CI_SEEDS[@]}"; do
+  MDV_PROP_SEED="$seed" MDV_PROP_CASES=15 \
+    cargo test -q --offline --test placement >/dev/null
+  echo "ok: placement @ MDV_PROP_SEED=$seed"
+done
+
+# ---------------------------------------------------------------------------
 step "raft-safety replay: consensus invariants under seeded fault schedules"
 # Replays the Raft safety properties (Election Safety, Log Matching, Leader
 # Completeness, State Machine Safety under randomized drop/dup/partition
@@ -253,6 +265,8 @@ if [[ "$QUICK" == "0" ]]; then
   echo "ok: quickstart"
   cargo run --offline --release --example paper_walkthrough >/dev/null
   echo "ok: paper_walkthrough"
+  cargo run --offline --release --example placement_routing >/dev/null
+  echo "ok: placement_routing"
 
   # -------------------------------------------------------------------------
   step "bench harness smoke pass (MDV_BENCH_ITERS=1)"
@@ -336,6 +350,25 @@ if [[ "$QUICK" == "0" ]]; then
     matching-scaling >/dev/null)
   rm -rf "$SMOKE_DIR"
   echo "ok: figures matching-scaling"
+
+  # -------------------------------------------------------------------------
+  step "figures smoke pass: placement-scaling (quick mode, scratch CWD)"
+  # Exercises the partitioned-replication study end to end, including its
+  # internal gates (exactly min(R,N) copies per document, placement-digest
+  # traffic flowing, and the R=all cell byte-identical to the legacy
+  # placement-off backbone; DESIGN.md §11). Runs from a scratch CWD so the
+  # quick-mode run never clobbers the checked-in
+  # BENCH_placement_scaling.json (regenerate that with `figures
+  # placement-scaling --full`).
+  ROOT="$PWD"
+  SMOKE_DIR="$(mktemp -d)"
+  (cd "$SMOKE_DIR" && cargo run --offline --release \
+    --manifest-path "$ROOT/Cargo.toml" -p mdv-bench --bin figures -- \
+    placement-scaling >/dev/null)
+  [[ -s "$SMOKE_DIR/BENCH_placement_scaling.json" ]] \
+    || { echo "ERROR: placement-scaling wrote no results" >&2; exit 1; }
+  rm -rf "$SMOKE_DIR"
+  echo "ok: figures placement-scaling"
 fi
 
 print_timing_summary

@@ -10,7 +10,7 @@
 //! Subcommands: `fig11` `fig12` `fig13` `fig14` `fig15`
 //! `ablation-naive` `ablation-groups` `ablation-updates` `thread-scaling`
 //! `shard-scaling` `matching-scaling` `wal-overhead` `backbone-repair`
-//! `backbone-consensus` `all`.
+//! `backbone-consensus` `placement-scaling` `all`.
 //! `--full` runs the paper-sized rule bases (up to 100,000 rules); the
 //! default sizes finish in a few minutes on a laptop. `--threads N` runs
 //! the figure sweeps with the parallel filter on N pool workers
@@ -33,8 +33,11 @@
 //! time, not wall-clock); `backbone-consensus` runs the same 3-MDP
 //! deployment under LWW gossip and under Raft (DESIGN.md §9) and contrasts
 //! write latency, fail/heal reconvergence, and partition behaviour in
-//! `BENCH_backbone_consensus.json`. The `--threads`/`--backend` flags do
-//! not apply to those simulated-backbone subcommands.
+//! `BENCH_backbone_consensus.json`; `placement-scaling` sweeps MDP count ×
+//! replication factor on the partitioned backbone (DESIGN.md §11), gates
+//! the `R = all` cell byte-identical against legacy full replication, and
+//! writes `BENCH_placement_scaling.json`. The `--threads`/`--backend`
+//! flags do not apply to those simulated-backbone subcommands.
 
 use std::env;
 use std::io::Write;
@@ -174,6 +177,7 @@ fn main() {
         "wal-overhead" => run_wal_overhead(&config),
         "backbone-repair" => run_backbone_repair(&config),
         "backbone-consensus" => run_backbone_consensus(&config),
+        "placement-scaling" => run_placement_scaling(&config),
         "all" => {
             fig11(&config);
             fig12(&config);
@@ -189,6 +193,7 @@ fn main() {
             run_wal_overhead(&config);
             run_backbone_repair(&config);
             run_backbone_consensus(&config);
+            run_placement_scaling(&config);
         }
         other => {
             eprintln!("unknown command '{other}'");
@@ -196,7 +201,7 @@ fn main() {
                 "usage: figures [fig11|fig12|fig13|fig14|fig15|ablation-naive|\
                  ablation-groups|ablation-updates|thread-scaling|shard-scaling|\
                  matching-scaling|wal-overhead|backbone-repair|backbone-consensus|\
-                 all] [--full] [--threads N] [--backend mem|durable]"
+                 placement-scaling|all] [--full] [--threads N] [--backend mem|durable]"
             );
             std::process::exit(2);
         }
@@ -1233,6 +1238,240 @@ fn run_backbone_consensus(config: &Config) {
         std::fs::File::create(path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
     for line in &json_lines {
         writeln!(file, "{line}").expect("write backbone-consensus results");
+    }
+    println!("wrote {} results to {path}", json_lines.len());
+}
+
+/// Placement scaling study (DESIGN.md §11): the same registration/update
+/// workload over backbones of N MDPs at replication factor R ∈ {1, 2, all},
+/// measuring how the per-node corpus share tracks R/N, the logical write
+/// latency with rotating entry points vs placement-aware routing through
+/// `mdp_for_uri`, and the placement-digest anti-entropy traffic. Two hard
+/// gates ride along: every cell must end with exactly `min(R, N) ×
+/// corpus` document copies on the backbone, and the `R = all` cell must be
+/// byte-identical, per MDP, to a legacy placement-off run of the same
+/// workload (which must emit zero placement messages). Everything is
+/// simulated logical time, deterministic. Writes
+/// `BENCH_placement_scaling.json`.
+fn run_placement_scaling(config: &Config) {
+    use std::collections::BTreeMap;
+
+    use mdv_rdf::{parse_document, write_document, Document, RdfSchema};
+    use mdv_system::MdvSystem;
+    use mdv_testkit::bench::Stats;
+
+    fn schema() -> RdfSchema {
+        RdfSchema::builder()
+            .class("ServerInformation", |c| c.int("memory").int("cpu"))
+            .class("CycleProvider", |c| {
+                c.str("serverHost")
+                    .int("serverPort")
+                    .strong_ref("serverInformation", "ServerInformation")
+            })
+            .build()
+            .expect("study schema is valid")
+    }
+
+    fn doc(i: usize, memory: i64) -> Document {
+        parse_document(
+            &format!("doc{i}.rdf"),
+            &format!(
+                r##"<rdf:RDF>
+                  <CycleProvider rdf:ID="host">
+                    <serverHost>node{i}.hub.org</serverHost>
+                    <serverPort>{port}</serverPort>
+                    <serverInformation rdf:resource="#info"/>
+                  </CycleProvider>
+                  <ServerInformation rdf:ID="info"><memory>{memory}</memory><cpu>600</cpu></ServerInformation>
+                </rdf:RDF>"##,
+                port = 4000 + i,
+            ),
+        )
+        .expect("study document is valid")
+    }
+
+    fn build(n: usize) -> MdvSystem {
+        let mut sys = MdvSystem::new(schema());
+        for m in 0..n {
+            sys.add_mdp(&format!("m{m}")).expect("add mdp");
+        }
+        sys.add_lmr("l1", "m0").expect("add lmr");
+        sys.subscribe(
+            "l1",
+            "search CycleProvider c register c where c.serverInformation.memory > 64",
+        )
+        .expect("subscribe");
+        sys
+    }
+
+    /// The shared workload: half the corpus registered through rotating
+    /// entry points (a client that ignores placement), half registered at
+    /// the primary named by `mdp_for_uri` (a placement-aware client), then
+    /// an update pass. Returns the two per-write logical-latency sample
+    /// sets so the cells can contrast the forwarding hop.
+    fn run_workload(sys: &mut MdvSystem, n: usize, corpus: usize) -> (Vec<u64>, Vec<u64>) {
+        let half = corpus / 2;
+        let mut rotating = Vec::with_capacity(half);
+        for i in 0..half {
+            let entry = format!("m{}", i % n);
+            let before = sys.network_stats().clock_ms;
+            sys.register_document(&entry, &doc(i, 64 + i as i64))
+                .expect("rotating register");
+            rotating.push(sys.network_stats().clock_ms - before);
+        }
+        let mut routed = Vec::with_capacity(corpus - half);
+        for i in half..corpus {
+            let d = doc(i, 64 + i as i64);
+            let home = sys.mdp_for_uri(d.uri()).expect("route").to_owned();
+            let before = sys.network_stats().clock_ms;
+            sys.register_document(&home, &d).expect("routed register");
+            routed.push(sys.network_stats().clock_ms - before);
+        }
+        for i in (0..corpus).step_by(3) {
+            sys.update_document(&format!("m{}", i % n), &doc(i, 512))
+                .expect("update");
+        }
+        // one explicit anti-entropy round so the digest traffic (replica
+        // digests on the legacy backbone, placement digests under
+        // partitioned replication) shows up in the message counters;
+        // repair_backbone would short-circuit on the already-converged state
+        sys.anti_entropy_round().expect("anti-entropy round");
+        (rotating, routed)
+    }
+
+    fn doc_sets(sys: &MdvSystem) -> BTreeMap<String, BTreeMap<String, String>> {
+        sys.mdp_names()
+            .into_iter()
+            .map(|m| {
+                let docs = sys
+                    .mdp(m)
+                    .expect("mdp")
+                    .engine()
+                    .documents()
+                    .map(|d| (d.uri().to_owned(), write_document(d)))
+                    .collect();
+                (m.to_owned(), docs)
+            })
+            .collect()
+    }
+
+    let corpus = if config.full { 64 } else { 24 };
+    let node_counts: &[usize] = if config.full {
+        &[3, 4, 5, 6]
+    } else {
+        &[3, 4, 5]
+    };
+    banner(
+        "Placement scaling: MDP count x replication factor (logical time)",
+        "expected shape: per-node corpus share tracks R/N (full replication \
+         stores N copies, R=2 stores two wherever N grows); routed writes \
+         skip the forwarding hop that rotating-entry writes pay; the R=all \
+         cell is byte-identical to the legacy placement-off backbone",
+    );
+
+    let mut json_lines: Vec<String> = Vec::new();
+    for &n in node_counts {
+        // the placement-off baseline the R=all cell must match byte-for-byte
+        let mut legacy = build(n);
+        run_workload(&mut legacy, n, corpus);
+        assert!(legacy.backbone_converged(), "legacy n={n} did not converge");
+        assert_eq!(
+            legacy.network_stats().placement_messages,
+            0,
+            "placement-off backbone emitted placement traffic"
+        );
+        let legacy_docs = doc_sets(&legacy);
+
+        for r in [1, 2, n] {
+            let mut sys = build(n);
+            sys.set_replication_factor(r).expect("enable placement");
+            let (rotating, routed) = run_workload(&mut sys, n, corpus);
+            assert!(sys.backbone_converged(), "n={n} r={r} did not converge");
+
+            let counts: Vec<u64> = (0..n)
+                .map(|m| {
+                    sys.mdp(&format!("m{m}"))
+                        .expect("mdp")
+                        .engine()
+                        .document_count() as u64
+                })
+                .collect();
+            let total: u64 = counts.iter().sum();
+            assert_eq!(
+                total as usize,
+                r.min(n) * corpus,
+                "n={n} r={r}: backbone must hold exactly min(R,N) copies per document"
+            );
+            if r < n {
+                assert!(
+                    counts.iter().all(|&c| (c as usize) < corpus),
+                    "n={n} r={r}: some node still holds the full corpus"
+                );
+            }
+            if r == n {
+                assert_eq!(
+                    doc_sets(&sys),
+                    legacy_docs,
+                    "R=all must be byte-identical to legacy full replication"
+                );
+            }
+
+            let table = sys.placement_table().expect("placement enabled");
+            let share_permille = (1000.0 * table.storage_share()).round() as u64;
+            let stats = sys.network_stats();
+            assert!(
+                stats.placement_messages > 0,
+                "n={n} r={r}: anti-entropy ran but no placement digests flowed"
+            );
+            let rotating_stats = Stats::from_samples(&rotating);
+            let routed_stats = Stats::from_samples(&routed);
+            let count_stats = Stats::from_samples(&counts);
+            println!(
+                "n={n} r={r}: share {:.0}% | copies {total} | per-node docs p50 {} \
+                 | write p50 rotating {} ms, routed {} ms | placement msgs {}",
+                100.0 * table.storage_share(),
+                count_stats.median_ns,
+                rotating_stats.median_ns,
+                routed_stats.median_ns,
+                stats.placement_messages,
+            );
+
+            let group = format!("placement_scaling_n{n}_r{r}");
+            json_lines.push(json_line(
+                &group,
+                "storage_share_permille",
+                &Stats::from_samples(&[share_permille]),
+            ));
+            json_lines.push(json_line(&group, "per_node_documents", &count_stats));
+            json_lines.push(json_line(
+                &group,
+                "copies_total",
+                &Stats::from_samples(&[total]),
+            ));
+            json_lines.push(json_line(
+                &group,
+                "rotating_write_logical_ms",
+                &rotating_stats,
+            ));
+            json_lines.push(json_line(&group, "routed_write_logical_ms", &routed_stats));
+            json_lines.push(json_line(
+                &group,
+                "placement_messages",
+                &Stats::from_samples(&[stats.placement_messages]),
+            ));
+            json_lines.push(json_line(
+                &group,
+                "placement_bytes",
+                &Stats::from_samples(&[stats.placement_bytes]),
+            ));
+        }
+    }
+
+    let path = "BENCH_placement_scaling.json";
+    let mut file =
+        std::fs::File::create(path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+    for line in &json_lines {
+        writeln!(file, "{line}").expect("write placement-scaling results");
     }
     println!("wrote {} results to {path}", json_lines.len());
 }

@@ -18,6 +18,10 @@ pub enum Error {
     /// cannot reach a quorum of voters). The operation may be retried once
     /// connectivity is restored; it has not taken effect.
     Unavailable(String),
+    /// A deployment-level configuration request was rejected (e.g. changing
+    /// the filter shard count after nodes exist, or combining placement
+    /// with an incompatible mode).
+    Config(String),
 }
 
 impl fmt::Display for Error {
@@ -28,6 +32,7 @@ impl fmt::Display for Error {
             Error::Subscription(msg) => write!(f, "subscription error: {msg}"),
             Error::Local(msg) => write!(f, "local metadata error: {msg}"),
             Error::Unavailable(msg) => write!(f, "unavailable: {msg}"),
+            Error::Config(msg) => write!(f, "configuration error: {msg}"),
         }
     }
 }

@@ -62,6 +62,7 @@ pub mod lmr;
 pub mod mdp;
 pub mod message;
 mod mirror;
+pub mod placement;
 pub mod raft;
 pub mod state;
 pub mod system;
@@ -72,6 +73,7 @@ pub use gc::RefTracker;
 pub use lmr::{Lmr, LmrRule, RuleStatus};
 pub use mdp::Mdp;
 pub use message::{Message, PublishMsg};
+pub use placement::{PlacementConfig, PlacementTable, DEFAULT_PLACEMENT_SHARDS};
 pub use raft::{RaftProbe, RaftRole, ReplicationMode};
 pub use system::MdvSystem;
 pub use transport::{

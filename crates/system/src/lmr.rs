@@ -119,6 +119,15 @@ pub struct Lmr<S: StorageEngine = Database> {
     sub_retry: BTreeMap<u64, Retry>,
     /// Unsubscribe messages awaiting their UnsubscribeAck, keyed by rule id.
     unsub_retry: BTreeMap<u64, Retry>,
+    /// Placement mode (DESIGN.md §11): publications legitimately arrive
+    /// from every shard primary, not only the home MDP, each on its own
+    /// per-sender sequence stream.
+    placement: bool,
+    /// Next publication sequence expected per non-home sender (placement
+    /// mode only). Out-of-order alt-stream arrivals are *not* buffered:
+    /// they are dropped unacked, and the sender's in-order outbox
+    /// retransmission redelivers them once the gap closes.
+    alt_next_seq: BTreeMap<String, u64>,
 }
 
 impl Lmr {
@@ -163,6 +172,8 @@ impl<S: StorageEngine> Lmr<S> {
         let mut rules = BTreeMap::new();
         let mut next_rule = 0;
         let mut next_pub_seq = 0;
+        let mut placement = false;
+        let mut alt_next_seq = BTreeMap::new();
         for row in mirror::rows_sorted(db, T_META) {
             let (Some(key), Some(val)) = (row[0].as_str(), row[1].as_int()) else {
                 return Err(corrupt(T_META));
@@ -170,11 +181,17 @@ impl<S: StorageEngine> Lmr<S> {
             match key {
                 "next_rule" => next_rule = val as u64,
                 "next_pub_seq" => next_pub_seq = val as u64,
-                other => {
-                    return Err(Error::Topology(format!(
-                        "unknown {T_META} counter '{other}'"
-                    )))
-                }
+                "placement" => placement = val != 0,
+                other => match other.strip_prefix("alt:") {
+                    Some(sender) => {
+                        alt_next_seq.insert(sender.to_owned(), val as u64);
+                    }
+                    None => {
+                        return Err(Error::Topology(format!(
+                            "unknown {T_META} counter '{other}'"
+                        )))
+                    }
+                },
             }
         }
         for row in mirror::rows_sorted(db, T_RULES) {
@@ -256,6 +273,8 @@ impl<S: StorageEngine> Lmr<S> {
         lmr.local_docs = local_docs;
         lmr.pub_buffer = pub_buffer;
         lmr.dead_rules = dead_rules;
+        lmr.placement = placement;
+        lmr.alt_next_seq = alt_next_seq;
         lmr.rebuild_tracker(&matches)?;
         Ok(lmr)
     }
@@ -334,6 +353,8 @@ impl<S: StorageEngine> Lmr<S> {
             dead_rules: HashSet::new(),
             sub_retry: BTreeMap::new(),
             unsub_retry: BTreeMap::new(),
+            placement: false,
+            alt_next_seq: BTreeMap::new(),
         }
     }
 
@@ -538,6 +559,17 @@ impl<S: StorageEngine> Lmr<S> {
     /// not yet received).
     pub fn failing_over(&self) -> bool {
         self.awaiting_welcome
+    }
+
+    /// Switches this LMR into placement mode (DESIGN.md §11): publications
+    /// from MDPs other than the home are accepted on per-sender sequence
+    /// streams instead of triggering cleanup unsubscribes. Durable, so a
+    /// crash-recovered LMR keeps accepting its alt streams.
+    pub(crate) fn set_placement(&mut self, on: bool) -> Result<()> {
+        self.with_group(|this| {
+            this.placement = on;
+            this.mirror_meta("placement", u64::from(on))
+        })
     }
 
     pub fn rule(&self, id: u64) -> Option<&LmrRule> {
@@ -804,6 +836,9 @@ impl<S: StorageEngine> Lmr<S> {
     /// retransmitting after a failover) are acked and discarded, and the
     /// sender is told to retire the subscription.
     fn receive_publication(&mut self, from: &str, msg: PublishMsg, net: &Network) -> Result<()> {
+        if self.placement && from != self.mdp {
+            return self.receive_alt_publication(from, msg, net);
+        }
         net.send(&self.name, from, Message::PublishAck { seq: msg.seq })?;
         if from != self.mdp {
             // One-shot cleanup unsubscribe, deliberately not retried:
@@ -853,6 +888,39 @@ impl<S: StorageEngine> Lmr<S> {
             }
         }
         Ok(())
+    }
+
+    /// The placement-mode receive path for a publication from a non-home
+    /// shard primary. Each sender has its own sequence stream; there is no
+    /// reorder buffer — an arrival above the expected sequence is dropped
+    /// *without* an ack, and the sender's in-order outbox retransmission
+    /// redelivers it after the gap closes. Duplicates below the floor are
+    /// acked and discarded like on the home stream.
+    fn receive_alt_publication(
+        &mut self,
+        from: &str,
+        msg: PublishMsg,
+        net: &Network,
+    ) -> Result<()> {
+        let expected = self.alt_next_seq.get(from).copied().unwrap_or(0);
+        if msg.seq > expected {
+            return Ok(()); // gap: withhold the ack, let retransmission reorder
+        }
+        net.send(&self.name, from, Message::PublishAck { seq: msg.seq })?;
+        if msg.seq < expected {
+            return Ok(()); // duplicate
+        }
+        let next = expected + 1;
+        self.alt_next_seq.insert(from.to_owned(), next);
+        let meta_key = format!("alt:{from}");
+        self.mirror_meta(&meta_key, next)?;
+        if self.dead_rules.contains(&msg.lmr_rule) {
+            return Ok(()); // late publication for a retracted rule
+        }
+        // alt streams never carry snapshots (resubscription is a failover
+        // feature, and placement + backup failover is rejected upstream),
+        // so every in-order arrival applies as an incremental publication
+        self.apply_publish(msg)
     }
 
     /// Publications parked behind a sequence gap.

@@ -15,6 +15,7 @@ use mdv_relstore::{ColumnDef, DataType, Database, StorageEngine};
 use crate::error::{Error, Result};
 use crate::message::{DigestEntry, Message, PublishMsg, RepairDoc};
 use crate::mirror::{self, i, s};
+use crate::placement::PlacementTable;
 use crate::transport::{Envelope, Network};
 
 /// Durable mirror tables (created only on mirror-enabled backends, see
@@ -30,6 +31,7 @@ const T_RSEQ: &str = "SysReplSeq"; // peer, next_seq (outgoing)
 const T_RFLOOR: &str = "SysReplFloor"; // peer, next_seq (incoming)
 const T_ROUT: &str = "SysReplOutbox"; // peer, seq, kind, version, uri, xml
 const T_RBUF: &str = "SysReplBuffer"; // peer, seq, kind, version, uri, xml
+const T_PLACE: &str = "SysPlacement"; // key, val (installed placement table)
 
 /// An unacked publication awaiting retransmission (at-least-once delivery).
 #[derive(Debug, Clone)]
@@ -71,6 +73,14 @@ enum ReplOp {
 }
 
 impl ReplOp {
+    fn uri(&self) -> &str {
+        match self {
+            ReplOp::Register { uri, .. }
+            | ReplOp::Update { uri, .. }
+            | ReplOp::Delete { uri, .. } => uri,
+        }
+    }
+
     fn kind_tag(&self) -> i64 {
         match self {
             ReplOp::Register { .. } => 0,
@@ -150,6 +160,12 @@ pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// The document URI of a resource URI: resources live at `doc.rdf#frag`,
+/// and placement partitions whole documents, never individual resources.
+pub(crate) fn doc_uri_of(resource_uri: &str) -> &str {
+    resource_uri.split('#').next().unwrap_or(resource_uri)
+}
+
 /// A Metadata Provider, generic over the storage backend of its filter
 /// engine (in-memory [`Database`] by default; a durable WAL+snapshot
 /// engine via [`Mdp::with_storage`]).
@@ -196,6 +212,10 @@ pub struct Mdp<S: StorageEngine = Database> {
     /// [`crate::raft::ReplicationMode::Raft`]; `None` in LWW mode, where the
     /// replication fields above carry the backbone instead.
     pub(crate) raft: Option<crate::raft::RaftState>,
+    /// The installed placement table when the backbone runs
+    /// partitioned-with-replicas (DESIGN.md §11); `None` under full
+    /// replication, where every legacy code path runs verbatim.
+    placement: Option<PlacementTable>,
 }
 
 impl Mdp {
@@ -324,6 +344,14 @@ impl<S: StorageEngine + Send + Sync> Mdp<S> {
         };
         mirror::create_table(store, T_ROUT, repl_columns())?;
         mirror::create_table(store, T_RBUF, repl_columns())?;
+        mirror::create_table(
+            store,
+            T_PLACE,
+            vec![
+                ColumnDef::new("key", DataType::Str),
+                ColumnDef::new("val", DataType::Str),
+            ],
+        )?;
         store.commit().map_err(mirror::store_err)?;
         Ok(Self::from_engine(name, engine, true))
     }
@@ -346,6 +374,7 @@ impl<S: StorageEngine + Send + Sync> Mdp<S> {
             repl_floor: HashMap::new(),
             repl_buffer: BTreeMap::new(),
             raft: None,
+            placement: None,
         }
     }
 
@@ -472,6 +501,16 @@ impl<S: StorageEngine + Send + Sync> Mdp<S> {
         )
     }
 
+    fn mirror_docver_delete(&mut self, uri: &str) -> Result<()> {
+        if !self.mirror {
+            return Ok(());
+        }
+        mirror::delete_where(self.engine.storage_mut(), T_DOCVER, |r| {
+            r[0].as_str() == Some(uri)
+        })?;
+        Ok(())
+    }
+
     fn mirror_repl_seq(&mut self, peer: &str, next_seq: u64) -> Result<()> {
         if !self.mirror {
             return Ok(());
@@ -538,6 +577,10 @@ impl<S: StorageEngine + Send + Sync> Mdp<S> {
         self.batch_size = batch_size;
     }
 
+    pub fn batch_size(&self) -> Option<usize> {
+        self.batch_size
+    }
+
     /// Sets the worker-thread count for this MDP's filter runs. Takes
     /// effect on the next batch; publications are unaffected (the parallel
     /// filter is deterministic, DESIGN.md §5).
@@ -595,6 +638,72 @@ impl<S: StorageEngine + Send + Sync> Mdp<S> {
         &self.peers
     }
 
+    /// Installs (or clears) the system-tier placement table. Mirrored into
+    /// `SysPlacement`, so a crash-recovered node rejoins the partitioned
+    /// backbone with the table it last acknowledged.
+    pub(crate) fn set_placement(&mut self, table: Option<PlacementTable>) -> Result<()> {
+        self.with_group(|this| {
+            if this.mirror {
+                match &table {
+                    Some(t) => {
+                        let wire = t.to_wire();
+                        mirror::upsert_where(
+                            this.engine.storage_mut(),
+                            T_PLACE,
+                            |r| r[0].as_str() == Some("table"),
+                            vec![s("table"), s(&wire)],
+                        )?;
+                    }
+                    None => {
+                        mirror::delete_where(this.engine.storage_mut(), T_PLACE, |r| {
+                            r[0].as_str() == Some("table")
+                        })?;
+                    }
+                }
+            }
+            this.placement = table;
+            Ok(())
+        })
+    }
+
+    /// The placement table installed on this node (`None` under full
+    /// replication, DESIGN.md §11).
+    pub fn placement(&self) -> Option<&PlacementTable> {
+        self.placement.as_ref()
+    }
+
+    /// Whether this node is the publishing primary for `doc_uri` (always
+    /// true under full replication).
+    fn publishes_for(&self, doc_uri: &str) -> bool {
+        self.placement
+            .as_ref()
+            .is_none_or(|p| p.is_primary(&self.name, doc_uri))
+    }
+
+    /// Publishes filter output for one document operation — unless a
+    /// placement table is installed and this node is not the document's
+    /// primary, in which case the publications are dropped (the primary
+    /// ships the identical matches to every subscriber, DESIGN.md §11).
+    fn publish_for(&mut self, doc_uri: &str, pubs: Vec<Publication>, net: &Network) -> Result<()> {
+        if self.publishes_for(doc_uri) {
+            self.publish(pubs, net)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Filters a match set down to the resources whose document this node
+    /// is primary for — the initial cache fill of a subscription under
+    /// placement, where every other owner ships its own primaries.
+    fn primary_matches(&self, uris: Vec<String>) -> Vec<String> {
+        if self.placement.is_none() {
+            return uris;
+        }
+        uris.into_iter()
+            .filter(|u| self.publishes_for(doc_uri_of(u)))
+            .collect()
+    }
+
     /// Registers a new document: filter, publish, and (when this node is the
     /// origin) replicate to the backbone.
     pub fn register_document(
@@ -619,7 +728,7 @@ impl<S: StorageEngine + Send + Sync> Mdp<S> {
                     this.mirror_doc_upsert(doc)?;
                     this.bump_doc_meta(doc.uri(), false);
                     this.mirror_docver(doc.uri())?;
-                    this.publish(pubs, net)
+                    this.publish_for(doc.uri(), pubs, net)
                 })?;
             }
         }
@@ -651,7 +760,7 @@ impl<S: StorageEngine + Send + Sync> Mdp<S> {
             this.mirror_doc_upsert(doc)?;
             this.bump_doc_meta(doc.uri(), false);
             this.mirror_docver(doc.uri())?;
-            this.publish(pubs, net)
+            this.publish_for(doc.uri(), pubs, net)
         })?;
         if replicate {
             let version = self.doc_meta.get(doc.uri()).map_or(1, |m| m.version);
@@ -677,7 +786,7 @@ impl<S: StorageEngine + Send + Sync> Mdp<S> {
             // over stale replicated registrations
             this.bump_doc_meta(uri, true);
             this.mirror_docver(uri)?;
-            this.publish(pubs, net)
+            this.publish_for(uri, pubs, net)
         })?;
         if replicate {
             let version = self.doc_meta.get(uri).map_or(1, |m| m.version);
@@ -705,9 +814,14 @@ impl<S: StorageEngine + Send + Sync> Mdp<S> {
     }
 
     /// Queues one replicated operation per backbone peer on the reliable
-    /// at-least-once channel and ships the first copy of each.
+    /// at-least-once channel and ships the first copy of each. Under a
+    /// placement table the fan-out shrinks from every peer to the replica
+    /// set of the operation's document shard.
     fn replicate_to_peers(&mut self, op: ReplOp, net: &Network) -> Result<()> {
-        let peers = self.peers.clone();
+        let peers = match &self.placement {
+            Some(table) => table.replica_peers(&self.name, op.uri()),
+            None => self.peers.clone(),
+        };
         if peers.is_empty() {
             return Ok(());
         }
@@ -990,6 +1104,24 @@ impl<S: StorageEngine + Send + Sync> Mdp<S> {
                 let (peer, seq, op) = parse_repl(T_RBUF, &row)?;
                 this.restore_repl_buffer_entry(&peer, seq, op)?;
             }
+            for row in mirror::rows_sorted(src, T_PLACE) {
+                let (Some(key), Some(val)) = (row[0].as_str(), row[1].as_str()) else {
+                    return Err(corrupt(T_PLACE));
+                };
+                if key != "table" {
+                    return Err(corrupt(T_PLACE));
+                }
+                let table = PlacementTable::from_wire(val)?;
+                if this.mirror {
+                    mirror::upsert_where(
+                        this.engine.storage_mut(),
+                        T_PLACE,
+                        |r| r[0].as_str() == Some("table"),
+                        vec![s("table"), s(val)],
+                    )?;
+                }
+                this.placement = Some(table);
+            }
             Ok((subs, docs))
         })
     }
@@ -1160,7 +1292,10 @@ impl<S: StorageEngine + Send + Sync> Mdp<S> {
                                 error: None,
                             },
                         )?;
-                        // initial cache fill
+                        // initial cache fill (under placement: only the
+                        // documents this node is primary for — every other
+                        // owner ships its own share)
+                        let initial = self.primary_matches(initial);
                         if !initial.is_empty() {
                             let msg = self.build_publish(lmr_rule, &initial, &[], &[])?;
                             self.send_publication(&env.from, msg, net)?;
@@ -1260,6 +1395,9 @@ impl<S: StorageEngine + Send + Sync> Mdp<S> {
                 Ok(())
             }
             Message::ReplicaDigest { entries } => self.handle_digest(&env.from, &entries, net),
+            Message::PlacementDigest { epoch, entries } => {
+                self.handle_placement_digest(&env.from, epoch, &entries, net)
+            }
             Message::RepairRequest { uris } => self.handle_repair_request(&env.from, &uris, net),
             Message::RepairDocs { docs } => self.handle_repair_docs(docs, net),
             Message::FailoverHello { last_seq: _ } => {
@@ -1365,7 +1503,7 @@ impl<S: StorageEngine + Send + Sync> Mdp<S> {
                 self.with_group(|this| {
                     let pubs = this.engine.delete_document(uri)?;
                     this.mirror_doc_delete(uri)?;
-                    this.publish(pubs, net)
+                    this.publish_for(uri, pubs, net)
                 })?;
             }
         } else if let Some(xml) = xml {
@@ -1380,7 +1518,7 @@ impl<S: StorageEngine + Send + Sync> Mdp<S> {
                     this.engine.register_document(&doc)?
                 };
                 this.mirror_doc_upsert(&doc)?;
-                this.publish(pubs, net)
+                this.publish_for(uri, pubs, net)
             })?;
         }
         self.doc_meta
@@ -1486,6 +1624,128 @@ impl<S: StorageEngine + Send + Sync> Mdp<S> {
         Ok(())
     }
 
+    /// Diffs a peer's placement digest against local state: like
+    /// [`Mdp::handle_digest`] but scoped to the shards this node owns — a
+    /// partitioned node never pulls documents it is not an owner of, and a
+    /// digest from a different placement epoch is ignored (the orchestrator
+    /// re-runs anti-entropy once every node holds the matching table).
+    fn handle_placement_digest(
+        &mut self,
+        peer: &str,
+        epoch: u64,
+        entries: &[DigestEntry],
+        net: &Network,
+    ) -> Result<()> {
+        let Some(table) = &self.placement else {
+            return Ok(());
+        };
+        if table.epoch() != epoch {
+            return Ok(());
+        }
+        let mut want = Vec::new();
+        for e in entries {
+            if table.owns_doc(&self.name, &e.uri)
+                && (e.version, u8::from(e.deleted), e.hash) > self.local_doc_key(&e.uri)
+            {
+                want.push(e.uri.clone());
+            }
+        }
+        if want.is_empty() {
+            return Ok(());
+        }
+        net.send(&self.name, peer, Message::RepairRequest { uris: want })
+    }
+
+    /// Drops every document this node no longer owns under the installed
+    /// placement table: engine rows, mirror rows, and replication metadata
+    /// are all *erased* (not tombstoned — the shard's owners keep the
+    /// authoritative copies, and an erased URI can be re-acquired wholesale
+    /// if ownership ever returns). Publications from the drops are
+    /// discarded: subscriber caches are maintained by the shard's primary,
+    /// not by nodes shedding their copy. Returns the number of URIs
+    /// dropped.
+    pub(crate) fn prune_unowned(&mut self) -> Result<usize> {
+        let Some(table) = self.placement.clone() else {
+            return Ok(0);
+        };
+        let mut victims: BTreeSet<String> = self
+            .doc_meta
+            .keys()
+            .filter(|u| !table.owns_doc(&self.name, u.as_str()))
+            .cloned()
+            .collect();
+        for doc in self.engine.documents() {
+            if !table.owns_doc(&self.name, doc.uri()) {
+                victims.insert(doc.uri().to_owned());
+            }
+        }
+        if victims.is_empty() {
+            return Ok(0);
+        }
+        self.with_group(|this| {
+            for uri in &victims {
+                if this.engine.document(uri).is_some() {
+                    let _pubs = this.engine.delete_document(uri)?;
+                    this.mirror_doc_delete(uri)?;
+                }
+                this.doc_meta.remove(uri);
+                this.mirror_docver_delete(uri)?;
+            }
+            Ok(victims.len())
+        })
+    }
+
+    /// Registers a subscription homed at another MDP. Under placement every
+    /// owner evaluates every rule (matching documents can live on any
+    /// shard), so the orchestrator mirrors each subscription onto every
+    /// live MDP. Idempotent; the initial fill covers only this node's
+    /// primary documents and ships on this node's own publication stream.
+    pub(crate) fn register_remote_subscription(
+        &mut self,
+        lmr: &str,
+        lmr_rule: u64,
+        rule_text: &str,
+        net: &Network,
+    ) -> Result<()> {
+        let key = (lmr.to_owned(), lmr_rule);
+        if self.retired.contains(&key) || self.subscribers.values().any(|v| *v == key) {
+            return Ok(());
+        }
+        self.with_group(|this| {
+            let (sub, initial) = this.engine.register_subscription(rule_text)?;
+            this.subscribers.insert(sub, key);
+            this.mirror_sub_insert(lmr, lmr_rule, rule_text)?;
+            let initial = this.primary_matches(initial);
+            if !initial.is_empty() {
+                let msg = this.build_publish(lmr_rule, &initial, &[], &[])?;
+                this.send_publication(lmr, msg, net)?;
+            }
+            Ok(())
+        })
+    }
+
+    /// Retracts a remotely-registered subscription (idempotent); the
+    /// orchestrator's counterpart to [`Mdp::register_remote_subscription`]
+    /// when the LMR unsubscribes at its home MDP.
+    pub(crate) fn remove_remote_subscription(&mut self, lmr: &str, lmr_rule: u64) -> Result<()> {
+        let key = (lmr.to_owned(), lmr_rule);
+        let sub = self
+            .subscribers
+            .iter()
+            .find(|(_, v)| **v == key)
+            .map(|(sub, _)| *sub);
+        self.with_group(|this| {
+            if let Some(sub) = sub {
+                this.subscribers.remove(&sub);
+                this.engine.unregister_subscription(sub)?;
+            }
+            if this.retired.insert(key) {
+                this.mirror_sub_retire(lmr, lmr_rule)?;
+            }
+            Ok(())
+        })
+    }
+
     /// Re-registers a rule for a failed-over (or failed-back) LMR and
     /// ships a reconciling snapshot unless the subscriber is provably
     /// caught up (`last_seq` equals the current stream position of an
@@ -1528,6 +1788,7 @@ impl<S: StorageEngine + Send + Sync> Mdp<S> {
                     self.mirror_sub_insert(lmr, lmr_rule, rule_text)?;
                 }
                 net.send(&self.name, lmr, ack(None))?;
+                let initial = self.primary_matches(initial);
                 let mut msg = self.build_publish(lmr_rule, &initial, &[], &[])?;
                 // sent even when empty: the subscriber drops stale anchors
                 // that the snapshot no longer lists

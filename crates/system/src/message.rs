@@ -55,6 +55,15 @@ pub enum Message {
     /// MDP → MDP anti-entropy: a digest of the sender's whole document set
     /// (per-URI version + content hash; deletions appear as tombstones).
     ReplicaDigest { entries: Vec<DigestEntry> },
+    /// MDP → MDP anti-entropy under a placement table (DESIGN.md §11):
+    /// like [`Message::ReplicaDigest`], but stamped with the sender's
+    /// placement epoch. Receivers on a different epoch ignore it, and
+    /// receivers on the same epoch pull only documents in shards they own —
+    /// this is the shard-handoff vehicle of partitioned-with-replicas.
+    PlacementDigest {
+        epoch: u64,
+        entries: Vec<DigestEntry>,
+    },
     /// MDP → MDP anti-entropy: pull the listed documents, which the
     /// requester's diff against a [`Message::ReplicaDigest`] showed to be
     /// missing or stale locally.
@@ -158,6 +167,7 @@ impl Message {
             Message::ReplicateDelete { .. } => "replicate-delete",
             Message::ReplicateAck { .. } => "replicate-ack",
             Message::ReplicaDigest { .. } => "replica-digest",
+            Message::PlacementDigest { .. } => "placement-digest",
             Message::RepairRequest { .. } => "repair-request",
             Message::RepairDocs { .. } => "repair-docs",
             Message::FailoverHello { .. } => "failover-hello",
@@ -204,6 +214,9 @@ impl Message {
             Message::ReplicateAck { .. } => 8,
             Message::ReplicaDigest { entries } => {
                 entries.iter().map(|e| e.uri.len() + 17).sum::<usize>()
+            }
+            Message::PlacementDigest { entries, .. } => {
+                8 + entries.iter().map(|e| e.uri.len() + 17).sum::<usize>()
             }
             Message::RepairRequest { uris } => uris.iter().map(String::len).sum::<usize>(),
             Message::RepairDocs { docs } => docs

@@ -104,6 +104,13 @@ pub(crate) enum RaftCmd {
         lmr: String,
         lmr_rule: u64,
     },
+    /// Installs a placement table on every voter (DESIGN.md §11). The
+    /// payload is [`crate::placement::PlacementTable::to_wire`] output.
+    /// Bookkeeping only under Raft: storage stays fully replicated through
+    /// the log; the table drives write routing at the system tier.
+    Placement {
+        table: String,
+    },
 }
 
 impl RaftCmd {
@@ -133,6 +140,7 @@ impl RaftCmd {
             RaftCmd::Unsubscribe { lmr, lmr_rule } => {
                 format!("unsub\t{}\t{lmr_rule}", escape(lmr))
             }
+            RaftCmd::Placement { table } => format!("place\t{}", escape(table)),
         }
     }
 
@@ -176,6 +184,9 @@ impl RaftCmd {
             "unsub" => RaftCmd::Unsubscribe {
                 lmr: field(&mut parts)?,
                 lmr_rule: num(&mut parts)?,
+            },
+            "place" => RaftCmd::Placement {
+                table: field(&mut parts)?,
             },
             _ => return Err(bad()),
         })
@@ -1278,6 +1289,10 @@ impl<S: StorageEngine + Send + Sync> Mdp<S> {
                 }
                 Ok(())
             }
+            RaftCmd::Placement { table } => {
+                let table = crate::placement::PlacementTable::from_wire(table)?;
+                self.set_placement(Some(table))
+            }
         }
     }
 
@@ -1533,6 +1548,9 @@ mod tests {
             RaftCmd::Unsubscribe {
                 lmr: "l1".into(),
                 lmr_rule: 7,
+            },
+            RaftCmd::Placement {
+                table: "1\t2\t64\tm1\tm2\tm3".into(),
             },
         ];
         for cmd in cmds {

@@ -15,6 +15,7 @@
 //! docver <uri>\t<version>\t<deleted 0|1>
 //! replseq <peer>\t<next replication sequence>
 //! replfloor <peer>\t<next expected replication sequence>
+//! placement <escaped placement table wire form>
 //! subscription <lmr>\t<lmr_rule>\t<escaped rule text>
 //! document <uri>
 //! <RDF/XML lines …>
@@ -58,6 +59,9 @@ impl Mdp {
         }
         for (peer, next_seq) in self.repl_floors_sorted() {
             out.push_str(&format!("replfloor {peer}\t{next_seq}\n"));
+        }
+        if let Some(table) = self.placement() {
+            out.push_str(&format!("placement {}\n", escape(&table.to_wire())));
         }
         for (sub, (lmr, lmr_rule)) in self.subscribers_sorted() {
             let text = self
@@ -140,6 +144,9 @@ impl Mdp {
                     .parse()
                     .map_err(|_| Error::Topology("malformed replfloor counter".into()))?;
                 self.restore_repl_floor(peer, next_seq)?;
+            } else if let Some(rest) = line.strip_prefix("placement ") {
+                let table = crate::placement::PlacementTable::from_wire(&unescape(rest))?;
+                self.set_placement(Some(table))?;
             } else if let Some(rest) = line.strip_prefix("subscription ") {
                 let mut fields = rest.splitn(3, '\t');
                 let (Some(lmr), Some(rule), Some(rule_text)) =

@@ -12,8 +12,9 @@ use mdv_runtime::channel::Receiver;
 
 use crate::error::{Error, Result};
 use crate::lmr::{Lmr, RuleStatus};
-use crate::mdp::Mdp;
+use crate::mdp::{doc_uri_of, Mdp};
 use crate::mirror;
+use crate::placement::{PlacementConfig, PlacementTable, DEFAULT_PLACEMENT_SHARDS};
 use crate::raft::{
     RaftCmd, RaftProbe, RaftRole, ReplicationMode, DEFAULT_COMPACT_THRESHOLD, HEARTBEAT_MS,
 };
@@ -47,6 +48,14 @@ pub struct MdvSystem<S: StorageEngine = Database> {
     mode: ReplicationMode,
     raft_seed: u64,
     raft_compact_threshold: u64,
+    /// System-tier placement (DESIGN.md §11): `None` (the default) keeps
+    /// the backbone fully replicated, byte-identical to the pre-placement
+    /// system; `Some` partitions the document space over the MDPs with
+    /// `factor` replicas per shard. Once enabled it cannot be disabled.
+    placement: Option<PlacementConfig>,
+    /// Monotone epoch of the installed placement table; bumped on every
+    /// topology change (enable, add, fail, heal) in LWW mode.
+    placement_epoch: u64,
 }
 
 impl MdvSystem {
@@ -296,6 +305,8 @@ impl<S: StorageEngine + Send + Sync> MdvSystem<S> {
             mode: ReplicationMode::default(),
             raft_seed: 0,
             raft_compact_threshold: DEFAULT_COMPACT_THRESHOLD,
+            placement: None,
+            placement_epoch: 0,
         }
     }
 
@@ -355,6 +366,11 @@ impl<S: StorageEngine + Send + Sync> MdvSystem<S> {
         self.receivers.insert(name.to_owned(), rx);
         self.mdps.insert(name.to_owned(), mdp);
         self.rewire_peers();
+        // joining a partitioned backbone moves the shards the new node now
+        // owns onto it (LWW; the Raft table is fixed by the log — §11)
+        if self.placement.is_some() && self.mode == ReplicationMode::Lww {
+            self.rebalance_placement(true)?;
+        }
         Ok(())
     }
 
@@ -383,7 +399,10 @@ impl<S: StorageEngine + Send + Sync> MdvSystem<S> {
         Ok(())
     }
 
-    fn install_lmr(&mut self, name: &str, lmr: Lmr<S>) -> Result<()> {
+    fn install_lmr(&mut self, name: &str, mut lmr: Lmr<S>) -> Result<()> {
+        if self.placement.is_some() && self.mode == ReplicationMode::Lww {
+            lmr.set_placement(true)?;
+        }
         let rx = self.network.register(name)?;
         self.receivers.insert(name.to_owned(), rx);
         self.lmrs.insert(name.to_owned(), lmr);
@@ -407,14 +426,23 @@ impl<S: StorageEngine + Send + Sync> MdvSystem<S> {
         }
     }
 
-    /// Sets the filter shard count for MDPs added *after* this call
-    /// (DESIGN.md §8). A node's shard topology — and, on the durable
-    /// backend, its one-WAL-per-shard layout — is fixed when the node is
-    /// built, so existing MDPs keep the count they were created with.
-    /// Publications are shard-count invariant, so mixed deployments stay
-    /// consistent and seeded fault scenarios replay identically.
-    pub fn set_filter_shards(&mut self, shards: usize) {
+    /// Sets the filter shard count MDPs are built with (DESIGN.md §8).
+    /// A node's shard topology — and, on the durable backend, its
+    /// one-WAL-per-shard layout — is fixed when the node is built, so this
+    /// must be called before the first MDP is added; a mid-run change is
+    /// rejected with [`Error::Config`] (it would silently leave the
+    /// deployment mixed and make crash-recovered nodes rebuild under a
+    /// different topology than they were created with).
+    pub fn set_filter_shards(&mut self, shards: usize) -> Result<()> {
+        if !self.mdps.is_empty() {
+            return Err(Error::Config(format!(
+                "filter shard count is fixed once MDPs exist ({} registered); \
+                 call set_filter_shards before add_mdp",
+                self.mdps.len()
+            )));
+        }
         self.filter_config.shards = shards.max(1);
+        Ok(())
     }
 
     pub fn schema(&self) -> &RdfSchema {
@@ -460,6 +488,14 @@ impl<S: StorageEngine + Send + Sync> MdvSystem<S> {
         }
         self.network.set_down(name, true);
         self.drain_mailbox(name);
+        // under placement the survivors immediately re-cover the failed
+        // node's shards (epoch bump + repair); survivors keep any extra
+        // copies they hold — pruning waits until the topology heals, so a
+        // flapping node never triggers destructive churn (§11). Raft mode
+        // keeps its log-fixed table: every voter holds everything anyway.
+        if self.placement.is_some() && self.mode == ReplicationMode::Lww {
+            self.rebalance_placement(false)?;
+        }
         Ok(())
     }
 
@@ -478,7 +514,13 @@ impl<S: StorageEngine + Send + Sync> MdvSystem<S> {
         // in Raft mode the leader's log/snapshot shipping is the repair
         // mechanism; anti-entropy digests are LWW machinery
         if self.mode == ReplicationMode::Lww {
-            self.repair_backbone(64)?;
+            if self.placement.is_some() {
+                // fold the healed node back into the table, hand its shards
+                // back via repair, then prune the copies nobody owns anymore
+                self.rebalance_placement(true)?;
+            } else {
+                self.repair_backbone(64)?;
+            }
         }
         Ok(())
     }
@@ -491,6 +533,14 @@ impl<S: StorageEngine + Send + Sync> MdvSystem<S> {
     /// Configures the MDP an LMR fails over to when its home goes silent
     /// (retransmission-budget exhaustion, DESIGN.md §7).
     pub fn set_backup_mdp(&mut self, lmr: &str, backup: &str) -> Result<()> {
+        if self.placement.is_some() {
+            return Err(Error::Config(
+                "LMR backup failover is not supported with placement: a \
+                 failover snapshot would clobber the per-sender alternate \
+                 publication streams (§11)"
+                    .into(),
+            ));
+        }
         if !self.mdps.contains_key(backup) {
             return Err(Error::Topology(format!("unknown MDP '{backup}'")));
         }
@@ -498,6 +548,228 @@ impl<S: StorageEngine + Send + Sync> MdvSystem<S> {
             .get_mut(lmr)
             .ok_or_else(|| Error::Topology(format!("unknown LMR '{lmr}'")))?
             .set_backup(Some(backup))
+    }
+
+    /// Partitions the document space over the backbone with `factor` copies
+    /// per shard (DESIGN.md §11), replacing full replication. Shorthand for
+    /// [`MdvSystem::configure_placement`] with the default shard-space size.
+    pub fn set_replication_factor(&mut self, factor: usize) -> Result<()> {
+        self.configure_placement(PlacementConfig::new(factor))
+    }
+
+    /// Enables placement: document shards (FNV-1a of the subject URI over
+    /// `config.shards` buckets) are rendezvous-hashed onto `config.factor`
+    /// MDPs each; document operations route to the shard's primary,
+    /// replication fans out only to the shard's replica set, and
+    /// subscriptions are mirrored on every MDP so rule tables stay fully
+    /// replicated. `factor >= mdp count` keeps every node a full replica.
+    ///
+    /// Raising or lowering the factor later recomputes and re-installs the
+    /// table (in Raft mode: proposes it through the replicated log); going
+    /// back to placement-off full replication is not supported. The shard
+    /// space is fixed at the first call.
+    pub fn configure_placement(&mut self, config: PlacementConfig) -> Result<()> {
+        if config.factor == 0 {
+            return Err(Error::Config(
+                "replication factor must be at least 1".into(),
+            ));
+        }
+        if config.shards == 0 {
+            return Err(Error::Config(
+                "placement shard count must be at least 1".into(),
+            ));
+        }
+        if self.mdps.is_empty() {
+            return Err(Error::Config(
+                "placement needs at least one MDP; call add_mdp first".into(),
+            ));
+        }
+        if let Some(cur) = self.placement {
+            if cur.shards != config.shards {
+                return Err(Error::Config(format!(
+                    "the placement shard space is fixed once enabled (currently {}, requested {})",
+                    cur.shards, config.shards
+                )));
+            }
+        }
+        for (name, m) in &self.mdps {
+            if m.batch_size().is_some() {
+                return Err(Error::Config(format!(
+                    "MDP '{name}' uses periodic batch filtering, incompatible with placement"
+                )));
+            }
+        }
+        for (name, l) in &self.lmrs {
+            if l.backup().is_some() {
+                return Err(Error::Config(format!(
+                    "LMR '{name}' has backup failover configured, unsupported with placement"
+                )));
+            }
+        }
+        if self.mode == ReplicationMode::Raft {
+            // the table is itself replicated state: compute it over the full
+            // voter set (storage stays fully replicated through the log, so
+            // liveness never moves shards) and propose it as a log entry
+            let names: Vec<String> = self.mdps.keys().cloned().collect();
+            let entry = names
+                .iter()
+                .find(|n| !self.network.is_down(n))
+                .cloned()
+                .ok_or_else(|| Error::Unavailable("no live MDP to propose through".into()))?;
+            self.placement_epoch += 1;
+            let table =
+                PlacementTable::compute(&names, config.shards, config.factor, self.placement_epoch);
+            self.raft_submit(
+                &entry,
+                RaftCmd::Placement {
+                    table: table.to_wire(),
+                },
+            )?;
+            self.placement = Some(config);
+            return Ok(());
+        }
+        // flip the LMRs first: the subscription mirroring below makes remote
+        // MDPs publish to them, which must already ride per-sender
+        // alternate streams
+        for lmr in self.lmrs.values_mut() {
+            lmr.set_placement(true)?;
+        }
+        self.placement = Some(config);
+        self.rebalance_placement(true)
+    }
+
+    /// The active placement configuration (`None`: classic full replication).
+    pub fn placement_config(&self) -> Option<PlacementConfig> {
+        self.placement
+    }
+
+    /// The placement table currently installed on the live backbone.
+    pub fn placement_table(&self) -> Option<&PlacementTable> {
+        self.mdps
+            .iter()
+            .filter(|(n, _)| !self.network.is_down(n))
+            .find_map(|(_, m)| m.placement())
+    }
+
+    /// Epoch of the current placement table (0 before placement is enabled).
+    pub fn placement_epoch(&self) -> u64 {
+        self.placement_epoch
+    }
+
+    /// The MDP a resource URI routes to. With placement enabled this is the
+    /// primary of the URI's document shard — the node whose registration
+    /// path avoids a forwarding hop. Without placement every MDP holds
+    /// everything; the same rendezvous hash over the full backbone then
+    /// serves as a deterministic load-spreading suggestion.
+    pub fn mdp_for_uri(&self, uri: &str) -> Result<&str> {
+        if self.mdps.is_empty() {
+            return Err(Error::Topology("no MDPs in the system".into()));
+        }
+        let doc = doc_uri_of(uri);
+        let primary = match self.placement_table() {
+            Some(table) => table.primary_for(doc).to_owned(),
+            None => {
+                let names: Vec<&String> = self.mdps.keys().collect();
+                let factor = names.len();
+                PlacementTable::compute(&names, DEFAULT_PLACEMENT_SHARDS, factor, 0)
+                    .primary_for(doc)
+                    .to_owned()
+            }
+        };
+        self.mdps
+            .get_key_value(&primary)
+            .map(|(k, _)| k.as_str())
+            .ok_or_else(|| Error::Topology(format!("unknown MDP '{primary}'")))
+    }
+
+    fn live_mdps(&self) -> Vec<String> {
+        self.mdps
+            .keys()
+            .filter(|n| !self.network.is_down(n))
+            .cloned()
+            .collect()
+    }
+
+    /// Recomputes the placement table over the live MDP set at a fresh
+    /// epoch, installs it, mirrors subscriptions everywhere, and repairs the
+    /// backbone so every owner holds its shards. With `prune`, copies on
+    /// nodes outside their shard's replica set are then erased — done after
+    /// heals and joins, never after a failure (no-prune-on-fail keeps a
+    /// flapping node from shedding data the survivors may still need).
+    fn rebalance_placement(&mut self, prune: bool) -> Result<()> {
+        let Some(config) = self.placement else {
+            return Ok(());
+        };
+        let live = self.live_mdps();
+        if live.is_empty() {
+            return Ok(());
+        }
+        self.placement_epoch += 1;
+        let table =
+            PlacementTable::compute(&live, config.shards, config.factor, self.placement_epoch);
+        for name in &live {
+            self.mdps
+                .get_mut(name)
+                .expect("live name from self.mdps")
+                .set_placement(Some(table.clone()))?;
+        }
+        self.sync_remote_subscriptions()?;
+        self.run_to_quiescence()?;
+        self.repair_backbone(64)?;
+        if prune {
+            for name in &live {
+                self.mdps
+                    .get_mut(name)
+                    .expect("live name from self.mdps")
+                    .prune_unowned()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Mirrors every active subscription rule onto every live MDP
+    /// (idempotent). Rule tables stay fully replicated under placement —
+    /// only the document space partitions.
+    fn sync_remote_subscriptions(&mut self) -> Result<()> {
+        let subs: Vec<(String, u64, String)> = self
+            .lmrs
+            .iter()
+            .flat_map(|(name, l)| {
+                l.rules()
+                    .filter(|(_, r)| matches!(r.status, RuleStatus::Active))
+                    .map(|(id, r)| (name.clone(), id, r.text.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        for name in self.live_mdps() {
+            for (lmr, id, text) in &subs {
+                self.mdps
+                    .get_mut(&name)
+                    .expect("live name from self.mdps")
+                    .register_remote_subscription(lmr, *id, text, &self.network)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// LWW administration routing: without placement the op lands on the
+    /// caller-named entry MDP; with placement it routes to the primary of
+    /// the document's shard (the entry MDP still must exist and be up — it
+    /// is the node the client talks to).
+    fn placement_route(&self, entry: &str, resource_uri: &str) -> Result<String> {
+        if !self.mdps.contains_key(entry) {
+            return Err(Error::Topology(format!("unknown MDP '{entry}'")));
+        }
+        self.check_mdp_up(entry)?;
+        if self.placement.is_none() {
+            return Ok(entry.to_owned());
+        }
+        let table = self.placement_table().ok_or_else(|| {
+            Error::Topology("placement configured but no live MDP holds a table".into())
+        })?;
+        let primary = table.primary_for(doc_uri_of(resource_uri)).to_owned();
+        self.check_mdp_up(&primary)?;
+        Ok(primary)
     }
 
     /// One anti-entropy round: every live MDP sends its document digest to
@@ -523,18 +795,26 @@ impl<S: StorageEngine + Send + Sync> MdvSystem<S> {
                 .iter()
                 .map(|n| (n.clone(), self.mdps[n].digest()))
                 .collect();
+            // under placement the legacy full-replication digest would make
+            // a pruned node re-pull documents it no longer owns; the
+            // placement digest carries the table epoch and receivers pull
+            // only what the table assigns to them (§11)
+            let epoch = self.placement.map(|_| self.placement_epoch);
             for (from, entries) in &digests {
                 for to in &alive {
                     if to == from {
                         continue;
                     }
-                    self.network.send(
-                        from,
-                        to,
-                        crate::message::Message::ReplicaDigest {
+                    let msg = match epoch {
+                        Some(epoch) => crate::message::Message::PlacementDigest {
+                            epoch,
                             entries: entries.clone(),
                         },
-                    )?;
+                        None => crate::message::Message::ReplicaDigest {
+                            entries: entries.clone(),
+                        },
+                    };
+                    self.network.send(from, to, msg)?;
                 }
             }
         }
@@ -563,8 +843,15 @@ impl<S: StorageEngine + Send + Sync> MdvSystem<S> {
         }
     }
 
-    /// True when all live MDPs serialize to identical document sets.
+    /// True when the live backbone is fully replicated: without placement,
+    /// all live MDPs serialize to identical document sets; with placement,
+    /// every live owner of a document's shard holds that document at the
+    /// globally newest version (non-owners are free to hold stale or no
+    /// copies — they are outside the shard's replica set).
     pub fn backbone_converged(&self) -> bool {
+        if self.placement.is_some() {
+            return self.backbone_converged_placement();
+        }
         let mut reference: Option<BTreeMap<String, String>> = None;
         for (name, mdp) in &self.mdps {
             if self.network.is_down(name) {
@@ -587,6 +874,52 @@ impl<S: StorageEngine + Send + Sync> MdvSystem<S> {
         true
     }
 
+    fn backbone_converged_placement(&self) -> bool {
+        let live: Vec<&String> = self
+            .mdps
+            .keys()
+            .filter(|n| !self.network.is_down(n))
+            .collect();
+        let Some(table) = live.iter().find_map(|n| self.mdps[n.as_str()].placement()) else {
+            return true; // configured but not yet installed anywhere
+        };
+        // same `(version, deleted, hash)` total order the LWW merge uses
+        let digests: BTreeMap<&str, BTreeMap<String, (u64, u8, u64)>> = live
+            .iter()
+            .map(|n| {
+                let keys = self.mdps[n.as_str()]
+                    .digest()
+                    .into_iter()
+                    .map(|e| (e.uri, (e.version, u8::from(e.deleted), e.hash)))
+                    .collect();
+                (n.as_str(), keys)
+            })
+            .collect();
+        let mut newest: BTreeMap<&str, (u64, u8, u64)> = BTreeMap::new();
+        for keys in digests.values() {
+            for (uri, key) in keys {
+                let entry = newest.entry(uri.as_str()).or_insert(*key);
+                if *key > *entry {
+                    *entry = *key;
+                }
+            }
+        }
+        for (uri, key) in &newest {
+            for owner in table.owners(table.shard_of(uri)) {
+                if self.network.is_down(owner) {
+                    continue;
+                }
+                if digests
+                    .get(owner)
+                    .is_none_or(|keys| keys.get(*uri) != Some(key))
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
     /// Registers a subscription rule at an LMR (which forwards it to its
     /// MDP) and runs the system to quiescence. Fails when the MDP rejected
     /// the rule.
@@ -600,7 +933,16 @@ impl<S: StorageEngine + Send + Sync> MdvSystem<S> {
         };
         self.run_to_quiescence()?;
         match &self.lmr(lmr)?.rule(id).expect("rule just created").status {
-            RuleStatus::Active => Ok(id),
+            RuleStatus::Active => {
+                // rule tables stay fully replicated under placement: mirror
+                // the accepted rule on every other live MDP so each shard
+                // primary publishes its own matches to the LMR (§11)
+                if self.placement.is_some() && self.mode == ReplicationMode::Lww {
+                    self.sync_remote_subscriptions()?;
+                    self.run_to_quiescence()?;
+                }
+                Ok(id)
+            }
             RuleStatus::Failed(e) => Err(Error::Subscription(e.clone())),
             RuleStatus::Pending => Err(Error::Subscription(
                 "subscription still pending after quiescence".into(),
@@ -616,6 +958,17 @@ impl<S: StorageEngine + Send + Sync> MdvSystem<S> {
                 .get_mut(lmr)
                 .ok_or_else(|| Error::Topology(format!("unknown LMR '{lmr}'")))?;
             l.unsubscribe(rule, &self.network)?;
+        }
+        // retract the mirror copies; the home MDP also hears the regular
+        // Unsubscribe message, which lands idempotently after this
+        if self.placement.is_some() && self.mode == ReplicationMode::Lww {
+            let live: Vec<String> = self.live_mdps();
+            for name in live {
+                self.mdps
+                    .get_mut(&name)
+                    .expect("live name from self.mdps")
+                    .remove_remote_subscription(lmr, rule)?;
+            }
         }
         self.run_to_quiescence()
     }
@@ -634,11 +987,11 @@ impl<S: StorageEngine + Send + Sync> MdvSystem<S> {
             );
         }
         {
-            self.check_mdp_up(mdp)?;
+            let target = self.placement_route(mdp, doc.uri())?;
             let m = self
                 .mdps
-                .get_mut(mdp)
-                .ok_or_else(|| Error::Topology(format!("unknown MDP '{mdp}'")))?;
+                .get_mut(&target)
+                .ok_or_else(|| Error::Topology(format!("unknown MDP '{target}'")))?;
             m.register_document(doc, &self.network, true)?;
         }
         self.run_to_quiescence()
@@ -657,11 +1010,11 @@ impl<S: StorageEngine + Send + Sync> MdvSystem<S> {
             );
         }
         {
-            self.check_mdp_up(mdp)?;
+            let target = self.placement_route(mdp, doc.uri())?;
             let m = self
                 .mdps
-                .get_mut(mdp)
-                .ok_or_else(|| Error::Topology(format!("unknown MDP '{mdp}'")))?;
+                .get_mut(&target)
+                .ok_or_else(|| Error::Topology(format!("unknown MDP '{target}'")))?;
             m.update_document(doc, &self.network, true)?;
         }
         self.run_to_quiescence()
@@ -679,11 +1032,11 @@ impl<S: StorageEngine + Send + Sync> MdvSystem<S> {
             );
         }
         {
-            self.check_mdp_up(mdp)?;
+            let target = self.placement_route(mdp, uri)?;
             let m = self
                 .mdps
-                .get_mut(mdp)
-                .ok_or_else(|| Error::Topology(format!("unknown MDP '{mdp}'")))?;
+                .get_mut(&target)
+                .ok_or_else(|| Error::Topology(format!("unknown MDP '{target}'")))?;
             m.delete_document(uri, &self.network, true)?;
         }
         self.run_to_quiescence()
@@ -746,6 +1099,14 @@ impl<S: StorageEngine + Send + Sync> MdvSystem<S> {
         if self.mode == ReplicationMode::Raft && batch_size.is_some() {
             return Err(Error::Topology(
                 "periodic batch filtering bypasses the replicated log; unavailable in Raft mode"
+                    .into(),
+            ));
+        }
+        if self.placement.is_some() && batch_size.is_some() {
+            return Err(Error::Config(
+                "periodic batch filtering is incompatible with placement: a \
+                 queued batch would flush after a rebalance moved its shard \
+                 (§11)"
                     .into(),
             ));
         }

@@ -98,6 +98,11 @@ pub struct NetStats {
     pub anti_entropy_rounds: u64,
     /// Documents actually repaired by anti-entropy pulls (`note_repair`).
     pub repairs_applied: u64,
+    /// Placement-protocol send attempts (placement digests; DESIGN.md §11).
+    /// Zero unless a placement table is active.
+    pub placement_messages: u64,
+    /// Bytes of placement-protocol send attempts.
+    pub placement_bytes: u64,
 }
 
 /// Fault parameters for one directed link.
@@ -363,6 +368,10 @@ impl Network {
             }
             if retry {
                 stats.retries += 1;
+            }
+            if kind == "placement-digest" {
+                stats.placement_messages += 1;
+                stats.placement_bytes += bytes as u64;
             }
         }
         if self.is_down(to) || self.is_down(from) {

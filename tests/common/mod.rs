@@ -106,6 +106,38 @@ pub fn assert_consistent<S: StorageEngine + Send + Sync>(
     let _ = BaseStore::resource_exists(engine.db(), "nonexistent#x").unwrap();
 }
 
+/// The placement-mode cache-consistency oracle (DESIGN.md §11): under
+/// partitioned replication no single MDP holds the full corpus, so the
+/// direct-evaluation oracle runs against a *shadow* deployment — a
+/// fault-free single-MDP system that replayed the same successful
+/// operations. The LMR's cache in the placed system must exactly equal the
+/// rule evaluation (plus strong closure) over the shadow's full database,
+/// byte for byte.
+pub fn assert_consistent_with_shadow<S, T>(
+    sys: &MdvSystem<S>,
+    lmr: &str,
+    shadow: &MdvSystem<T>,
+    shadow_mdp: &str,
+    rules: &[&str],
+    when: &str,
+) where
+    S: StorageEngine + Send + Sync,
+    T: StorageEngine + Send + Sync,
+{
+    let cached: BTreeSet<String> = sys.lmr(lmr).unwrap().cached_uris().into_iter().collect();
+    let expected = expected_cache(shadow, shadow_mdp, rules);
+    assert_eq!(cached, expected, "cache of {lmr} inconsistent {when}");
+    let engine = shadow.mdp(shadow_mdp).unwrap().engine();
+    for uri in &cached {
+        let ours = sys.lmr(lmr).unwrap().cached_resource(uri).unwrap().unwrap();
+        let truth = engine.resource(uri).unwrap().unwrap();
+        assert!(
+            ours.same_content(&truth),
+            "stale copy of {uri} at {lmr} {when}"
+        );
+    }
+}
+
 /// The Raft-mode convergence oracle (DESIGN.md §9): every live voter must
 /// expose *identical committed state* — same applied log prefix (equal
 /// `applied` index and equal apply hash-chain value) and byte-identical

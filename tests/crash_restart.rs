@@ -241,7 +241,7 @@ fn mdp_crash_restart_preserves_documents_and_subscriptions() {
 fn sharded_mdp_recovers_every_shard_wal_after_crash_mid_batch() {
     let root = scratch("sharded");
     let mut sys = MdvSystem::durable_with_net_config(schema(), NetConfig::default());
-    sys.set_filter_shards(4);
+    sys.set_filter_shards(4).unwrap();
     sys.add_mdp_durable("mdp", root.join("mdp")).unwrap();
     sys.add_lmr_durable("lmr", "mdp", root.join("lmr")).unwrap();
 

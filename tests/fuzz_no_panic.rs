@@ -165,7 +165,8 @@ property! {
         let mut sys = MdvSystem::with_net_config(common::schema(), config);
         // random shard topology (DESIGN.md §8): publications are shard-count
         // invariant, so any layout must survive the same fault schedule
-        sys.set_filter_shards(*src.choose(&[1usize, 2, 4, 8]));
+        sys.set_filter_shards(*src.choose(&[1usize, 2, 4, 8]))
+            .unwrap();
         sys.add_mdp("m1").unwrap();
         sys.add_mdp("m2").unwrap(); // reliable MDP↔MDP replication
         sys.add_lmr("l1", "m1").unwrap();
@@ -263,7 +264,7 @@ property! {
             MdvSystem::durable_with_net_config(common::schema(), config);
         // random shard topology: crash-restarts must recover every shard's
         // WAL, whatever the layout (DESIGN.md §8)
-        sys.set_filter_shards(*src.choose(&[1usize, 2, 4]));
+        sys.set_filter_shards(*src.choose(&[1usize, 2, 4])).unwrap();
         sys.add_mdp_durable("m1", root.join("m1")).unwrap();
         sys.add_mdp_durable("m2", root.join("m2")).unwrap();
         sys.add_lmr_durable("l1", "m1", root.join("l1")).unwrap();

@@ -1,0 +1,659 @@
+//! Placement-mode system tests (DESIGN.md §11): the shard space is
+//! rendezvous-hashed onto the MDPs with a configurable replication factor,
+//! replacing full backbone replication with partitioned-with-replicas.
+//!
+//! The tentpole properties drive placed deployments at R ∈ {1, 2, 3}
+//! through randomized register/update/delete workloads interleaved with
+//! fail/heal cycles (each a rebalance: epoch bump, shard handoff via
+//! anti-entropy repair, post-heal pruning) and demand that every LMR cache
+//! match the *shadow oracle* — a fault-free single-MDP deployment that
+//! replayed the same successful operations — byte for byte. Fixed-seed
+//! tests pin the mechanisms in isolation: typed configuration errors,
+//! primary routing, full-factor equivalence with legacy full replication,
+//! exact R-copies-per-document storage, shard handoff while a
+//! publication link is partitioned, and crash-recovered shard ownership.
+
+mod common;
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+use common::{assert_consistent, assert_consistent_with_shadow, mild_fault_plan, provider, schema};
+use mdv::prelude::*;
+use mdv::relstore::StorageEngine;
+use mdv::system::{Error, MdvSystem as Mdv, PlacementConfig};
+use mdv_testkit::{prop_assert, prop_assert_eq, property, Source};
+
+const RULES: [&str; 2] = [
+    "search CycleProvider c register c where c.serverInformation.memory > 64",
+    "search ServerInformation s register s where s.cpu >= 600",
+];
+
+#[derive(Debug, Clone)]
+enum Op {
+    Register(i64, i64),
+    Update(usize, i64, i64),
+    Delete(usize),
+}
+
+fn arb_ops(src: &mut Source) -> Vec<Op> {
+    src.vec(1..8, |src| match src.weighted(&[4, 3, 2]) {
+        0 => Op::Register(src.i64_in(0..150), src.i64_in(300..900)),
+        1 => Op::Update(src.any_usize(), src.i64_in(0..150), src.i64_in(300..900)),
+        _ => Op::Delete(src.any_usize()),
+    })
+}
+
+/// Applies one op to the placed system (entering at `entry`, which routes
+/// to the shard primary) *and* to the fault-free shadow, keeping both on
+/// the same logical history.
+fn apply_both<S: StorageEngine + Send + Sync>(
+    sys: &mut Mdv<S>,
+    shadow: &mut Mdv,
+    entry: &str,
+    op: Op,
+    live: &mut Vec<usize>,
+    next: &mut usize,
+) {
+    match op {
+        Op::Register(memory, cpu) => {
+            let i = *next;
+            *next += 1;
+            let doc = provider(i, "a.hub.org", memory, cpu);
+            sys.register_document(entry, &doc).unwrap();
+            shadow.register_document("m0", &doc).unwrap();
+            live.push(i);
+        }
+        Op::Update(pick, memory, cpu) => {
+            if live.is_empty() {
+                return;
+            }
+            let i = live[pick % live.len()];
+            let doc = provider(i, "b.hub.org", memory, cpu);
+            sys.update_document(entry, &doc).unwrap();
+            shadow.update_document("m0", &doc).unwrap();
+        }
+        Op::Delete(pick) => {
+            if live.is_empty() {
+                return;
+            }
+            let i = live.remove(pick % live.len());
+            let uri = format!("doc{i}.rdf");
+            sys.delete_document(entry, &uri).unwrap();
+            shadow.delete_document("m0", &uri).unwrap();
+        }
+    }
+}
+
+/// The fault-free single-MDP deployment the shadow oracle evaluates
+/// against.
+fn shadow_system() -> Mdv {
+    let mut shadow = Mdv::new(schema());
+    shadow.add_mdp("m0").unwrap();
+    shadow
+}
+
+/// Every live document must exist on exactly `factor` MDPs once the
+/// topology is quiet and pruned: registrations fan out to the replica set
+/// only, and rebalances erase copies outside it.
+fn assert_exact_copies<S: StorageEngine + Send + Sync>(
+    sys: &Mdv<S>,
+    factor: usize,
+    corpus: usize,
+    when: &str,
+) {
+    let total: usize = sys
+        .mdp_names()
+        .iter()
+        .map(|m| sys.mdp(m).unwrap().engine().document_count())
+        .sum();
+    assert_eq!(
+        total,
+        factor * corpus,
+        "expected exactly {factor} copies of each of {corpus} documents {when}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// configuration surface: typed errors for every rejected combination
+// ---------------------------------------------------------------------------
+
+#[test]
+fn filter_shard_count_is_rejected_once_mdps_exist() {
+    let mut sys = Mdv::new(schema());
+    sys.set_filter_shards(4).unwrap(); // before any MDP: fine
+    sys.add_mdp("m1").unwrap();
+    let err = sys.set_filter_shards(8).unwrap_err();
+    assert!(
+        matches!(err, Error::Config(_)),
+        "mid-run shard change must be a typed configuration error, got: {err}"
+    );
+    assert!(err.to_string().contains("configuration error"), "{err}");
+}
+
+#[test]
+fn placement_configuration_errors_are_typed() {
+    let mut sys = Mdv::new(schema());
+    assert!(matches!(
+        sys.set_replication_factor(2).unwrap_err(),
+        Error::Config(_) // no MDPs yet
+    ));
+    sys.add_mdp("m1").unwrap();
+    sys.add_mdp("m2").unwrap();
+    assert!(matches!(
+        sys.set_replication_factor(0).unwrap_err(),
+        Error::Config(_)
+    ));
+
+    // batch filtering and placement exclude each other, in both orders
+    sys.set_batch_size("m1", Some(4)).unwrap();
+    assert!(matches!(
+        sys.set_replication_factor(2).unwrap_err(),
+        Error::Config(_)
+    ));
+    sys.set_batch_size("m1", None).unwrap();
+
+    // backup failover and placement exclude each other, in both orders
+    sys.add_lmr("l1", "m1").unwrap();
+    sys.set_backup_mdp("l1", "m2").unwrap();
+    assert!(matches!(
+        sys.set_replication_factor(2).unwrap_err(),
+        Error::Config(_)
+    ));
+
+    let mut sys = Mdv::new(schema());
+    sys.add_mdp("m1").unwrap();
+    sys.add_mdp("m2").unwrap();
+    sys.add_lmr("l1", "m1").unwrap();
+    sys.set_replication_factor(2).unwrap();
+    assert!(matches!(
+        sys.set_backup_mdp("l1", "m2").unwrap_err(),
+        Error::Config(_)
+    ));
+    assert!(matches!(
+        sys.set_batch_size("m1", Some(4)).unwrap_err(),
+        Error::Config(_)
+    ));
+    // the shard space is fixed at the first call; the factor may change
+    assert!(matches!(
+        sys.configure_placement(PlacementConfig {
+            factor: 2,
+            shards: 128,
+        })
+        .unwrap_err(),
+        Error::Config(_)
+    ));
+    sys.set_replication_factor(1).unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// routing
+// ---------------------------------------------------------------------------
+
+#[test]
+fn mdp_for_uri_names_the_placement_primary() {
+    let mut sys = Mdv::new(schema());
+    for m in ["m1", "m2", "m3"] {
+        sys.add_mdp(m).unwrap();
+    }
+    // placement off: a deterministic suggestion over the full backbone
+    let before = sys.mdp_for_uri("doc0.rdf#host").unwrap().to_owned();
+    assert_eq!(sys.mdp_for_uri("doc0.rdf").unwrap(), before);
+    assert!(sys.mdp_names().contains(&before.as_str()));
+
+    sys.set_replication_factor(1).unwrap();
+    let table = sys.placement_table().unwrap().clone();
+    for i in 0..20 {
+        let uri = format!("doc{i}.rdf");
+        assert_eq!(sys.mdp_for_uri(&uri).unwrap(), table.primary_for(&uri));
+    }
+    // with R=1 the primary is the *only* copy-holder: registering through
+    // any entry MDP must land the document exactly there
+    sys.register_document("m1", &provider(7, "a.hub.org", 128, 700))
+        .unwrap();
+    let home = sys.mdp_for_uri("doc7.rdf").unwrap().to_owned();
+    for m in sys.mdp_names() {
+        let held = sys.mdp(m).unwrap().engine().document("doc7.rdf").is_some();
+        assert_eq!(held, m == home, "{m}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// full-factor equivalence with legacy full replication
+// ---------------------------------------------------------------------------
+
+fn run_equivalence_workload(sys: &mut Mdv) {
+    for m in ["m1", "m2", "m3"] {
+        sys.add_mdp(m).unwrap();
+    }
+    sys.add_lmr("l1", "m1").unwrap();
+    sys.subscribe("l1", RULES[0]).unwrap();
+    sys.subscribe("l1", RULES[1]).unwrap();
+}
+
+fn equivalence_ops<S: StorageEngine + Send + Sync>(sys: &mut Mdv<S>) {
+    for i in 0..8 {
+        sys.register_document("m1", &provider(i, "a.hub.org", 60 + 10 * i as i64, 700))
+            .unwrap();
+    }
+    sys.fail_mdp("m2").unwrap();
+    sys.update_document("m3", &provider(0, "b.hub.org", 10, 400))
+        .unwrap();
+    sys.delete_document("m1", "doc3.rdf").unwrap();
+    sys.heal_mdp("m2").unwrap();
+    sys.register_document("m3", &provider(8, "c.hub.org", 256, 800))
+        .unwrap();
+    sys.repair_backbone(64).unwrap();
+}
+
+fn doc_sets<S: StorageEngine + Send + Sync>(
+    sys: &Mdv<S>,
+) -> BTreeMap<String, BTreeMap<String, String>> {
+    sys.mdp_names()
+        .into_iter()
+        .map(|m| {
+            let docs = sys
+                .mdp(m)
+                .unwrap()
+                .engine()
+                .documents()
+                .map(|d| (d.uri().to_owned(), write_document(d)))
+                .collect();
+            (m.to_owned(), docs)
+        })
+        .collect()
+}
+
+#[test]
+fn full_factor_placement_matches_legacy_full_replication() {
+    // R >= MDP count clamps to "every node owns every shard": the placed
+    // system must end byte-identical to the placement-off legacy system on
+    // the same workload, and the legacy system must never emit a single
+    // placement message (the refactor is invisible until opted into)
+    let mut legacy = Mdv::new(schema());
+    run_equivalence_workload(&mut legacy);
+    equivalence_ops(&mut legacy);
+
+    let mut placed = Mdv::new(schema());
+    run_equivalence_workload(&mut placed);
+    placed.set_replication_factor(3).unwrap();
+    equivalence_ops(&mut placed);
+
+    assert_eq!(doc_sets(&legacy), doc_sets(&placed));
+    let legacy_cache: BTreeSet<String> = legacy
+        .lmr("l1")
+        .unwrap()
+        .cached_uris()
+        .into_iter()
+        .collect();
+    let placed_cache: BTreeSet<String> = placed
+        .lmr("l1")
+        .unwrap()
+        .cached_uris()
+        .into_iter()
+        .collect();
+    assert_eq!(legacy_cache, placed_cache);
+    assert_consistent(&placed, "l1", "m1", &RULES, "full-factor placement");
+
+    assert_eq!(legacy.network_stats().placement_messages, 0);
+    assert_eq!(legacy.network_stats().placement_bytes, 0);
+    assert!(legacy.placement_config().is_none());
+    assert_eq!(placed.placement_config().unwrap().factor, 3);
+}
+
+// ---------------------------------------------------------------------------
+// storage partitioning
+// ---------------------------------------------------------------------------
+
+#[test]
+fn each_document_lives_on_exactly_r_nodes() {
+    let mut sys = Mdv::new(schema());
+    for m in ["m1", "m2", "m3", "m4"] {
+        sys.add_mdp(m).unwrap();
+    }
+    sys.set_replication_factor(2).unwrap();
+    let entries = ["m1", "m2", "m3", "m4"];
+    for i in 0..40 {
+        sys.register_document(entries[i % 4], &provider(i, "a.hub.org", 100, 700))
+            .unwrap();
+    }
+    assert_exact_copies(&sys, 2, 40, "after the register sweep");
+    // the table's analytic share matches the realized one: R/N = 1/2
+    let share = sys.placement_table().unwrap().storage_share();
+    assert!((share - 0.5).abs() < 0.15, "storage share {share}");
+    // no node is a full replica and no node is empty at 40 docs / 64 shards
+    for m in sys.mdp_names() {
+        let n = sys.mdp(m).unwrap().engine().document_count();
+        assert!(n > 0 && n < 40, "{m} holds {n} of 40 documents");
+    }
+    assert!(sys.backbone_converged());
+}
+
+// ---------------------------------------------------------------------------
+// shard handoff while a publication link is partitioned
+// ---------------------------------------------------------------------------
+
+#[test]
+fn handoff_during_partitioned_publication_link_reconverges() {
+    // l1's home is m1, but under placement every shard primary publishes
+    // its own matches to l1 over a per-sender alternate stream. Black-hole
+    // the l1<->m2 link, drive documents whose primaries include m2, and
+    // fail/heal m3 inside the window so a rebalance (epoch bump + shard
+    // handoff + prune) happens *while* publications to l1 are parked. The
+    // at-least-once alt streams must deliver in order once the partition
+    // lifts, and the cache must match the shadow oracle exactly.
+    let mut config = NetConfig::default();
+    config.faults.seed = 0x91ace;
+    config.faults.partition_both("l1", "m2", 0, 5000);
+    let mut sys = Mdv::with_net_config(schema(), config);
+    let mut shadow = shadow_system();
+    for m in ["m1", "m2", "m3"] {
+        sys.add_mdp(m).unwrap();
+    }
+    sys.add_lmr("l1", "m1").unwrap();
+    sys.subscribe("l1", RULES[0]).unwrap();
+    shadow.add_lmr("l0", "m0").unwrap();
+    shadow.subscribe("l0", RULES[0]).unwrap();
+    sys.set_replication_factor(2).unwrap();
+
+    let mut live = Vec::new();
+    let mut next = 0usize;
+    for _ in 0..6 {
+        apply_both(
+            &mut sys,
+            &mut shadow,
+            "m1",
+            Op::Register(128, 700),
+            &mut live,
+            &mut next,
+        );
+    }
+
+    // churn while m2 cannot talk to l1: its publications park and
+    // retransmit; meanwhile m3 dies and heals, forcing two rebalances
+    apply_both(
+        &mut sys,
+        &mut shadow,
+        "m1",
+        Op::Register(200, 800),
+        &mut live,
+        &mut next,
+    );
+    sys.fail_mdp("m3").unwrap();
+    apply_both(
+        &mut sys,
+        &mut shadow,
+        "m2",
+        Op::Register(150, 850),
+        &mut live,
+        &mut next,
+    );
+    apply_both(
+        &mut sys,
+        &mut shadow,
+        "m1",
+        Op::Update(0, 90, 650),
+        &mut live,
+        &mut next,
+    );
+    sys.heal_mdp("m3").unwrap();
+    apply_both(
+        &mut sys,
+        &mut shadow,
+        "m3",
+        Op::Delete(1),
+        &mut live,
+        &mut next,
+    );
+
+    sys.repair_backbone(64).unwrap();
+    assert!(sys.backbone_converged());
+    assert_consistent_with_shadow(
+        &sys,
+        "l1",
+        &shadow,
+        "m0",
+        &RULES[..1],
+        "after the partition",
+    );
+    assert_exact_copies(&sys, 2, live.len(), "after the partition");
+    for m in ["m1", "m2", "m3"] {
+        assert_eq!(sys.mdp(m).unwrap().unacked_publications(), 0, "{m}");
+        assert_eq!(sys.mdp(m).unwrap().unacked_replications(), 0, "{m}");
+    }
+    let stats = sys.network_stats();
+    assert!(stats.placement_messages > 0, "no placement digest ran");
+}
+
+// ---------------------------------------------------------------------------
+// crash recovery of shard ownership
+// ---------------------------------------------------------------------------
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "mdv-placement-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn cleanup(root: &Path) {
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn crash_restart_recovers_shard_ownership() {
+    let root = scratch("ownership");
+    let mut sys = MdvSystem::durable_with_net_config(schema(), NetConfig::default());
+    let mut shadow = shadow_system();
+    for m in ["m1", "m2", "m3"] {
+        sys.add_mdp_durable(m, root.join(m)).unwrap();
+    }
+    sys.add_lmr_durable("l1", "m1", root.join("l1")).unwrap();
+    sys.subscribe("l1", RULES[0]).unwrap();
+    shadow.add_lmr("l0", "m0").unwrap();
+    shadow.subscribe("l0", RULES[0]).unwrap();
+    sys.set_replication_factor(2).unwrap();
+    let epoch = sys.placement_epoch();
+
+    let mut live = Vec::new();
+    let mut next = 0usize;
+    for k in 0..6 {
+        apply_both(
+            &mut sys,
+            &mut shadow,
+            ["m1", "m2", "m3"][k % 3],
+            Op::Register(100 + 10 * k as i64, 700),
+            &mut live,
+            &mut next,
+        );
+    }
+
+    // the crash wipes memory; the WAL-mirrored placement table (and the
+    // LMR's per-sender alt-stream counters) must come back with it
+    sys.crash_and_restart_mdp("m2").unwrap();
+    sys.crash_and_restart_lmr("l1").unwrap();
+    let table = sys.mdp("m2").unwrap().placement().expect("table recovered");
+    assert_eq!(table.epoch(), epoch);
+    assert_eq!(table.factor(), 2);
+
+    // the recovered node still serves its shards: more traffic, a fail/heal
+    // rebalance, and the shadow oracle at the end
+    apply_both(
+        &mut sys,
+        &mut shadow,
+        "m2",
+        Op::Register(200, 800),
+        &mut live,
+        &mut next,
+    );
+    sys.fail_mdp("m1").unwrap();
+    apply_both(
+        &mut sys,
+        &mut shadow,
+        "m2",
+        Op::Register(150, 850),
+        &mut live,
+        &mut next,
+    );
+    sys.heal_mdp("m1").unwrap();
+    apply_both(
+        &mut sys,
+        &mut shadow,
+        "m1",
+        Op::Update(0, 96, 650),
+        &mut live,
+        &mut next,
+    );
+
+    sys.repair_backbone(64).unwrap();
+    assert!(sys.backbone_converged());
+    assert_consistent_with_shadow(
+        &sys,
+        "l1",
+        &shadow,
+        "m0",
+        &RULES[..1],
+        "after crash + rebalance",
+    );
+    assert_exact_copies(&sys, 2, live.len(), "after crash + rebalance");
+    cleanup(&root);
+}
+
+// ---------------------------------------------------------------------------
+// the tentpole properties
+// ---------------------------------------------------------------------------
+
+property! {
+    /// At any replication factor in {1, 2, 3}, over 3..=5 MDPs, with lossy
+    /// links and randomized fail/heal cycles (each one a rebalance: epoch
+    /// bump, shard handoff, post-heal pruning), the placed backbone
+    /// reconverges and every LMR cache matches the shadow oracle byte for
+    /// byte. At R=1 a down node's shards have no live copy, so updates and
+    /// deletes pause while a node is down (registrations land on the
+    /// rebalanced survivors); at R>=2 the full mix runs throughout.
+    fn placed_backbone_reconverges_under_fail_heal_schedules(src) cases = 20; {
+        let factor = *src.choose(&[1usize, 2, 3]);
+        let n = src.u64_in(3..6) as usize;
+        let config = NetConfig {
+            faults: mild_fault_plan(src.bits()),
+            ..NetConfig::default()
+        };
+        let mut sys = MdvSystem::with_net_config(schema(), config);
+        let mut shadow = shadow_system();
+        let names: Vec<String> = (1..=n).map(|i| format!("m{i}")).collect();
+        for m in &names {
+            sys.add_mdp(m).unwrap();
+        }
+        sys.add_lmr("l1", "m1").unwrap();
+        shadow.add_lmr("l0", "m0").unwrap();
+        // one rule before placement is enabled (the enable path must mirror
+        // it everywhere), one after (the subscribe path must fan out)
+        sys.subscribe("l1", RULES[0]).unwrap();
+        shadow.subscribe("l0", RULES[0]).unwrap();
+        sys.set_replication_factor(factor).unwrap();
+        sys.subscribe("l1", RULES[1]).unwrap();
+        shadow.subscribe("l0", RULES[1]).unwrap();
+
+        let mut live: Vec<usize> = Vec::new();
+        let mut next = 0usize;
+        let mut down: Option<String> = None;
+        for _round in 0..src.u64_in(2..5) {
+            for op in arb_ops(src) {
+                if factor == 1
+                    && down.is_some()
+                    && !matches!(op, Op::Register(..))
+                {
+                    continue; // no live copy of a down node's shards at R=1
+                }
+                let up: Vec<&String> = names
+                    .iter()
+                    .filter(|m| down.as_deref() != Some(m.as_str()))
+                    .collect();
+                let entry = up[src.any_usize() % up.len()].clone();
+                apply_both(&mut sys, &mut shadow, &entry, op, &mut live, &mut next);
+            }
+            match (src.weighted(&[2, 3, 3]), down.clone()) {
+                (1, None) => {
+                    let victim = names[src.any_usize() % n].clone();
+                    sys.fail_mdp(&victim).unwrap();
+                    down = Some(victim);
+                }
+                (2, Some(victim)) => {
+                    sys.heal_mdp(&victim).unwrap();
+                    down = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(victim) = down.take() {
+            sys.heal_mdp(&victim).unwrap();
+        }
+        sys.repair_backbone(64).unwrap();
+
+        prop_assert!(sys.backbone_converged());
+        assert_consistent_with_shadow(&sys, "l1", &shadow, "m0", &RULES, "at the end");
+        assert_exact_copies(&sys, factor.min(n), live.len(), "at the end");
+        for m in &names {
+            prop_assert_eq!(sys.mdp(m).unwrap().unacked_publications(), 0);
+            prop_assert_eq!(sys.mdp(m).unwrap().unacked_replications(), 0);
+        }
+        let table = sys.placement_table().unwrap();
+        prop_assert_eq!(table.mdps().len(), n);
+        prop_assert_eq!(table.factor(), factor.min(n));
+    }
+}
+
+property! {
+    /// In Raft mode the placement table itself rides the replicated log:
+    /// after enabling R=2 over three voters, killing and healing the
+    /// *leader* must leave every voter with the identical applied prefix,
+    /// the identical installed table, and a passing cache oracle — and the
+    /// LWW anti-entropy machinery must stay cold throughout.
+    fn raft_replicates_the_placement_table_through_the_log(src) cases = 10; {
+        let config = NetConfig {
+            faults: mild_fault_plan(src.bits()),
+            ..NetConfig::default()
+        };
+        let mut sys = MdvSystem::with_net_config(schema(), config);
+        sys.enable_raft(src.bits()).unwrap();
+        let mdps = ["m1", "m2", "m3"];
+        for m in mdps {
+            sys.add_mdp(m).unwrap();
+        }
+        sys.add_lmr("l1", "m1").unwrap();
+        sys.subscribe("l1", RULES[0]).unwrap();
+        sys.set_replication_factor(2).unwrap();
+
+        let mut live: Vec<usize> = Vec::new();
+        let mut next = 0usize;
+        let mut shadow = shadow_system(); // tracks ops only; oracle is direct
+        for (k, op) in arb_ops(src).into_iter().enumerate() {
+            apply_both(&mut sys, &mut shadow, mdps[k % 3], op, &mut live, &mut next);
+        }
+
+        let victim = sys.raft_leader().expect("leader before the failure");
+        sys.fail_mdp(&victim).unwrap();
+        let survivors: Vec<&str> = mdps.iter().copied().filter(|m| *m != victim).collect();
+        for (k, op) in arb_ops(src).into_iter().enumerate() {
+            apply_both(&mut sys, &mut shadow, survivors[k % 2], op, &mut live, &mut next);
+        }
+        sys.heal_mdp(&victim).unwrap();
+        sys.run_to_quiescence().unwrap();
+
+        common::assert_committed_identical(&sys, "after the leader fail/heal");
+        prop_assert_eq!(sys.network_stats().anti_entropy_rounds, 0);
+        prop_assert_eq!(sys.network_stats().placement_messages, 0);
+        // the log installed one identical table on every voter
+        for m in mdps {
+            let table = sys.mdp(m).unwrap().placement().expect("table everywhere");
+            prop_assert_eq!(table.factor(), 2);
+            prop_assert_eq!(table.mdps().len(), 3);
+        }
+        let home = sys.lmr("l1").unwrap().mdp().to_owned();
+        assert_consistent(&sys, "l1", &home, &RULES[..1], "after the leader fail/heal");
+    }
+}
