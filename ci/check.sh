@@ -174,6 +174,19 @@ for seed in "${CI_SEEDS[@]}"; do
 done
 
 # ---------------------------------------------------------------------------
+step "storage-torture replay: disk faults and crash-point sweeps across fixed seeds"
+# Replays the storage fault-injection suite (DESIGN.md §12) under the pinned
+# seeds: the exhaustive crash-point sweeps and the golden byte-identity
+# fixture are deterministic and run every time; the randomized
+# detected-or-consistent property replays per seed; failures print the seed
+# to rerun.
+for seed in "${CI_SEEDS[@]}"; do
+  MDV_PROP_SEED="$seed" MDV_PROP_CASES=12 \
+    cargo test -q --offline --test storage_torture >/dev/null
+  echo "ok: storage_torture @ MDV_PROP_SEED=$seed"
+done
+
+# ---------------------------------------------------------------------------
 step "backbone-repair replay: replication, anti-entropy, failover across fixed seeds"
 # Replays the backbone reconvergence property (reliable MDP↔MDP replication,
 # anti-entropy repair, and LMR failover through a fail/heal cycle, checked
@@ -291,6 +304,23 @@ if [[ "$QUICK" == "0" ]]; then
   cargo run --offline --release -p mdv-bench --bin figures -- \
     fig12 --backend durable >/dev/null
   echo "ok: figures fig12 --backend durable"
+
+  # -------------------------------------------------------------------------
+  step "figures smoke pass: recovery-torture (disk-fault recovery study)"
+  # Exercises the storage-recovery study end to end (fault-injecting VFS,
+  # rotating crash modes, reopen with the zero-committed-write-loss gate;
+  # DESIGN.md §12). Runs from a scratch CWD so the quick-mode run never
+  # clobbers the checked-in BENCH_recovery.json (regenerate that with
+  # `figures recovery-torture --full`).
+  ROOT="$PWD"
+  SMOKE_DIR="$(mktemp -d)"
+  (cd "$SMOKE_DIR" && cargo run --offline --release \
+    --manifest-path "$ROOT/Cargo.toml" -p mdv-bench --bin figures -- \
+    recovery-torture >/dev/null)
+  [[ -s "$SMOKE_DIR/BENCH_recovery.json" ]] \
+    || { echo "ERROR: recovery-torture wrote no results" >&2; exit 1; }
+  rm -rf "$SMOKE_DIR"
+  echo "ok: figures recovery-torture"
 
   # -------------------------------------------------------------------------
   step "figures smoke pass: backbone-repair (3-MDP fail/heal study)"

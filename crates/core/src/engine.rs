@@ -135,13 +135,24 @@ impl FilterEngine<Database> {
 impl<S: StorageEngine + Sync> FilterEngine<S> {
     /// Builds an engine on a fresh storage backend: the filter tables are
     /// created through the backend (and thus logged by durable ones).
-    pub fn with_storage(mut store: S, schema: RdfSchema, config: FilterConfig) -> Self {
+    ///
+    /// Panics if the backend rejects the filter DDL — fine for the volatile
+    /// [`Database`], which cannot fail it. Durable backends on real (or
+    /// fault-injected) disks should use [`FilterEngine::try_with_storage`],
+    /// which surfaces I/O faults as typed errors instead.
+    pub fn with_storage(store: S, schema: RdfSchema, config: FilterConfig) -> Self {
+        Self::try_with_storage(store, schema, config)
+            .expect("storage backend accepts the filter DDL")
+    }
+
+    /// Fallible [`FilterEngine::with_storage`]: a backend that fails the
+    /// initial DDL commit (a disk fault during WAL append or sync) returns
+    /// `Error::Store` rather than panicking.
+    pub fn try_with_storage(mut store: S, schema: RdfSchema, config: FilterConfig) -> Result<Self> {
         store.begin();
-        create_base_tables(&mut store).expect("fresh database accepts base tables");
-        create_rule_tables(&mut store).expect("fresh database accepts rule tables");
-        store
-            .commit()
-            .expect("storage backend accepts the DDL commit");
+        create_base_tables(&mut store)?;
+        create_rule_tables(&mut store)?;
+        store.commit()?;
         // precompute the class hierarchy maps
         let mut ancestors: HashMap<String, Vec<String>> = HashMap::new();
         let mut descendants: HashMap<String, Vec<String>> = HashMap::new();
@@ -160,7 +171,7 @@ impl<S: StorageEngine + Sync> FilterEngine<S> {
             }
             ancestors.insert(name.to_owned(), chain);
         }
-        FilterEngine {
+        Ok(FilterEngine {
             schema,
             store,
             graph: DepGraph::new(),
@@ -174,7 +185,7 @@ impl<S: StorageEngine + Sync> FilterEngine<S> {
             stats: FilterStats::default(),
             config,
             triggers: TriggerIndex::default(),
-        }
+        })
     }
 
     /// The RDF schema documents are validated against.

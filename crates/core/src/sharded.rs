@@ -143,7 +143,19 @@ impl<S: StorageEngine + Send + Sync> ShardedFilterEngine<S> {
     /// Builds one shard per storage backend (the shard count is
     /// `stores.len()`, overriding `config.shards`). The system tier uses
     /// this to give every shard its own durable WAL.
-    pub fn with_storages(stores: Vec<S>, schema: RdfSchema, mut config: FilterConfig) -> Self {
+    pub fn with_storages(stores: Vec<S>, schema: RdfSchema, config: FilterConfig) -> Self {
+        Self::try_with_storages(stores, schema, config)
+            .expect("storage backends accept the filter DDL")
+    }
+
+    /// Fallible [`ShardedFilterEngine::with_storages`]: a backend that
+    /// fails its initial DDL commit (a disk fault during WAL append or
+    /// sync) surfaces `Error::Store` instead of panicking.
+    pub fn try_with_storages(
+        stores: Vec<S>,
+        schema: RdfSchema,
+        mut config: FilterConfig,
+    ) -> Result<Self> {
         assert!(
             !stores.is_empty(),
             "a sharded engine needs at least one store"
@@ -151,10 +163,10 @@ impl<S: StorageEngine + Send + Sync> ShardedFilterEngine<S> {
         config.shards = stores.len();
         let shards: Vec<FilterEngine<S>> = stores
             .into_iter()
-            .map(|store| FilterEngine::with_storage(store, schema.clone(), config))
-            .collect();
+            .map(|store| FilterEngine::try_with_storage(store, schema.clone(), config))
+            .collect::<Result<_>>()?;
         let rev = vec![HashMap::new(); shards.len()];
-        ShardedFilterEngine {
+        Ok(ShardedFilterEngine {
             shards,
             subs: BTreeMap::new(),
             routes: BTreeMap::new(),
@@ -162,7 +174,7 @@ impl<S: StorageEngine + Send + Sync> ShardedFilterEngine<S> {
             next_sub: 0,
             stats: FilterStats::default(),
             config,
-        }
+        })
     }
 
     // ------------------------------------------------------------------

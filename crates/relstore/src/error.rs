@@ -32,8 +32,32 @@ pub enum Error {
     TypeError(String),
     /// A transaction-state violation (e.g. commit without begin).
     TransactionState(String),
-    /// An I/O or corruption failure in a durable backend (WAL, snapshot).
+    /// An I/O failure in a durable backend (WAL, snapshot).
     Io(String),
+    /// Detected corruption in durable state: a WAL frame or snapshot whose
+    /// checksum does not match, or data that fails to parse mid-log. Never
+    /// applied silently — recovery either falls back to an older epoch or
+    /// surfaces this.
+    Corrupt(String),
+    /// A write persisted only a prefix of its bytes (short write). The
+    /// engine wedges rather than retrying, since a retry would duplicate
+    /// the partial frame in the log.
+    TornWrite(String),
+    /// The engine wedged after a failed durability operation; all further
+    /// mutations are refused until the caller recovers by reopening.
+    Wedged(String),
+}
+
+impl Error {
+    /// Classifies an `std::io::Error` from a durable backend into the
+    /// matching typed variant.
+    pub fn from_io(context: &str, e: std::io::Error) -> Error {
+        match e.kind() {
+            std::io::ErrorKind::WriteZero => Error::TornWrite(format!("{context}: {e}")),
+            std::io::ErrorKind::InvalidData => Error::Corrupt(format!("{context}: {e}")),
+            _ => Error::Io(format!("{context}: {e}")),
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -61,6 +85,9 @@ impl fmt::Display for Error {
             Error::TypeError(msg) => write!(f, "type error: {msg}"),
             Error::TransactionState(msg) => write!(f, "transaction error: {msg}"),
             Error::Io(msg) => write!(f, "storage i/o error: {msg}"),
+            Error::Corrupt(msg) => write!(f, "storage corruption detected: {msg}"),
+            Error::TornWrite(msg) => write!(f, "torn write: {msg}"),
+            Error::Wedged(msg) => write!(f, "storage engine wedged: {msg}"),
         }
     }
 }

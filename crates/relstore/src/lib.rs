@@ -67,6 +67,7 @@ pub mod sql;
 pub mod table;
 pub mod txn;
 pub mod value;
+pub mod vfs;
 pub mod wal;
 
 pub use catalog::Database;
@@ -81,7 +82,8 @@ pub use sql::{execute as execute_sql, ResultSet};
 pub use table::{Row, RowId, Table};
 pub use txn::Txn;
 pub use value::{DataType, Value};
-pub use wal::DurableEngine;
+pub use vfs::{CrashMode, DiskFaultPlan, FaultStats, FaultVfs, StdFs, Vfs, VfsFile, CRASH_MODES};
+pub use wal::{DurableConfig, DurableEngine, RecoveryReport};
 
 // Compile-time audit backing the "shared read access" contract above: the
 // parallel filter shares `&Database` across pool workers, so the storage

@@ -22,6 +22,11 @@ pub enum Error {
     /// the filter shard count after nodes exist, or combining placement
     /// with an incompatible mode).
     Config(String),
+    /// A durability fault from the storage backend (I/O error, torn write,
+    /// detected corruption, wedged engine) — the disk misbehaved, not the
+    /// caller. Carried as the typed relstore error so callers can
+    /// distinguish e.g. `Corrupt` from `Io` (DESIGN.md §12).
+    Storage(mdv_relstore::Error),
 }
 
 impl fmt::Display for Error {
@@ -33,6 +38,7 @@ impl fmt::Display for Error {
             Error::Local(msg) => write!(f, "local metadata error: {msg}"),
             Error::Unavailable(msg) => write!(f, "unavailable: {msg}"),
             Error::Config(msg) => write!(f, "configuration error: {msg}"),
+            Error::Storage(e) => write!(f, "storage fault: {e}"),
         }
     }
 }
@@ -59,7 +65,13 @@ impl From<mdv_rulelang::Error> for Error {
 
 impl From<mdv_relstore::Error> for Error {
     fn from(e: mdv_relstore::Error) -> Self {
-        Error::Filter(mdv_filter::Error::Store(e))
+        use mdv_relstore::Error as E;
+        match e {
+            // durability faults keep their typed identity; logic errors
+            // (schema misuse etc.) stay on the filter path as before
+            E::Io(_) | E::Corrupt(_) | E::TornWrite(_) | E::Wedged(_) => Error::Storage(e),
+            other => Error::Filter(mdv_filter::Error::Store(other)),
+        }
     }
 }
 

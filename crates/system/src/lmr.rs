@@ -133,6 +133,8 @@ pub struct Lmr<S: StorageEngine = Database> {
 impl Lmr {
     pub fn new(name: &str, mdp: &str, schema: RdfSchema) -> Self {
         let mut cache = Database::new();
+        // infallible: a brand-new in-memory database (no I/O) can only
+        // refuse a duplicate table, and there are none yet
         create_base_tables(&mut cache).expect("fresh database accepts base tables");
         Self::from_store(name, mdp, schema, cache, false)
     }
@@ -364,6 +366,12 @@ impl<S: StorageEngine> Lmr<S> {
         &self.cache
     }
 
+    /// Mutable access to the cache store, for storage-level tuning (e.g.
+    /// checkpoint thresholds) on a live node.
+    pub fn storage_mut(&mut self) -> &mut S {
+        &mut self.cache
+    }
+
     /// Snapshot-as-compaction: checkpoints the cache store — writes a fresh
     /// snapshot reflecting every GC deletion and truncates the WAL.
     pub fn compact(&mut self) -> Result<()> {
@@ -582,14 +590,15 @@ impl<S: StorageEngine> Lmr<S> {
 
     /// URIs currently cached (global and local).
     pub fn cached_uris(&self) -> Vec<String> {
+        // a cache recovered from a very early crash image may predate the
+        // base tables' commit group: treat that as an empty cache rather
+        // than panicking (the torture harness exercises this)
         let mut out: Vec<String> = self
             .cache
             .database()
             .table("Resources")
-            .expect("cache has base tables")
-            .iter()
-            .map(|(_, row)| row[0].to_string())
-            .collect();
+            .map(|t| t.iter().map(|(_, row)| row[0].to_string()).collect())
+            .unwrap_or_default();
         out.sort();
         out
     }

@@ -262,7 +262,7 @@ impl<S: StorageEngine + Send + Sync> Mdp<S> {
         schema: RdfSchema,
         config: FilterConfig,
     ) -> Result<Self> {
-        let mut engine = ShardedFilterEngine::with_storages(stores, schema, config);
+        let mut engine = ShardedFilterEngine::try_with_storages(stores, schema, config)?;
         let store = engine.storage_mut();
         store.begin();
         mirror::create_table(
@@ -618,6 +618,12 @@ impl<S: StorageEngine + Send + Sync> Mdp<S> {
 
     pub fn engine(&self) -> &ShardedFilterEngine<S> {
         &self.engine
+    }
+
+    /// Mutable access to the sharded filter engine, for storage-level
+    /// tuning (e.g. checkpoint thresholds) on a live node.
+    pub fn engine_mut(&mut self) -> &mut ShardedFilterEngine<S> {
+        &mut self.engine
     }
 
     /// Snapshot-as-compaction: checkpoints every shard's storage backend —

@@ -7,7 +7,7 @@ use std::path::{Path, PathBuf};
 
 use mdv_filter::FilterConfig;
 use mdv_rdf::{write_document, Document, RdfSchema, Resource};
-use mdv_relstore::{write_database, Database, DurableEngine, StorageEngine};
+use mdv_relstore::{write_database, Database, DurableEngine, StdFs, StorageEngine, Vfs};
 use mdv_runtime::channel::Receiver;
 
 use crate::error::{Error, Result};
@@ -109,33 +109,83 @@ impl MdvSystem<DurableEngine> {
         Self::empty(schema, config)
     }
 
-    /// Adds an MDP persisting to `dir` (created fresh; must not hold an
-    /// existing store). With `filter_config.shards = N > 1` (see
-    /// [`MdvSystem::set_filter_shards`]) the node gets one store — and one
-    /// WAL — per filter shard: shard 0 at `dir` itself, shard k at the
-    /// `<dir>-s<k>` sibling.
+    /// Adds an MDP persisting to `dir` on the real filesystem.
     pub fn add_mdp_durable(&mut self, name: &str, dir: impl Into<PathBuf>) -> Result<()> {
-        let dir = dir.into();
-        let shards = self.filter_config.shards.max(1);
-        let mut stores = Vec::with_capacity(shards);
-        for shard in 0..shards {
-            stores.push(DurableEngine::create(shard_dir(&dir, shard)).map_err(mirror::store_err)?);
-        }
-        let mdp = Mdp::with_storages(name, stores, self.schema.clone(), self.filter_config)?;
-        self.install_mdp(name, mdp)
+        self.add_mdp_durable_on(name, dir, StdFs)
     }
 
-    /// Adds an LMR connected to `mdp`, persisting its cache to `dir`.
+    /// Adds an LMR connected to `mdp`, persisting its cache to `dir` on the
+    /// real filesystem.
     pub fn add_lmr_durable(
         &mut self,
         name: &str,
         mdp: &str,
         dir: impl Into<PathBuf>,
     ) -> Result<()> {
+        self.add_lmr_durable_on(name, mdp, dir, StdFs)
+    }
+}
+
+impl<V: Vfs + Clone + Send + Sync> MdvSystem<DurableEngine<V>> {
+    /// A durable deployment over an explicit [`Vfs`] backend — the storage
+    /// torture tests run whole systems on a seeded `FaultVfs` this way
+    /// (DESIGN.md §12). `MdvSystem::<DurableEngine<FaultVfs>>::durable_on(..)`.
+    pub fn durable_on(schema: RdfSchema, config: NetConfig) -> Self {
+        Self::empty(schema, config)
+    }
+
+    /// Adds an MDP persisting to `dir` (created fresh; must not hold an
+    /// existing store). With `filter_config.shards = N > 1` (see
+    /// [`MdvSystem::set_filter_shards`]) the node gets one store — and one
+    /// WAL — per filter shard: shard 0 at `dir` itself, shard k at the
+    /// `<dir>-s<k>` sibling. All shards persist through clones of `vfs`,
+    /// i.e. one failure domain per node.
+    pub fn add_mdp_durable_on(
+        &mut self,
+        name: &str,
+        dir: impl Into<PathBuf>,
+        vfs: V,
+    ) -> Result<()> {
+        let dir = dir.into();
+        let shards = self.filter_config.shards.max(1);
+        let mut stores = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            stores.push(
+                DurableEngine::create_with(vfs.clone(), shard_dir(&dir, shard))
+                    .map_err(mirror::store_err)?,
+            );
+        }
+        let mdp = Mdp::with_storages(name, stores, self.schema.clone(), self.filter_config)?;
+        self.install_mdp(name, mdp)
+    }
+
+    /// Adds an LMR connected to `mdp`, persisting its cache to `dir`
+    /// through `vfs`.
+    pub fn add_lmr_durable_on(
+        &mut self,
+        name: &str,
+        mdp: &str,
+        dir: impl Into<PathBuf>,
+        vfs: V,
+    ) -> Result<()> {
         self.check_lmr_slot(name, mdp)?;
-        let store = DurableEngine::create(dir).map_err(mirror::store_err)?;
+        let store = DurableEngine::create_with(vfs, dir).map_err(mirror::store_err)?;
         let lmr = Lmr::with_storage(name, mdp, self.schema.clone(), store)?;
         self.install_lmr(name, lmr)
+    }
+
+    /// Sets the auto-checkpoint threshold on every durable store of every
+    /// node, present and (not) future — the torture harness sets this low
+    /// to force compaction windows into its fault schedules.
+    pub fn set_checkpoint_every(&mut self, every: Option<u64>) {
+        for mdp in self.mdps.values_mut() {
+            for store in mdp.engine_mut().shard_storages_mut() {
+                store.set_checkpoint_every(every);
+            }
+        }
+        for lmr in self.lmrs.values_mut() {
+            lmr.storage_mut().set_checkpoint_every(every);
+        }
     }
 
     /// Crashes an MDP — dropping every byte of in-memory state and any mail
@@ -158,34 +208,43 @@ impl MdvSystem<DurableEngine> {
             .mdps
             .remove(name)
             .ok_or_else(|| Error::Topology(format!("unknown MDP '{name}'")))?;
+        let vfs = old.engine().shard(0).storage().vfs().clone();
         let dirs: Vec<PathBuf> = old
             .engine()
             .shard_storages()
             .map(|s| s.dir().to_path_buf())
             .collect();
-        let references: Vec<String> = old
+        // a degraded (wedged) engine's in-memory state may be ahead of its
+        // durable state, so the byte-compare oracle only applies to shards
+        // whose every acked write actually reached the disk
+        let references: Vec<Option<String>> = old
             .engine()
             .shard_storages()
-            .map(|s| write_database(s.database()))
+            .map(|s| (!s.is_degraded()).then(|| write_database(s.database())))
             .collect();
         drop(old); // the crash: all volatile state gone
         self.drain_mailbox(name);
 
         let mut recovered = Vec::with_capacity(dirs.len());
         for (shard, (dir, reference)) in dirs.iter().zip(&references).enumerate() {
-            let store = DurableEngine::open(dir).map_err(mirror::store_err)?;
-            if write_database(store.database()) != *reference {
-                return Err(Error::Topology(format!(
-                    "MDP '{name}': recovered shard {shard} diverges from pre-crash state"
-                )));
+            let store = DurableEngine::open_with(vfs.clone(), dir).map_err(mirror::store_err)?;
+            if let Some(reference) = reference {
+                if write_database(store.database()) != *reference {
+                    return Err(Error::Topology(format!(
+                        "MDP '{name}': recovered shard {shard} diverges from pre-crash state"
+                    )));
+                }
             }
             recovered.push(store);
         }
 
-        let base = sibling_dir(&dirs[0]);
+        let base = sibling_dir_on(&vfs, &dirs[0]);
         let mut fresh = Vec::with_capacity(dirs.len());
         for shard in 0..dirs.len() {
-            fresh.push(DurableEngine::create(shard_dir(&base, shard)).map_err(mirror::store_err)?);
+            fresh.push(
+                DurableEngine::create_with(vfs.clone(), shard_dir(&base, shard))
+                    .map_err(mirror::store_err)?,
+            );
         }
         let mut mdp = Mdp::with_storages(name, fresh, self.schema.clone(), self.filter_config)?;
         let retry_ms = self.network.config().retry_initial_ms;
@@ -245,17 +304,21 @@ impl MdvSystem<DurableEngine> {
             .lmrs
             .remove(name)
             .ok_or_else(|| Error::Topology(format!("unknown LMR '{name}'")))?;
+        let vfs = old.storage().vfs().clone();
         let dir = old.storage().dir().to_path_buf();
         let mdp = old.mdp().to_owned();
-        let reference = write_database(old.storage().database());
+        let reference =
+            (!old.storage().is_degraded()).then(|| write_database(old.storage().database()));
         drop(old);
         self.drain_mailbox(name);
 
-        let recovered = DurableEngine::open(&dir).map_err(mirror::store_err)?;
-        if write_database(recovered.database()) != reference {
-            return Err(Error::Topology(format!(
-                "LMR '{name}': recovered database diverges from pre-crash state"
-            )));
+        let recovered = DurableEngine::open_with(vfs, &dir).map_err(mirror::store_err)?;
+        if let Some(reference) = reference {
+            if write_database(recovered.database()) != reference {
+                return Err(Error::Topology(format!(
+                    "LMR '{name}': recovered database diverges from pre-crash state"
+                )));
+            }
         }
         let mut lmr = Lmr::reopen(name, &mdp, self.schema.clone(), recovered)?;
         lmr.rearm_after_recovery(&self.network)?;
@@ -276,15 +339,17 @@ fn shard_dir(dir: &Path, shard: usize) -> PathBuf {
 }
 
 /// First nonexistent `<dir>-r<k>` sibling: the home of a rebuilt MDP store.
-fn sibling_dir(dir: &Path) -> PathBuf {
+/// Existence is probed through the node's [`Vfs`], so simulated-disk
+/// deployments see the same layout as real ones.
+fn sibling_dir_on<V: Vfs>(vfs: &V, dir: &Path) -> PathBuf {
     let base = dir.as_os_str().to_string_lossy().into_owned();
     let mut k = 1u32;
     loop {
         let candidate = PathBuf::from(format!("{base}-r{k}"));
-        if !candidate.exists() {
-            return candidate;
+        match vfs.read_dir(&candidate) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return candidate,
+            _ => k += 1,
         }
-        k += 1;
     }
 }
 
@@ -1200,11 +1265,18 @@ impl<S: StorageEngine + Send + Sync> MdvSystem<S> {
                 // is the pre-fault-plan behaviour
                 batch.sort_by_key(|env| env.deliver_at_ms);
                 for env in batch {
-                    progressed = true;
                     network.advance_clock(env.deliver_at_ms);
+                    // a name can linger in `receivers` after its node is gone
+                    // (a crash_and_restart that failed its recovery oracle
+                    // removes the handler but keeps the mailbox). Drained mail
+                    // for such a ghost is discarded and does NOT count as
+                    // progress — otherwise a peer retransmitting to the dead
+                    // node would reset the stall budget forever.
                     if let Some(mdp) = mdps.get_mut(name) {
+                        progressed = true;
                         mdp.handle(env, network)?;
                     } else if let Some(lmr) = lmrs.get_mut(name) {
+                        progressed = true;
                         lmr.handle(env, network)?;
                     }
                 }

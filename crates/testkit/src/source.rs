@@ -153,6 +153,13 @@ impl Source {
             .collect()
     }
 
+    /// A vector of arbitrary bytes, for fuzzing binary surfaces (garbage
+    /// appended to WAL tails, corrupted disk images).
+    pub fn bytes(&mut self, len_range: Range<usize>) -> Vec<u8> {
+        let len = self.usize_in(len_range);
+        (0..len).map(|_| self.bits() as u8).collect()
+    }
+
     /// A vector of values from a per-element closure, with its length
     /// drawn from `len_range` first.
     pub fn vec<T>(

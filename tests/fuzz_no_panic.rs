@@ -8,7 +8,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use mdv::filter::FilterEngine;
 use mdv::prelude::*;
 use mdv::rdf::{parse_schema, xml};
-use mdv::relstore::{sql, DurableEngine};
+use mdv::relstore::{
+    sql, CrashMode, DiskFaultPlan, DurableEngine, FaultVfs, Vfs, VfsFile, CRASH_MODES,
+};
 use mdv::system::transport::{FaultPlan, LinkFaults};
 use mdv::system::MdvSystem;
 use mdv::workload::benchmark_schema;
@@ -326,6 +328,120 @@ property! {
         );
         drop(sys);
         let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// Combined transport-fault × disk-fault torture (DESIGN.md §12): link
+    /// loss, duplication and jitter run *concurrently* with injected disk
+    /// faults — write errors, short writes, failed syncs, silent bit rot —
+    /// plus raw garbage appended straight into store files and whole-disk
+    /// crashes under every crash mode. Operations may fail with typed
+    /// errors, nodes may become unrecoverable (detected corruption), but
+    /// nothing may panic and logical time stays bounded.
+    fn combined_transport_and_disk_faults_never_panic(src) cases = 12; {
+        let config = NetConfig {
+            faults: FaultPlan {
+                seed: src.bits(),
+                default_link: LinkFaults {
+                    drop_prob: src.f64_in(0.0..0.25),
+                    dup_prob: src.f64_in(0.0..0.25),
+                    jitter_ms: src.u64_in(0..30),
+                    spike_prob: 0.0,
+                    spike_ms: 0,
+                },
+                ..FaultPlan::default()
+            },
+            ..NetConfig::default()
+        };
+        let disk = FaultVfs::new(src.bits());
+        disk.arm(false); // the stores must at least finish creating
+        let mut sys: MdvSystem<DurableEngine<FaultVfs>> =
+            MdvSystem::durable_on(common::schema(), config);
+        sys.set_filter_shards(*src.choose(&[1usize, 2])).unwrap();
+        sys.add_mdp_durable_on("m1", "/m1", disk.clone()).unwrap();
+        sys.add_lmr_durable_on("l1", "m1", "/l1", disk.clone()).unwrap();
+        disk.set_plan(DiskFaultPlan {
+            read_err: src.f64_in(0.0..0.05),
+            write_err: src.f64_in(0.0..0.10),
+            short_write: src.f64_in(0.0..0.10),
+            sync_err: src.f64_in(0.0..0.10),
+            corrupt: src.f64_in(0.0..0.05),
+        });
+        disk.arm(true);
+
+        let mut rule_ids: Vec<u64> = Vec::new();
+        for _ in 0..src.u64_in(1..14) {
+            match src.weighted(&[4, 2, 2, 2, 1, 1]) {
+                0 => {
+                    let i = src.u64_in(0..5) as usize;
+                    let doc = common::provider(i, "n.hub.org", src.i64_in(0..200), 500);
+                    let _ = sys.register_document("m1", &doc);
+                }
+                1 => {
+                    let i = src.u64_in(0..5);
+                    let _ = sys.delete_document("m1", &format!("doc{i}.rdf"));
+                }
+                2 => {
+                    match sys.subscribe(
+                        "l1",
+                        "search CycleProvider c register c \
+                         where c.serverInformation.memory > 64",
+                    ) {
+                        Ok(id) => rule_ids.push(id),
+                        Err(_) => {
+                            if let Some(id) = rule_ids.pop() {
+                                let _ = sys.unsubscribe("l1", id);
+                            }
+                        }
+                    }
+                }
+                3 => {
+                    // a whole-disk crash under a random mode, then both
+                    // nodes reopen from whatever survived; recovery may
+                    // refuse (typed) when bit rot landed in the wrong place
+                    disk.crash(*src.choose(&CRASH_MODES));
+                    let _ = sys.crash_and_restart_mdp("m1");
+                    let _ = sys.crash_and_restart_lmr("l1");
+                    let _ = sys.run_to_quiescence();
+                }
+                4 => {
+                    // raw garbage appended straight into a random store
+                    // file, as an external writer (or firmware bug) would
+                    let files: Vec<std::path::PathBuf> =
+                        disk.dump().keys().cloned().collect();
+                    if !files.is_empty() {
+                        let path = files[src.usize_in(0..files.len())].clone();
+                        let garbage = src.bytes(1..24);
+                        if let Ok(mut f) = disk.open_append(&path, false) {
+                            let _ = f.append(&garbage);
+                            let _ = f.sync();
+                        }
+                    }
+                }
+                _ => {
+                    let _ = sys.run_to_quiescence();
+                }
+            }
+        }
+        // the wedged-or-corrupt end state is acceptable; an unbounded clock
+        // or a panic is not. When a restart refuses its recovery oracle the
+        // node stays gone and every later quiescence call burns its full
+        // stall budget against the ghost (256 rounds x 1600 ms retry cap
+        // ~ 410 s of virtual time per call, up to 15 calls), so the bound
+        // proves terminating pumps rather than a quiet network.
+        let _ = sys.run_to_quiescence();
+        let stats = sys.network_stats();
+        prop_assert!(
+            stats.clock_ms < 10_000_000,
+            "logical time ran away: {:?}",
+            stats
+        );
+        // restart on a healed disk: whatever state the fault schedule left
+        // behind must either reopen or fail with a typed error
+        disk.arm(false);
+        disk.crash(CrashMode::DurableOnly);
+        let _ = sys.crash_and_restart_mdp("m1");
+        let _ = sys.crash_and_restart_lmr("l1");
+        let _ = sys.run_to_quiescence();
     }
 
     /// The Raft-replicated backbone never panics and never wedges the
